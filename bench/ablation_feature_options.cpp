@@ -1,0 +1,72 @@
+// Ablation bench for the optional feature-function extensions the paper
+// sketches but does not evaluate (Section III-B):
+//   - time-decaying distance impact in f_st / f_sc ("including a
+//     time-decaying multiplier e^{-γ'(t_{i+1}-t_i)}"),
+//   - normalized historical region frequency as an f_sm multiplier,
+// plus two implementation choices documented in DESIGN.md:
+//   - per-record f_sm normalization,
+//   - smoothed observation centers for the uncertainty region.
+
+#include "baselines/c2mn_method.h"
+#include "bench/bench_util.h"
+#include "common/table_printer.h"
+#include "eval/harness.h"
+
+using namespace c2mn;
+using namespace c2mn::bench;
+
+int main() {
+  BenchInit();
+  const BenchScale scale = BenchScale::FromEnv();
+  PrintHeader("Ablation: optional feature extensions of Section III-B",
+              "design alternatives discussed with Eqs. 3-5");
+
+  Scenario scenario = MallScenario(scale);
+  const World& world = *scenario.world;
+  Rng rng(scale.seed + 14);
+  const TrainTestSplit split = SplitDataset(scenario.dataset, 0.7, &rng);
+  const TrainOptions topts = DefaultTrainOptions(scale);
+
+  struct Setting {
+    std::string name;
+    FeatureOptions fopts;
+  };
+  std::vector<Setting> settings;
+  {
+    Setting s{"C2MN (default)", FeatureOptions()};
+    settings.push_back(s);
+  }
+  {
+    Setting s{"+ time decay (f_st, f_sc)", FeatureOptions()};
+    s.fopts.use_time_decay = true;
+    settings.push_back(s);
+  }
+  {
+    Setting s{"+ region frequency (f_sm)", FeatureOptions()};
+    s.fopts.use_region_frequency = true;
+    settings.push_back(s);
+  }
+  {
+    Setting s{"- f_sm normalization", FeatureOptions()};
+    s.fopts.normalize_fsm = false;
+    settings.push_back(s);
+  }
+  {
+    Setting s{"- observation smoothing", FeatureOptions()};
+    s.fopts.smooth_observations = false;
+    settings.push_back(s);
+  }
+
+  TablePrinter table({"Setting", "RA", "EA", "CA", "PA"});
+  for (const Setting& setting : settings) {
+    C2mnMethod method(world, FullC2mn(), setting.fopts, topts);
+    const MethodEvaluation eval = EvaluateMethod(&method, split);
+    table.AddRow({setting.name,
+                  TablePrinter::Fmt(eval.accuracy.region_accuracy),
+                  TablePrinter::Fmt(eval.accuracy.event_accuracy),
+                  TablePrinter::Fmt(eval.accuracy.combined_accuracy),
+                  TablePrinter::Fmt(eval.accuracy.perfect_accuracy)});
+  }
+  table.Print();
+  return 0;
+}

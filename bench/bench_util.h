@@ -1,0 +1,62 @@
+#ifndef C2MN_BENCH_BENCH_UTIL_H_
+#define C2MN_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+
+#include "common/env.h"
+#include "common/logging.h"
+#include "core/trainer.h"
+#include "sim/scenarios.h"
+
+namespace c2mn {
+namespace bench {
+
+/// Shared experiment scale knobs.  Defaults keep the full bench suite in
+/// the minutes range; raise them toward the paper's scale via environment
+/// variables (e.g. C2MN_BENCH_OBJECTS=2000 C2MN_BENCH_MAXITER=90).
+struct BenchScale {
+  int objects;
+  int max_iter;
+  int mcmc_samples;
+  uint64_t seed;
+
+  static BenchScale FromEnv() {
+    BenchScale s;
+    s.objects = EnvInt("C2MN_BENCH_OBJECTS", 90);
+    s.max_iter = EnvInt("C2MN_BENCH_MAXITER", 60);
+    s.mcmc_samples = EnvInt("C2MN_BENCH_MCMC", 40);
+    s.seed = static_cast<uint64_t>(EnvInt("C2MN_BENCH_SEED", 7));
+    return s;
+  }
+};
+
+inline void BenchInit() { Logger::Global().set_level(LogLevel::kWarning); }
+
+/// The default mall scenario used by the real-data experiments
+/// (Tables III/IV, Figs 5-13).
+inline Scenario MallScenario(const BenchScale& scale) {
+  ScenarioOptions options;
+  options.num_objects = scale.objects;
+  options.seed = scale.seed;
+  return MakeMallScenario(options);
+}
+
+inline TrainOptions DefaultTrainOptions(const BenchScale& scale) {
+  TrainOptions topts;
+  topts.max_iter = scale.max_iter;
+  topts.mcmc_samples = scale.mcmc_samples;
+  topts.seed = scale.seed + 1;
+  return topts;
+}
+
+inline void PrintHeader(const char* title, const char* paper_ref) {
+  std::printf("==============================================================\n");
+  std::printf("%s\n", title);
+  std::printf("(reproduces %s)\n", paper_ref);
+  std::printf("==============================================================\n");
+}
+
+}  // namespace bench
+}  // namespace c2mn
+
+#endif  // C2MN_BENCH_BENCH_UTIL_H_

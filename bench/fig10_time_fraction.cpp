@@ -1,0 +1,48 @@
+// Reproduces Figure 10 of the paper: training time of the C2MN-based
+// methods as the training-data fraction varies from 40% to 80%.
+//
+// Expected shape: time grows with the number of training records for
+// every method; parameter sharing keeps the growth linear.
+
+#include "baselines/c2mn_method.h"
+#include "bench/bench_util.h"
+#include "common/table_printer.h"
+#include "eval/harness.h"
+
+using namespace c2mn;
+using namespace c2mn::bench;
+
+int main() {
+  BenchInit();
+  const BenchScale scale = BenchScale::FromEnv();
+  PrintHeader("Figure 10: Training Time vs Training Data Fraction",
+              "Fig. 10, Section V-B3");
+
+  Scenario scenario = MallScenario(scale);
+  const World& world = *scenario.world;
+  FeatureOptions fopts;
+
+  const std::vector<double> fractions = {0.4, 0.5, 0.6, 0.7, 0.8};
+  std::vector<std::string> header = {"Method"};
+  for (double f : fractions) {
+    header.push_back(std::to_string(static_cast<int>(f * 100)) + "%");
+  }
+  TablePrinter table(header);
+
+  for (const C2mnVariant& variant : TableFourVariants()) {
+    std::vector<std::string> row = {variant.name};
+    for (double fraction : fractions) {
+      Rng rng(scale.seed + 6);
+      const TrainTestSplit split =
+          SplitDataset(scenario.dataset, fraction, &rng);
+      TrainOptions topts = DefaultTrainOptions(scale);
+      topts.delta = 0.0;  // Measure full max_iter runs.
+      AlternateTrainer trainer(world, fopts, variant.structure, topts);
+      const TrainResult result = trainer.Train(split.train);
+      row.push_back(TablePrinter::Fmt(result.train_seconds, 2) + " s");
+    }
+    table.AddRow(std::move(row));
+  }
+  table.Print();
+  return 0;
+}

@@ -1,0 +1,52 @@
+// Reproduces Figures 5 and 6 of the paper: combined accuracy (CA) and
+// perfect accuracy (PA) of the C2MN family as the training-data fraction
+// varies over 40%..80%.
+//
+// Expected shape: both measures increase moderately with more training
+// data and flatten around 70%; C2MN stays on top, CMN and the ablations
+// below.
+
+#include "baselines/c2mn_method.h"
+#include "bench/bench_util.h"
+#include "common/table_printer.h"
+#include "eval/harness.h"
+
+using namespace c2mn;
+using namespace c2mn::bench;
+
+int main() {
+  BenchInit();
+  const BenchScale scale = BenchScale::FromEnv();
+  PrintHeader("Figures 5 & 6: CA / PA vs Training Data Fraction",
+              "Figs. 5-6, Section V-B2");
+
+  Scenario scenario = MallScenario(scale);
+  const World& world = *scenario.world;
+  FeatureOptions fopts;
+  const TrainOptions topts = DefaultTrainOptions(scale);
+
+  const std::vector<double> fractions = {0.4, 0.5, 0.6, 0.7, 0.8};
+  TablePrinter ca_table({"Method", "40%", "50%", "60%", "70%", "80%"});
+  TablePrinter pa_table({"Method", "40%", "50%", "60%", "70%", "80%"});
+
+  for (const C2mnVariant& variant : TableFourVariants()) {
+    std::vector<std::string> ca_row = {variant.name};
+    std::vector<std::string> pa_row = {variant.name};
+    for (double fraction : fractions) {
+      Rng rng(scale.seed + 3);
+      const TrainTestSplit split =
+          SplitDataset(scenario.dataset, fraction, &rng);
+      C2mnMethod method(world, variant, fopts, topts);
+      const MethodEvaluation eval = EvaluateMethod(&method, split);
+      ca_row.push_back(TablePrinter::Fmt(eval.accuracy.combined_accuracy));
+      pa_row.push_back(TablePrinter::Fmt(eval.accuracy.perfect_accuracy));
+    }
+    ca_table.AddRow(std::move(ca_row));
+    pa_table.AddRow(std::move(pa_row));
+  }
+  std::printf("Figure 5: Combined Accuracy vs %% of training data\n");
+  ca_table.Print();
+  std::printf("\nFigure 6: Perfect Accuracy vs %% of training data\n");
+  pa_table.Print();
+  return 0;
+}

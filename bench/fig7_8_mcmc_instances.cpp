@@ -1,0 +1,74 @@
+// Reproduces Figures 7 and 8 of the paper: region accuracy (RA) and event
+// accuracy (EA) of the C2MN family as the number M of MCMC instances per
+// learning step varies.
+//
+// The paper sweeps M over 400..1000 at its data scale; the bench default
+// sweeps a proportionally scaled grid (override with C2MN_BENCH_MCMC_GRID
+// as a comma list).  Expected shape: RA stabilizes once M is large enough
+// to approximate the region-variable distribution; EA is flat because the
+// event variable has only two labels.
+
+#include <sstream>
+
+#include "baselines/c2mn_method.h"
+#include "bench/bench_util.h"
+#include "common/table_printer.h"
+#include "eval/harness.h"
+
+using namespace c2mn;
+using namespace c2mn::bench;
+
+namespace {
+
+std::vector<int> McmcGrid() {
+  const char* env = std::getenv("C2MN_BENCH_MCMC_GRID");
+  std::vector<int> grid;
+  if (env != nullptr && *env != '\0') {
+    std::stringstream ss(env);
+    std::string item;
+    while (std::getline(ss, item, ',')) grid.push_back(std::atoi(item.c_str()));
+  }
+  if (grid.empty()) grid = {10, 20, 40, 80};
+  return grid;
+}
+
+}  // namespace
+
+int main() {
+  BenchInit();
+  const BenchScale scale = BenchScale::FromEnv();
+  PrintHeader("Figures 7 & 8: RA / EA vs MCMC instances M",
+              "Figs. 7-8, Section V-B2");
+
+  Scenario scenario = MallScenario(scale);
+  const World& world = *scenario.world;
+  FeatureOptions fopts;
+  Rng rng(scale.seed + 4);
+  const TrainTestSplit split = SplitDataset(scenario.dataset, 0.7, &rng);
+
+  const std::vector<int> grid = McmcGrid();
+  std::vector<std::string> header = {"Method"};
+  for (int m : grid) header.push_back("M=" + std::to_string(m));
+  TablePrinter ra_table(header);
+  TablePrinter ea_table(header);
+
+  for (const C2mnVariant& variant : TableFourVariants()) {
+    std::vector<std::string> ra_row = {variant.name};
+    std::vector<std::string> ea_row = {variant.name};
+    for (int m : grid) {
+      TrainOptions topts = DefaultTrainOptions(scale);
+      topts.mcmc_samples = m;
+      C2mnMethod method(world, variant, fopts, topts);
+      const MethodEvaluation eval = EvaluateMethod(&method, split);
+      ra_row.push_back(TablePrinter::Fmt(eval.accuracy.region_accuracy));
+      ea_row.push_back(TablePrinter::Fmt(eval.accuracy.event_accuracy));
+    }
+    ra_table.AddRow(std::move(ra_row));
+    ea_table.AddRow(std::move(ea_row));
+  }
+  std::printf("Figure 7: Region Accuracy vs M\n");
+  ra_table.Print();
+  std::printf("\nFigure 8: Event Accuracy vs M\n");
+  ea_table.Print();
+  return 0;
+}

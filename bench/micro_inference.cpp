@@ -1,0 +1,100 @@
+// Micro-benchmarks of the annotation hot paths (google-benchmark).
+//
+// Section V-B1 of the paper reports that "labeling a p-sequence with
+// around 100 positioning records takes less than 600 ms"; BM_AnnotateSeq
+// measures the equivalent figure here.
+
+#include <benchmark/benchmark.h>
+
+#include "baselines/c2mn_method.h"
+#include "common/logging.h"
+#include "core/annotator.h"
+#include "core/trainer.h"
+#include "data/dataset.h"
+#include "sim/scenarios.h"
+
+namespace c2mn {
+namespace {
+
+/// Shared fixture state: one scenario + one trained model.
+struct InferenceState {
+  Scenario scenario;
+  std::vector<double> weights;
+  FeatureOptions fopts;
+
+  static InferenceState& Get() {
+    static InferenceState* state = [] {
+      Logger::Global().set_level(LogLevel::kOff);
+      auto* s = new InferenceState();
+      ScenarioOptions options;
+      options.num_objects = 40;
+      options.seed = 7;
+      s->scenario = MakeMallScenario(options);
+      Rng rng(11);
+      const TrainTestSplit split = SplitDataset(s->scenario.dataset, 0.7, &rng);
+      TrainOptions topts;
+      topts.max_iter = 20;
+      topts.mcmc_samples = 30;
+      AlternateTrainer trainer(*s->scenario.world, s->fopts, C2mnStructure{},
+                               topts);
+      s->weights = trainer.Train(split.train).weights;
+      return s;
+    }();
+    return *state;
+  }
+};
+
+/// Joint (R, E) annotation of one p-sequence with ~`records` records.
+void BM_AnnotateSequence(benchmark::State& state) {
+  InferenceState& s = InferenceState::Get();
+  const size_t target = static_cast<size_t>(state.range(0));
+  // Pick the test sequence whose length is closest to the target.
+  const LabeledSequence* best = &s.scenario.dataset.sequences.front();
+  for (const LabeledSequence& ls : s.scenario.dataset.sequences) {
+    if (std::llabs(static_cast<long long>(ls.size()) -
+                   static_cast<long long>(target)) <
+        std::llabs(static_cast<long long>(best->size()) -
+                   static_cast<long long>(target))) {
+      best = &ls;
+    }
+  }
+  const C2mnAnnotator annotator(*s.scenario.world, s.fopts, C2mnStructure{},
+                                s.weights);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(annotator.Annotate(best->sequence));
+  }
+  state.counters["records"] = static_cast<double>(best->size());
+  state.counters["ms_per_100rec"] = benchmark::Counter(
+      100.0 * 1e3 / static_cast<double>(best->size()),
+      benchmark::Counter::kDefaults);
+}
+BENCHMARK(BM_AnnotateSequence)->Arg(100)->Arg(200)->Arg(400)
+    ->Unit(benchmark::kMillisecond);
+
+/// Unrolling one sequence into a SequenceGraph (candidates, st-DBSCAN,
+/// geometry), the fixed cost before any decoding.
+void BM_BuildSequenceGraph(benchmark::State& state) {
+  InferenceState& s = InferenceState::Get();
+  const LabeledSequence& ls = s.scenario.dataset.sequences.front();
+  for (auto _ : state) {
+    SequenceGraph graph(*s.scenario.world, ls.sequence, s.fopts, nullptr);
+    benchmark::DoNotOptimize(graph.size());
+  }
+  state.counters["records"] = static_cast<double>(ls.size());
+}
+BENCHMARK(BM_BuildSequenceGraph)->Unit(benchmark::kMillisecond);
+
+/// Label-and-merge only (given labels), the cheap tail of the pipeline.
+void BM_MergeLabels(benchmark::State& state) {
+  InferenceState& s = InferenceState::Get();
+  const LabeledSequence& ls = s.scenario.dataset.sequences.front();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(MergeLabels(ls.sequence, ls.labels));
+  }
+}
+BENCHMARK(BM_MergeLabels);
+
+}  // namespace
+}  // namespace c2mn
+
+BENCHMARK_MAIN();

@@ -1,0 +1,109 @@
+// Micro-benchmarks of the indoor-space substrates (google-benchmark):
+// MIWD distance queries, R-tree nearest-region lookups, st-DBSCAN
+// clustering, and simulator throughput.
+
+#include <benchmark/benchmark.h>
+
+#include "clustering/st_dbscan.h"
+#include "common/logging.h"
+#include "common/rng.h"
+#include "sim/scenarios.h"
+
+namespace c2mn {
+namespace {
+
+struct SubstrateState {
+  Scenario scenario;
+
+  static SubstrateState& Get() {
+    static SubstrateState* state = [] {
+      Logger::Global().set_level(LogLevel::kOff);
+      auto* s = new SubstrateState();
+      ScenarioOptions options;
+      options.num_objects = 20;
+      options.seed = 7;
+      s->scenario = MakeMallScenario(options);
+      return s;
+    }();
+    return *state;
+  }
+};
+
+IndoorPoint RandomIndoorPoint(const World& world, Rng* rng) {
+  const auto& parts = world.plan().partitions();
+  const Partition& part = parts[rng->UniformInt(parts.size())];
+  const Vec2 c = part.shape.Centroid();
+  return IndoorPoint(c, part.floor);
+}
+
+void BM_MiwdPointToPoint(benchmark::State& state) {
+  const World& world = *SubstrateState::Get().scenario.world;
+  Rng rng(3);
+  std::vector<std::pair<IndoorPoint, IndoorPoint>> queries;
+  for (int i = 0; i < 256; ++i) {
+    queries.emplace_back(RandomIndoorPoint(world, &rng),
+                         RandomIndoorPoint(world, &rng));
+  }
+  size_t i = 0;
+  for (auto _ : state) {
+    const auto& [p, q] = queries[i++ & 255];
+    benchmark::DoNotOptimize(world.oracle().PointToPoint(p, q));
+  }
+}
+BENCHMARK(BM_MiwdPointToPoint);
+
+void BM_RegionToRegionDistance(benchmark::State& state) {
+  const World& world = *SubstrateState::Get().scenario.world;
+  const int nr = static_cast<int>(world.plan().regions().size());
+  Rng rng(4);
+  int a = 0, b = 1;
+  for (auto _ : state) {
+    a = static_cast<int>(rng.UniformInt(static_cast<uint64_t>(nr)));
+    b = static_cast<int>(rng.UniformInt(static_cast<uint64_t>(nr)));
+    benchmark::DoNotOptimize(world.oracle().RegionToRegion(a, b));
+  }
+}
+BENCHMARK(BM_RegionToRegionDistance);
+
+void BM_NearestRegions(benchmark::State& state) {
+  const World& world = *SubstrateState::Get().scenario.world;
+  Rng rng(5);
+  std::vector<IndoorPoint> points;
+  for (int i = 0; i < 256; ++i) points.push_back(RandomIndoorPoint(world, &rng));
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        world.index().NearestRegions(points[i++ & 255], 6, 40.0));
+  }
+}
+BENCHMARK(BM_NearestRegions);
+
+void BM_StDbscan(benchmark::State& state) {
+  const Scenario& scenario = SubstrateState::Get().scenario;
+  const PSequence& seq = scenario.dataset.sequences.front().sequence;
+  StDbscanParams params;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(StDbscan(seq, params));
+  }
+  state.counters["records"] = static_cast<double>(seq.size());
+}
+BENCHMARK(BM_StDbscan)->Unit(benchmark::kMicrosecond);
+
+void BM_SimulateObject(benchmark::State& state) {
+  const World& world = *SubstrateState::Get().scenario.world;
+  MobilityConfig config;
+  config.min_lifespan_seconds = 1800;
+  config.max_lifespan_seconds = 1800;
+  MobilitySimulator simulator(world, config);
+  Rng rng(6);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(simulator.SimulateObject(0, 0.0, 1800.0, &rng));
+  }
+  state.SetLabel("30min trace");
+}
+BENCHMARK(BM_SimulateObject)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace c2mn
+
+BENCHMARK_MAIN();

@@ -1,0 +1,91 @@
+// Floorplan tour: the indoor-space substrate API on its own.
+//
+// Builds a small two-floor venue by hand with FloorplanBuilder, prepares
+// the derived structures (accessibility graph, R-tree index, MIWD
+// oracle), and walks through the spatial queries the annotation models
+// rely on: point location, nearest regions, shortest indoor routes, and
+// expected region-to-region walking distances.
+
+#include <cstdio>
+
+#include "common/logging.h"
+#include "sim/path_planner.h"
+#include "sim/world.h"
+
+using namespace c2mn;
+
+int main() {
+  Logger::Global().set_level(LogLevel::kWarning);
+
+  // Ground floor: two shops off a corridor; a staircase leads upstairs to
+  // a third shop.
+  FloorplanBuilder builder;
+  const PartitionId corridor0 = builder.AddPartition(
+      0, PartitionKind::kHallway, Polygon::Rectangle({0, 8}, {30, 12}));
+  const PartitionId cafe = builder.AddPartition(
+      0, PartitionKind::kRoom, Polygon::Rectangle({0, 0}, {15, 8}));
+  const PartitionId books = builder.AddPartition(
+      0, PartitionKind::kRoom, Polygon::Rectangle({15, 0}, {30, 8}));
+  builder.AddDoor(cafe, corridor0, {7.5, 8});
+  builder.AddDoor(books, corridor0, {22.5, 8});
+  const PartitionId stairs0 = builder.AddPartition(
+      0, PartitionKind::kStaircase, Polygon::Rectangle({30, 8}, {34, 12}));
+  builder.AddDoor(corridor0, stairs0, {30, 10});
+
+  const PartitionId corridor1 = builder.AddPartition(
+      1, PartitionKind::kHallway, Polygon::Rectangle({0, 8}, {30, 12}));
+  const PartitionId gallery = builder.AddPartition(
+      1, PartitionKind::kRoom, Polygon::Rectangle({0, 0}, {30, 8}));
+  builder.AddDoor(gallery, corridor1, {15, 8});
+  const PartitionId stairs1 = builder.AddPartition(
+      1, PartitionKind::kStaircase, Polygon::Rectangle({30, 8}, {34, 12}));
+  builder.AddDoor(corridor1, stairs1, {30, 10});
+  builder.AddStairDoor(stairs0, stairs1, {32, 10}, /*traversal_cost=*/14.0);
+
+  builder.AddRegion("Cafe", {cafe});
+  builder.AddRegion("Bookshop", {books});
+  builder.AddRegion("Gallery", {gallery});
+
+  auto plan_result = builder.Build();
+  if (!plan_result.ok()) {
+    std::printf("floorplan invalid: %s\n",
+                plan_result.status().ToString().c_str());
+    return 1;
+  }
+  World world = World::Create(std::move(plan_result).ValueOrDie());
+  const Floorplan& plan = world.plan();
+  std::printf("venue: %zu partitions, %zu doors, %zu regions, %d floors\n\n",
+              plan.partitions().size(), plan.doors().size(),
+              plan.regions().size(), plan.num_floors());
+
+  // Point location and nearest regions.
+  const IndoorPoint in_cafe(5, 4, 0);
+  const IndoorPoint in_corridor(18, 10, 0);
+  std::printf("(5, 4, F0) is inside: %s\n",
+              plan.region(world.index().RegionAt(in_cafe)).name.c_str());
+  std::printf("(18, 10, F0) nearest regions:\n");
+  for (const auto& [region, dist] :
+       world.index().NearestRegions(in_corridor, 3)) {
+    std::printf("  %-9s at %.1f m\n", plan.region(region).name.c_str(), dist);
+  }
+
+  // Minimum indoor walking distances: Euclidean inside a room, through
+  // doors across rooms, up the stairs across floors.
+  const IndoorPoint in_books(22, 4, 0);
+  const IndoorPoint in_gallery(15, 4, 1);
+  std::printf("\nMIWD cafe->bookshop: %.1f m (Euclidean: %.1f m)\n",
+              world.oracle().PointToPoint(in_cafe, in_books),
+              HorizontalDistance(in_cafe, in_books));
+  std::printf("MIWD cafe->gallery (upstairs): %.1f m\n",
+              world.oracle().PointToPoint(in_cafe, in_gallery));
+  std::printf("expected walk Cafe->Gallery (region level): %.1f m\n",
+              world.oracle().RegionToRegion(0, 2));
+
+  // A concrete route, door by door.
+  PathPlanner planner(plan, world.graph());
+  std::printf("\nroute cafe -> gallery:\n");
+  for (const IndoorPoint& p : planner.PlanWaypoints(in_cafe, in_gallery)) {
+    std::printf("  (%5.1f, %5.1f) floor %d\n", p.xy.x, p.xy.y, p.floor);
+  }
+  return 0;
+}

@@ -1,0 +1,64 @@
+// Robustness study: how annotation quality degrades with sparser and
+// noisier positioning data (the Section V-C experiments in miniature).
+//
+// Generates the ten-floor synthetic building at several (T, mu) settings
+// and compares the full C2MN against a speed-threshold baseline (SMoT),
+// showing the paper's headline robustness claim: the learned joint model
+// degrades slowly where threshold-based methods fall apart.
+
+#include <cstdio>
+
+#include "baselines/c2mn_method.h"
+#include "baselines/smot.h"
+#include "common/env.h"
+#include "common/logging.h"
+#include "common/table_printer.h"
+#include "eval/harness.h"
+#include "sim/scenarios.h"
+
+using namespace c2mn;
+
+int main() {
+  Logger::Global().set_level(LogLevel::kWarning);
+
+  TablePrinter table({"setting", "method", "RA", "EA", "PA"});
+  const struct {
+    double T, mu;
+  } settings[] = {{5, 3}, {10, 5}, {15, 7}};
+
+  for (const auto& s : settings) {
+    ScenarioOptions options;
+    options.num_objects = EnvInt("C2MN_EXAMPLE_OBJECTS", 25);
+    options.horizon_seconds = 2 * 3600.0;
+    options.seed = 21;
+    Scenario scenario = MakeSyntheticScenario(options, s.T, s.mu);
+    const World& world = *scenario.world;
+    Rng rng(5);
+    const TrainTestSplit split = SplitDataset(scenario.dataset, 0.7, &rng);
+
+    FeatureOptions fopts;
+    fopts.uncertainty_radius_v = 10.0;  // Paper's synthetic setting.
+    fopts.dbscan = TuneForSamplingPeriod(0.5 * (1.0 + s.T));
+    TrainOptions topts;
+    topts.max_iter = EnvInt("C2MN_EXAMPLE_ITERS", 30);
+    topts.sigma2 = 0.2;
+
+    C2mnMethod c2mn(world, FullC2mn(), fopts, topts);
+    SmotMethod smot(world);
+    char setting[32];
+    std::snprintf(setting, sizeof(setting), "T=%.0fs mu=%.0fm", s.T, s.mu);
+    for (AnnotationMethod* method :
+         std::initializer_list<AnnotationMethod*>{&c2mn, &smot}) {
+      const MethodEvaluation eval = EvaluateMethod(method, split);
+      table.AddRow({setting, eval.name,
+                    TablePrinter::Fmt(eval.accuracy.region_accuracy),
+                    TablePrinter::Fmt(eval.accuracy.event_accuracy),
+                    TablePrinter::Fmt(eval.accuracy.perfect_accuracy)});
+    }
+  }
+  table.Print();
+  std::printf("\nExpected shape: C2MN's accuracies decay gently with T and "
+              "mu;\nSMoT's event accuracy collapses as speed estimates "
+              "become unreliable.\n");
+  return 0;
+}

@@ -1,0 +1,54 @@
+#ifndef C2MN_BASELINES_C2MN_METHOD_H_
+#define C2MN_BASELINES_C2MN_METHOD_H_
+
+#include <memory>
+#include <optional>
+
+#include "baselines/method.h"
+#include "core/trainer.h"
+#include "core/variants.h"
+
+namespace c2mn {
+
+/// \brief Adapter exposing the C2MN family (full model, the four
+/// structure ablations, the decoupled CMN, and C2MN@R) through the common
+/// AnnotationMethod interface used by the experiment harnesses.
+class C2mnMethod : public AnnotationMethod {
+ public:
+  C2mnMethod(const World& world, C2mnVariant variant,
+             FeatureOptions feature_options, TrainOptions train_options)
+      : world_(world),
+        variant_(std::move(variant)),
+        fopts_(std::move(feature_options)),
+        topts_(train_options) {
+    topts_.first_configure_region = variant_.first_configure_region;
+  }
+
+  std::string name() const override { return variant_.name; }
+
+  void Train(const std::vector<const LabeledSequence*>& train) override {
+    AlternateTrainer trainer(world_, fopts_, variant_.structure, topts_);
+    result_ = trainer.Train(train);
+    annotator_.emplace(trainer.MakeAnnotator(*result_));
+    train_seconds_ = result_->train_seconds;
+  }
+
+  LabelSequence Annotate(const PSequence& sequence) const override {
+    return annotator_->Annotate(sequence);
+  }
+
+  /// Training diagnostics of the last Train() call.
+  const TrainResult& train_result() const { return *result_; }
+
+ private:
+  const World& world_;
+  C2mnVariant variant_;
+  FeatureOptions fopts_;
+  TrainOptions topts_;
+  std::optional<TrainResult> result_;
+  std::optional<C2mnAnnotator> annotator_;
+};
+
+}  // namespace c2mn
+
+#endif  // C2MN_BASELINES_C2MN_METHOD_H_

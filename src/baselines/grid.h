@@ -1,0 +1,94 @@
+#ifndef C2MN_BASELINES_GRID_H_
+#define C2MN_BASELINES_GRID_H_
+
+#include <algorithm>
+#include <cmath>
+
+#include "indoor/floorplan.h"
+
+namespace c2mn {
+
+/// \brief Uniform discretization of the venue into per-floor grid cells.
+///
+/// HMM+DC distributes positioning records to grid cells and uses the cell
+/// ids as HMM observations; SAP uses the cell of a segment centroid.
+class ObservationGrid {
+ public:
+  ObservationGrid(const Floorplan& plan, double cell_size)
+      : cell_size_(cell_size), num_floors_(plan.num_floors()) {
+    for (const Partition& part : plan.partitions()) {
+      bounds_.Extend(part.shape.bbox());
+    }
+    cols_ = std::max(
+        1, static_cast<int>(
+               std::ceil((bounds_.max.x - bounds_.min.x) / cell_size_)));
+    rows_ = std::max(
+        1, static_cast<int>(
+               std::ceil((bounds_.max.y - bounds_.min.y) / cell_size_)));
+  }
+
+  int num_cells() const { return num_floors_ * rows_ * cols_; }
+
+  /// Cell id of a location; out-of-bounds coordinates and floors clamp to
+  /// the nearest valid cell.
+  int CellOf(const IndoorPoint& p) const {
+    const int col = std::clamp(
+        static_cast<int>((p.xy.x - bounds_.min.x) / cell_size_), 0,
+        cols_ - 1);
+    const int row = std::clamp(
+        static_cast<int>((p.xy.y - bounds_.min.y) / cell_size_), 0,
+        rows_ - 1);
+    const int floor = std::clamp(p.floor, 0, num_floors_ - 1);
+    return (floor * rows_ + row) * cols_ + col;
+  }
+
+  /// The spatial extent of a cell (all cells share the floor layout).
+  BoundingBox CellBox(int cell) const {
+    const int in_floor = cell % (rows_ * cols_);
+    const int row = in_floor / cols_;
+    const int col = in_floor % cols_;
+    BoundingBox box;
+    box.Extend({bounds_.min.x + col * cell_size_,
+                bounds_.min.y + row * cell_size_});
+    box.Extend({bounds_.min.x + (col + 1) * cell_size_,
+                bounds_.min.y + (row + 1) * cell_size_});
+    return box;
+  }
+
+  /// Floor of a cell id.
+  int CellFloor(int cell) const { return cell / (rows_ * cols_); }
+
+  /// Cell ids on `floor` whose boxes intersect `query`.
+  std::vector<int> CellsInBox(int floor, const BoundingBox& query) const {
+    std::vector<int> out;
+    const int col_lo = std::clamp(
+        static_cast<int>((query.min.x - bounds_.min.x) / cell_size_), 0,
+        cols_ - 1);
+    const int col_hi = std::clamp(
+        static_cast<int>((query.max.x - bounds_.min.x) / cell_size_), 0,
+        cols_ - 1);
+    const int row_lo = std::clamp(
+        static_cast<int>((query.min.y - bounds_.min.y) / cell_size_), 0,
+        rows_ - 1);
+    const int row_hi = std::clamp(
+        static_cast<int>((query.max.y - bounds_.min.y) / cell_size_), 0,
+        rows_ - 1);
+    for (int row = row_lo; row <= row_hi; ++row) {
+      for (int col = col_lo; col <= col_hi; ++col) {
+        out.push_back((floor * rows_ + row) * cols_ + col);
+      }
+    }
+    return out;
+  }
+
+ private:
+  double cell_size_;
+  int num_floors_;
+  BoundingBox bounds_;
+  int rows_ = 1;
+  int cols_ = 1;
+};
+
+}  // namespace c2mn
+
+#endif  // C2MN_BASELINES_GRID_H_

@@ -1,0 +1,90 @@
+#include "baselines/hmm_dc.h"
+
+#include "common/stopwatch.h"
+#include "geometry/circle_overlap.h"
+
+namespace c2mn {
+
+HmmDcMethod::HmmDcMethod(const World& world, Params params)
+    : world_(world),
+      params_(params),
+      grid_(world.plan(), params.grid_cell_meters) {}
+
+void HmmDcMethod::Train(const std::vector<const LabeledSequence*>& train) {
+  Stopwatch watch;
+  const int num_regions = static_cast<int>(world_.plan().regions().size());
+  hmm_ = std::make_unique<Hmm>(num_regions, grid_.num_cells(),
+                               params_.laplace_smoothing);
+  // Geometric emission prior: distribute pseudo-counts of each region over
+  // the grid cells its footprint (dilated by the typical positioning
+  // error) covers.  At the paper's data volume raw frequency counts
+  // suffice; at bench scale this keeps unseen (region, cell) pairs from
+  // collapsing to the uniform Laplace floor.
+  for (const SemanticRegion& region : world_.plan().regions()) {
+    for (PartitionId pid : region.partitions) {
+      const Partition& part = world_.plan().partition(pid);
+      BoundingBox dilated = part.shape.bbox();
+      dilated.Extend(
+          {dilated.min.x - params_.emission_prior_dilation_meters,
+           dilated.min.y - params_.emission_prior_dilation_meters});
+      dilated.Extend(
+          {dilated.max.x + params_.emission_prior_dilation_meters,
+           dilated.max.y + params_.emission_prior_dilation_meters});
+      for (int cell : grid_.CellsInBox(part.floor, dilated)) {
+        const BoundingBox cell_box = grid_.CellBox(cell);
+        // Overlap of the dilated partition with the cell, as a fraction
+        // of the cell area.
+        const double ix =
+            std::min(dilated.max.x, cell_box.max.x) -
+            std::max(dilated.min.x, cell_box.min.x);
+        const double iy =
+            std::min(dilated.max.y, cell_box.max.y) -
+            std::max(dilated.min.y, cell_box.min.y);
+        if (ix <= 0 || iy <= 0) continue;
+        const double fraction = (ix * iy) / cell_box.Area();
+        hmm_->AddEmissionPseudoCount(
+            region.id, cell, params_.emission_prior_weight * fraction);
+      }
+    }
+  }
+  for (const LabeledSequence* ls : train) {
+    std::vector<int> states;
+    std::vector<int> observations;
+    states.reserve(ls->size());
+    observations.reserve(ls->size());
+    for (size_t i = 0; i < ls->size(); ++i) {
+      const RegionId r = ls->labels.regions[i];
+      if (r == kInvalidId) continue;
+      states.push_back(r);
+      observations.push_back(grid_.CellOf(ls->sequence[i].location));
+    }
+    hmm_->AddSequence(states, observations);
+  }
+  hmm_->Fit();
+  train_seconds_ = watch.ElapsedSeconds();
+}
+
+LabelSequence HmmDcMethod::Annotate(const PSequence& sequence) const {
+  const int n = static_cast<int>(sequence.size());
+  LabelSequence labels(n);
+  if (n == 0) return labels;
+
+  // Regions: Viterbi over the grid observations.
+  std::vector<int> observations(n);
+  for (int i = 0; i < n; ++i) {
+    observations[i] = grid_.CellOf(sequence[i].location);
+  }
+  const std::vector<int> states = hmm_->Decode(observations);
+  for (int i = 0; i < n; ++i) labels.regions[i] = states[i];
+
+  // Events: density clustering, independently of the regions.
+  const StDbscanResult clustering = StDbscan(sequence, params_.dbscan);
+  for (int i = 0; i < n; ++i) {
+    labels.events[i] = clustering.classes[i] == DensityClass::kNoise
+                           ? MobilityEvent::kPass
+                           : MobilityEvent::kStay;
+  }
+  return labels;
+}
+
+}  // namespace c2mn

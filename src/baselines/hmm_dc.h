@@ -1,0 +1,52 @@
+#ifndef C2MN_BASELINES_HMM_DC_H_
+#define C2MN_BASELINES_HMM_DC_H_
+
+#include <memory>
+
+#include "baselines/grid.h"
+#include "baselines/method.h"
+#include "clustering/st_dbscan.h"
+#include "crf/hmm.h"
+#include "sim/world.h"
+
+namespace c2mn {
+
+/// \brief The HMM+DC baseline (Section V-A, previously used in the
+/// authors' TRIPS system [12]).
+///
+/// Regions: an HMM whose hidden states are the semantic regions and whose
+/// observations are grid cells of the positioning records; parameters are
+/// frequency-counted from training data and decoding is Viterbi.
+/// Events: st-DBSCAN Clustering (DC) — core and border points are stay,
+/// noise points are pass.  The two labelings are computed independently.
+class HmmDcMethod : public AnnotationMethod {
+ public:
+  struct Params {
+    double grid_cell_meters = 6.0;
+    StDbscanParams dbscan;
+    double laplace_smoothing = 0.2;
+    /// Weight of the geometric emission prior (pseudo-counts per fully
+    /// covered cell) and how far a region's footprint is dilated to
+    /// account for positioning error.
+    double emission_prior_weight = 20.0;
+    double emission_prior_dilation_meters = 4.0;
+  };
+
+  explicit HmmDcMethod(const World& world)
+      : HmmDcMethod(world, Params()) {}
+  HmmDcMethod(const World& world, Params params);
+
+  std::string name() const override { return "HMM+DC"; }
+  void Train(const std::vector<const LabeledSequence*>& train) override;
+  LabelSequence Annotate(const PSequence& sequence) const override;
+
+ private:
+  const World& world_;
+  Params params_;
+  ObservationGrid grid_;
+  std::unique_ptr<Hmm> hmm_;
+};
+
+}  // namespace c2mn
+
+#endif  // C2MN_BASELINES_HMM_DC_H_

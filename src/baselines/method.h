@@ -1,0 +1,47 @@
+#ifndef C2MN_BASELINES_METHOD_H_
+#define C2MN_BASELINES_METHOD_H_
+
+#include <string>
+#include <vector>
+
+#include "data/labels.h"
+#include "data/msemantics.h"
+
+namespace c2mn {
+
+/// \brief Common interface of every annotation method in the experimental
+/// comparison (Section V-A): supervised training on labeled sequences,
+/// then per-sequence record labeling.
+///
+/// AnnotateSemantics() applies the shared label-and-merge step, so the
+/// query-quality experiments (Figs. 12-19) treat all methods uniformly.
+class AnnotationMethod {
+ public:
+  virtual ~AnnotationMethod() = default;
+
+  /// Display name, e.g. "SMoT", "C2MN/Tran".
+  virtual std::string name() const = 0;
+
+  /// Fits the method on labeled sequences.  Methods without learned
+  /// parameters (SMoT) use this to tune their thresholds, so every method
+  /// sees the same labeled data, as in the paper.
+  virtual void Train(const std::vector<const LabeledSequence*>& train) = 0;
+
+  /// Labels every record of `sequence` with a region and an event.
+  virtual LabelSequence Annotate(const PSequence& sequence) const = 0;
+
+  /// Wall-clock seconds spent in the last Train() call.
+  virtual double train_seconds() const { return train_seconds_; }
+
+  /// Label-and-merge annotation into m-semantics.
+  MSemanticsSequence AnnotateSemantics(const PSequence& sequence) const {
+    return MergeLabels(sequence, Annotate(sequence));
+  }
+
+ protected:
+  double train_seconds_ = 0.0;
+};
+
+}  // namespace c2mn
+
+#endif  // C2MN_BASELINES_METHOD_H_

@@ -1,0 +1,262 @@
+#include "baselines/sap.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/stopwatch.h"
+#include "crf/chain_model.h"
+#include "geometry/circle_overlap.h"
+
+namespace c2mn {
+
+namespace {
+
+/// Mean location, per-axis standard deviation, and majority floor of the
+/// records [s, e]: the Gaussian density summary of a stay segment.
+struct SegmentDensity {
+  IndoorPoint mean;
+  double stddev = 0.0;
+};
+
+SegmentDensity SegmentGaussian(const PSequence& seq, int s, int e) {
+  std::vector<int> floor_votes;
+  for (int x = s; x <= e; ++x) {
+    const int f = seq[x].location.floor;
+    if (f >= static_cast<int>(floor_votes.size())) floor_votes.resize(f + 1, 0);
+    if (f >= 0) ++floor_votes[f];
+  }
+  const int rep_floor =
+      floor_votes.empty()
+          ? 0
+          : static_cast<int>(std::max_element(floor_votes.begin(),
+                                              floor_votes.end()) -
+                             floor_votes.begin());
+  Vec2 mean{0, 0};
+  int cnt = 0;
+  for (int x = s; x <= e; ++x) {
+    if (seq[x].location.floor == rep_floor) {
+      mean = mean + seq[x].location.xy;
+      ++cnt;
+    }
+  }
+  if (cnt > 0) mean = mean / static_cast<double>(cnt);
+  double var = 0.0;
+  for (int x = s; x <= e; ++x) {
+    if (seq[x].location.floor == rep_floor) {
+      var += (seq[x].location.xy - mean).SquaredNorm();
+    }
+  }
+  SegmentDensity density;
+  density.mean = IndoorPoint(mean, rep_floor);
+  density.stddev = cnt > 1 ? std::sqrt(var / (2.0 * cnt)) : 0.0;
+  return density;
+}
+
+/// Majority ground-truth region over [s, e]; kInvalidId if none labeled.
+RegionId MajorityRegion(const LabeledSequence& ls, int s, int e) {
+  std::vector<std::pair<RegionId, int>> counts;
+  for (int x = s; x <= e; ++x) {
+    const RegionId r = ls.labels.regions[x];
+    if (r == kInvalidId) continue;
+    bool found = false;
+    for (auto& [region, count] : counts) {
+      if (region == r) {
+        ++count;
+        found = true;
+        break;
+      }
+    }
+    if (!found) counts.emplace_back(r, 1);
+  }
+  RegionId best = kInvalidId;
+  int best_count = 0;
+  for (const auto& [region, count] : counts) {
+    if (count > best_count) {
+      best = region;
+      best_count = count;
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+SapMethod::SapMethod(const World& world, SapSegmentation segmentation)
+    : SapMethod(world, [&] {
+        Params p;
+        p.segmentation = segmentation;
+        return p;
+      }()) {}
+
+SapMethod::SapMethod(const World& world, Params params)
+    : world_(world), params_(params) {}
+
+std::vector<MobilityEvent> SapMethod::Segment(
+    const PSequence& sequence) const {
+  const int n = static_cast<int>(sequence.size());
+  std::vector<MobilityEvent> events(n, MobilityEvent::kPass);
+  if (n == 0) return events;
+  if (params_.segmentation == SapSegmentation::kDensityArea) {
+    const StDbscanResult clustering = StDbscan(sequence, params_.dbscan);
+    for (int i = 0; i < n; ++i) {
+      events[i] = clustering.classes[i] == DensityClass::kNoise
+                      ? MobilityEvent::kPass
+                      : MobilityEvent::kStay;
+    }
+    return events;
+  }
+  // Dynamic velocity: stay iff the smoothed speed falls below a fraction
+  // of the sequence's own mean speed.
+  std::vector<double> edge(n > 1 ? n - 1 : 0);
+  double mean_speed = 0.0;
+  for (int i = 0; i + 1 < n; ++i) {
+    const double dt =
+        std::max(1e-6, sequence[i + 1].timestamp - sequence[i].timestamp);
+    edge[i] =
+        HorizontalDistance(sequence[i].location, sequence[i + 1].location) /
+        dt;
+    mean_speed += edge[i];
+  }
+  if (!edge.empty()) mean_speed /= static_cast<double>(edge.size());
+  const double threshold = params_.dv_factor * mean_speed;
+  const int w = params_.dv_smoothing_window;
+  for (int i = 0; i < n; ++i) {
+    double sum = 0.0;
+    int cnt = 0;
+    for (int j = i - w; j < i + w; ++j) {
+      if (j >= 0 && j < static_cast<int>(edge.size())) {
+        sum += edge[j];
+        ++cnt;
+      }
+    }
+    const double speed = cnt > 0 ? sum / cnt : 0.0;
+    events[i] =
+        speed <= threshold ? MobilityEvent::kStay : MobilityEvent::kPass;
+  }
+  return events;
+}
+
+void SapMethod::Train(const std::vector<const LabeledSequence*>& train) {
+  Stopwatch watch;
+  const int num_regions = static_cast<int>(world_.plan().regions().size());
+  std::vector<std::vector<double>> counts(
+      num_regions, std::vector<double>(num_regions,
+                                       params_.laplace_smoothing));
+  // Transition counts between consecutive ground-truth stay segments.
+  for (const LabeledSequence* ls : train) {
+    const int n = static_cast<int>(ls->size());
+    RegionId previous = kInvalidId;
+    int s = 0;
+    while (s < n) {
+      int e = s;
+      while (e + 1 < n && ls->labels.events[e + 1] == ls->labels.events[s]) {
+        ++e;
+      }
+      if (ls->labels.events[s] == MobilityEvent::kStay) {
+        const RegionId region = MajorityRegion(*ls, s, e);
+        if (region != kInvalidId) {
+          if (previous != kInvalidId) counts[previous][region] += 1.0;
+          previous = region;
+        }
+      }
+      s = e + 1;
+    }
+  }
+  log_transition_.assign(num_regions, std::vector<double>(num_regions, 0.0));
+  for (int a = 0; a < num_regions; ++a) {
+    double total = 0.0;
+    for (double c : counts[a]) total += c;
+    for (int b = 0; b < num_regions; ++b) {
+      log_transition_[a][b] = std::log(counts[a][b] / total);
+    }
+  }
+  train_seconds_ = watch.ElapsedSeconds();
+}
+
+LabelSequence SapMethod::Annotate(const PSequence& sequence) const {
+  const int n = static_cast<int>(sequence.size());
+  LabelSequence labels(n);
+  if (n == 0) return labels;
+  labels.events = Segment(sequence);
+
+  // Collect stay segments.
+  struct StaySegment {
+    int s, e;
+    std::vector<RegionId> candidates;
+    std::vector<double> log_emission;
+  };
+  std::vector<StaySegment> stays;
+  int s = 0;
+  while (s < n) {
+    int e = s;
+    while (e + 1 < n && labels.events[e + 1] == labels.events[s]) ++e;
+    if (labels.events[s] == MobilityEvent::kStay) stays.push_back({s, e, {}, {}});
+    s = e + 1;
+  }
+
+  // Emission: intersection ratio of the segment's Gaussian density disk
+  // with each nearby region's footprint.
+  for (StaySegment& seg : stays) {
+    const SegmentDensity density = SegmentGaussian(sequence, seg.s, seg.e);
+    const double radius =
+        std::max(params_.min_density_radius, 2.0 * density.stddev);
+    for (const auto& [region, dist] : world_.index().NearestRegions(
+             density.mean, params_.candidate_k,
+             params_.candidate_max_distance)) {
+      double overlap = 0.0;
+      for (PartitionId pid : world_.plan().region(region).partitions) {
+        const Partition& part = world_.plan().partition(pid);
+        if (part.floor != density.mean.floor) continue;
+        overlap +=
+            CirclePolygonIntersectionArea(density.mean.xy, radius, part.shape);
+      }
+      const double disk = M_PI * radius * radius;
+      seg.candidates.push_back(region);
+      seg.log_emission.push_back(std::log(overlap / disk + 1e-6));
+    }
+    if (seg.candidates.empty()) {
+      const RegionId nearest = world_.index().NearestRegion(density.mean);
+      seg.candidates.push_back(nearest != kInvalidId ? nearest : 0);
+      seg.log_emission.push_back(0.0);
+    }
+  }
+
+  // Viterbi over the stay-segment chain.
+  if (!stays.empty()) {
+    ChainPotentials pots;
+    pots.node.resize(stays.size());
+    pots.edge.resize(stays.size() - 1);
+    for (size_t k = 0; k < stays.size(); ++k) {
+      pots.node[k] = stays[k].log_emission;
+      if (k + 1 < stays.size()) {
+        pots.edge[k].assign(
+            stays[k].candidates.size(),
+            std::vector<double>(stays[k + 1].candidates.size(), 0.0));
+        for (size_t a = 0; a < stays[k].candidates.size(); ++a) {
+          for (size_t b = 0; b < stays[k + 1].candidates.size(); ++b) {
+            pots.edge[k][a][b] =
+                log_transition_[stays[k].candidates[a]]
+                               [stays[k + 1].candidates[b]];
+          }
+        }
+      }
+    }
+    const std::vector<int> decoded = ChainModel(std::move(pots)).Viterbi();
+    for (size_t k = 0; k < stays.size(); ++k) {
+      for (int x = stays[k].s; x <= stays[k].e; ++x) {
+        labels.regions[x] = stays[k].candidates[decoded[k]];
+      }
+    }
+  }
+  // Pass records: individual nearest region.
+  for (int i = 0; i < n; ++i) {
+    if (labels.events[i] == MobilityEvent::kPass) {
+      const RegionId region =
+          world_.index().NearestRegion(sequence[i].location);
+      labels.regions[i] = region != kInvalidId ? region : 0;
+    }
+  }
+  return labels;
+}
+
+}  // namespace c2mn

@@ -1,0 +1,68 @@
+#ifndef C2MN_BASELINES_SAP_H_
+#define C2MN_BASELINES_SAP_H_
+
+#include <memory>
+#include <vector>
+
+#include "baselines/method.h"
+#include "clustering/st_dbscan.h"
+#include "sim/world.h"
+
+namespace c2mn {
+
+/// Stop/move segmentation algorithm of the SAP baseline (Yan et al. [26]).
+enum class SapSegmentation {
+  kDynamicVelocity,  ///< SAPDV: dynamic speed threshold.
+  kDensityArea,      ///< SAPDA: density-area (st-DBSCAN) segmentation.
+};
+
+/// \brief The layered Semantic Annotation Platform baseline (Section V-A).
+///
+/// First divides the sequence into stay (stop) and pass (move) segments —
+/// dynamic-velocity-based or density-area-based.  Each stay segment is
+/// then labeled with a region by an HMM over stay segments: the
+/// observation probability between a segment and a region is the
+/// intersection ratio of the segment's Gaussian location density (a disk
+/// of two standard deviations around the segment mean) with the region's
+/// footprint, and transition probabilities are frequency-counted from the
+/// ground-truth stay segments.  Records in pass segments take their
+/// individual nearest region.
+class SapMethod : public AnnotationMethod {
+ public:
+  struct Params {
+    SapSegmentation segmentation = SapSegmentation::kDynamicVelocity;
+    StDbscanParams dbscan;            ///< Used by kDensityArea.
+    int dv_smoothing_window = 3;      ///< Speed smoothing radius (records).
+    double dv_factor = 0.8;           ///< Stay iff speed < factor · mean.
+    double laplace_smoothing = 0.5;
+    /// Candidate regions per stay segment in Viterbi decoding.
+    int candidate_k = 8;
+    double candidate_max_distance = 40.0;
+    /// Lower bound on the Gaussian-density disk radius (meters).
+    double min_density_radius = 5.0;
+  };
+
+  SapMethod(const World& world, SapSegmentation segmentation);
+  SapMethod(const World& world, Params params);
+
+  std::string name() const override {
+    return params_.segmentation == SapSegmentation::kDynamicVelocity
+               ? "SAPDV"
+               : "SAPDA";
+  }
+  void Train(const std::vector<const LabeledSequence*>& train) override;
+  LabelSequence Annotate(const PSequence& sequence) const override;
+
+ private:
+  /// Per-record stay/pass segmentation, before region labeling.
+  std::vector<MobilityEvent> Segment(const PSequence& sequence) const;
+
+  const World& world_;
+  Params params_;
+  /// log P(r_next | r_prev) between consecutive stay segments.
+  std::vector<std::vector<double>> log_transition_;
+};
+
+}  // namespace c2mn
+
+#endif  // C2MN_BASELINES_SAP_H_

@@ -1,0 +1,118 @@
+#include "baselines/smot.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/stopwatch.h"
+
+namespace c2mn {
+
+namespace {
+
+/// Smoothed per-record speed: the mean edge speed over a window around i.
+std::vector<double> SmoothedSpeeds(const PSequence& seq, int window) {
+  const int n = static_cast<int>(seq.size());
+  std::vector<double> edge(n > 1 ? n - 1 : 0);
+  for (int i = 0; i + 1 < n; ++i) {
+    const double dt =
+        std::max(1e-6, seq[i + 1].timestamp - seq[i].timestamp);
+    edge[i] = HorizontalDistance(seq[i].location, seq[i + 1].location) / dt;
+  }
+  std::vector<double> out(n, 0.0);
+  for (int i = 0; i < n; ++i) {
+    double sum = 0.0;
+    int cnt = 0;
+    for (int j = std::max(0, i - window); j <= i + window - 1; ++j) {
+      if (j >= 0 && j < static_cast<int>(edge.size())) {
+        sum += edge[j];
+        ++cnt;
+      }
+    }
+    out[i] = cnt > 0 ? sum / cnt : 0.0;
+  }
+  return out;
+}
+
+std::vector<MobilityEvent> ThresholdEvents(const std::vector<double>& speeds,
+                                           double threshold) {
+  std::vector<MobilityEvent> events(speeds.size());
+  for (size_t i = 0; i < speeds.size(); ++i) {
+    events[i] = speeds[i] <= threshold ? MobilityEvent::kStay
+                                       : MobilityEvent::kPass;
+  }
+  return events;
+}
+
+}  // namespace
+
+void SmotMethod::Train(const std::vector<const LabeledSequence*>& train) {
+  Stopwatch watch;
+  // Grid-search the speed threshold for the best event accuracy.
+  double best_threshold = params_.speed_threshold_mps;
+  double best_correct = -1.0;
+  for (double threshold = 0.1; threshold <= 1.6; threshold += 0.1) {
+    double correct = 0.0;
+    for (const LabeledSequence* ls : train) {
+      const auto speeds =
+          SmoothedSpeeds(ls->sequence, params_.smoothing_window);
+      const auto events = ThresholdEvents(speeds, threshold);
+      for (size_t i = 0; i < events.size(); ++i) {
+        if (events[i] == ls->labels.events[i]) correct += 1.0;
+      }
+    }
+    if (correct > best_correct) {
+      best_correct = correct;
+      best_threshold = threshold;
+    }
+  }
+  params_.speed_threshold_mps = best_threshold;
+  train_seconds_ = watch.ElapsedSeconds();
+}
+
+LabelSequence SmotMethod::Annotate(const PSequence& sequence) const {
+  const int n = static_cast<int>(sequence.size());
+  LabelSequence labels(n);
+  if (n == 0) return labels;
+  const auto speeds = SmoothedSpeeds(sequence, params_.smoothing_window);
+  labels.events = ThresholdEvents(speeds, params_.speed_threshold_mps);
+
+  // Nearest region of each event run's representative location.
+  int s = 0;
+  while (s < n) {
+    int e = s;
+    while (e + 1 < n && labels.events[e + 1] == labels.events[s]) ++e;
+    // Representative: mean location on the run's majority floor.
+    std::vector<int> floor_votes;
+    for (int x = s; x <= e; ++x) {
+      const int f = sequence[x].location.floor;
+      if (f >= static_cast<int>(floor_votes.size())) {
+        floor_votes.resize(f + 1, 0);
+      }
+      if (f >= 0) ++floor_votes[f];
+    }
+    const int rep_floor =
+        floor_votes.empty()
+            ? 0
+            : static_cast<int>(std::max_element(floor_votes.begin(),
+                                                floor_votes.end()) -
+                               floor_votes.begin());
+    Vec2 mean{0, 0};
+    int cnt = 0;
+    for (int x = s; x <= e; ++x) {
+      if (sequence[x].location.floor == rep_floor) {
+        mean = mean + sequence[x].location.xy;
+        ++cnt;
+      }
+    }
+    if (cnt > 0) mean = mean / static_cast<double>(cnt);
+    const RegionId region =
+        world_.index().NearestRegion(IndoorPoint(mean, rep_floor));
+    for (int x = s; x <= e; ++x) {
+      labels.regions[x] = region != kInvalidId ? region : 0;
+    }
+    s = e + 1;
+  }
+  return labels;
+}
+
+}  // namespace c2mn

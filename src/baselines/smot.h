@@ -1,0 +1,43 @@
+#ifndef C2MN_BASELINES_SMOT_H_
+#define C2MN_BASELINES_SMOT_H_
+
+#include "baselines/method.h"
+#include "sim/world.h"
+
+namespace c2mn {
+
+/// \brief The SMoT baseline (Alvares et al. [2], as instantiated in
+/// Section V-A): "uses a speed threshold to distinguish stay and pass
+/// events on a sequence, and the nearest-neighbor regions as region labels
+/// for the representative locations in an event."
+///
+/// Records whose (window-smoothed) speed is below the threshold are stay,
+/// others pass.  Each maximal run of equal events takes the semantic
+/// region nearest to the run's representative (mean) location.  Train()
+/// grid-searches the speed threshold for the best event accuracy on the
+/// training data, so SMoT benefits from the labeled data too.
+class SmotMethod : public AnnotationMethod {
+ public:
+  struct Params {
+    double speed_threshold_mps = 0.5;
+    int smoothing_window = 3;  ///< Records on each side in speed smoothing.
+  };
+
+  explicit SmotMethod(const World& world) : world_(world) {}
+  SmotMethod(const World& world, Params params)
+      : world_(world), params_(params) {}
+
+  std::string name() const override { return "SMoT"; }
+  void Train(const std::vector<const LabeledSequence*>& train) override;
+  LabelSequence Annotate(const PSequence& sequence) const override;
+
+  const Params& params() const { return params_; }
+
+ private:
+  const World& world_;
+  Params params_;
+};
+
+}  // namespace c2mn
+
+#endif  // C2MN_BASELINES_SMOT_H_

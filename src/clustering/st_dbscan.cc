@@ -1,0 +1,82 @@
+#include "clustering/st_dbscan.h"
+
+#include <cassert>
+#include <deque>
+
+namespace c2mn {
+
+namespace {
+
+/// Neighborhood of record i, exploiting time order: only a contiguous
+/// window around i can be within eps_temporal.
+std::vector<int> Neighborhood(const PSequence& seq, int i,
+                              const StDbscanParams& params) {
+  std::vector<int> out;
+  const int n = static_cast<int>(seq.size());
+  const PositioningRecord& center = seq[i];
+  for (int j = i; j >= 0; --j) {
+    if (center.timestamp - seq[j].timestamp > params.eps_temporal) break;
+    if (seq[j].location.floor == center.location.floor &&
+        HorizontalDistance(seq[j].location, center.location) <=
+            params.eps_spatial) {
+      out.push_back(j);
+    }
+  }
+  for (int j = i + 1; j < n; ++j) {
+    if (seq[j].timestamp - center.timestamp > params.eps_temporal) break;
+    if (seq[j].location.floor == center.location.floor &&
+        HorizontalDistance(seq[j].location, center.location) <=
+            params.eps_spatial) {
+      out.push_back(j);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+StDbscanResult StDbscan(const PSequence& sequence,
+                        const StDbscanParams& params) {
+  assert(params.min_points >= 1);
+  const int n = static_cast<int>(sequence.size());
+  StDbscanResult result;
+  result.cluster_ids.assign(n, -1);
+  result.classes.assign(n, DensityClass::kNoise);
+  if (n == 0) return result;
+
+  // Pass 1: find core points.
+  std::vector<std::vector<int>> neighbors(n);
+  std::vector<bool> is_core(n, false);
+  for (int i = 0; i < n; ++i) {
+    neighbors[i] = Neighborhood(sequence, i, params);
+    is_core[i] = static_cast<int>(neighbors[i].size()) >= params.min_points;
+    if (is_core[i]) result.classes[i] = DensityClass::kCore;
+  }
+
+  // Pass 2: grow clusters by BFS over core points.
+  int next_cluster = 0;
+  for (int i = 0; i < n; ++i) {
+    if (!is_core[i] || result.cluster_ids[i] != -1) continue;
+    const int cid = next_cluster++;
+    std::deque<int> frontier = {i};
+    result.cluster_ids[i] = cid;
+    while (!frontier.empty()) {
+      const int u = frontier.front();
+      frontier.pop_front();
+      for (int v : neighbors[u]) {
+        if (result.cluster_ids[v] == -1) {
+          result.cluster_ids[v] = cid;
+          if (is_core[v]) {
+            frontier.push_back(v);
+          } else {
+            result.classes[v] = DensityClass::kBorder;
+          }
+        }
+      }
+    }
+  }
+  result.num_clusters = next_cluster;
+  return result;
+}
+
+}  // namespace c2mn

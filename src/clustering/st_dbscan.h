@@ -1,0 +1,77 @@
+#ifndef C2MN_CLUSTERING_ST_DBSCAN_H_
+#define C2MN_CLUSTERING_ST_DBSCAN_H_
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "data/records.h"
+
+namespace c2mn {
+
+/// \brief Spatiotemporal density class of a positioning record, the θ.D
+/// attribute consumed by the event matching feature f_em.
+enum class DensityClass : uint8_t {
+  kCore = 0,
+  kBorder = 1,
+  kNoise = 2,
+};
+
+inline const char* DensityClassName(DensityClass d) {
+  switch (d) {
+    case DensityClass::kCore:
+      return "core";
+    case DensityClass::kBorder:
+      return "border";
+    case DensityClass::kNoise:
+      return "noise";
+  }
+  return "?";
+}
+
+/// \brief Parameters of st-DBSCAN (Birant & Kut [3]) as used by the paper:
+/// spatial radius εs, temporal radius εt, and minimum cluster size ptm.
+struct StDbscanParams {
+  double eps_spatial = 8.0;    ///< εs, meters (paper: 8 m on real data).
+  double eps_temporal = 60.0;  ///< εt, seconds (paper: 60 s).
+  int min_points = 4;          ///< ptm (paper: 4).
+};
+
+/// Scales ptm with the sampling rate: a stay of εt seconds contains about
+/// εt / avg_period records, so the cluster-size threshold must grow as
+/// sampling gets denser or walking records start forming clusters too.
+/// At the paper's mall rate (~1/15 Hz) this returns the paper's ptm = 4.
+inline StDbscanParams TuneForSamplingPeriod(double avg_period_seconds) {
+  StDbscanParams params;
+  const double per_window =
+      params.eps_temporal / std::max(1e-6, avg_period_seconds);
+  params.min_points =
+      std::max(4, static_cast<int>(0.8 * per_window + 0.5));
+  return params;
+}
+
+/// \brief Clustering output: a cluster id per record (-1 = noise) and a
+/// density class per record.
+struct StDbscanResult {
+  std::vector<int> cluster_ids;
+  std::vector<DensityClass> classes;
+  int num_clusters = 0;
+};
+
+/// \brief Runs st-DBSCAN over the records of one p-sequence.
+///
+/// Two records are neighbors when their horizontal distance is within
+/// eps_spatial, they are on the same floor, and their timestamps differ by
+/// at most eps_temporal.  A record with at least `min_points` neighbors
+/// (itself included) is a core point; a non-core record in some core's
+/// neighborhood is a border point; anything else is noise.
+///
+/// Stays produce dense spatiotemporal blobs, so core/border points signal
+/// stay and noise signals pass — this is both the f_em feature and the
+/// E-initialization of Algorithm 1 (line 1).
+StDbscanResult StDbscan(const PSequence& sequence,
+                        const StDbscanParams& params);
+
+}  // namespace c2mn
+
+#endif  // C2MN_CLUSTERING_ST_DBSCAN_H_

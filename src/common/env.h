@@ -1,0 +1,27 @@
+#ifndef C2MN_COMMON_ENV_H_
+#define C2MN_COMMON_ENV_H_
+
+#include <cstdlib>
+#include <string>
+
+namespace c2mn {
+
+/// Reads an integer from the environment, falling back to `fallback`.
+/// Used by bench binaries so experiment scale can be raised toward the
+/// paper's scale without recompiling (e.g. C2MN_BENCH_SEQS=2000).
+inline int EnvInt(const char* name, int fallback) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return fallback;
+  return std::atoi(v);
+}
+
+/// Reads a double from the environment, falling back to `fallback`.
+inline double EnvDouble(const char* name, double fallback) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return fallback;
+  return std::atof(v);
+}
+
+}  // namespace c2mn
+
+#endif  // C2MN_COMMON_ENV_H_

@@ -1,0 +1,34 @@
+#include "common/logging.h"
+
+#include <cstdio>
+
+namespace c2mn {
+
+Logger& Logger::Global() {
+  static Logger logger;
+  return logger;
+}
+
+void Logger::Log(LogLevel level, const std::string& message) {
+  if (static_cast<int>(level) < static_cast<int>(level_)) return;
+  const char* tag = "INFO";
+  switch (level) {
+    case LogLevel::kDebug:
+      tag = "DEBUG";
+      break;
+    case LogLevel::kInfo:
+      tag = "INFO";
+      break;
+    case LogLevel::kWarning:
+      tag = "WARN";
+      break;
+    case LogLevel::kError:
+      tag = "ERROR";
+      break;
+    case LogLevel::kOff:
+      return;
+  }
+  std::fprintf(stderr, "[c2mn %s] %s\n", tag, message.c_str());
+}
+
+}  // namespace c2mn

@@ -1,0 +1,64 @@
+#ifndef C2MN_COMMON_LOGGING_H_
+#define C2MN_COMMON_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace c2mn {
+
+/// \brief Severity levels for the library logger.
+enum class LogLevel : int {
+  kDebug = 0,
+  kInfo = 1,
+  kWarning = 2,
+  kError = 3,
+  kOff = 4,
+};
+
+/// \brief Minimal leveled logger writing to stderr.
+///
+/// Experiments print their results to stdout; diagnostics go through this
+/// logger so they can be silenced (benches set the level to kWarning).
+class Logger {
+ public:
+  /// Returns the process-wide logger.
+  static Logger& Global();
+
+  void set_level(LogLevel level) { level_ = level; }
+  LogLevel level() const { return level_; }
+
+  /// Emits one line at `level`, prefixed with the severity tag.
+  void Log(LogLevel level, const std::string& message);
+
+ private:
+  LogLevel level_ = LogLevel::kInfo;
+};
+
+namespace internal {
+
+/// Stream-style log statement collector; emits on destruction.
+class LogMessage {
+ public:
+  explicit LogMessage(LogLevel level) : level_(level) {}
+  ~LogMessage() { Logger::Global().Log(level_, stream_.str()); }
+
+  template <typename T>
+  LogMessage& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace c2mn
+
+#define C2MN_LOG_DEBUG ::c2mn::internal::LogMessage(::c2mn::LogLevel::kDebug)
+#define C2MN_LOG_INFO ::c2mn::internal::LogMessage(::c2mn::LogLevel::kInfo)
+#define C2MN_LOG_WARN ::c2mn::internal::LogMessage(::c2mn::LogLevel::kWarning)
+#define C2MN_LOG_ERROR ::c2mn::internal::LogMessage(::c2mn::LogLevel::kError)
+
+#endif  // C2MN_COMMON_LOGGING_H_

@@ -1,0 +1,84 @@
+#ifndef C2MN_COMMON_MATH_UTILS_H_
+#define C2MN_COMMON_MATH_UTILS_H_
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+#include <vector>
+
+namespace c2mn {
+
+/// Numerically stable log(sum(exp(x_i))).
+inline double LogSumExp(const std::vector<double>& xs) {
+  assert(!xs.empty());
+  const double m = *std::max_element(xs.begin(), xs.end());
+  if (!std::isfinite(m)) return m;
+  double sum = 0.0;
+  for (double x : xs) sum += std::exp(x - m);
+  return m + std::log(sum);
+}
+
+/// In-place softmax over unnormalized log-scores.
+inline void SoftmaxInPlace(std::vector<double>* logits) {
+  const double lse = LogSumExp(*logits);
+  for (double& x : *logits) x = std::exp(x - lse);
+}
+
+/// Clamps x into [lo, hi].
+inline double Clamp(double x, double lo, double hi) {
+  return std::min(hi, std::max(lo, x));
+}
+
+/// Chebyshev (L-infinity) distance between two equal-length vectors;
+/// the convergence criterion of Algorithm 1 (line 18).
+inline double ChebyshevDistance(const std::vector<double>& a,
+                                const std::vector<double>& b) {
+  assert(a.size() == b.size());
+  double d = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) d = std::max(d, std::fabs(a[i] - b[i]));
+  return d;
+}
+
+/// Euclidean norm.
+inline double L2Norm(const std::vector<double>& v) {
+  double s = 0.0;
+  for (double x : v) s += x * x;
+  return std::sqrt(s);
+}
+
+/// Dot product of equal-length vectors.
+inline double Dot(const std::vector<double>& a, const std::vector<double>& b) {
+  assert(a.size() == b.size());
+  double s = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) s += a[i] * b[i];
+  return s;
+}
+
+/// a += scale * b (vectors of equal length).
+inline void Axpy(double scale, const std::vector<double>& b,
+                 std::vector<double>* a) {
+  assert(a->size() == b.size());
+  for (size_t i = 0; i < b.size(); ++i) (*a)[i] += scale * b[i];
+}
+
+/// Arithmetic mean; 0 for an empty range.
+inline double Mean(const std::vector<double>& v) {
+  if (v.empty()) return 0.0;
+  double s = 0.0;
+  for (double x : v) s += x;
+  return s / static_cast<double>(v.size());
+}
+
+/// Population standard deviation; 0 for fewer than two samples.
+inline double StdDev(const std::vector<double>& v) {
+  if (v.size() < 2) return 0.0;
+  const double m = Mean(v);
+  double s = 0.0;
+  for (double x : v) s += (x - m) * (x - m);
+  return std::sqrt(s / static_cast<double>(v.size()));
+}
+
+}  // namespace c2mn
+
+#endif  // C2MN_COMMON_MATH_UTILS_H_

@@ -1,0 +1,116 @@
+#ifndef C2MN_COMMON_STATUS_H_
+#define C2MN_COMMON_STATUS_H_
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace c2mn {
+
+/// \brief Error category for a failed operation.
+///
+/// The set mirrors the failure modes that actually arise in this library:
+/// malformed inputs, missing entities (regions, doors, floors), numeric
+/// trouble during optimization, and violated invariants.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kOutOfRange,
+  kFailedPrecondition,
+  kNumericError,
+  kInternal,
+};
+
+/// \brief Returns a human-readable name for a status code.
+std::string_view StatusCodeToString(StatusCode code);
+
+/// \brief A lightweight success-or-error value, in the style of
+/// arrow::Status / rocksdb::Status.
+///
+/// Functions that can fail for reasons the caller should handle return a
+/// Status (or a Result<T>).  Programming errors (violated internal
+/// invariants) use assertions instead.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status NumericError(std::string msg) {
+    return Status(StatusCode::kNumericError, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// Renders e.g. "InvalidArgument: sequence is empty".
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// \brief Either a value of type T or an error Status.
+template <typename T>
+class Result {
+ public:
+  /// Implicit from value (success).
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  /// Implicit from error status.  Must not be OK.
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    assert(!status_.ok() && "Result constructed from OK status without value");
+  }
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  /// Returns the contained value; must only be called when ok().
+  const T& ValueOrDie() const& {
+    assert(ok());
+    return *value_;
+  }
+  T&& ValueOrDie() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+  const T& operator*() const& { return ValueOrDie(); }
+  const T* operator->() const { return &ValueOrDie(); }
+
+ private:
+  std::optional<T> value_;
+  Status status_;
+};
+
+}  // namespace c2mn
+
+/// Propagates a non-OK Status out of the enclosing function.
+#define C2MN_RETURN_NOT_OK(expr)            \
+  do {                                      \
+    ::c2mn::Status _st = (expr);            \
+    if (!_st.ok()) return _st;              \
+  } while (false)
+
+#endif  // C2MN_COMMON_STATUS_H_

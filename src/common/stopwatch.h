@@ -1,0 +1,32 @@
+#ifndef C2MN_COMMON_STOPWATCH_H_
+#define C2MN_COMMON_STOPWATCH_H_
+
+#include <chrono>
+
+namespace c2mn {
+
+/// \brief Wall-clock stopwatch used by the training-time experiments
+/// (Figures 9-11 of the paper).
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  /// Restarts the measurement.
+  void Reset() { start_ = Clock::now(); }
+
+  /// Elapsed seconds since construction or the last Reset().
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Elapsed milliseconds since construction or the last Reset().
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace c2mn
+
+#endif  // C2MN_COMMON_STOPWATCH_H_

@@ -1,0 +1,35 @@
+#ifndef C2MN_COMMON_TABLE_PRINTER_H_
+#define C2MN_COMMON_TABLE_PRINTER_H_
+
+#include <string>
+#include <vector>
+
+namespace c2mn {
+
+/// \brief Renders aligned ASCII tables for the experiment harnesses, so
+/// bench binaries print rows in the same layout as the paper's tables.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> header);
+
+  /// Appends a data row; must have the same arity as the header.
+  void AddRow(std::vector<std::string> row);
+
+  /// Formats a double with the given precision (paper uses 4 decimals for
+  /// accuracies, 1-2 for times).
+  static std::string Fmt(double value, int precision = 4);
+
+  /// Renders the table with a separator line under the header.
+  std::string ToString() const;
+
+  /// Prints to stdout.
+  void Print() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace c2mn
+
+#endif  // C2MN_COMMON_TABLE_PRINTER_H_

@@ -1,0 +1,210 @@
+#include "core/annotator.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "crf/chain_model.h"
+
+namespace c2mn {
+
+void C2mnAnnotator::DecodeRegions(const JointScorer& scorer,
+                                  const std::vector<MobilityEvent>& events,
+                                  std::vector<int>* regions) const {
+  const SequenceGraph& g = scorer.graph();
+  const int n = g.size();
+  // Exact pairwise pass: matching + transition + synchronization cliques.
+  ChainPotentials pots;
+  pots.node.resize(n);
+  pots.edge.resize(n - 1);
+  for (int i = 0; i < n; ++i) {
+    const size_t da = g.Candidates(i).size();
+    pots.node[i].resize(da);
+    for (size_t a = 0; a < da; ++a) {
+      pots.node[i][a] =
+          weights_[kWSpatialMatch] * g.SpatialMatch(i, static_cast<int>(a));
+    }
+    if (i + 1 < n) {
+      const size_t db = g.Candidates(i + 1).size();
+      pots.edge[i].assign(da, std::vector<double>(db, 0.0));
+      for (size_t a = 0; a < da; ++a) {
+        for (size_t b = 0; b < db; ++b) {
+          double s = 0.0;
+          if (structure_.use_transition) {
+            s += weights_[kWSpaceTransition] *
+                 features::SpaceTransition(g, i, static_cast<int>(a),
+                                           static_cast<int>(b));
+          }
+          if (structure_.use_sync) {
+            s += weights_[kWSpatialConsistency] *
+                 features::SpatialConsistency(g, i, static_cast<int>(a),
+                                              static_cast<int>(b));
+          }
+          pots.edge[i][a][b] = s;
+        }
+      }
+    }
+  }
+  auto decode = [&](const ChainPotentials& p) {
+    const ChainModel chain(p);
+    if (iopts_.use_max_marginals) {
+      const auto marginals = chain.Marginals();
+      std::vector<int> out(n);
+      for (int i = 0; i < n; ++i) {
+        out[i] = static_cast<int>(
+            std::max_element(marginals[i].begin(), marginals[i].end()) -
+            marginals[i].begin());
+      }
+      return out;
+    }
+    return chain.Viterbi();
+  };
+  *regions = decode(pots);
+
+  // Segmentation cliques (f_es DISTNUM, f_ss run restructuring) are
+  // incorporated by folding their per-candidate contribution into the
+  // node potentials around the current labeling and re-running the exact
+  // chain decode — this keeps the chain's global consistency, which a
+  // greedy per-node ICM would destroy.
+  if (!structure_.use_event_seg && !structure_.use_space_seg) return;
+  const bool seg_on = weights_[kWEventSeg0] != 0.0 ||
+                      weights_[kWEventSeg1] != 0.0 ||
+                      weights_[kWEventSeg2] != 0.0 ||
+                      weights_[kWSpaceSeg0] != 0.0 ||
+                      weights_[kWSpaceSeg1] != 0.0 ||
+                      weights_[kWSpaceSeg2] != 0.0;
+  if (!seg_on) return;
+  for (int sweep = 0; sweep < iopts_.icm_sweeps; ++sweep) {
+    ChainPotentials augmented = pots;
+    for (int i = 0; i < n; ++i) {
+      const size_t da = g.Candidates(i).size();
+      for (size_t a = 0; a < da; ++a) {
+        const FeatureVec f = scorer.RegionNodeFeatures(
+            i, static_cast<int>(a), *regions, events);
+        double bonus = 0.0;
+        for (int k : {kWEventSeg0, kWEventSeg1, kWEventSeg2, kWSpaceSeg0,
+                      kWSpaceSeg1, kWSpaceSeg2}) {
+          bonus += weights_[k] * f[k];
+        }
+        augmented.node[i][a] += bonus;
+      }
+    }
+    std::vector<int> next = decode(augmented);
+    if (next == *regions) break;
+    *regions = std::move(next);
+  }
+}
+
+void C2mnAnnotator::DecodeEvents(const JointScorer& scorer,
+                                 const std::vector<int>& regions,
+                                 std::vector<MobilityEvent>* events) const {
+  const SequenceGraph& g = scorer.graph();
+  const int n = g.size();
+  const MobilityEvent kDomain[2] = {MobilityEvent::kStay,
+                                    MobilityEvent::kPass};
+  ChainPotentials pots;
+  pots.node.resize(n);
+  pots.edge.resize(n - 1);
+  for (int i = 0; i < n; ++i) {
+    pots.node[i].resize(2);
+    for (int v = 0; v < 2; ++v) {
+      pots.node[i][v] =
+          weights_[kWEventMatch] * features::EventMatching(g, i, kDomain[v]);
+    }
+    if (i + 1 < n) {
+      pots.edge[i].assign(2, std::vector<double>(2, 0.0));
+      for (int a = 0; a < 2; ++a) {
+        for (int b = 0; b < 2; ++b) {
+          double s = 0.0;
+          if (structure_.use_transition) {
+            s += weights_[kWEventTransition] *
+                 features::EventTransition(kDomain[a], kDomain[b]);
+          }
+          if (structure_.use_sync) {
+            s += weights_[kWEventConsistency] *
+                 features::EventConsistency(g, i, kDomain[a], kDomain[b]);
+          }
+          pots.edge[i][a][b] = s;
+        }
+      }
+    }
+  }
+  auto decode = [&](const ChainPotentials& p) {
+    const ChainModel chain(p);
+    std::vector<int> out;
+    if (iopts_.use_max_marginals) {
+      const auto marginals = chain.Marginals();
+      out.resize(n);
+      for (int i = 0; i < n; ++i) {
+        out[i] = marginals[i][0] >= marginals[i][1] ? 0 : 1;
+      }
+    } else {
+      out = chain.Viterbi();
+    }
+    return out;
+  };
+  std::vector<int> decoded = decode(pots);
+  events->resize(n);
+  for (int i = 0; i < n; ++i) (*events)[i] = kDomain[decoded[i]];
+
+  if (!structure_.use_event_seg && !structure_.use_space_seg) return;
+  for (int sweep = 0; sweep < iopts_.icm_sweeps; ++sweep) {
+    ChainPotentials augmented = pots;
+    for (int i = 0; i < n; ++i) {
+      for (int v = 0; v < 2; ++v) {
+        const FeatureVec f =
+            scorer.EventNodeFeatures(i, kDomain[v], regions, *events);
+        double bonus = 0.0;
+        for (int k : {kWEventSeg0, kWEventSeg1, kWEventSeg2, kWSpaceSeg0,
+                      kWSpaceSeg1, kWSpaceSeg2}) {
+          bonus += weights_[k] * f[k];
+        }
+        augmented.node[i][v] += bonus;
+      }
+    }
+    const std::vector<int> next = decode(augmented);
+    bool changed = false;
+    for (int i = 0; i < n; ++i) {
+      if ((*events)[i] != kDomain[next[i]]) {
+        (*events)[i] = kDomain[next[i]];
+        changed = true;
+      }
+    }
+    if (!changed) break;
+  }
+}
+
+void C2mnAnnotator::Decode(const SequenceGraph& graph,
+                           std::vector<int>* regions,
+                           std::vector<MobilityEvent>* events) const {
+  assert(static_cast<int>(weights_.size()) == kNumWeights);
+  const JointScorer scorer(graph, structure_);
+  *events = graph.InitialEvents();
+  const int rounds =
+      structure_.IsCoupled() ? iopts_.alternation_rounds : 1;
+  for (int round = 0; round < rounds; ++round) {
+    DecodeRegions(scorer, *events, regions);
+    DecodeEvents(scorer, *regions, events);
+  }
+}
+
+LabelSequence C2mnAnnotator::Annotate(const PSequence& sequence) const {
+  LabelSequence labels;
+  if (sequence.empty()) return labels;
+  SequenceGraph graph(world_, sequence, fopts_, nullptr);
+  std::vector<int> regions;
+  std::vector<MobilityEvent> events;
+  Decode(graph, &regions, &events);
+  labels.regions.resize(graph.size());
+  labels.events = events;
+  for (int i = 0; i < graph.size(); ++i) {
+    labels.regions[i] = graph.Candidates(i)[regions[i]];
+  }
+  return labels;
+}
+
+MSemanticsSequence C2mnAnnotator::AnnotateSemantics(
+    const PSequence& sequence) const {
+  return MergeLabels(sequence, Annotate(sequence));
+}
+
+}  // namespace c2mn

@@ -1,0 +1,81 @@
+#ifndef C2MN_CORE_ANNOTATOR_H_
+#define C2MN_CORE_ANNOTATOR_H_
+
+#include <vector>
+
+#include "core/scorer.h"
+#include "data/msemantics.h"
+
+namespace c2mn {
+
+/// \brief Decoding hyper-parameters.
+struct InferenceOptions {
+  /// Alternating (R given E, E given R) decoding rounds.
+  int alternation_rounds = 3;
+  /// ICM refinement sweeps per decode (layers the segmentation cliques on
+  /// top of the exact pairwise chain pass).
+  int icm_sweeps = 2;
+  /// Decode the pairwise chain by posterior node marginals (forward-
+  /// backward) instead of Viterbi.  Max-marginal decoding maximizes the
+  /// expected number of correct records, which is what RA / EA measure.
+  bool use_max_marginals = true;
+};
+
+/// \brief Joint MAP labeling of p-sequences with a trained C2MN.
+///
+/// Decoding mirrors the model structure: events are initialized by
+/// st-DBSCAN exactly like Algorithm 1's first configuration; then the
+/// region chain is decoded given events (Viterbi over the matching,
+/// transition, and synchronization cliques, followed by ICM sweeps that
+/// add the segmentation cliques), the event chain likewise given regions,
+/// and the alternation repeats.  With segmentation cliques disabled
+/// (CMN), the two decodes are independent, reproducing the baseline's
+/// asynchronous two-way labeling.
+class C2mnAnnotator {
+ public:
+  C2mnAnnotator(const World& world, FeatureOptions feature_options,
+                C2mnStructure structure, std::vector<double> weights,
+                InferenceOptions inference_options)
+      : world_(world),
+        fopts_(std::move(feature_options)),
+        structure_(structure),
+        weights_(std::move(weights)),
+        iopts_(inference_options) {}
+
+  C2mnAnnotator(const World& world, FeatureOptions feature_options,
+                C2mnStructure structure, std::vector<double> weights)
+      : C2mnAnnotator(world, std::move(feature_options), structure,
+                      std::move(weights), InferenceOptions()) {}
+
+  const std::vector<double>& weights() const { return weights_; }
+
+  /// Labels every record with a region and an event.
+  LabelSequence Annotate(const PSequence& sequence) const;
+
+  /// Labels a pre-built sequence graph (exposed for training internals
+  /// and micro-benchmarks); returns candidate *indices* for regions.
+  void Decode(const SequenceGraph& graph, std::vector<int>* regions,
+              std::vector<MobilityEvent>* events) const;
+
+  /// Full label-and-merge annotation: labels then merges into
+  /// m-semantics (Fig. 2 of the paper).
+  MSemanticsSequence AnnotateSemantics(const PSequence& sequence) const;
+
+ private:
+  void DecodeRegions(const JointScorer& scorer,
+                     const std::vector<MobilityEvent>& events,
+                     std::vector<int>* regions) const;
+  void DecodeEvents(const JointScorer& scorer,
+                    const std::vector<int>& regions,
+                    std::vector<MobilityEvent>* events) const;
+
+  const World& world_;
+  FeatureOptions fopts_;
+  C2mnStructure structure_;
+  std::vector<double> weights_;
+  InferenceOptions iopts_;
+};
+
+}  // namespace c2mn
+
+#endif  // C2MN_CORE_ANNOTATOR_H_

@@ -1,0 +1,162 @@
+#include "core/features.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+#include "common/math_utils.h"
+
+namespace c2mn {
+namespace features {
+
+double EventMatching(const SequenceGraph& g, int i, MobilityEvent e) {
+  const FeatureOptions& opts = g.options();
+  const DensityClass d = g.Density(i);
+  if (e == MobilityEvent::kStay) {
+    if (d == DensityClass::kCore) return 1.0;
+    if (d == DensityClass::kBorder) return opts.fem_alpha;
+    return 0.0;
+  }
+  // e == pass.
+  if (d == DensityClass::kNoise) return 1.0;
+  if (d == DensityClass::kBorder) return opts.fem_beta;
+  return 0.0;
+}
+
+namespace {
+
+/// Expected MIWD between the region labels of records i and i+1, with the
+/// optional time-decay multiplier applied to the distance term.
+double DecayedRegionDistance(const SequenceGraph& g, int i, RegionId ra,
+                             RegionId rb) {
+  if (ra == rb) return 0.0;
+  double dist = g.world().oracle().RegionToRegion(ra, rb);
+  if (!std::isfinite(dist)) {
+    dist = 10.0 * std::max(1.0, g.world().oracle().max_region_distance());
+  }
+  if (g.options().use_time_decay) {
+    dist *= std::exp(-g.options().gamma_time_decay * g.DeltaT(i));
+  }
+  return dist;
+}
+
+}  // namespace
+
+double SpaceTransition(const SequenceGraph& g, int i, int a_at_i,
+                       int b_at_next) {
+  const RegionId ra = g.Candidates(i)[a_at_i];
+  const RegionId rb = g.Candidates(i + 1)[b_at_next];
+  const double dist = DecayedRegionDistance(g, i, ra, rb);
+  return std::exp(-g.options().gamma_st * dist);
+}
+
+double SpatialConsistency(const SequenceGraph& g, int i, int a_at_i,
+                          int b_at_next) {
+  const RegionId ra = g.Candidates(i)[a_at_i];
+  const RegionId rb = g.Candidates(i + 1)[b_at_next];
+  const double dist = DecayedRegionDistance(g, i, ra, rb);
+  const double gap = std::fabs(dist - g.DeltaE(i));
+  return std::exp(-gap / g.options().sc_scale_meters);
+}
+
+double EventConsistency(const SequenceGraph& g, int i, MobilityEvent e1,
+                        MobilityEvent e2) {
+  const double speed_term =
+      std::min(1.0, g.options().gamma_ec * g.Speed(i));
+  const double pass_term =
+      0.5 * (PassIndicator(e1) + PassIndicator(e2));
+  return std::exp(-std::fabs(speed_term - pass_term));
+}
+
+std::array<double, 3> EventSegmentation(const SequenceGraph& g, int i, int j,
+                                        const std::vector<int>& regions,
+                                        MobilityEvent e, int override_pos,
+                                        int override_cand) {
+  const int len = j - i + 1;
+  // DISTNUM: distinct region labels over the run, normalized by a fixed
+  // scale so one label flip always moves the feature by the same amount
+  // (normalizing by the run length would make segmentation cliques
+  // powerless on long runs, which defeats their purpose).
+  constexpr double kSegmentScale = 8.0;
+  std::unordered_set<RegionId> distinct;
+  for (int x = i; x <= j; ++x) {
+    const int cand = x == override_pos ? override_cand : regions[x];
+    distinct.insert(g.Candidates(x)[cand]);
+  }
+  const double dist_norm = std::min(
+      1.0, (static_cast<double>(distinct.size()) - 1.0) / kSegmentScale);
+
+  // Segment speed: total Euclidean path length over elapsed time, scaled
+  // like f_ec.  A singleton run borrows the local edge speed.
+  double speed;
+  if (len > 1) {
+    double path = 0.0;
+    for (int x = i; x < j; ++x) path += g.DeltaE(x);
+    const double elapsed = std::max(
+        1e-6, g.sequence()[j].timestamp - g.sequence()[i].timestamp);
+    speed = path / elapsed;
+  } else {
+    double local = 0.0;
+    int cnt = 0;
+    if (i > 0) {
+      local += g.Speed(i - 1);
+      ++cnt;
+    }
+    if (i + 1 < g.size()) {
+      local += g.Speed(i);
+      ++cnt;
+    }
+    speed = cnt > 0 ? local / cnt : 0.0;
+  }
+  const double speed_norm = std::min(1.0, g.options().gamma_ec * speed);
+
+  // TURNNUM normalized by the number of interior vertices of the run.
+  int turns = 0;
+  for (int x = std::max(1, i); x <= std::min(g.size() - 2, j); ++x) {
+    if (x > i && x < j && g.Turn(x)) ++turns;
+  }
+  const double turn_norm = std::min(1.0, turns / kSegmentScale);
+
+  const double sign = 2.0 * PassIndicator(e) - 1.0;  // +1 pass, -1 stay.
+  return {sign * dist_norm, sign * speed_norm, sign * -turn_norm};
+}
+
+std::array<double, 3> SpaceSegmentation(const SequenceGraph& g, int i, int j,
+                                        const std::vector<MobilityEvent>& events,
+                                        int override_pos,
+                                        MobilityEvent override_event) {
+  const int len = j - i + 1;
+  auto event_at = [&](int x) {
+    return x == override_pos ? override_event : events[x];
+  };
+  // Distinct event labels: 1 or 2; normalized to {0, 1} and negated
+  // (stable mobility state inside one region scores higher).
+  bool has_stay = false, has_pass = false;
+  int transitions = 0;
+  for (int x = i; x <= j; ++x) {
+    (event_at(x) == MobilityEvent::kStay ? has_stay : has_pass) = true;
+    if (x > i && event_at(x) != event_at(x - 1)) ++transitions;
+  }
+  constexpr double kSegmentScale = 8.0;
+  const double distinct_norm = (has_stay && has_pass) ? 1.0 : 0.0;
+  const double trans_norm = std::min(1.0, transitions / kSegmentScale);
+  // Boundary: the first and last records of a region run are more likely
+  // pass events (the object is entering/leaving).  Interior runs only —
+  // the sequence ends are not region boundaries.
+  double boundary = 0.0;
+  double boundary_slots = 0.0;
+  if (i > 0) {
+    boundary += PassIndicator(event_at(i));
+    boundary_slots += 1.0;
+  }
+  if (j + 1 < g.size()) {
+    boundary += PassIndicator(event_at(j));
+    boundary_slots += 1.0;
+  }
+  const double boundary_norm =
+      boundary_slots > 0 ? boundary / boundary_slots : 0.0;
+  return {-distinct_norm, -trans_norm, boundary_norm};
+}
+
+}  // namespace features
+}  // namespace c2mn

@@ -1,0 +1,68 @@
+#ifndef C2MN_CORE_FEATURES_H_
+#define C2MN_CORE_FEATURES_H_
+
+#include <array>
+
+#include "core/sequence_graph.h"
+
+namespace c2mn {
+
+/// The eight feature functions of Table II, evaluated against a
+/// SequenceGraph.  Region arguments are candidate *indices* (into
+/// graph.Candidates(i)); segment features receive the run bounds [i, j]
+/// inclusive.  All values are bounded, so weights stay on one scale.
+namespace features {
+
+/// (1) f_sm: pre-computed uncertainty-disk/region overlap (Eq. 3).
+inline double SpatialMatching(const SequenceGraph& g, int i, int a) {
+  return g.SpatialMatch(i, a);
+}
+
+/// (2) f_em: density class vs event (1 / α / β / 0 table).
+double EventMatching(const SequenceGraph& g, int i, MobilityEvent e);
+
+/// (3) f_st: exp(-γ_st · E[MIWD]) between consecutive region labels
+/// (Eq. 4), optional time-decayed distance impact.
+double SpaceTransition(const SequenceGraph& g, int i, int a_at_i,
+                       int b_at_next);
+
+/// (4) f_et: event smoothness (1 if equal else 0).
+inline double EventTransition(MobilityEvent e1, MobilityEvent e2) {
+  return e1 == e2 ? 1.0 : 0.0;
+}
+
+/// (5) f_sc: exp(-|E[MIWD] - d_E| / scale) consistency between region-
+/// level and raw-location-level distance (Eq. 5).
+double SpatialConsistency(const SequenceGraph& g, int i, int a_at_i,
+                          int b_at_next);
+
+/// (6) f_ec: consistency between observed speed and the pass-ness of the
+/// two events.
+double EventConsistency(const SequenceGraph& g, int i, MobilityEvent e1,
+                        MobilityEvent e2);
+
+/// (7) f_es: event-based segmentation features over the run [i, j] whose
+/// event labels all equal `e`.  Returns the 3-vector
+/// (2·I(e)-1) · (distinct-regions, speed, -turns), each term normalized
+/// to [0, 1].  When `override_pos` is in [i, j], that record's region
+/// label is taken as candidate `override_cand` instead of
+/// regions[override_pos] (used to evaluate counterfactual labels without
+/// copying the label vector).
+std::array<double, 3> EventSegmentation(const SequenceGraph& g, int i, int j,
+                                        const std::vector<int>& regions,
+                                        MobilityEvent e, int override_pos = -1,
+                                        int override_cand = -1);
+
+/// (8) f_ss: space-based segmentation features over the run [i, j] whose
+/// region labels are all equal.  Returns (-distinct-events,
+/// -event-transitions, boundary-passes), normalized.  `override_pos` /
+/// `override_event` substitute one event label, as above.
+std::array<double, 3> SpaceSegmentation(
+    const SequenceGraph& g, int i, int j,
+    const std::vector<MobilityEvent>& events, int override_pos = -1,
+    MobilityEvent override_event = MobilityEvent::kStay);
+
+}  // namespace features
+}  // namespace c2mn
+
+#endif  // C2MN_CORE_FEATURES_H_

@@ -1,0 +1,82 @@
+#include "core/online_annotator.h"
+
+#include <cassert>
+
+namespace c2mn {
+
+OnlineAnnotator::OnlineAnnotator(const World& world,
+                                 FeatureOptions feature_options,
+                                 C2mnStructure structure,
+                                 std::vector<double> weights, Options options)
+    : world_(world),
+      fopts_(std::move(feature_options)),
+      annotator_(world, fopts_, structure, std::move(weights)),
+      options_(options) {
+  assert(options_.window_records > options_.finalize_lag);
+  assert(options_.decode_stride >= 1);
+}
+
+void OnlineAnnotator::Accumulate(const PositioningRecord& record,
+                                 RegionId region, MobilityEvent event,
+                                 std::vector<MSemantics>* emitted) {
+  if (pending_.has_value() && pending_->region == region &&
+      pending_->event == event) {
+    pending_->t_end = record.timestamp;
+    ++pending_->support;
+    return;
+  }
+  if (pending_.has_value()) emitted->push_back(*pending_);
+  MSemantics next;
+  next.region = region;
+  next.event = event;
+  next.t_start = record.timestamp;
+  next.t_end = record.timestamp;
+  next.support = 1;
+  pending_ = next;
+}
+
+void OnlineAnnotator::DecodeAndFinalize(int keep_provisional,
+                                        std::vector<MSemantics>* emitted) {
+  if (window_.empty()) return;
+  PSequence sequence;
+  sequence.records = window_;
+  const LabelSequence labels = annotator_.Annotate(sequence);
+  const int n = static_cast<int>(window_.size());
+  const int freeze = n - keep_provisional;
+  if (freeze <= 0) return;
+  for (int i = 0; i < freeze; ++i) {
+    Accumulate(window_[i], labels.regions[i], labels.events[i], emitted);
+  }
+  window_.erase(window_.begin(), window_.begin() + freeze);
+}
+
+std::vector<MSemantics> OnlineAnnotator::Push(
+    const PositioningRecord& record) {
+  assert(record.timestamp >= last_timestamp_);
+  last_timestamp_ = record.timestamp;
+  window_.push_back(record);
+  ++total_records_;
+  ++since_last_decode_;
+
+  std::vector<MSemantics> emitted;
+  const bool window_full =
+      static_cast<int>(window_.size()) >= options_.window_records;
+  if (window_full && since_last_decode_ >= options_.decode_stride) {
+    DecodeAndFinalize(options_.finalize_lag, &emitted);
+    since_last_decode_ = 0;
+  }
+  return emitted;
+}
+
+std::vector<MSemantics> OnlineAnnotator::Flush() {
+  std::vector<MSemantics> emitted;
+  DecodeAndFinalize(0, &emitted);
+  if (pending_.has_value()) {
+    emitted.push_back(*pending_);
+    pending_.reset();
+  }
+  last_timestamp_ = -1e300;
+  return emitted;
+}
+
+}  // namespace c2mn

@@ -1,0 +1,81 @@
+#ifndef C2MN_CORE_ONLINE_ANNOTATOR_H_
+#define C2MN_CORE_ONLINE_ANNOTATOR_H_
+
+#include <optional>
+#include <vector>
+
+#include "core/annotator.h"
+
+namespace c2mn {
+
+/// \brief Streaming m-semantics annotation over a live positioning feed.
+///
+/// Section V-B1 notes that labeling a ~100-record p-sequence takes well
+/// under a second, "acceptable even for online services"; this class
+/// turns that observation into an API.  Records are pushed one at a time;
+/// a sliding window over the most recent records is re-decoded
+/// periodically, labels older than `finalize_lag` records are frozen
+/// (their Markov blankets can no longer change materially), and completed
+/// label runs are emitted as m-semantics.
+///
+/// The final output over a whole stream equals label-and-merge over the
+/// concatenation of the frozen labels, so all Definition 3 invariants
+/// hold.
+class OnlineAnnotator {
+ public:
+  struct Options {
+    /// Sliding decode window, in records.
+    int window_records = 80;
+    /// Records at the head of the window whose labels stay provisional.
+    int finalize_lag = 10;
+    /// Re-decode every this many pushed records (amortizes cost).
+    int decode_stride = 5;
+  };
+
+  OnlineAnnotator(const World& world, FeatureOptions feature_options,
+                  C2mnStructure structure, std::vector<double> weights,
+                  Options options);
+
+  OnlineAnnotator(const World& world, FeatureOptions feature_options,
+                  C2mnStructure structure, std::vector<double> weights)
+      : OnlineAnnotator(world, std::move(feature_options), structure,
+                        std::move(weights), Options()) {}
+
+  /// Feeds one record (timestamps must be non-decreasing); returns the
+  /// m-semantics completed by this push (usually none, sometimes one).
+  std::vector<MSemantics> Push(const PositioningRecord& record);
+
+  /// Ends the stream: decodes and finalizes everything still pending and
+  /// returns the remaining m-semantics.
+  std::vector<MSemantics> Flush();
+
+  /// Number of records consumed so far.
+  size_t records_consumed() const { return total_records_; }
+
+ private:
+  /// Decodes the current window and freezes all but the trailing
+  /// `keep_provisional` records, emitting completed runs.
+  void DecodeAndFinalize(int keep_provisional,
+                         std::vector<MSemantics>* emitted);
+  /// Folds one finalized (record, labels) into the pending run.
+  void Accumulate(const PositioningRecord& record, RegionId region,
+                  MobilityEvent event, std::vector<MSemantics>* emitted);
+
+  const World& world_;
+  FeatureOptions fopts_;
+  C2mnAnnotator annotator_;
+  Options options_;
+
+  /// Sliding window of not-yet-finalized records.
+  std::vector<PositioningRecord> window_;
+  int since_last_decode_ = 0;
+  size_t total_records_ = 0;
+  double last_timestamp_ = -1e300;
+
+  /// The in-progress m-semantics run.
+  std::optional<MSemantics> pending_;
+};
+
+}  // namespace c2mn
+
+#endif  // C2MN_CORE_ONLINE_ANNOTATOR_H_

@@ -1,0 +1,124 @@
+#ifndef C2MN_CORE_OPTIONS_H_
+#define C2MN_CORE_OPTIONS_H_
+
+#include <array>
+#include <vector>
+
+#include "clustering/st_dbscan.h"
+
+namespace c2mn {
+
+/// \brief Indices of the shared weight vector w.
+///
+/// One weight per clique template (Section II-B, parameter sharing): the
+/// scalar features f_sm, f_st, f_sc, f_em, f_et, f_ec get one weight each;
+/// the two segmentation features are 3-vectors (Table II) and get three.
+/// The first six components form the region-relevant block, the last six
+/// the event-relevant block.
+enum FeatureIndex : int {
+  kWSpatialMatch = 0,     ///< f_sm — matching clique (region).
+  kWSpaceTransition,      ///< f_st — transition clique (region).
+  kWSpatialConsistency,   ///< f_sc — synchronization clique (region).
+  kWEventSeg0,            ///< f_es[0]: distinct-regions term.
+  kWEventSeg1,            ///< f_es[1]: segment-speed term.
+  kWEventSeg2,            ///< f_es[2]: turn-count term.
+  kWEventMatch,           ///< f_em — matching clique (event).
+  kWEventTransition,      ///< f_et — transition clique (event).
+  kWEventConsistency,     ///< f_ec — synchronization clique (event).
+  kWSpaceSeg0,            ///< f_ss[0]: distinct-events term.
+  kWSpaceSeg1,            ///< f_ss[1]: event-transitions term.
+  kWSpaceSeg2,            ///< f_ss[2]: boundary-pass term.
+  kNumWeights,
+};
+
+inline constexpr int kRegionBlockBegin = 0;
+inline constexpr int kRegionBlockEnd = 6;   // Exclusive.
+inline constexpr int kEventBlockBegin = 6;
+inline constexpr int kEventBlockEnd = 12;   // Exclusive.
+
+/// A dense feature vector aligned with FeatureIndex.
+using FeatureVec = std::array<double, kNumWeights>;
+
+inline FeatureVec ZeroFeatures() {
+  FeatureVec f{};
+  return f;
+}
+inline void AddFeatures(const FeatureVec& src, FeatureVec* dst) {
+  for (int i = 0; i < kNumWeights; ++i) (*dst)[i] += src[i];
+}
+inline double DotFeatures(const std::vector<double>& w, const FeatureVec& f) {
+  double s = 0.0;
+  for (int i = 0; i < kNumWeights; ++i) s += w[i] * f[i];
+  return s;
+}
+
+/// \brief Which clique categories the network keeps; the ablation switch
+/// behind the C2MN variants of Section V-A.
+struct C2mnStructure {
+  bool use_transition = true;   ///< f_st, f_et (off = C2MN/Tran).
+  bool use_sync = true;         ///< f_sc, f_ec (off = C2MN/Syn).
+  bool use_event_seg = true;    ///< f_es (off = C2MN/ES).
+  bool use_space_seg = true;    ///< f_ss (off = C2MN/SS).
+
+  /// CMN drops both segmentation categories, decoupling R and E.
+  bool IsCoupled() const { return use_event_seg || use_space_seg; }
+};
+
+/// \brief Hyper-parameters of the feature functions (paper Section V-B1).
+struct FeatureOptions {
+  /// v: radius of the uncertainty region UR(l, v) in f_sm (paper: 15 m on
+  /// real data, 10 m on synthetic).
+  double uncertainty_radius_v = 10.0;
+  /// Normalize f_sm across each record's candidate set so the values form
+  /// a matching distribution.  Eq. 3's raw disk fractions are tiny when
+  /// regions are small relative to the uncertainty disk, which starves the
+  /// matching clique of contrast; normalization restores it (DESIGN.md).
+  bool normalize_fsm = true;
+  /// Center the uncertainty region on a 3-point moving average of the
+  /// location estimates (majority floor in the window) instead of the raw
+  /// fix.  Wi-Fi pipelines (including the paper's TRIPS front end) render
+  /// smoothed trajectories; this makes f_sm robust to single-fix jitter,
+  /// outliers, and false floors.
+  bool smooth_observations = true;
+  /// α, β: the border-point scores of f_em (paper: α = 0.8, β = 0.6).
+  double fem_alpha = 0.8;
+  double fem_beta = 0.6;
+  /// γ_st: distance scale in f_st (paper: 0.1).
+  double gamma_st = 0.1;
+  /// γ_ec: speed scale in f_ec (paper: 0.2).
+  double gamma_ec = 0.2;
+  /// Scale (meters) of the |E[MIWD] - d_E| penalty in f_sc.  The paper's
+  /// Eq. 5 uses raw meters, which underflows exp() for realistic venues;
+  /// features are normalized by this scale instead (see DESIGN.md).
+  double sc_scale_meters = 12.0;
+  /// Optional extension of f_st / f_sc: time-decaying distance impact,
+  /// multiplier exp(-gamma_time * dt) on the distance term.
+  bool use_time_decay = false;
+  double gamma_time_decay = 0.02;
+  /// Optional extension of f_sm: multiply by normalized historical region
+  /// frequency (filled by the trainer when enabled; empty = off).
+  bool use_region_frequency = false;
+  std::vector<double> region_frequency;
+
+  /// st-DBSCAN parameters for f_em and the E-initialization (paper:
+  /// εs = 8 m, εt = 60 s, ptm = 4).
+  StDbscanParams dbscan;
+
+  /// Candidate-region generation: the k nearest regions on the reported
+  /// floor within the given distance form each record's label domain.
+  int candidate_k = 6;
+  double candidate_max_distance = 40.0;
+  /// Also admit up to two near regions on adjacent floors, so false-floor
+  /// records can still be labeled correctly.
+  bool cross_floor_candidates = true;
+  int cross_floor_k = 2;
+  double cross_floor_max_distance = 10.0;
+  /// f_sm discount per floor of mismatch between record and region.
+  double floor_mismatch_discount = 0.5;
+  /// Turn-angle threshold in degrees (paper footnote 4: 90).
+  double turn_threshold_deg = 90.0;
+};
+
+}  // namespace c2mn
+
+#endif  // C2MN_CORE_OPTIONS_H_

@@ -1,0 +1,210 @@
+#include "core/scorer.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "common/math_utils.h"
+
+namespace c2mn {
+
+void JointScorer::AccumulateEventSegments(
+    int from, int to, const std::vector<int>& regions,
+    const std::vector<MobilityEvent>& events, int r_override_pos,
+    int r_override_cand, int e_override_pos, MobilityEvent e_override_event,
+    FeatureVec* f) const {
+  int s = from;
+  while (s <= to) {
+    const MobilityEvent ev = EventAt(s, events, e_override_pos,
+                                     e_override_event);
+    int e = s;
+    while (e + 1 <= to &&
+           EventAt(e + 1, events, e_override_pos, e_override_event) == ev) {
+      ++e;
+    }
+    const auto seg = features::EventSegmentation(
+        g_, s, e, regions, ev, r_override_pos, r_override_cand);
+    (*f)[kWEventSeg0] += seg[0];
+    (*f)[kWEventSeg1] += seg[1];
+    (*f)[kWEventSeg2] += seg[2];
+    s = e + 1;
+  }
+}
+
+void JointScorer::AccumulateSpaceSegments(
+    int from, int to, const std::vector<int>& regions,
+    const std::vector<MobilityEvent>& events, int r_override_pos,
+    int r_override_cand, int e_override_pos, MobilityEvent e_override_event,
+    FeatureVec* f) const {
+  int s = from;
+  while (s <= to) {
+    const RegionId region = RegionAt(s, regions, r_override_pos,
+                                     r_override_cand);
+    int e = s;
+    while (e + 1 <= to &&
+           RegionAt(e + 1, regions, r_override_pos, r_override_cand) ==
+               region) {
+      ++e;
+    }
+    const auto seg = features::SpaceSegmentation(
+        g_, s, e, events, e_override_pos, e_override_event);
+    (*f)[kWSpaceSeg0] += seg[0];
+    (*f)[kWSpaceSeg1] += seg[1];
+    (*f)[kWSpaceSeg2] += seg[2];
+    s = e + 1;
+  }
+}
+
+FeatureVec JointScorer::TotalFeatures(
+    const std::vector<int>& regions,
+    const std::vector<MobilityEvent>& events) const {
+  const int n = g_.size();
+  assert(static_cast<int>(regions.size()) == n &&
+         static_cast<int>(events.size()) == n);
+  FeatureVec f = ZeroFeatures();
+  for (int i = 0; i < n; ++i) {
+    f[kWSpatialMatch] += g_.SpatialMatch(i, regions[i]);
+    f[kWEventMatch] += features::EventMatching(g_, i, events[i]);
+    if (i + 1 < n) {
+      if (s_.use_transition) {
+        f[kWSpaceTransition] +=
+            features::SpaceTransition(g_, i, regions[i], regions[i + 1]);
+        f[kWEventTransition] +=
+            features::EventTransition(events[i], events[i + 1]);
+      }
+      if (s_.use_sync) {
+        f[kWSpatialConsistency] +=
+            features::SpatialConsistency(g_, i, regions[i], regions[i + 1]);
+        f[kWEventConsistency] +=
+            features::EventConsistency(g_, i, events[i], events[i + 1]);
+      }
+    }
+  }
+  if (s_.use_event_seg) {
+    AccumulateEventSegments(0, n - 1, regions, events, -1, -1, -1,
+                            MobilityEvent::kStay, &f);
+  }
+  if (s_.use_space_seg) {
+    AccumulateSpaceSegments(0, n - 1, regions, events, -1, -1, -1,
+                            MobilityEvent::kStay, &f);
+  }
+  return f;
+}
+
+double JointScorer::TotalScore(const std::vector<double>& weights,
+                               const std::vector<int>& regions,
+                               const std::vector<MobilityEvent>& events) const {
+  return DotFeatures(weights, TotalFeatures(regions, events));
+}
+
+FeatureVec JointScorer::RegionNodeFeatures(
+    int i, int a, const std::vector<int>& regions,
+    const std::vector<MobilityEvent>& events) const {
+  const int n = g_.size();
+  FeatureVec f = ZeroFeatures();
+  f[kWSpatialMatch] += g_.SpatialMatch(i, a);
+  if (s_.use_transition) {
+    if (i > 0) {
+      f[kWSpaceTransition] +=
+          features::SpaceTransition(g_, i - 1, regions[i - 1], a);
+    }
+    if (i + 1 < n) {
+      f[kWSpaceTransition] +=
+          features::SpaceTransition(g_, i, a, regions[i + 1]);
+    }
+  }
+  if (s_.use_sync) {
+    if (i > 0) {
+      f[kWSpatialConsistency] +=
+          features::SpatialConsistency(g_, i - 1, regions[i - 1], a);
+    }
+    if (i + 1 < n) {
+      f[kWSpatialConsistency] +=
+          features::SpatialConsistency(g_, i, a, regions[i + 1]);
+    }
+  }
+  if (s_.use_event_seg) {
+    // The event-run containing i is the only f_es clique whose features
+    // depend on r_i (through DISTNUM).
+    int s = i, e = i;
+    while (s > 0 && events[s - 1] == events[i]) --s;
+    while (e + 1 < n && events[e + 1] == events[i]) ++e;
+    const auto seg =
+        features::EventSegmentation(g_, s, e, regions, events[i], i, a);
+    f[kWEventSeg0] += seg[0];
+    f[kWEventSeg1] += seg[1];
+    f[kWEventSeg2] += seg[2];
+  }
+  if (s_.use_space_seg) {
+    // Changing r_i can restructure the region runs; only runs within
+    // [start of run ending at i-1, end of run starting at i+1] are
+    // affected, and that window does not depend on the value of a.
+    int ws = i, we = i;
+    if (i > 0) {
+      ws = i - 1;
+      const RegionId left = RegionAt(i - 1, regions, -1, -1);
+      while (ws > 0 && RegionAt(ws - 1, regions, -1, -1) == left) --ws;
+    }
+    if (i + 1 < n) {
+      we = i + 1;
+      const RegionId right = RegionAt(i + 1, regions, -1, -1);
+      while (we + 1 < n && RegionAt(we + 1, regions, -1, -1) == right) ++we;
+    }
+    AccumulateSpaceSegments(ws, we, regions, events, i, a, -1,
+                            MobilityEvent::kStay, &f);
+  }
+  return f;
+}
+
+FeatureVec JointScorer::EventNodeFeatures(
+    int i, MobilityEvent v, const std::vector<int>& regions,
+    const std::vector<MobilityEvent>& events) const {
+  const int n = g_.size();
+  FeatureVec f = ZeroFeatures();
+  f[kWEventMatch] += features::EventMatching(g_, i, v);
+  if (s_.use_transition) {
+    if (i > 0) {
+      f[kWEventTransition] += features::EventTransition(events[i - 1], v);
+    }
+    if (i + 1 < n) {
+      f[kWEventTransition] += features::EventTransition(v, events[i + 1]);
+    }
+  }
+  if (s_.use_sync) {
+    if (i > 0) {
+      f[kWEventConsistency] +=
+          features::EventConsistency(g_, i - 1, events[i - 1], v);
+    }
+    if (i + 1 < n) {
+      f[kWEventConsistency] +=
+          features::EventConsistency(g_, i, v, events[i + 1]);
+    }
+  }
+  if (s_.use_space_seg) {
+    // The region-run containing i is the only f_ss clique whose features
+    // depend on e_i.
+    const RegionId region = RegionAt(i, regions, -1, -1);
+    int s = i, e = i;
+    while (s > 0 && RegionAt(s - 1, regions, -1, -1) == region) --s;
+    while (e + 1 < n && RegionAt(e + 1, regions, -1, -1) == region) ++e;
+    const auto seg = features::SpaceSegmentation(g_, s, e, events, i, v);
+    f[kWSpaceSeg0] += seg[0];
+    f[kWSpaceSeg1] += seg[1];
+    f[kWSpaceSeg2] += seg[2];
+  }
+  if (s_.use_event_seg) {
+    // Changing e_i can split or merge event runs inside a stable window.
+    int ws = i, we = i;
+    if (i > 0) {
+      ws = i - 1;
+      while (ws > 0 && events[ws - 1] == events[i - 1]) --ws;
+    }
+    if (i + 1 < n) {
+      we = i + 1;
+      while (we + 1 < n && events[we + 1] == events[i + 1]) ++we;
+    }
+    AccumulateEventSegments(ws, we, regions, events, -1, -1, i, v, &f);
+  }
+  return f;
+}
+
+}  // namespace c2mn

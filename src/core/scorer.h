@@ -1,0 +1,90 @@
+#ifndef C2MN_CORE_SCORER_H_
+#define C2MN_CORE_SCORER_H_
+
+#include <vector>
+
+#include "core/features.h"
+#include "core/options.h"
+
+namespace c2mn {
+
+/// \brief Scores joint (R, E) configurations of a SequenceGraph and
+/// exposes the Markov-blanket feature views that drive learning and
+/// inference.
+///
+/// Region labels are candidate indices (r[i] indexes
+/// graph.Candidates(i)); run identity is always decided on the underlying
+/// RegionId, since different candidate indices at different records can
+/// denote the same region.
+///
+/// The two *NodeFeatures() methods return the feature totals of every
+/// clique that involves the given node — matching, the two incident
+/// transition and synchronization cliques, and all segmentation cliques
+/// whose extent can change when the node's label changes.  The window of
+/// recomputed segmentation cliques is label-independent, so differences
+/// of these vectors across candidate labels equal differences of
+/// TotalFeatures(), which is exactly what Gibbs conditionals,
+/// pseudo-likelihood gradients, and ICM deltas require.
+class JointScorer {
+ public:
+  JointScorer(const SequenceGraph& graph, const C2mnStructure& structure)
+      : g_(graph), s_(structure) {}
+
+  const SequenceGraph& graph() const { return g_; }
+  const C2mnStructure& structure() const { return s_; }
+
+  /// Full feature vector of a complete configuration.
+  FeatureVec TotalFeatures(const std::vector<int>& regions,
+                           const std::vector<MobilityEvent>& events) const;
+
+  /// w · TotalFeatures.
+  double TotalScore(const std::vector<double>& weights,
+                    const std::vector<int>& regions,
+                    const std::vector<MobilityEvent>& events) const;
+
+  /// Features of all cliques touching region node i if its label were
+  /// candidate `a`, other labels as given.
+  FeatureVec RegionNodeFeatures(int i, int a, const std::vector<int>& regions,
+                                const std::vector<MobilityEvent>& events) const;
+
+  /// Features of all cliques touching event node i if its label were `v`.
+  FeatureVec EventNodeFeatures(int i, MobilityEvent v,
+                               const std::vector<int>& regions,
+                               const std::vector<MobilityEvent>& events) const;
+
+ private:
+  RegionId RegionAt(int x, const std::vector<int>& regions, int override_pos,
+                    int override_cand) const {
+    const int cand = x == override_pos ? override_cand : regions[x];
+    return g_.Candidates(x)[cand];
+  }
+  static MobilityEvent EventAt(int x, const std::vector<MobilityEvent>& events,
+                               int override_pos, MobilityEvent override_event) {
+    return x == override_pos ? override_event : events[x];
+  }
+
+  /// Adds f_es over the event-run decomposition of [from, to].
+  void AccumulateEventSegments(int from, int to,
+                               const std::vector<int>& regions,
+                               const std::vector<MobilityEvent>& events,
+                               int r_override_pos, int r_override_cand,
+                               int e_override_pos,
+                               MobilityEvent e_override_event,
+                               FeatureVec* f) const;
+
+  /// Adds f_ss over the region-run decomposition of [from, to].
+  void AccumulateSpaceSegments(int from, int to,
+                               const std::vector<int>& regions,
+                               const std::vector<MobilityEvent>& events,
+                               int r_override_pos, int r_override_cand,
+                               int e_override_pos,
+                               MobilityEvent e_override_event,
+                               FeatureVec* f) const;
+
+  const SequenceGraph& g_;
+  C2mnStructure s_;
+};
+
+}  // namespace c2mn
+
+#endif  // C2MN_CORE_SCORER_H_

@@ -1,0 +1,168 @@
+#include "core/sequence_graph.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "geometry/circle_overlap.h"
+#include "geometry/turns.h"
+
+namespace c2mn {
+
+namespace {
+
+/// f_sm (Eq. 3) generalized across floors: the overlap of the uncertainty
+/// disk with the region's partitions, discounted per floor of mismatch,
+/// optionally scaled by the normalized historical region frequency.
+double ComputeSpatialMatch(const World& world, const FeatureOptions& opts,
+                           const IndoorPoint& location, RegionId region) {
+  const double v = opts.uncertainty_radius_v;
+  const double disk_area = M_PI * v * v;
+  double overlap = 0.0;
+  for (PartitionId pid : world.plan().region(region).partitions) {
+    const Partition& part = world.plan().partition(pid);
+    const double raw =
+        CirclePolygonIntersectionArea(location.xy, v, part.shape);
+    const int dfloor = std::abs(part.floor - location.floor);
+    overlap += raw * std::pow(opts.floor_mismatch_discount, dfloor);
+  }
+  double value = overlap / disk_area;
+  if (opts.use_region_frequency &&
+      region < static_cast<RegionId>(opts.region_frequency.size())) {
+    value *= opts.region_frequency[region];
+  }
+  return value;
+}
+
+/// 3-point moving average of the estimates around record i, on the
+/// window's majority floor (used when FeatureOptions::smooth_observations
+/// is set).
+IndoorPoint SmoothedLocation(const PSequence& seq, int i) {
+  const int n = static_cast<int>(seq.size());
+  const int lo = std::max(0, i - 1);
+  const int hi = std::min(n - 1, i + 1);
+  Vec2 mean{0, 0};
+  std::vector<int> floor_votes;
+  for (int j = lo; j <= hi; ++j) {
+    mean = mean + seq[j].location.xy;
+    const int f = seq[j].location.floor;
+    if (f >= static_cast<int>(floor_votes.size())) floor_votes.resize(f + 1, 0);
+    if (f >= 0) ++floor_votes[f];
+  }
+  mean = mean / static_cast<double>(hi - lo + 1);
+  int floor = seq[i].location.floor;
+  int best = 0;
+  for (size_t f = 0; f < floor_votes.size(); ++f) {
+    if (floor_votes[f] > best) {
+      best = floor_votes[f];
+      floor = static_cast<int>(f);
+    }
+  }
+  return IndoorPoint(mean, floor);
+}
+
+}  // namespace
+
+SequenceGraph::SequenceGraph(const World& world, const PSequence& sequence,
+                             const FeatureOptions& options,
+                             const LabelSequence* inject_truth)
+    : world_(&world),
+      sequence_(&sequence),
+      options_(&options),
+      n_(static_cast<int>(sequence.size())) {
+  assert(n_ > 0);
+  BuildCandidates(inject_truth);
+
+  const StDbscanResult clustering = StDbscan(sequence, options.dbscan);
+  density_ = clustering.classes;
+
+  dt_.resize(n_ - 1);
+  de_.resize(n_ - 1);
+  speed_.resize(n_ - 1);
+  for (int i = 0; i + 1 < n_; ++i) {
+    dt_[i] = std::max(1e-6, sequence[i + 1].timestamp - sequence[i].timestamp);
+    de_[i] = HorizontalDistance(sequence[i].location,
+                                sequence[i + 1].location);
+    speed_[i] = de_[i] / dt_[i];
+  }
+  turn_.assign(n_, 0);
+  for (int i = 1; i + 1 < n_; ++i) {
+    turn_[i] = IsTurn(sequence[i - 1].location.xy, sequence[i].location.xy,
+                      sequence[i + 1].location.xy,
+                      options.turn_threshold_deg)
+                   ? 1
+                   : 0;
+  }
+}
+
+void SequenceGraph::BuildCandidates(const LabelSequence* inject_truth) {
+  const FeatureOptions& opts = *options_;
+  candidates_.resize(n_);
+  fsm_.resize(n_);
+  for (int i = 0; i < n_; ++i) {
+    const IndoorPoint loc = opts.smooth_observations
+                                ? SmoothedLocation(*sequence_, i)
+                                : (*sequence_)[i].location;
+    std::vector<RegionId> cands;
+    for (const auto& [region, dist] : world_->index().NearestRegions(
+             loc, opts.candidate_k, opts.candidate_max_distance)) {
+      cands.push_back(region);
+    }
+    if (opts.cross_floor_candidates) {
+      for (int df : {-1, 1}) {
+        const IndoorPoint shifted(loc.xy, loc.floor + df);
+        for (const auto& [region, dist] : world_->index().NearestRegions(
+                 shifted, opts.cross_floor_k, opts.cross_floor_max_distance)) {
+          if (std::find(cands.begin(), cands.end(), region) == cands.end()) {
+            cands.push_back(region);
+          }
+        }
+      }
+    }
+    if (cands.empty()) {
+      // Degenerate placement (far outlier): fall back to the globally
+      // nearest region on this floor, or region 0.
+      const RegionId nearest = world_->index().NearestRegion(loc);
+      cands.push_back(nearest != kInvalidId ? nearest : 0);
+    }
+    if (inject_truth != nullptr) {
+      const RegionId truth = inject_truth->regions[i];
+      if (truth != kInvalidId &&
+          std::find(cands.begin(), cands.end(), truth) == cands.end()) {
+        cands.push_back(truth);
+      }
+    }
+    fsm_[i].resize(cands.size());
+    double fsm_sum = 0.0;
+    for (size_t a = 0; a < cands.size(); ++a) {
+      fsm_[i][a] = ComputeSpatialMatch(*world_, opts, loc, cands[a]);
+      fsm_sum += fsm_[i][a];
+    }
+    if (opts.normalize_fsm && fsm_sum > 1e-12) {
+      for (double& v : fsm_[i]) v /= fsm_sum;
+    }
+    candidates_[i] = std::move(cands);
+  }
+}
+
+int SequenceGraph::CandidateIndex(int i, RegionId region) const {
+  const auto& cands = candidates_[i];
+  const auto it = std::find(cands.begin(), cands.end(), region);
+  return it == cands.end() ? -1 : static_cast<int>(it - cands.begin());
+}
+
+std::vector<MobilityEvent> SequenceGraph::InitialEvents() const {
+  std::vector<MobilityEvent> events(n_);
+  for (int i = 0; i < n_; ++i) {
+    events[i] = density_[i] == DensityClass::kNoise ? MobilityEvent::kPass
+                                                    : MobilityEvent::kStay;
+  }
+  return events;
+}
+
+std::vector<int> SequenceGraph::InitialRegions() const {
+  // Candidates are nearest-first, so index 0 is the NN region.
+  return std::vector<int>(n_, 0);
+}
+
+}  // namespace c2mn

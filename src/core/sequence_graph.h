@@ -1,0 +1,78 @@
+#ifndef C2MN_CORE_SEQUENCE_GRAPH_H_
+#define C2MN_CORE_SEQUENCE_GRAPH_H_
+
+#include <vector>
+
+#include "core/options.h"
+#include "data/labels.h"
+#include "sim/world.h"
+
+namespace c2mn {
+
+/// \brief The unrolled C2MN over one p-sequence: per-record candidate
+/// label domains plus every observation-derived quantity the feature
+/// functions consume, precomputed once.
+///
+/// Region labels are represented as indices into each record's candidate
+/// set (the k nearest regions, like the paper's R-tree-assisted feature
+/// extraction); event labels use MobilityEvent directly.
+class SequenceGraph {
+ public:
+  /// Builds the graph.  When `inject_truth` is non-null (training), each
+  /// record's ground-truth region is force-included in its candidate set
+  /// so empirical feature values are always defined; inference passes
+  /// nullptr and works with honest candidates only.
+  SequenceGraph(const World& world, const PSequence& sequence,
+                const FeatureOptions& options,
+                const LabelSequence* inject_truth);
+
+  int size() const { return n_; }
+  const PSequence& sequence() const { return *sequence_; }
+  const World& world() const { return *world_; }
+  const FeatureOptions& options() const { return *options_; }
+
+  /// Candidate regions of record i (non-empty), nearest first.
+  const std::vector<RegionId>& Candidates(int i) const {
+    return candidates_[i];
+  }
+  /// f_sm value of candidate a at record i (pre-computed, Eq. 3).
+  double SpatialMatch(int i, int a) const { return fsm_[i][a]; }
+  /// Index of `region` in record i's candidates, or -1.
+  int CandidateIndex(int i, RegionId region) const;
+
+  /// θ_i.D: st-DBSCAN density class over the whole p-sequence.
+  DensityClass Density(int i) const { return density_[i]; }
+  /// Elapsed seconds between records i and i+1.
+  double DeltaT(int i) const { return dt_[i]; }
+  /// Euclidean (horizontal) distance between records i and i+1.
+  double DeltaE(int i) const { return de_[i]; }
+  /// Observed speed between records i and i+1 (m/s).
+  double Speed(int i) const { return speed_[i]; }
+  /// Whether the heading change at record i exceeds the turn threshold.
+  bool Turn(int i) const { return turn_[i] != 0; }
+
+  /// The st-DBSCAN-based initial event configuration of Algorithm 1
+  /// line 1: noise points are pass, core/border points are stay.
+  std::vector<MobilityEvent> InitialEvents() const;
+  /// Nearest-region initial configuration (candidate indices), used by
+  /// the C2MN@R variant (first-configure R).
+  std::vector<int> InitialRegions() const;
+
+ private:
+  void BuildCandidates(const LabelSequence* inject_truth);
+
+  const World* world_;
+  const PSequence* sequence_;
+  const FeatureOptions* options_;
+  int n_;
+
+  std::vector<std::vector<RegionId>> candidates_;
+  std::vector<std::vector<double>> fsm_;
+  std::vector<DensityClass> density_;
+  std::vector<double> dt_, de_, speed_;
+  std::vector<uint8_t> turn_;
+};
+
+}  // namespace c2mn
+
+#endif  // C2MN_CORE_SEQUENCE_GRAPH_H_

@@ -1,0 +1,242 @@
+#include "core/trainer.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <memory>
+
+#include "common/logging.h"
+#include "common/math_utils.h"
+#include "common/stopwatch.h"
+#include "crf/lbfgs.h"
+
+namespace c2mn {
+
+namespace {
+
+/// Per-sequence training state: the unrolled graph, empirical labels in
+/// candidate-index space, and the current configuration of both chains.
+struct TrainSequence {
+  std::unique_ptr<SequenceGraph> graph;
+  std::vector<int> empirical_regions;          // Candidate indices.
+  std::vector<MobilityEvent> empirical_events;
+  std::vector<int> config_regions;             // Current Ā (region side).
+  std::vector<MobilityEvent> config_events;    // Current Ā (event side).
+};
+
+constexpr MobilityEvent kEventDomain[2] = {MobilityEvent::kStay,
+                                           MobilityEvent::kPass};
+
+}  // namespace
+
+TrainResult AlternateTrainer::Train(
+    const std::vector<const LabeledSequence*>& train) {
+  TrainResult result;
+  Stopwatch watch;
+  Rng rng(topts_.seed);
+
+  FeatureOptions fopts = fopts_;
+  if (fopts.use_region_frequency) {
+    // Normalized historical region frequency, the optional f_sm extension.
+    std::vector<double> freq(world_.plan().regions().size(), 1.0);
+    for (const LabeledSequence* seq : train) {
+      for (RegionId r : seq->labels.regions) {
+        if (r != kInvalidId) freq[r] += 1.0;
+      }
+    }
+    const double max_freq = *std::max_element(freq.begin(), freq.end());
+    for (double& f : freq) f /= max_freq;
+    fopts.region_frequency = std::move(freq);
+  }
+
+  // Unroll every training sequence once.
+  std::vector<TrainSequence> sequences;
+  sequences.reserve(train.size());
+  for (const LabeledSequence* ls : train) {
+    if (ls->sequence.empty()) continue;
+    TrainSequence ts;
+    ts.graph = std::make_unique<SequenceGraph>(world_, ls->sequence, fopts,
+                                               &ls->labels);
+    const int n = ts.graph->size();
+    ts.empirical_regions.resize(n);
+    for (int i = 0; i < n; ++i) {
+      const int idx = ts.graph->CandidateIndex(i, ls->labels.regions[i]);
+      ts.empirical_regions[i] = idx >= 0 ? idx : 0;
+    }
+    ts.empirical_events = ls->labels.events;
+    // Initial configurations of both chains (Algorithm 1, line 1 and
+    // footnote 6): st-DBSCAN events, nearest-neighbor regions.
+    ts.config_events = ts.graph->InitialEvents();
+    ts.config_regions = ts.graph->InitialRegions();
+    sequences.push_back(std::move(ts));
+  }
+  if (sequences.empty()) {
+    result.weights.assign(kNumWeights, 0.0);
+    return result;
+  }
+
+  // Random initial weights w0.
+  std::vector<double> w(kNumWeights);
+  for (double& wi : w) wi = rng.Uniform(0.2, 0.8);
+
+  LbfgsStepper::Options stepper_options;
+  stepper_options.initial_step = topts_.stepper_initial_step;
+  stepper_options.max_step_norm = topts_.stepper_max_step;
+  LbfgsStepper stepper(kNumWeights, stepper_options);
+
+  // `sampling_regions` = true means B = R (regions are sampled, events
+  // fixed at their configuration).
+  bool sampling_regions = !topts_.first_configure_region;
+
+  std::vector<double> inv_sigma2(kNumWeights, 1.0 / topts_.sigma2);
+  for (int k : {kWEventSeg0, kWEventSeg1, kWEventSeg2, kWSpaceSeg0,
+                kWSpaceSeg1, kWSpaceSeg2}) {
+    inv_sigma2[k] = 1.0 / topts_.segment_sigma2;
+  }
+  const int M = std::max(1, topts_.mcmc_samples);
+
+  for (int iter = 0; iter < topts_.max_iter; ++iter) {
+    std::vector<double> grad(kNumWeights, 0.0);
+    double objective = 0.0;
+
+    // Strict mode reproduces Algorithm 1's one-chain-per-iteration
+    // alternation.  The default samples both chains per iteration (the
+    // first-configured variable's counterpart first); with segmentation
+    // cliques removed (CMN) the chains are independent and the order is
+    // immaterial.
+    std::vector<bool> passes;
+    if (structure_.IsCoupled() && topts_.strict_alternation) {
+      passes = {sampling_regions};
+    } else if (topts_.first_configure_region) {
+      passes = {false, true};  // R configured first: sample E, then R.
+    } else {
+      passes = {true, false};  // E configured first: sample R, then E.
+    }
+    for (const bool pass_regions : passes) {
+    for (TrainSequence& ts : sequences) {
+      const SequenceGraph& g = *ts.graph;
+      const JointScorer scorer(g, structure_);
+      const int n = g.size();
+      // Majority-vote accumulation for line 25's sample averaging.
+      std::vector<std::array<int, 2>> event_votes;
+      std::vector<std::vector<int>> region_votes;
+      if (pass_regions) {
+        region_votes.resize(n);
+      } else {
+        event_votes.assign(n, {0, 0});
+      }
+
+      for (int i = 0; i < n; ++i) {
+        // Feature vector per candidate label of node i.  The B-chain
+        // neighbors come from the persistent MCMC chain B̄ (not the
+        // empirical labels): sampling against the model's own blanket is
+        // what keeps the transition weights calibrated for decode time,
+        // where neighbors are inferred rather than given.  The A-chain is
+        // fixed at its configuration Ā.
+        std::vector<FeatureVec> fvecs;
+        int empirical_index;
+        if (pass_regions) {
+          const int da = static_cast<int>(g.Candidates(i).size());
+          fvecs.reserve(da);
+          for (int a = 0; a < da; ++a) {
+            fvecs.push_back(scorer.RegionNodeFeatures(
+                i, a, ts.config_regions, ts.config_events));
+          }
+          empirical_index = ts.empirical_regions[i];
+          region_votes[i].assign(da, 0);
+        } else {
+          fvecs.reserve(2);
+          for (MobilityEvent v : kEventDomain) {
+            fvecs.push_back(scorer.EventNodeFeatures(
+                i, v, ts.config_regions, ts.config_events));
+          }
+          empirical_index =
+              ts.empirical_events[i] == MobilityEvent::kStay ? 0 : 1;
+        }
+
+        std::vector<double> logits(fvecs.size());
+        for (size_t a = 0; a < fvecs.size(); ++a) {
+          logits[a] = DotFeatures(w, fvecs[a]);
+        }
+        const double lse = LogSumExp(logits);
+        objective -= logits[empirical_index] - lse;  // -log P(b_i | MB).
+
+        // M MCMC draws from the local conditional (Eq. 9's sample mean of
+        // Δf = f(sampled) - f(empirical)).
+        std::vector<double> probs = logits;
+        SoftmaxInPlace(&probs);
+        for (int j = 0; j < M; ++j) {
+          const size_t draw = rng.Categorical(probs);
+          for (int k = 0; k < kNumWeights; ++k) {
+            grad[k] += (fvecs[draw][k] - fvecs[empirical_index][k]) /
+                       static_cast<double>(M);
+          }
+          if (pass_regions) {
+            ++region_votes[i][draw];
+          } else {
+            ++event_votes[i][draw];
+          }
+        }
+
+        // Advance the persistent chain at this node to the majority of
+        // the M draws (line 25's sample averaging), so later nodes in
+        // this systematic-scan sweep see the updated value.
+        if (pass_regions) {
+          ts.config_regions[i] = static_cast<int>(
+              std::max_element(region_votes[i].begin(),
+                               region_votes[i].end()) -
+              region_votes[i].begin());
+        } else {
+          ts.config_events[i] = event_votes[i][0] >= event_votes[i][1]
+                                    ? MobilityEvent::kStay
+                                    : MobilityEvent::kPass;
+        }
+      }
+    }
+
+        }  // passes
+
+    // Gaussian prior (Eq. 6's w'w / 2σ² term, per-template variances).
+    for (int k = 0; k < kNumWeights; ++k) {
+      grad[k] += w[k] * inv_sigma2[k];
+      objective += 0.5 * w[k] * w[k] * inv_sigma2[k];
+    }
+    result.objective_trace.push_back(objective);
+
+    std::vector<double> w_new = stepper.Step(w, grad);
+    if (topts_.nonnegative_weights) {
+      for (double& wk : w_new) wk = std::max(0.0, wk);
+    }
+    const double total_change = ChebyshevDistance(w_new, w);
+    // Movement of the currently-fixed variable's weight block decides
+    // whether to keep Ā or swap roles (Algorithm 1, lines 22-26).
+    const int a_begin = sampling_regions ? kEventBlockBegin : kRegionBlockBegin;
+    const int a_end = sampling_regions ? kEventBlockEnd : kRegionBlockEnd;
+    double a_change = 0.0;
+    for (int k = a_begin; k < a_end; ++k) {
+      a_change = std::max(a_change, std::fabs(w_new[k] - w[k]));
+    }
+    w = w_new;
+    result.iterations = iter + 1;
+
+    if (total_change <= topts_.delta) {
+      result.converged = true;
+      break;
+    }
+    if (structure_.IsCoupled() && topts_.strict_alternation &&
+        a_change > topts_.delta) {
+      // The fixed block moved: swap which variable is configured.  The
+      // new Ā is the majority of the samples just drawn (line 25).
+      sampling_regions = !sampling_regions;
+      stepper.Reset();
+    }
+  }
+
+  result.weights = std::move(w);
+  result.train_seconds = watch.ElapsedSeconds();
+  C2MN_LOG_DEBUG << "training finished: " << result.iterations
+                 << " iterations, " << result.train_seconds << " s";
+  return result;
+}
+
+}  // namespace c2mn

@@ -1,0 +1,98 @@
+#ifndef C2MN_CORE_TRAINER_H_
+#define C2MN_CORE_TRAINER_H_
+
+#include <vector>
+
+#include "common/rng.h"
+#include "core/annotator.h"
+#include "core/scorer.h"
+
+namespace c2mn {
+
+/// \brief Hyper-parameters of Algorithm 1 (alternate learning with MCMC
+/// inference).
+struct TrainOptions {
+  /// Maximum outer iterations (paper: max_iter = 90 real / 50 synthetic).
+  int max_iter = 40;
+  /// M: MCMC instances per step (paper: 800 real / 500 synthetic; the
+  /// default here is scaled to bench budgets — raise it to study Figs 7/8).
+  int mcmc_samples = 60;
+  /// σ²: variance of the zero-mean Gaussian prior (paper: 0.5 / 0.2).
+  double sigma2 = 0.5;
+  /// Tighter prior variance for the six segmentation-feature weights.
+  /// Segment cliques aggregate many records, so small weights already
+  /// carry large influence; bounding them keeps the coupled decoding
+  /// stable (the paper normalizes f_es / f_ss values for the same
+  /// reason).
+  double segment_sigma2 = 0.15;
+  /// Project weights onto [0, ∞) after each step.  Every feature function
+  /// is a designed plausibility score (Section III-B), so its weight is
+  /// meant to scale, not invert, that plausibility; the projection keeps
+  /// weakly-identified templates from flipping sign on sampling noise.
+  bool nonnegative_weights = true;
+  /// δ: Chebyshev convergence threshold of line 18 (paper: 1e-3).
+  double delta = 1e-3;
+  /// First-configured variable: false = E via st-DBSCAN (paper default),
+  /// true = R via nearest-neighbor matching (the C2MN@R variant, Fig. 11).
+  bool first_configure_region = false;
+  /// true = Algorithm 1's literal alternation (one chain sampled per outer
+  /// iteration, swap when the fixed block moves).  false (default) = both
+  /// chains sampled every iteration, first-configured first; same
+  /// conditioning structure, twice the gradient information per iteration.
+  bool strict_alternation = false;
+  uint64_t seed = 42;
+  /// Incremental L-BFGS step control.
+  double stepper_initial_step = 0.15;
+  double stepper_max_step = 0.5;
+};
+
+/// \brief Outcome of a training run.
+struct TrainResult {
+  std::vector<double> weights;
+  int iterations = 0;
+  bool converged = false;
+  double train_seconds = 0.0;
+  /// Exact pseudo-likelihood (lower is better) per outer iteration.
+  std::vector<double> objective_trace;
+};
+
+/// \brief Supervised learning of the C2MN weights by alternate
+/// pseudo-likelihood maximization (Section IV).
+///
+/// Each outer iteration fixes one target variable at its current
+/// configuration Ā (initially st-DBSCAN events, or nearest-neighbor
+/// regions for @R), draws M samples per node of the other variable B from
+/// its Markov-blanket conditional, forms the stochastic gradient of
+/// Eq. 9, and takes one incremental L-BFGS step.  When the step moves the
+/// fixed variable's weight block by more than δ, the configuration is
+/// swapped: Ā is replaced by the per-node majority of the M samples
+/// (line 25's sample averaging) and the roles of A and B exchange.
+class AlternateTrainer {
+ public:
+  AlternateTrainer(const World& world, FeatureOptions feature_options,
+                   C2mnStructure structure, TrainOptions train_options)
+      : world_(world),
+        fopts_(std::move(feature_options)),
+        structure_(structure),
+        topts_(train_options) {}
+
+  /// Learns weights from fully-labeled sequences.
+  TrainResult Train(const std::vector<const LabeledSequence*>& train);
+
+  /// Convenience: builds the annotator for the learned weights.
+  C2mnAnnotator MakeAnnotator(const TrainResult& result) const {
+    return C2mnAnnotator(world_, fopts_, structure_, result.weights);
+  }
+
+  const FeatureOptions& feature_options() const { return fopts_; }
+
+ private:
+  const World& world_;
+  FeatureOptions fopts_;
+  C2mnStructure structure_;
+  TrainOptions topts_;
+};
+
+}  // namespace c2mn
+
+#endif  // C2MN_CORE_TRAINER_H_

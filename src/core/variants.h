@@ -1,0 +1,70 @@
+#ifndef C2MN_CORE_VARIANTS_H_
+#define C2MN_CORE_VARIANTS_H_
+
+#include <string>
+#include <vector>
+
+#include "core/options.h"
+
+namespace c2mn {
+
+/// \brief A named C2MN structure variant, as compared in Table IV.
+struct C2mnVariant {
+  std::string name;
+  C2mnStructure structure;
+  /// True for C2MN@R (first-configure regions, Fig. 11).
+  bool first_configure_region = false;
+};
+
+/// The full C2MN (all clique categories).
+inline C2mnVariant FullC2mn() { return {"C2MN", C2mnStructure{}, false}; }
+
+/// C2MN/Tran: no transition cliques.
+inline C2mnVariant C2mnNoTransition() {
+  C2mnStructure s;
+  s.use_transition = false;
+  return {"C2MN/Tran", s, false};
+}
+
+/// C2MN/Syn: no synchronization cliques.
+inline C2mnVariant C2mnNoSync() {
+  C2mnStructure s;
+  s.use_sync = false;
+  return {"C2MN/Syn", s, false};
+}
+
+/// C2MN/ES: no event-based segmentation cliques.
+inline C2mnVariant C2mnNoEventSeg() {
+  C2mnStructure s;
+  s.use_event_seg = false;
+  return {"C2MN/ES", s, false};
+}
+
+/// C2MN/SS: no space-based segmentation cliques.
+inline C2mnVariant C2mnNoSpaceSeg() {
+  C2mnStructure s;
+  s.use_space_seg = false;
+  return {"C2MN/SS", s, false};
+}
+
+/// CMN: both segmentation categories removed; R and E decouple and are
+/// inferred asynchronously.
+inline C2mnVariant DecoupledCmn() {
+  C2mnStructure s;
+  s.use_event_seg = false;
+  s.use_space_seg = false;
+  return {"CMN", s, false};
+}
+
+/// C2MN@R: full structure, but regions are the first-configured variable.
+inline C2mnVariant C2mnAtR() { return {"C2MN@R", C2mnStructure{}, true}; }
+
+/// The C2MN-family lineup of Table IV (CMN + four ablations + full).
+inline std::vector<C2mnVariant> TableFourVariants() {
+  return {DecoupledCmn(),   C2mnNoTransition(), C2mnNoSync(),
+          C2mnNoEventSeg(), C2mnNoSpaceSeg(),   FullC2mn()};
+}
+
+}  // namespace c2mn
+
+#endif  // C2MN_CORE_VARIANTS_H_

@@ -1,0 +1,76 @@
+#include "core/weights_io.h"
+
+#include <cassert>
+#include <cmath>
+#include <cstdio>
+#include <istream>
+#include <map>
+#include <ostream>
+#include <sstream>
+
+namespace c2mn {
+namespace weights_io {
+
+const std::vector<std::string>& ComponentNames() {
+  static const std::vector<std::string>* names = new std::vector<std::string>{
+      "spatial_match",      "space_transition", "spatial_consistency",
+      "event_seg_distnum",  "event_seg_speed",  "event_seg_turns",
+      "event_match",        "event_transition", "event_consistency",
+      "space_seg_distinct", "space_seg_trans",  "space_seg_boundary"};
+  assert(static_cast<int>(names->size()) == kNumWeights);
+  return *names;
+}
+
+void Write(const std::vector<double>& weights, std::ostream* out) {
+  assert(static_cast<int>(weights.size()) == kNumWeights);
+  *out << "c2mn-weights v1\n";
+  char buf[96];
+  for (int k = 0; k < kNumWeights; ++k) {
+    std::snprintf(buf, sizeof(buf), "%s %.17g\n",
+                  ComponentNames()[k].c_str(), weights[k]);
+    *out << buf;
+  }
+}
+
+std::string ToString(const std::vector<double>& weights) {
+  std::ostringstream out;
+  Write(weights, &out);
+  return out.str();
+}
+
+Result<std::vector<double>> Read(std::istream* in) {
+  std::string header;
+  if (!std::getline(*in, header) || header != "c2mn-weights v1") {
+    return Status::InvalidArgument("weights file: bad header");
+  }
+  std::map<std::string, double> values;
+  std::string line;
+  while (std::getline(*in, line)) {
+    if (line.empty()) continue;
+    const size_t space = line.find(' ');
+    if (space == std::string::npos) {
+      return Status::InvalidArgument("weights file: malformed line '" + line +
+                                     "'");
+    }
+    const std::string name = line.substr(0, space);
+    char* end = nullptr;
+    const double value = std::strtod(line.c_str() + space + 1, &end);
+    if (end == line.c_str() + space + 1 || !std::isfinite(value)) {
+      return Status::InvalidArgument("weights file: bad value for " + name);
+    }
+    values[name] = value;
+  }
+  std::vector<double> weights(kNumWeights);
+  for (int k = 0; k < kNumWeights; ++k) {
+    const auto it = values.find(ComponentNames()[k]);
+    if (it == values.end()) {
+      return Status::InvalidArgument("weights file: missing component " +
+                                     ComponentNames()[k]);
+    }
+    weights[k] = it->second;
+  }
+  return weights;
+}
+
+}  // namespace weights_io
+}  // namespace c2mn

@@ -1,0 +1,36 @@
+#ifndef C2MN_CORE_WEIGHTS_IO_H_
+#define C2MN_CORE_WEIGHTS_IO_H_
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "core/options.h"
+
+namespace c2mn {
+
+/// \brief Text serialization of a trained weight vector, so models can be
+/// trained once and shipped (e.g. by tools/c2mn_cli).
+///
+/// Format:
+///   c2mn-weights v1
+///   <name> <value>        (one line per FeatureIndex component)
+///
+/// Components are written by name, so files remain readable and robust to
+/// reordering.
+namespace weights_io {
+
+/// Canonical names of the weight components, aligned with FeatureIndex.
+const std::vector<std::string>& ComponentNames();
+
+void Write(const std::vector<double>& weights, std::ostream* out);
+std::string ToString(const std::vector<double>& weights);
+
+/// Parses a weight file; all kNumWeights components must be present.
+Result<std::vector<double>> Read(std::istream* in);
+
+}  // namespace weights_io
+}  // namespace c2mn
+
+#endif  // C2MN_CORE_WEIGHTS_IO_H_

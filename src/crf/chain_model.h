@@ -1,0 +1,64 @@
+#ifndef C2MN_CRF_CHAIN_MODEL_H_
+#define C2MN_CRF_CHAIN_MODEL_H_
+
+#include <vector>
+
+#include "common/rng.h"
+
+namespace c2mn {
+
+/// \brief Log-linear potentials of a linear chain with per-position label
+/// sets: node[i][a] is the log-potential of label a at position i, and
+/// edge[i][a][b] the log-potential of (label a at i, label b at i+1).
+///
+/// Labels are indices into each position's candidate set, so positions may
+/// have different domain sizes (region candidates differ per record).
+struct ChainPotentials {
+  std::vector<std::vector<double>> node;
+  /// edge[i] couples positions i and i+1; size node.size() - 1.
+  std::vector<std::vector<std::vector<double>>> edge;
+
+  size_t length() const { return node.size(); }
+  size_t domain(size_t i) const { return node[i].size(); }
+  bool Validate() const;
+};
+
+/// \brief Exact and sampling inference over a ChainPotentials.
+///
+/// This is the pairwise backbone shared by the C2MN decoding passes (the
+/// region chain given events, and the event chain given regions) and by
+/// the CMN / HMM baselines.  Segment-level cliques are layered on top via
+/// ICM (see core/annotator).
+class ChainModel {
+ public:
+  explicit ChainModel(ChainPotentials potentials);
+
+  const ChainPotentials& potentials() const { return potentials_; }
+
+  /// Max-product decoding: the label configuration with maximal score.
+  std::vector<int> Viterbi() const;
+
+  /// Log of the partition function (forward algorithm, log-space).
+  double LogPartition() const;
+
+  /// Posterior node marginals P(y_i = a).
+  std::vector<std::vector<double>> Marginals() const;
+
+  /// Unnormalized log-score of a configuration.
+  double Score(const std::vector<int>& labels) const;
+
+  /// One systematic-scan Gibbs sweep over `state` (each position resampled
+  /// from its full conditional given its neighbors).
+  void GibbsSweep(std::vector<int>* state, Rng* rng) const;
+
+  /// Exact sample from the chain distribution via forward-filter
+  /// backward-sample.
+  std::vector<int> Sample(Rng* rng) const;
+
+ private:
+  ChainPotentials potentials_;
+};
+
+}  // namespace c2mn
+
+#endif  // C2MN_CRF_CHAIN_MODEL_H_

@@ -1,0 +1,82 @@
+#include "crf/hmm.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace c2mn {
+
+Hmm::Hmm(int num_states, int num_observations, double laplace_smoothing)
+    : num_states_(num_states),
+      num_observations_(num_observations),
+      laplace_(laplace_smoothing) {
+  assert(num_states_ > 0 && num_observations_ > 0 && laplace_ >= 0.0);
+  initial_counts_.assign(num_states_, 0.0);
+  transition_counts_.assign(num_states_,
+                            std::vector<double>(num_states_, 0.0));
+  emission_counts_.assign(num_states_,
+                          std::vector<double>(num_observations_, 0.0));
+}
+
+void Hmm::AddSequence(const std::vector<int>& states,
+                      const std::vector<int>& observations) {
+  assert(states.size() == observations.size());
+  if (states.empty()) return;
+  initial_counts_[states[0]] += 1.0;
+  for (size_t i = 0; i < states.size(); ++i) {
+    emission_counts_[states[i]][observations[i]] += 1.0;
+    if (i + 1 < states.size()) {
+      transition_counts_[states[i]][states[i + 1]] += 1.0;
+    }
+  }
+  fitted_ = false;
+}
+
+void Hmm::AddEmissionPseudoCount(int state, int observation, double weight) {
+  assert(state >= 0 && state < num_states_);
+  assert(observation >= 0 && observation < num_observations_);
+  assert(weight >= 0.0);
+  emission_counts_[state][observation] += weight;
+  fitted_ = false;
+}
+
+void Hmm::Fit() {
+  auto normalize_log = [this](const std::vector<double>& counts) {
+    std::vector<double> out(counts.size());
+    double total = 0.0;
+    for (double c : counts) total += c + laplace_;
+    for (size_t i = 0; i < counts.size(); ++i) {
+      out[i] = std::log((counts[i] + laplace_) / total);
+    }
+    return out;
+  };
+  log_initial_ = normalize_log(initial_counts_);
+  log_transition_.clear();
+  log_emission_.clear();
+  for (int s = 0; s < num_states_; ++s) {
+    log_transition_.push_back(normalize_log(transition_counts_[s]));
+    log_emission_.push_back(normalize_log(emission_counts_[s]));
+  }
+  fitted_ = true;
+}
+
+std::vector<int> Hmm::Decode(const std::vector<int>& observations) const {
+  assert(fitted_);
+  if (observations.empty()) return {};
+  ChainPotentials pots;
+  const size_t n = observations.size();
+  pots.node.resize(n);
+  pots.edge.resize(n - 1);
+  for (size_t i = 0; i < n; ++i) {
+    pots.node[i].resize(num_states_);
+    for (int s = 0; s < num_states_; ++s) {
+      pots.node[i][s] = log_emission_[s][observations[i]] +
+                        (i == 0 ? log_initial_[s] : 0.0);
+    }
+    if (i + 1 < n) {
+      pots.edge[i] = log_transition_;
+    }
+  }
+  return ChainModel(std::move(pots)).Viterbi();
+}
+
+}  // namespace c2mn

@@ -1,0 +1,68 @@
+#ifndef C2MN_CRF_HMM_H_
+#define C2MN_CRF_HMM_H_
+
+#include <vector>
+
+#include "crf/chain_model.h"
+
+namespace c2mn {
+
+/// \brief A discrete hidden Markov model with frequency-counted parameters
+/// and Laplace smoothing.
+///
+/// This is the substrate of the HMM+DC baseline ("semantic regions are
+/// hidden states and positioning records distributed to corresponding
+/// grids are observations; parameters are estimated via frequency counting
+/// and regions are inferred by Viterbi decoding") and of SAP's stay-segment
+/// region labeling.
+class Hmm {
+ public:
+  /// `num_states` hidden states, `num_observations` discrete observations.
+  Hmm(int num_states, int num_observations, double laplace_smoothing = 1.0);
+
+  int num_states() const { return num_states_; }
+  int num_observations() const { return num_observations_; }
+
+  /// Accumulates counts from one labeled sequence (parallel vectors of
+  /// hidden states and observations).
+  void AddSequence(const std::vector<int>& states,
+                   const std::vector<int>& observations);
+
+  /// Adds a weighted pseudo-count to one emission cell, for priors that
+  /// back off sparse frequency counts (e.g. geometric overlap priors).
+  void AddEmissionPseudoCount(int state, int observation, double weight);
+
+  /// Normalizes counts into (log) probabilities.  Call once after all
+  /// AddSequence() calls; further AddSequence() calls require Refit().
+  void Fit();
+
+  /// Viterbi decoding of the most likely hidden state sequence.
+  std::vector<int> Decode(const std::vector<int>& observations) const;
+
+  /// Log-probabilities (after Fit()).
+  double LogInitial(int state) const { return log_initial_[state]; }
+  double LogTransition(int from, int to) const {
+    return log_transition_[from][to];
+  }
+  double LogEmission(int state, int obs) const {
+    return log_emission_[state][obs];
+  }
+
+ private:
+  int num_states_;
+  int num_observations_;
+  double laplace_;
+  bool fitted_ = false;
+
+  std::vector<double> initial_counts_;
+  std::vector<std::vector<double>> transition_counts_;
+  std::vector<std::vector<double>> emission_counts_;
+
+  std::vector<double> log_initial_;
+  std::vector<std::vector<double>> log_transition_;
+  std::vector<std::vector<double>> log_emission_;
+};
+
+}  // namespace c2mn
+
+#endif  // C2MN_CRF_HMM_H_

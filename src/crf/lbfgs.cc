@@ -1,0 +1,204 @@
+#include "crf/lbfgs.h"
+
+#include <cassert>
+#include <cmath>
+
+#include "common/math_utils.h"
+
+namespace c2mn {
+
+namespace {
+
+/// Two-loop recursion: applies the inverse-Hessian approximation encoded
+/// by the (s, y) pairs to `gradient`, returning the descent direction
+/// (already negated).
+std::vector<double> TwoLoopDirection(
+    const std::deque<std::tuple<std::vector<double>, std::vector<double>,
+                                double>>& pairs,
+    const std::vector<double>& gradient) {
+  std::vector<double> q = gradient;
+  std::vector<double> alphas(pairs.size());
+  for (size_t k = pairs.size(); k-- > 0;) {
+    const auto& [s, y, rho] = pairs[k];
+    alphas[k] = rho * Dot(s, q);
+    Axpy(-alphas[k], y, &q);
+  }
+  // Initial Hessian scaling gamma = s.y / y.y of the newest pair.
+  if (!pairs.empty()) {
+    const auto& [s, y, rho] = pairs.back();
+    (void)rho;
+    const double yy = Dot(y, y);
+    if (yy > 1e-18) {
+      const double gamma = Dot(s, y) / yy;
+      for (double& v : q) v *= gamma;
+    }
+  }
+  for (size_t k = 0; k < pairs.size(); ++k) {
+    const auto& [s, y, rho] = pairs[k];
+    const double beta = rho * Dot(y, q);
+    Axpy(alphas[k] - beta, s, &q);
+  }
+  for (double& v : q) v = -v;
+  return q;
+}
+
+}  // namespace
+
+LbfgsSolver::Summary LbfgsSolver::Minimize(const Objective& f,
+                                           std::vector<double> x0) const {
+  Summary summary;
+  std::vector<double> x = std::move(x0);
+  std::vector<double> grad(x.size(), 0.0);
+  double fx = f(x, &grad);
+
+  std::deque<std::tuple<std::vector<double>, std::vector<double>, double>>
+      pairs;
+
+  for (int iter = 0; iter < options_.max_iterations; ++iter) {
+    if (L2Norm(grad) <= options_.gradient_tolerance) {
+      summary.converged = true;
+      break;
+    }
+    std::vector<double> direction = TwoLoopDirection(pairs, grad);
+    double directional = Dot(direction, grad);
+    if (directional >= 0.0) {
+      // Not a descent direction (stale curvature); fall back to steepest
+      // descent.
+      direction = grad;
+      for (double& v : direction) v = -v;
+      directional = Dot(direction, grad);
+      pairs.clear();
+    }
+
+    // Backtracking Armijo line search.
+    double step = options_.initial_step;
+    std::vector<double> x_new(x.size());
+    std::vector<double> grad_new(x.size(), 0.0);
+    double fx_new = fx;
+    bool accepted = false;
+    for (int ls = 0; ls < options_.max_line_search_steps; ++ls) {
+      for (size_t i = 0; i < x.size(); ++i) {
+        x_new[i] = x[i] + step * direction[i];
+      }
+      fx_new = f(x_new, &grad_new);
+      if (fx_new <= fx + options_.armijo_c1 * step * directional) {
+        accepted = true;
+        break;
+      }
+      step *= options_.backtrack_factor;
+    }
+    if (accepted && step == options_.initial_step) {
+      // The full step was accepted outright; expand while the objective
+      // keeps improving.  Without this, a badly scaled inverse-Hessian
+      // seed (tiny s·y / y·y after a steep first step) can stall progress
+      // at microscopic but always-accepted steps.
+      std::vector<double> x_try(x.size());
+      std::vector<double> grad_try(x.size(), 0.0);
+      for (int ex = 0; ex < options_.max_line_search_steps; ++ex) {
+        const double bigger = step * 2.0;
+        for (size_t i = 0; i < x.size(); ++i) {
+          x_try[i] = x[i] + bigger * direction[i];
+        }
+        const double fx_try = f(x_try, &grad_try);
+        if (fx_try >= fx_new) break;
+        step = bigger;
+        x_new = x_try;
+        grad_new = grad_try;
+        fx_new = fx_try;
+      }
+    }
+    if (!accepted) {
+      // The quasi-Newton direction failed to make progress (stale
+      // curvature in a narrow valley): drop the history and retry the
+      // iteration with steepest descent before giving up.
+      if (!pairs.empty()) {
+        pairs.clear();
+        summary.iterations = iter + 1;
+        continue;
+      }
+      break;
+    }
+
+    // Update curvature history.
+    std::vector<double> s(x.size()), y(x.size());
+    for (size_t i = 0; i < x.size(); ++i) {
+      s[i] = x_new[i] - x[i];
+      y[i] = grad_new[i] - grad[i];
+    }
+    const double sy = Dot(s, y);
+    if (sy > 1e-12) {
+      pairs.emplace_back(std::move(s), std::move(y), 1.0 / sy);
+      if (static_cast<int>(pairs.size()) > options_.history) {
+        pairs.pop_front();
+      }
+    }
+    x = std::move(x_new);
+    grad = grad_new;
+    fx = fx_new;
+    summary.iterations = iter + 1;
+  }
+  summary.solution = std::move(x);
+  summary.objective = fx;
+  return summary;
+}
+
+LbfgsStepper::LbfgsStepper(size_t dimension, Options options)
+    : dimension_(dimension), options_(options) {}
+
+void LbfgsStepper::Reset() {
+  pairs_.clear();
+  has_prev_ = false;
+}
+
+std::vector<double> LbfgsStepper::Step(const std::vector<double>& weights,
+                                       const std::vector<double>& gradient) {
+  assert(weights.size() == dimension_ && gradient.size() == dimension_);
+  // Record the curvature pair produced by the previous step.
+  if (has_prev_) {
+    Pair pair;
+    pair.s.resize(dimension_);
+    pair.y.resize(dimension_);
+    for (size_t i = 0; i < dimension_; ++i) {
+      pair.s[i] = weights[i] - prev_weights_[i];
+      pair.y[i] = gradient[i] - prev_gradient_[i];
+    }
+    const double sy = Dot(pair.s, pair.y);
+    if (sy > 1e-12) {
+      pair.rho = 1.0 / sy;
+      pairs_.push_back(std::move(pair));
+      if (static_cast<int>(pairs_.size()) > options_.history) {
+        pairs_.pop_front();
+      }
+    }
+  }
+
+  std::deque<std::tuple<std::vector<double>, std::vector<double>, double>>
+      view;
+  for (const Pair& p : pairs_) view.emplace_back(p.s, p.y, p.rho);
+  std::vector<double> direction = TwoLoopDirection(view, gradient);
+  if (Dot(direction, gradient) >= 0.0) {
+    direction = gradient;
+    for (double& v : direction) v = -v;
+    pairs_.clear();
+  }
+  if (pairs_.empty()) {
+    // First (or reset) step: plain scaled gradient descent.
+    for (double& v : direction) v *= options_.initial_step;
+  }
+  // Trust region: clip the step norm.
+  const double norm = L2Norm(direction);
+  if (norm > options_.max_step_norm) {
+    const double scale = options_.max_step_norm / norm;
+    for (double& v : direction) v *= scale;
+  }
+
+  prev_weights_ = weights;
+  prev_gradient_ = gradient;
+  has_prev_ = true;
+
+  std::vector<double> next(dimension_);
+  for (size_t i = 0; i < dimension_; ++i) next[i] = weights[i] + direction[i];
+  return next;
+}
+
+}  // namespace c2mn

@@ -1,0 +1,96 @@
+#ifndef C2MN_CRF_LBFGS_H_
+#define C2MN_CRF_LBFGS_H_
+
+#include <deque>
+#include <functional>
+#include <vector>
+
+namespace c2mn {
+
+/// \brief Limited-memory BFGS (Liu & Nocedal [16]) with two-loop
+/// recursion, used to search the optimal C2MN weights.
+///
+/// Two entry points are provided:
+///  - Minimize(): the classic batch driver with backtracking line search,
+///    for deterministic objectives (also exercised by the unit tests on
+///    quadratic and Rosenbrock functions);
+///  - the incremental LbfgsStepper, which performs one quasi-Newton step
+///    per call and is what Algorithm 1 uses (line 17: "run L-BFGS with
+///    PL(w), ∇PL(w) to get new weights w̄"), where the objective value and
+///    gradient come from MCMC estimates.
+class LbfgsSolver {
+ public:
+  struct Options {
+    int max_iterations = 100;
+    int history = 7;            ///< Number of (s, y) pairs kept.
+    double gradient_tolerance = 1e-6;
+    double initial_step = 1.0;
+    double backtrack_factor = 0.5;
+    double armijo_c1 = 1e-4;
+    int max_line_search_steps = 30;
+  };
+
+  struct Summary {
+    std::vector<double> solution;
+    double objective = 0.0;
+    int iterations = 0;
+    bool converged = false;
+  };
+
+  /// The objective: fills `*gradient` (same size as x) and returns f(x).
+  using Objective =
+      std::function<double(const std::vector<double>&, std::vector<double>*)>;
+
+  LbfgsSolver() : options_(Options()) {}
+  explicit LbfgsSolver(Options options) : options_(options) {}
+
+  Summary Minimize(const Objective& f, std::vector<double> x0) const;
+
+ private:
+  Options options_;
+};
+
+/// \brief Incremental L-BFGS: feed one (gradient, value) estimate per
+/// outer iteration and receive the next iterate.
+///
+/// Because the estimates are stochastic (MCMC), no line search is run;
+/// instead the step is clipped to `max_step_norm` and curvature pairs with
+/// non-positive y·s are rejected, which keeps the inverse-Hessian
+/// approximation positive definite.
+class LbfgsStepper {
+ public:
+  struct Options {
+    int history = 7;
+    double initial_step = 0.1;   ///< Scale of the very first (gradient) step.
+    double max_step_norm = 0.5;  ///< Trust region on each update.
+  };
+
+  explicit LbfgsStepper(size_t dimension) : LbfgsStepper(dimension, Options()) {}
+  LbfgsStepper(size_t dimension, Options options);
+
+  /// Computes the next iterate from the current weights and gradient.
+  std::vector<double> Step(const std::vector<double>& weights,
+                           const std::vector<double>& gradient);
+
+  /// Forgets all curvature history (used when the alternation switches the
+  /// fixed variable and the effective objective changes).
+  void Reset();
+
+ private:
+  struct Pair {
+    std::vector<double> s;
+    std::vector<double> y;
+    double rho;
+  };
+
+  size_t dimension_;
+  Options options_;
+  std::deque<Pair> pairs_;
+  std::vector<double> prev_weights_;
+  std::vector<double> prev_gradient_;
+  bool has_prev_ = false;
+};
+
+}  // namespace c2mn
+
+#endif  // C2MN_CRF_LBFGS_H_

@@ -1,0 +1,67 @@
+#include "data/dataset.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace c2mn {
+
+size_t Dataset::NumRecords() const {
+  size_t n = 0;
+  for (const LabeledSequence& seq : sequences) n += seq.size();
+  return n;
+}
+
+TrainTestSplit SplitDataset(const Dataset& dataset, double train_fraction,
+                            Rng* rng) {
+  assert(train_fraction >= 0.0 && train_fraction <= 1.0);
+  std::vector<const LabeledSequence*> all;
+  all.reserve(dataset.sequences.size());
+  for (const LabeledSequence& seq : dataset.sequences) all.push_back(&seq);
+  rng->Shuffle(&all);
+  const size_t n_train = static_cast<size_t>(
+      train_fraction * static_cast<double>(all.size()) + 0.5);
+  TrainTestSplit split;
+  split.train.assign(all.begin(), all.begin() + n_train);
+  split.test.assign(all.begin() + n_train, all.end());
+  return split;
+}
+
+std::vector<TrainTestSplit> CrossValidationFolds(const Dataset& dataset,
+                                                 int folds, Rng* rng) {
+  assert(folds >= 2);
+  std::vector<const LabeledSequence*> all;
+  for (const LabeledSequence& seq : dataset.sequences) all.push_back(&seq);
+  rng->Shuffle(&all);
+  std::vector<TrainTestSplit> out(folds);
+  for (int f = 0; f < folds; ++f) {
+    for (size_t i = 0; i < all.size(); ++i) {
+      if (static_cast<int>(i % folds) == f) {
+        out[f].test.push_back(all[i]);
+      } else {
+        out[f].train.push_back(all[i]);
+      }
+    }
+  }
+  return out;
+}
+
+DatasetStats ComputeStats(const Dataset& dataset) {
+  DatasetStats stats;
+  stats.num_sequences = dataset.NumSequences();
+  stats.num_records = dataset.NumRecords();
+  if (stats.num_sequences == 0) return stats;
+  double total_duration = 0.0;
+  double total_rate = 0.0;
+  for (const LabeledSequence& seq : dataset.sequences) {
+    total_duration += seq.sequence.Duration();
+    total_rate += seq.sequence.SamplingRate();
+  }
+  const double ns = static_cast<double>(stats.num_sequences);
+  stats.avg_records_per_sequence =
+      static_cast<double>(stats.num_records) / ns;
+  stats.avg_duration_seconds = total_duration / ns;
+  stats.avg_sampling_rate_hz = total_rate / ns;
+  return stats;
+}
+
+}  // namespace c2mn

@@ -1,0 +1,47 @@
+#ifndef C2MN_DATA_DATASET_H_
+#define C2MN_DATA_DATASET_H_
+
+#include <vector>
+
+#include "common/rng.h"
+#include "data/labels.h"
+
+namespace c2mn {
+
+/// \brief A collection of labeled p-sequences sharing one floorplan.
+struct Dataset {
+  std::vector<LabeledSequence> sequences;
+
+  size_t NumSequences() const { return sequences.size(); }
+  size_t NumRecords() const;
+};
+
+/// \brief Train/test partition of a dataset (sequence granularity).
+struct TrainTestSplit {
+  std::vector<const LabeledSequence*> train;
+  std::vector<const LabeledSequence*> test;
+};
+
+/// Randomly assigns `train_fraction` of the sequences to the training
+/// side.  Used for the training-fraction sweeps (Figs. 5, 6, 10).
+TrainTestSplit SplitDataset(const Dataset& dataset, double train_fraction,
+                            Rng* rng);
+
+/// K-fold cross-validation folds; fold i's test set is the i-th shard.
+std::vector<TrainTestSplit> CrossValidationFolds(const Dataset& dataset,
+                                                 int folds, Rng* rng);
+
+/// \brief Summary statistics in the shape of Table III of the paper.
+struct DatasetStats {
+  size_t num_sequences = 0;
+  size_t num_records = 0;
+  double avg_records_per_sequence = 0.0;
+  double avg_duration_seconds = 0.0;
+  double avg_sampling_rate_hz = 0.0;
+};
+
+DatasetStats ComputeStats(const Dataset& dataset);
+
+}  // namespace c2mn
+
+#endif  // C2MN_DATA_DATASET_H_

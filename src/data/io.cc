@@ -1,0 +1,178 @@
+#include "data/io.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <vector>
+
+namespace c2mn {
+namespace io {
+
+namespace {
+
+/// Splits one CSV line on commas (no quoting: the formats are numeric
+/// plus fixed enum tokens).
+std::vector<std::string> SplitCsv(const std::string& line) {
+  std::vector<std::string> fields;
+  std::string current;
+  for (char c : line) {
+    if (c == ',') {
+      fields.push_back(current);
+      current.clear();
+    } else if (c != '\r') {
+      current.push_back(c);
+    }
+  }
+  fields.push_back(current);
+  return fields;
+}
+
+bool ParseDouble(const std::string& s, double* out) {
+  char* end = nullptr;
+  *out = std::strtod(s.c_str(), &end);
+  return end != nullptr && *end == '\0' && !s.empty();
+}
+
+bool ParseInt(const std::string& s, int64_t* out) {
+  char* end = nullptr;
+  *out = std::strtoll(s.c_str(), &end, 10);
+  return end != nullptr && *end == '\0' && !s.empty();
+}
+
+}  // namespace
+
+void WriteRecordsCsv(const Dataset& dataset, std::ostream* out) {
+  *out << "object_id,t,x,y,floor\n";
+  char buf[160];
+  for (const LabeledSequence& ls : dataset.sequences) {
+    for (const PositioningRecord& rec : ls.sequence.records) {
+      std::snprintf(buf, sizeof(buf), "%" PRId64 ",%.3f,%.3f,%.3f,%d\n",
+                    ls.sequence.object_id, rec.timestamp, rec.location.xy.x,
+                    rec.location.xy.y, rec.location.floor);
+      *out << buf;
+    }
+  }
+}
+
+void WriteLabelsCsv(const Dataset& dataset, std::ostream* out) {
+  *out << "object_id,t,region,event\n";
+  char buf[120];
+  for (const LabeledSequence& ls : dataset.sequences) {
+    for (size_t i = 0; i < ls.size(); ++i) {
+      std::snprintf(buf, sizeof(buf), "%" PRId64 ",%.3f,%d,%s\n",
+                    ls.sequence.object_id, ls.sequence[i].timestamp,
+                    ls.labels.regions[i],
+                    MobilityEventName(ls.labels.events[i]));
+      *out << buf;
+    }
+  }
+}
+
+void WriteMSemanticsCsv(const std::vector<int64_t>& object_ids,
+                        const std::vector<MSemanticsSequence>& semantics,
+                        std::ostream* out) {
+  *out << "object_id,region,t_start,t_end,event,support\n";
+  char buf[160];
+  for (size_t s = 0; s < semantics.size(); ++s) {
+    for (const MSemantics& ms : semantics[s]) {
+      std::snprintf(buf, sizeof(buf), "%" PRId64 ",%d,%.3f,%.3f,%s,%d\n",
+                    object_ids[s], ms.region, ms.t_start, ms.t_end,
+                    MobilityEventName(ms.event), ms.support);
+      *out << buf;
+    }
+  }
+}
+
+Result<Dataset> ReadRecordsCsv(std::istream* in) {
+  Dataset dataset;
+  std::string line;
+  if (!std::getline(*in, line)) {
+    return Status::InvalidArgument("records csv: missing header");
+  }
+  int line_no = 1;
+  LabeledSequence* current = nullptr;
+  while (std::getline(*in, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    const auto fields = SplitCsv(line);
+    int64_t object_id, floor;
+    double t, x, y;
+    if (fields.size() != 5 || !ParseInt(fields[0], &object_id) ||
+        !ParseDouble(fields[1], &t) || !ParseDouble(fields[2], &x) ||
+        !ParseDouble(fields[3], &y) || !ParseInt(fields[4], &floor)) {
+      return Status::InvalidArgument("records csv: malformed line " +
+                                     std::to_string(line_no));
+    }
+    if (current == nullptr || current->sequence.object_id != object_id) {
+      dataset.sequences.emplace_back();
+      current = &dataset.sequences.back();
+      current->sequence.object_id = object_id;
+    }
+    if (!current->sequence.empty() &&
+        t < current->sequence.records.back().timestamp) {
+      return Status::InvalidArgument(
+          "records csv: timestamps out of order at line " +
+          std::to_string(line_no));
+    }
+    current->sequence.records.push_back(
+        {IndoorPoint(x, y, static_cast<FloorId>(floor)), t});
+    current->labels.regions.push_back(kInvalidId);
+    current->labels.events.push_back(MobilityEvent::kPass);
+  }
+  return dataset;
+}
+
+Status AttachLabelsCsv(std::istream* in, Dataset* dataset) {
+  std::string line;
+  if (!std::getline(*in, line)) {
+    return Status::InvalidArgument("labels csv: missing header");
+  }
+  size_t seq_idx = 0;
+  size_t rec_idx = 0;
+  int line_no = 1;
+  while (std::getline(*in, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    const auto fields = SplitCsv(line);
+    int64_t object_id, region;
+    double t;
+    if (fields.size() != 4 || !ParseInt(fields[0], &object_id) ||
+        !ParseDouble(fields[1], &t) || !ParseInt(fields[2], &region) ||
+        (fields[3] != "stay" && fields[3] != "pass")) {
+      return Status::InvalidArgument("labels csv: malformed line " +
+                                     std::to_string(line_no));
+    }
+    if (seq_idx >= dataset->sequences.size()) {
+      return Status::InvalidArgument("labels csv: more labels than records");
+    }
+    LabeledSequence& ls = dataset->sequences[seq_idx];
+    if (ls.sequence.object_id != object_id ||
+        std::abs(ls.sequence[rec_idx].timestamp - t) > 1e-3) {
+      return Status::InvalidArgument(
+          "labels csv: row does not match record order at line " +
+          std::to_string(line_no));
+    }
+    ls.labels.regions[rec_idx] = static_cast<RegionId>(region);
+    ls.labels.events[rec_idx] =
+        fields[3] == "stay" ? MobilityEvent::kStay : MobilityEvent::kPass;
+    if (++rec_idx == ls.size()) {
+      rec_idx = 0;
+      ++seq_idx;
+    }
+  }
+  if (seq_idx != dataset->sequences.size() || rec_idx != 0) {
+    return Status::InvalidArgument("labels csv: fewer labels than records");
+  }
+  return Status::OK();
+}
+
+std::string ToString(const Dataset& dataset) {
+  std::ostringstream out;
+  WriteRecordsCsv(dataset, &out);
+  return out.str();
+}
+
+}  // namespace io
+}  // namespace c2mn

@@ -1,0 +1,52 @@
+#ifndef C2MN_DATA_IO_H_
+#define C2MN_DATA_IO_H_
+
+#include <iosfwd>
+#include <string>
+
+#include "common/status.h"
+#include "data/dataset.h"
+#include "data/msemantics.h"
+
+namespace c2mn {
+
+/// \brief CSV interchange for positioning data, labels, and m-semantics,
+/// so datasets can leave and re-enter the library (e.g. to annotate logs
+/// produced by a real positioning system, or to hand results to a
+/// downstream analytics stack).
+///
+/// Formats (one header line each):
+///  - records:     object_id,t,x,y,floor
+///  - labels:      object_id,t,region,event        (event: stay|pass)
+///  - m-semantics: object_id,region,t_start,t_end,event,support
+///
+/// Sequences are contiguous runs of one object_id; rows must be
+/// time-ordered within an object.
+namespace io {
+
+/// Writes the positioning records of a dataset.
+void WriteRecordsCsv(const Dataset& dataset, std::ostream* out);
+
+/// Writes the labels of a dataset (aligned with WriteRecordsCsv order).
+void WriteLabelsCsv(const Dataset& dataset, std::ostream* out);
+
+/// Writes one corpus of m-semantics.
+void WriteMSemanticsCsv(const std::vector<int64_t>& object_ids,
+                        const std::vector<MSemanticsSequence>& semantics,
+                        std::ostream* out);
+
+/// Parses a records CSV into per-object sequences (labels default to
+/// invalid/pass).  Fails on malformed rows or time-order violations.
+Result<Dataset> ReadRecordsCsv(std::istream* in);
+
+/// Parses a labels CSV and attaches the labels to `dataset` (must match
+/// record counts and timestamps).
+Status AttachLabelsCsv(std::istream* in, Dataset* dataset);
+
+/// Round-trip convenience used by tests.
+std::string ToString(const Dataset& dataset);
+
+}  // namespace io
+}  // namespace c2mn
+
+#endif  // C2MN_DATA_IO_H_

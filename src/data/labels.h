@@ -1,0 +1,55 @@
+#ifndef C2MN_DATA_LABELS_H_
+#define C2MN_DATA_LABELS_H_
+
+#include <cassert>
+#include <vector>
+
+#include "data/records.h"
+
+namespace c2mn {
+
+/// \brief The two generic indoor mobility events of the paper.  A stay is
+/// a purposeful visit to a semantic region; a pass merely crosses it.
+enum class MobilityEvent : uint8_t {
+  kStay = 0,
+  kPass = 1,
+};
+
+/// The indicator I(e) used by features f_ec and f_ss: 1 for pass, else 0.
+inline int PassIndicator(MobilityEvent e) {
+  return e == MobilityEvent::kPass ? 1 : 0;
+}
+
+inline const char* MobilityEventName(MobilityEvent e) {
+  return e == MobilityEvent::kStay ? "stay" : "pass";
+}
+
+/// \brief Per-record region and event labels for one p-sequence; the
+/// target variables R and E of the C2MN.
+struct LabelSequence {
+  std::vector<RegionId> regions;
+  std::vector<MobilityEvent> events;
+
+  LabelSequence() = default;
+  explicit LabelSequence(size_t n)
+      : regions(n, kInvalidId), events(n, MobilityEvent::kPass) {}
+
+  size_t size() const { return regions.size(); }
+  bool Consistent() const { return regions.size() == events.size(); }
+};
+
+/// \brief A p-sequence together with its ground-truth (or predicted)
+/// labels; the unit of training data for supervised learning.
+struct LabeledSequence {
+  PSequence sequence;
+  LabelSequence labels;
+
+  size_t size() const { return sequence.size(); }
+  bool Consistent() const {
+    return labels.Consistent() && labels.size() == sequence.size();
+  }
+};
+
+}  // namespace c2mn
+
+#endif  // C2MN_DATA_LABELS_H_

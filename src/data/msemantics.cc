@@ -1,0 +1,51 @@
+#include "data/msemantics.h"
+
+#include <cassert>
+
+namespace c2mn {
+
+MSemanticsSequence MergeLabels(const PSequence& sequence,
+                               const LabelSequence& labels) {
+  assert(labels.Consistent() && labels.size() == sequence.size());
+  MSemanticsSequence out;
+  const size_t n = sequence.size();
+  size_t i = 0;
+  while (i < n) {
+    size_t j = i;
+    while (j + 1 < n && labels.regions[j + 1] == labels.regions[i] &&
+           labels.events[j + 1] == labels.events[i]) {
+      ++j;
+    }
+    MSemantics ms;
+    ms.region = labels.regions[i];
+    ms.event = labels.events[i];
+    ms.t_start = sequence[i].timestamp;
+    ms.t_end = sequence[j].timestamp;
+    ms.support = static_cast<int>(j - i + 1);
+    out.push_back(ms);
+    i = j + 1;
+  }
+  return out;
+}
+
+bool IsValidMSemanticsSequence(const MSemanticsSequence& ms,
+                               const PSequence& sequence) {
+  if (sequence.empty()) return ms.empty();
+  const double t_lo = sequence.records.front().timestamp;
+  const double t_hi = sequence.records.back().timestamp;
+  for (size_t i = 0; i < ms.size(); ++i) {
+    if (ms[i].t_start > ms[i].t_end) return false;
+    if (ms[i].t_start < t_lo || ms[i].t_end > t_hi) return false;
+    if (ms[i].support <= 0) return false;
+    if (i > 0) {
+      if (ms[i].t_start <= ms[i - 1].t_end) return false;  // Disjoint+ordered.
+      if (ms[i].region == ms[i - 1].region &&
+          ms[i].event == ms[i - 1].event) {
+        return false;  // Should have been merged.
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace c2mn

@@ -1,0 +1,41 @@
+#ifndef C2MN_DATA_MSEMANTICS_H_
+#define C2MN_DATA_MSEMANTICS_H_
+
+#include <vector>
+
+#include "data/labels.h"
+
+namespace c2mn {
+
+/// \brief One mobility semantics ms = (region, time period, event)
+/// (Definition 2): the object exhibited `event` at semantic region
+/// `region` during [t_start, t_end].
+struct MSemantics {
+  RegionId region = kInvalidId;
+  double t_start = 0.0;
+  double t_end = 0.0;
+  MobilityEvent event = MobilityEvent::kPass;
+  /// Number of positioning records merged into this m-semantics.
+  int support = 0;
+
+  double DurationSeconds() const { return t_end - t_start; }
+};
+
+/// An object's m-semantics sequence (Definition 3).
+using MSemanticsSequence = std::vector<MSemantics>;
+
+/// \brief The merge half of the paper's label-and-merge method (Fig. 2):
+/// consecutive records with identical (region, event) labels collapse into
+/// one m-semantics spanning their time range.
+MSemanticsSequence MergeLabels(const PSequence& sequence,
+                               const LabelSequence& labels);
+
+/// \brief Checks Definition 3's invariants: time-ordered, pairwise
+/// disjoint periods, all within the sequence span, and no two adjacent
+/// entries share both region and event (otherwise they should have merged).
+bool IsValidMSemanticsSequence(const MSemanticsSequence& ms,
+                               const PSequence& sequence);
+
+}  // namespace c2mn
+
+#endif  // C2MN_DATA_MSEMANTICS_H_

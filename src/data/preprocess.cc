@@ -1,0 +1,61 @@
+#include "data/preprocess.h"
+
+#include <cassert>
+
+namespace c2mn {
+
+std::vector<PSequence> SplitByGap(const PSequence& sequence,
+                                  double max_gap_seconds) {
+  std::vector<PSequence> out;
+  PSequence current;
+  current.object_id = sequence.object_id;
+  for (const PositioningRecord& rec : sequence.records) {
+    if (!current.empty() &&
+        rec.timestamp - current.records.back().timestamp > max_gap_seconds) {
+      out.push_back(std::move(current));
+      current = PSequence{};
+      current.object_id = sequence.object_id;
+    }
+    current.records.push_back(rec);
+  }
+  if (!current.empty()) out.push_back(std::move(current));
+  return out;
+}
+
+std::vector<LabeledSequence> SplitByGap(const LabeledSequence& sequence,
+                                        double max_gap_seconds) {
+  assert(sequence.Consistent());
+  std::vector<LabeledSequence> out;
+  LabeledSequence current;
+  current.sequence.object_id = sequence.sequence.object_id;
+  for (size_t i = 0; i < sequence.size(); ++i) {
+    const PositioningRecord& rec = sequence.sequence[i];
+    if (!current.sequence.empty() &&
+        rec.timestamp - current.sequence.records.back().timestamp >
+            max_gap_seconds) {
+      out.push_back(std::move(current));
+      current = LabeledSequence{};
+      current.sequence.object_id = sequence.sequence.object_id;
+    }
+    current.sequence.records.push_back(rec);
+    current.labels.regions.push_back(sequence.labels.regions[i]);
+    current.labels.events.push_back(sequence.labels.events[i]);
+  }
+  if (!current.sequence.empty()) out.push_back(std::move(current));
+  return out;
+}
+
+std::vector<LabeledSequence> Preprocess(
+    const std::vector<LabeledSequence>& input, const PreprocessOptions& opts) {
+  std::vector<LabeledSequence> out;
+  for (const LabeledSequence& seq : input) {
+    for (LabeledSequence& piece : SplitByGap(seq, opts.max_gap_seconds)) {
+      if (piece.sequence.Duration() >= opts.min_duration_seconds) {
+        out.push_back(std::move(piece));
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace c2mn

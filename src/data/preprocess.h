@@ -1,0 +1,37 @@
+#ifndef C2MN_DATA_PREPROCESS_H_
+#define C2MN_DATA_PREPROCESS_H_
+
+#include <vector>
+
+#include "data/labels.h"
+#include "data/records.h"
+
+namespace c2mn {
+
+/// \brief Preprocessing thresholds of Section V-B1 of the paper.
+struct PreprocessOptions {
+  /// η: a gap of more than this many seconds splits a p-sequence (the
+  /// device presumably left the venue).  Paper value: 3 minutes.
+  double max_gap_seconds = 180.0;
+  /// ψ: sequences shorter than this many seconds are dropped.
+  /// Paper value: 30 minutes.
+  double min_duration_seconds = 1800.0;
+};
+
+/// Splits a p-sequence wherever consecutive records are more than
+/// `max_gap_seconds` apart.
+std::vector<PSequence> SplitByGap(const PSequence& sequence,
+                                  double max_gap_seconds);
+
+/// Labeled version of SplitByGap: labels are split in lockstep.
+std::vector<LabeledSequence> SplitByGap(const LabeledSequence& sequence,
+                                        double max_gap_seconds);
+
+/// Applies split-then-filter preprocessing to a collection of labeled
+/// sequences, dropping results shorter than `min_duration_seconds`.
+std::vector<LabeledSequence> Preprocess(
+    const std::vector<LabeledSequence>& input, const PreprocessOptions& opts);
+
+}  // namespace c2mn
+
+#endif  // C2MN_DATA_PREPROCESS_H_

@@ -1,0 +1,52 @@
+#ifndef C2MN_DATA_RECORDS_H_
+#define C2MN_DATA_RECORDS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "indoor/ids.h"
+
+namespace c2mn {
+
+/// \brief One positioning record θ(l, t): the object was observed at
+/// location l = (x, y, floor) at timestamp t (seconds).
+struct PositioningRecord {
+  IndoorPoint location;
+  double timestamp = 0.0;
+};
+
+/// \brief An object's positioning sequence (Definition 1): time-ordered
+/// positioning records of one object over one visit.
+struct PSequence {
+  int64_t object_id = 0;
+  std::vector<PositioningRecord> records;
+
+  size_t size() const { return records.size(); }
+  bool empty() const { return records.empty(); }
+  const PositioningRecord& operator[](size_t i) const { return records[i]; }
+
+  /// Total time span [t_1, t_n] in seconds; 0 for fewer than two records.
+  double Duration() const {
+    return records.size() < 2
+               ? 0.0
+               : records.back().timestamp - records.front().timestamp;
+  }
+
+  /// True when timestamps are non-decreasing.
+  bool IsTimeOrdered() const {
+    for (size_t i = 1; i < records.size(); ++i) {
+      if (records[i].timestamp < records[i - 1].timestamp) return false;
+    }
+    return true;
+  }
+
+  /// Average sampling rate in Hz; 0 for degenerate sequences.
+  double SamplingRate() const {
+    const double d = Duration();
+    return d > 0 ? static_cast<double>(records.size() - 1) / d : 0.0;
+  }
+};
+
+}  // namespace c2mn
+
+#endif  // C2MN_DATA_RECORDS_H_

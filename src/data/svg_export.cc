@@ -1,0 +1,101 @@
+#include "data/svg_export.h"
+
+#include <cstdio>
+#include <sstream>
+
+namespace c2mn {
+
+namespace {
+
+const char* FillFor(PartitionKind kind) {
+  switch (kind) {
+    case PartitionKind::kRoom:
+      return "#f5e9d0";
+    case PartitionKind::kHallway:
+      return "#ececec";
+    case PartitionKind::kStaircase:
+      return "#cfe0f5";
+  }
+  return "#ffffff";
+}
+
+std::string Fmt(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.2f", v);
+  return buf;
+}
+
+}  // namespace
+
+void SvgExporter::AddTrajectory(const PSequence& sequence,
+                                TrajectoryStyle style) {
+  trajectories_.emplace_back(sequence, std::move(style));
+}
+
+std::string SvgExporter::Render() const {
+  BoundingBox bounds;
+  for (PartitionId pid : plan_.PartitionsOnFloor(floor_)) {
+    bounds.Extend(plan_.partition(pid).shape.bbox());
+  }
+  const double margin = 2.0;
+  const double w = bounds.max.x - bounds.min.x + 2 * margin;
+  const double h = bounds.max.y - bounds.min.y + 2 * margin;
+  // SVG y grows downward; flip so plans read like floor drawings.
+  auto tx = [&](const Vec2& p) {
+    return Vec2{p.x - bounds.min.x + margin,
+                (bounds.max.y - p.y) + margin};
+  };
+
+  std::ostringstream out;
+  out << "<svg xmlns=\"http://www.w3.org/2000/svg\" viewBox=\"0 0 "
+      << Fmt(w) << " " << Fmt(h) << "\">\n";
+
+  for (PartitionId pid : plan_.PartitionsOnFloor(floor_)) {
+    const Partition& part = plan_.partition(pid);
+    out << "  <polygon points=\"";
+    for (const Vec2& v : part.shape.vertices()) {
+      const Vec2 p = tx(v);
+      out << Fmt(p.x) << "," << Fmt(p.y) << " ";
+    }
+    out << "\" fill=\"" << FillFor(part.kind)
+        << "\" stroke=\"#555\" stroke-width=\"0.25\"/>\n";
+    if (part.region != kInvalidId) {
+      const Vec2 c = tx(part.shape.Centroid());
+      out << "  <text x=\"" << Fmt(c.x) << "\" y=\"" << Fmt(c.y)
+          << "\" font-size=\"1.6\" text-anchor=\"middle\" fill=\"#8a6d3b\">"
+          << plan_.region(part.region).name << "</text>\n";
+    }
+  }
+  // Doors on this floor.
+  for (const Door& door : plan_.doors()) {
+    const bool touches_floor = door.position_a.floor == floor_ ||
+                               door.position_b.floor == floor_;
+    if (!touches_floor) continue;
+    const Vec2 p = tx(door.position_a.floor == floor_ ? door.position_a.xy
+                                                      : door.position_b.xy);
+    out << "  <circle cx=\"" << Fmt(p.x) << "\" cy=\"" << Fmt(p.y)
+        << "\" r=\"0.6\" fill=\"" << (door.IsInterFloor() ? "#2c5faa" : "#333")
+        << "\"/>\n";
+  }
+  // Trajectories.
+  for (const auto& [sequence, style] : trajectories_) {
+    out << "  <polyline fill=\"none\" stroke=\"" << style.color
+        << "\" stroke-width=\"" << Fmt(style.width) << "\" points=\"";
+    for (const PositioningRecord& rec : sequence.records) {
+      const Vec2 p = tx(rec.location.xy);
+      out << Fmt(p.x) << "," << Fmt(p.y) << " ";
+    }
+    out << "\"/>\n";
+    for (const PositioningRecord& rec : sequence.records) {
+      const Vec2 p = tx(rec.location.xy);
+      const bool off_floor = rec.location.floor != floor_;
+      out << "  <circle cx=\"" << Fmt(p.x) << "\" cy=\"" << Fmt(p.y)
+          << "\" r=\"0.45\" fill=\""
+          << (off_floor ? "#d62728" : style.color) << "\"/>\n";
+    }
+  }
+  out << "</svg>\n";
+  return out.str();
+}
+
+}  // namespace c2mn

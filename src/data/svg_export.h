@@ -1,0 +1,48 @@
+#ifndef C2MN_DATA_SVG_EXPORT_H_
+#define C2MN_DATA_SVG_EXPORT_H_
+
+#include <string>
+#include <vector>
+
+#include "data/records.h"
+#include "indoor/floorplan.h"
+
+namespace c2mn {
+
+/// \brief Renders one floor of a floorplan — and optionally trajectories —
+/// as an SVG document, the library's equivalent of the TRIPS trajectory
+/// visualization the paper's annotators worked with.
+///
+/// Rooms are beige, semantic regions are labeled, hallways light gray,
+/// staircases hatched blue, doors dark ticks.  Trajectories are drawn as
+/// polylines with per-record dots (red = the record's floor differs from
+/// the rendered floor, i.e. a false-floor report).
+class SvgExporter {
+ public:
+  struct TrajectoryStyle {
+    std::string color = "#1f77b4";
+    double width = 0.6;
+  };
+
+  SvgExporter(const Floorplan& plan, FloorId floor)
+      : plan_(plan), floor_(floor) {}
+
+  /// Adds a trajectory clipped to records on any floor (off-floor records
+  /// are flagged visually).
+  void AddTrajectory(const PSequence& sequence, TrajectoryStyle style);
+  void AddTrajectory(const PSequence& sequence) {
+    AddTrajectory(sequence, TrajectoryStyle());
+  }
+
+  /// Renders the SVG document.
+  std::string Render() const;
+
+ private:
+  const Floorplan& plan_;
+  FloorId floor_;
+  std::vector<std::pair<PSequence, TrajectoryStyle>> trajectories_;
+};
+
+}  // namespace c2mn
+
+#endif  // C2MN_DATA_SVG_EXPORT_H_

@@ -1,0 +1,91 @@
+#include "eval/confusion.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstdio>
+
+namespace c2mn {
+
+void EventConfusion::Add(const LabelSequence& truth,
+                         const LabelSequence& prediction) {
+  assert(truth.size() == prediction.size());
+  for (size_t i = 0; i < truth.size(); ++i) {
+    ++counts_[PassIndicator(truth.events[i])]
+             [PassIndicator(prediction.events[i])];
+    ++total_;
+  }
+}
+
+double EventConfusion::Precision(MobilityEvent event) const {
+  const int e = PassIndicator(event);
+  const int64_t predicted = counts_[0][e] + counts_[1][e];
+  return predicted > 0 ? static_cast<double>(counts_[e][e]) / predicted : 0.0;
+}
+
+double EventConfusion::Recall(MobilityEvent event) const {
+  const int e = PassIndicator(event);
+  const int64_t actual = counts_[e][0] + counts_[e][1];
+  return actual > 0 ? static_cast<double>(counts_[e][e]) / actual : 0.0;
+}
+
+double EventConfusion::F1(MobilityEvent event) const {
+  const double p = Precision(event);
+  const double r = Recall(event);
+  return p + r > 0 ? 2.0 * p * r / (p + r) : 0.0;
+}
+
+double EventConfusion::Accuracy() const {
+  return total_ > 0
+             ? static_cast<double>(counts_[0][0] + counts_[1][1]) / total_
+             : 0.0;
+}
+
+std::string EventConfusion::ToString() const {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "            pred stay  pred pass\n"
+                "true stay  %9lld  %9lld\n"
+                "true pass  %9lld  %9lld\n",
+                static_cast<long long>(counts_[0][0]),
+                static_cast<long long>(counts_[0][1]),
+                static_cast<long long>(counts_[1][0]),
+                static_cast<long long>(counts_[1][1]));
+  return buf;
+}
+
+void RegionConfusion::Add(const LabelSequence& truth,
+                          const LabelSequence& prediction) {
+  assert(truth.size() == prediction.size());
+  for (size_t i = 0; i < truth.size(); ++i) {
+    ++total_;
+    if (truth.regions[i] == prediction.regions[i]) continue;
+    ++errors_;
+    bool found = false;
+    for (ConfusedPair& pair : pairs_) {
+      if (pair.truth == truth.regions[i] &&
+          pair.predicted == prediction.regions[i]) {
+        ++pair.count;
+        found = true;
+        break;
+      }
+    }
+    if (!found) {
+      pairs_.push_back({truth.regions[i], prediction.regions[i], 1});
+    }
+  }
+}
+
+std::vector<RegionConfusion::ConfusedPair> RegionConfusion::TopConfusions(
+    size_t k) const {
+  std::vector<ConfusedPair> sorted = pairs_;
+  std::sort(sorted.begin(), sorted.end(),
+            [](const ConfusedPair& a, const ConfusedPair& b) {
+              if (a.count != b.count) return a.count > b.count;
+              if (a.truth != b.truth) return a.truth < b.truth;
+              return a.predicted < b.predicted;
+            });
+  if (sorted.size() > k) sorted.resize(k);
+  return sorted;
+}
+
+}  // namespace c2mn

@@ -1,0 +1,67 @@
+#ifndef C2MN_EVAL_CONFUSION_H_
+#define C2MN_EVAL_CONFUSION_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "data/labels.h"
+
+namespace c2mn {
+
+/// \brief 2x2 confusion matrix over the mobility events, with the derived
+/// per-event precision/recall used when diagnosing why a method's EA
+/// moves (e.g. the paper's observation that density-based segmentation
+/// beats speed thresholds).
+class EventConfusion {
+ public:
+  /// Adds aligned truth/prediction labels.
+  void Add(const LabelSequence& truth, const LabelSequence& prediction);
+
+  /// counts(t, p): records whose true event is `t` and predicted `p`.
+  int64_t counts(MobilityEvent truth, MobilityEvent predicted) const {
+    return counts_[PassIndicator(truth)][PassIndicator(predicted)];
+  }
+
+  double Precision(MobilityEvent event) const;
+  double Recall(MobilityEvent event) const;
+  double F1(MobilityEvent event) const;
+  double Accuracy() const;
+  int64_t total() const { return total_; }
+
+  /// Renders a small human-readable matrix.
+  std::string ToString() const;
+
+ private:
+  int64_t counts_[2][2] = {{0, 0}, {0, 0}};
+  int64_t total_ = 0;
+};
+
+/// \brief Region-level error aggregation: which (true region, predicted
+/// region) pairs dominate the mistakes.  Useful for spotting systematic
+/// confusions (adjacent shops, across-corridor neighbors, floor errors).
+class RegionConfusion {
+ public:
+  void Add(const LabelSequence& truth, const LabelSequence& prediction);
+
+  struct ConfusedPair {
+    RegionId truth;
+    RegionId predicted;
+    int64_t count;
+  };
+
+  /// The `k` most frequent misclassification pairs, descending.
+  std::vector<ConfusedPair> TopConfusions(size_t k) const;
+
+  int64_t errors() const { return errors_; }
+  int64_t total() const { return total_; }
+
+ private:
+  std::vector<ConfusedPair> pairs_;  // Sparse; linear scan on insert.
+  int64_t errors_ = 0;
+  int64_t total_ = 0;
+};
+
+}  // namespace c2mn
+
+#endif  // C2MN_EVAL_CONFUSION_H_

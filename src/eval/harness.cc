@@ -1,0 +1,166 @@
+#include "eval/harness.h"
+
+#include <algorithm>
+
+#include "baselines/c2mn_method.h"
+#include "baselines/hmm_dc.h"
+#include "baselines/sap.h"
+#include "baselines/smot.h"
+#include "common/stopwatch.h"
+
+namespace c2mn {
+
+MethodEvaluation EvaluateMethod(AnnotationMethod* method,
+                                const TrainTestSplit& split, double lambda) {
+  MethodEvaluation eval;
+  eval.name = method->name();
+  method->Train(split.train);
+  eval.train_seconds = method->train_seconds();
+
+  Stopwatch watch;
+  AccuracyAccumulator accuracy(lambda);
+  for (const LabeledSequence* ls : split.test) {
+    const LabelSequence predicted = method->Annotate(ls->sequence);
+    accuracy.Add(ls->labels, predicted);
+    eval.predicted.Add(ls->sequence.object_id,
+                       MergeLabels(ls->sequence, predicted));
+  }
+  eval.annotate_seconds = watch.ElapsedSeconds();
+  eval.accuracy = accuracy.Report();
+  return eval;
+}
+
+AnnotatedCorpus GroundTruthCorpus(
+    const std::vector<const LabeledSequence*>& test) {
+  AnnotatedCorpus corpus;
+  for (const LabeledSequence* ls : test) {
+    corpus.Add(ls->sequence.object_id, MergeLabels(ls->sequence, ls->labels));
+  }
+  return corpus;
+}
+
+std::vector<std::unique_ptr<AnnotationMethod>> MakeClassicBaselines(
+    const World& world) {
+  return MakeClassicBaselines(world, StDbscanParams());
+}
+
+std::vector<std::unique_ptr<AnnotationMethod>> MakeClassicBaselines(
+    const World& world, const StDbscanParams& dbscan) {
+  std::vector<std::unique_ptr<AnnotationMethod>> methods;
+  methods.push_back(std::make_unique<SmotMethod>(world));
+  HmmDcMethod::Params hmm_params;
+  hmm_params.dbscan = dbscan;
+  methods.push_back(std::make_unique<HmmDcMethod>(world, hmm_params));
+  SapMethod::Params dv_params;
+  dv_params.segmentation = SapSegmentation::kDynamicVelocity;
+  dv_params.dbscan = dbscan;
+  methods.push_back(std::make_unique<SapMethod>(world, dv_params));
+  SapMethod::Params da_params;
+  da_params.segmentation = SapSegmentation::kDensityArea;
+  da_params.dbscan = dbscan;
+  methods.push_back(std::make_unique<SapMethod>(world, da_params));
+  return methods;
+}
+
+std::vector<std::unique_ptr<AnnotationMethod>> MakeC2mnFamily(
+    const World& world, const FeatureOptions& fopts,
+    const TrainOptions& topts) {
+  std::vector<std::unique_ptr<AnnotationMethod>> methods;
+  for (const C2mnVariant& variant : TableFourVariants()) {
+    methods.push_back(
+        std::make_unique<C2mnMethod>(world, variant, fopts, topts));
+  }
+  return methods;
+}
+
+std::vector<std::unique_ptr<AnnotationMethod>> MakeAllMethods(
+    const World& world, const FeatureOptions& fopts,
+    const TrainOptions& topts) {
+  auto methods = MakeClassicBaselines(world);
+  for (auto& m : MakeC2mnFamily(world, fopts, topts)) {
+    methods.push_back(std::move(m));
+  }
+  return methods;
+}
+
+namespace {
+
+/// The time span covered by a corpus and a random query region set.
+struct WorkloadContext {
+  double t_min = 1e300;
+  double t_max = -1e300;
+};
+
+WorkloadContext CorpusSpan(const AnnotatedCorpus& corpus) {
+  WorkloadContext ctx;
+  for (const MSemanticsSequence& ms_seq : corpus.semantics) {
+    for (const MSemantics& ms : ms_seq) {
+      ctx.t_min = std::min(ctx.t_min, ms.t_start);
+      ctx.t_max = std::max(ctx.t_max, ms.t_end);
+    }
+  }
+  if (ctx.t_min > ctx.t_max) ctx.t_min = ctx.t_max = 0.0;
+  return ctx;
+}
+
+std::vector<RegionId> RandomQuerySet(size_t num_regions, size_t size,
+                                     Rng* rng) {
+  std::vector<RegionId> all(num_regions);
+  for (size_t i = 0; i < num_regions; ++i) all[i] = static_cast<RegionId>(i);
+  rng->Shuffle(&all);
+  all.resize(std::min(size, all.size()));
+  return all;
+}
+
+TimeWindow RandomWindow(const WorkloadContext& ctx, double window_seconds,
+                        Rng* rng) {
+  const double span = std::max(0.0, ctx.t_max - ctx.t_min - window_seconds);
+  const double start = ctx.t_min + rng->Uniform(0.0, std::max(1e-9, span));
+  return {start, start + window_seconds};
+}
+
+}  // namespace
+
+double AverageTkprqPrecision(const AnnotatedCorpus& truth,
+                             const AnnotatedCorpus& predicted,
+                             size_t num_regions,
+                             const QueryWorkloadOptions& options) {
+  Rng rng(options.seed);
+  const WorkloadContext ctx = CorpusSpan(truth);
+  double total = 0.0;
+  for (int q = 0; q < options.num_queries; ++q) {
+    const auto query_set =
+        RandomQuerySet(num_regions, options.query_set_size, &rng);
+    const TimeWindow window =
+        RandomWindow(ctx, options.window_minutes * 60.0, &rng);
+    const auto truth_topk = TopKPopularRegions(
+        truth, query_set, window, options.k, options.min_visit_seconds);
+    const auto pred_topk = TopKPopularRegions(
+        predicted, query_set, window, options.k, options.min_visit_seconds);
+    total += TopKPrecision(truth_topk, pred_topk);
+  }
+  return total / options.num_queries;
+}
+
+double AverageTkfrpqPrecision(const AnnotatedCorpus& truth,
+                              const AnnotatedCorpus& predicted,
+                              size_t num_regions,
+                              const QueryWorkloadOptions& options) {
+  Rng rng(options.seed + 1);
+  const WorkloadContext ctx = CorpusSpan(truth);
+  double total = 0.0;
+  for (int q = 0; q < options.num_queries; ++q) {
+    const auto query_set =
+        RandomQuerySet(num_regions, options.query_set_size, &rng);
+    const TimeWindow window =
+        RandomWindow(ctx, options.window_minutes * 60.0, &rng);
+    const auto truth_topk = TopKFrequentRegionPairs(
+        truth, query_set, window, options.k, options.min_visit_seconds);
+    const auto pred_topk = TopKFrequentRegionPairs(
+        predicted, query_set, window, options.k, options.min_visit_seconds);
+    total += TopKPairPrecision(truth_topk, pred_topk);
+  }
+  return total / options.num_queries;
+}
+
+}  // namespace c2mn

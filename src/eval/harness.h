@@ -1,0 +1,87 @@
+#ifndef C2MN_EVAL_HARNESS_H_
+#define C2MN_EVAL_HARNESS_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "baselines/method.h"
+#include "core/trainer.h"
+#include "core/variants.h"
+#include "data/dataset.h"
+#include "eval/metrics.h"
+#include "eval/queries.h"
+#include "sim/world.h"
+
+namespace c2mn {
+
+/// \brief One method's results on a train/test split.
+struct MethodEvaluation {
+  std::string name;
+  AccuracyReport accuracy;
+  double train_seconds = 0.0;
+  double annotate_seconds = 0.0;
+  /// Predicted m-semantics of every test sequence (for query experiments).
+  AnnotatedCorpus predicted;
+};
+
+/// Trains `method` on the split's training side, annotates the test side,
+/// and reports accuracy plus the predicted m-semantics corpus.
+MethodEvaluation EvaluateMethod(AnnotationMethod* method,
+                                const TrainTestSplit& split,
+                                double lambda = 0.7);
+
+/// The ground-truth m-semantics corpus of the test sequences.
+AnnotatedCorpus GroundTruthCorpus(
+    const std::vector<const LabeledSequence*>& test);
+
+/// \brief Factories for the experiment line-ups of Section V-A.
+///
+/// The classic baselines: SMoT, HMM+DC, SAPDV, SAPDA.  The overload with
+/// StDbscanParams propagates sampling-rate-tuned clustering parameters to
+/// the density-based methods (HMM+DC, SAPDA).
+std::vector<std::unique_ptr<AnnotationMethod>> MakeClassicBaselines(
+    const World& world);
+std::vector<std::unique_ptr<AnnotationMethod>> MakeClassicBaselines(
+    const World& world, const StDbscanParams& dbscan);
+
+/// The C2MN family: CMN, C2MN/Tran, C2MN/Syn, C2MN/ES, C2MN/SS, C2MN.
+std::vector<std::unique_ptr<AnnotationMethod>> MakeC2mnFamily(
+    const World& world, const FeatureOptions& fopts,
+    const TrainOptions& topts);
+
+/// All ten methods of Table IV, classic baselines first.
+std::vector<std::unique_ptr<AnnotationMethod>> MakeAllMethods(
+    const World& world, const FeatureOptions& fopts,
+    const TrainOptions& topts);
+
+/// \brief Random query-workload generator for the TkPRQ / TkFRPQ
+/// precision experiments (Figs. 12-16): `num_queries` random windows of
+/// `window_minutes` within the corpus's time span, over a random query
+/// region set of `query_set_size` regions.
+struct QueryWorkloadOptions {
+  size_t k = 20;
+  size_t query_set_size = 50;
+  double window_minutes = 120.0;
+  int num_queries = 10;
+  uint64_t seed = 99;
+  /// Minimum stay duration for a visit to count (applied to truth and
+  /// prediction alike).
+  double min_visit_seconds = 45.0;
+};
+
+/// Average TkPRQ precision of `predicted` against `truth`.
+double AverageTkprqPrecision(const AnnotatedCorpus& truth,
+                             const AnnotatedCorpus& predicted,
+                             size_t num_regions,
+                             const QueryWorkloadOptions& options);
+
+/// Average TkFRPQ precision of `predicted` against `truth`.
+double AverageTkfrpqPrecision(const AnnotatedCorpus& truth,
+                              const AnnotatedCorpus& predicted,
+                              size_t num_regions,
+                              const QueryWorkloadOptions& options);
+
+}  // namespace c2mn
+
+#endif  // C2MN_EVAL_HARNESS_H_

@@ -1,0 +1,33 @@
+#include "eval/metrics.h"
+
+#include <cassert>
+
+namespace c2mn {
+
+void AccuracyAccumulator::Add(const LabelSequence& truth,
+                              const LabelSequence& prediction) {
+  assert(truth.size() == prediction.size());
+  for (size_t i = 0; i < truth.size(); ++i) {
+    const bool region_ok = truth.regions[i] == prediction.regions[i];
+    const bool event_ok = truth.events[i] == prediction.events[i];
+    ++total_;
+    if (region_ok) ++region_correct_;
+    if (event_ok) ++event_correct_;
+    if (region_ok && event_ok) ++both_correct_;
+  }
+}
+
+AccuracyReport AccuracyAccumulator::Report() const {
+  AccuracyReport report;
+  report.num_records = total_;
+  if (total_ == 0) return report;
+  const double n = static_cast<double>(total_);
+  report.region_accuracy = region_correct_ / n;
+  report.event_accuracy = event_correct_ / n;
+  report.combined_accuracy = lambda_ * report.region_accuracy +
+                             (1.0 - lambda_) * report.event_accuracy;
+  report.perfect_accuracy = both_correct_ / n;
+  return report;
+}
+
+}  // namespace c2mn

@@ -1,0 +1,43 @@
+#ifndef C2MN_EVAL_METRICS_H_
+#define C2MN_EVAL_METRICS_H_
+
+#include <vector>
+
+#include "data/labels.h"
+
+namespace c2mn {
+
+/// \brief The labeling-accuracy metrics of Section V-A.
+///
+/// RA / EA: fraction of records with the correct region / event label.
+/// CA = λ·RA + (1-λ)·EA with λ = 0.7 ("RA's requirement is stricter").
+/// PA: fraction of records with both labels correct.
+struct AccuracyReport {
+  double region_accuracy = 0.0;    ///< RA
+  double event_accuracy = 0.0;     ///< EA
+  double combined_accuracy = 0.0;  ///< CA
+  double perfect_accuracy = 0.0;   ///< PA
+  size_t num_records = 0;
+};
+
+/// \brief Streaming accumulator over (truth, prediction) label pairs.
+class AccuracyAccumulator {
+ public:
+  explicit AccuracyAccumulator(double lambda = 0.7) : lambda_(lambda) {}
+
+  /// Adds one sequence's labels; truth and prediction must be aligned.
+  void Add(const LabelSequence& truth, const LabelSequence& prediction);
+
+  AccuracyReport Report() const;
+
+ private:
+  double lambda_;
+  size_t total_ = 0;
+  size_t region_correct_ = 0;
+  size_t event_correct_ = 0;
+  size_t both_correct_ = 0;
+};
+
+}  // namespace c2mn
+
+#endif  // C2MN_EVAL_METRICS_H_

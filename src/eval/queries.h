@@ -1,0 +1,65 @@
+#ifndef C2MN_EVAL_QUERIES_H_
+#define C2MN_EVAL_QUERIES_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "data/msemantics.h"
+
+namespace c2mn {
+
+/// \brief The m-semantics of many objects, the input of the semantics-
+/// oriented queries (Section V-B4).
+struct AnnotatedCorpus {
+  /// Parallel vectors: object id and its m-semantics sequence.
+  std::vector<int64_t> object_ids;
+  std::vector<MSemanticsSequence> semantics;
+
+  void Add(int64_t object_id, MSemanticsSequence ms) {
+    object_ids.push_back(object_id);
+    semantics.push_back(std::move(ms));
+  }
+  size_t size() const { return semantics.size(); }
+};
+
+/// A query time window [t_start, t_end] in seconds.
+struct TimeWindow {
+  double t_start = 0.0;
+  double t_end = 0.0;
+
+  bool Overlaps(double s, double e) const {
+    return s <= t_end && e >= t_start;
+  }
+};
+
+/// \brief Top-k Popular Region Query: the k regions from `query_regions`
+/// with the most visits (stay m-semantics intersecting the window).
+///
+/// A stay must last at least `min_visit_seconds` to count as a visit —
+/// the paper defines a stay as remaining "for a sufficiently long period
+/// of time", and the threshold screens out single-record stay blips that
+/// would otherwise register as visits.  Ties break toward the smaller
+/// region id, so precision comparisons are deterministic.
+std::vector<RegionId> TopKPopularRegions(
+    const AnnotatedCorpus& corpus, const std::vector<RegionId>& query_regions,
+    const TimeWindow& window, size_t k, double min_visit_seconds = 0.0);
+
+/// \brief Top-k Frequent Region Pair Query: the k pairs from
+/// query_regions × query_regions most frequently visited (stayed at) by
+/// the same object within the window.  Pairs are unordered (r1 < r2).
+std::vector<std::pair<RegionId, RegionId>> TopKFrequentRegionPairs(
+    const AnnotatedCorpus& corpus, const std::vector<RegionId>& query_regions,
+    const TimeWindow& window, size_t k, double min_visit_seconds = 0.0);
+
+/// Precision of predicted top-k against ground-truth top-k: the fraction
+/// of returned items that appear in the true result.
+double TopKPrecision(const std::vector<RegionId>& truth,
+                     const std::vector<RegionId>& predicted);
+double TopKPairPrecision(
+    const std::vector<std::pair<RegionId, RegionId>>& truth,
+    const std::vector<std::pair<RegionId, RegionId>>& predicted);
+
+}  // namespace c2mn
+
+#endif  // C2MN_EVAL_QUERIES_H_

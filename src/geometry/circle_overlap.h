@@ -1,0 +1,30 @@
+#ifndef C2MN_GEOMETRY_CIRCLE_OVERLAP_H_
+#define C2MN_GEOMETRY_CIRCLE_OVERLAP_H_
+
+#include "geometry/polygon.h"
+#include "geometry/vec2.h"
+
+namespace c2mn {
+
+/// \brief Exact area of the intersection of disk(center, radius) with a
+/// simple polygon.
+///
+/// This implements the spatial matching feature f_sm (Eq. 3 of the paper):
+/// the uncertainty region UR(l, v) of a location estimate is a disk, and
+/// the feature value is |UR ∩ Area(r)| / |UR|.
+///
+/// The algorithm sums, over each directed polygon edge (a, b), the signed
+/// area of the intersection of triangle (center, a, b) with the disk:
+/// sub-segments inside the disk contribute triangle areas, parts outside
+/// contribute circular-sector areas.  Exact up to floating-point rounding.
+double CirclePolygonIntersectionArea(const Vec2& center, double radius,
+                                      const Polygon& polygon);
+
+/// Fraction of the disk covered by the polygon, in [0, 1].  Returns 0 for a
+/// non-positive radius.
+double CircleCoverageFraction(const Vec2& center, double radius,
+                              const Polygon& polygon);
+
+}  // namespace c2mn
+
+#endif  // C2MN_GEOMETRY_CIRCLE_OVERLAP_H_

@@ -1,0 +1,120 @@
+#include "geometry/polygon.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace c2mn {
+
+void BoundingBox::Extend(const Vec2& p) {
+  min.x = std::min(min.x, p.x);
+  min.y = std::min(min.y, p.y);
+  max.x = std::max(max.x, p.x);
+  max.y = std::max(max.y, p.y);
+}
+
+void BoundingBox::Extend(const BoundingBox& other) {
+  Extend(other.min);
+  Extend(other.max);
+}
+
+bool BoundingBox::Contains(const Vec2& p) const {
+  return p.x >= min.x && p.x <= max.x && p.y >= min.y && p.y <= max.y;
+}
+
+bool BoundingBox::Intersects(const BoundingBox& other) const {
+  return min.x <= other.max.x && max.x >= other.min.x &&
+         min.y <= other.max.y && max.y >= other.min.y;
+}
+
+double BoundingBox::Distance(const Vec2& p) const {
+  const double dx = std::max({min.x - p.x, 0.0, p.x - max.x});
+  const double dy = std::max({min.y - p.y, 0.0, p.y - max.y});
+  return std::hypot(dx, dy);
+}
+
+double BoundingBox::Area() const {
+  if (max.x < min.x || max.y < min.y) return 0.0;
+  return (max.x - min.x) * (max.y - min.y);
+}
+
+double SignedArea(const std::vector<Vec2>& ring) {
+  double a = 0.0;
+  const size_t n = ring.size();
+  for (size_t i = 0; i < n; ++i) {
+    const Vec2& p = ring[i];
+    const Vec2& q = ring[(i + 1) % n];
+    a += Cross(p, q);
+  }
+  return 0.5 * a;
+}
+
+Polygon::Polygon(std::vector<Vec2> vertices) : vertices_(std::move(vertices)) {
+  assert(vertices_.size() >= 3);
+  double signed_area = SignedArea(vertices_);
+  if (signed_area < 0) {
+    std::reverse(vertices_.begin(), vertices_.end());
+    signed_area = -signed_area;
+  }
+  area_ = signed_area;
+  // Centroid of a simple polygon.
+  double cx = 0.0, cy = 0.0;
+  const size_t n = vertices_.size();
+  for (size_t i = 0; i < n; ++i) {
+    const Vec2& p = vertices_[i];
+    const Vec2& q = vertices_[(i + 1) % n];
+    const double w = Cross(p, q);
+    cx += (p.x + q.x) * w;
+    cy += (p.y + q.y) * w;
+  }
+  if (area_ > 1e-12) {
+    centroid_ = {cx / (6.0 * area_), cy / (6.0 * area_)};
+  } else {
+    for (const Vec2& v : vertices_) centroid_ = centroid_ + v;
+    centroid_ = centroid_ / static_cast<double>(n);
+  }
+  for (const Vec2& v : vertices_) bbox_.Extend(v);
+}
+
+Polygon Polygon::Rectangle(const Vec2& min, const Vec2& max) {
+  assert(min.x < max.x && min.y < max.y);
+  return Polygon({{min.x, min.y}, {max.x, min.y}, {max.x, max.y},
+                  {min.x, max.y}});
+}
+
+bool Polygon::Contains(const Vec2& p) const {
+  if (!bbox_.Contains(p)) return false;
+  bool inside = false;
+  const size_t n = vertices_.size();
+  for (size_t i = 0, j = n - 1; i < n; j = i++) {
+    const Vec2& a = vertices_[i];
+    const Vec2& b = vertices_[j];
+    // Boundary check with a small tolerance.
+    if (PointSegmentDistance(p, a, b) < 1e-9) return true;
+    if ((a.y > p.y) != (b.y > p.y)) {
+      const double x_int = (b.x - a.x) * (p.y - a.y) / (b.y - a.y) + a.x;
+      if (p.x < x_int) inside = !inside;
+    }
+  }
+  return inside;
+}
+
+double Polygon::Distance(const Vec2& p) const {
+  if (Contains(p)) return 0.0;
+  double best = 1e300;
+  const size_t n = vertices_.size();
+  for (size_t i = 0, j = n - 1; i < n; j = i++) {
+    best = std::min(best, PointSegmentDistance(p, vertices_[i], vertices_[j]));
+  }
+  return best;
+}
+
+double PointSegmentDistance(const Vec2& p, const Vec2& a, const Vec2& b) {
+  const Vec2 ab = b - a;
+  const double len2 = ab.SquaredNorm();
+  if (len2 < 1e-18) return Distance(p, a);
+  const double t = std::clamp(Dot(p - a, ab) / len2, 0.0, 1.0);
+  return Distance(p, a + ab * t);
+}
+
+}  // namespace c2mn

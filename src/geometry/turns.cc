@@ -1,0 +1,28 @@
+#include "geometry/turns.h"
+
+#include <cmath>
+
+namespace c2mn {
+
+bool IsTurn(const Vec2& a, const Vec2& b, const Vec2& c,
+            double threshold_deg) {
+  const Vec2 u = b - a;
+  const Vec2 v = c - b;
+  const double nu = u.Norm();
+  const double nv = v.Norm();
+  if (nu < 1e-9 || nv < 1e-9) return false;
+  const double cos_angle = Dot(u, v) / (nu * nv);
+  const double angle_deg =
+      std::acos(std::fmin(1.0, std::fmax(-1.0, cos_angle))) * 180.0 / M_PI;
+  return angle_deg > threshold_deg;
+}
+
+int CountTurns(const std::vector<Vec2>& path, double threshold_deg) {
+  int turns = 0;
+  for (size_t i = 1; i + 1 < path.size(); ++i) {
+    if (IsTurn(path[i - 1], path[i], path[i + 1], threshold_deg)) ++turns;
+  }
+  return turns;
+}
+
+}  // namespace c2mn

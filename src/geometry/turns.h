@@ -1,0 +1,25 @@
+#ifndef C2MN_GEOMETRY_TURNS_H_
+#define C2MN_GEOMETRY_TURNS_H_
+
+#include <vector>
+
+#include "geometry/vec2.h"
+
+namespace c2mn {
+
+/// \brief Returns true when the heading change at `b` (coming from `a`,
+/// leaving toward `c`) exceeds `threshold_deg` degrees.
+///
+/// This is footnote 4 of the paper: "if the angle between the line from
+/// l_{i-1} to l_i and the line from l_i to l_{i+1} exceeds 90 degrees, it
+/// is considered to be a turn."  Degenerate (zero-length) legs are not
+/// turns.
+bool IsTurn(const Vec2& a, const Vec2& b, const Vec2& c,
+            double threshold_deg = 90.0);
+
+/// Number of turns along a polyline (used by feature f_es, TURNNUM).
+int CountTurns(const std::vector<Vec2>& path, double threshold_deg = 90.0);
+
+}  // namespace c2mn
+
+#endif  // C2MN_GEOMETRY_TURNS_H_

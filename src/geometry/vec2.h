@@ -1,0 +1,44 @@
+#ifndef C2MN_GEOMETRY_VEC2_H_
+#define C2MN_GEOMETRY_VEC2_H_
+
+#include <cmath>
+
+namespace c2mn {
+
+/// \brief A 2-D point/vector on one floor of the indoor space, in meters.
+struct Vec2 {
+  double x = 0.0;
+  double y = 0.0;
+
+  constexpr Vec2() = default;
+  constexpr Vec2(double x_in, double y_in) : x(x_in), y(y_in) {}
+
+  constexpr Vec2 operator+(const Vec2& o) const { return {x + o.x, y + o.y}; }
+  constexpr Vec2 operator-(const Vec2& o) const { return {x - o.x, y - o.y}; }
+  constexpr Vec2 operator*(double s) const { return {x * s, y * s}; }
+  constexpr Vec2 operator/(double s) const { return {x / s, y / s}; }
+  constexpr bool operator==(const Vec2& o) const {
+    return x == o.x && y == o.y;
+  }
+
+  double Norm() const { return std::hypot(x, y); }
+  constexpr double SquaredNorm() const { return x * x + y * y; }
+};
+
+/// Dot product.
+constexpr double Dot(const Vec2& a, const Vec2& b) {
+  return a.x * b.x + a.y * b.y;
+}
+
+/// Z-component of the 3-D cross product; positive when b is
+/// counter-clockwise of a.
+constexpr double Cross(const Vec2& a, const Vec2& b) {
+  return a.x * b.y - a.y * b.x;
+}
+
+/// Euclidean distance between two points.
+inline double Distance(const Vec2& a, const Vec2& b) { return (a - b).Norm(); }
+
+}  // namespace c2mn
+
+#endif  // C2MN_GEOMETRY_VEC2_H_

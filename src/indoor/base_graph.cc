@@ -1,0 +1,60 @@
+#include "indoor/base_graph.h"
+
+#include <limits>
+#include <queue>
+
+namespace c2mn {
+
+namespace {
+constexpr double kInf = std::numeric_limits<double>::infinity();
+}  // namespace
+
+BaseGraph::BaseGraph(const Floorplan& plan) : plan_(plan) {
+  adjacency_.resize(plan.doors().size());
+  for (const Partition& part : plan.partitions()) {
+    const auto& doors = part.doors;
+    for (size_t i = 0; i < doors.size(); ++i) {
+      for (size_t j = i + 1; j < doors.size(); ++j) {
+        const Door& da = plan.door(doors[i]);
+        const Door& db = plan.door(doors[j]);
+        const double walk = Distance(da.PositionIn(part.id).xy,
+                                     db.PositionIn(part.id).xy);
+        const double w =
+            walk + 0.5 * (da.traversal_cost + db.traversal_cost);
+        adjacency_[doors[i]].push_back({doors[j], w});
+        adjacency_[doors[j]].push_back({doors[i], w});
+      }
+    }
+  }
+}
+
+std::vector<double> BaseGraph::Dijkstra(DoorId source) const {
+  std::vector<double> dist(num_doors(), kInf);
+  using Item = std::pair<double, DoorId>;
+  std::priority_queue<Item, std::vector<Item>, std::greater<>> heap;
+  dist[source] = 0.0;
+  heap.emplace(0.0, source);
+  while (!heap.empty()) {
+    auto [d, u] = heap.top();
+    heap.pop();
+    if (d > dist[u]) continue;
+    for (const Edge& e : adjacency_[u]) {
+      const double nd = d + e.weight;
+      if (nd < dist[e.to]) {
+        dist[e.to] = nd;
+        heap.emplace(nd, e.to);
+      }
+    }
+  }
+  return dist;
+}
+
+void BaseGraph::ComputeAllPairs() {
+  if (has_all_pairs()) return;
+  all_pairs_.resize(num_doors());
+  for (DoorId d = 0; d < static_cast<DoorId>(num_doors()); ++d) {
+    all_pairs_[d] = Dijkstra(d);
+  }
+}
+
+}  // namespace c2mn

@@ -1,0 +1,62 @@
+#ifndef C2MN_INDOOR_BASE_GRAPH_H_
+#define C2MN_INDOOR_BASE_GRAPH_H_
+
+#include <vector>
+
+#include "indoor/floorplan.h"
+
+namespace c2mn {
+
+/// \brief The accessibility base graph of Lu et al. [17]: door nodes with
+/// intra-partition edges, used to compute minimum indoor walking distances
+/// (MIWD).
+///
+/// Two doors are connected iff they lie on the boundary of a common
+/// partition; the edge weight is the straight-line walking distance inside
+/// that partition plus half the traversal cost of each endpoint door (so
+/// stair lengths are charged exactly once per crossing).
+///
+/// The paper pre-computes all door-to-door shortest distances to speed up
+/// MIWD queries (Section V-B1); `ComputeAllPairs()` does the same here via
+/// repeated Dijkstra.
+class BaseGraph {
+ public:
+  explicit BaseGraph(const Floorplan& plan);
+
+  /// Number of door nodes.
+  size_t num_doors() const { return adjacency_.size(); }
+
+  struct Edge {
+    DoorId to;
+    double weight;
+  };
+  const std::vector<Edge>& Neighbors(DoorId d) const { return adjacency_[d]; }
+
+  /// Single-source shortest door-to-door distances from `source`.
+  std::vector<double> Dijkstra(DoorId source) const;
+
+  /// Pre-computes the full door-to-door distance matrix.  Memory is
+  /// O(|doors|^2) doubles, mirroring the paper's 990 MB pre-computation at
+  /// mall scale (ours is far smaller).
+  void ComputeAllPairs();
+
+  /// Door-to-door network distance; requires ComputeAllPairs() first.
+  double DoorDistance(DoorId a, DoorId b) const {
+    return all_pairs_[a][b];
+  }
+  bool has_all_pairs() const { return !all_pairs_.empty(); }
+
+  /// Approximate memory footprint of the all-pairs matrix in bytes.
+  size_t AllPairsBytes() const {
+    return all_pairs_.size() * num_doors() * sizeof(double);
+  }
+
+ private:
+  const Floorplan& plan_;
+  std::vector<std::vector<Edge>> adjacency_;
+  std::vector<std::vector<double>> all_pairs_;
+};
+
+}  // namespace c2mn
+
+#endif  // C2MN_INDOOR_BASE_GRAPH_H_

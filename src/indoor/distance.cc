@@ -1,0 +1,110 @@
+#include "indoor/distance.h"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+
+namespace c2mn {
+
+namespace {
+constexpr double kInf = std::numeric_limits<double>::infinity();
+}  // namespace
+
+DistanceOracle::DistanceOracle(const Floorplan& plan, BaseGraph* graph,
+                               const RegionIndex* index)
+    : plan_(plan), graph_(graph), index_(index) {
+  assert(graph_ != nullptr);
+  graph_->ComputeAllPairs();
+  BuildRegionMatrix();
+}
+
+PartitionId DistanceOracle::ResolvePartition(const IndoorPoint& p) const {
+  PartitionId pid =
+      index_ != nullptr ? index_->PartitionAt(p) : plan_.PartitionAt(p);
+  if (pid != kInvalidId) return pid;
+  // Snap to the nearest partition on the same floor.
+  double best = kInf;
+  for (PartitionId cand : plan_.PartitionsOnFloor(p.floor)) {
+    const double d = plan_.partition(cand).shape.Distance(p.xy);
+    if (d < best) {
+      best = d;
+      pid = cand;
+    }
+  }
+  return pid;
+}
+
+double DistanceOracle::PointToPoint(const IndoorPoint& p,
+                                    const IndoorPoint& q) const {
+  const PartitionId pp = ResolvePartition(p);
+  const PartitionId qp = ResolvePartition(q);
+  if (pp == kInvalidId || qp == kInvalidId) return kInf;
+  return PointToPointResolved(p, pp, q, qp);
+}
+
+double DistanceOracle::PointToPointResolved(const IndoorPoint& p,
+                                            PartitionId pp,
+                                            const IndoorPoint& q,
+                                            PartitionId qp) const {
+  if (pp == qp) return Distance(p.xy, q.xy);
+  double best = kInf;
+  for (DoorId dp : plan_.partition(pp).doors) {
+    const Door& door_p = plan_.door(dp);
+    const double leg_p = Distance(p.xy, door_p.PositionIn(pp).xy) +
+                         0.5 * door_p.traversal_cost;
+    for (DoorId dq : plan_.partition(qp).doors) {
+      const Door& door_q = plan_.door(dq);
+      double mid;
+      if (dp == dq) {
+        // Same door on the shared wall: cross it exactly once.
+        mid = 0.0;
+      } else {
+        mid = graph_->DoorDistance(dp, dq);
+        if (mid == kInf) continue;
+      }
+      const double leg_q = Distance(q.xy, door_q.PositionIn(qp).xy) +
+                           0.5 * door_q.traversal_cost;
+      best = std::min(best, leg_p + mid + leg_q);
+    }
+  }
+  return best;
+}
+
+void DistanceOracle::BuildRegionMatrix() {
+  const size_t nr = plan_.regions().size();
+  region_reps_.resize(nr);
+  for (const SemanticRegion& region : plan_.regions()) {
+    auto& reps = region_reps_[region.id];
+    for (PartitionId pid : region.partitions) {
+      const Partition& part = plan_.partition(pid);
+      const double w =
+          region.area > 0 ? part.shape.Area() / region.area : 1.0;
+      reps.push_back({IndoorPoint(part.shape.Centroid(), part.floor), pid, w});
+    }
+  }
+  region_matrix_.assign(nr, std::vector<double>(nr, 0.0));
+  for (size_t a = 0; a < nr; ++a) {
+    for (size_t b = a + 1; b < nr; ++b) {
+      double expected = 0.0;
+      bool finite = true;
+      for (const RepPoint& ra : region_reps_[a]) {
+        for (const RepPoint& rb : region_reps_[b]) {
+          const double d = PointToPointResolved(ra.point, ra.partition,
+                                                rb.point, rb.partition);
+          if (d == kInf) {
+            finite = false;
+            break;
+          }
+          expected += ra.weight * rb.weight * d;
+        }
+        if (!finite) break;
+      }
+      const double value = finite ? expected : kInf;
+      region_matrix_[a][b] = value;
+      region_matrix_[b][a] = value;
+      if (finite) max_region_distance_ = std::max(max_region_distance_, value);
+    }
+  }
+}
+
+}  // namespace c2mn

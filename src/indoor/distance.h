@@ -1,0 +1,66 @@
+#ifndef C2MN_INDOOR_DISTANCE_H_
+#define C2MN_INDOOR_DISTANCE_H_
+
+#include <memory>
+#include <vector>
+
+#include "indoor/base_graph.h"
+#include "indoor/floorplan.h"
+#include "indoor/region_index.h"
+
+namespace c2mn {
+
+/// \brief Minimum-indoor-walking-distance (MIWD) oracle [17].
+///
+/// Answers two kinds of queries used by the C2MN feature functions:
+///  - point-to-point MIWD d_I(p, q): Euclidean inside one partition,
+///    otherwise the best route through the pre-computed door-to-door
+///    distance matrix;
+///  - expected region-to-region distance E_{p in r_i, q in r_j}[d_I(p, q)]
+///    (features f_st, Eq. 4 and f_sc, Eq. 5), approximated by averaging
+///    MIWD between area-weighted partition centroids and cached in a
+///    region x region matrix.
+class DistanceOracle {
+ public:
+  /// `graph` must outlive the oracle; all-pairs door distances are
+  /// computed on construction if not already present.
+  DistanceOracle(const Floorplan& plan, BaseGraph* graph,
+                 const RegionIndex* index);
+
+  /// Point-to-point MIWD.  Points outside every partition are snapped to
+  /// the nearest partition on their floor; +inf when floors are not
+  /// connected.
+  double PointToPoint(const IndoorPoint& p, const IndoorPoint& q) const;
+
+  /// Expected region-to-region walking distance; 0 when a == b.
+  double RegionToRegion(RegionId a, RegionId b) const {
+    return region_matrix_[a][b];
+  }
+
+  /// Largest finite entry of the region matrix; used to normalize
+  /// distance-based features.
+  double max_region_distance() const { return max_region_distance_; }
+
+ private:
+  struct RepPoint {
+    IndoorPoint point;
+    PartitionId partition;
+    double weight;  // Area fraction of its region.
+  };
+
+  PartitionId ResolvePartition(const IndoorPoint& p) const;
+  double PointToPointResolved(const IndoorPoint& p, PartitionId pp,
+                              const IndoorPoint& q, PartitionId qp) const;
+  void BuildRegionMatrix();
+
+  const Floorplan& plan_;
+  BaseGraph* graph_;
+  const RegionIndex* index_;
+  std::vector<std::vector<RepPoint>> region_reps_;
+  std::vector<std::vector<double>> region_matrix_;
+  double max_region_distance_ = 0.0;
+};
+
+}  // namespace c2mn
+
+#endif  // C2MN_INDOOR_DISTANCE_H_

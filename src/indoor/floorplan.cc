@@ -1,0 +1,154 @@
+#include "indoor/floorplan.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace c2mn {
+
+namespace {
+const std::vector<PartitionId> kEmptyPartitionList;
+}  // namespace
+
+PartitionId Floorplan::PartitionAt(const IndoorPoint& p) const {
+  if (p.floor < 0 || p.floor >= num_floors_) return kInvalidId;
+  for (PartitionId pid : floor_partitions_[p.floor]) {
+    if (partitions_[pid].shape.Contains(p.xy)) return pid;
+  }
+  return kInvalidId;
+}
+
+RegionId Floorplan::RegionAt(const IndoorPoint& p) const {
+  const PartitionId pid = PartitionAt(p);
+  if (pid == kInvalidId) return kInvalidId;
+  return partitions_[pid].region;
+}
+
+double Floorplan::DistanceToRegionOnFloor(const IndoorPoint& p,
+                                          RegionId r) const {
+  assert(r >= 0 && r < static_cast<RegionId>(regions_.size()));
+  double best = 1e300;
+  for (PartitionId pid : regions_[r].partitions) {
+    const Partition& part = partitions_[pid];
+    if (part.floor != p.floor) continue;
+    best = std::min(best, part.shape.Distance(p.xy));
+  }
+  return best;
+}
+
+const std::vector<PartitionId>& Floorplan::PartitionsOnFloor(FloorId f) const {
+  if (f < 0 || f >= num_floors_) return kEmptyPartitionList;
+  return floor_partitions_[f];
+}
+
+PartitionId FloorplanBuilder::AddPartition(FloorId floor, PartitionKind kind,
+                                           Polygon shape) {
+  Partition part;
+  part.id = static_cast<PartitionId>(plan_.partitions_.size());
+  part.floor = floor;
+  part.kind = kind;
+  part.shape = std::move(shape);
+  plan_.partitions_.push_back(std::move(part));
+  return plan_.partitions_.back().id;
+}
+
+DoorId FloorplanBuilder::AddDoor(PartitionId a, PartitionId b, const Vec2& at) {
+  assert(a >= 0 && a < static_cast<PartitionId>(plan_.partitions_.size()));
+  assert(b >= 0 && b < static_cast<PartitionId>(plan_.partitions_.size()));
+  Door door;
+  door.id = static_cast<DoorId>(plan_.doors_.size());
+  door.partition_a = a;
+  door.partition_b = b;
+  door.position_a = IndoorPoint(at, plan_.partitions_[a].floor);
+  door.position_b = IndoorPoint(at, plan_.partitions_[b].floor);
+  door.traversal_cost = 0.0;
+  plan_.partitions_[a].doors.push_back(door.id);
+  plan_.partitions_[b].doors.push_back(door.id);
+  plan_.doors_.push_back(door);
+  return door.id;
+}
+
+DoorId FloorplanBuilder::AddStairDoor(PartitionId lower, PartitionId upper,
+                                      const Vec2& at, double traversal_cost) {
+  assert(traversal_cost >= 0.0);
+  const DoorId id = AddDoor(lower, upper, at);
+  plan_.doors_[id].traversal_cost = traversal_cost;
+  return id;
+}
+
+RegionId FloorplanBuilder::AddRegion(std::string name,
+                                     std::vector<PartitionId> partitions) {
+  SemanticRegion region;
+  region.id = static_cast<RegionId>(plan_.regions_.size());
+  region.name = std::move(name);
+  region.partitions = std::move(partitions);
+  plan_.regions_.push_back(std::move(region));
+  return plan_.regions_.back().id;
+}
+
+Result<Floorplan> FloorplanBuilder::Build() {
+  Floorplan& plan = plan_;
+  if (plan.partitions_.empty()) {
+    return Status::InvalidArgument("floorplan has no partitions");
+  }
+  // Compute floor count and per-floor lists.
+  int max_floor = 0;
+  for (const Partition& part : plan.partitions_) {
+    if (part.floor < 0) {
+      return Status::InvalidArgument("negative floor number");
+    }
+    max_floor = std::max(max_floor, part.floor);
+  }
+  plan.num_floors_ = max_floor + 1;
+  plan.floor_partitions_.assign(plan.num_floors_, {});
+  for (const Partition& part : plan.partitions_) {
+    plan.floor_partitions_[part.floor].push_back(part.id);
+  }
+  // Validate doors.
+  for (const Door& door : plan.doors_) {
+    if (door.partition_a == door.partition_b) {
+      return Status::InvalidArgument("door connects a partition to itself");
+    }
+    const Partition& a = plan.partitions_[door.partition_a];
+    const Partition& b = plan.partitions_[door.partition_b];
+    const int dfloor = std::abs(a.floor - b.floor);
+    if (door.traversal_cost == 0.0 && dfloor != 0) {
+      return Status::InvalidArgument(
+          "level door connects different floors; use AddStairDoor");
+    }
+    if (dfloor > 1) {
+      return Status::InvalidArgument(
+          "stair door must connect adjacent floors");
+    }
+  }
+  // Validate regions and fill derived fields.
+  std::vector<bool> assigned(plan.partitions_.size(), false);
+  for (SemanticRegion& region : plan.regions_) {
+    if (region.partitions.empty()) {
+      return Status::InvalidArgument("semantic region '" + region.name +
+                                     "' has no partitions");
+    }
+    double area = 0.0;
+    Vec2 weighted{0, 0};
+    FloorId floor = plan.partitions_[region.partitions.front()].floor;
+    for (PartitionId pid : region.partitions) {
+      if (pid < 0 || pid >= static_cast<PartitionId>(plan.partitions_.size())) {
+        return Status::InvalidArgument("region references unknown partition");
+      }
+      if (assigned[pid]) {
+        return Status::InvalidArgument(
+            "regions overlap: partition assigned twice");
+      }
+      assigned[pid] = true;
+      plan.partitions_[pid].region = region.id;
+      const double a = plan.partitions_[pid].shape.Area();
+      area += a;
+      weighted = weighted + plan.partitions_[pid].shape.Centroid() * a;
+    }
+    region.area = area;
+    region.centroid =
+        IndoorPoint(area > 0 ? weighted / area : weighted, floor);
+  }
+  return std::move(plan_);
+}
+
+}  // namespace c2mn

@@ -1,0 +1,142 @@
+#ifndef C2MN_INDOOR_FLOORPLAN_H_
+#define C2MN_INDOOR_FLOORPLAN_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "geometry/polygon.h"
+#include "indoor/ids.h"
+
+namespace c2mn {
+
+/// \brief Functional kind of an indoor partition.
+enum class PartitionKind {
+  kRoom,       ///< An enclosed unit (e.g. a shop).
+  kHallway,    ///< Circulation space.
+  kStaircase,  ///< Vertical circulation; connected across floors.
+};
+
+/// \brief An indoor partition: an atomic walled unit of one floor
+/// (Section II of the paper: "an indoor space can be divided into a number
+/// of indoor partitions like rooms and hallways by walls and doors").
+struct Partition {
+  PartitionId id = kInvalidId;
+  FloorId floor = 0;
+  PartitionKind kind = PartitionKind::kRoom;
+  Polygon shape;
+  /// The semantic region this partition belongs to, or kInvalidId when it
+  /// is plain circulation space.
+  RegionId region = kInvalidId;
+  /// Doors on this partition's boundary.
+  std::vector<DoorId> doors;
+};
+
+/// \brief A door connecting exactly two partitions.
+///
+/// Same-floor doors have one physical position; staircase connectors join
+/// partitions on adjacent floors and carry a positive traversal cost (the
+/// walking length of the stairs).
+struct Door {
+  DoorId id = kInvalidId;
+  PartitionId partition_a = kInvalidId;
+  PartitionId partition_b = kInvalidId;
+  /// Physical position of the door on partition_a's floor.
+  IndoorPoint position_a;
+  /// Position on partition_b's floor (equals position_a for level doors).
+  IndoorPoint position_b;
+  /// Extra walking distance for crossing (stairs length); 0 for level doors.
+  double traversal_cost = 0.0;
+
+  bool IsInterFloor() const { return position_a.floor != position_b.floor; }
+  /// The door's position as seen from partition `p` (must be a or b).
+  const IndoorPoint& PositionIn(PartitionId p) const {
+    return p == partition_a ? position_a : position_b;
+  }
+  /// The partition on the other side of `p`.
+  PartitionId Opposite(PartitionId p) const {
+    return p == partition_a ? partition_b : partition_a;
+  }
+};
+
+/// \brief A semantic region: one or more partitions designated by the data
+/// analyst (e.g. a shop), per Definition 2.  Regions do not overlap.
+struct SemanticRegion {
+  RegionId id = kInvalidId;
+  std::string name;
+  std::vector<PartitionId> partitions;
+  /// Total floor area in m^2 (sum over member partitions).
+  double area = 0.0;
+  /// Area-weighted centroid of member partitions.
+  IndoorPoint centroid;
+};
+
+/// \brief The complete static model of an indoor venue: partitions, doors,
+/// semantic regions, plus lookup utilities.
+///
+/// Instances are immutable after FloorplanBuilder::Build(); all annotation
+/// and simulation components share one Floorplan by const reference.
+class Floorplan {
+ public:
+  const std::vector<Partition>& partitions() const { return partitions_; }
+  const std::vector<Door>& doors() const { return doors_; }
+  const std::vector<SemanticRegion>& regions() const { return regions_; }
+  int num_floors() const { return num_floors_; }
+
+  const Partition& partition(PartitionId id) const { return partitions_[id]; }
+  const Door& door(DoorId id) const { return doors_[id]; }
+  const SemanticRegion& region(RegionId id) const { return regions_[id]; }
+
+  /// Partition containing `p`, or kInvalidId if `p` lies in no partition
+  /// (outside the building footprint).  Linear in the partitions of the
+  /// floor; use RegionIndex for hot paths.
+  PartitionId PartitionAt(const IndoorPoint& p) const;
+
+  /// Semantic region containing `p`, or kInvalidId.
+  RegionId RegionAt(const IndoorPoint& p) const;
+
+  /// Minimum horizontal distance from `p` to region `r` considering only
+  /// partitions on `p.floor`; +inf when the region has no footprint there.
+  double DistanceToRegionOnFloor(const IndoorPoint& p, RegionId r) const;
+
+  /// Partitions on the given floor.
+  const std::vector<PartitionId>& PartitionsOnFloor(FloorId f) const;
+
+ private:
+  friend class FloorplanBuilder;
+
+  std::vector<Partition> partitions_;
+  std::vector<Door> doors_;
+  std::vector<SemanticRegion> regions_;
+  std::vector<std::vector<PartitionId>> floor_partitions_;
+  int num_floors_ = 0;
+};
+
+/// \brief Incremental builder for Floorplan with validity checking.
+class FloorplanBuilder {
+ public:
+  /// Adds a partition and returns its id.
+  PartitionId AddPartition(FloorId floor, PartitionKind kind, Polygon shape);
+
+  /// Adds a level door between two partitions on the same floor at `at`.
+  DoorId AddDoor(PartitionId a, PartitionId b, const Vec2& at);
+
+  /// Adds a staircase connector between partitions on adjacent floors.
+  DoorId AddStairDoor(PartitionId lower, PartitionId upper, const Vec2& at,
+                      double traversal_cost);
+
+  /// Declares a semantic region from the given partitions.
+  RegionId AddRegion(std::string name, std::vector<PartitionId> partitions);
+
+  /// Validates the model and produces an immutable Floorplan.
+  /// Fails when doors reference missing partitions, regions overlap, or a
+  /// region has no partitions.
+  Result<Floorplan> Build();
+
+ private:
+  Floorplan plan_;
+};
+
+}  // namespace c2mn
+
+#endif  // C2MN_INDOOR_FLOORPLAN_H_

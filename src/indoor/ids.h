@@ -1,0 +1,42 @@
+#ifndef C2MN_INDOOR_IDS_H_
+#define C2MN_INDOOR_IDS_H_
+
+#include <cstdint>
+
+#include "geometry/vec2.h"
+
+namespace c2mn {
+
+/// Identifier types for indoor entities.  Sequential, 0-based; kInvalidId
+/// marks "no entity".
+using PartitionId = int32_t;
+using DoorId = int32_t;
+using RegionId = int32_t;
+using FloorId = int32_t;
+
+inline constexpr int32_t kInvalidId = -1;
+
+/// \brief A 3-D indoor location: a 2-D point plus a floor number, the
+/// `l = (x, y, f)` triplet from Definition 1 of the paper.
+struct IndoorPoint {
+  Vec2 xy;
+  FloorId floor = 0;
+
+  IndoorPoint() = default;
+  IndoorPoint(double x, double y, FloorId f) : xy(x, y), floor(f) {}
+  IndoorPoint(const Vec2& p, FloorId f) : xy(p), floor(f) {}
+
+  bool operator==(const IndoorPoint& o) const {
+    return xy == o.xy && floor == o.floor;
+  }
+};
+
+/// Horizontal Euclidean distance, ignoring the floor difference.  Used by
+/// features that compare raw location estimates (f_sc, f_ec).
+inline double HorizontalDistance(const IndoorPoint& a, const IndoorPoint& b) {
+  return Distance(a.xy, b.xy);
+}
+
+}  // namespace c2mn
+
+#endif  // C2MN_INDOOR_IDS_H_

@@ -1,0 +1,63 @@
+#include "indoor/region_index.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace c2mn {
+
+RegionIndex::RegionIndex(const Floorplan& plan) : plan_(plan) {
+  floor_trees_.resize(plan.num_floors());
+  for (FloorId f = 0; f < plan.num_floors(); ++f) {
+    std::vector<RTree::Entry> entries;
+    for (PartitionId pid : plan.PartitionsOnFloor(f)) {
+      entries.push_back({plan.partition(pid).shape.bbox(), pid});
+    }
+    floor_trees_[f] = std::make_unique<RTree>(std::move(entries));
+  }
+}
+
+PartitionId RegionIndex::PartitionAt(const IndoorPoint& p) const {
+  if (p.floor < 0 || p.floor >= static_cast<FloorId>(floor_trees_.size())) {
+    return kInvalidId;
+  }
+  BoundingBox point_box;
+  point_box.Extend(p.xy);
+  for (int32_t pid : floor_trees_[p.floor]->Search(point_box)) {
+    if (plan_.partition(pid).shape.Contains(p.xy)) return pid;
+  }
+  return kInvalidId;
+}
+
+RegionId RegionIndex::RegionAt(const IndoorPoint& p) const {
+  const PartitionId pid = PartitionAt(p);
+  return pid == kInvalidId ? kInvalidId : plan_.partition(pid).region;
+}
+
+std::vector<RegionIndex::RegionDistance> RegionIndex::NearestRegions(
+    const IndoorPoint& p, size_t k, double max_distance) const {
+  std::vector<RegionDistance> out;
+  if (p.floor < 0 || p.floor >= static_cast<FloorId>(floor_trees_.size())) {
+    return out;
+  }
+  std::unordered_set<RegionId> seen;
+  const RTree& tree = *floor_trees_[p.floor];
+  tree.NearestTraversal(
+      p.xy,
+      [&](int32_t pid) { return plan_.partition(pid).shape.Distance(p.xy); },
+      [&](int32_t pid, double dist) {
+        if (dist > max_distance) return false;  // Ordered: nothing closer.
+        const RegionId region = plan_.partition(pid).region;
+        if (region != kInvalidId && seen.insert(region).second) {
+          out.push_back({region, dist});
+        }
+        return seen.size() < k;
+      });
+  return out;
+}
+
+RegionId RegionIndex::NearestRegion(const IndoorPoint& p) const {
+  auto nearest = NearestRegions(p, 1);
+  return nearest.empty() ? kInvalidId : nearest.front().region;
+}
+
+}  // namespace c2mn

@@ -1,0 +1,70 @@
+#ifndef C2MN_INDOOR_RTREE_H_
+#define C2MN_INDOOR_RTREE_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "geometry/polygon.h"
+
+namespace c2mn {
+
+/// \brief A static STR-packed R-tree over rectangles with integer payloads.
+///
+/// The paper indexes all partitions and their semantic regions with an
+/// R-tree to speed up feature extraction (Section V-B1).  This
+/// implementation bulk-loads with the Sort-Tile-Recursive algorithm and
+/// supports box-intersection queries and incremental best-first
+/// nearest-neighbor traversal with user-supplied distance refinement.
+class RTree {
+ public:
+  struct Entry {
+    BoundingBox box;
+    int32_t payload = 0;
+  };
+
+  /// Bulk-loads the tree; `max_fanout` children per internal node.
+  explicit RTree(std::vector<Entry> entries, int max_fanout = 16);
+
+  size_t size() const { return num_entries_; }
+
+  /// Collects payloads of all entries whose box intersects `query`.
+  std::vector<int32_t> Search(const BoundingBox& query) const;
+
+  /// Visits entries in non-decreasing order of refined distance from `p`.
+  ///
+  /// `refine(payload)` returns the exact distance of the payload's object
+  /// from the query point (at least the bbox distance, or the traversal is
+  /// not guaranteed to be ordered).  `visit(payload, dist)` returns false
+  /// to stop the traversal.
+  void NearestTraversal(
+      const Vec2& p, const std::function<double(int32_t)>& refine,
+      const std::function<bool(int32_t, double)>& visit) const;
+
+  /// Convenience: the k nearest payloads with their refined distances.
+  std::vector<std::pair<int32_t, double>> NearestK(
+      const Vec2& p, size_t k,
+      const std::function<double(int32_t)>& refine) const;
+
+ private:
+  struct Node {
+    BoundingBox box;
+    bool is_leaf = false;
+    /// Children node indices (internal) or entry indices (leaf).
+    std::vector<int32_t> children;
+  };
+
+  /// Builds one tree level above `child_ids` (indices into nodes_);
+  /// returns ids of the created parents.
+  std::vector<int32_t> PackLevel(const std::vector<int32_t>& child_ids);
+
+  std::vector<Entry> entries_;
+  std::vector<Node> nodes_;
+  int32_t root_ = -1;
+  int max_fanout_;
+  size_t num_entries_ = 0;
+};
+
+}  // namespace c2mn
+
+#endif  // C2MN_INDOOR_RTREE_H_

@@ -1,0 +1,168 @@
+#include "sim/building_gen.h"
+
+#include <string>
+#include <vector>
+
+namespace c2mn {
+
+namespace {
+
+/// Per-floor bookkeeping while laying out one floor.
+struct FloorLayout {
+  std::vector<PartitionId> rooms;       // All room partitions, row-major.
+  std::vector<PartitionId> corridors;   // One per block.
+  PartitionId spine = kInvalidId;
+  std::vector<PartitionId> stairs;      // One per staircase shaft.
+};
+
+}  // namespace
+
+Result<Floorplan> GenerateBuilding(const BuildingConfig& config, Rng* rng) {
+  if (config.num_floors < 1 || config.rooms_per_row < 1 ||
+      config.blocks_per_floor < 1) {
+    return Status::InvalidArgument("building dimensions must be positive");
+  }
+  if (config.num_staircases < 1 && config.num_floors > 1) {
+    return Status::InvalidArgument("multi-floor building needs staircases");
+  }
+
+  FloorplanBuilder builder;
+  const double rw = config.room_width;
+  const double rd = config.room_depth;
+  const double cw = config.corridor_width;
+  const double sw = config.spine_width;
+  const double block_h = 2.0 * rd + cw;
+  const double total_h = config.blocks_per_floor * block_h;
+  const double rooms_x0 = sw;
+  const double rooms_x1 = sw + config.rooms_per_row * rw;
+
+  std::vector<FloorLayout> layouts(config.num_floors);
+  for (FloorId f = 0; f < config.num_floors; ++f) {
+    FloorLayout& layout = layouts[f];
+    // Spine corridor along the left edge.
+    layout.spine = builder.AddPartition(
+        f, PartitionKind::kHallway,
+        Polygon::Rectangle({0.0, 0.0}, {sw, total_h}));
+    for (int b = 0; b < config.blocks_per_floor; ++b) {
+      const double y0 = b * block_h;
+      const double corridor_y0 = y0 + rd;
+      const double corridor_y1 = y0 + rd + cw;
+      const PartitionId corridor = builder.AddPartition(
+          f, PartitionKind::kHallway,
+          Polygon::Rectangle({rooms_x0, corridor_y0},
+                             {rooms_x1, corridor_y1}));
+      layout.corridors.push_back(corridor);
+      // Corridor opens into the spine.
+      builder.AddDoor(layout.spine, corridor,
+                      {sw, 0.5 * (corridor_y0 + corridor_y1)});
+      for (int i = 0; i < config.rooms_per_row; ++i) {
+        const double x0 = rooms_x0 + i * rw;
+        const double x1 = x0 + rw;
+        const double door_x = 0.5 * (x0 + x1);
+        // Bottom row room (door on its top wall).
+        const PartitionId bottom = builder.AddPartition(
+            f, PartitionKind::kRoom,
+            Polygon::Rectangle({x0, y0}, {x1, corridor_y0}));
+        builder.AddDoor(bottom, corridor, {door_x, corridor_y0});
+        layout.rooms.push_back(bottom);
+        // Top row room (door on its bottom wall).
+        const PartitionId top = builder.AddPartition(
+            f, PartitionKind::kRoom,
+            Polygon::Rectangle({x0, corridor_y1}, {x1, corridor_y1 + rd}));
+        builder.AddDoor(top, corridor, {door_x, corridor_y1});
+        layout.rooms.push_back(top);
+      }
+    }
+    // Staircase shafts on the right edge, attached to distinct corridors.
+    for (int s = 0; s < config.num_staircases; ++s) {
+      const int block = s % config.blocks_per_floor;
+      const double corridor_y0 = block * block_h + rd;
+      const double corridor_y1 = corridor_y0 + cw;
+      // Offset shafts that share a corridor so their footprints differ.
+      const int shaft_rank = s / config.blocks_per_floor;
+      const double x0 = rooms_x1 + shaft_rank * config.stair_width;
+      const double x1 = x0 + config.stair_width;
+      const PartitionId shaft = builder.AddPartition(
+          f, PartitionKind::kStaircase,
+          Polygon::Rectangle({x0, corridor_y0}, {x1, corridor_y1}));
+      builder.AddDoor(layouts[f].corridors[block], shaft,
+                      {x0, 0.5 * (corridor_y0 + corridor_y1)});
+      layout.stairs.push_back(shaft);
+    }
+    // Connect shafts to the floor below.
+    if (f > 0) {
+      for (int s = 0; s < config.num_staircases; ++s) {
+        const PartitionId below = layouts[f - 1].stairs[s];
+        const PartitionId here = layout.stairs[s];
+        const int block = s % config.blocks_per_floor;
+        const int shaft_rank = s / config.blocks_per_floor;
+        const double corridor_y0 = block * block_h + rd;
+        const double x0 = rooms_x1 + shaft_rank * config.stair_width;
+        builder.AddStairDoor(below, here,
+                             {x0 + 0.5 * config.stair_width,
+                              corridor_y0 + 0.5 * cw},
+                             config.stair_traversal_cost);
+      }
+    }
+  }
+
+  // Designate semantic regions over the rooms.  Same-type shops cluster
+  // together in malls, so we walk rooms in layout order and draw
+  // contiguous decisions; some regions merge two adjacent rooms.
+  int region_counter = 0;
+  for (FloorId f = 0; f < config.num_floors; ++f) {
+    const auto& rooms = layouts[f].rooms;
+    std::vector<bool> used(rooms.size(), false);
+    for (size_t i = 0; i < rooms.size(); ++i) {
+      if (used[i]) continue;
+      used[i] = true;
+      if (!rng->Bernoulli(config.region_fraction)) {
+        continue;  // Room stays non-semantic (storage, service space).
+      }
+      std::vector<PartitionId> members = {rooms[i]};
+      // Rooms come in (bottom, top) pairs along the corridor; the next
+      // room in the same row is two indices away.
+      if (i + 2 < rooms.size() && !used[i + 2] &&
+          rng->Bernoulli(config.multi_partition_fraction)) {
+        members.push_back(rooms[i + 2]);
+        used[i + 2] = true;
+      }
+      std::string name = "shop-F" + std::to_string(f) + "-" +
+                         std::to_string(region_counter++);
+      builder.AddRegion(std::move(name), std::move(members));
+    }
+  }
+
+  return builder.Build();
+}
+
+BuildingConfig MallConfig() {
+  BuildingConfig config;
+  config.num_floors = 7;
+  config.rooms_per_row = 8;
+  config.blocks_per_floor = 2;
+  // Mall shops are sized so one inter-record stride (~1.2 m/s x 15 s)
+  // spans about one storefront, matching the paper's relative scale.
+  config.room_width = 14.0;
+  config.room_depth = 12.0;
+  config.corridor_width = 5.0;
+  config.num_staircases = 2;
+  config.region_fraction = 0.85;
+  config.multi_partition_fraction = 0.15;
+  return config;
+}
+
+BuildingConfig SyntheticConfig() {
+  BuildingConfig config;
+  config.num_floors = 10;
+  config.rooms_per_row = 9;
+  config.blocks_per_floor = 2;
+  config.room_width = 12.0;
+  config.room_depth = 10.0;
+  config.num_staircases = 4;
+  config.region_fraction = 0.75;
+  config.multi_partition_fraction = 0.1;
+  return config;
+}
+
+}  // namespace c2mn

@@ -1,0 +1,56 @@
+#ifndef C2MN_SIM_BUILDING_GEN_H_
+#define C2MN_SIM_BUILDING_GEN_H_
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "indoor/floorplan.h"
+
+namespace c2mn {
+
+/// \brief Parameters of the procedural multi-floor building generator.
+///
+/// Every floor is a stack of "blocks": a bottom room row, a corridor, and
+/// a top room row, all served by one vertical spine corridor on the left
+/// and staircase shafts on the right.  The layout reproduces the
+/// structural traits the paper calls out for indoor venues — a relatively
+/// small extent, a compact distribution of semantic regions of the same
+/// type placed together, and movement constrained by doors and hallways.
+struct BuildingConfig {
+  int num_floors = 7;
+  /// Rooms per row (a block has two rows).
+  int rooms_per_row = 10;
+  /// Double-sided corridor blocks per floor.
+  int blocks_per_floor = 2;
+  double room_width = 8.0;    ///< Meters along the corridor.
+  double room_depth = 10.0;   ///< Meters away from the corridor.
+  double corridor_width = 4.0;
+  double spine_width = 5.0;
+  double stair_width = 5.0;
+  /// Number of staircase shafts (paper synthetic building: 4).
+  int num_staircases = 2;
+  /// Walking length of one flight of stairs in meters.
+  double stair_traversal_cost = 12.0;
+  /// Fraction of rooms that become single-partition semantic regions.
+  /// The remainder is merged pairwise into two-partition regions or left
+  /// as non-semantic space.
+  double region_fraction = 0.8;
+  /// Fraction of semantic regions that span two adjacent rooms.
+  double multi_partition_fraction = 0.15;
+};
+
+/// Generates a building per `config`; `rng` drives the random choice of
+/// which rooms become (multi-partition) semantic regions.
+Result<Floorplan> GenerateBuilding(const BuildingConfig& config, Rng* rng);
+
+/// A 7-floor mall-style configuration sized as the surrogate for the
+/// paper's Hangzhou mall deployment (202 shop regions at full scale; this
+/// yields about the same region density per floor).
+BuildingConfig MallConfig();
+
+/// The 10-floor synthetic building of Section V-C (4 staircases, regions
+/// chosen at random over the partitions).
+BuildingConfig SyntheticConfig();
+
+}  // namespace c2mn
+
+#endif  // C2MN_SIM_BUILDING_GEN_H_

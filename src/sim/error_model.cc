@@ -1,0 +1,160 @@
+#include "sim/error_model.h"
+
+#include <algorithm>
+
+#include "geometry/circle_overlap.h"
+#include <cmath>
+#include <vector>
+
+namespace c2mn {
+
+namespace {
+
+/// Displaces `p` by a uniformly random direction and a radius drawn
+/// uniformly from [r_lo, r_hi].
+Vec2 Displace(const Vec2& p, double r_lo, double r_hi, Rng* rng) {
+  const double angle = rng->Uniform(0.0, 2.0 * M_PI);
+  const double radius = rng->Uniform(r_lo, r_hi);
+  return {p.x + radius * std::cos(angle), p.y + radius * std::sin(angle)};
+}
+
+/// The annotation emulator's view of record i: the window-averaged
+/// observed position on the window's majority floor.  This is what a
+/// reviewer effectively sees when judging a noisy point against the
+/// rendered trajectory.
+IndoorPoint SmoothedObservation(const std::vector<PositioningRecord>& records,
+                                int i) {
+  const int n = static_cast<int>(records.size());
+  const int lo = std::max(0, i - 1);
+  const int hi = std::min(n - 1, i + 1);
+  Vec2 mean{0, 0};
+  std::vector<int> floor_votes;
+  int cnt = 0;
+  for (int j = lo; j <= hi; ++j) {
+    mean = mean + records[j].location.xy;
+    ++cnt;
+    const int f = records[j].location.floor;
+    if (f >= static_cast<int>(floor_votes.size())) floor_votes.resize(f + 1, 0);
+    if (f >= 0) ++floor_votes[f];
+  }
+  mean = mean / static_cast<double>(cnt);
+  int floor = records[i].location.floor;
+  int best_votes = 0;
+  for (size_t f = 0; f < floor_votes.size(); ++f) {
+    if (floor_votes[f] > best_votes) {
+      best_votes = floor_votes[f];
+      floor = static_cast<int>(f);
+    }
+  }
+  return IndoorPoint(mean, floor);
+}
+
+/// The reviewer's judgment of how strongly a region claims a rendered
+/// point: the overlap of the region's footprint with a perceptual disk
+/// around the point (floor-matched partitions only).
+double RegionClaim(const World& world, const IndoorPoint& view, double radius,
+                   RegionId region) {
+  double overlap = 0.0;
+  for (PartitionId pid : world.plan().region(region).partitions) {
+    const Partition& part = world.plan().partition(pid);
+    if (part.floor != view.floor) continue;
+    overlap += CirclePolygonIntersectionArea(view.xy, radius, part.shape);
+  }
+  return overlap;
+}
+
+/// Re-derives pass-record regions from the observed (smoothed) positions,
+/// emulating the paper's human annotation of the rendered trajectory: the
+/// region with the visually dominant claim wins, and the reviewer keeps
+/// the current pass region until another clearly dominates (hysteresis).
+void AnnotatePassRegions(const World& world, const ObservationConfig& config,
+                         LabeledSequence* out) {
+  const int n = static_cast<int>(out->sequence.size());
+  RegionId current = kInvalidId;
+  for (int i = 0; i < n; ++i) {
+    if (out->labels.events[i] == MobilityEvent::kStay) {
+      // Stays keep the simulator truth; the hysteresis restarts from the
+      // stayed region (an annotator tracks "leaving shop X").
+      current = out->labels.regions[i];
+      continue;
+    }
+    const IndoorPoint view = SmoothedObservation(out->sequence.records, i);
+    RegionId best = kInvalidId;
+    double best_claim = 0.0;
+    for (const auto& [region, dist] :
+         world.index().NearestRegions(view, 5, 4.0 * config.annotation_radius)) {
+      const double claim =
+          RegionClaim(world, view, config.annotation_radius, region);
+      if (claim > best_claim) {
+        best_claim = claim;
+        best = region;
+      }
+    }
+    RegionId label = current;
+    if (best == kInvalidId) {
+      // Nothing within view (outlier): keep the current span, falling
+      // back to the nearest region at the start of a trajectory.
+      if (current == kInvalidId) label = world.index().NearestRegion(view);
+    } else if (current == kInvalidId || current == best) {
+      label = best;
+    } else {
+      const double current_claim =
+          RegionClaim(world, view, config.annotation_radius, current);
+      label = best_claim >
+                      config.annotation_hysteresis_ratio * current_claim
+                  ? best
+                  : current;
+    }
+    if (label != kInvalidId) out->labels.regions[i] = label;
+    current = out->labels.regions[i];
+  }
+}
+
+}  // namespace
+
+LabeledSequence Observe(const GroundTruthTrace& trace, const World& world,
+                        const ObservationConfig& config, Rng* rng) {
+  LabeledSequence out;
+  out.sequence.object_id = trace.object_id;
+  if (trace.empty()) return out;
+
+  const double t0 = trace.points.front().timestamp;
+  const double t_last = trace.points.back().timestamp;
+  double t = t0;
+  while (t <= t_last) {
+    // The trace is per-second; index by offset from its start.
+    const size_t idx = std::min(
+        trace.points.size() - 1, static_cast<size_t>(std::llround(t - t0)));
+    const TracePoint& truth = trace.points[idx];
+
+    PositioningRecord record;
+    record.timestamp = truth.timestamp;
+    IndoorPoint estimate = truth.position;
+    if (rng->Bernoulli(config.outlier_prob)) {
+      estimate.xy = Displace(estimate.xy, 2.5 * config.error_mu,
+                             10.0 * config.error_mu, rng);
+    } else {
+      estimate.xy = Displace(estimate.xy, 0.0, config.error_mu, rng);
+    }
+    if (rng->Bernoulli(config.false_floor_prob)) {
+      const int delta =
+          (rng->Bernoulli(0.5) ? 1 : -1) *
+          static_cast<int>(rng->UniformInt(int64_t{1}, int64_t{2}));
+      estimate.floor = std::clamp(estimate.floor + delta, 0,
+                                  config.num_floors - 1);
+    }
+    record.location = estimate;
+    out.sequence.records.push_back(record);
+    out.labels.regions.push_back(truth.region);
+    out.labels.events.push_back(truth.event);
+
+    t += rng->Uniform(config.min_period_seconds, config.max_period_seconds);
+  }
+
+  if (config.annotate_pass_from_observations) {
+    AnnotatePassRegions(world, config, &out);
+  }
+  return out;
+}
+
+}  // namespace c2mn

@@ -1,0 +1,61 @@
+#ifndef C2MN_SIM_ERROR_MODEL_H_
+#define C2MN_SIM_ERROR_MODEL_H_
+
+#include "common/rng.h"
+#include "data/labels.h"
+#include "sim/trace.h"
+#include "sim/world.h"
+
+namespace c2mn {
+
+/// \brief The positioning error model of Section V-C.
+///
+/// "After an object has reported an estimate, it keeps silent for at most
+/// T seconds. ... A location estimate is randomly within μ meters from the
+/// true location.  False floor values and location outliers are added to
+/// the reports with certain probabilities (3% and 3%).  A false floor
+/// value is produced within two floors up or down, and an outlier is
+/// within 2.5μ–10μ meters from the true location."
+struct ObservationConfig {
+  /// T: maximum positioning period in seconds; report gaps are drawn
+  /// uniformly from [min_period_seconds, T].
+  double max_period_seconds = 5.0;
+  double min_period_seconds = 1.0;
+  /// μ: positioning error factor in meters; regular estimates are
+  /// displaced uniformly within μ of the truth.
+  double error_mu = 3.0;
+  /// Probability of a false floor value (±1 or ±2 floors, clamped).
+  double false_floor_prob = 0.03;
+  /// Probability of a location outlier at 2.5μ–10μ.
+  double outlier_prob = 0.03;
+  /// Number of floors in the building, for clamping false floors.
+  int num_floors = 1;
+
+  /// Emulate the paper's human annotation of pass records (the TRIPS
+  /// Event Editor reviewers labeled the *rendered noisy trajectory*): the
+  /// ground-truth region of a pass record is re-derived from the smoothed
+  /// observed positions, choosing the region whose footprint overlaps a
+  /// perceptual disk around the point the most, with hysteresis (the
+  /// reviewer keeps the current region until another clearly dominates).
+  /// Stay records keep the simulator's exact region (dwell clusters are
+  /// unambiguous to an annotator).  See DESIGN.md, substitution 4.
+  bool annotate_pass_from_observations = true;
+  /// Radius of the reviewer's perceptual disk in meters.
+  double annotation_radius = 6.0;
+  /// Relative overlap advantage a region needs before the reviewer
+  /// re-labels the pass span.
+  double annotation_hysteresis_ratio = 1.3;
+};
+
+/// \brief Samples noisy positioning records from a ground-truth trace and
+/// derives the per-record labels at the sampled instants.
+///
+/// The returned LabeledSequence is the supervised-learning unit: records
+/// are what an indoor positioning system would report, labels are what the
+/// paper's human reviewers would have annotated at the same seconds.
+LabeledSequence Observe(const GroundTruthTrace& trace, const World& world,
+                        const ObservationConfig& config, Rng* rng);
+
+}  // namespace c2mn
+
+#endif  // C2MN_SIM_ERROR_MODEL_H_

@@ -1,0 +1,113 @@
+#include "sim/path_planner.h"
+
+#include <algorithm>
+#include <limits>
+#include <queue>
+
+namespace c2mn {
+
+namespace {
+constexpr double kInf = std::numeric_limits<double>::infinity();
+}  // namespace
+
+std::vector<IndoorPoint> PathPlanner::PlanWaypoints(
+    const IndoorPoint& from, const IndoorPoint& to) const {
+  const PartitionId start = plan_.PartitionAt(from);
+  const PartitionId goal = plan_.PartitionAt(to);
+  if (start == kInvalidId || goal == kInvalidId) return {};
+  if (start == goal) return {from, to};
+
+  // Multi-source Dijkstra over doors, seeded from the doors of the start
+  // partition, stopped once every goal-partition door is settled.
+  const size_t nd = plan_.doors().size();
+  std::vector<double> dist(nd, kInf);
+  std::vector<DoorId> parent(nd, kInvalidId);
+  using Item = std::pair<double, DoorId>;
+  std::priority_queue<Item, std::vector<Item>, std::greater<>> heap;
+  for (DoorId d : plan_.partition(start).doors) {
+    const Door& door = plan_.door(d);
+    const double cost =
+        Distance(from.xy, door.PositionIn(start).xy) +
+        0.5 * door.traversal_cost;
+    if (cost < dist[d]) {
+      dist[d] = cost;
+      heap.emplace(cost, d);
+    }
+  }
+  while (!heap.empty()) {
+    auto [d, u] = heap.top();
+    heap.pop();
+    if (d > dist[u]) continue;
+    for (const BaseGraph::Edge& e : graph_.Neighbors(u)) {
+      const double nd_cost = d + e.weight;
+      if (nd_cost < dist[e.to]) {
+        dist[e.to] = nd_cost;
+        parent[e.to] = u;
+        heap.emplace(nd_cost, e.to);
+      }
+    }
+  }
+
+  DoorId best_door = kInvalidId;
+  double best_total = kInf;
+  for (DoorId d : plan_.doors().empty()
+                      ? std::vector<DoorId>{}
+                      : plan_.partition(goal).doors) {
+    if (dist[d] == kInf) continue;
+    const Door& door = plan_.door(d);
+    const double total = dist[d] + 0.5 * door.traversal_cost +
+                         Distance(to.xy, door.PositionIn(goal).xy);
+    if (total < best_total) {
+      best_total = total;
+      best_door = d;
+    }
+  }
+  if (best_door == kInvalidId) return {};
+
+  // Reconstruct the door chain back to the start partition.
+  std::vector<DoorId> chain;
+  for (DoorId d = best_door; d != kInvalidId; d = parent[d]) chain.push_back(d);
+  std::reverse(chain.begin(), chain.end());
+
+  // Convert doors to waypoints, tracking which partition we are in so each
+  // door contributes its position on the entry side (and the exit side
+  // when it changes floors).
+  std::vector<IndoorPoint> waypoints = {from};
+  PartitionId current = start;
+  for (DoorId d : chain) {
+    const Door& door = plan_.door(d);
+    const IndoorPoint& entry = door.PositionIn(current);
+    waypoints.push_back(entry);
+    current = door.Opposite(current);
+    const IndoorPoint& exit = door.PositionIn(current);
+    if (exit.floor != entry.floor) waypoints.push_back(exit);
+  }
+  waypoints.push_back(to);
+  return waypoints;
+}
+
+double PathPlanner::RouteLength(
+    const std::vector<IndoorPoint>& waypoints) const {
+  double total = 0.0;
+  for (size_t i = 1; i < waypoints.size(); ++i) {
+    const IndoorPoint& a = waypoints[i - 1];
+    const IndoorPoint& b = waypoints[i];
+    if (a.floor == b.floor) {
+      total += Distance(a.xy, b.xy);
+    } else {
+      // Stair crossing: find the stair door at this (x, y) to charge its
+      // traversal cost.  Falls back to a nominal flight length.
+      double cost = 10.0;
+      for (const Door& door : plan_.doors()) {
+        if (door.IsInterFloor() && door.position_a.xy == a.xy) {
+          cost = door.traversal_cost;
+          break;
+        }
+      }
+      total += cost;
+    }
+  }
+  return total;
+}
+
+}  // namespace c2mn

@@ -1,0 +1,39 @@
+#ifndef C2MN_SIM_PATH_PLANNER_H_
+#define C2MN_SIM_PATH_PLANNER_H_
+
+#include <vector>
+
+#include "indoor/base_graph.h"
+#include "indoor/floorplan.h"
+
+namespace c2mn {
+
+/// \brief Shortest-route planner over the accessibility base graph, used
+/// by the waypoint mobility model ("an object moves towards its
+/// destination along a pre-planned path", Section V-C).
+///
+/// A route is a polyline of IndoorPoints.  Consecutive points on the same
+/// floor are walked in a straight line inside one partition; a floor
+/// change happens only between two points with equal (x, y) at a stair
+/// door, whose walking length is the door's traversal cost.
+class PathPlanner {
+ public:
+  PathPlanner(const Floorplan& plan, const BaseGraph& graph)
+      : plan_(plan), graph_(graph) {}
+
+  /// Plans from `from` to `to` (both must resolve to partitions).  The
+  /// result includes both endpoints; empty when no route exists.
+  std::vector<IndoorPoint> PlanWaypoints(const IndoorPoint& from,
+                                         const IndoorPoint& to) const;
+
+  /// Total walking length of a waypoint polyline, counting stair costs.
+  double RouteLength(const std::vector<IndoorPoint>& waypoints) const;
+
+ private:
+  const Floorplan& plan_;
+  const BaseGraph& graph_;
+};
+
+}  // namespace c2mn
+
+#endif  // C2MN_SIM_PATH_PLANNER_H_

@@ -1,0 +1,160 @@
+#include "sim/simulator.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace c2mn {
+
+IndoorPoint MobilitySimulator::RandomPointInRegion(RegionId region,
+                                                   Rng* rng) const {
+  const SemanticRegion& r = world_.plan().region(region);
+  const PartitionId pid =
+      r.partitions[rng->UniformInt(static_cast<uint64_t>(r.partitions.size()))];
+  const Partition& part = world_.plan().partition(pid);
+  const BoundingBox& box = part.shape.bbox();
+  // Rejection sampling inside the partition polygon, with a margin so
+  // destinations are not glued to walls.
+  for (int attempt = 0; attempt < 64; ++attempt) {
+    const Vec2 p{rng->Uniform(box.min.x, box.max.x),
+                 rng->Uniform(box.min.y, box.max.y)};
+    if (part.shape.Contains(p)) return IndoorPoint(p, part.floor);
+  }
+  return IndoorPoint(part.shape.Centroid(), part.floor);
+}
+
+RegionId MobilitySimulator::PassRegionAt(const IndoorPoint& p,
+                                         RegionId current) const {
+  constexpr double kHysteresisMeters = 3.0;
+  const RegionId inside = world_.index().RegionAt(p);
+  if (inside != kInvalidId) return inside;
+  const RegionId nearest = world_.index().NearestRegion(p);
+  if (current == kInvalidId || nearest == current) return nearest;
+  const double d_current = world_.plan().DistanceToRegionOnFloor(p, current);
+  const double d_nearest = world_.plan().DistanceToRegionOnFloor(p, nearest);
+  // Keep the previous pass region until clearly closer to another one.
+  if (d_current < 1e290 && d_nearest > d_current - kHysteresisMeters) {
+    return current;
+  }
+  return nearest;
+}
+
+GroundTruthTrace MobilitySimulator::SimulateObject(int64_t object_id,
+                                                   double start_time,
+                                                   double lifespan,
+                                                   Rng* rng) const {
+  GroundTruthTrace trace;
+  trace.object_id = object_id;
+  const size_t num_regions = world_.plan().regions().size();
+  assert(num_regions >= 2);
+
+  RegionId current_region =
+      static_cast<RegionId>(rng->UniformInt(num_regions));
+  IndoorPoint position = RandomPointInRegion(current_region, rng);
+  double t = start_time;
+  const double t_end = start_time + lifespan;
+
+  auto record = [&](const IndoorPoint& pos, RegionId region,
+                    MobilityEvent event) {
+    trace.points.push_back({t, pos, region, event});
+    t += 1.0;
+  };
+
+  // Objects begin with a stay at their initial region, then alternate
+  // walk / stay per the waypoint model.
+  bool first_leg = true;
+  while (t < t_end) {
+    // Stay at the current destination.
+    const double log_lo = std::log(config_.min_stay_seconds);
+    const double log_hi = std::log(config_.max_stay_seconds);
+    double stay = std::exp(rng->Uniform(log_lo, log_hi));
+    if (first_leg) stay = std::min(stay, 120.0);  // Short initial dwell.
+    first_leg = false;
+    const double stay_end = std::min(t_end, t + stay);
+    while (t < stay_end) {
+      // Small jitter models milling around inside the shop.
+      IndoorPoint jittered = position;
+      jittered.xy.x += rng->Uniform(-0.4, 0.4);
+      jittered.xy.y += rng->Uniform(-0.4, 0.4);
+      record(jittered, current_region, MobilityEvent::kStay);
+    }
+    if (t >= t_end) break;
+
+    // Pick the next destination and walk there.
+    RegionId next_region = current_region;
+    while (next_region == current_region) {
+      next_region = static_cast<RegionId>(rng->UniformInt(num_regions));
+    }
+    const IndoorPoint destination = RandomPointInRegion(next_region, rng);
+    const std::vector<IndoorPoint> route =
+        planner_.PlanWaypoints(position, destination);
+    if (route.size() < 2) {
+      // Unreachable (should not happen in generated buildings): teleport.
+      position = destination;
+      current_region = next_region;
+      continue;
+    }
+    const double speed =
+        rng->Uniform(0.4 * config_.max_speed_mps, config_.max_speed_mps);
+    RegionId pass_region = current_region;
+    size_t leg = 1;
+    double leg_progress = 0.0;  // Meters advanced along the current leg.
+    IndoorPoint pos = route[0];
+    while (t < t_end && leg < route.size()) {
+      // Advance one second of walking, possibly across several waypoints.
+      double budget = speed;
+      while (budget > 0.0 && leg < route.size()) {
+        const IndoorPoint& a = route[leg - 1];
+        const IndoorPoint& b = route[leg];
+        double leg_length;
+        if (a.floor == b.floor) {
+          leg_length = Distance(a.xy, b.xy);
+        } else {
+          leg_length = std::max(1.0, planner_.RouteLength({a, b}));
+        }
+        const double remaining = leg_length - leg_progress;
+        if (budget >= remaining) {
+          budget -= remaining;
+          leg_progress = 0.0;
+          pos = b;
+          ++leg;
+        } else {
+          leg_progress += budget;
+          budget = 0.0;
+          if (a.floor == b.floor) {
+            const double s = leg_length > 0 ? leg_progress / leg_length : 1.0;
+            pos = IndoorPoint(a.xy + (b.xy - a.xy) * s, a.floor);
+          } else {
+            // On the stairs: hold (x, y), switch floor halfway up.
+            pos = leg_progress < 0.5 * leg_length ? a : b;
+          }
+        }
+      }
+      if (leg >= route.size()) break;  // Arrived within this second.
+      pass_region = PassRegionAt(pos, pass_region);
+      record(pos, pass_region, MobilityEvent::kPass);
+    }
+    position = destination;
+    current_region = next_region;
+  }
+  return trace;
+}
+
+std::vector<GroundTruthTrace> MobilitySimulator::SimulateAll(Rng* rng) const {
+  std::vector<GroundTruthTrace> traces;
+  traces.reserve(config_.num_objects);
+  for (int i = 0; i < config_.num_objects; ++i) {
+    const double lifespan = rng->Uniform(config_.min_lifespan_seconds,
+                                         config_.max_lifespan_seconds);
+    const double max_start =
+        std::max(0.0, config_.horizon_seconds - lifespan);
+    const double start = rng->Uniform(0.0, max_start);
+    GroundTruthTrace trace =
+        SimulateObject(i, start, std::min(lifespan, config_.horizon_seconds),
+                       rng);
+    if (!trace.empty()) traces.push_back(std::move(trace));
+  }
+  return traces;
+}
+
+}  // namespace c2mn

@@ -1,0 +1,73 @@
+#ifndef C2MN_SIM_SIMULATOR_H_
+#define C2MN_SIM_SIMULATOR_H_
+
+#include <vector>
+
+#include "common/rng.h"
+#include "sim/path_planner.h"
+#include "sim/trace.h"
+#include "sim/world.h"
+
+namespace c2mn {
+
+/// \brief Parameters of the waypoint mobility model (paper Section V-C,
+/// following Johnson & Maltz [9]).
+struct MobilityConfig {
+  /// Number of moving objects to simulate.
+  int num_objects = 100;
+  /// Total simulated wall-clock horizon in seconds (paper: 4 hours).
+  double horizon_seconds = 4 * 3600.0;
+  /// Object lifespan range in seconds (paper: 10 s to 4 hours).
+  double min_lifespan_seconds = 1800.0;
+  double max_lifespan_seconds = 4 * 3600.0;
+  /// Maximum walking speed (paper: 1.7 m/s); per-trip speeds are drawn
+  /// uniformly from [0.4 * max, max].
+  double max_speed_mps = 1.7;
+  /// Stay duration at a destination: log-uniform over
+  /// [min_stay_seconds, max_stay_seconds] (paper: 1 s to 30 min).
+  double min_stay_seconds = 20.0;
+  double max_stay_seconds = 1800.0;
+};
+
+/// \brief Generates per-second ground-truth traces with the waypoint
+/// model: pick a random destination region, walk a pre-planned door route
+/// toward it, stay for a random period, repeat.
+///
+/// Ground-truth labels per second:
+///  - event: stay while dwelling at a destination, pass while walking;
+///  - region: the region containing the true position, or the nearest
+///    region on the same floor when the position lies in circulation
+///    space (hallways carry the semantics of the region being passed by).
+class MobilitySimulator {
+ public:
+  MobilitySimulator(const World& world, const MobilityConfig& config)
+      : world_(world),
+        config_(config),
+        planner_(world.plan(), world.graph()) {}
+
+  /// Simulates all objects; each trace is one object's lifespan.
+  std::vector<GroundTruthTrace> SimulateAll(Rng* rng) const;
+
+  /// Simulates a single object starting at `start_time`.
+  GroundTruthTrace SimulateObject(int64_t object_id, double start_time,
+                                  double lifespan, Rng* rng) const;
+
+ private:
+  /// Uniformly random point inside a random partition of `region`.
+  IndoorPoint RandomPointInRegion(RegionId region, Rng* rng) const;
+
+  /// The ground-truth region of a pass position, with hysteresis:
+  /// `current` (the previous second's pass region) is kept unless another
+  /// region is closer by `hysteresis_meters` or the floor changed.  Human
+  /// annotators label pass spans as piecewise-constant m-semantics, not
+  /// per-second nearest-region flips; the hysteresis reproduces that.
+  RegionId PassRegionAt(const IndoorPoint& p, RegionId current) const;
+
+  const World& world_;
+  MobilityConfig config_;
+  PathPlanner planner_;
+};
+
+}  // namespace c2mn
+
+#endif  // C2MN_SIM_SIMULATOR_H_

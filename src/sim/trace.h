@@ -1,0 +1,35 @@
+#ifndef C2MN_SIM_TRACE_H_
+#define C2MN_SIM_TRACE_H_
+
+#include <vector>
+
+#include "data/labels.h"
+#include "indoor/ids.h"
+
+namespace c2mn {
+
+/// \brief One second of ground truth for a simulated object: exact
+/// position, the true semantic region, and the true mobility event.
+///
+/// Paper, Section V-C: "We recorded an object's location and region every
+/// second as the ground truth, and generated its true event labels
+/// according to the simulated behavior."
+struct TracePoint {
+  double timestamp = 0.0;
+  IndoorPoint position;
+  RegionId region = kInvalidId;
+  MobilityEvent event = MobilityEvent::kPass;
+};
+
+/// \brief A full per-second ground-truth trajectory of one object.
+struct GroundTruthTrace {
+  int64_t object_id = 0;
+  std::vector<TracePoint> points;
+
+  bool empty() const { return points.empty(); }
+  size_t size() const { return points.size(); }
+};
+
+}  // namespace c2mn
+
+#endif  // C2MN_SIM_TRACE_H_

@@ -1,0 +1,55 @@
+#ifndef C2MN_SIM_WORLD_H_
+#define C2MN_SIM_WORLD_H_
+
+#include <memory>
+#include <utility>
+
+#include "indoor/base_graph.h"
+#include "indoor/distance.h"
+#include "indoor/floorplan.h"
+#include "indoor/region_index.h"
+
+namespace c2mn {
+
+/// \brief A fully-prepared indoor venue: the floorplan plus every derived
+/// structure the annotation pipeline needs (accessibility graph with
+/// pre-computed door distances, spatial index, MIWD oracle).
+///
+/// Move-only; all components hold stable pointers into the heap-allocated
+/// floorplan.
+class World {
+ public:
+  /// Builds every derived structure.  The all-pairs door matrix and the
+  /// region distance matrix are computed eagerly, mirroring the paper's
+  /// pre-computation of shortest door-to-door paths.
+  static World Create(Floorplan plan) {
+    World world;
+    world.plan_ = std::make_unique<Floorplan>(std::move(plan));
+    world.graph_ = std::make_unique<BaseGraph>(*world.plan_);
+    world.index_ = std::make_unique<RegionIndex>(*world.plan_);
+    world.oracle_ = std::make_unique<DistanceOracle>(
+        *world.plan_, world.graph_.get(), world.index_.get());
+    return world;
+  }
+
+  World(World&&) = default;
+  World& operator=(World&&) = default;
+
+  const Floorplan& plan() const { return *plan_; }
+  const BaseGraph& graph() const { return *graph_; }
+  BaseGraph* mutable_graph() { return graph_.get(); }
+  const RegionIndex& index() const { return *index_; }
+  const DistanceOracle& oracle() const { return *oracle_; }
+
+ private:
+  World() = default;
+
+  std::unique_ptr<Floorplan> plan_;
+  std::unique_ptr<BaseGraph> graph_;
+  std::unique_ptr<RegionIndex> index_;
+  std::unique_ptr<DistanceOracle> oracle_;
+};
+
+}  // namespace c2mn
+
+#endif  // C2MN_SIM_WORLD_H_

@@ -1,0 +1,125 @@
+#include <gtest/gtest.h>
+
+#include "baselines/c2mn_method.h"
+#include "baselines/hmm_dc.h"
+#include "baselines/sap.h"
+#include "baselines/smot.h"
+#include "data/dataset.h"
+#include "eval/metrics.h"
+#include "tests/test_util.h"
+
+namespace c2mn {
+namespace {
+
+class BaselinesTest : public ::testing::Test {
+ protected:
+  BaselinesTest() : scenario_(testing_util::SmallMallScenario()) {
+    Rng rng(7);
+    split_ = SplitDataset(scenario_.dataset, 0.7, &rng);
+  }
+
+  AccuracyReport Evaluate(AnnotationMethod* method) {
+    method->Train(split_.train);
+    AccuracyAccumulator acc;
+    for (const LabeledSequence* ls : split_.test) {
+      const LabelSequence predicted = method->Annotate(ls->sequence);
+      EXPECT_EQ(predicted.size(), ls->size());
+      acc.Add(ls->labels, predicted);
+    }
+    return acc.Report();
+  }
+
+  const Scenario& scenario_;
+  TrainTestSplit split_;
+};
+
+TEST_F(BaselinesTest, SmotTunesThresholdAndAnnotates) {
+  SmotMethod smot(*scenario_.world);
+  const AccuracyReport report = Evaluate(&smot);
+  // Tuned threshold lies in the search grid.
+  EXPECT_GE(smot.params().speed_threshold_mps, 0.1);
+  EXPECT_LE(smot.params().speed_threshold_mps, 1.6);
+  // Sanity: far above chance (one of ~170 regions, 2 events).
+  EXPECT_GT(report.region_accuracy, 0.2);
+  EXPECT_GT(report.event_accuracy, 0.55);
+  EXPECT_EQ(smot.name(), "SMoT");
+}
+
+TEST_F(BaselinesTest, SmotSegmentsShareRegions) {
+  SmotMethod smot(*scenario_.world);
+  smot.Train(split_.train);
+  const LabeledSequence& ls = *split_.test.front();
+  const LabelSequence labels = smot.Annotate(ls.sequence);
+  // Within an event run, the region label is constant (region per event
+  // segment by construction).
+  for (size_t i = 1; i < labels.size(); ++i) {
+    if (labels.events[i] == labels.events[i - 1]) {
+      EXPECT_EQ(labels.regions[i], labels.regions[i - 1]);
+    }
+  }
+}
+
+TEST_F(BaselinesTest, HmmDcAnnotates) {
+  HmmDcMethod hmm_dc(*scenario_.world);
+  const AccuracyReport report = Evaluate(&hmm_dc);
+  EXPECT_GT(report.region_accuracy, 0.3);
+  EXPECT_GT(report.event_accuracy, 0.6);
+  EXPECT_EQ(hmm_dc.name(), "HMM+DC");
+}
+
+TEST_F(BaselinesTest, SapVariantsAnnotate) {
+  SapMethod dv(*scenario_.world, SapSegmentation::kDynamicVelocity);
+  SapMethod da(*scenario_.world, SapSegmentation::kDensityArea);
+  const AccuracyReport dv_report = Evaluate(&dv);
+  const AccuracyReport da_report = Evaluate(&da);
+  EXPECT_EQ(dv.name(), "SAPDV");
+  EXPECT_EQ(da.name(), "SAPDA");
+  EXPECT_GT(dv_report.region_accuracy, 0.3);
+  EXPECT_GT(da_report.region_accuracy, 0.3);
+  // Density-area segmentation beats the speed threshold on event accuracy
+  // (the paper's main observation about SAPDA vs SAPDV).
+  EXPECT_GE(da_report.event_accuracy, dv_report.event_accuracy - 0.02);
+}
+
+TEST_F(BaselinesTest, C2mnMethodWrapsTrainerAndAnnotator) {
+  TrainOptions topts;
+  topts.max_iter = 8;
+  topts.mcmc_samples = 10;
+  C2mnMethod method(*scenario_.world, FullC2mn(), FeatureOptions{}, topts);
+  const AccuracyReport report = Evaluate(&method);
+  EXPECT_EQ(method.name(), "C2MN");
+  EXPECT_GT(report.region_accuracy, 0.5);
+  EXPECT_GT(method.train_seconds(), 0.0);
+  EXPECT_GT(method.train_result().iterations, 0);
+}
+
+TEST_F(BaselinesTest, VariantNamesMatchTableFour) {
+  const auto variants = TableFourVariants();
+  ASSERT_EQ(variants.size(), 6u);
+  EXPECT_EQ(variants[0].name, "CMN");
+  EXPECT_EQ(variants[1].name, "C2MN/Tran");
+  EXPECT_EQ(variants[2].name, "C2MN/Syn");
+  EXPECT_EQ(variants[3].name, "C2MN/ES");
+  EXPECT_EQ(variants[4].name, "C2MN/SS");
+  EXPECT_EQ(variants[5].name, "C2MN");
+  EXPECT_FALSE(variants[0].structure.IsCoupled());
+  EXPECT_TRUE(variants[5].structure.IsCoupled());
+  EXPECT_TRUE(C2mnAtR().first_configure_region);
+}
+
+TEST_F(BaselinesTest, MergedSemanticsValidForAllMethods) {
+  std::vector<std::unique_ptr<AnnotationMethod>> methods;
+  methods.push_back(std::make_unique<SmotMethod>(*scenario_.world));
+  methods.push_back(std::make_unique<HmmDcMethod>(*scenario_.world));
+  methods.push_back(std::make_unique<SapMethod>(
+      *scenario_.world, SapSegmentation::kDensityArea));
+  for (auto& method : methods) {
+    method->Train(split_.train);
+    const LabeledSequence& ls = *split_.test.front();
+    const MSemanticsSequence ms = method->AnnotateSemantics(ls.sequence);
+    EXPECT_TRUE(IsValidMSemanticsSequence(ms, ls.sequence)) << method->name();
+  }
+}
+
+}  // namespace
+}  // namespace c2mn

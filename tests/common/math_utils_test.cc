@@ -1,0 +1,98 @@
+#include "common/math_utils.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace c2mn {
+namespace {
+
+TEST(LogSumExpTest, MatchesDirectComputation) {
+  const std::vector<double> xs = {0.1, 0.5, -0.3};
+  double direct = 0.0;
+  for (double x : xs) direct += std::exp(x);
+  EXPECT_NEAR(LogSumExp(xs), std::log(direct), 1e-12);
+}
+
+TEST(LogSumExpTest, StableForLargeInputs) {
+  const std::vector<double> xs = {1000.0, 1000.0};
+  EXPECT_NEAR(LogSumExp(xs), 1000.0 + std::log(2.0), 1e-9);
+}
+
+TEST(LogSumExpTest, StableForSmallInputs) {
+  const std::vector<double> xs = {-1000.0, -1000.0};
+  EXPECT_NEAR(LogSumExp(xs), -1000.0 + std::log(2.0), 1e-9);
+}
+
+TEST(LogSumExpTest, SingleElement) {
+  EXPECT_DOUBLE_EQ(LogSumExp({3.25}), 3.25);
+}
+
+TEST(SoftmaxTest, SumsToOneAndOrders) {
+  std::vector<double> logits = {1.0, 2.0, 3.0};
+  SoftmaxInPlace(&logits);
+  EXPECT_NEAR(logits[0] + logits[1] + logits[2], 1.0, 1e-12);
+  EXPECT_LT(logits[0], logits[1]);
+  EXPECT_LT(logits[1], logits[2]);
+}
+
+TEST(SoftmaxTest, InvariantToShift) {
+  std::vector<double> a = {1.0, 2.0};
+  std::vector<double> b = {101.0, 102.0};
+  SoftmaxInPlace(&a);
+  SoftmaxInPlace(&b);
+  EXPECT_NEAR(a[0], b[0], 1e-12);
+}
+
+TEST(ClampTest, Bounds) {
+  EXPECT_EQ(Clamp(5.0, 0.0, 1.0), 1.0);
+  EXPECT_EQ(Clamp(-5.0, 0.0, 1.0), 0.0);
+  EXPECT_EQ(Clamp(0.5, 0.0, 1.0), 0.5);
+}
+
+TEST(ChebyshevTest, MaxAbsoluteDifference) {
+  EXPECT_DOUBLE_EQ(ChebyshevDistance({1, 2, 3}, {1, 5, 3}), 3.0);
+  EXPECT_DOUBLE_EQ(ChebyshevDistance({0, 0}, {0, 0}), 0.0);
+  EXPECT_DOUBLE_EQ(ChebyshevDistance({-1}, {1}), 2.0);
+}
+
+TEST(VectorOpsTest, DotAndNorm) {
+  EXPECT_DOUBLE_EQ(Dot({1, 2, 3}, {4, 5, 6}), 32.0);
+  EXPECT_DOUBLE_EQ(L2Norm({3, 4}), 5.0);
+}
+
+TEST(VectorOpsTest, Axpy) {
+  std::vector<double> a = {1, 2};
+  Axpy(2.0, {10, 20}, &a);
+  EXPECT_DOUBLE_EQ(a[0], 21.0);
+  EXPECT_DOUBLE_EQ(a[1], 42.0);
+}
+
+TEST(StatsTest, MeanAndStdDev) {
+  EXPECT_DOUBLE_EQ(Mean({2, 4, 6}), 4.0);
+  EXPECT_DOUBLE_EQ(Mean({}), 0.0);
+  EXPECT_NEAR(StdDev({2, 4, 6}), std::sqrt(8.0 / 3.0), 1e-12);
+  EXPECT_DOUBLE_EQ(StdDev({5}), 0.0);
+}
+
+/// Property sweep: LogSumExp >= max element, <= max + log(n).
+class LogSumExpProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(LogSumExpProperty, BoundedByMaxPlusLogN) {
+  Rng rng(GetParam());
+  const int n = 1 + static_cast<int>(rng.UniformInt(uint64_t{20}));
+  std::vector<double> xs(n);
+  for (double& x : xs) x = rng.Uniform(-50.0, 50.0);
+  const double m = *std::max_element(xs.begin(), xs.end());
+  const double lse = LogSumExp(xs);
+  EXPECT_GE(lse, m - 1e-9);
+  EXPECT_LE(lse, m + std::log(static_cast<double>(n)) + 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomVectors, LogSumExpProperty,
+                         ::testing::Range(0, 25));
+
+}  // namespace
+}  // namespace c2mn

@@ -1,0 +1,154 @@
+#include "common/rng.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include <gtest/gtest.h>
+
+namespace c2mn {
+namespace {
+
+TEST(RngTest, DeterministicFromSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.Next() == b.Next()) ++equal;
+  }
+  EXPECT_LT(equal, 3);
+}
+
+TEST(RngTest, Uniform01InRange) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.Uniform01();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(RngTest, Uniform01Mean) {
+  Rng rng(8);
+  double sum = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += rng.Uniform01();
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(RngTest, UniformRange) {
+  Rng rng(9);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.Uniform(-3.0, 5.0);
+    EXPECT_GE(u, -3.0);
+    EXPECT_LT(u, 5.0);
+  }
+}
+
+TEST(RngTest, UniformIntBounds) {
+  Rng rng(10);
+  std::vector<int> counts(7, 0);
+  for (int i = 0; i < 7000; ++i) {
+    const uint64_t v = rng.UniformInt(uint64_t{7});
+    ASSERT_LT(v, 7u);
+    ++counts[v];
+  }
+  for (int c : counts) EXPECT_GT(c, 800);  // Roughly uniform.
+}
+
+TEST(RngTest, UniformIntInclusiveRange) {
+  Rng rng(11);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 1000; ++i) {
+    const int64_t v = rng.UniformInt(int64_t{-2}, int64_t{2});
+    EXPECT_GE(v, -2);
+    EXPECT_LE(v, 2);
+    saw_lo |= v == -2;
+    saw_hi |= v == 2;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(RngTest, GaussianMoments) {
+  Rng rng(12);
+  const int n = 200000;
+  double sum = 0.0, sum2 = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double g = rng.Gaussian();
+    sum += g;
+    sum2 += g * g;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.02);
+  EXPECT_NEAR(sum2 / n, 1.0, 0.03);
+}
+
+TEST(RngTest, GaussianScaled) {
+  Rng rng(13);
+  const int n = 100000;
+  double sum = 0.0;
+  for (int i = 0; i < n; ++i) sum += rng.Gaussian(10.0, 2.0);
+  EXPECT_NEAR(sum / n, 10.0, 0.05);
+}
+
+TEST(RngTest, BernoulliRate) {
+  Rng rng(14);
+  int hits = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) hits += rng.Bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+TEST(RngTest, CategoricalFollowsWeights) {
+  Rng rng(15);
+  const std::vector<double> weights = {1.0, 3.0, 6.0};
+  std::vector<int> counts(3, 0);
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) ++counts[rng.Categorical(weights)];
+  EXPECT_NEAR(counts[0] / static_cast<double>(n), 0.1, 0.01);
+  EXPECT_NEAR(counts[1] / static_cast<double>(n), 0.3, 0.01);
+  EXPECT_NEAR(counts[2] / static_cast<double>(n), 0.6, 0.01);
+}
+
+TEST(RngTest, CategoricalZeroWeightNeverDrawn) {
+  Rng rng(16);
+  const std::vector<double> weights = {0.0, 1.0, 0.0};
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(rng.Categorical(weights), 1u);
+}
+
+TEST(RngTest, ShuffleIsPermutation) {
+  Rng rng(17);
+  std::vector<int> v(50);
+  std::iota(v.begin(), v.end(), 0);
+  std::vector<int> shuffled = v;
+  rng.Shuffle(&shuffled);
+  EXPECT_FALSE(std::equal(v.begin(), v.end(), shuffled.begin()));
+  std::sort(shuffled.begin(), shuffled.end());
+  EXPECT_EQ(v, shuffled);
+}
+
+TEST(RngTest, SplitProducesIndependentStream) {
+  Rng a(19);
+  Rng child = a.Split();
+  // The child's stream should differ from the parent's continued stream.
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.Next() == child.Next()) ++equal;
+  }
+  EXPECT_LT(equal, 3);
+}
+
+TEST(RngTest, ReseedResets) {
+  Rng rng(20);
+  const uint64_t first = rng.Next();
+  rng.Next();
+  rng.Seed(20);
+  EXPECT_EQ(rng.Next(), first);
+}
+
+}  // namespace
+}  // namespace c2mn

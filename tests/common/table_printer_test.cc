@@ -1,0 +1,41 @@
+#include "common/table_printer.h"
+
+#include <gtest/gtest.h>
+
+namespace c2mn {
+namespace {
+
+TEST(TablePrinterTest, AlignsColumns) {
+  TablePrinter t({"Method", "RA"});
+  t.AddRow({"SMoT", "0.7254"});
+  t.AddRow({"C2MN-long-name", "0.9492"});
+  const std::string s = t.ToString();
+  // Every rendered line has the same width.
+  size_t width = 0;
+  size_t pos = 0;
+  while (pos < s.size()) {
+    const size_t next = s.find('\n', pos);
+    const size_t len = next - pos;
+    if (width == 0) width = len;
+    EXPECT_EQ(len, width);
+    pos = next + 1;
+  }
+  EXPECT_NE(s.find("SMoT"), std::string::npos);
+  EXPECT_NE(s.find("C2MN-long-name"), std::string::npos);
+}
+
+TEST(TablePrinterTest, FmtPrecision) {
+  EXPECT_EQ(TablePrinter::Fmt(0.123456), "0.1235");
+  EXPECT_EQ(TablePrinter::Fmt(0.123456, 2), "0.12");
+  EXPECT_EQ(TablePrinter::Fmt(2.0, 1), "2.0");
+}
+
+TEST(TablePrinterTest, HeaderSeparatorPresent) {
+  TablePrinter t({"a"});
+  t.AddRow({"b"});
+  const std::string s = t.ToString();
+  EXPECT_NE(s.find("|-"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace c2mn

@@ -1,0 +1,219 @@
+#include "core/features.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/test_util.h"
+
+namespace c2mn {
+namespace {
+
+class FeaturesTest : public ::testing::Test {
+ protected:
+  FeaturesTest() : world_(testing_util::TinyWorld()) {
+    // Dense dwell then a fast walk, single floor.
+    double t = 0;
+    for (int i = 0; i < 6; ++i) {
+      sequence_.records.push_back(
+          {IndoorPoint(5 + 0.2 * i, 4, 0), t});
+      t += 10;
+    }
+    for (int i = 0; i < 6; ++i) {
+      sequence_.records.push_back(
+          {IndoorPoint(8 + 3.0 * i, 10, 0), t});
+      t += 10;
+    }
+    graph_ = std::make_unique<SequenceGraph>(*world_, sequence_, opts_,
+                                             nullptr);
+  }
+
+  std::shared_ptr<World> world_;
+  PSequence sequence_;
+  FeatureOptions opts_;
+  std::unique_ptr<SequenceGraph> graph_;
+};
+
+TEST_F(FeaturesTest, EventMatchingTable) {
+  const SequenceGraph& g = *graph_;
+  for (int i = 0; i < g.size(); ++i) {
+    const double stay = features::EventMatching(g, i, MobilityEvent::kStay);
+    const double pass = features::EventMatching(g, i, MobilityEvent::kPass);
+    switch (g.Density(i)) {
+      case DensityClass::kCore:
+        EXPECT_DOUBLE_EQ(stay, 1.0);
+        EXPECT_DOUBLE_EQ(pass, 0.0);
+        break;
+      case DensityClass::kBorder:
+        EXPECT_DOUBLE_EQ(stay, opts_.fem_alpha);
+        EXPECT_DOUBLE_EQ(pass, opts_.fem_beta);
+        break;
+      case DensityClass::kNoise:
+        EXPECT_DOUBLE_EQ(stay, 0.0);
+        EXPECT_DOUBLE_EQ(pass, 1.0);
+        break;
+    }
+  }
+}
+
+TEST_F(FeaturesTest, EventTransitionIsEquality) {
+  EXPECT_DOUBLE_EQ(
+      features::EventTransition(MobilityEvent::kStay, MobilityEvent::kStay),
+      1.0);
+  EXPECT_DOUBLE_EQ(
+      features::EventTransition(MobilityEvent::kStay, MobilityEvent::kPass),
+      0.0);
+}
+
+TEST_F(FeaturesTest, SpaceTransitionPrefersSameRegion) {
+  const SequenceGraph& g = *graph_;
+  // Same candidate index on both ends with the same region id -> 1.
+  const RegionId r0 = g.Candidates(0)[0];
+  const int same_next = g.CandidateIndex(1, r0);
+  ASSERT_GE(same_next, 0);
+  EXPECT_DOUBLE_EQ(features::SpaceTransition(g, 0, 0, same_next), 1.0);
+  // Different regions score below 1.
+  for (size_t b = 0; b < g.Candidates(1).size(); ++b) {
+    if (g.Candidates(1)[b] == r0) continue;
+    EXPECT_LT(features::SpaceTransition(g, 0, 0, static_cast<int>(b)), 1.0);
+  }
+}
+
+TEST_F(FeaturesTest, SpatialConsistencyPeaksWhenDistancesAgree) {
+  const SequenceGraph& g = *graph_;
+  // During the dwell, consecutive estimates are ~0.2 m apart: same-region
+  // labels (implied walk 0) are the most consistent.
+  const RegionId r0 = g.Candidates(0)[0];
+  const int same_next = g.CandidateIndex(1, r0);
+  ASSERT_GE(same_next, 0);
+  const double same = features::SpatialConsistency(g, 0, 0, same_next);
+  for (size_t b = 0; b < g.Candidates(1).size(); ++b) {
+    if (g.Candidates(1)[b] == r0) continue;
+    EXPECT_LE(features::SpatialConsistency(g, 0, 0, static_cast<int>(b)),
+              same + 1e-12);
+  }
+  EXPECT_LE(same, 1.0);
+}
+
+TEST_F(FeaturesTest, EventConsistencyMatchesSpeedRegime) {
+  const SequenceGraph& g = *graph_;
+  // Slow edge (index 0, ~0.02 m/s): stay/stay maximal.
+  const double slow_stay = features::EventConsistency(
+      g, 0, MobilityEvent::kStay, MobilityEvent::kStay);
+  const double slow_pass = features::EventConsistency(
+      g, 0, MobilityEvent::kPass, MobilityEvent::kPass);
+  EXPECT_GT(slow_stay, slow_pass);
+  EXPECT_NEAR(slow_stay, 1.0, 0.01);
+  // With γ_ec = 0.2 the speed term min(1, γ_ec·v) crosses 0.5 at 2.5 m/s:
+  // only clearly super-walking speeds favor pass/pass (the paper's scale;
+  // such speeds arise from outliers and sparse sampling).  Build an edge
+  // at 4.5 m/s.
+  PSequence fast_seq;
+  fast_seq.records.push_back({IndoorPoint(0, 10, 0), 0.0});
+  fast_seq.records.push_back({IndoorPoint(45, 10, 0), 10.0});
+  fast_seq.records.push_back({IndoorPoint(90, 10, 0), 20.0});
+  const SequenceGraph fast_graph(*world_, fast_seq, opts_, nullptr);
+  const double fast_stay = features::EventConsistency(
+      fast_graph, 0, MobilityEvent::kStay, MobilityEvent::kStay);
+  const double fast_pass = features::EventConsistency(
+      fast_graph, 0, MobilityEvent::kPass, MobilityEvent::kPass);
+  EXPECT_GT(fast_pass, fast_stay);
+}
+
+TEST_F(FeaturesTest, EventSegmentationSignConvention) {
+  const SequenceGraph& g = *graph_;
+  std::vector<int> regions(g.size(), 0);
+  // All candidates at index 0 may be different regions per record; use a
+  // run over the dwell (records 0..5).
+  const auto stay_feat = features::EventSegmentation(
+      g, 0, 5, regions, MobilityEvent::kStay);
+  const auto pass_feat = features::EventSegmentation(
+      g, 0, 5, regions, MobilityEvent::kPass);
+  // Pass features are the exact negation of stay features (sign factor).
+  for (int k = 0; k < 3; ++k) {
+    EXPECT_NEAR(stay_feat[k], -pass_feat[k], 1e-12);
+  }
+  // Bounded in [-1, 1].
+  for (int k = 0; k < 3; ++k) {
+    EXPECT_GE(stay_feat[k], -1.0 - 1e-9);
+    EXPECT_LE(stay_feat[k], 1.0 + 1e-9);
+  }
+}
+
+TEST_F(FeaturesTest, EventSegmentationOverrideMatchesCopy) {
+  const SequenceGraph& g = *graph_;
+  std::vector<int> regions(g.size(), 0);
+  std::vector<int> modified = regions;
+  const int pos = 3;
+  const int new_cand =
+      static_cast<int>(g.Candidates(pos).size()) - 1;
+  modified[pos] = new_cand;
+  const auto via_override = features::EventSegmentation(
+      g, 0, 5, regions, MobilityEvent::kStay, pos, new_cand);
+  const auto via_copy = features::EventSegmentation(
+      g, 0, 5, modified, MobilityEvent::kStay);
+  for (int k = 0; k < 3; ++k) EXPECT_DOUBLE_EQ(via_override[k], via_copy[k]);
+}
+
+TEST_F(FeaturesTest, SpaceSegmentationCountsEventsAndBoundary) {
+  const SequenceGraph& g = *graph_;
+  std::vector<MobilityEvent> events(g.size(), MobilityEvent::kStay);
+  // Homogeneous stay run in the middle: no distinct-event penalty, no
+  // transitions; boundary passes 0.
+  auto feat = features::SpaceSegmentation(g, 2, 6, events);
+  EXPECT_DOUBLE_EQ(feat[0], 0.0);
+  EXPECT_DOUBLE_EQ(feat[1], 0.0);
+  EXPECT_DOUBLE_EQ(feat[2], 0.0);
+  // Mixed run: penalties engage.
+  events[4] = MobilityEvent::kPass;
+  feat = features::SpaceSegmentation(g, 2, 6, events);
+  EXPECT_DOUBLE_EQ(feat[0], -1.0);
+  EXPECT_LT(feat[1], 0.0);
+  // Pass at the run boundary raises the boundary feature.
+  events[2] = MobilityEvent::kPass;
+  events[6] = MobilityEvent::kPass;
+  feat = features::SpaceSegmentation(g, 2, 6, events);
+  EXPECT_DOUBLE_EQ(feat[2], 1.0);
+}
+
+TEST_F(FeaturesTest, SpaceSegmentationOverrideMatchesCopy) {
+  const SequenceGraph& g = *graph_;
+  std::vector<MobilityEvent> events(g.size(), MobilityEvent::kStay);
+  std::vector<MobilityEvent> modified = events;
+  modified[4] = MobilityEvent::kPass;
+  const auto via_override = features::SpaceSegmentation(
+      g, 1, 8, events, 4, MobilityEvent::kPass);
+  const auto via_copy = features::SpaceSegmentation(g, 1, 8, modified);
+  for (int k = 0; k < 3; ++k) EXPECT_DOUBLE_EQ(via_override[k], via_copy[k]);
+}
+
+TEST_F(FeaturesTest, SingletonSegmentsAreFinite) {
+  const SequenceGraph& g = *graph_;
+  const std::vector<int> regions(g.size(), 0);
+  const std::vector<MobilityEvent> events(g.size(), MobilityEvent::kPass);
+  for (int i = 0; i < g.size(); ++i) {
+    const auto es = features::EventSegmentation(g, i, i, regions,
+                                                MobilityEvent::kPass);
+    const auto ss = features::SpaceSegmentation(g, i, i, events);
+    for (int k = 0; k < 3; ++k) {
+      EXPECT_TRUE(std::isfinite(es[k]));
+      EXPECT_TRUE(std::isfinite(ss[k]));
+    }
+  }
+}
+
+TEST_F(FeaturesTest, TimeDecayReducesDistanceImpact) {
+  FeatureOptions decay = opts_;
+  decay.use_time_decay = true;
+  decay.gamma_time_decay = 0.05;
+  const SequenceGraph gd(*world_, sequence_, decay, nullptr);
+  const SequenceGraph g(*world_, sequence_, opts_, nullptr);
+  // For differing regions, decay shrinks the effective distance, raising
+  // f_st toward 1.
+  for (size_t b = 0; b < g.Candidates(1).size(); ++b) {
+    if (g.Candidates(1)[b] == g.Candidates(0)[0]) continue;
+    EXPECT_GE(features::SpaceTransition(gd, 0, 0, static_cast<int>(b)),
+              features::SpaceTransition(g, 0, 0, static_cast<int>(b)) - 1e-12);
+  }
+}
+
+}  // namespace
+}  // namespace c2mn

@@ -1,0 +1,113 @@
+#include "core/online_annotator.h"
+
+#include <gtest/gtest.h>
+
+#include "core/trainer.h"
+#include "data/dataset.h"
+#include "eval/metrics.h"
+#include "tests/test_util.h"
+
+namespace c2mn {
+namespace {
+
+class OnlineAnnotatorTest : public ::testing::Test {
+ protected:
+  OnlineAnnotatorTest() : scenario_(testing_util::SmallMallScenario()) {
+    Rng rng(7);
+    split_ = SplitDataset(scenario_.dataset, 0.7, &rng);
+    TrainOptions topts;
+    topts.max_iter = 12;
+    topts.mcmc_samples = 15;
+    AlternateTrainer trainer(*scenario_.world, FeatureOptions{},
+                             C2mnStructure{}, topts);
+    weights_ = trainer.Train(split_.train).weights;
+  }
+
+  /// Streams a sequence through the online annotator.
+  MSemanticsSequence Stream(const PSequence& sequence,
+                            OnlineAnnotator::Options options) {
+    OnlineAnnotator online(*scenario_.world, FeatureOptions{},
+                           C2mnStructure{}, weights_, options);
+    MSemanticsSequence all;
+    for (const PositioningRecord& rec : sequence.records) {
+      for (MSemantics& ms : online.Push(rec)) all.push_back(ms);
+    }
+    for (MSemantics& ms : online.Flush()) all.push_back(ms);
+    EXPECT_EQ(online.records_consumed(), sequence.size());
+    return all;
+  }
+
+  const Scenario& scenario_;
+  TrainTestSplit split_;
+  std::vector<double> weights_;
+};
+
+TEST_F(OnlineAnnotatorTest, OutputIsValidMSemanticsSequence) {
+  const LabeledSequence& ls = *split_.test.front();
+  const MSemanticsSequence ms = Stream(ls.sequence, {});
+  EXPECT_TRUE(IsValidMSemanticsSequence(ms, ls.sequence));
+  int support = 0;
+  for (const MSemantics& m : ms) support += m.support;
+  EXPECT_EQ(support, static_cast<int>(ls.size()));
+}
+
+TEST_F(OnlineAnnotatorTest, CloseToOfflineAccuracy) {
+  const C2mnAnnotator offline(*scenario_.world, FeatureOptions{},
+                              C2mnStructure{}, weights_);
+  // Compare per-record labels reconstructed from online m-semantics
+  // against the offline labels.
+  AccuracyAccumulator online_acc, offline_acc;
+  int compared = 0;
+  for (const LabeledSequence* ls : split_.test) {
+    if (compared >= 3) break;  // Keep the test fast.
+    ++compared;
+    const MSemanticsSequence ms = Stream(ls->sequence, {});
+    LabelSequence online_labels(ls->size());
+    size_t k = 0;
+    for (size_t i = 0; i < ls->size(); ++i) {
+      while (k < ms.size() && ls->sequence[i].timestamp > ms[k].t_end) ++k;
+      ASSERT_LT(k, ms.size());
+      online_labels.regions[i] = ms[k].region;
+      online_labels.events[i] = ms[k].event;
+    }
+    online_acc.Add(ls->labels, online_labels);
+    offline_acc.Add(ls->labels, offline.Annotate(ls->sequence));
+  }
+  // Sliding-window decoding costs a little accuracy, not a lot.
+  EXPECT_GE(online_acc.Report().combined_accuracy,
+            offline_acc.Report().combined_accuracy - 0.06);
+}
+
+TEST_F(OnlineAnnotatorTest, EmitsIncrementally) {
+  const LabeledSequence& ls = *split_.test.front();
+  OnlineAnnotator online(*scenario_.world, FeatureOptions{}, C2mnStructure{},
+                         weights_);
+  size_t emitted_before_flush = 0;
+  for (const PositioningRecord& rec : ls.sequence.records) {
+    emitted_before_flush += online.Push(rec).size();
+  }
+  const auto tail = online.Flush();
+  // A realistic sequence has several m-semantics; most must appear before
+  // the stream ends.
+  EXPECT_GT(emitted_before_flush, 0u);
+  EXPECT_FALSE(tail.empty());
+}
+
+TEST_F(OnlineAnnotatorTest, SmallWindowStillValid) {
+  const LabeledSequence& ls = *split_.test.front();
+  OnlineAnnotator::Options options;
+  options.window_records = 20;
+  options.finalize_lag = 5;
+  options.decode_stride = 1;
+  const MSemanticsSequence ms = Stream(ls.sequence, options);
+  EXPECT_TRUE(IsValidMSemanticsSequence(ms, ls.sequence));
+}
+
+TEST_F(OnlineAnnotatorTest, FlushOnEmptyStream) {
+  OnlineAnnotator online(*scenario_.world, FeatureOptions{}, C2mnStructure{},
+                         weights_);
+  EXPECT_TRUE(online.Flush().empty());
+}
+
+}  // namespace
+}  // namespace c2mn

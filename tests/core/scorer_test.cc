@@ -1,0 +1,176 @@
+#include "core/scorer.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "tests/test_util.h"
+
+namespace c2mn {
+namespace {
+
+/// Random configurations over a random walk in the tiny world.  The key
+/// property under test: for any single-node label change, the difference
+/// of the node-feature vectors equals the difference of the full
+/// configuration feature totals.  This is what makes Gibbs conditionals,
+/// pseudo-likelihood gradients, and ICM deltas exact with respect to the
+/// model.
+class ScorerProperty : public ::testing::TestWithParam<int> {
+ protected:
+  ScorerProperty() : world_(testing_util::TinyWorld()) {}
+
+  void Build(Rng* rng) {
+    PSequence seq;
+    double x = rng->Uniform(2, 28), y = rng->Uniform(2, 18), t = 0;
+    const int n = 8 + static_cast<int>(rng->UniformInt(uint64_t{20}));
+    for (int i = 0; i < n; ++i) {
+      x = Clamp(x + rng->Uniform(-6, 6), 0.0, 30.0);
+      y = Clamp(y + rng->Uniform(-6, 6), 0.0, 20.0);
+      t += rng->Uniform(5, 25);
+      seq.records.push_back({IndoorPoint(x, y, 0), t});
+    }
+    sequence_ = seq;
+    graph_ = std::make_unique<SequenceGraph>(*world_, sequence_, opts_,
+                                             nullptr);
+  }
+
+  std::vector<int> RandomRegions(Rng* rng) const {
+    std::vector<int> r(graph_->size());
+    for (int i = 0; i < graph_->size(); ++i) {
+      r[i] = static_cast<int>(
+          rng->UniformInt(static_cast<uint64_t>(graph_->Candidates(i).size())));
+    }
+    return r;
+  }
+
+  std::vector<MobilityEvent> RandomEvents(Rng* rng) const {
+    std::vector<MobilityEvent> e(graph_->size());
+    for (auto& v : e) {
+      v = rng->Bernoulli(0.5) ? MobilityEvent::kStay : MobilityEvent::kPass;
+    }
+    return e;
+  }
+
+  static double Clamp(double v, double lo, double hi) {
+    return std::min(hi, std::max(lo, v));
+  }
+
+  std::shared_ptr<World> world_;
+  PSequence sequence_;
+  FeatureOptions opts_;
+  std::unique_ptr<SequenceGraph> graph_;
+};
+
+TEST_P(ScorerProperty, RegionNodeDeltasMatchTotals) {
+  Rng rng(GetParam() * 211 + 31);
+  Build(&rng);
+  const JointScorer scorer(*graph_, C2mnStructure{});
+  auto regions = RandomRegions(&rng);
+  const auto events = RandomEvents(&rng);
+  for (int trial = 0; trial < 8; ++trial) {
+    const int i =
+        static_cast<int>(rng.UniformInt(static_cast<uint64_t>(graph_->size())));
+    const int da = static_cast<int>(graph_->Candidates(i).size());
+    const int a_new = static_cast<int>(rng.UniformInt(static_cast<uint64_t>(da)));
+    const int a_old = regions[i];
+
+    const FeatureVec node_old =
+        scorer.RegionNodeFeatures(i, a_old, regions, events);
+    const FeatureVec node_new =
+        scorer.RegionNodeFeatures(i, a_new, regions, events);
+    const FeatureVec total_old = scorer.TotalFeatures(regions, events);
+    regions[i] = a_new;
+    const FeatureVec total_new = scorer.TotalFeatures(regions, events);
+
+    for (int k = 0; k < kNumWeights; ++k) {
+      EXPECT_NEAR(node_new[k] - node_old[k], total_new[k] - total_old[k],
+                  1e-9)
+          << "component " << k << " node " << i;
+    }
+  }
+}
+
+TEST_P(ScorerProperty, EventNodeDeltasMatchTotals) {
+  Rng rng(GetParam() * 223 + 41);
+  Build(&rng);
+  const JointScorer scorer(*graph_, C2mnStructure{});
+  const auto regions = RandomRegions(&rng);
+  auto events = RandomEvents(&rng);
+  for (int trial = 0; trial < 8; ++trial) {
+    const int i =
+        static_cast<int>(rng.UniformInt(static_cast<uint64_t>(graph_->size())));
+    const MobilityEvent v_old = events[i];
+    const MobilityEvent v_new =
+        rng.Bernoulli(0.5) ? MobilityEvent::kStay : MobilityEvent::kPass;
+
+    const FeatureVec node_old =
+        scorer.EventNodeFeatures(i, v_old, regions, events);
+    const FeatureVec node_new =
+        scorer.EventNodeFeatures(i, v_new, regions, events);
+    const FeatureVec total_old = scorer.TotalFeatures(regions, events);
+    events[i] = v_new;
+    const FeatureVec total_new = scorer.TotalFeatures(regions, events);
+
+    for (int k = 0; k < kNumWeights; ++k) {
+      EXPECT_NEAR(node_new[k] - node_old[k], total_new[k] - total_old[k],
+                  1e-9)
+          << "component " << k << " node " << i;
+    }
+  }
+}
+
+TEST_P(ScorerProperty, AblationsZeroTheirComponents) {
+  Rng rng(GetParam() * 227 + 43);
+  Build(&rng);
+  const auto regions = RandomRegions(&rng);
+  const auto events = RandomEvents(&rng);
+
+  C2mnStructure no_tran;
+  no_tran.use_transition = false;
+  const FeatureVec f_tran =
+      JointScorer(*graph_, no_tran).TotalFeatures(regions, events);
+  EXPECT_DOUBLE_EQ(f_tran[kWSpaceTransition], 0.0);
+  EXPECT_DOUBLE_EQ(f_tran[kWEventTransition], 0.0);
+
+  C2mnStructure no_sync;
+  no_sync.use_sync = false;
+  const FeatureVec f_sync =
+      JointScorer(*graph_, no_sync).TotalFeatures(regions, events);
+  EXPECT_DOUBLE_EQ(f_sync[kWSpatialConsistency], 0.0);
+  EXPECT_DOUBLE_EQ(f_sync[kWEventConsistency], 0.0);
+
+  C2mnStructure cmn;
+  cmn.use_event_seg = false;
+  cmn.use_space_seg = false;
+  const FeatureVec f_cmn =
+      JointScorer(*graph_, cmn).TotalFeatures(regions, events);
+  for (int k : {kWEventSeg0, kWEventSeg1, kWEventSeg2, kWSpaceSeg0,
+                kWSpaceSeg1, kWSpaceSeg2}) {
+    EXPECT_DOUBLE_EQ(f_cmn[k], 0.0);
+  }
+  EXPECT_FALSE(cmn.IsCoupled());
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomConfigs, ScorerProperty,
+                         ::testing::Range(0, 12));
+
+TEST(ScorerTest, TotalScoreIsDotProduct) {
+  auto world = testing_util::TinyWorld();
+  PSequence seq;
+  for (int i = 0; i < 5; ++i) {
+    seq.records.push_back({IndoorPoint(5.0 + i, 4, 0), i * 10.0});
+  }
+  FeatureOptions opts;
+  const SequenceGraph graph(*world, seq, opts, nullptr);
+  const JointScorer scorer(graph, C2mnStructure{});
+  const std::vector<int> regions(graph.size(), 0);
+  const std::vector<MobilityEvent> events(graph.size(),
+                                          MobilityEvent::kStay);
+  std::vector<double> weights(kNumWeights);
+  for (int k = 0; k < kNumWeights; ++k) weights[k] = 0.1 * (k + 1);
+  const FeatureVec f = scorer.TotalFeatures(regions, events);
+  EXPECT_NEAR(scorer.TotalScore(weights, regions, events),
+              DotFeatures(weights, f), 1e-12);
+}
+
+}  // namespace
+}  // namespace c2mn

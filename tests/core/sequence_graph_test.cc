@@ -1,0 +1,119 @@
+#include "core/sequence_graph.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/test_util.h"
+
+namespace c2mn {
+namespace {
+
+class SequenceGraphTest : public ::testing::Test {
+ protected:
+  SequenceGraphTest() : world_(testing_util::TinyWorld()) {
+    // A short walk: stay in bottom-0, cross the corridor, stay in top-1.
+    const std::vector<std::tuple<double, double, double>> xyt = {
+        {5, 4, 0},   {5.3, 4.2, 15},  {5.1, 3.9, 30}, {5.2, 4.1, 45},
+        {5, 7, 60},  {8, 10, 75},     {12, 10, 90},   {15, 13, 105},
+        {15, 16, 120}, {15.2, 16.1, 135}, {14.9, 15.8, 150}, {15.1, 16, 165}};
+    for (const auto& [x, y, t] : xyt) {
+      sequence_.records.push_back({IndoorPoint(x, y, 0), t});
+    }
+    truth_.regions.assign(sequence_.size(), 0);
+    truth_.events.assign(sequence_.size(), MobilityEvent::kPass);
+  }
+
+  std::shared_ptr<World> world_;
+  PSequence sequence_;
+  LabelSequence truth_;
+  FeatureOptions opts_;
+};
+
+TEST_F(SequenceGraphTest, CandidatesNonEmptyAndFsmNormalized) {
+  const SequenceGraph g(*world_, sequence_, opts_, nullptr);
+  ASSERT_EQ(g.size(), static_cast<int>(sequence_.size()));
+  for (int i = 0; i < g.size(); ++i) {
+    ASSERT_FALSE(g.Candidates(i).empty());
+    double sum = 0.0;
+    for (size_t a = 0; a < g.Candidates(i).size(); ++a) {
+      const double v = g.SpatialMatch(i, static_cast<int>(a));
+      EXPECT_GE(v, 0.0);
+      EXPECT_LE(v, 1.0 + 1e-9);
+      sum += v;
+    }
+    EXPECT_NEAR(sum, 1.0, 1e-9);  // normalize_fsm default.
+  }
+}
+
+TEST_F(SequenceGraphTest, RawFsmIsCoverageFraction) {
+  FeatureOptions raw = opts_;
+  raw.normalize_fsm = false;
+  raw.smooth_observations = false;
+  const SequenceGraph g(*world_, sequence_, raw, nullptr);
+  // First record is deep inside bottom-0: its own region has the largest
+  // overlap fraction.
+  const RegionId own = world_->index().RegionAt(sequence_[0].location);
+  const int idx = g.CandidateIndex(0, own);
+  ASSERT_GE(idx, 0);
+  for (size_t a = 0; a < g.Candidates(0).size(); ++a) {
+    EXPECT_GE(g.SpatialMatch(0, idx),
+              g.SpatialMatch(0, static_cast<int>(a)) - 1e-12);
+  }
+}
+
+TEST_F(SequenceGraphTest, TruthInjectionGuaranteesCoverage) {
+  // Force an absurd truth region far from every record.
+  truth_.regions.assign(sequence_.size(), 5);
+  const SequenceGraph g(*world_, sequence_, opts_, &truth_);
+  for (int i = 0; i < g.size(); ++i) {
+    EXPECT_GE(g.CandidateIndex(i, 5), 0);
+  }
+}
+
+TEST_F(SequenceGraphTest, DerivedKinematics) {
+  const SequenceGraph g(*world_, sequence_, opts_, nullptr);
+  for (int i = 0; i + 1 < g.size(); ++i) {
+    EXPECT_NEAR(g.DeltaT(i), 15.0, 1e-9);
+    EXPECT_NEAR(g.DeltaE(i),
+                HorizontalDistance(sequence_[i].location,
+                                   sequence_[i + 1].location),
+                1e-12);
+    EXPECT_NEAR(g.Speed(i), g.DeltaE(i) / 15.0, 1e-12);
+  }
+}
+
+TEST_F(SequenceGraphTest, InitialEventsFollowDensity) {
+  const SequenceGraph g(*world_, sequence_, opts_, nullptr);
+  const auto events = g.InitialEvents();
+  for (int i = 0; i < g.size(); ++i) {
+    const bool noise = g.Density(i) == DensityClass::kNoise;
+    EXPECT_EQ(events[i] == MobilityEvent::kPass, noise);
+  }
+}
+
+TEST_F(SequenceGraphTest, InitialRegionsAreNearest) {
+  const SequenceGraph g(*world_, sequence_, opts_, nullptr);
+  const auto regions = g.InitialRegions();
+  for (int i = 0; i < g.size(); ++i) EXPECT_EQ(regions[i], 0);
+}
+
+TEST_F(SequenceGraphTest, CandidateIndexMissingRegion) {
+  const SequenceGraph g(*world_, sequence_, opts_, nullptr);
+  EXPECT_EQ(g.CandidateIndex(0, 9999), -1);
+}
+
+TEST_F(SequenceGraphTest, RegionFrequencyPriorScalesFsm) {
+  FeatureOptions freq = opts_;
+  freq.normalize_fsm = false;
+  freq.use_region_frequency = true;
+  freq.region_frequency.assign(world_->plan().regions().size(), 1.0);
+  const SequenceGraph base(*world_, sequence_, freq, nullptr);
+  freq.region_frequency.assign(world_->plan().regions().size(), 0.5);
+  const SequenceGraph halved(*world_, sequence_, freq, nullptr);
+  for (size_t a = 0; a < base.Candidates(0).size(); ++a) {
+    EXPECT_NEAR(halved.SpatialMatch(0, static_cast<int>(a)),
+                0.5 * base.SpatialMatch(0, static_cast<int>(a)), 1e-12);
+  }
+}
+
+}  // namespace
+}  // namespace c2mn

@@ -1,0 +1,149 @@
+#include "core/trainer.h"
+
+#include <gtest/gtest.h>
+
+#include "core/variants.h"
+#include "data/dataset.h"
+#include "eval/metrics.h"
+#include "tests/test_util.h"
+
+namespace c2mn {
+namespace {
+
+class TrainerTest : public ::testing::Test {
+ protected:
+  TrainerTest() : scenario_(testing_util::SmallMallScenario()) {
+    Rng rng(7);
+    split_ = SplitDataset(scenario_.dataset, 0.7, &rng);
+  }
+
+  TrainOptions FastOptions() const {
+    TrainOptions topts;
+    topts.max_iter = 8;
+    topts.mcmc_samples = 10;
+    topts.seed = 3;
+    return topts;
+  }
+
+  const Scenario& scenario_;
+  TrainTestSplit split_;
+};
+
+TEST_F(TrainerTest, ProducesFiniteWeights) {
+  AlternateTrainer trainer(*scenario_.world, FeatureOptions{},
+                           C2mnStructure{}, FastOptions());
+  const TrainResult result = trainer.Train(split_.train);
+  ASSERT_EQ(result.weights.size(), static_cast<size_t>(kNumWeights));
+  for (double w : result.weights) EXPECT_TRUE(std::isfinite(w));
+  EXPECT_GT(result.iterations, 0);
+  EXPECT_GT(result.train_seconds, 0.0);
+  EXPECT_EQ(result.objective_trace.size(),
+            static_cast<size_t>(result.iterations));
+}
+
+TEST_F(TrainerTest, ObjectiveImprovesOverTraining) {
+  TrainOptions topts = FastOptions();
+  topts.max_iter = 25;
+  topts.mcmc_samples = 20;
+  AlternateTrainer trainer(*scenario_.world, FeatureOptions{},
+                           C2mnStructure{}, topts);
+  const TrainResult result = trainer.Train(split_.train);
+  ASSERT_GE(result.objective_trace.size(), 10u);
+  // The stochastic pseudo-likelihood should drop substantially from the
+  // random initialization to the end (compare first/last thirds).
+  const size_t third = result.objective_trace.size() / 3;
+  double early = 0.0, late = 0.0;
+  for (size_t i = 0; i < third; ++i) early += result.objective_trace[i];
+  for (size_t i = result.objective_trace.size() - third;
+       i < result.objective_trace.size(); ++i) {
+    late += result.objective_trace[i];
+  }
+  EXPECT_LT(late, early);
+}
+
+TEST_F(TrainerTest, TrainedBeatsUntrainedAtAnnotation) {
+  TrainOptions topts = FastOptions();
+  topts.max_iter = 25;
+  topts.mcmc_samples = 20;
+  AlternateTrainer trainer(*scenario_.world, FeatureOptions{},
+                           C2mnStructure{}, topts);
+  const TrainResult result = trainer.Train(split_.train);
+  const C2mnAnnotator trained = trainer.MakeAnnotator(result);
+  // Untrained: uniform weights (all equal), same structure.
+  const C2mnAnnotator uniform(*scenario_.world, FeatureOptions{},
+                              C2mnStructure{},
+                              std::vector<double>(kNumWeights, 0.5));
+  AccuracyAccumulator acc_trained, acc_uniform;
+  for (const LabeledSequence* ls : split_.test) {
+    acc_trained.Add(ls->labels, trained.Annotate(ls->sequence));
+    acc_uniform.Add(ls->labels, uniform.Annotate(ls->sequence));
+  }
+  EXPECT_GE(acc_trained.Report().combined_accuracy,
+            acc_uniform.Report().combined_accuracy - 0.02);
+}
+
+TEST_F(TrainerTest, DeterministicForSeed) {
+  AlternateTrainer a(*scenario_.world, FeatureOptions{}, C2mnStructure{},
+                     FastOptions());
+  AlternateTrainer b(*scenario_.world, FeatureOptions{}, C2mnStructure{},
+                     FastOptions());
+  const TrainResult ra = a.Train(split_.train);
+  const TrainResult rb = b.Train(split_.train);
+  ASSERT_EQ(ra.weights.size(), rb.weights.size());
+  for (size_t i = 0; i < ra.weights.size(); ++i) {
+    EXPECT_DOUBLE_EQ(ra.weights[i], rb.weights[i]);
+  }
+}
+
+TEST_F(TrainerTest, StrictAlternationRuns) {
+  TrainOptions topts = FastOptions();
+  topts.strict_alternation = true;
+  AlternateTrainer trainer(*scenario_.world, FeatureOptions{},
+                           C2mnStructure{}, topts);
+  const TrainResult result = trainer.Train(split_.train);
+  for (double w : result.weights) EXPECT_TRUE(std::isfinite(w));
+}
+
+TEST_F(TrainerTest, RegionFirstVariantRuns) {
+  TrainOptions topts = FastOptions();
+  topts.first_configure_region = true;
+  AlternateTrainer trainer(*scenario_.world, FeatureOptions{},
+                           C2mnStructure{}, topts);
+  const TrainResult result = trainer.Train(split_.train);
+  for (double w : result.weights) EXPECT_TRUE(std::isfinite(w));
+}
+
+TEST_F(TrainerTest, DecoupledCmnTrainsBothBlocks) {
+  TrainOptions topts = FastOptions();
+  topts.max_iter = 15;
+  AlternateTrainer trainer(*scenario_.world, FeatureOptions{},
+                           DecoupledCmn().structure, topts);
+  const TrainResult result = trainer.Train(split_.train);
+  // Both matching weights moved away from their random init and are used.
+  EXPECT_TRUE(std::isfinite(result.weights[kWSpatialMatch]));
+  EXPECT_TRUE(std::isfinite(result.weights[kWEventMatch]));
+  // Segment components receive only the prior: they should shrink toward
+  // zero relative to a weight that receives data gradient.
+  EXPECT_LT(std::fabs(result.weights[kWSpaceSeg2]),
+            std::fabs(result.weights[kWSpatialMatch]) + 1.0);
+}
+
+TEST_F(TrainerTest, EmptyTrainingSetIsSafe) {
+  AlternateTrainer trainer(*scenario_.world, FeatureOptions{},
+                           C2mnStructure{}, FastOptions());
+  const TrainResult result = trainer.Train({});
+  ASSERT_EQ(result.weights.size(), static_cast<size_t>(kNumWeights));
+  EXPECT_EQ(result.iterations, 0);
+}
+
+TEST_F(TrainerTest, RegionFrequencyOptionTrains) {
+  FeatureOptions fopts;
+  fopts.use_region_frequency = true;
+  AlternateTrainer trainer(*scenario_.world, fopts, C2mnStructure{},
+                           FastOptions());
+  const TrainResult result = trainer.Train(split_.train);
+  for (double w : result.weights) EXPECT_TRUE(std::isfinite(w));
+}
+
+}  // namespace
+}  // namespace c2mn

@@ -1,0 +1,65 @@
+#include "core/weights_io.h"
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+namespace c2mn {
+namespace {
+
+TEST(WeightsIoTest, RoundTrip) {
+  std::vector<double> weights(kNumWeights);
+  for (int k = 0; k < kNumWeights; ++k) weights[k] = 0.125 * k - 0.3;
+  std::stringstream stream(weights_io::ToString(weights));
+  const auto back = weights_io::Read(&stream);
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  for (int k = 0; k < kNumWeights; ++k) {
+    EXPECT_DOUBLE_EQ((*back)[k], weights[k]);
+  }
+}
+
+TEST(WeightsIoTest, ComponentNamesMatchCount) {
+  EXPECT_EQ(weights_io::ComponentNames().size(),
+            static_cast<size_t>(kNumWeights));
+}
+
+TEST(WeightsIoTest, OrderInsensitive) {
+  std::vector<double> weights(kNumWeights, 1.0);
+  std::stringstream forward(weights_io::ToString(weights));
+  // Reverse the component lines.
+  std::string header, line;
+  std::getline(forward, header);
+  std::vector<std::string> lines;
+  while (std::getline(forward, line)) lines.push_back(line);
+  std::string reversed = header + "\n";
+  for (auto it = lines.rbegin(); it != lines.rend(); ++it) {
+    reversed += *it + "\n";
+  }
+  std::stringstream stream(reversed);
+  EXPECT_TRUE(weights_io::Read(&stream).ok());
+}
+
+TEST(WeightsIoTest, RejectsBadHeader) {
+  std::stringstream stream("weights v9\nspatial_match 1.0\n");
+  EXPECT_FALSE(weights_io::Read(&stream).ok());
+}
+
+TEST(WeightsIoTest, RejectsMissingComponent) {
+  std::stringstream stream("c2mn-weights v1\nspatial_match 1.0\n");
+  const auto result = weights_io::Read(&stream);
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.status().message().find("missing"), std::string::npos);
+}
+
+TEST(WeightsIoTest, RejectsMalformedValue) {
+  std::string text = "c2mn-weights v1\n";
+  for (const std::string& name : weights_io::ComponentNames()) {
+    text += name + " 1.0\n";
+  }
+  text.replace(text.find("1.0"), 3, "abc");
+  std::stringstream stream(text);
+  EXPECT_FALSE(weights_io::Read(&stream).ok());
+}
+
+}  // namespace
+}  // namespace c2mn

@@ -1,0 +1,175 @@
+#include "crf/chain_model.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/math_utils.h"
+#include "common/rng.h"
+
+namespace c2mn {
+namespace {
+
+/// Random chain with per-position domain sizes in [1, 4].
+ChainPotentials RandomChain(Rng* rng, int max_len = 6) {
+  ChainPotentials pots;
+  const int n = 2 + static_cast<int>(rng->UniformInt(
+                        static_cast<uint64_t>(max_len - 1)));
+  pots.node.resize(n);
+  pots.edge.resize(n - 1);
+  for (int i = 0; i < n; ++i) {
+    const int d = 1 + static_cast<int>(rng->UniformInt(uint64_t{4}));
+    pots.node[i].resize(d);
+    for (double& v : pots.node[i]) v = rng->Uniform(-2, 2);
+  }
+  for (int i = 0; i + 1 < n; ++i) {
+    pots.edge[i].assign(pots.node[i].size(),
+                        std::vector<double>(pots.node[i + 1].size(), 0.0));
+    for (auto& row : pots.edge[i]) {
+      for (double& v : row) v = rng->Uniform(-2, 2);
+    }
+  }
+  return pots;
+}
+
+/// Enumerates all configurations of a small chain.
+void Enumerate(const ChainPotentials& pots,
+               const std::function<void(const std::vector<int>&)>& visit) {
+  const size_t n = pots.length();
+  std::vector<int> labels(n, 0);
+  while (true) {
+    visit(labels);
+    size_t i = 0;
+    while (i < n) {
+      if (++labels[i] < static_cast<int>(pots.domain(i))) break;
+      labels[i] = 0;
+      ++i;
+    }
+    if (i == n) break;
+  }
+}
+
+TEST(ChainPotentialsTest, Validate) {
+  ChainPotentials empty;
+  EXPECT_FALSE(empty.Validate());
+  ChainPotentials single;
+  single.node = {{0.0, 1.0}};
+  EXPECT_TRUE(single.Validate());
+  ChainPotentials bad;
+  bad.node = {{0.0}, {0.0}};
+  bad.edge = {{{0.0, 0.0}}};  // Wrong arity for second node domain.
+  EXPECT_FALSE(bad.Validate());
+}
+
+class ChainExactness : public ::testing::TestWithParam<int> {};
+
+TEST_P(ChainExactness, ViterbiMatchesEnumeration) {
+  Rng rng(GetParam() * 101 + 13);
+  const ChainPotentials pots = RandomChain(&rng);
+  const ChainModel model(pots);
+  double best = -1e300;
+  std::vector<int> best_labels;
+  Enumerate(pots, [&](const std::vector<int>& labels) {
+    const double s = model.Score(labels);
+    if (s > best) {
+      best = s;
+      best_labels = labels;
+    }
+  });
+  const std::vector<int> viterbi = model.Viterbi();
+  EXPECT_NEAR(model.Score(viterbi), best, 1e-9);
+}
+
+TEST_P(ChainExactness, PartitionMatchesEnumeration) {
+  Rng rng(GetParam() * 103 + 17);
+  const ChainPotentials pots = RandomChain(&rng);
+  const ChainModel model(pots);
+  std::vector<double> scores;
+  Enumerate(pots, [&](const std::vector<int>& labels) {
+    scores.push_back(model.Score(labels));
+  });
+  EXPECT_NEAR(model.LogPartition(), LogSumExp(scores), 1e-9);
+}
+
+TEST_P(ChainExactness, MarginalsMatchEnumeration) {
+  Rng rng(GetParam() * 107 + 19);
+  const ChainPotentials pots = RandomChain(&rng);
+  const ChainModel model(pots);
+  const double log_z = model.LogPartition();
+  std::vector<std::vector<double>> expected(pots.length());
+  for (size_t i = 0; i < pots.length(); ++i) {
+    expected[i].assign(pots.domain(i), 0.0);
+  }
+  Enumerate(pots, [&](const std::vector<int>& labels) {
+    const double p = std::exp(model.Score(labels) - log_z);
+    for (size_t i = 0; i < labels.size(); ++i) expected[i][labels[i]] += p;
+  });
+  const auto marginals = model.Marginals();
+  for (size_t i = 0; i < pots.length(); ++i) {
+    for (size_t a = 0; a < pots.domain(i); ++a) {
+      EXPECT_NEAR(marginals[i][a], expected[i][a], 1e-9);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomChains, ChainExactness,
+                         ::testing::Range(0, 20));
+
+TEST(ChainModelTest, ExactSamplingMatchesMarginals) {
+  Rng rng(5);
+  const ChainPotentials pots = RandomChain(&rng, 4);
+  const ChainModel model(pots);
+  const auto marginals = model.Marginals();
+  std::vector<std::vector<double>> counts(pots.length());
+  for (size_t i = 0; i < pots.length(); ++i) {
+    counts[i].assign(pots.domain(i), 0.0);
+  }
+  const int samples = 40000;
+  Rng sample_rng(6);
+  for (int s = 0; s < samples; ++s) {
+    const auto labels = model.Sample(&sample_rng);
+    for (size_t i = 0; i < labels.size(); ++i) counts[i][labels[i]] += 1.0;
+  }
+  for (size_t i = 0; i < pots.length(); ++i) {
+    for (size_t a = 0; a < pots.domain(i); ++a) {
+      EXPECT_NEAR(counts[i][a] / samples, marginals[i][a], 0.015);
+    }
+  }
+}
+
+TEST(ChainModelTest, GibbsConvergesToMarginals) {
+  Rng rng(7);
+  const ChainPotentials pots = RandomChain(&rng, 4);
+  const ChainModel model(pots);
+  const auto marginals = model.Marginals();
+  std::vector<int> state(pots.length(), 0);
+  Rng gibbs_rng(8);
+  // Burn-in.
+  for (int s = 0; s < 200; ++s) model.GibbsSweep(&state, &gibbs_rng);
+  std::vector<std::vector<double>> counts(pots.length());
+  for (size_t i = 0; i < pots.length(); ++i) {
+    counts[i].assign(pots.domain(i), 0.0);
+  }
+  const int sweeps = 30000;
+  for (int s = 0; s < sweeps; ++s) {
+    model.GibbsSweep(&state, &gibbs_rng);
+    for (size_t i = 0; i < state.size(); ++i) counts[i][state[i]] += 1.0;
+  }
+  for (size_t i = 0; i < pots.length(); ++i) {
+    for (size_t a = 0; a < pots.domain(i); ++a) {
+      EXPECT_NEAR(counts[i][a] / sweeps, marginals[i][a], 0.03);
+    }
+  }
+}
+
+TEST(ChainModelTest, SingleNodeChain) {
+  ChainPotentials pots;
+  pots.node = {{std::log(0.25), std::log(0.75)}};
+  const ChainModel model(pots);
+  EXPECT_EQ(model.Viterbi(), std::vector<int>{1});
+  EXPECT_NEAR(model.LogPartition(), 0.0, 1e-12);
+  EXPECT_NEAR(model.Marginals()[0][1], 0.75, 1e-12);
+}
+
+}  // namespace
+}  // namespace c2mn

@@ -1,0 +1,69 @@
+#include "crf/hmm.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace c2mn {
+namespace {
+
+TEST(HmmTest, FrequencyCountingWithoutSmoothing) {
+  Hmm hmm(2, 2, /*laplace_smoothing=*/0.0);
+  // State sequence 0 0 1 1, observations 0 1 1 0.
+  hmm.AddSequence({0, 0, 1, 1}, {0, 1, 1, 0});
+  hmm.Fit();
+  EXPECT_NEAR(std::exp(hmm.LogInitial(0)), 1.0, 1e-12);
+  // Transitions from 0: one 0->0, one 0->1.
+  EXPECT_NEAR(std::exp(hmm.LogTransition(0, 0)), 0.5, 1e-12);
+  EXPECT_NEAR(std::exp(hmm.LogTransition(0, 1)), 0.5, 1e-12);
+  // Emissions of state 0: obs 0 once, obs 1 once.
+  EXPECT_NEAR(std::exp(hmm.LogEmission(0, 0)), 0.5, 1e-12);
+  // Emissions of state 1: obs 1 once, obs 0 once.
+  EXPECT_NEAR(std::exp(hmm.LogEmission(1, 1)), 0.5, 1e-12);
+}
+
+TEST(HmmTest, LaplaceSmoothingAvoidsZeros) {
+  Hmm hmm(2, 3, 1.0);
+  hmm.AddSequence({0}, {0});
+  hmm.Fit();
+  // Unseen state 1 still has finite probabilities.
+  EXPECT_TRUE(std::isfinite(hmm.LogInitial(1)));
+  EXPECT_TRUE(std::isfinite(hmm.LogEmission(1, 2)));
+  // Rows normalize.
+  double total = 0.0;
+  for (int o = 0; o < 3; ++o) total += std::exp(hmm.LogEmission(0, o));
+  EXPECT_NEAR(total, 1.0, 1e-12);
+}
+
+TEST(HmmTest, DecodeDeterministicModel) {
+  // State i deterministically emits observation i and cycles 0->1->0.
+  Hmm hmm(2, 2, 0.01);
+  for (int rep = 0; rep < 20; ++rep) {
+    hmm.AddSequence({0, 1, 0, 1}, {0, 1, 0, 1});
+  }
+  hmm.Fit();
+  const auto decoded = hmm.Decode({0, 1, 0, 1, 0});
+  EXPECT_EQ(decoded, std::vector<int>({0, 1, 0, 1, 0}));
+}
+
+TEST(HmmTest, DecodeUsesTransitionsUnderAmbiguity) {
+  // Both states emit observation 0 equally, but state 0 self-transitions
+  // strongly; decoding ambiguous observations should stay in state 0.
+  Hmm hmm(2, 2, 0.01);
+  for (int rep = 0; rep < 10; ++rep) {
+    hmm.AddSequence({0, 0, 0, 0, 0, 1}, {0, 0, 0, 0, 0, 1});
+  }
+  hmm.Fit();
+  const auto decoded = hmm.Decode({0, 0, 0});
+  EXPECT_EQ(decoded, std::vector<int>({0, 0, 0}));
+}
+
+TEST(HmmTest, EmptyObservationSequence) {
+  Hmm hmm(2, 2, 1.0);
+  hmm.AddSequence({0}, {0});
+  hmm.Fit();
+  EXPECT_TRUE(hmm.Decode({}).empty());
+}
+
+}  // namespace
+}  // namespace c2mn

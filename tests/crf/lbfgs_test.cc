@@ -1,0 +1,121 @@
+#include "crf/lbfgs.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/math_utils.h"
+
+namespace c2mn {
+namespace {
+
+TEST(LbfgsSolverTest, MinimizesQuadratic) {
+  // f(x) = sum (x_i - i)^2, minimum at x_i = i.
+  LbfgsSolver solver;
+  const auto f = [](const std::vector<double>& x, std::vector<double>* g) {
+    double fx = 0.0;
+    for (size_t i = 0; i < x.size(); ++i) {
+      const double d = x[i] - static_cast<double>(i);
+      fx += d * d;
+      (*g)[i] = 2.0 * d;
+    }
+    return fx;
+  };
+  const auto result = solver.Minimize(f, std::vector<double>(5, 10.0));
+  EXPECT_TRUE(result.converged);
+  for (size_t i = 0; i < result.solution.size(); ++i) {
+    EXPECT_NEAR(result.solution[i], static_cast<double>(i), 1e-5);
+  }
+  EXPECT_NEAR(result.objective, 0.0, 1e-9);
+}
+
+TEST(LbfgsSolverTest, MinimizesIllConditionedQuadratic) {
+  // f(x) = x0^2 + 100 x1^2.
+  LbfgsSolver::Options options;
+  options.max_iterations = 200;
+  LbfgsSolver solver(options);
+  const auto f = [](const std::vector<double>& x, std::vector<double>* g) {
+    (*g)[0] = 2.0 * x[0];
+    (*g)[1] = 200.0 * x[1];
+    return x[0] * x[0] + 100.0 * x[1] * x[1];
+  };
+  const auto result = solver.Minimize(f, {3.0, -2.0});
+  EXPECT_NEAR(result.solution[0], 0.0, 1e-4);
+  EXPECT_NEAR(result.solution[1], 0.0, 1e-4);
+}
+
+TEST(LbfgsSolverTest, MinimizesRosenbrock) {
+  LbfgsSolver::Options options;
+  options.max_iterations = 500;
+  LbfgsSolver solver(options);
+  const auto f = [](const std::vector<double>& x, std::vector<double>* g) {
+    const double a = 1.0 - x[0];
+    const double b = x[1] - x[0] * x[0];
+    (*g)[0] = -2.0 * a - 400.0 * x[0] * b;
+    (*g)[1] = 200.0 * b;
+    return a * a + 100.0 * b * b;
+  };
+  const auto result = solver.Minimize(f, {-1.2, 1.0});
+  EXPECT_NEAR(result.solution[0], 1.0, 1e-3);
+  EXPECT_NEAR(result.solution[1], 1.0, 1e-3);
+}
+
+TEST(LbfgsSolverTest, AlreadyAtOptimum) {
+  LbfgsSolver solver;
+  const auto f = [](const std::vector<double>& x, std::vector<double>* g) {
+    (*g)[0] = 2.0 * x[0];
+    return x[0] * x[0];
+  };
+  const auto result = solver.Minimize(f, {0.0});
+  EXPECT_TRUE(result.converged);
+  EXPECT_EQ(result.iterations, 0);
+}
+
+TEST(LbfgsStepperTest, ConvergesOnQuadratic) {
+  // Incremental stepping with exact gradients must approach the optimum.
+  LbfgsStepper::Options options;
+  options.initial_step = 0.2;
+  options.max_step_norm = 1.0;
+  LbfgsStepper stepper(3, options);
+  std::vector<double> w = {5.0, -3.0, 2.0};
+  for (int iter = 0; iter < 200; ++iter) {
+    std::vector<double> grad(3);
+    for (int i = 0; i < 3; ++i) grad[i] = 2.0 * (w[i] - 1.0);
+    w = stepper.Step(w, grad);
+  }
+  for (double wi : w) EXPECT_NEAR(wi, 1.0, 1e-3);
+}
+
+TEST(LbfgsStepperTest, StepNormIsClipped) {
+  LbfgsStepper::Options options;
+  options.initial_step = 1.0;
+  options.max_step_norm = 0.1;
+  LbfgsStepper stepper(2, options);
+  const std::vector<double> w = {0.0, 0.0};
+  const std::vector<double> grad = {100.0, 0.0};
+  const auto next = stepper.Step(w, grad);
+  std::vector<double> step = {next[0] - w[0], next[1] - w[1]};
+  EXPECT_LE(L2Norm(step), 0.1 + 1e-12);
+  // Descent direction: against the gradient.
+  EXPECT_LT(next[0], 0.0);
+}
+
+TEST(LbfgsStepperTest, ResetForgetsHistory) {
+  LbfgsStepper stepper(1);
+  std::vector<double> w = {4.0};
+  for (int i = 0; i < 5; ++i) {
+    std::vector<double> g = {2.0 * w[0]};
+    w = stepper.Step(w, g);
+  }
+  stepper.Reset();
+  // After reset the next step is a plain scaled-gradient step again.
+  const std::vector<double> w0 = {1.0};
+  const std::vector<double> g0 = {2.0};
+  const auto next = stepper.Step(w0, g0);
+  LbfgsStepper fresh(1);
+  const auto fresh_next = fresh.Step(w0, g0);
+  EXPECT_NEAR(next[0], fresh_next[0], 1e-12);
+}
+
+}  // namespace
+}  // namespace c2mn

@@ -1,0 +1,84 @@
+#include "data/dataset.h"
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+namespace c2mn {
+namespace {
+
+Dataset MakeDataset(int num_sequences, int records_each) {
+  Dataset dataset;
+  for (int s = 0; s < num_sequences; ++s) {
+    LabeledSequence ls;
+    ls.sequence.object_id = s;
+    for (int i = 0; i < records_each; ++i) {
+      ls.sequence.records.push_back({IndoorPoint(i, 0, 0), i * 15.0});
+      ls.labels.regions.push_back(0);
+      ls.labels.events.push_back(MobilityEvent::kStay);
+    }
+    dataset.sequences.push_back(std::move(ls));
+  }
+  return dataset;
+}
+
+TEST(DatasetTest, Counts) {
+  const Dataset d = MakeDataset(5, 10);
+  EXPECT_EQ(d.NumSequences(), 5u);
+  EXPECT_EQ(d.NumRecords(), 50u);
+}
+
+TEST(SplitDatasetTest, FractionRespected) {
+  const Dataset d = MakeDataset(10, 4);
+  Rng rng(1);
+  const TrainTestSplit split = SplitDataset(d, 0.7, &rng);
+  EXPECT_EQ(split.train.size(), 7u);
+  EXPECT_EQ(split.test.size(), 3u);
+  // Disjoint and covering.
+  std::set<const LabeledSequence*> seen(split.train.begin(),
+                                        split.train.end());
+  for (const auto* p : split.test) EXPECT_EQ(seen.count(p), 0u);
+  EXPECT_EQ(split.train.size() + split.test.size(), d.NumSequences());
+}
+
+TEST(SplitDatasetTest, ExtremeFractions) {
+  const Dataset d = MakeDataset(4, 2);
+  Rng rng(2);
+  EXPECT_EQ(SplitDataset(d, 1.0, &rng).test.size(), 0u);
+  EXPECT_EQ(SplitDataset(d, 0.0, &rng).train.size(), 0u);
+}
+
+TEST(CrossValidationTest, FoldsPartitionData) {
+  const Dataset d = MakeDataset(10, 2);
+  Rng rng(3);
+  const auto folds = CrossValidationFolds(d, 5, &rng);
+  ASSERT_EQ(folds.size(), 5u);
+  std::set<const LabeledSequence*> all_test;
+  for (const auto& fold : folds) {
+    EXPECT_EQ(fold.test.size(), 2u);
+    EXPECT_EQ(fold.train.size(), 8u);
+    for (const auto* p : fold.test) {
+      EXPECT_TRUE(all_test.insert(p).second) << "sequence in two test folds";
+    }
+  }
+  EXPECT_EQ(all_test.size(), d.NumSequences());
+}
+
+TEST(StatsTest, MatchesHandComputation) {
+  const Dataset d = MakeDataset(2, 5);  // 15 s period, 4 gaps -> 60 s.
+  const DatasetStats stats = ComputeStats(d);
+  EXPECT_EQ(stats.num_sequences, 2u);
+  EXPECT_EQ(stats.num_records, 10u);
+  EXPECT_DOUBLE_EQ(stats.avg_records_per_sequence, 5.0);
+  EXPECT_DOUBLE_EQ(stats.avg_duration_seconds, 60.0);
+  EXPECT_NEAR(stats.avg_sampling_rate_hz, 4.0 / 60.0, 1e-12);
+}
+
+TEST(StatsTest, EmptyDataset) {
+  const DatasetStats stats = ComputeStats(Dataset{});
+  EXPECT_EQ(stats.num_sequences, 0u);
+  EXPECT_DOUBLE_EQ(stats.avg_records_per_sequence, 0.0);
+}
+
+}  // namespace
+}  // namespace c2mn

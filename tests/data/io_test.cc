@@ -1,0 +1,122 @@
+#include "data/io.h"
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+namespace c2mn {
+namespace {
+
+Dataset TwoObjectDataset() {
+  Dataset dataset;
+  for (int obj = 0; obj < 2; ++obj) {
+    LabeledSequence ls;
+    ls.sequence.object_id = 100 + obj;
+    for (int i = 0; i < 4; ++i) {
+      ls.sequence.records.push_back(
+          {IndoorPoint(1.5 * i, 2.0 + obj, obj), 10.0 * i});
+      ls.labels.regions.push_back(i % 2);
+      ls.labels.events.push_back(i < 2 ? MobilityEvent::kStay
+                                       : MobilityEvent::kPass);
+    }
+    dataset.sequences.push_back(std::move(ls));
+  }
+  return dataset;
+}
+
+TEST(IoTest, RecordsRoundTrip) {
+  const Dataset original = TwoObjectDataset();
+  std::stringstream csv;
+  io::WriteRecordsCsv(original, &csv);
+  const auto parsed = io::ReadRecordsCsv(&csv);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  const Dataset& back = *parsed;
+  ASSERT_EQ(back.NumSequences(), original.NumSequences());
+  for (size_t s = 0; s < back.NumSequences(); ++s) {
+    ASSERT_EQ(back.sequences[s].size(), original.sequences[s].size());
+    EXPECT_EQ(back.sequences[s].sequence.object_id,
+              original.sequences[s].sequence.object_id);
+    for (size_t i = 0; i < back.sequences[s].size(); ++i) {
+      const auto& a = back.sequences[s].sequence[i];
+      const auto& b = original.sequences[s].sequence[i];
+      EXPECT_NEAR(a.timestamp, b.timestamp, 1e-3);
+      EXPECT_NEAR(a.location.xy.x, b.location.xy.x, 1e-3);
+      EXPECT_EQ(a.location.floor, b.location.floor);
+    }
+  }
+}
+
+TEST(IoTest, LabelsRoundTrip) {
+  const Dataset original = TwoObjectDataset();
+  std::stringstream records, labels;
+  io::WriteRecordsCsv(original, &records);
+  io::WriteLabelsCsv(original, &labels);
+  auto parsed = io::ReadRecordsCsv(&records);
+  ASSERT_TRUE(parsed.ok());
+  Dataset back = std::move(parsed).ValueOrDie();
+  const Status attach = io::AttachLabelsCsv(&labels, &back);
+  ASSERT_TRUE(attach.ok()) << attach.ToString();
+  for (size_t s = 0; s < back.NumSequences(); ++s) {
+    EXPECT_EQ(back.sequences[s].labels.regions,
+              original.sequences[s].labels.regions);
+    for (size_t i = 0; i < back.sequences[s].size(); ++i) {
+      EXPECT_EQ(back.sequences[s].labels.events[i],
+                original.sequences[s].labels.events[i]);
+    }
+  }
+}
+
+TEST(IoTest, MSemanticsCsvHasExpectedRows) {
+  std::stringstream out;
+  io::WriteMSemanticsCsv(
+      {42}, {{{7, 10.0, 30.0, MobilityEvent::kStay, 3}}}, &out);
+  const std::string text = out.str();
+  EXPECT_NE(text.find("object_id,region,t_start,t_end,event,support"),
+            std::string::npos);
+  EXPECT_NE(text.find("42,7,10.000,30.000,stay,3"), std::string::npos);
+}
+
+TEST(IoTest, RejectsMalformedRecords) {
+  std::stringstream bad1("object_id,t,x,y,floor\n1,abc,0,0,0\n");
+  EXPECT_FALSE(io::ReadRecordsCsv(&bad1).ok());
+  std::stringstream bad2("object_id,t,x,y,floor\n1,5,0,0\n");
+  EXPECT_FALSE(io::ReadRecordsCsv(&bad2).ok());
+  std::stringstream empty("");
+  EXPECT_FALSE(io::ReadRecordsCsv(&empty).ok());
+}
+
+TEST(IoTest, RejectsOutOfOrderTimestamps) {
+  std::stringstream bad(
+      "object_id,t,x,y,floor\n1,10,0,0,0\n1,5,1,1,0\n");
+  const auto parsed = io::ReadRecordsCsv(&bad);
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_EQ(parsed.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(IoTest, RejectsMismatchedLabels) {
+  const Dataset original = TwoObjectDataset();
+  std::stringstream records;
+  io::WriteRecordsCsv(original, &records);
+  auto parsed = io::ReadRecordsCsv(&records);
+  Dataset back = std::move(parsed).ValueOrDie();
+  std::stringstream short_labels(
+      "object_id,t,region,event\n100,0.000,1,stay\n");
+  EXPECT_FALSE(io::AttachLabelsCsv(&short_labels, &back).ok());
+  std::stringstream wrong_object(
+      "object_id,t,region,event\n999,0.000,1,stay\n");
+  EXPECT_FALSE(io::AttachLabelsCsv(&wrong_object, &back).ok());
+}
+
+TEST(IoTest, SplitsObjectsOnIdChange) {
+  std::stringstream csv(
+      "object_id,t,x,y,floor\n"
+      "1,0,0,0,0\n1,10,1,1,0\n2,0,5,5,1\n");
+  const auto parsed = io::ReadRecordsCsv(&csv);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->NumSequences(), 2u);
+  EXPECT_EQ(parsed->sequences[1].sequence.object_id, 2);
+  EXPECT_EQ(parsed->sequences[1].sequence[0].location.floor, 1);
+}
+
+}  // namespace
+}  // namespace c2mn

@@ -1,0 +1,114 @@
+#include "data/msemantics.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace c2mn {
+namespace {
+
+PSequence TimedSequence(int n, double step = 10.0) {
+  PSequence seq;
+  for (int i = 0; i < n; ++i) {
+    seq.records.push_back({IndoorPoint(i, 0, 0), i * step});
+  }
+  return seq;
+}
+
+TEST(MergeLabelsTest, PaperFigureTwoExample) {
+  // Fig. 2: regions rA rD rD..rD rD rC..rC rB, events pass stay..stay
+  // pass pass..pass pass -> 5 m-semantics.
+  const PSequence seq = TimedSequence(7);
+  LabelSequence labels;
+  labels.regions = {0, 3, 3, 3, 2, 2, 1};
+  labels.events = {MobilityEvent::kPass, MobilityEvent::kStay,
+                   MobilityEvent::kStay, MobilityEvent::kPass,
+                   MobilityEvent::kPass, MobilityEvent::kPass,
+                   MobilityEvent::kPass};
+  const MSemanticsSequence ms = MergeLabels(seq, labels);
+  ASSERT_EQ(ms.size(), 5u);
+  EXPECT_EQ(ms[0].region, 0);
+  EXPECT_EQ(ms[0].event, MobilityEvent::kPass);
+  EXPECT_EQ(ms[0].support, 1);
+  EXPECT_EQ(ms[1].region, 3);
+  EXPECT_EQ(ms[1].event, MobilityEvent::kStay);
+  EXPECT_EQ(ms[1].support, 2);
+  EXPECT_DOUBLE_EQ(ms[1].t_start, 10.0);
+  EXPECT_DOUBLE_EQ(ms[1].t_end, 20.0);
+  // Same region, different event: separate m-semantics.
+  EXPECT_EQ(ms[2].region, 3);
+  EXPECT_EQ(ms[2].event, MobilityEvent::kPass);
+  EXPECT_EQ(ms[3].region, 2);
+  EXPECT_EQ(ms[3].support, 2);
+  EXPECT_EQ(ms[4].region, 1);
+  EXPECT_TRUE(IsValidMSemanticsSequence(ms, seq));
+}
+
+TEST(MergeLabelsTest, SingleRun) {
+  const PSequence seq = TimedSequence(4);
+  LabelSequence labels(4);
+  for (auto& r : labels.regions) r = 7;
+  for (auto& e : labels.events) e = MobilityEvent::kStay;
+  const auto ms = MergeLabels(seq, labels);
+  ASSERT_EQ(ms.size(), 1u);
+  EXPECT_EQ(ms[0].support, 4);
+  EXPECT_DOUBLE_EQ(ms[0].DurationSeconds(), 30.0);
+}
+
+TEST(MergeLabelsTest, EmptySequence) {
+  EXPECT_TRUE(MergeLabels(PSequence{}, LabelSequence{}).empty());
+}
+
+TEST(ValidityTest, DetectsUnmergedNeighbors) {
+  const PSequence seq = TimedSequence(2);
+  MSemanticsSequence ms = {{5, 0.0, 0.0, MobilityEvent::kStay, 1},
+                           {5, 10.0, 10.0, MobilityEvent::kStay, 1}};
+  EXPECT_FALSE(IsValidMSemanticsSequence(ms, seq));
+  ms[1].event = MobilityEvent::kPass;  // Different event: fine.
+  EXPECT_TRUE(IsValidMSemanticsSequence(ms, seq));
+}
+
+TEST(ValidityTest, DetectsOverlapAndOrder) {
+  const PSequence seq = TimedSequence(4);
+  MSemanticsSequence ms = {{1, 0.0, 20.0, MobilityEvent::kStay, 3},
+                           {2, 15.0, 30.0, MobilityEvent::kPass, 1}};
+  EXPECT_FALSE(IsValidMSemanticsSequence(ms, seq));  // Overlapping periods.
+}
+
+TEST(ValidityTest, DetectsOutOfSpan) {
+  const PSequence seq = TimedSequence(2);  // Span [0, 10].
+  const MSemanticsSequence ms = {{1, 0.0, 11.0, MobilityEvent::kStay, 2}};
+  EXPECT_FALSE(IsValidMSemanticsSequence(ms, seq));
+}
+
+/// Property sweep: merging random labelings always yields a valid
+/// ms-sequence whose supports sum to n and whose semantics alternate.
+class MergeProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(MergeProperty, OutputAlwaysValid) {
+  Rng rng(GetParam() * 13 + 3);
+  const int n = 1 + static_cast<int>(rng.UniformInt(uint64_t{200}));
+  PSequence seq;
+  double t = 0;
+  for (int i = 0; i < n; ++i) {
+    t += rng.Uniform(0.5, 20.0);
+    seq.records.push_back({IndoorPoint(0, 0, 0), t});
+  }
+  LabelSequence labels(n);
+  for (int i = 0; i < n; ++i) {
+    labels.regions[i] = static_cast<RegionId>(rng.UniformInt(uint64_t{4}));
+    labels.events[i] =
+        rng.Bernoulli(0.5) ? MobilityEvent::kStay : MobilityEvent::kPass;
+  }
+  const auto ms = MergeLabels(seq, labels);
+  EXPECT_TRUE(IsValidMSemanticsSequence(ms, seq));
+  int support = 0;
+  for (const MSemantics& m : ms) support += m.support;
+  EXPECT_EQ(support, n);
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomLabelings, MergeProperty,
+                         ::testing::Range(0, 25));
+
+}  // namespace
+}  // namespace c2mn

@@ -1,0 +1,79 @@
+#include "data/preprocess.h"
+
+#include <gtest/gtest.h>
+
+namespace c2mn {
+namespace {
+
+PSequence SequenceWithTimes(const std::vector<double>& times) {
+  PSequence seq;
+  seq.object_id = 42;
+  for (double t : times) seq.records.push_back({IndoorPoint(0, 0, 0), t});
+  return seq;
+}
+
+TEST(SplitByGapTest, NoGapNoSplit) {
+  const PSequence seq = SequenceWithTimes({0, 10, 20, 30});
+  const auto pieces = SplitByGap(seq, 180.0);
+  ASSERT_EQ(pieces.size(), 1u);
+  EXPECT_EQ(pieces[0].size(), 4u);
+  EXPECT_EQ(pieces[0].object_id, 42);
+}
+
+TEST(SplitByGapTest, SplitsAtLargeGaps) {
+  const PSequence seq = SequenceWithTimes({0, 10, 400, 410, 900});
+  const auto pieces = SplitByGap(seq, 180.0);
+  ASSERT_EQ(pieces.size(), 3u);
+  EXPECT_EQ(pieces[0].size(), 2u);
+  EXPECT_EQ(pieces[1].size(), 2u);
+  EXPECT_EQ(pieces[2].size(), 1u);
+}
+
+TEST(SplitByGapTest, LabeledSplitKeepsAlignment) {
+  LabeledSequence ls;
+  ls.sequence = SequenceWithTimes({0, 10, 400, 410});
+  ls.labels.regions = {1, 2, 3, 4};
+  ls.labels.events = {MobilityEvent::kStay, MobilityEvent::kStay,
+                      MobilityEvent::kPass, MobilityEvent::kPass};
+  const auto pieces = SplitByGap(ls, 180.0);
+  ASSERT_EQ(pieces.size(), 2u);
+  EXPECT_TRUE(pieces[0].Consistent());
+  EXPECT_TRUE(pieces[1].Consistent());
+  EXPECT_EQ(pieces[1].labels.regions[0], 3);
+  EXPECT_EQ(pieces[1].labels.events[1], MobilityEvent::kPass);
+}
+
+TEST(PreprocessTest, FiltersShortPieces) {
+  LabeledSequence ls;
+  // Two pieces after split: [0, 100] (short) and [1000, 3000] (long).
+  std::vector<double> times;
+  for (double t = 0; t <= 100; t += 20) times.push_back(t);
+  for (double t = 1000; t <= 3000; t += 20) times.push_back(t);
+  ls.sequence = SequenceWithTimes(times);
+  ls.labels.regions.assign(times.size(), 0);
+  ls.labels.events.assign(times.size(), MobilityEvent::kStay);
+
+  PreprocessOptions opts;
+  opts.max_gap_seconds = 180.0;
+  opts.min_duration_seconds = 1800.0;
+  const auto out = Preprocess({ls}, opts);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_GE(out[0].sequence.Duration(), 1800.0);
+}
+
+TEST(PreprocessTest, EmptyInput) {
+  EXPECT_TRUE(Preprocess({}, PreprocessOptions{}).empty());
+}
+
+TEST(PSequenceTest, DerivedQuantities) {
+  const PSequence seq = SequenceWithTimes({0, 10, 30});
+  EXPECT_DOUBLE_EQ(seq.Duration(), 30.0);
+  EXPECT_TRUE(seq.IsTimeOrdered());
+  EXPECT_NEAR(seq.SamplingRate(), 2.0 / 30.0, 1e-12);
+  const PSequence unordered = SequenceWithTimes({10, 0});
+  EXPECT_FALSE(unordered.IsTimeOrdered());
+  EXPECT_DOUBLE_EQ(PSequence{}.Duration(), 0.0);
+}
+
+}  // namespace
+}  // namespace c2mn

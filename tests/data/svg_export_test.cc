@@ -1,0 +1,68 @@
+#include "data/svg_export.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/test_util.h"
+
+namespace c2mn {
+namespace {
+
+TEST(SvgExportTest, RendersAllPartitionsAndLabels) {
+  const Floorplan plan = testing_util::TinyFloorplan();
+  SvgExporter exporter(plan, 0);
+  const std::string svg = exporter.Render();
+  EXPECT_NE(svg.find("<svg"), std::string::npos);
+  EXPECT_NE(svg.find("</svg>"), std::string::npos);
+  // One polygon per partition on the floor.
+  size_t polygons = 0, pos = 0;
+  while ((pos = svg.find("<polygon", pos)) != std::string::npos) {
+    ++polygons;
+    ++pos;
+  }
+  EXPECT_EQ(polygons, plan.PartitionsOnFloor(0).size());
+  // Region names appear as labels.
+  EXPECT_NE(svg.find(">bottom-0<"), std::string::npos);
+  EXPECT_NE(svg.find(">top-2<"), std::string::npos);
+}
+
+TEST(SvgExportTest, DrawsTrajectoriesWithOffFloorMarks) {
+  const Floorplan plan = testing_util::TinyFloorplan();
+  SvgExporter exporter(plan, 0);
+  PSequence seq;
+  seq.records.push_back({IndoorPoint(5, 4, 0), 0.0});
+  seq.records.push_back({IndoorPoint(15, 10, 0), 10.0});
+  seq.records.push_back({IndoorPoint(25, 16, 3), 20.0});  // False floor.
+  exporter.AddTrajectory(seq);
+  const std::string svg = exporter.Render();
+  EXPECT_NE(svg.find("<polyline"), std::string::npos);
+  // Off-floor record rendered in the alert color.
+  EXPECT_NE(svg.find("#d62728"), std::string::npos);
+}
+
+TEST(SvgExportTest, CustomStyle) {
+  const Floorplan plan = testing_util::TinyFloorplan();
+  SvgExporter exporter(plan, 0);
+  PSequence seq;
+  seq.records.push_back({IndoorPoint(5, 4, 0), 0.0});
+  seq.records.push_back({IndoorPoint(6, 5, 0), 5.0});
+  SvgExporter::TrajectoryStyle style;
+  style.color = "#00ff00";
+  style.width = 1.25;
+  exporter.AddTrajectory(seq, style);
+  const std::string svg = exporter.Render();
+  EXPECT_NE(svg.find("#00ff00"), std::string::npos);
+  EXPECT_NE(svg.find("stroke-width=\"1.25\""), std::string::npos);
+}
+
+TEST(SvgExportTest, MultiFloorBuildingRendersEachFloor) {
+  const Floorplan plan = testing_util::SmallGeneratedBuilding();
+  for (FloorId f = 0; f < plan.num_floors(); ++f) {
+    const std::string svg = SvgExporter(plan, f).Render();
+    EXPECT_NE(svg.find("<svg"), std::string::npos);
+    // Stair connectors are marked in blue on both floors.
+    EXPECT_NE(svg.find("#2c5faa"), std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace c2mn

@@ -1,0 +1,74 @@
+#include "eval/confusion.h"
+
+#include <gtest/gtest.h>
+
+namespace c2mn {
+namespace {
+
+LabelSequence Labels(std::vector<RegionId> regions,
+                     std::vector<MobilityEvent> events) {
+  LabelSequence l;
+  l.regions = std::move(regions);
+  l.events = std::move(events);
+  return l;
+}
+
+constexpr MobilityEvent kS = MobilityEvent::kStay;
+constexpr MobilityEvent kP = MobilityEvent::kPass;
+
+TEST(EventConfusionTest, CountsAndDerivedMetrics) {
+  EventConfusion confusion;
+  confusion.Add(Labels({0, 0, 0, 0}, {kS, kS, kP, kP}),
+                Labels({0, 0, 0, 0}, {kS, kP, kP, kP}));
+  EXPECT_EQ(confusion.counts(kS, kS), 1);
+  EXPECT_EQ(confusion.counts(kS, kP), 1);
+  EXPECT_EQ(confusion.counts(kP, kP), 2);
+  EXPECT_EQ(confusion.counts(kP, kS), 0);
+  EXPECT_DOUBLE_EQ(confusion.Accuracy(), 0.75);
+  EXPECT_DOUBLE_EQ(confusion.Recall(kS), 0.5);
+  EXPECT_DOUBLE_EQ(confusion.Precision(kS), 1.0);
+  EXPECT_DOUBLE_EQ(confusion.Recall(kP), 1.0);
+  EXPECT_DOUBLE_EQ(confusion.Precision(kP), 2.0 / 3.0);
+  EXPECT_NEAR(confusion.F1(kS), 2 * 0.5 / 1.5, 1e-12);
+  EXPECT_EQ(confusion.total(), 4);
+}
+
+TEST(EventConfusionTest, EmptyIsSafe) {
+  EventConfusion confusion;
+  EXPECT_DOUBLE_EQ(confusion.Accuracy(), 0.0);
+  EXPECT_DOUBLE_EQ(confusion.Precision(kS), 0.0);
+  EXPECT_DOUBLE_EQ(confusion.Recall(kP), 0.0);
+}
+
+TEST(EventConfusionTest, RendersMatrix) {
+  EventConfusion confusion;
+  confusion.Add(Labels({0}, {kS}), Labels({0}, {kP}));
+  const std::string s = confusion.ToString();
+  EXPECT_NE(s.find("true stay"), std::string::npos);
+  EXPECT_NE(s.find("pred pass"), std::string::npos);
+}
+
+TEST(RegionConfusionTest, TracksTopConfusedPairs) {
+  RegionConfusion confusion;
+  confusion.Add(Labels({1, 1, 1, 2, 3}, {kS, kS, kS, kS, kS}),
+                Labels({5, 5, 1, 2, 4}, {kS, kS, kS, kS, kS}));
+  EXPECT_EQ(confusion.total(), 5);
+  EXPECT_EQ(confusion.errors(), 3);
+  const auto top = confusion.TopConfusions(2);
+  ASSERT_EQ(top.size(), 2u);
+  EXPECT_EQ(top[0].truth, 1);
+  EXPECT_EQ(top[0].predicted, 5);
+  EXPECT_EQ(top[0].count, 2);
+  EXPECT_EQ(top[1].truth, 3);
+  EXPECT_EQ(top[1].predicted, 4);
+}
+
+TEST(RegionConfusionTest, NoErrors) {
+  RegionConfusion confusion;
+  confusion.Add(Labels({1, 2}, {kS, kP}), Labels({1, 2}, {kP, kS}));
+  EXPECT_EQ(confusion.errors(), 0);  // Regions match; events irrelevant.
+  EXPECT_TRUE(confusion.TopConfusions(5).empty());
+}
+
+}  // namespace
+}  // namespace c2mn

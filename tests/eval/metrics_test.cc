@@ -1,0 +1,87 @@
+#include "eval/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace c2mn {
+namespace {
+
+LabelSequence Labels(std::vector<RegionId> regions,
+                     std::vector<MobilityEvent> events) {
+  LabelSequence l;
+  l.regions = std::move(regions);
+  l.events = std::move(events);
+  return l;
+}
+
+TEST(MetricsTest, HandComputedExample) {
+  // 4 records: regions correct on 3, events correct on 2, both on 2.
+  const LabelSequence truth = Labels(
+      {1, 2, 3, 4}, {MobilityEvent::kStay, MobilityEvent::kStay,
+                     MobilityEvent::kPass, MobilityEvent::kPass});
+  const LabelSequence pred = Labels(
+      {1, 2, 3, 9}, {MobilityEvent::kStay, MobilityEvent::kPass,
+                     MobilityEvent::kStay, MobilityEvent::kPass});
+  AccuracyAccumulator acc(0.7);
+  acc.Add(truth, pred);
+  const AccuracyReport r = acc.Report();
+  EXPECT_DOUBLE_EQ(r.region_accuracy, 0.75);
+  EXPECT_DOUBLE_EQ(r.event_accuracy, 0.5);
+  EXPECT_DOUBLE_EQ(r.combined_accuracy, 0.7 * 0.75 + 0.3 * 0.5);
+  EXPECT_DOUBLE_EQ(r.perfect_accuracy, 0.25);  // Only record 0.
+  EXPECT_EQ(r.num_records, 4u);
+}
+
+TEST(MetricsTest, AccumulatesAcrossSequences) {
+  AccuracyAccumulator acc;
+  acc.Add(Labels({1}, {MobilityEvent::kStay}),
+          Labels({1}, {MobilityEvent::kStay}));
+  acc.Add(Labels({2}, {MobilityEvent::kPass}),
+          Labels({3}, {MobilityEvent::kPass}));
+  const AccuracyReport r = acc.Report();
+  EXPECT_DOUBLE_EQ(r.region_accuracy, 0.5);
+  EXPECT_DOUBLE_EQ(r.event_accuracy, 1.0);
+  EXPECT_EQ(r.num_records, 2u);
+}
+
+TEST(MetricsTest, EmptyReport) {
+  AccuracyAccumulator acc;
+  const AccuracyReport r = acc.Report();
+  EXPECT_EQ(r.num_records, 0u);
+  EXPECT_DOUBLE_EQ(r.region_accuracy, 0.0);
+}
+
+/// Property: PA <= min(RA, EA) and CA = λ RA + (1-λ) EA, on random labels.
+class MetricsProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(MetricsProperty, Invariants) {
+  Rng rng(GetParam() * 61 + 7);
+  const int n = 1 + static_cast<int>(rng.UniformInt(uint64_t{200}));
+  LabelSequence truth(n), pred(n);
+  for (int i = 0; i < n; ++i) {
+    truth.regions[i] = static_cast<RegionId>(rng.UniformInt(uint64_t{5}));
+    pred.regions[i] = static_cast<RegionId>(rng.UniformInt(uint64_t{5}));
+    truth.events[i] =
+        rng.Bernoulli(0.5) ? MobilityEvent::kStay : MobilityEvent::kPass;
+    pred.events[i] =
+        rng.Bernoulli(0.5) ? MobilityEvent::kStay : MobilityEvent::kPass;
+  }
+  const double lambda = rng.Uniform01();
+  AccuracyAccumulator acc(lambda);
+  acc.Add(truth, pred);
+  const AccuracyReport r = acc.Report();
+  EXPECT_LE(r.perfect_accuracy,
+            std::min(r.region_accuracy, r.event_accuracy) + 1e-12);
+  EXPECT_NEAR(r.combined_accuracy,
+              lambda * r.region_accuracy + (1 - lambda) * r.event_accuracy,
+              1e-12);
+  EXPECT_GE(r.perfect_accuracy,
+            r.region_accuracy + r.event_accuracy - 1.0 - 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomLabels, MetricsProperty,
+                         ::testing::Range(0, 20));
+
+}  // namespace
+}  // namespace c2mn

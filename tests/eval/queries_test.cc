@@ -1,0 +1,106 @@
+#include "eval/queries.h"
+
+#include <gtest/gtest.h>
+
+namespace c2mn {
+namespace {
+
+MSemantics Stay(RegionId r, double t0, double t1) {
+  return {r, t0, t1, MobilityEvent::kStay, 1};
+}
+MSemantics Pass(RegionId r, double t0, double t1) {
+  return {r, t0, t1, MobilityEvent::kPass, 1};
+}
+
+AnnotatedCorpus MakeCorpus() {
+  AnnotatedCorpus corpus;
+  // Object 0 stays at 1 twice and at 2 once; passes 3.
+  corpus.Add(0, {Stay(1, 0, 100), Pass(3, 110, 120), Stay(2, 130, 200),
+                 Stay(1, 210, 300)});
+  // Object 1 stays at 1 and 3.
+  corpus.Add(1, {Stay(1, 50, 80), Stay(3, 100, 150)});
+  // Object 2 stays at 2 only, later in time.
+  corpus.Add(2, {Stay(2, 500, 600)});
+  return corpus;
+}
+
+TEST(TkprqTest, CountsStayVisitsInWindow) {
+  const AnnotatedCorpus corpus = MakeCorpus();
+  const std::vector<RegionId> q = {1, 2, 3};
+  const TimeWindow window{0, 400};
+  const auto top = TopKPopularRegions(corpus, q, window, 3);
+  // Visits in [0,400]: region 1 -> 3 (two by obj 0, one by obj 1),
+  // region 2 -> 1, region 3 -> 1 (obj 1's stay; obj 0 only passed).
+  ASSERT_EQ(top.size(), 3u);
+  EXPECT_EQ(top[0], 1);
+  // Tie between 2 and 3 broken by id.
+  EXPECT_EQ(top[1], 2);
+  EXPECT_EQ(top[2], 3);
+}
+
+TEST(TkprqTest, WindowFiltersVisits) {
+  const AnnotatedCorpus corpus = MakeCorpus();
+  const std::vector<RegionId> q = {1, 2, 3};
+  const auto top = TopKPopularRegions(corpus, q, {450, 700}, 3);
+  ASSERT_EQ(top.size(), 1u);
+  EXPECT_EQ(top[0], 2);
+}
+
+TEST(TkprqTest, QuerySetFilters) {
+  const AnnotatedCorpus corpus = MakeCorpus();
+  const auto top = TopKPopularRegions(corpus, {2, 3}, {0, 700}, 5);
+  ASSERT_EQ(top.size(), 2u);
+  EXPECT_EQ(top[0], 2);  // Two visits (obj 0 and obj 2).
+  EXPECT_EQ(top[1], 3);
+}
+
+TEST(TkprqTest, PassesDoNotCount) {
+  AnnotatedCorpus corpus;
+  corpus.Add(0, {Pass(1, 0, 50), Pass(1, 60, 80)});
+  EXPECT_TRUE(TopKPopularRegions(corpus, {1}, {0, 100}, 3).empty());
+}
+
+TEST(TkfrpqTest, CountsCoVisitingObjects) {
+  const AnnotatedCorpus corpus = MakeCorpus();
+  const std::vector<RegionId> q = {1, 2, 3};
+  const auto top = TopKFrequentRegionPairs(corpus, q, {0, 400}, 5);
+  // Object 0 stayed at {1, 2} -> pair (1,2); object 1 at {1, 3} -> (1,3).
+  ASSERT_EQ(top.size(), 2u);
+  EXPECT_EQ(top[0], (std::pair<RegionId, RegionId>{1, 2}));
+  EXPECT_EQ(top[1], (std::pair<RegionId, RegionId>{1, 3}));
+}
+
+TEST(TkfrpqTest, RepeatVisitsCountOncePerObject) {
+  AnnotatedCorpus corpus;
+  corpus.Add(0, {Stay(1, 0, 10), Stay(2, 20, 30), Stay(1, 40, 50),
+                 Stay(2, 60, 70)});
+  const auto top = TopKFrequentRegionPairs(corpus, {1, 2}, {0, 100}, 3);
+  ASSERT_EQ(top.size(), 1u);
+  // Only one object, so count 1, not 4.
+}
+
+TEST(PrecisionTest, RegionOverlap) {
+  EXPECT_DOUBLE_EQ(TopKPrecision({1, 2, 3}, {1, 2, 3}), 1.0);
+  EXPECT_DOUBLE_EQ(TopKPrecision({1, 2, 3}, {1, 5, 6}), 1.0 / 3.0);
+  EXPECT_DOUBLE_EQ(TopKPrecision({1, 2}, {}), 0.0);
+  EXPECT_DOUBLE_EQ(TopKPrecision({}, {}), 1.0);
+}
+
+TEST(PrecisionTest, PairOverlap) {
+  using P = std::pair<RegionId, RegionId>;
+  EXPECT_DOUBLE_EQ(TopKPairPrecision({P{1, 2}, P{2, 3}}, {P{1, 2}, P{3, 4}}),
+                   0.5);
+}
+
+TEST(TimeWindowTest, OverlapEdgeCases) {
+  const TimeWindow w{10, 20};
+  EXPECT_TRUE(w.Overlaps(0, 10));    // Touching start.
+  EXPECT_TRUE(w.Overlaps(20, 30));   // Touching end.
+  EXPECT_TRUE(w.Overlaps(12, 15));   // Inside.
+  EXPECT_TRUE(w.Overlaps(0, 100));   // Covering.
+  EXPECT_FALSE(w.Overlaps(0, 9.9));
+  EXPECT_FALSE(w.Overlaps(20.1, 30));
+}
+
+}  // namespace
+}  // namespace c2mn

@@ -1,0 +1,107 @@
+#include "geometry/circle_overlap.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace c2mn {
+namespace {
+
+constexpr double kPi = 3.14159265358979323846;
+
+TEST(CircleOverlapTest, CircleFullyInsidePolygon) {
+  const Polygon rect = Polygon::Rectangle({0, 0}, {10, 10});
+  const double area = CirclePolygonIntersectionArea({5, 5}, 2.0, rect);
+  EXPECT_NEAR(area, kPi * 4.0, 1e-9);
+  EXPECT_NEAR(CircleCoverageFraction({5, 5}, 2.0, rect), 1.0, 1e-9);
+}
+
+TEST(CircleOverlapTest, PolygonFullyInsideCircle) {
+  const Polygon rect = Polygon::Rectangle({-1, -1}, {1, 1});
+  const double area = CirclePolygonIntersectionArea({0, 0}, 10.0, rect);
+  EXPECT_NEAR(area, 4.0, 1e-9);
+}
+
+TEST(CircleOverlapTest, Disjoint) {
+  const Polygon rect = Polygon::Rectangle({10, 10}, {12, 12});
+  EXPECT_DOUBLE_EQ(CirclePolygonIntersectionArea({0, 0}, 3.0, rect), 0.0);
+}
+
+TEST(CircleOverlapTest, HalfDiskOnEdge) {
+  // Circle centered on the boundary of a huge half-plane-like rectangle.
+  const Polygon rect = Polygon::Rectangle({0, -100}, {100, 100});
+  const double area = CirclePolygonIntersectionArea({0, 0}, 2.0, rect);
+  EXPECT_NEAR(area, 0.5 * kPi * 4.0, 1e-6);
+}
+
+TEST(CircleOverlapTest, QuarterDiskOnCorner) {
+  const Polygon rect = Polygon::Rectangle({0, 0}, {100, 100});
+  const double area = CirclePolygonIntersectionArea({0, 0}, 2.0, rect);
+  EXPECT_NEAR(area, 0.25 * kPi * 4.0, 1e-6);
+}
+
+TEST(CircleOverlapTest, ZeroRadius) {
+  const Polygon rect = Polygon::Rectangle({0, 0}, {1, 1});
+  EXPECT_DOUBLE_EQ(CirclePolygonIntersectionArea({0.5, 0.5}, 0.0, rect), 0.0);
+  EXPECT_DOUBLE_EQ(CircleCoverageFraction({0.5, 0.5}, 0.0, rect), 0.0);
+}
+
+TEST(CircleOverlapTest, NonConvexPolygon) {
+  // L-shape; circle centered on the reflex corner at (2, 2).  Three of the
+  // four quadrants around that corner lie inside the L.
+  const Polygon l({{0, 0}, {4, 0}, {4, 2}, {2, 2}, {2, 4}, {0, 4}});
+  const double area = CirclePolygonIntersectionArea({2, 2}, 1.0, l);
+  EXPECT_NEAR(area, 0.75 * kPi, 1e-6);
+}
+
+/// Property sweep: compare against Monte-Carlo estimation on random
+/// circle/rectangle configurations.
+class OverlapMonteCarlo : public ::testing::TestWithParam<int> {};
+
+TEST_P(OverlapMonteCarlo, MatchesSampling) {
+  Rng rng(GetParam() * 131 + 7);
+  const double x0 = rng.Uniform(-5, 5), y0 = rng.Uniform(-5, 5);
+  const double w = rng.Uniform(1, 8), h = rng.Uniform(1, 8);
+  const Polygon rect = Polygon::Rectangle({x0, y0}, {x0 + w, y0 + h});
+  const Vec2 c{rng.Uniform(-8, 8), rng.Uniform(-8, 8)};
+  const double r = rng.Uniform(0.5, 5.0);
+
+  const double exact = CirclePolygonIntersectionArea(c, r, rect);
+
+  const int samples = 60000;
+  int hits = 0;
+  for (int i = 0; i < samples; ++i) {
+    // Uniform point in the disk.
+    const double angle = rng.Uniform(0, 2 * kPi);
+    const double radius = r * std::sqrt(rng.Uniform01());
+    const Vec2 p{c.x + radius * std::cos(angle),
+                 c.y + radius * std::sin(angle)};
+    if (rect.Contains(p)) ++hits;
+  }
+  const double estimate =
+      kPi * r * r * static_cast<double>(hits) / samples;
+  // Monte-Carlo tolerance: ~4 standard errors.
+  const double tol = 4.0 * kPi * r * r / std::sqrt(samples) + 1e-6;
+  EXPECT_NEAR(exact, estimate, tol);
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomConfigs, OverlapMonteCarlo,
+                         ::testing::Range(0, 20));
+
+TEST(CircleOverlapTest, MonotonicInRadius) {
+  const Polygon rect = Polygon::Rectangle({0, 0}, {6, 4});
+  double prev = 0.0;
+  for (double r = 0.5; r < 12.0; r += 0.5) {
+    const double area = CirclePolygonIntersectionArea({3, 1}, r, rect);
+    EXPECT_GE(area, prev - 1e-9);
+    EXPECT_LE(area, rect.Area() + 1e-9);
+    prev = area;
+  }
+  // Saturates at the polygon area for large radii.
+  EXPECT_NEAR(prev, rect.Area(), 1e-6);
+}
+
+}  // namespace
+}  // namespace c2mn

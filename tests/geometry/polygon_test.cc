@@ -1,0 +1,115 @@
+#include "geometry/polygon.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace c2mn {
+namespace {
+
+TEST(BoundingBoxTest, ExtendAndContains) {
+  BoundingBox box;
+  box.Extend({1, 2});
+  box.Extend({3, -1});
+  EXPECT_TRUE(box.Contains({2, 0}));
+  EXPECT_FALSE(box.Contains({4, 0}));
+  EXPECT_DOUBLE_EQ(box.Area(), 2.0 * 3.0);
+}
+
+TEST(BoundingBoxTest, IntersectsAndDistance) {
+  BoundingBox a;
+  a.Extend({0, 0});
+  a.Extend({2, 2});
+  BoundingBox b;
+  b.Extend({1, 1});
+  b.Extend({3, 3});
+  EXPECT_TRUE(a.Intersects(b));
+  BoundingBox c;
+  c.Extend({5, 0});
+  c.Extend({6, 1});
+  EXPECT_FALSE(a.Intersects(c));
+  EXPECT_DOUBLE_EQ(a.Distance({3, 0}), 1.0);
+  EXPECT_DOUBLE_EQ(a.Distance({1, 1}), 0.0);
+  EXPECT_DOUBLE_EQ(a.Distance({3, 3}), std::sqrt(2.0));
+}
+
+TEST(PolygonTest, RectangleAreaAndCentroid) {
+  const Polygon rect = Polygon::Rectangle({0, 0}, {4, 2});
+  EXPECT_DOUBLE_EQ(rect.Area(), 8.0);
+  EXPECT_DOUBLE_EQ(rect.Centroid().x, 2.0);
+  EXPECT_DOUBLE_EQ(rect.Centroid().y, 1.0);
+}
+
+TEST(PolygonTest, OrientationNormalizedToCcw) {
+  // Clockwise input gets reversed; area stays positive.
+  const Polygon p({{0, 0}, {0, 2}, {2, 2}, {2, 0}});
+  EXPECT_DOUBLE_EQ(p.Area(), 4.0);
+  EXPECT_GT(SignedArea(p.vertices()), 0.0);
+}
+
+TEST(PolygonTest, ContainsInteriorBoundaryExterior) {
+  const Polygon rect = Polygon::Rectangle({0, 0}, {4, 2});
+  EXPECT_TRUE(rect.Contains({2, 1}));
+  EXPECT_TRUE(rect.Contains({0, 0}));   // Corner.
+  EXPECT_TRUE(rect.Contains({2, 0}));   // Edge.
+  EXPECT_FALSE(rect.Contains({5, 1}));
+  EXPECT_FALSE(rect.Contains({2, 3}));
+}
+
+TEST(PolygonTest, NonConvexContains) {
+  // L-shaped polygon.
+  const Polygon l({{0, 0}, {4, 0}, {4, 2}, {2, 2}, {2, 4}, {0, 4}});
+  EXPECT_TRUE(l.Contains({1, 3}));
+  EXPECT_TRUE(l.Contains({3, 1}));
+  EXPECT_FALSE(l.Contains({3, 3}));
+  EXPECT_DOUBLE_EQ(l.Area(), 12.0);
+}
+
+TEST(PolygonTest, DistanceOutside) {
+  const Polygon rect = Polygon::Rectangle({0, 0}, {4, 2});
+  EXPECT_DOUBLE_EQ(rect.Distance({6, 1}), 2.0);
+  EXPECT_DOUBLE_EQ(rect.Distance({2, 1}), 0.0);
+  EXPECT_NEAR(rect.Distance({5, 3}), std::sqrt(2.0), 1e-12);
+}
+
+TEST(PointSegmentDistanceTest, Cases) {
+  EXPECT_DOUBLE_EQ(PointSegmentDistance({0, 1}, {-1, 0}, {1, 0}), 1.0);
+  EXPECT_DOUBLE_EQ(PointSegmentDistance({3, 0}, {-1, 0}, {1, 0}), 2.0);
+  EXPECT_DOUBLE_EQ(PointSegmentDistance({0, 0}, {0, 0}, {0, 0}), 0.0);
+}
+
+TEST(Vec2Test, Arithmetic) {
+  const Vec2 a{1, 2}, b{3, -1};
+  EXPECT_EQ((a + b), Vec2(4, 1));
+  EXPECT_EQ((a - b), Vec2(-2, 3));
+  EXPECT_EQ((a * 2.0), Vec2(2, 4));
+  EXPECT_DOUBLE_EQ(Dot(a, b), 1.0);
+  EXPECT_DOUBLE_EQ(Cross(a, b), -7.0);
+  EXPECT_DOUBLE_EQ(Distance(a, b), std::sqrt(4.0 + 9.0));
+}
+
+/// Property sweep: random rectangles — centroid inside, sampled points
+/// classified consistently with coordinates.
+class RectangleProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(RectangleProperty, ContainsMatchesCoordinates) {
+  Rng rng(GetParam() * 977 + 1);
+  const double x0 = rng.Uniform(-50, 50), y0 = rng.Uniform(-50, 50);
+  const double w = rng.Uniform(0.5, 30), h = rng.Uniform(0.5, 30);
+  const Polygon rect = Polygon::Rectangle({x0, y0}, {x0 + w, y0 + h});
+  EXPECT_NEAR(rect.Area(), w * h, 1e-9);
+  EXPECT_TRUE(rect.Contains(rect.Centroid()));
+  for (int i = 0; i < 50; ++i) {
+    const Vec2 p{rng.Uniform(x0 - 10, x0 + w + 10),
+                 rng.Uniform(y0 - 10, y0 + h + 10)};
+    const bool expected =
+        p.x >= x0 && p.x <= x0 + w && p.y >= y0 && p.y <= y0 + h;
+    EXPECT_EQ(rect.Contains(p), expected) << p.x << "," << p.y;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomRects, RectangleProperty,
+                         ::testing::Range(0, 20));
+
+}  // namespace
+}  // namespace c2mn

@@ -1,0 +1,54 @@
+#include "geometry/turns.h"
+
+#include <gtest/gtest.h>
+
+namespace c2mn {
+namespace {
+
+TEST(TurnsTest, StraightLineIsNotTurn) {
+  EXPECT_FALSE(IsTurn({0, 0}, {1, 0}, {2, 0}));
+  EXPECT_FALSE(IsTurn({0, 0}, {1, 1}, {2, 2}));
+}
+
+TEST(TurnsTest, RightAngleIsNotTurnAtDefaultThreshold) {
+  // Footnote 4: a turn requires the heading change to *exceed* 90°.
+  EXPECT_FALSE(IsTurn({0, 0}, {1, 0}, {1, 1}));
+}
+
+TEST(TurnsTest, UTurnIsTurn) {
+  EXPECT_TRUE(IsTurn({0, 0}, {1, 0}, {0, 0}));
+  EXPECT_TRUE(IsTurn({0, 0}, {2, 0}, {1, 0.1}));
+}
+
+TEST(TurnsTest, ObtuseHeadingChangeIsTurn) {
+  // Heading change of 135 degrees.
+  EXPECT_TRUE(IsTurn({0, 0}, {1, 0}, {0, 1}));
+}
+
+TEST(TurnsTest, CustomThreshold) {
+  // 45-degree change: a turn only for low thresholds.
+  EXPECT_FALSE(IsTurn({0, 0}, {1, 0}, {2, 1}, 90.0));
+  EXPECT_TRUE(IsTurn({0, 0}, {1, 0}, {2, 1}, 30.0));
+}
+
+TEST(TurnsTest, DegenerateLegsAreNotTurns) {
+  EXPECT_FALSE(IsTurn({1, 1}, {1, 1}, {2, 2}));
+  EXPECT_FALSE(IsTurn({0, 0}, {2, 2}, {2, 2}));
+}
+
+TEST(CountTurnsTest, CountsAlongPath) {
+  // Zig-zag with sharp reversals.
+  const std::vector<Vec2> path = {{0, 0}, {1, 0}, {0, 0.1}, {1, 0.2}, {0, 0.3}};
+  EXPECT_EQ(CountTurns(path), 3);
+  const std::vector<Vec2> straight = {{0, 0}, {1, 0}, {2, 0}, {3, 0}};
+  EXPECT_EQ(CountTurns(straight), 0);
+}
+
+TEST(CountTurnsTest, ShortPathsHaveNoTurns) {
+  EXPECT_EQ(CountTurns({}), 0);
+  EXPECT_EQ(CountTurns({{0, 0}}), 0);
+  EXPECT_EQ(CountTurns({{0, 0}, {1, 1}}), 0);
+}
+
+}  // namespace
+}  // namespace c2mn

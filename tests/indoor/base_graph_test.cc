@@ -1,0 +1,100 @@
+#include "indoor/base_graph.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "tests/test_util.h"
+
+namespace c2mn {
+namespace {
+
+TEST(BaseGraphTest, AdjacencyFollowsSharedPartitions) {
+  const Floorplan plan = testing_util::TinyFloorplan();
+  BaseGraph graph(plan);
+  EXPECT_EQ(graph.num_doors(), plan.doors().size());
+  // All six doors open into the single corridor, so every door should be
+  // adjacent to the other five.
+  for (DoorId d = 0; d < static_cast<DoorId>(graph.num_doors()); ++d) {
+    EXPECT_EQ(graph.Neighbors(d).size(), 5u);
+  }
+}
+
+TEST(BaseGraphTest, EdgeWeightsAreCorridorDistances) {
+  const Floorplan plan = testing_util::TinyFloorplan();
+  BaseGraph graph(plan);
+  // Doors of bottom-0 (x=5, y=8) and bottom-1 (x=15, y=8): straight-line
+  // distance inside the corridor is 10.
+  for (const BaseGraph::Edge& e : graph.Neighbors(0)) {
+    const Door& to = plan.door(e.to);
+    const Door& from = plan.door(0);
+    const double expected =
+        Distance(from.position_a.xy, to.position_a.xy);
+    EXPECT_NEAR(e.weight, expected, 1e-12);
+  }
+}
+
+TEST(BaseGraphTest, DijkstraSelfDistanceZero) {
+  const Floorplan plan = testing_util::TinyFloorplan();
+  BaseGraph graph(plan);
+  const auto dist = graph.Dijkstra(0);
+  EXPECT_DOUBLE_EQ(dist[0], 0.0);
+  for (double d : dist) EXPECT_TRUE(std::isfinite(d));
+}
+
+TEST(BaseGraphTest, AllPairsSymmetricAndTriangle) {
+  const Floorplan plan = testing_util::SmallGeneratedBuilding();
+  BaseGraph graph(plan);
+  graph.ComputeAllPairs();
+  const int nd = static_cast<int>(graph.num_doors());
+  for (int a = 0; a < nd; ++a) {
+    EXPECT_DOUBLE_EQ(graph.DoorDistance(a, a), 0.0);
+    for (int b = a + 1; b < nd; ++b) {
+      EXPECT_NEAR(graph.DoorDistance(a, b), graph.DoorDistance(b, a), 1e-9);
+    }
+  }
+  // Triangle inequality over a sample of triples.
+  Rng rng(4);
+  for (int i = 0; i < 200; ++i) {
+    const int a = static_cast<int>(rng.UniformInt(uint64_t(nd)));
+    const int b = static_cast<int>(rng.UniformInt(uint64_t(nd)));
+    const int c = static_cast<int>(rng.UniformInt(uint64_t(nd)));
+    EXPECT_LE(graph.DoorDistance(a, c),
+              graph.DoorDistance(a, b) + graph.DoorDistance(b, c) + 1e-9);
+  }
+}
+
+TEST(BaseGraphTest, StairDoorsChargeTraversalCost) {
+  // Two rooms on two floors joined by one stair door: the door-to-door
+  // distance between the rooms' own doors must include the stair length.
+  FloorplanBuilder builder;
+  const PartitionId r0 = builder.AddPartition(
+      0, PartitionKind::kRoom, Polygon::Rectangle({0, 0}, {4, 4}));
+  const PartitionId s0 = builder.AddPartition(
+      0, PartitionKind::kStaircase, Polygon::Rectangle({4, 0}, {6, 4}));
+  const PartitionId s1 = builder.AddPartition(
+      1, PartitionKind::kStaircase, Polygon::Rectangle({4, 0}, {6, 4}));
+  const PartitionId r1 = builder.AddPartition(
+      1, PartitionKind::kRoom, Polygon::Rectangle({0, 0}, {4, 4}));
+  const DoorId d0 = builder.AddDoor(r0, s0, {4, 2});
+  const DoorId stair = builder.AddStairDoor(s0, s1, {5, 2}, 12.0);
+  const DoorId d1 = builder.AddDoor(s1, r1, {4, 2});
+  (void)stair;
+  const Floorplan plan = std::move(builder.Build()).ValueOrDie();
+  BaseGraph graph(plan);
+  graph.ComputeAllPairs();
+  // d0 -> stair (1 m inside s0 + half cost 6) -> d1 (half cost 6 + 1 m
+  // inside s1) = 14.
+  EXPECT_NEAR(graph.DoorDistance(d0, d1), 1.0 + 6.0 + 6.0 + 1.0, 1e-9);
+}
+
+TEST(BaseGraphTest, AllPairsBytesReported) {
+  const Floorplan plan = testing_util::TinyFloorplan();
+  BaseGraph graph(plan);
+  EXPECT_EQ(graph.AllPairsBytes(), 0u);
+  graph.ComputeAllPairs();
+  EXPECT_EQ(graph.AllPairsBytes(),
+            graph.num_doors() * graph.num_doors() * sizeof(double));
+}
+
+}  // namespace
+}  // namespace c2mn

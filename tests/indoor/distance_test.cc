@@ -1,0 +1,121 @@
+#include "indoor/distance.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "tests/test_util.h"
+
+namespace c2mn {
+namespace {
+
+class DistanceOracleTest : public ::testing::Test {
+ protected:
+  DistanceOracleTest()
+      : plan_(testing_util::TinyFloorplan()),
+        graph_(plan_),
+        index_(plan_),
+        oracle_(plan_, &graph_, &index_) {}
+
+  Floorplan plan_;
+  BaseGraph graph_;
+  RegionIndex index_;
+  DistanceOracle oracle_;
+};
+
+TEST_F(DistanceOracleTest, SamePartitionIsEuclidean) {
+  const IndoorPoint p(2, 2, 0), q(8, 6, 0);  // Both in bottom room 0.
+  EXPECT_NEAR(oracle_.PointToPoint(p, q), Distance(p.xy, q.xy), 1e-12);
+}
+
+TEST_F(DistanceOracleTest, CrossRoomGoesThroughDoors) {
+  // bottom-0 (door at (5,8)) to bottom-1 (door at (15,8)).
+  const IndoorPoint p(5, 4, 0), q(15, 4, 0);
+  const double expected = 4.0 + 10.0 + 4.0;  // Up to door, corridor, down.
+  EXPECT_NEAR(oracle_.PointToPoint(p, q), expected, 1e-9);
+}
+
+TEST_F(DistanceOracleTest, RoomToCorridorUsesSharedDoor) {
+  const IndoorPoint p(5, 4, 0);        // Bottom room 0.
+  const IndoorPoint q(5, 10, 0);       // Corridor above its door.
+  EXPECT_NEAR(oracle_.PointToPoint(p, q), 4.0 + 2.0, 1e-9);
+}
+
+TEST_F(DistanceOracleTest, SymmetricOnRandomPoints) {
+  Rng rng(8);
+  for (int i = 0; i < 100; ++i) {
+    const IndoorPoint p(rng.Uniform(0, 30), rng.Uniform(0, 20), 0);
+    const IndoorPoint q(rng.Uniform(0, 30), rng.Uniform(0, 20), 0);
+    EXPECT_NEAR(oracle_.PointToPoint(p, q), oracle_.PointToPoint(q, p),
+                1e-9);
+  }
+}
+
+TEST_F(DistanceOracleTest, MiwdAtLeastEuclidean) {
+  Rng rng(9);
+  for (int i = 0; i < 100; ++i) {
+    const IndoorPoint p(rng.Uniform(0, 30), rng.Uniform(0, 20), 0);
+    const IndoorPoint q(rng.Uniform(0, 30), rng.Uniform(0, 20), 0);
+    EXPECT_GE(oracle_.PointToPoint(p, q), Distance(p.xy, q.xy) - 1e-9);
+  }
+}
+
+TEST_F(DistanceOracleTest, SnapsOutsidePointsToNearestPartition) {
+  // Slightly outside the building envelope.
+  const IndoorPoint p(-1, 4, 0);
+  const IndoorPoint q(5, 4, 0);
+  const double d = oracle_.PointToPoint(p, q);
+  EXPECT_TRUE(std::isfinite(d));
+  EXPECT_GT(d, 0.0);
+}
+
+TEST_F(DistanceOracleTest, RegionMatrixBasicProperties) {
+  const size_t nr = plan_.regions().size();
+  for (size_t a = 0; a < nr; ++a) {
+    EXPECT_DOUBLE_EQ(oracle_.RegionToRegion(a, a), 0.0);
+    for (size_t b = a + 1; b < nr; ++b) {
+      EXPECT_NEAR(oracle_.RegionToRegion(a, b), oracle_.RegionToRegion(b, a),
+                  1e-9);
+      EXPECT_GT(oracle_.RegionToRegion(a, b), 0.0);
+    }
+  }
+  EXPECT_GT(oracle_.max_region_distance(), 0.0);
+}
+
+TEST_F(DistanceOracleTest, RegionDistanceMatchesCentroidWalk) {
+  // Single-partition regions: the expected distance equals the centroid
+  // MIWD.
+  const RegionId a = plan_.RegionAt(IndoorPoint(5, 4, 0));
+  const RegionId b = plan_.RegionAt(IndoorPoint(25, 4, 0));
+  const IndoorPoint ca = plan_.region(a).centroid;
+  const IndoorPoint cb = plan_.region(b).centroid;
+  EXPECT_NEAR(oracle_.RegionToRegion(a, b), oracle_.PointToPoint(ca, cb),
+              1e-9);
+}
+
+TEST_F(DistanceOracleTest, AdjacentRoomsFartherThanAcrossCorridor) {
+  // Walking to the room directly across the corridor (door x aligned) is
+  // shorter than to the diagonal neighbor two rooms away.
+  const RegionId bottom0 = plan_.RegionAt(IndoorPoint(5, 4, 0));
+  const RegionId top0 = plan_.RegionAt(IndoorPoint(5, 16, 0));
+  const RegionId bottom2 = plan_.RegionAt(IndoorPoint(25, 4, 0));
+  EXPECT_LT(oracle_.RegionToRegion(bottom0, top0),
+            oracle_.RegionToRegion(bottom0, bottom2));
+}
+
+TEST(DistanceOracleMultiFloorTest, CrossFloorChargesStairs) {
+  const Floorplan plan = testing_util::SmallGeneratedBuilding();
+  BaseGraph graph(plan);
+  RegionIndex index(plan);
+  DistanceOracle oracle(plan, &graph, &index);
+  // Any point on floor 0 to a point directly above on floor 1 must cost at
+  // least the stair traversal.
+  const IndoorPoint p(8, 3, 0);
+  const IndoorPoint q(8, 3, 1);
+  const double d = oracle.PointToPoint(p, q);
+  EXPECT_TRUE(std::isfinite(d));
+  BuildingConfig config;
+  EXPECT_GE(d, config.stair_traversal_cost);
+}
+
+}  // namespace
+}  // namespace c2mn

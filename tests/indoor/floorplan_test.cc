@@ -1,0 +1,141 @@
+#include "indoor/floorplan.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/test_util.h"
+
+namespace c2mn {
+namespace {
+
+TEST(FloorplanBuilderTest, BuildsTinyPlan) {
+  const Floorplan plan = testing_util::TinyFloorplan();
+  EXPECT_EQ(plan.partitions().size(), 7u);  // Corridor + 6 rooms.
+  EXPECT_EQ(plan.doors().size(), 6u);
+  EXPECT_EQ(plan.regions().size(), 6u);
+  EXPECT_EQ(plan.num_floors(), 1);
+}
+
+TEST(FloorplanBuilderTest, RejectsEmptyPlan) {
+  FloorplanBuilder builder;
+  EXPECT_FALSE(builder.Build().ok());
+}
+
+TEST(FloorplanBuilderTest, RejectsOverlappingRegions) {
+  FloorplanBuilder builder;
+  const PartitionId a = builder.AddPartition(
+      0, PartitionKind::kRoom, Polygon::Rectangle({0, 0}, {1, 1}));
+  builder.AddRegion("r1", {a});
+  builder.AddRegion("r2", {a});
+  const auto result = builder.Build();
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(FloorplanBuilderTest, RejectsEmptyRegion) {
+  FloorplanBuilder builder;
+  builder.AddPartition(0, PartitionKind::kRoom,
+                       Polygon::Rectangle({0, 0}, {1, 1}));
+  builder.AddRegion("empty", {});
+  EXPECT_FALSE(builder.Build().ok());
+}
+
+TEST(FloorplanBuilderTest, RejectsLevelDoorAcrossFloors) {
+  FloorplanBuilder builder;
+  const PartitionId a = builder.AddPartition(
+      0, PartitionKind::kRoom, Polygon::Rectangle({0, 0}, {1, 1}));
+  const PartitionId b = builder.AddPartition(
+      1, PartitionKind::kRoom, Polygon::Rectangle({0, 0}, {1, 1}));
+  builder.AddDoor(a, b, {0.5, 0.5});
+  EXPECT_FALSE(builder.Build().ok());
+}
+
+TEST(FloorplanBuilderTest, AcceptsStairDoorAcrossAdjacentFloors) {
+  FloorplanBuilder builder;
+  const PartitionId a = builder.AddPartition(
+      0, PartitionKind::kStaircase, Polygon::Rectangle({0, 0}, {1, 1}));
+  const PartitionId b = builder.AddPartition(
+      1, PartitionKind::kStaircase, Polygon::Rectangle({0, 0}, {1, 1}));
+  builder.AddStairDoor(a, b, {0.5, 0.5}, 10.0);
+  builder.AddRegion("r", {a});
+  const auto result = builder.Build();
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result.ValueOrDie().num_floors(), 2);
+}
+
+TEST(FloorplanTest, PartitionAndRegionLookup) {
+  const Floorplan plan = testing_util::TinyFloorplan();
+  // (5, 4) is inside bottom room 0.
+  const PartitionId pid = plan.PartitionAt(IndoorPoint(5, 4, 0));
+  ASSERT_NE(pid, kInvalidId);
+  EXPECT_EQ(plan.partition(pid).kind, PartitionKind::kRoom);
+  const RegionId rid = plan.RegionAt(IndoorPoint(5, 4, 0));
+  ASSERT_NE(rid, kInvalidId);
+  EXPECT_EQ(plan.region(rid).name, "bottom-0");
+
+  // Corridor point has no semantic region.
+  EXPECT_EQ(plan.RegionAt(IndoorPoint(15, 10, 0)), kInvalidId);
+  // Outside the building.
+  EXPECT_EQ(plan.PartitionAt(IndoorPoint(100, 100, 0)), kInvalidId);
+  // Wrong floor.
+  EXPECT_EQ(plan.PartitionAt(IndoorPoint(5, 4, 3)), kInvalidId);
+}
+
+TEST(FloorplanTest, RegionDerivedFields) {
+  const Floorplan plan = testing_util::TinyFloorplan();
+  const SemanticRegion& region = plan.region(0);
+  EXPECT_DOUBLE_EQ(region.area, 80.0);  // 10 x 8 room.
+  EXPECT_TRUE(plan.partition(region.partitions[0])
+                  .shape.Contains(region.centroid.xy));
+}
+
+TEST(FloorplanTest, DistanceToRegionOnFloor) {
+  const Floorplan plan = testing_util::TinyFloorplan();
+  // Corridor point (5, 10): bottom-0 room top edge is at y=8.
+  const RegionId bottom0 = plan.RegionAt(IndoorPoint(5, 4, 0));
+  EXPECT_DOUBLE_EQ(
+      plan.DistanceToRegionOnFloor(IndoorPoint(5, 10, 0), bottom0), 2.0);
+  // Inside gives zero.
+  EXPECT_DOUBLE_EQ(
+      plan.DistanceToRegionOnFloor(IndoorPoint(5, 4, 0), bottom0), 0.0);
+  // Wrong floor: infinite.
+  EXPECT_GT(plan.DistanceToRegionOnFloor(IndoorPoint(5, 4, 1), bottom0),
+            1e200);
+}
+
+TEST(FloorplanTest, DoorBookkeeping) {
+  const Floorplan plan = testing_util::TinyFloorplan();
+  for (const Door& door : plan.doors()) {
+    // Both endpoints list this door.
+    const auto& da = plan.partition(door.partition_a).doors;
+    const auto& db = plan.partition(door.partition_b).doors;
+    EXPECT_NE(std::find(da.begin(), da.end(), door.id), da.end());
+    EXPECT_NE(std::find(db.begin(), db.end(), door.id), db.end());
+    EXPECT_EQ(door.Opposite(door.partition_a), door.partition_b);
+    EXPECT_EQ(door.Opposite(door.partition_b), door.partition_a);
+    EXPECT_FALSE(door.IsInterFloor());
+  }
+}
+
+TEST(GeneratedBuildingTest, StructureIsValid) {
+  const Floorplan plan = testing_util::SmallGeneratedBuilding();
+  EXPECT_EQ(plan.num_floors(), 2);
+  EXPECT_GT(plan.regions().size(), 0u);
+  // Every room has at least one door.
+  for (const Partition& part : plan.partitions()) {
+    if (part.kind == PartitionKind::kRoom) {
+      EXPECT_FALSE(part.doors.empty()) << "room " << part.id;
+    }
+  }
+  // There is at least one inter-floor connector.
+  bool has_stair_door = false;
+  for (const Door& door : plan.doors()) {
+    if (door.IsInterFloor()) {
+      has_stair_door = true;
+      EXPECT_GT(door.traversal_cost, 0.0);
+    }
+  }
+  EXPECT_TRUE(has_stair_door);
+}
+
+}  // namespace
+}  // namespace c2mn

@@ -1,0 +1,88 @@
+#include "indoor/region_index.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "tests/test_util.h"
+
+namespace c2mn {
+namespace {
+
+TEST(RegionIndexTest, MatchesFloorplanLookups) {
+  const Floorplan plan = testing_util::SmallGeneratedBuilding();
+  const RegionIndex index(plan);
+  Rng rng(21);
+  for (int i = 0; i < 500; ++i) {
+    const IndoorPoint p(rng.Uniform(-5, 80), rng.Uniform(-5, 40),
+                        static_cast<FloorId>(rng.UniformInt(uint64_t{2})));
+    EXPECT_EQ(index.PartitionAt(p), plan.PartitionAt(p));
+    EXPECT_EQ(index.RegionAt(p), plan.RegionAt(p));
+  }
+}
+
+TEST(RegionIndexTest, InvalidFloorGivesNothing) {
+  const Floorplan plan = testing_util::TinyFloorplan();
+  const RegionIndex index(plan);
+  EXPECT_EQ(index.PartitionAt(IndoorPoint(5, 5, -1)), kInvalidId);
+  EXPECT_EQ(index.PartitionAt(IndoorPoint(5, 5, 9)), kInvalidId);
+  EXPECT_TRUE(index.NearestRegions(IndoorPoint(5, 5, 9), 3).empty());
+}
+
+TEST(RegionIndexTest, NearestRegionsOrderedAndDistinct) {
+  const Floorplan plan = testing_util::TinyFloorplan();
+  const RegionIndex index(plan);
+  // From the corridor center, all six rooms are candidates.
+  const auto nearest = index.NearestRegions(IndoorPoint(15, 10, 0), 6);
+  ASSERT_EQ(nearest.size(), 6u);
+  for (size_t i = 1; i < nearest.size(); ++i) {
+    EXPECT_GE(nearest[i].distance, nearest[i - 1].distance - 1e-12);
+  }
+  std::set<RegionId> distinct;
+  for (const auto& rd : nearest) distinct.insert(rd.region);
+  EXPECT_EQ(distinct.size(), 6u);
+  // The two rooms flanking the corridor at x=15 are nearest (distance 2 to
+  // either side at y in [8,12]).
+  EXPECT_NEAR(nearest[0].distance, 2.0, 1e-12);
+}
+
+TEST(RegionIndexTest, NearestRegionsMatchBruteForce) {
+  const Floorplan plan = testing_util::SmallGeneratedBuilding();
+  const RegionIndex index(plan);
+  Rng rng(22);
+  for (int i = 0; i < 100; ++i) {
+    const IndoorPoint p(rng.Uniform(0, 80), rng.Uniform(0, 40),
+                        static_cast<FloorId>(rng.UniformInt(uint64_t{2})));
+    const auto nearest = index.NearestRegions(p, 3);
+    // Brute force.
+    std::vector<std::pair<double, RegionId>> all;
+    for (const SemanticRegion& region : plan.regions()) {
+      const double d = plan.DistanceToRegionOnFloor(p, region.id);
+      if (d < 1e290) all.emplace_back(d, region.id);
+    }
+    std::sort(all.begin(), all.end());
+    ASSERT_EQ(nearest.size(), std::min<size_t>(3, all.size()));
+    for (size_t k = 0; k < nearest.size(); ++k) {
+      EXPECT_NEAR(nearest[k].distance, all[k].first, 1e-9);
+    }
+  }
+}
+
+TEST(RegionIndexTest, MaxDistanceCutoff) {
+  const Floorplan plan = testing_util::TinyFloorplan();
+  const RegionIndex index(plan);
+  const auto near_only = index.NearestRegions(IndoorPoint(15, 10, 0), 6, 2.5);
+  // Only the two rooms whose walls are 2 m away qualify.
+  EXPECT_EQ(near_only.size(), 2u);
+}
+
+TEST(RegionIndexTest, InsideRegionHasZeroDistance) {
+  const Floorplan plan = testing_util::TinyFloorplan();
+  const RegionIndex index(plan);
+  const auto nearest = index.NearestRegions(IndoorPoint(5, 4, 0), 1);
+  ASSERT_EQ(nearest.size(), 1u);
+  EXPECT_DOUBLE_EQ(nearest[0].distance, 0.0);
+  EXPECT_EQ(nearest[0].region, index.RegionAt(IndoorPoint(5, 4, 0)));
+}
+
+}  // namespace
+}  // namespace c2mn

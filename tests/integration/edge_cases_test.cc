@@ -1,0 +1,156 @@
+// Failure-injection and degenerate-input tests: the annotation pipeline
+// must stay well-defined on pathological sequences that real positioning
+// systems produce — single fixes, stuck reporters, extreme outliers,
+// wrong floors, and bursts of duplicate timestamps.
+
+#include <gtest/gtest.h>
+
+#include "core/online_annotator.h"
+#include "core/trainer.h"
+#include "eval/harness.h"
+#include "tests/test_util.h"
+
+namespace c2mn {
+namespace {
+
+class EdgeCasesTest : public ::testing::Test {
+ protected:
+  EdgeCasesTest() : scenario_(testing_util::SmallMallScenario()) {
+    Rng rng(7);
+    split_ = SplitDataset(scenario_.dataset, 0.7, &rng);
+    TrainOptions topts;
+    topts.max_iter = 8;
+    topts.mcmc_samples = 10;
+    AlternateTrainer trainer(*scenario_.world, FeatureOptions{},
+                             C2mnStructure{}, topts);
+    weights_ = trainer.Train(split_.train).weights;
+  }
+
+  C2mnAnnotator MakeAnnotator() const {
+    return C2mnAnnotator(*scenario_.world, FeatureOptions{}, C2mnStructure{},
+                         weights_);
+  }
+
+  const Scenario& scenario_;
+  TrainTestSplit split_;
+  std::vector<double> weights_;
+};
+
+TEST_F(EdgeCasesTest, SingleRecordSequence) {
+  PSequence seq;
+  seq.records.push_back({IndoorPoint(20, 20, 0), 100.0});
+  const LabelSequence labels = MakeAnnotator().Annotate(seq);
+  ASSERT_EQ(labels.size(), 1u);
+  EXPECT_NE(labels.regions[0], kInvalidId);
+  const MSemanticsSequence ms = MergeLabels(seq, labels);
+  ASSERT_EQ(ms.size(), 1u);
+  EXPECT_EQ(ms[0].support, 1);
+}
+
+TEST_F(EdgeCasesTest, TwoRecordSequence) {
+  PSequence seq;
+  seq.records.push_back({IndoorPoint(20, 20, 0), 100.0});
+  seq.records.push_back({IndoorPoint(22, 21, 0), 115.0});
+  const LabelSequence labels = MakeAnnotator().Annotate(seq);
+  EXPECT_EQ(labels.size(), 2u);
+}
+
+TEST_F(EdgeCasesTest, StuckReporter) {
+  // The same fix repeated for ten minutes (a wedged positioning tag).
+  PSequence seq;
+  for (int i = 0; i < 40; ++i) {
+    seq.records.push_back({IndoorPoint(20, 20, 2), 15.0 * i});
+  }
+  const LabelSequence labels = MakeAnnotator().Annotate(seq);
+  ASSERT_EQ(labels.size(), 40u);
+  // A motionless object is a stay, in one region.
+  for (size_t i = 0; i < labels.size(); ++i) {
+    EXPECT_EQ(labels.events[i], MobilityEvent::kStay);
+    EXPECT_EQ(labels.regions[i], labels.regions[0]);
+  }
+}
+
+TEST_F(EdgeCasesTest, ExtremeOutliersDoNotCrash) {
+  PSequence seq;
+  for (int i = 0; i < 30; ++i) {
+    double x = 20 + 0.1 * i, y = 20;
+    if (i % 7 == 3) x += 500.0;   // Far outside the building.
+    if (i % 11 == 5) y -= 300.0;
+    seq.records.push_back({IndoorPoint(x, y, 0), 15.0 * i});
+  }
+  const LabelSequence labels = MakeAnnotator().Annotate(seq);
+  ASSERT_EQ(labels.size(), 30u);
+  for (RegionId r : labels.regions) EXPECT_NE(r, kInvalidId);
+}
+
+TEST_F(EdgeCasesTest, AllRecordsOnWrongFloor) {
+  // Reported floor does not exist in the building: candidates fall back
+  // to cross-floor / nearest lookups without crashing.
+  PSequence seq;
+  for (int i = 0; i < 10; ++i) {
+    seq.records.push_back({IndoorPoint(20, 20, 6), 15.0 * i});
+  }
+  const LabelSequence labels = MakeAnnotator().Annotate(seq);
+  ASSERT_EQ(labels.size(), 10u);
+}
+
+TEST_F(EdgeCasesTest, DuplicateTimestamps) {
+  PSequence seq;
+  for (int i = 0; i < 12; ++i) {
+    seq.records.push_back(
+        {IndoorPoint(20 + i, 20, 0), 15.0 * (i / 3)});  // Triplets.
+  }
+  const LabelSequence labels = MakeAnnotator().Annotate(seq);
+  EXPECT_EQ(labels.size(), 12u);
+}
+
+TEST_F(EdgeCasesTest, TrainingOnDegenerateSequencesIsSafe) {
+  // A training set contaminated with stuck and single-record sequences.
+  std::vector<LabeledSequence> owned;
+  LabeledSequence stuck;
+  for (int i = 0; i < 20; ++i) {
+    stuck.sequence.records.push_back({IndoorPoint(20, 20, 0), 15.0 * i});
+    stuck.labels.regions.push_back(0);
+    stuck.labels.events.push_back(MobilityEvent::kStay);
+  }
+  owned.push_back(stuck);
+  LabeledSequence single;
+  single.sequence.records.push_back({IndoorPoint(30, 20, 1), 0.0});
+  single.labels.regions.push_back(1);
+  single.labels.events.push_back(MobilityEvent::kPass);
+  owned.push_back(single);
+
+  std::vector<const LabeledSequence*> train;
+  for (const auto& ls : owned) train.push_back(&ls);
+  for (const auto* ls : split_.train) train.push_back(ls);
+
+  TrainOptions topts;
+  topts.max_iter = 5;
+  topts.mcmc_samples = 8;
+  AlternateTrainer trainer(*scenario_.world, FeatureOptions{},
+                           C2mnStructure{}, topts);
+  const TrainResult result = trainer.Train(train);
+  for (double w : result.weights) EXPECT_TRUE(std::isfinite(w));
+}
+
+TEST_F(EdgeCasesTest, OnlineAnnotatorSurvivesOutliers) {
+  OnlineAnnotator online(*scenario_.world, FeatureOptions{}, C2mnStructure{},
+                         weights_);
+  Rng rng(3);
+  double t = 0;
+  MSemanticsSequence all;
+  PSequence fed;
+  for (int i = 0; i < 150; ++i) {
+    t += rng.Uniform(5, 25);
+    IndoorPoint p(rng.Uniform(0, 120), rng.Uniform(0, 50),
+                  static_cast<FloorId>(rng.UniformInt(uint64_t{7})));
+    if (i % 13 == 7) p.xy.x += 1000.0;  // Gross outlier.
+    fed.records.push_back({p, t});
+    for (MSemantics& ms : online.Push({p, t})) all.push_back(ms);
+  }
+  for (MSemantics& ms : online.Flush()) all.push_back(ms);
+  EXPECT_TRUE(IsValidMSemanticsSequence(all, fed));
+}
+
+}  // namespace
+}  // namespace c2mn

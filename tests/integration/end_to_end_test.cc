@@ -1,0 +1,120 @@
+// Integration tests: the complete pipeline from building generation
+// through simulation, training, joint decoding, label-and-merge, and the
+// semantics-oriented queries.
+
+#include <gtest/gtest.h>
+
+#include "baselines/c2mn_method.h"
+#include "baselines/smot.h"
+#include "eval/harness.h"
+#include "tests/test_util.h"
+
+namespace c2mn {
+namespace {
+
+class EndToEndTest : public ::testing::Test {
+ protected:
+  EndToEndTest() : scenario_(testing_util::SmallMallScenario()) {
+    Rng rng(7);
+    split_ = SplitDataset(scenario_.dataset, 0.7, &rng);
+  }
+
+  TrainOptions FastOptions() const {
+    TrainOptions topts;
+    topts.max_iter = 15;
+    topts.mcmc_samples = 15;
+    return topts;
+  }
+
+  const Scenario& scenario_;
+  TrainTestSplit split_;
+};
+
+TEST_F(EndToEndTest, ScenarioIsWellFormed) {
+  EXPECT_GT(scenario_.dataset.NumSequences(), 4u);
+  EXPECT_GT(scenario_.world->plan().regions().size(), 50u);
+  for (const LabeledSequence& ls : scenario_.dataset.sequences) {
+    EXPECT_TRUE(ls.Consistent());
+    EXPECT_TRUE(ls.sequence.IsTimeOrdered());
+    EXPECT_GE(ls.sequence.Duration(), 1800.0);  // ψ filter applied.
+    for (size_t i = 1; i < ls.size(); ++i) {
+      EXPECT_LE(ls.sequence[i].timestamp - ls.sequence[i - 1].timestamp,
+                180.0 + 1e-9);  // η split applied.
+    }
+  }
+}
+
+TEST_F(EndToEndTest, HarnessEvaluatesMethodEndToEnd) {
+  TrainOptions topts = FastOptions();
+  C2mnMethod method(*scenario_.world, FullC2mn(), FeatureOptions{}, topts);
+  const MethodEvaluation eval = EvaluateMethod(&method, split_);
+  EXPECT_EQ(eval.name, "C2MN");
+  EXPECT_GT(eval.accuracy.num_records, 0u);
+  EXPECT_GT(eval.accuracy.region_accuracy, 0.5);
+  EXPECT_GT(eval.accuracy.event_accuracy, 0.7);
+  EXPECT_EQ(eval.predicted.size(), split_.test.size());
+  EXPECT_GT(eval.train_seconds, 0.0);
+}
+
+TEST_F(EndToEndTest, C2mnBeatsSmotOnCombinedAccuracy) {
+  TrainOptions topts = FastOptions();
+  C2mnMethod c2mn(*scenario_.world, FullC2mn(), FeatureOptions{}, topts);
+  SmotMethod smot(*scenario_.world);
+  const MethodEvaluation c2mn_eval = EvaluateMethod(&c2mn, split_);
+  const MethodEvaluation smot_eval = EvaluateMethod(&smot, split_);
+  EXPECT_GT(c2mn_eval.accuracy.combined_accuracy,
+            smot_eval.accuracy.combined_accuracy);
+  EXPECT_GT(c2mn_eval.accuracy.perfect_accuracy,
+            smot_eval.accuracy.perfect_accuracy);
+}
+
+TEST_F(EndToEndTest, QueriesOnPredictedCorpus) {
+  TrainOptions topts = FastOptions();
+  C2mnMethod method(*scenario_.world, FullC2mn(), FeatureOptions{}, topts);
+  const MethodEvaluation eval = EvaluateMethod(&method, split_);
+  const AnnotatedCorpus truth = GroundTruthCorpus(split_.test);
+
+  QueryWorkloadOptions qopts;
+  qopts.k = 10;
+  qopts.query_set_size = scenario_.world->plan().regions().size() / 2;
+  qopts.window_minutes = 60.0;
+  qopts.num_queries = 5;
+  const double prq = AverageTkprqPrecision(
+      truth, eval.predicted, scenario_.world->plan().regions().size(), qopts);
+  EXPECT_GE(prq, 0.0);
+  EXPECT_LE(prq, 1.0);
+  // The ground-truth corpus against itself is perfect.
+  EXPECT_DOUBLE_EQ(
+      AverageTkprqPrecision(
+          truth, truth, scenario_.world->plan().regions().size(), qopts),
+      1.0);
+  EXPECT_DOUBLE_EQ(
+      AverageTkfrpqPrecision(
+          truth, truth, scenario_.world->plan().regions().size(), qopts),
+      1.0);
+}
+
+TEST_F(EndToEndTest, MethodFactoriesProduceTableFourLineup) {
+  const auto all = MakeAllMethods(*scenario_.world, FeatureOptions{},
+                                  FastOptions());
+  ASSERT_EQ(all.size(), 10u);
+  EXPECT_EQ(all[0]->name(), "SMoT");
+  EXPECT_EQ(all[1]->name(), "HMM+DC");
+  EXPECT_EQ(all[2]->name(), "SAPDV");
+  EXPECT_EQ(all[3]->name(), "SAPDA");
+  EXPECT_EQ(all[4]->name(), "CMN");
+  EXPECT_EQ(all[9]->name(), "C2MN");
+}
+
+TEST_F(EndToEndTest, GroundTruthCorpusMatchesTestSet) {
+  const AnnotatedCorpus truth = GroundTruthCorpus(split_.test);
+  ASSERT_EQ(truth.size(), split_.test.size());
+  for (size_t s = 0; s < truth.size(); ++s) {
+    EXPECT_TRUE(IsValidMSemanticsSequence(truth.semantics[s],
+                                          split_.test[s]->sequence));
+    EXPECT_EQ(truth.object_ids[s], split_.test[s]->sequence.object_id);
+  }
+}
+
+}  // namespace
+}  // namespace c2mn

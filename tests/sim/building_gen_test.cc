@@ -1,0 +1,148 @@
+#include "sim/building_gen.h"
+
+#include <deque>
+#include <set>
+
+#include <gtest/gtest.h>
+
+namespace c2mn {
+namespace {
+
+Floorplan Generate(const BuildingConfig& config, uint64_t seed = 1) {
+  Rng rng(seed);
+  auto result = GenerateBuilding(config, &rng);
+  EXPECT_TRUE(result.ok()) << result.status().ToString();
+  return std::move(result).ValueOrDie();
+}
+
+TEST(BuildingGenTest, RejectsInvalidConfig) {
+  Rng rng(1);
+  BuildingConfig config;
+  config.num_floors = 0;
+  EXPECT_FALSE(GenerateBuilding(config, &rng).ok());
+  config = BuildingConfig();
+  config.num_staircases = 0;
+  config.num_floors = 3;
+  EXPECT_FALSE(GenerateBuilding(config, &rng).ok());
+}
+
+TEST(BuildingGenTest, PartitionInventory) {
+  BuildingConfig config;
+  config.num_floors = 2;
+  config.rooms_per_row = 5;
+  config.blocks_per_floor = 2;
+  config.num_staircases = 2;
+  const Floorplan plan = Generate(config);
+  // Per floor: spine + 2 corridors + 2 stair shafts + 5*2*2 rooms = 25.
+  EXPECT_EQ(plan.partitions().size(), 2u * 25u);
+  EXPECT_EQ(plan.num_floors(), 2);
+  int rooms = 0, hallways = 0, stairs = 0;
+  for (const Partition& part : plan.partitions()) {
+    switch (part.kind) {
+      case PartitionKind::kRoom:
+        ++rooms;
+        break;
+      case PartitionKind::kHallway:
+        ++hallways;
+        break;
+      case PartitionKind::kStaircase:
+        ++stairs;
+        break;
+    }
+  }
+  EXPECT_EQ(rooms, 2 * 20);
+  EXPECT_EQ(hallways, 2 * 3);
+  EXPECT_EQ(stairs, 2 * 2);
+}
+
+TEST(BuildingGenTest, NoOverlappingPartitionsOnAFloor) {
+  const Floorplan plan = Generate(MallConfig());
+  // Sampled interior points of each partition are in no other partition.
+  for (FloorId f = 0; f < plan.num_floors(); ++f) {
+    for (PartitionId pid : plan.PartitionsOnFloor(f)) {
+      const Vec2 c = plan.partition(pid).shape.Centroid();
+      int containing = 0;
+      for (PartitionId other : plan.PartitionsOnFloor(f)) {
+        if (plan.partition(other).shape.Contains(c)) ++containing;
+      }
+      EXPECT_EQ(containing, 1) << "partition " << pid;
+    }
+  }
+}
+
+TEST(BuildingGenTest, AllPartitionsConnected) {
+  const Floorplan plan = Generate(SyntheticConfig(), 9);
+  // BFS over partitions through doors reaches everything.
+  std::vector<bool> visited(plan.partitions().size(), false);
+  std::deque<PartitionId> frontier = {0};
+  visited[0] = true;
+  size_t count = 1;
+  while (!frontier.empty()) {
+    const PartitionId u = frontier.front();
+    frontier.pop_front();
+    for (DoorId d : plan.partition(u).doors) {
+      const PartitionId v = plan.door(d).Opposite(u);
+      if (!visited[v]) {
+        visited[v] = true;
+        ++count;
+        frontier.push_back(v);
+      }
+    }
+  }
+  EXPECT_EQ(count, plan.partitions().size());
+}
+
+TEST(BuildingGenTest, RegionsAreRoomsOnly) {
+  const Floorplan plan = Generate(MallConfig(), 2);
+  EXPECT_GT(plan.regions().size(), 0u);
+  for (const SemanticRegion& region : plan.regions()) {
+    for (PartitionId pid : region.partitions) {
+      EXPECT_EQ(plan.partition(pid).kind, PartitionKind::kRoom);
+      EXPECT_EQ(plan.partition(pid).region, region.id);
+    }
+  }
+}
+
+TEST(BuildingGenTest, SomeRegionsSpanTwoPartitions) {
+  BuildingConfig config = MallConfig();
+  config.multi_partition_fraction = 0.5;
+  const Floorplan plan = Generate(config, 3);
+  int multi = 0;
+  for (const SemanticRegion& region : plan.regions()) {
+    if (region.partitions.size() > 1) ++multi;
+  }
+  EXPECT_GT(multi, 0);
+}
+
+TEST(BuildingGenTest, DoorsLieOnSharedBoundaries) {
+  const Floorplan plan = Generate(MallConfig(), 4);
+  for (const Door& door : plan.doors()) {
+    if (door.IsInterFloor()) continue;
+    const Partition& a = plan.partition(door.partition_a);
+    const Partition& b = plan.partition(door.partition_b);
+    EXPECT_LT(a.shape.Distance(door.position_a.xy), 1e-6);
+    EXPECT_LT(b.shape.Distance(door.position_b.xy), 1e-6);
+  }
+}
+
+TEST(BuildingGenTest, StairShaftsAlignAcrossFloors) {
+  const Floorplan plan = Generate(SyntheticConfig(), 5);
+  for (const Door& door : plan.doors()) {
+    if (!door.IsInterFloor()) continue;
+    EXPECT_EQ(door.position_a.xy, door.position_b.xy);
+    EXPECT_EQ(std::abs(door.position_a.floor - door.position_b.floor), 1);
+    EXPECT_GT(door.traversal_cost, 0.0);
+  }
+}
+
+TEST(BuildingGenTest, DeterministicForSeed) {
+  const Floorplan a = Generate(MallConfig(), 11);
+  const Floorplan b = Generate(MallConfig(), 11);
+  EXPECT_EQ(a.regions().size(), b.regions().size());
+  for (size_t i = 0; i < a.regions().size(); ++i) {
+    EXPECT_EQ(a.region(i).partitions, b.region(i).partitions);
+  }
+}
+
+}  // namespace
+}  // namespace c2mn

@@ -1,0 +1,136 @@
+#include "sim/error_model.h"
+
+#include <gtest/gtest.h>
+
+#include "sim/simulator.h"
+#include "tests/test_util.h"
+
+namespace c2mn {
+namespace {
+
+class ErrorModelTest : public ::testing::Test {
+ protected:
+  ErrorModelTest() : world_(testing_util::TinyWorld()) {
+    MobilityConfig config;
+    config.min_stay_seconds = 20.0;
+    config.max_stay_seconds = 200.0;
+    MobilitySimulator simulator(*world_, config);
+    Rng rng(17);
+    trace_ = simulator.SimulateObject(0, 0.0, 1800.0, &rng);
+  }
+
+  std::shared_ptr<World> world_;
+  GroundTruthTrace trace_;
+};
+
+TEST_F(ErrorModelTest, SamplingPeriodsWithinBounds) {
+  ObservationConfig config;
+  config.min_period_seconds = 2.0;
+  config.max_period_seconds = 9.0;
+  config.num_floors = 1;
+  Rng rng(19);
+  const LabeledSequence out = Observe(trace_, *world_, config, &rng);
+  ASSERT_GT(out.size(), 10u);
+  for (size_t i = 1; i < out.size(); ++i) {
+    const double gap =
+        out.sequence[i].timestamp - out.sequence[i - 1].timestamp;
+    EXPECT_GE(gap, 2.0 - 1.0);  // Snapped to trace seconds.
+    EXPECT_LE(gap, 9.0 + 1.0);
+  }
+  EXPECT_TRUE(out.Consistent());
+}
+
+TEST_F(ErrorModelTest, ErrorRadiusBoundedForRegularReports) {
+  ObservationConfig config;
+  config.error_mu = 4.0;
+  config.outlier_prob = 0.0;
+  config.false_floor_prob = 0.0;
+  config.num_floors = 1;
+  config.annotate_pass_from_observations = false;
+  Rng rng(23);
+  const LabeledSequence out = Observe(trace_, *world_, config, &rng);
+  // Every estimate is within mu of the true per-second position.
+  const double t0 = trace_.points.front().timestamp;
+  for (size_t i = 0; i < out.size(); ++i) {
+    const size_t idx = static_cast<size_t>(
+        std::llround(out.sequence[i].timestamp - t0));
+    const double err = Distance(out.sequence[i].location.xy,
+                                trace_.points[idx].position.xy);
+    EXPECT_LE(err, 4.0 + 1e-9);
+  }
+}
+
+TEST_F(ErrorModelTest, OutliersAndFalseFloorsAtConfiguredRates) {
+  ObservationConfig config;
+  config.error_mu = 3.0;
+  config.outlier_prob = 0.2;
+  config.false_floor_prob = 0.25;
+  config.num_floors = 4;
+  config.min_period_seconds = 1.0;
+  config.max_period_seconds = 2.0;
+  config.annotate_pass_from_observations = false;
+  Rng rng(29);
+  const LabeledSequence out = Observe(trace_, *world_, config, &rng);
+  const double t0 = trace_.points.front().timestamp;
+  int outliers = 0, false_floors = 0;
+  for (size_t i = 0; i < out.size(); ++i) {
+    const size_t idx = static_cast<size_t>(
+        std::llround(out.sequence[i].timestamp - t0));
+    const double err = Distance(out.sequence[i].location.xy,
+                                trace_.points[idx].position.xy);
+    if (err > 3.0 + 1e-9) ++outliers;
+    if (out.sequence[i].location.floor != trace_.points[idx].position.floor) {
+      ++false_floors;
+    }
+  }
+  const double n = static_cast<double>(out.size());
+  EXPECT_NEAR(outliers / n, 0.2, 0.05);
+  // The tiny world only has floor 0: the half of the flips drawn downward
+  // clamp back to floor 0 and stay invisible, so the observable false
+  // floor rate is 0.25 / 2.
+  EXPECT_NEAR(false_floors / n, 0.125, 0.05);
+}
+
+TEST_F(ErrorModelTest, LabelsAlignedWithTruth) {
+  ObservationConfig config;
+  config.annotate_pass_from_observations = false;
+  config.num_floors = 1;
+  Rng rng(31);
+  const LabeledSequence out = Observe(trace_, *world_, config, &rng);
+  const double t0 = trace_.points.front().timestamp;
+  for (size_t i = 0; i < out.size(); ++i) {
+    const size_t idx = static_cast<size_t>(
+        std::llround(out.sequence[i].timestamp - t0));
+    EXPECT_EQ(out.labels.regions[i], trace_.points[idx].region);
+    EXPECT_EQ(out.labels.events[i], trace_.points[idx].event);
+  }
+}
+
+TEST_F(ErrorModelTest, AnnotationEmulatorOnlyChangesPassRegions) {
+  ObservationConfig with;
+  with.num_floors = 1;
+  with.annotate_pass_from_observations = true;
+  ObservationConfig without = with;
+  without.annotate_pass_from_observations = false;
+  Rng rng_a(37), rng_b(37);
+  const LabeledSequence a = Observe(trace_, *world_, with, &rng_a);
+  const LabeledSequence b = Observe(trace_, *world_, without, &rng_b);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a.labels.events[i], b.labels.events[i]);
+    if (a.labels.events[i] == MobilityEvent::kStay) {
+      EXPECT_EQ(a.labels.regions[i], b.labels.regions[i]);
+    }
+  }
+}
+
+TEST_F(ErrorModelTest, EmptyTrace) {
+  ObservationConfig config;
+  Rng rng(41);
+  const LabeledSequence out =
+      Observe(GroundTruthTrace{}, *world_, config, &rng);
+  EXPECT_TRUE(out.sequence.empty());
+}
+
+}  // namespace
+}  // namespace c2mn

@@ -1,0 +1,119 @@
+#include "sim/path_planner.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "tests/test_util.h"
+
+namespace c2mn {
+namespace {
+
+class PathPlannerTest : public ::testing::Test {
+ protected:
+  PathPlannerTest()
+      : world_(testing_util::TinyWorld()),
+        planner_(world_->plan(), world_->graph()) {}
+
+  std::shared_ptr<World> world_;
+  PathPlanner planner_;
+};
+
+TEST_F(PathPlannerTest, SamePartitionIsDirect) {
+  const IndoorPoint a(2, 2, 0), b(8, 6, 0);
+  const auto route = planner_.PlanWaypoints(a, b);
+  ASSERT_EQ(route.size(), 2u);
+  EXPECT_EQ(route.front(), a);
+  EXPECT_EQ(route.back(), b);
+  EXPECT_NEAR(planner_.RouteLength(route), Distance(a.xy, b.xy), 1e-12);
+}
+
+TEST_F(PathPlannerTest, CrossRoomGoesThroughDoors) {
+  const IndoorPoint a(5, 4, 0);    // Bottom room 0 (door at (5, 8)).
+  const IndoorPoint b(25, 4, 0);   // Bottom room 2 (door at (25, 8)).
+  const auto route = planner_.PlanWaypoints(a, b);
+  ASSERT_EQ(route.size(), 4u);  // a, two doors, b.
+  EXPECT_EQ(route[1].xy, Vec2(5, 8));
+  EXPECT_EQ(route[2].xy, Vec2(25, 8));
+  EXPECT_NEAR(planner_.RouteLength(route), 4 + 20 + 4, 1e-9);
+}
+
+TEST_F(PathPlannerTest, RouteLengthMatchesOracle) {
+  Rng rng(5);
+  for (int i = 0; i < 50; ++i) {
+    const IndoorPoint a(rng.Uniform(1, 29), rng.Uniform(1, 19), 0);
+    const IndoorPoint b(rng.Uniform(1, 29), rng.Uniform(1, 19), 0);
+    if (world_->plan().PartitionAt(a) == kInvalidId ||
+        world_->plan().PartitionAt(b) == kInvalidId) {
+      continue;
+    }
+    const auto route = planner_.PlanWaypoints(a, b);
+    ASSERT_GE(route.size(), 2u);
+    EXPECT_NEAR(planner_.RouteLength(route),
+                world_->oracle().PointToPoint(a, b), 1e-6);
+  }
+}
+
+TEST_F(PathPlannerTest, WaypointsStayWithinPartitions) {
+  // Each leg's midpoint must lie in some partition (no wall clipping).
+  Rng rng(6);
+  for (int i = 0; i < 30; ++i) {
+    const IndoorPoint a(rng.Uniform(1, 29), rng.Uniform(1, 19), 0);
+    const IndoorPoint b(rng.Uniform(1, 29), rng.Uniform(1, 19), 0);
+    if (world_->plan().PartitionAt(a) == kInvalidId ||
+        world_->plan().PartitionAt(b) == kInvalidId) {
+      continue;
+    }
+    const auto route = planner_.PlanWaypoints(a, b);
+    for (size_t k = 1; k < route.size(); ++k) {
+      if (route[k - 1].floor != route[k].floor) continue;
+      const IndoorPoint mid((route[k - 1].xy + route[k].xy) * 0.5,
+                            route[k].floor);
+      EXPECT_NE(world_->plan().PartitionAt(mid), kInvalidId)
+          << "leg " << k << " clips a wall";
+    }
+  }
+}
+
+TEST_F(PathPlannerTest, UnroutablePointsGiveEmptyRoute) {
+  const IndoorPoint outside(100, 100, 0);
+  const IndoorPoint inside(5, 4, 0);
+  EXPECT_TRUE(planner_.PlanWaypoints(outside, inside).empty());
+  EXPECT_TRUE(planner_.PlanWaypoints(inside, outside).empty());
+}
+
+TEST(PathPlannerMultiFloorTest, CrossFloorRouteChangesFloorsOnce) {
+  auto world = std::make_shared<World>(
+      World::Create(testing_util::SmallGeneratedBuilding()));
+  PathPlanner planner(world->plan(), world->graph());
+  // Pick one room centroid per floor.
+  IndoorPoint from, to;
+  bool have_from = false, have_to = false;
+  for (const Partition& part : world->plan().partitions()) {
+    if (part.kind != PartitionKind::kRoom) continue;
+    if (part.floor == 0 && !have_from) {
+      from = IndoorPoint(part.shape.Centroid(), 0);
+      have_from = true;
+    }
+    if (part.floor == 1 && !have_to) {
+      to = IndoorPoint(part.shape.Centroid(), 1);
+      have_to = true;
+    }
+  }
+  ASSERT_TRUE(have_from && have_to);
+  const auto route = planner.PlanWaypoints(from, to);
+  ASSERT_GE(route.size(), 2u);
+  int floor_changes = 0;
+  for (size_t k = 1; k < route.size(); ++k) {
+    if (route[k].floor != route[k - 1].floor) {
+      ++floor_changes;
+      // A floor change happens in place (stair shaft).
+      EXPECT_EQ(route[k].xy, route[k - 1].xy);
+    }
+  }
+  EXPECT_EQ(floor_changes, 1);
+  EXPECT_EQ(route.front().floor, 0);
+  EXPECT_EQ(route.back().floor, 1);
+}
+
+}  // namespace
+}  // namespace c2mn

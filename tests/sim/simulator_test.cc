@@ -1,0 +1,131 @@
+#include "sim/simulator.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/test_util.h"
+
+namespace c2mn {
+namespace {
+
+class SimulatorTest : public ::testing::Test {
+ protected:
+  SimulatorTest() : world_(testing_util::TinyWorld()) {}
+
+  GroundTruthTrace Simulate(double lifespan, uint64_t seed = 3) {
+    MobilityConfig config;
+    config.max_speed_mps = 1.7;
+    config.min_stay_seconds = 10.0;
+    config.max_stay_seconds = 120.0;
+    MobilitySimulator simulator(*world_, config);
+    Rng rng(seed);
+    return simulator.SimulateObject(1, 100.0, lifespan, &rng);
+  }
+
+  std::shared_ptr<World> world_;
+};
+
+TEST_F(SimulatorTest, TraceIsPerSecondAndTimeOrdered) {
+  const GroundTruthTrace trace = Simulate(600.0);
+  ASSERT_GT(trace.size(), 100u);
+  for (size_t i = 1; i < trace.size(); ++i) {
+    EXPECT_NEAR(trace.points[i].timestamp - trace.points[i - 1].timestamp,
+                1.0, 1e-9);
+  }
+  EXPECT_GE(trace.points.front().timestamp, 100.0);
+  EXPECT_LE(trace.points.back().timestamp, 100.0 + 600.0);
+}
+
+TEST_F(SimulatorTest, SpeedBoundRespected) {
+  const GroundTruthTrace trace = Simulate(900.0);
+  for (size_t i = 1; i < trace.size(); ++i) {
+    if (trace.points[i].position.floor != trace.points[i - 1].position.floor) {
+      continue;  // Stair crossings hold (x, y).
+    }
+    const double d = Distance(trace.points[i].position.xy,
+                              trace.points[i - 1].position.xy);
+    EXPECT_LE(d, 1.7 * 1.0 + 1.5)  // One second + stay jitter allowance.
+        << "at step " << i;
+  }
+}
+
+TEST_F(SimulatorTest, StaysAreInsideTheirRegion) {
+  const GroundTruthTrace trace = Simulate(900.0);
+  int stays = 0;
+  for (const TracePoint& p : trace.points) {
+    if (p.event != MobilityEvent::kStay) continue;
+    ++stays;
+    ASSERT_NE(p.region, kInvalidId);
+    // The stay position (modulo 0.4 m milling jitter) belongs to the
+    // stayed region.
+    double best = 1e300;
+    for (PartitionId pid : world_->plan().region(p.region).partitions) {
+      best = std::min(best,
+                      world_->plan().partition(pid).shape.Distance(p.position.xy));
+    }
+    EXPECT_LE(best, 0.6) << "stay point outside region";
+  }
+  EXPECT_GT(stays, 0);
+}
+
+TEST_F(SimulatorTest, ContainsBothEvents) {
+  const GroundTruthTrace trace = Simulate(900.0);
+  int stays = 0, passes = 0;
+  for (const TracePoint& p : trace.points) {
+    (p.event == MobilityEvent::kStay ? stays : passes)++;
+  }
+  EXPECT_GT(stays, 0);
+  EXPECT_GT(passes, 0);
+}
+
+TEST_F(SimulatorTest, AllRegionsLabelledValid) {
+  const GroundTruthTrace trace = Simulate(1200.0);
+  for (const TracePoint& p : trace.points) {
+    EXPECT_GE(p.region, 0);
+    EXPECT_LT(p.region,
+              static_cast<RegionId>(world_->plan().regions().size()));
+  }
+}
+
+TEST_F(SimulatorTest, DeterministicForSeed) {
+  const GroundTruthTrace a = Simulate(300.0, 5);
+  const GroundTruthTrace b = Simulate(300.0, 5);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a.points[i].position.xy, b.points[i].position.xy);
+    EXPECT_EQ(a.points[i].region, b.points[i].region);
+    EXPECT_EQ(a.points[i].event, b.points[i].event);
+  }
+}
+
+TEST_F(SimulatorTest, SimulateAllProducesRequestedObjects) {
+  MobilityConfig config;
+  config.num_objects = 7;
+  config.horizon_seconds = 1200.0;
+  config.min_lifespan_seconds = 200.0;
+  config.max_lifespan_seconds = 400.0;
+  MobilitySimulator simulator(*world_, config);
+  Rng rng(11);
+  const auto traces = simulator.SimulateAll(&rng);
+  EXPECT_EQ(traces.size(), 7u);
+  for (const auto& trace : traces) {
+    EXPECT_FALSE(trace.empty());
+    EXPECT_LE(trace.points.back().timestamp, 1200.0 + 1.0);
+  }
+}
+
+TEST(SimulatorMultiFloorTest, VisitsMultipleFloors) {
+  auto world = std::make_shared<World>(
+      World::Create(testing_util::SmallGeneratedBuilding()));
+  MobilityConfig config;
+  config.min_stay_seconds = 5.0;
+  config.max_stay_seconds = 30.0;
+  MobilitySimulator simulator(*world, config);
+  Rng rng(13);
+  const GroundTruthTrace trace = simulator.SimulateObject(0, 0.0, 2400.0, &rng);
+  std::set<FloorId> floors;
+  for (const TracePoint& p : trace.points) floors.insert(p.position.floor);
+  EXPECT_GT(floors.size(), 1u);
+}
+
+}  // namespace
+}  // namespace c2mn

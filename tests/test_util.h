@@ -1,0 +1,71 @@
+#ifndef C2MN_TESTS_TEST_UTIL_H_
+#define C2MN_TESTS_TEST_UTIL_H_
+
+#include <memory>
+
+#include "common/rng.h"
+#include "sim/building_gen.h"
+#include "sim/scenarios.h"
+#include "sim/world.h"
+
+namespace c2mn {
+namespace testing_util {
+
+/// A tiny hand-sized building: 1 floor, one corridor block with 3 rooms
+/// per row (6 rooms), every room a semantic region.  Geometry is easy to
+/// reason about in tests: rooms are 10x8, the corridor is 4 m wide.
+inline Floorplan TinyFloorplan() {
+  FloorplanBuilder builder;
+  // Corridor along y in [8, 12), rooms below in y [0, 8) and above in
+  // y [12, 20), x in [0, 30): room i spans x [10*i, 10*(i+1)).
+  const PartitionId corridor = builder.AddPartition(
+      0, PartitionKind::kHallway, Polygon::Rectangle({0, 8}, {30, 12}));
+  for (int i = 0; i < 3; ++i) {
+    const double x0 = 10.0 * i;
+    const double x1 = x0 + 10.0;
+    const PartitionId bottom = builder.AddPartition(
+        0, PartitionKind::kRoom, Polygon::Rectangle({x0, 0}, {x1, 8}));
+    builder.AddDoor(bottom, corridor, {0.5 * (x0 + x1), 8});
+    builder.AddRegion("bottom-" + std::to_string(i), {bottom});
+    const PartitionId top = builder.AddPartition(
+        0, PartitionKind::kRoom, Polygon::Rectangle({x0, 12}, {x1, 20}));
+    builder.AddDoor(top, corridor, {0.5 * (x0 + x1), 12});
+    builder.AddRegion("top-" + std::to_string(i), {top});
+  }
+  auto result = builder.Build();
+  return std::move(result).ValueOrDie();
+}
+
+/// A tiny world wrapping TinyFloorplan().
+inline std::shared_ptr<World> TinyWorld() {
+  return std::make_shared<World>(World::Create(TinyFloorplan()));
+}
+
+/// A small two-floor generated building for randomized structure tests.
+inline Floorplan SmallGeneratedBuilding(uint64_t seed = 3) {
+  BuildingConfig config;
+  config.num_floors = 2;
+  config.rooms_per_row = 4;
+  config.blocks_per_floor = 1;
+  config.num_staircases = 1;
+  Rng rng(seed);
+  auto result = GenerateBuilding(config, &rng);
+  return std::move(result).ValueOrDie();
+}
+
+/// A small but complete mall scenario for integration tests.  Cached per
+/// process: scenario generation takes ~1 s.
+inline const Scenario& SmallMallScenario() {
+  static const Scenario* scenario = [] {
+    ScenarioOptions options;
+    options.num_objects = 16;
+    options.seed = 5;
+    return new Scenario(MakeMallScenario(options));
+  }();
+  return *scenario;
+}
+
+}  // namespace testing_util
+}  // namespace c2mn
+
+#endif  // C2MN_TESTS_TEST_UTIL_H_

@@ -1,0 +1,192 @@
+// c2mn_cli — the library's pipeline as a command-line tool.
+//
+// Subcommands:
+//   generate --out-records R.csv --out-labels L.csv [--objects N] [--seed S]
+//       Simulate the mall scenario and dump records + annotator labels.
+//   train --records R.csv --labels L.csv --out-weights W.txt [--iters N]
+//       Learn C2MN weights from labeled CSVs (venue regenerated from the
+//       same --seed; real deployments would load their own floorplan).
+//   annotate --records R.csv --weights W.txt --out-semantics M.csv
+//       Label-and-merge every sequence into m-semantics.
+//   render --records R.csv --floor F --out-svg OUT.svg
+//       Draw a floor with the first sequence's trajectory.
+//
+// All subcommands accept --seed (default 7) which controls the generated
+// venue, so weights and data stay consistent across invocations.
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <string>
+
+#include "common/logging.h"
+#include "core/trainer.h"
+#include "core/variants.h"
+#include "core/weights_io.h"
+#include "data/io.h"
+#include "data/svg_export.h"
+#include "sim/scenarios.h"
+
+using namespace c2mn;
+
+namespace {
+
+struct Args {
+  std::string command;
+  std::map<std::string, std::string> options;
+
+  const char* Get(const std::string& key, const char* fallback = nullptr) const {
+    const auto it = options.find(key);
+    return it != options.end() ? it->second.c_str() : fallback;
+  }
+  int GetInt(const std::string& key, int fallback) const {
+    const char* v = Get(key);
+    return v != nullptr ? std::atoi(v) : fallback;
+  }
+};
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: c2mn_cli <generate|train|annotate|render> [--key "
+               "value]...\n"
+               "  generate --out-records R.csv --out-labels L.csv "
+               "[--objects N] [--seed S]\n"
+               "  train    --records R.csv --labels L.csv --out-weights "
+               "W.txt [--iters N] [--seed S]\n"
+               "  annotate --records R.csv --weights W.txt --out-semantics "
+               "M.csv [--seed S]\n"
+               "  render   --records R.csv --out-svg OUT.svg [--floor F] "
+               "[--seed S]\n");
+  return 2;
+}
+
+World MakeVenue(uint64_t seed) {
+  Rng rng(seed);
+  auto plan = GenerateBuilding(MallConfig(), &rng);
+  return World::Create(std::move(plan).ValueOrDie());
+}
+
+Result<Dataset> LoadRecords(const Args& args) {
+  const char* path = args.Get("records");
+  if (path == nullptr) return Status::InvalidArgument("--records required");
+  std::ifstream in(path);
+  if (!in) return Status::NotFound(std::string("cannot open ") + path);
+  return io::ReadRecordsCsv(&in);
+}
+
+int Generate(const Args& args) {
+  const char* out_records = args.Get("out-records");
+  const char* out_labels = args.Get("out-labels");
+  if (out_records == nullptr || out_labels == nullptr) return Usage();
+  ScenarioOptions options;
+  options.num_objects = args.GetInt("objects", 60);
+  options.seed = static_cast<uint64_t>(args.GetInt("seed", 7));
+  const Scenario scenario = MakeMallScenario(options);
+  std::ofstream records(out_records), labels(out_labels);
+  io::WriteRecordsCsv(scenario.dataset, &records);
+  io::WriteLabelsCsv(scenario.dataset, &labels);
+  std::printf("wrote %zu sequences (%zu records) to %s / %s\n",
+              scenario.dataset.NumSequences(), scenario.dataset.NumRecords(),
+              out_records, out_labels);
+  return 0;
+}
+
+int Train(const Args& args) {
+  const char* labels_path = args.Get("labels");
+  const char* out_weights = args.Get("out-weights");
+  if (labels_path == nullptr || out_weights == nullptr) return Usage();
+  auto dataset = LoadRecords(args);
+  if (!dataset.ok()) {
+    std::fprintf(stderr, "%s\n", dataset.status().ToString().c_str());
+    return 1;
+  }
+  Dataset data = std::move(dataset).ValueOrDie();
+  std::ifstream labels_in(labels_path);
+  const Status attached = io::AttachLabelsCsv(&labels_in, &data);
+  if (!attached.ok()) {
+    std::fprintf(stderr, "%s\n", attached.ToString().c_str());
+    return 1;
+  }
+  const World world = MakeVenue(static_cast<uint64_t>(args.GetInt("seed", 7)));
+  TrainOptions topts;
+  topts.max_iter = args.GetInt("iters", 40);
+  std::vector<const LabeledSequence*> train;
+  for (const LabeledSequence& ls : data.sequences) train.push_back(&ls);
+  AlternateTrainer trainer(world, FeatureOptions{}, C2mnStructure{}, topts);
+  const TrainResult result = trainer.Train(train);
+  std::ofstream out(out_weights);
+  weights_io::Write(result.weights, &out);
+  std::printf("trained on %zu sequences in %.1f s; weights -> %s\n",
+              train.size(), result.train_seconds, out_weights);
+  return 0;
+}
+
+int Annotate(const Args& args) {
+  const char* weights_path = args.Get("weights");
+  const char* out_semantics = args.Get("out-semantics");
+  if (weights_path == nullptr || out_semantics == nullptr) return Usage();
+  auto dataset = LoadRecords(args);
+  if (!dataset.ok()) {
+    std::fprintf(stderr, "%s\n", dataset.status().ToString().c_str());
+    return 1;
+  }
+  std::ifstream win(weights_path);
+  auto weights = weights_io::Read(&win);
+  if (!weights.ok()) {
+    std::fprintf(stderr, "%s\n", weights.status().ToString().c_str());
+    return 1;
+  }
+  const World world = MakeVenue(static_cast<uint64_t>(args.GetInt("seed", 7)));
+  const C2mnAnnotator annotator(world, FeatureOptions{}, C2mnStructure{},
+                                *weights);
+  std::vector<int64_t> object_ids;
+  std::vector<MSemanticsSequence> semantics;
+  for (const LabeledSequence& ls : dataset->sequences) {
+    object_ids.push_back(ls.sequence.object_id);
+    semantics.push_back(annotator.AnnotateSemantics(ls.sequence));
+  }
+  std::ofstream out(out_semantics);
+  io::WriteMSemanticsCsv(object_ids, semantics, &out);
+  std::printf("annotated %zu sequences -> %s\n", semantics.size(),
+              out_semantics);
+  return 0;
+}
+
+int Render(const Args& args) {
+  const char* out_svg = args.Get("out-svg");
+  if (out_svg == nullptr) return Usage();
+  auto dataset = LoadRecords(args);
+  if (!dataset.ok()) {
+    std::fprintf(stderr, "%s\n", dataset.status().ToString().c_str());
+    return 1;
+  }
+  const World world = MakeVenue(static_cast<uint64_t>(args.GetInt("seed", 7)));
+  SvgExporter exporter(world.plan(),
+                       static_cast<FloorId>(args.GetInt("floor", 0)));
+  if (!dataset->sequences.empty()) {
+    exporter.AddTrajectory(dataset->sequences.front().sequence);
+  }
+  std::ofstream out(out_svg);
+  out << exporter.Render();
+  std::printf("rendered floor %d -> %s\n", args.GetInt("floor", 0), out_svg);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Logger::Global().set_level(LogLevel::kWarning);
+  if (argc < 2) return Usage();
+  Args args;
+  args.command = argv[1];
+  for (int i = 2; i + 1 < argc; i += 2) {
+    if (std::strncmp(argv[i], "--", 2) != 0) return Usage();
+    args.options[argv[i] + 2] = argv[i + 1];
+  }
+  if (args.command == "generate") return Generate(args);
+  if (args.command == "train") return Train(args);
+  if (args.command == "annotate") return Annotate(args);
+  if (args.command == "render") return Render(args);
+  return Usage();
+}
