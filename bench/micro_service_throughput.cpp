@@ -1,0 +1,146 @@
+// Load generator for the concurrent AnnotationService: sweeps shard
+// count x concurrent objects, replaying simulated mall streams from a
+// fixed pool of producer threads, and reports records/sec plus the
+// 1-shard -> N-shard scaling ratio.  Scaling tops out at the machine's
+// core count — on a single-core box every configuration is decode-bound
+// on one CPU and the ratios hover near 1.
+//
+// Env knobs: C2MN_BENCH_OBJECTS (dataset size), C2MN_BENCH_SEED,
+// C2MN_BENCH_SERVICE_ITERS (training iterations),
+// C2MN_BENCH_SERVICE_STREAMS (max concurrent sessions),
+// C2MN_BENCH_SERVICE_RECORDS (records replayed per stream).
+
+#include <cinttypes>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "common/stopwatch.h"
+#include "common/table_printer.h"
+#include "service/annotation_service.h"
+
+namespace c2mn {
+namespace {
+
+struct Workload {
+  const World* world;
+  std::vector<double> weights;
+  /// Source record streams, one per virtual object (replicated from the
+  /// simulated dataset and truncated to a fixed length).
+  std::vector<std::vector<PositioningRecord>> streams;
+};
+
+/// Replays every stream through a service with `num_shards` shards from
+/// `producers` threads; returns processed records per second.
+double RunConfig(const Workload& load, int num_shards, int producers,
+                 ServiceStats* stats_out) {
+  AnnotationService::Options options;
+  options.num_shards = num_shards;
+  options.queue_capacity = 1024;
+  // Small windows keep per-record decode cost realistic for an online
+  // service while the benchmark stays in the seconds range.
+  options.annotator.window_records = 24;
+  options.annotator.finalize_lag = 6;
+  options.annotator.decode_stride = 4;
+  AnnotationService service(*load.world, FeatureOptions{}, C2mnStructure{},
+                            load.weights, options);
+
+  const size_t n = load.streams.size();
+  for (size_t i = 0; i < n; ++i) {
+    service.OpenSession(static_cast<int64_t>(i),
+                        [](int64_t, const MSemantics&) {});
+  }
+  Stopwatch timer;
+  std::vector<std::thread> threads;
+  for (int p = 0; p < producers; ++p) {
+    threads.emplace_back([&load, &service, p, producers, n] {
+      for (size_t i = static_cast<size_t>(p); i < n;
+           i += static_cast<size_t>(producers)) {
+        for (const PositioningRecord& rec : load.streams[i]) {
+          service.Submit(static_cast<int64_t>(i), rec);
+        }
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  for (size_t i = 0; i < n; ++i) service.CloseSession(static_cast<int64_t>(i));
+  service.Drain();
+  const double seconds = timer.ElapsedSeconds();
+  const ServiceStats stats = service.Stats();
+  if (stats_out != nullptr) *stats_out = stats;
+  return seconds > 0.0 ? static_cast<double>(stats.records_processed) / seconds
+                       : 0.0;
+}
+
+int Main() {
+  bench::BenchInit();
+  const bench::BenchScale scale = bench::BenchScale::FromEnv();
+  bench::PrintHeader(
+      "micro_service_throughput — AnnotationService scaling sweep",
+      "the service layer; no paper figure");
+
+  std::printf("hardware concurrency: %u\n",
+              std::thread::hardware_concurrency());
+  const Scenario scenario = bench::MallScenario(scale);
+
+  TrainOptions topts = bench::DefaultTrainOptions(scale);
+  topts.max_iter = EnvInt("C2MN_BENCH_SERVICE_ITERS", 12);
+  std::vector<const LabeledSequence*> train;
+  for (const LabeledSequence& ls : scenario.dataset.sequences) {
+    train.push_back(&ls);
+  }
+  AlternateTrainer trainer(*scenario.world, FeatureOptions{}, C2mnStructure{},
+                           topts);
+
+  Workload load;
+  load.world = scenario.world.get();
+  load.weights = trainer.Train(train).weights;
+
+  const int max_streams = EnvInt("C2MN_BENCH_SERVICE_STREAMS", 128);
+  const size_t records_per_stream =
+      static_cast<size_t>(EnvInt("C2MN_BENCH_SERVICE_RECORDS", 120));
+  const int producers = EnvInt("C2MN_BENCH_SERVICE_PRODUCERS", 4);
+
+  TablePrinter table({"shards", "streams", "records", "records/sec",
+                      "p50 ms", "p99 ms", "vs 1 shard"});
+  for (int streams : {max_streams / 4, max_streams}) {
+    if (streams < 1) continue;
+    load.streams.clear();
+    uint64_t total_records = 0;
+    for (int i = 0; i < streams; ++i) {
+      const PSequence& source =
+          scenario.dataset
+              .sequences[static_cast<size_t>(i) %
+                         scenario.dataset.sequences.size()]
+              .sequence;
+      std::vector<PositioningRecord> records = source.records;
+      if (records.size() > records_per_stream) {
+        records.resize(records_per_stream);
+      }
+      total_records += records.size();
+      load.streams.push_back(std::move(records));
+    }
+
+    double base_rate = 0.0;
+    for (int shards : {1, 2, 4}) {
+      ServiceStats stats;
+      const double rate = RunConfig(load, shards, producers, &stats);
+      if (shards == 1) base_rate = rate;
+      table.AddRow({std::to_string(shards), std::to_string(streams),
+                    std::to_string(total_records),
+                    TablePrinter::Fmt(rate, 0),
+                    TablePrinter::Fmt(stats.latency_p50_ms, 3),
+                    TablePrinter::Fmt(stats.latency_p99_ms, 3),
+                    TablePrinter::Fmt(base_rate > 0 ? rate / base_rate : 0.0,
+                                        2) +
+                        "x"});
+    }
+  }
+  table.Print();
+  return 0;
+}
+
+}  // namespace
+}  // namespace c2mn
+
+int main() { return c2mn::Main(); }

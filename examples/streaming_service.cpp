@@ -1,0 +1,89 @@
+// streaming_service — minimal tour of the concurrent AnnotationService.
+//
+// Simulates a handful of mall visitors, opens one streaming session per
+// visitor, submits their positioning records from two producer threads,
+// and prints each visitor's m-semantics as the sinks deliver them.  The
+// same records fed to a standalone OnlineAnnotator would produce exactly
+// the same output; the service only adds concurrency.
+
+#include <cinttypes>
+#include <cstdio>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/logging.h"
+#include "core/trainer.h"
+#include "service/annotation_service.h"
+#include "sim/scenarios.h"
+
+using namespace c2mn;
+
+int main() {
+  Logger::Global().set_level(LogLevel::kWarning);
+
+  ScenarioOptions sopts;
+  sopts.num_objects = 8;
+  sopts.seed = 21;
+  std::printf("simulating %d visitors...\n", sopts.num_objects);
+  const Scenario scenario = MakeMallScenario(sopts);
+
+  TrainOptions topts;
+  topts.max_iter = 10;
+  topts.mcmc_samples = 15;
+  std::vector<const LabeledSequence*> train;
+  for (const LabeledSequence& ls : scenario.dataset.sequences) {
+    train.push_back(&ls);
+  }
+  AlternateTrainer trainer(*scenario.world, FeatureOptions{}, C2mnStructure{},
+                           topts);
+  std::printf("training weights on the simulated visits...\n");
+  const std::vector<double> weights = trainer.Train(train).weights;
+
+  AnnotationService::Options options;
+  options.num_shards = 2;
+  AnnotationService service(*scenario.world, FeatureOptions{}, C2mnStructure{},
+                            weights, options);
+
+  // Sinks run on shard worker threads; serialize printing.
+  std::mutex print_mu;
+  const auto sink = [&](int64_t object_id, const MSemantics& ms) {
+    std::lock_guard<std::mutex> lock(print_mu);
+    std::printf("  visitor %" PRId64 ": %s region %d for %.0f s "
+                "[t=%.0f..%.0f]\n",
+                object_id, MobilityEventName(ms.event),
+                static_cast<int>(ms.region), ms.DurationSeconds(), ms.t_start,
+                ms.t_end);
+  };
+
+  const size_t streams = scenario.dataset.sequences.size();
+  for (size_t i = 0; i < streams; ++i) {
+    service.OpenSession(static_cast<int64_t>(i), sink);
+  }
+
+  std::printf("streaming %zu visits through %d shards...\n", streams,
+              service.num_shards());
+  std::vector<std::thread> producers;
+  for (int p = 0; p < 2; ++p) {
+    producers.emplace_back([&, p] {
+      for (size_t i = static_cast<size_t>(p); i < streams; i += 2) {
+        for (const PositioningRecord& rec :
+             scenario.dataset.sequences[i].sequence.records) {
+          service.Submit(static_cast<int64_t>(i), rec);
+        }
+      }
+    });
+  }
+  for (std::thread& t : producers) t.join();
+  for (size_t i = 0; i < streams; ++i) {
+    service.CloseSession(static_cast<int64_t>(i));
+  }
+  service.Drain();
+
+  const ServiceStats stats = service.Stats();
+  std::printf("\nprocessed %" PRIu64 " records into %" PRIu64
+              " m-semantics (p50 submit-to-emit %.2f ms, p99 %.2f ms)\n",
+              stats.records_processed, stats.semantics_emitted,
+              stats.latency_p50_ms, stats.latency_p99_ms);
+  return 0;
+}

@@ -1,0 +1,93 @@
+#include "common/streaming_histogram.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace c2mn {
+
+StreamingHistogram::StreamingHistogram(double min_value, double max_value,
+                                       double growth)
+    : min_value_(min_value),
+      max_value_(max_value),
+      log_min_(std::log(min_value)),
+      inv_log_growth_(1.0 / std::log(growth)),
+      log_growth_(std::log(growth)) {
+  assert(min_value > 0.0 && max_value > min_value && growth > 1.0);
+  const int buckets = static_cast<int>(
+      std::ceil((std::log(max_value) - log_min_) * inv_log_growth_));
+  counts_.assign(static_cast<size_t>(std::max(buckets, 1)), 0);
+}
+
+int StreamingHistogram::BucketIndex(double value) const {
+  if (value <= min_value_) return 0;
+  const int i =
+      static_cast<int>((std::log(value) - log_min_) * inv_log_growth_);
+  return std::min(i, static_cast<int>(counts_.size()) - 1);
+}
+
+double StreamingHistogram::BucketLower(int i) const {
+  return std::exp(log_min_ + i * log_growth_);
+}
+
+double StreamingHistogram::BucketUpper(int i) const {
+  return std::exp(log_min_ + (i + 1) * log_growth_);
+}
+
+void StreamingHistogram::Add(double value) {
+  ++counts_[static_cast<size_t>(BucketIndex(value))];
+  if (count_ == 0) {
+    min_ = max_ = value;
+  } else {
+    min_ = std::min(min_, value);
+    max_ = std::max(max_, value);
+  }
+  ++count_;
+  sum_ += value;
+}
+
+void StreamingHistogram::Merge(const StreamingHistogram& other) {
+  assert(counts_.size() == other.counts_.size());
+  for (size_t i = 0; i < counts_.size(); ++i) counts_[i] += other.counts_[i];
+  if (other.count_ > 0) {
+    min_ = count_ > 0 ? std::min(min_, other.min_) : other.min_;
+    max_ = count_ > 0 ? std::max(max_, other.max_) : other.max_;
+  }
+  count_ += other.count_;
+  sum_ += other.sum_;
+}
+
+void StreamingHistogram::Clear() {
+  std::fill(counts_.begin(), counts_.end(), 0);
+  count_ = 0;
+  sum_ = 0.0;
+  min_ = 0.0;
+  max_ = 0.0;
+}
+
+double StreamingHistogram::Quantile(double q) const {
+  if (count_ == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const double rank = q * static_cast<double>(count_);
+  uint64_t cumulative = 0;
+  for (size_t i = 0; i < counts_.size(); ++i) {
+    if (counts_[i] == 0) continue;
+    const double before = static_cast<double>(cumulative);
+    cumulative += counts_[i];
+    if (static_cast<double>(cumulative) >= rank) {
+      // Interpolate within the bucket, clamped to observed extremes so
+      // a single-bucket histogram still reports sensible values.
+      const double frac =
+          counts_[i] > 0
+              ? (rank - before) / static_cast<double>(counts_[i])
+              : 0.0;
+      const int bucket = static_cast<int>(i);
+      const double lo = std::max(BucketLower(bucket), min_);
+      const double hi = std::min(BucketUpper(bucket), max_);
+      return lo + std::clamp(frac, 0.0, 1.0) * (hi - lo);
+    }
+  }
+  return max_;
+}
+
+}  // namespace c2mn

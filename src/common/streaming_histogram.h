@@ -1,0 +1,63 @@
+#ifndef C2MN_COMMON_STREAMING_HISTOGRAM_H_
+#define C2MN_COMMON_STREAMING_HISTOGRAM_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace c2mn {
+
+/// \brief A fixed-memory streaming histogram with geometric buckets,
+/// built for latency tracking in the annotation service (p50/p99
+/// submit-to-emit times in ServiceStats).
+///
+/// Values are bucketed by log with a constant growth factor, so relative
+/// quantile error is bounded by the growth factor regardless of how many
+/// samples stream in.  Everything outside [min_value, max_value] clamps
+/// into the first / last bucket.  Not thread-safe; owners keep one per
+/// writer thread and Merge() snapshots together.
+class StreamingHistogram {
+ public:
+  /// Buckets span [min_value, max_value] with bucket_i covering
+  /// [min_value * growth^i, min_value * growth^(i+1)).
+  explicit StreamingHistogram(double min_value = 1e-6,
+                              double max_value = 1e3,
+                              double growth = 1.2);
+
+  void Add(double value);
+
+  /// Adds every bucket count of `other`; bucketizations must match
+  /// (same constructor arguments).
+  void Merge(const StreamingHistogram& other);
+
+  void Clear();
+
+  uint64_t count() const { return count_; }
+  double sum() const { return sum_; }
+  double min() const { return count_ > 0 ? min_ : 0.0; }
+  double max() const { return count_ > 0 ? max_ : 0.0; }
+  double Mean() const { return count_ > 0 ? sum_ / count_ : 0.0; }
+
+  /// Value at quantile q in [0, 1], linearly interpolated inside the
+  /// containing bucket; 0 when empty.
+  double Quantile(double q) const;
+
+ private:
+  int BucketIndex(double value) const;
+  double BucketLower(int i) const;
+  double BucketUpper(int i) const;
+
+  double min_value_;
+  double max_value_;
+  double log_min_;
+  double inv_log_growth_;
+  double log_growth_;
+  std::vector<uint64_t> counts_;
+  uint64_t count_ = 0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+}  // namespace c2mn
+
+#endif  // C2MN_COMMON_STREAMING_HISTOGRAM_H_

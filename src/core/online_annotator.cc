@@ -1,8 +1,17 @@
 #include "core/online_annotator.h"
 
+#include <algorithm>
 #include <cassert>
 
 namespace c2mn {
+
+OnlineAnnotator::Options OnlineAnnotator::Options::Validated() const {
+  Options v = *this;
+  v.window_records = std::max(v.window_records, 2);
+  v.decode_stride = std::max(v.decode_stride, 1);
+  v.finalize_lag = std::clamp(v.finalize_lag, 0, v.window_records - 1);
+  return v;
+}
 
 OnlineAnnotator::OnlineAnnotator(const World& world,
                                  FeatureOptions feature_options,
@@ -11,10 +20,7 @@ OnlineAnnotator::OnlineAnnotator(const World& world,
     : world_(world),
       fopts_(std::move(feature_options)),
       annotator_(world, fopts_, structure, std::move(weights)),
-      options_(options) {
-  assert(options_.window_records > options_.finalize_lag);
-  assert(options_.decode_stride >= 1);
-}
+      options_(options.Validated()) {}
 
 void OnlineAnnotator::Accumulate(const PositioningRecord& record,
                                  RegionId region, MobilityEvent event,
@@ -52,9 +58,13 @@ void OnlineAnnotator::DecodeAndFinalize(int keep_provisional,
 
 std::vector<MSemantics> OnlineAnnotator::Push(
     const PositioningRecord& record) {
-  assert(record.timestamp >= last_timestamp_);
-  last_timestamp_ = record.timestamp;
-  window_.push_back(record);
+  PositioningRecord accepted = record;
+  if (accepted.timestamp < last_timestamp_) {
+    accepted.timestamp = last_timestamp_;
+    ++timestamp_violations_;
+  }
+  last_timestamp_ = accepted.timestamp;
+  window_.push_back(accepted);
   ++total_records_;
   ++since_last_decode_;
 
@@ -76,6 +86,7 @@ std::vector<MSemantics> OnlineAnnotator::Flush() {
     pending_.reset();
   }
   last_timestamp_ = -1e300;
+  since_last_decode_ = 0;
   return emitted;
 }
 

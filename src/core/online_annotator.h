@@ -30,6 +30,12 @@ class OnlineAnnotator {
     int finalize_lag = 10;
     /// Re-decode every this many pushed records (amortizes cost).
     int decode_stride = 5;
+
+    /// Inconsistent settings are repaired rather than rejected, so a
+    /// service hosting thousands of annotators never crashes on a bad
+    /// config: window_records >= 2, decode_stride >= 1, and finalize_lag
+    /// clamped into [0, window_records - 1].
+    Options Validated() const;
   };
 
   OnlineAnnotator(const World& world, FeatureOptions feature_options,
@@ -41,16 +47,24 @@ class OnlineAnnotator {
       : OnlineAnnotator(world, std::move(feature_options), structure,
                         std::move(weights), Options()) {}
 
-  /// Feeds one record (timestamps must be non-decreasing); returns the
-  /// m-semantics completed by this push (usually none, sometimes one).
+  /// Feeds one record; returns the m-semantics completed by this push
+  /// (usually none, sometimes one).  Timestamps should be non-decreasing;
+  /// a record arriving with an earlier timestamp is clamped up to the
+  /// previous one (keeping the emitted sequence time-ordered) and counted
+  /// in timestamp_violations().
   std::vector<MSemantics> Push(const PositioningRecord& record);
 
   /// Ends the stream: decodes and finalizes everything still pending and
-  /// returns the remaining m-semantics.
+  /// returns the remaining m-semantics.  The annotator is then ready for
+  /// a fresh stream — a subsequent Push() behaves exactly as on a newly
+  /// constructed instance (counters excepted).
   std::vector<MSemantics> Flush();
 
-  /// Number of records consumed so far.
+  /// Number of records consumed so far (across Flush() restarts).
   size_t records_consumed() const { return total_records_; }
+
+  /// Number of out-of-order timestamps clamped so far.
+  uint64_t timestamp_violations() const { return timestamp_violations_; }
 
  private:
   /// Decodes the current window and freezes all but the trailing
@@ -70,6 +84,7 @@ class OnlineAnnotator {
   std::vector<PositioningRecord> window_;
   int since_last_decode_ = 0;
   size_t total_records_ = 0;
+  uint64_t timestamp_violations_ = 0;
   double last_timestamp_ = -1e300;
 
   /// The in-progress m-semantics run.

@@ -1,0 +1,274 @@
+#include "service/annotation_service.h"
+
+#include <chrono>
+#include <functional>
+#include <string>
+#include <thread>
+#include <unordered_map>
+
+#include "common/streaming_histogram.h"
+#include "service/bounded_queue.h"
+
+namespace c2mn {
+
+namespace {
+
+enum class OpKind : uint8_t { kOpen, kRecord, kClose };
+
+/// One unit of work for a shard worker.  Kept small: the sink (the only
+/// heavy member) is set for kOpen only.
+struct Op {
+  OpKind kind;
+  int64_t object_id;
+  PositioningRecord record;  // kRecord only.
+  SemanticsSink sink;        // kOpen only.
+  std::chrono::steady_clock::time_point submit_time;
+};
+
+}  // namespace
+
+/// All per-shard state.  `sessions` is touched only by the worker
+/// thread; `stats_mu` guards the counters and histogram that Stats()
+/// reads from other threads.
+struct AnnotationService::Shard {
+  explicit Shard(size_t queue_capacity) : queue(queue_capacity) {}
+
+  BoundedQueue<Op> queue;
+  std::thread worker;
+  std::unordered_map<int64_t, std::unique_ptr<service_internal::Session>>
+      sessions;
+
+  std::mutex stats_mu;
+  uint64_t records_processed = 0;
+  uint64_t semantics_emitted = 0;
+  uint64_t timestamp_violations = 0;
+  /// Submit-to-emit latency in seconds (1 us .. 1000 s buckets).
+  StreamingHistogram latency;
+};
+
+AnnotationService::AnnotationService(const World& world,
+                                     FeatureOptions feature_options,
+                                     C2mnStructure structure,
+                                     std::vector<double> weights,
+                                     Options options)
+    : world_(world),
+      fopts_(std::move(feature_options)),
+      structure_(structure),
+      weights_(std::move(weights)),
+      options_(options) {
+  const int n = options_.num_shards > 0 ? options_.num_shards : 1;
+  shards_.reserve(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    shards_.push_back(std::make_unique<Shard>(
+        options_.queue_capacity > 0 ? options_.queue_capacity : 1));
+  }
+  for (auto& shard : shards_) {
+    shard->worker = std::thread([this, s = shard.get()] { WorkerLoop(s); });
+  }
+}
+
+AnnotationService::~AnnotationService() { Stop(); }
+
+AnnotationService::Shard* AnnotationService::ShardOf(int64_t object_id) const {
+  const size_t h = std::hash<int64_t>{}(object_id);
+  return shards_[h % shards_.size()].get();
+}
+
+Status AnnotationService::OpenSession(int64_t object_id, SemanticsSink sink) {
+  {
+    std::lock_guard<std::mutex> lock(registry_mu_);
+    if (stopped_) return Status::FailedPrecondition("service is stopped");
+    if (!open_sessions_.insert(object_id).second) {
+      return Status::InvalidArgument("session " + std::to_string(object_id) +
+                                     " is already open");
+    }
+    ++sessions_opened_;
+  }
+  Op op;
+  op.kind = OpKind::kOpen;
+  op.object_id = object_id;
+  op.sink = std::move(sink);
+  op.submit_time = std::chrono::steady_clock::now();
+  pending_ops_.fetch_add(1, std::memory_order_relaxed);
+  if (!ShardOf(object_id)->queue.Push(std::move(op))) {
+    // Raced with Stop(): the open op was dropped, so undo the
+    // registration to keep Stats() consistent.
+    NoteOpDone();
+    std::lock_guard<std::mutex> lock(registry_mu_);
+    open_sessions_.erase(object_id);
+    --sessions_opened_;
+    return Status::FailedPrecondition("service is stopped");
+  }
+  return Status::OK();
+}
+
+Status AnnotationService::Submit(int64_t object_id,
+                                 const PositioningRecord& record) {
+  {
+    std::lock_guard<std::mutex> lock(registry_mu_);
+    if (stopped_) return Status::FailedPrecondition("service is stopped");
+    if (open_sessions_.count(object_id) == 0) {
+      return Status::NotFound("no open session for object " +
+                              std::to_string(object_id));
+    }
+  }
+  Op op;
+  op.kind = OpKind::kRecord;
+  op.object_id = object_id;
+  op.record = record;
+  op.submit_time = std::chrono::steady_clock::now();
+  pending_ops_.fetch_add(1, std::memory_order_relaxed);
+  if (!ShardOf(object_id)->queue.Push(std::move(op))) {
+    NoteOpDone();
+    return Status::FailedPrecondition("service is stopped");
+  }
+  records_submitted_.fetch_add(1, std::memory_order_relaxed);
+  return Status::OK();
+}
+
+Status AnnotationService::CloseSession(int64_t object_id) {
+  {
+    std::lock_guard<std::mutex> lock(registry_mu_);
+    if (stopped_) return Status::FailedPrecondition("service is stopped");
+    if (open_sessions_.erase(object_id) == 0) {
+      return Status::NotFound("no open session for object " +
+                              std::to_string(object_id));
+    }
+    ++sessions_closed_;
+  }
+  Op op;
+  op.kind = OpKind::kClose;
+  op.object_id = object_id;
+  op.submit_time = std::chrono::steady_clock::now();
+  pending_ops_.fetch_add(1, std::memory_order_relaxed);
+  if (!ShardOf(object_id)->queue.Push(std::move(op))) {
+    // Raced with Stop(): the flush op was dropped, so the session was
+    // never actually closed.
+    NoteOpDone();
+    std::lock_guard<std::mutex> lock(registry_mu_);
+    open_sessions_.insert(object_id);
+    --sessions_closed_;
+    return Status::FailedPrecondition("service is stopped");
+  }
+  return Status::OK();
+}
+
+void AnnotationService::NoteOpDone() {
+  if (pending_ops_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+    std::lock_guard<std::mutex> lock(drain_mu_);
+    drain_cv_.notify_all();
+  }
+}
+
+void AnnotationService::Drain() {
+  std::unique_lock<std::mutex> lock(drain_mu_);
+  drain_cv_.wait(lock, [this] {
+    return pending_ops_.load(std::memory_order_acquire) == 0;
+  });
+}
+
+void AnnotationService::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(registry_mu_);
+    if (stopped_) return;
+    stopped_ = true;
+  }
+  Drain();
+  for (auto& shard : shards_) shard->queue.Close();
+  for (auto& shard : shards_) {
+    if (shard->worker.joinable()) shard->worker.join();
+  }
+}
+
+void AnnotationService::WorkerLoop(Shard* shard) {
+  using service_internal::Session;
+  std::vector<Op> batch;
+  batch.reserve(options_.max_batch);
+  while (shard->queue.PopBatch(&batch, options_.max_batch)) {
+    for (Op& op : batch) {
+      switch (op.kind) {
+        case OpKind::kOpen: {
+          auto session = std::make_unique<Session>(
+              world_, fopts_, structure_, weights_, options_.annotator,
+              op.object_id, std::move(op.sink));
+          shard->sessions[op.object_id] = std::move(session);
+          break;
+        }
+        case OpKind::kRecord: {
+          const auto it = shard->sessions.find(op.object_id);
+          if (it == shard->sessions.end()) break;  // Raced with Stop().
+          Session* session = it->second.get();
+          const uint64_t violations_before =
+              session->annotator.timestamp_violations();
+          const std::vector<MSemantics> emitted =
+              session->annotator.Push(op.record);
+          for (const MSemantics& ms : emitted) {
+            if (session->sink) session->sink(session->object_id, ms);
+          }
+          const double latency_s =
+              std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                            op.submit_time)
+                  .count();
+          {
+            std::lock_guard<std::mutex> lock(shard->stats_mu);
+            ++shard->records_processed;
+            shard->semantics_emitted += emitted.size();
+            shard->timestamp_violations +=
+                session->annotator.timestamp_violations() - violations_before;
+            shard->latency.Add(latency_s);
+          }
+          break;
+        }
+        case OpKind::kClose: {
+          const auto it = shard->sessions.find(op.object_id);
+          if (it == shard->sessions.end()) break;
+          Session* session = it->second.get();
+          const std::vector<MSemantics> tail = session->annotator.Flush();
+          for (const MSemantics& ms : tail) {
+            if (session->sink) session->sink(session->object_id, ms);
+          }
+          {
+            std::lock_guard<std::mutex> lock(shard->stats_mu);
+            shard->semantics_emitted += tail.size();
+          }
+          shard->sessions.erase(it);
+          break;
+        }
+      }
+      NoteOpDone();
+    }
+    batch.clear();
+  }
+}
+
+ServiceStats AnnotationService::Stats() const {
+  ServiceStats stats;
+  {
+    std::lock_guard<std::mutex> lock(registry_mu_);
+    stats.sessions_open = open_sessions_.size();
+    stats.sessions_opened = sessions_opened_;
+    stats.sessions_closed = sessions_closed_;
+  }
+  stats.records_submitted = records_submitted_.load(std::memory_order_relaxed);
+  StreamingHistogram latency;
+  for (const auto& shard : shards_) {
+    stats.queue_depths.push_back(shard->queue.size());
+    std::lock_guard<std::mutex> lock(shard->stats_mu);
+    stats.records_processed += shard->records_processed;
+    stats.semantics_emitted += shard->semantics_emitted;
+    stats.timestamp_violations += shard->timestamp_violations;
+    latency.Merge(shard->latency);
+  }
+  stats.elapsed_seconds = uptime_.ElapsedSeconds();
+  stats.records_per_second =
+      stats.elapsed_seconds > 0.0
+          ? static_cast<double>(stats.records_processed) / stats.elapsed_seconds
+          : 0.0;
+  stats.latency_samples = latency.count();
+  stats.latency_p50_ms = latency.Quantile(0.5) * 1e3;
+  stats.latency_p99_ms = latency.Quantile(0.99) * 1e3;
+  stats.latency_max_ms = latency.max() * 1e3;
+  return stats;
+}
+
+}  // namespace c2mn

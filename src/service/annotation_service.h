@@ -1,0 +1,139 @@
+#ifndef C2MN_SERVICE_ANNOTATION_SERVICE_H_
+#define C2MN_SERVICE_ANNOTATION_SERVICE_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <unordered_set>
+#include <vector>
+
+#include "common/status.h"
+#include "common/stopwatch.h"
+#include "service/service_stats.h"
+#include "service/session.h"
+
+namespace c2mn {
+
+/// \brief A concurrent streaming annotation service: thousands of
+/// per-object positioning streams, each annotated by its own
+/// OnlineAnnotator, sharded across a fixed pool of worker threads.
+///
+/// Sharding is by object id (hash -> shard), so every session is
+/// processed by exactly one worker and needs no per-record locking;
+/// submissions enter bounded per-shard MPSC queues whose backpressure
+/// blocks producers instead of growing memory.  As long as each
+/// session's records are submitted from one thread at a time (in
+/// timestamp order), the m-semantics delivered to its sink are
+/// *identical* to a standalone OnlineAnnotator fed the same records —
+/// concurrency never changes the answer, only the throughput.
+///
+/// Thread model:
+///  - OpenSession / Submit / CloseSession / Drain / Stats are safe to
+///    call from any thread.
+///  - Sinks run on shard worker threads, one session at a time.
+///  - Drain() returns once every record submitted before the call has
+///    been fully processed (and its emissions delivered).
+class AnnotationService {
+ public:
+  struct Options {
+    /// Worker threads; each owns one queue and a disjoint set of
+    /// sessions.
+    int num_shards = 4;
+    /// Per-shard queue bound; Submit() blocks when the shard is this
+    /// far behind.
+    size_t queue_capacity = 4096;
+    /// Max operations a worker drains per wakeup (amortizes lock and
+    /// wakeup costs across a decode stride).
+    size_t max_batch = 64;
+    /// Streaming-decode knobs forwarded to every session's annotator.
+    OnlineAnnotator::Options annotator;
+  };
+
+  /// The world and weights are shared (read-only) by all sessions; the
+  /// caller keeps `world` alive for the service's lifetime.
+  AnnotationService(const World& world, FeatureOptions feature_options,
+                    C2mnStructure structure, std::vector<double> weights,
+                    Options options);
+
+  AnnotationService(const World& world, FeatureOptions feature_options,
+                    C2mnStructure structure, std::vector<double> weights)
+      : AnnotationService(world, std::move(feature_options), structure,
+                          std::move(weights), Options()) {}
+
+  /// Drains and joins the workers.  Sessions still open are discarded
+  /// without a final flush — call CloseSession (plus Drain) first if
+  /// their tails matter.
+  ~AnnotationService();
+
+  AnnotationService(const AnnotationService&) = delete;
+  AnnotationService& operator=(const AnnotationService&) = delete;
+
+  /// Registers a new stream; `sink` receives its completed m-semantics
+  /// in order.  Fails if the id is already open or the service stopped.
+  Status OpenSession(int64_t object_id, SemanticsSink sink);
+
+  /// Enqueues one record for the session's shard; blocks under
+  /// backpressure.  Records of one session must arrive in timestamp
+  /// order (out-of-order timestamps are clamped and counted, see
+  /// ServiceStats::timestamp_violations).
+  Status Submit(int64_t object_id, const PositioningRecord& record);
+
+  /// Flushes the session (the sink receives the remaining m-semantics)
+  /// and releases it.  Asynchronous: the flush has happened once a
+  /// subsequent Drain() returns.
+  Status CloseSession(int64_t object_id);
+
+  /// Blocks until the service is idle: every operation submitted so far
+  /// (including ones racing this call) is fully processed, establishing
+  /// a happens-before edge with all sink invocations for that work.
+  /// Under continuous concurrent submission this waits until producers
+  /// pause — pair it with quiescing the producers first.
+  void Drain();
+
+  /// Drains, stops the workers, and joins them.  Idempotent; called by
+  /// the destructor.  Submissions after Stop() fail.
+  void Stop();
+
+  /// A consistent point-in-time snapshot; cheap enough to poll.
+  ServiceStats Stats() const;
+
+  int num_shards() const { return static_cast<int>(shards_.size()); }
+
+ private:
+  struct Shard;
+
+  Shard* ShardOf(int64_t object_id) const;
+  void WorkerLoop(Shard* shard);
+  void NoteOpDone();
+
+  const World& world_;
+  const FeatureOptions fopts_;
+  const C2mnStructure structure_;
+  const std::vector<double> weights_;
+  const Options options_;
+  const Stopwatch uptime_;
+
+  std::vector<std::unique_ptr<Shard>> shards_;
+
+  /// Caller-visible session registry (which ids are open right now);
+  /// the authoritative per-session state lives with the shard workers.
+  mutable std::mutex registry_mu_;
+  std::unordered_set<int64_t> open_sessions_;
+  uint64_t sessions_opened_ = 0;
+  uint64_t sessions_closed_ = 0;
+  bool stopped_ = false;
+
+  std::atomic<uint64_t> records_submitted_{0};
+
+  /// Operations enqueued but not yet fully processed, across all
+  /// shards; Drain() waits for zero.
+  std::atomic<uint64_t> pending_ops_{0};
+  mutable std::mutex drain_mu_;
+  std::condition_variable drain_cv_;
+};
+
+}  // namespace c2mn
+
+#endif  // C2MN_SERVICE_ANNOTATION_SERVICE_H_

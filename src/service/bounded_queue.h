@@ -1,0 +1,89 @@
+#ifndef C2MN_SERVICE_BOUNDED_QUEUE_H_
+#define C2MN_SERVICE_BOUNDED_QUEUE_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+namespace c2mn {
+
+/// \brief A bounded multi-producer single-consumer blocking queue.
+///
+/// Producers block in Push() while the queue is at capacity
+/// (backpressure: a flood of Submit() calls slows the callers down
+/// instead of growing memory without bound).  The single consumer drains
+/// with PopBatch(), which hands back up to `max_items` at once so the
+/// worker amortizes wakeups and lock traffic across a whole decode
+/// stride.  FIFO order is global across producers, which is what makes
+/// per-session processing deterministic when each session has a single
+/// submitting thread.
+template <typename T>
+class BoundedQueue {
+ public:
+  explicit BoundedQueue(size_t capacity) : capacity_(capacity) {}
+
+  BoundedQueue(const BoundedQueue&) = delete;
+  BoundedQueue& operator=(const BoundedQueue&) = delete;
+
+  /// Blocks while full.  Returns false (dropping the item) once the
+  /// queue is closed.
+  bool Push(T item) {
+    std::unique_lock<std::mutex> lock(mu_);
+    not_full_.wait(lock,
+                   [this] { return closed_ || items_.size() < capacity_; });
+    if (closed_) return false;
+    items_.push_back(std::move(item));
+    lock.unlock();
+    not_empty_.notify_one();
+    return true;
+  }
+
+  /// Blocks while empty.  Appends up to `max_items` into `*out` and
+  /// returns true; returns false once the queue is closed and drained.
+  bool PopBatch(std::vector<T>* out, size_t max_items) {
+    std::unique_lock<std::mutex> lock(mu_);
+    not_empty_.wait(lock, [this] { return closed_ || !items_.empty(); });
+    if (items_.empty()) return false;  // Closed and drained.
+    const size_t n = std::min(max_items, items_.size());
+    for (size_t i = 0; i < n; ++i) {
+      out->push_back(std::move(items_.front()));
+      items_.pop_front();
+    }
+    lock.unlock();
+    not_full_.notify_all();
+    return true;
+  }
+
+  /// Wakes all waiters; subsequent Push() calls fail, PopBatch() keeps
+  /// succeeding until the backlog is drained.
+  void Close() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      closed_ = true;
+    }
+    not_full_.notify_all();
+    not_empty_.notify_all();
+  }
+
+  size_t size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return items_.size();
+  }
+
+  size_t capacity() const { return capacity_; }
+
+ private:
+  mutable std::mutex mu_;
+  std::condition_variable not_full_;
+  std::condition_variable not_empty_;
+  std::deque<T> items_;
+  const size_t capacity_;
+  bool closed_ = false;
+};
+
+}  // namespace c2mn
+
+#endif  // C2MN_SERVICE_BOUNDED_QUEUE_H_

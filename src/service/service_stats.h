@@ -1,0 +1,45 @@
+#ifndef C2MN_SERVICE_SERVICE_STATS_H_
+#define C2MN_SERVICE_SERVICE_STATS_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace c2mn {
+
+/// \brief A point-in-time snapshot of AnnotationService health, cheap
+/// enough to poll from a monitoring thread.
+struct ServiceStats {
+  /// Sessions currently open (opened and not yet closed by the caller).
+  size_t sessions_open = 0;
+  uint64_t sessions_opened = 0;
+  uint64_t sessions_closed = 0;
+
+  /// Records accepted by Submit() so far.
+  uint64_t records_submitted = 0;
+  /// Records fully processed by shard workers.
+  uint64_t records_processed = 0;
+  /// M-semantics handed to session sinks.
+  uint64_t semantics_emitted = 0;
+  /// Out-of-order timestamps clamped by the per-session annotators.
+  uint64_t timestamp_violations = 0;
+
+  /// Per-shard backlog at snapshot time.
+  std::vector<size_t> queue_depths;
+
+  /// Seconds since the service started.
+  double elapsed_seconds = 0.0;
+  /// records_processed / elapsed_seconds.
+  double records_per_second = 0.0;
+
+  /// Submit-to-emit latency: from Submit() accepting a record to the
+  /// shard worker finishing the push that consumed it (including any
+  /// m-semantics emission it triggered).
+  uint64_t latency_samples = 0;
+  double latency_p50_ms = 0.0;
+  double latency_p99_ms = 0.0;
+  double latency_max_ms = 0.0;
+};
+
+}  // namespace c2mn
+
+#endif  // C2MN_SERVICE_SERVICE_STATS_H_

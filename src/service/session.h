@@ -1,0 +1,39 @@
+#ifndef C2MN_SERVICE_SESSION_H_
+#define C2MN_SERVICE_SESSION_H_
+
+#include <cstdint>
+#include <functional>
+#include <utility>
+
+#include "core/online_annotator.h"
+
+namespace c2mn {
+
+/// Receives every completed m-semantics of one session, in stream order.
+/// Invoked on the owning shard's worker thread; implementations must be
+/// fast (hand off to another queue if they are not) and need no locking
+/// against other calls for the same session.
+using SemanticsSink = std::function<void(int64_t object_id, const MSemantics&)>;
+
+namespace service_internal {
+
+/// \brief One live object stream inside the service: the streaming
+/// annotator plus its sink and counters.  Owned by exactly one shard
+/// worker thread, so none of this needs synchronization.
+struct Session {
+  Session(const World& world, const FeatureOptions& fopts,
+          C2mnStructure structure, const std::vector<double>& weights,
+          OnlineAnnotator::Options options, int64_t id, SemanticsSink s)
+      : object_id(id),
+        annotator(world, fopts, structure, weights, options),
+        sink(std::move(s)) {}
+
+  int64_t object_id;
+  OnlineAnnotator annotator;
+  SemanticsSink sink;
+};
+
+}  // namespace service_internal
+}  // namespace c2mn
+
+#endif  // C2MN_SERVICE_SESSION_H_

@@ -1,0 +1,86 @@
+#include "common/streaming_histogram.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace c2mn {
+namespace {
+
+TEST(StreamingHistogramTest, EmptyHistogramIsZero) {
+  StreamingHistogram hist;
+  EXPECT_EQ(hist.count(), 0u);
+  EXPECT_EQ(hist.Quantile(0.5), 0.0);
+  EXPECT_EQ(hist.min(), 0.0);
+  EXPECT_EQ(hist.max(), 0.0);
+  EXPECT_EQ(hist.Mean(), 0.0);
+}
+
+TEST(StreamingHistogramTest, TracksExactExtremesAndMean) {
+  StreamingHistogram hist;
+  hist.Add(0.001);
+  hist.Add(0.010);
+  hist.Add(0.100);
+  EXPECT_EQ(hist.count(), 3u);
+  EXPECT_DOUBLE_EQ(hist.min(), 0.001);
+  EXPECT_DOUBLE_EQ(hist.max(), 0.100);
+  EXPECT_NEAR(hist.Mean(), 0.111 / 3.0, 1e-12);
+}
+
+TEST(StreamingHistogramTest, QuantilesOfUniformSamples) {
+  // Quantile error is bounded by the bucket growth factor (20%).
+  StreamingHistogram hist;
+  Rng rng(11);
+  for (int i = 0; i < 20000; ++i) hist.Add(rng.Uniform(0.010, 0.020));
+  EXPECT_NEAR(hist.Quantile(0.5), 0.015, 0.015 * 0.25);
+  EXPECT_NEAR(hist.Quantile(0.99), 0.020, 0.020 * 0.25);
+  EXPECT_LE(hist.Quantile(0.5), hist.Quantile(0.99));
+  EXPECT_LE(hist.Quantile(0.99), hist.max() + 1e-12);
+  EXPECT_GE(hist.Quantile(0.01), hist.min() - 1e-12);
+}
+
+TEST(StreamingHistogramTest, OutOfRangeValuesClampIntoEndBuckets) {
+  StreamingHistogram hist(1e-6, 1e3, 1.2);
+  hist.Add(1e-12);
+  hist.Add(1e9);
+  EXPECT_EQ(hist.count(), 2u);
+  EXPECT_DOUBLE_EQ(hist.max(), 1e9);
+  // Quantiles stay within the observed extremes.
+  EXPECT_LE(hist.Quantile(0.99), 1e9);
+  EXPECT_GE(hist.Quantile(0.01), 1e-12);
+}
+
+TEST(StreamingHistogramTest, MergeEqualsCombinedStream) {
+  StreamingHistogram a, b, both;
+  Rng rng(5);
+  for (int i = 0; i < 1000; ++i) {
+    const double va = rng.Uniform(0.001, 0.005);
+    const double vb = rng.Uniform(0.050, 0.500);
+    a.Add(va);
+    b.Add(vb);
+    both.Add(va);
+    both.Add(vb);
+  }
+  a.Merge(b);
+  EXPECT_EQ(a.count(), both.count());
+  // Summation order differs between the two paths.
+  EXPECT_NEAR(a.sum(), both.sum(), 1e-9 * both.sum());
+  EXPECT_DOUBLE_EQ(a.min(), both.min());
+  EXPECT_DOUBLE_EQ(a.max(), both.max());
+  EXPECT_DOUBLE_EQ(a.Quantile(0.5), both.Quantile(0.5));
+  EXPECT_DOUBLE_EQ(a.Quantile(0.99), both.Quantile(0.99));
+}
+
+TEST(StreamingHistogramTest, ClearResets) {
+  StreamingHistogram hist;
+  hist.Add(1.0);
+  hist.Clear();
+  EXPECT_EQ(hist.count(), 0u);
+  EXPECT_EQ(hist.Quantile(0.9), 0.0);
+  hist.Add(2.0);
+  EXPECT_EQ(hist.count(), 1u);
+  EXPECT_DOUBLE_EQ(hist.max(), 2.0);
+}
+
+}  // namespace
+}  // namespace c2mn

@@ -107,6 +107,95 @@ TEST_F(OnlineAnnotatorTest, FlushOnEmptyStream) {
   OnlineAnnotator online(*scenario_.world, FeatureOptions{}, C2mnStructure{},
                          weights_);
   EXPECT_TRUE(online.Flush().empty());
+  EXPECT_EQ(online.records_consumed(), 0u);
+  // Flushing twice is harmless.
+  EXPECT_TRUE(online.Flush().empty());
+}
+
+TEST_F(OnlineAnnotatorTest, PushAfterFlushStartsFreshStream) {
+  // After a Flush(), the annotator must behave exactly like a freshly
+  // constructed one — the property the annotation service relies on when
+  // an object leaves the venue and later returns.
+  const LabeledSequence& ls = *split_.test.front();
+  OnlineAnnotator::Options options;
+  options.window_records = 20;
+  options.finalize_lag = 5;
+  options.decode_stride = 2;
+
+  OnlineAnnotator reused(*scenario_.world, FeatureOptions{}, C2mnStructure{},
+                         weights_, options);
+  // First visit: half the sequence, then flush.
+  const size_t half = ls.sequence.size() / 2;
+  for (size_t i = 0; i < half; ++i) reused.Push(ls.sequence[i]);
+  reused.Flush();
+
+  // Second visit: the full sequence again (timestamps restart, which a
+  // flushed annotator accepts without counting violations).
+  MSemanticsSequence second_visit;
+  for (const PositioningRecord& rec : ls.sequence.records) {
+    for (MSemantics& ms : reused.Push(rec)) second_visit.push_back(ms);
+  }
+  for (MSemantics& ms : reused.Flush()) second_visit.push_back(ms);
+  EXPECT_EQ(reused.timestamp_violations(), 0u);
+  EXPECT_EQ(reused.records_consumed(), half + ls.sequence.size());
+
+  const MSemanticsSequence fresh = Stream(ls.sequence, options);
+  ASSERT_EQ(second_visit.size(), fresh.size());
+  for (size_t i = 0; i < fresh.size(); ++i) {
+    EXPECT_EQ(second_visit[i].region, fresh[i].region);
+    EXPECT_EQ(second_visit[i].event, fresh[i].event);
+    EXPECT_EQ(second_visit[i].t_start, fresh[i].t_start);
+    EXPECT_EQ(second_visit[i].t_end, fresh[i].t_end);
+    EXPECT_EQ(second_visit[i].support, fresh[i].support);
+  }
+}
+
+TEST_F(OnlineAnnotatorTest, WindowSmallerThanFinalizeLagIsRepaired) {
+  // A misconfigured window (smaller than the finalize lag) must not
+  // crash or stall: Options::Validated() clamps the lag below the
+  // window, so records keep being finalized and emitted.
+  const LabeledSequence& ls = *split_.test.front();
+  OnlineAnnotator::Options options;
+  options.window_records = 6;
+  options.finalize_lag = 40;  // Larger than the window.
+  options.decode_stride = 1;
+  const MSemanticsSequence ms = Stream(ls.sequence, options);
+  EXPECT_TRUE(IsValidMSemanticsSequence(ms, ls.sequence));
+  int support = 0;
+  for (const MSemantics& m : ms) support += m.support;
+  EXPECT_EQ(support, static_cast<int>(ls.size()));
+}
+
+TEST_F(OnlineAnnotatorTest, OutOfOrderTimestampsAreClampedAndCounted) {
+  const LabeledSequence& ls = *split_.test.front();
+  PSequence scrambled = ls.sequence;
+  // Pull every 7th record's timestamp backwards.
+  int expected_violations = 0;
+  for (size_t i = 7; i < scrambled.records.size(); i += 7) {
+    scrambled.records[i].timestamp =
+        scrambled.records[i - 1].timestamp - 30.0;
+    ++expected_violations;
+  }
+  ASSERT_GT(expected_violations, 0);
+
+  OnlineAnnotator online(*scenario_.world, FeatureOptions{}, C2mnStructure{},
+                         weights_);
+  MSemanticsSequence all;
+  for (const PositioningRecord& rec : scrambled.records) {
+    for (MSemantics& ms : online.Push(rec)) all.push_back(ms);
+  }
+  for (MSemantics& ms : online.Flush()) all.push_back(ms);
+  EXPECT_EQ(online.timestamp_violations(),
+            static_cast<uint64_t>(expected_violations));
+
+  // Emitted m-semantics stay time-ordered despite the dirty input.
+  int support = 0;
+  for (size_t i = 0; i < all.size(); ++i) {
+    EXPECT_LE(all[i].t_start, all[i].t_end);
+    if (i > 0) EXPECT_LE(all[i - 1].t_end, all[i].t_start);
+    support += all[i].support;
+  }
+  EXPECT_EQ(support, static_cast<int>(scrambled.size()));
 }
 
 }  // namespace

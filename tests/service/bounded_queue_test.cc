@@ -1,0 +1,97 @@
+#include "service/bounded_queue.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+namespace c2mn {
+namespace {
+
+TEST(BoundedQueueTest, FifoWithinOneProducer) {
+  BoundedQueue<int> queue(16);
+  for (int i = 0; i < 10; ++i) EXPECT_TRUE(queue.Push(i));
+  std::vector<int> out;
+  EXPECT_TRUE(queue.PopBatch(&out, 4));
+  EXPECT_EQ(out, (std::vector<int>{0, 1, 2, 3}));
+  EXPECT_TRUE(queue.PopBatch(&out, 100));
+  ASSERT_EQ(out.size(), 10u);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(out[i], i);
+  EXPECT_EQ(queue.size(), 0u);
+}
+
+TEST(BoundedQueueTest, BackpressureBlocksUntilConsumed) {
+  BoundedQueue<int> queue(2);
+  ASSERT_TRUE(queue.Push(1));
+  ASSERT_TRUE(queue.Push(2));
+  std::atomic<bool> third_pushed{false};
+  std::thread producer([&] {
+    queue.Push(3);  // Blocks until the consumer pops.
+    third_pushed = true;
+  });
+  // The producer cannot finish while the queue is full.
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_FALSE(third_pushed.load());
+  std::vector<int> out;
+  EXPECT_TRUE(queue.PopBatch(&out, 1));
+  producer.join();
+  EXPECT_TRUE(third_pushed.load());
+}
+
+TEST(BoundedQueueTest, CloseDrainsBacklogThenStops) {
+  BoundedQueue<int> queue(8);
+  ASSERT_TRUE(queue.Push(1));
+  ASSERT_TRUE(queue.Push(2));
+  queue.Close();
+  EXPECT_FALSE(queue.Push(3));
+  std::vector<int> out;
+  EXPECT_TRUE(queue.PopBatch(&out, 10));
+  EXPECT_EQ(out, (std::vector<int>{1, 2}));
+  out.clear();
+  EXPECT_FALSE(queue.PopBatch(&out, 10));
+}
+
+TEST(BoundedQueueTest, CloseWakesBlockedProducers) {
+  BoundedQueue<int> queue(1);
+  ASSERT_TRUE(queue.Push(1));
+  std::atomic<bool> rejected{false};
+  std::thread producer([&] { rejected = !queue.Push(2); });
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  queue.Close();
+  producer.join();
+  EXPECT_TRUE(rejected.load());
+}
+
+TEST(BoundedQueueTest, ManyProducersLoseNothing) {
+  constexpr int kProducers = 8;
+  constexpr int kPerProducer = 500;
+  BoundedQueue<int> queue(32);
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&queue, p] {
+      for (int i = 0; i < kPerProducer; ++i) {
+        ASSERT_TRUE(queue.Push(p * kPerProducer + i));
+      }
+    });
+  }
+  std::vector<int> all;
+  std::vector<int> batch;
+  while (static_cast<int>(all.size()) < kProducers * kPerProducer) {
+    batch.clear();
+    ASSERT_TRUE(queue.PopBatch(&batch, 64));
+    all.insert(all.end(), batch.begin(), batch.end());
+  }
+  for (std::thread& t : producers) t.join();
+  // Every item arrives exactly once, and each producer's items in order.
+  std::vector<int> next(kProducers, 0);
+  for (int value : all) {
+    const int p = value / kPerProducer;
+    EXPECT_EQ(value % kPerProducer, next[p]);
+    ++next[p];
+  }
+  for (int p = 0; p < kProducers; ++p) EXPECT_EQ(next[p], kPerProducer);
+}
+
+}  // namespace
+}  // namespace c2mn

@@ -10,22 +10,30 @@
 //       Label-and-merge every sequence into m-semantics.
 //   render --records R.csv --floor F --out-svg OUT.svg
 //       Draw a floor with the first sequence's trajectory.
+//   serve-sim [--objects N] [--shards K] [--producers P] [--iters N]
+//       Replay simulator traffic through the concurrent AnnotationService
+//       and report throughput / latency statistics.
 //
 // All subcommands accept --seed (default 7) which controls the generated
 // venue, so weights and data stay consistent across invocations.
 
+#include <cinttypes>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <map>
 #include <string>
+#include <thread>
+#include <vector>
 
 #include "common/logging.h"
+#include "common/stopwatch.h"
 #include "core/trainer.h"
 #include "core/variants.h"
 #include "core/weights_io.h"
 #include "data/io.h"
 #include "data/svg_export.h"
+#include "service/annotation_service.h"
 #include "sim/scenarios.h"
 
 using namespace c2mn;
@@ -48,8 +56,8 @@ struct Args {
 
 int Usage() {
   std::fprintf(stderr,
-               "usage: c2mn_cli <generate|train|annotate|render> [--key "
-               "value]...\n"
+               "usage: c2mn_cli <generate|train|annotate|render|serve-sim> "
+               "[--key value]...\n"
                "  generate --out-records R.csv --out-labels L.csv "
                "[--objects N] [--seed S]\n"
                "  train    --records R.csv --labels L.csv --out-weights "
@@ -57,7 +65,9 @@ int Usage() {
                "  annotate --records R.csv --weights W.txt --out-semantics "
                "M.csv [--seed S]\n"
                "  render   --records R.csv --out-svg OUT.svg [--floor F] "
-               "[--seed S]\n");
+               "[--seed S]\n"
+               "  serve-sim [--objects N] [--shards K] [--producers P] "
+               "[--iters N] [--weights W.txt] [--seed S]\n");
   return 2;
 }
 
@@ -173,6 +183,102 @@ int Render(const Args& args) {
   return 0;
 }
 
+// Replays simulated mall traffic through the sharded AnnotationService:
+// one session per simulated object, `--producers` submitting threads, and
+// a stats report at the end.  This is the "running the service demo" path
+// documented in the README.
+int ServeSim(const Args& args) {
+  const uint64_t seed = static_cast<uint64_t>(args.GetInt("seed", 7));
+  ScenarioOptions sopts;
+  sopts.num_objects = args.GetInt("objects", 40);
+  sopts.seed = seed;
+  std::printf("simulating %d objects in the mall venue...\n",
+              sopts.num_objects);
+  const Scenario scenario = MakeMallScenario(sopts);
+
+  std::vector<double> weights;
+  if (const char* weights_path = args.Get("weights")) {
+    std::ifstream win(weights_path);
+    if (!win) {
+      std::fprintf(stderr, "cannot open %s\n", weights_path);
+      return 1;
+    }
+    auto loaded = weights_io::Read(&win);
+    if (!loaded.ok()) {
+      std::fprintf(stderr, "%s\n", loaded.status().ToString().c_str());
+      return 1;
+    }
+    weights = *loaded;
+  } else {
+    TrainOptions topts;
+    topts.max_iter = args.GetInt("iters", 12);
+    topts.mcmc_samples = 15;
+    std::vector<const LabeledSequence*> train;
+    for (const LabeledSequence& ls : scenario.dataset.sequences) {
+      train.push_back(&ls);
+    }
+    AlternateTrainer trainer(*scenario.world, FeatureOptions{},
+                             C2mnStructure{}, topts);
+    std::printf("training weights (%d iters; pass --weights to skip)...\n",
+                topts.max_iter);
+    weights = trainer.Train(train).weights;
+  }
+
+  AnnotationService::Options options;
+  options.num_shards = args.GetInt("shards", 4);
+  const int producers = args.GetInt("producers", 4);
+  AnnotationService service(*scenario.world, FeatureOptions{}, C2mnStructure{},
+                            weights, options);
+
+  const size_t num_streams = scenario.dataset.sequences.size();
+  std::vector<size_t> emitted(num_streams, 0);
+  for (size_t i = 0; i < num_streams; ++i) {
+    service.OpenSession(static_cast<int64_t>(i),
+                        [&emitted](int64_t id, const MSemantics&) {
+                          ++emitted[static_cast<size_t>(id)];
+                        });
+  }
+
+  std::printf("replaying %zu streams through %d shards from %d producers...\n",
+              num_streams, service.num_shards(), producers);
+  Stopwatch replay;
+  std::vector<std::thread> threads;
+  for (int p = 0; p < producers; ++p) {
+    threads.emplace_back([&, p] {
+      for (size_t i = static_cast<size_t>(p); i < num_streams;
+           i += static_cast<size_t>(producers)) {
+        const PSequence& seq = scenario.dataset.sequences[i].sequence;
+        for (const PositioningRecord& rec : seq.records) {
+          service.Submit(static_cast<int64_t>(i), rec);
+        }
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  for (size_t i = 0; i < num_streams; ++i) {
+    service.CloseSession(static_cast<int64_t>(i));
+  }
+  service.Drain();
+  const double replay_seconds = replay.ElapsedSeconds();
+
+  const ServiceStats stats = service.Stats();
+  size_t total_semantics = 0;
+  for (size_t count : emitted) total_semantics += count;
+  std::printf("\n--- service report ---\n");
+  std::printf("sessions           %" PRIu64 " opened, %" PRIu64 " closed\n",
+              stats.sessions_opened, stats.sessions_closed);
+  std::printf("records            %" PRIu64 " submitted, %" PRIu64
+              " processed\n",
+              stats.records_submitted, stats.records_processed);
+  std::printf("m-semantics        %zu delivered to sinks\n", total_semantics);
+  std::printf("throughput         %.0f records/sec (replay wall time %.2f s)\n",
+              stats.records_processed / replay_seconds, replay_seconds);
+  std::printf("submit-to-emit     p50 %.3f ms   p99 %.3f ms   max %.3f ms\n",
+              stats.latency_p50_ms, stats.latency_p99_ms, stats.latency_max_ms);
+  std::printf("timestamp clamps   %" PRIu64 "\n", stats.timestamp_violations);
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -188,5 +294,6 @@ int main(int argc, char** argv) {
   if (args.command == "train") return Train(args);
   if (args.command == "annotate") return Annotate(args);
   if (args.command == "render") return Render(args);
+  if (args.command == "serve-sim") return ServeSim(args);
   return Usage();
 }
