@@ -3,18 +3,75 @@
 // Section V-B1 of the paper reports that "labeling a p-sequence with
 // around 100 positioning records takes less than 600 ms"; BM_AnnotateSeq
 // measures the equivalent figure here.
+//
+// Beyond wall-clock timing, this binary tracks the allocation behavior of
+// the flat arena-backed inference core via a counting global operator new:
+//   * allocs_per_decode counters on the annotate benchmarks;
+//   * a hard steady-state check that OnlineAnnotator::Push performs ZERO
+//     heap allocations on pushes that do not trigger a window decode
+//     (the process exits non-zero if that invariant breaks).
+// Results are emitted as machine-readable JSON (default
+// BENCH_inference.json in the working directory; override with
+// C2MN_BENCH_JSON).  Set C2MN_BENCH_BASELINE to
+// "name=ms,name=ms,..." (and optionally C2MN_BENCH_BASELINE_COMMIT) to
+// embed a baseline and per-benchmark speedups in the JSON.
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <new>
+#include <sstream>
+#include <string>
+#include <vector>
 
 #include <benchmark/benchmark.h>
 
 #include "baselines/c2mn_method.h"
 #include "common/logging.h"
 #include "core/annotator.h"
+#include "core/online_annotator.h"
 #include "core/trainer.h"
 #include "data/dataset.h"
 #include "sim/scenarios.h"
 
+// ---------------------------------------------------------------------------
+// Counting allocator: every global new/delete in this binary bumps a relaxed
+// atomic, so benchmarks can report exact allocations-per-operation deltas.
+// ---------------------------------------------------------------------------
+
+namespace {
+std::atomic<uint64_t> g_alloc_count{0};
+}  // namespace
+
+void* operator new(std::size_t size) {
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size ? size : 1)) return p;
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t size) { return ::operator new(size); }
+void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  return std::malloc(size ? size : 1);
+}
+void* operator new[](std::size_t size, const std::nothrow_t& t) noexcept {
+  return ::operator new(size, t);
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, const std::nothrow_t&) noexcept { std::free(p); }
+void operator delete[](void* p, const std::nothrow_t&) noexcept {
+  std::free(p);
+}
+
 namespace c2mn {
 namespace {
+
+uint64_t AllocCount() { return g_alloc_count.load(std::memory_order_relaxed); }
 
 /// Shared fixture state: one scenario + one trained model.
 struct InferenceState {
@@ -44,11 +101,7 @@ struct InferenceState {
   }
 };
 
-/// Joint (R, E) annotation of one p-sequence with ~`records` records.
-void BM_AnnotateSequence(benchmark::State& state) {
-  InferenceState& s = InferenceState::Get();
-  const size_t target = static_cast<size_t>(state.range(0));
-  // Pick the test sequence whose length is closest to the target.
+const LabeledSequence& SequenceNear(const InferenceState& s, size_t target) {
   const LabeledSequence* best = &s.scenario.dataset.sequences.front();
   for (const LabeledSequence& ls : s.scenario.dataset.sequences) {
     if (std::llabs(static_cast<long long>(ls.size()) -
@@ -58,17 +111,54 @@ void BM_AnnotateSequence(benchmark::State& state) {
       best = &ls;
     }
   }
+  return *best;
+}
+
+/// Joint (R, E) annotation of one p-sequence with ~`records` records,
+/// cold workspace per decode (the historical BM_AnnotateSeq figure).
+void BM_AnnotateSequence(benchmark::State& state) {
+  InferenceState& s = InferenceState::Get();
+  const LabeledSequence& best =
+      SequenceNear(s, static_cast<size_t>(state.range(0)));
   const C2mnAnnotator annotator(*s.scenario.world, s.fopts, C2mnStructure{},
                                 s.weights);
   for (auto _ : state) {
-    benchmark::DoNotOptimize(annotator.Annotate(best->sequence));
+    benchmark::DoNotOptimize(annotator.Annotate(best.sequence));
   }
-  state.counters["records"] = static_cast<double>(best->size());
+  const uint64_t before = AllocCount();
+  benchmark::DoNotOptimize(annotator.Annotate(best.sequence));
+  state.counters["allocs_per_decode"] =
+      static_cast<double>(AllocCount() - before);
+  state.counters["records"] = static_cast<double>(best.size());
   state.counters["ms_per_100rec"] = benchmark::Counter(
-      100.0 * 1e3 / static_cast<double>(best->size()),
+      100.0 * 1e3 / static_cast<double>(best.size()),
       benchmark::Counter::kDefaults);
 }
 BENCHMARK(BM_AnnotateSequence)->Arg(100)->Arg(200)->Arg(400)
+    ->Unit(benchmark::kMillisecond);
+
+/// Same decode through a reused DecodeWorkspace — the streaming-service
+/// configuration, where the arena and label buffers persist across calls.
+void BM_AnnotateSequenceReusedWorkspace(benchmark::State& state) {
+  InferenceState& s = InferenceState::Get();
+  const LabeledSequence& best =
+      SequenceNear(s, static_cast<size_t>(state.range(0)));
+  const C2mnAnnotator annotator(*s.scenario.world, s.fopts, C2mnStructure{},
+                                s.weights);
+  DecodeWorkspace workspace;
+  LabelSequence labels;
+  annotator.AnnotateInto(best.sequence, &workspace, &labels);  // Warm up.
+  for (auto _ : state) {
+    annotator.AnnotateInto(best.sequence, &workspace, &labels);
+    benchmark::DoNotOptimize(labels.regions.data());
+  }
+  const uint64_t before = AllocCount();
+  annotator.AnnotateInto(best.sequence, &workspace, &labels);
+  state.counters["allocs_per_decode"] =
+      static_cast<double>(AllocCount() - before);
+  state.counters["records"] = static_cast<double>(best.size());
+}
+BENCHMARK(BM_AnnotateSequenceReusedWorkspace)->Arg(100)
     ->Unit(benchmark::kMillisecond);
 
 /// Unrolling one sequence into a SequenceGraph (candidates, st-DBSCAN,
@@ -94,7 +184,265 @@ void BM_MergeLabels(benchmark::State& state) {
 }
 BENCHMARK(BM_MergeLabels);
 
+/// Candidate generation primitive: k-nearest distinct regions.  Covers
+/// the reserve()d, set-free RegionIndex::NearestRegionsInto path.
+void BM_NearestRegions(benchmark::State& state) {
+  InferenceState& s = InferenceState::Get();
+  const World& world = *s.scenario.world;
+  const LabeledSequence& ls = s.scenario.dataset.sequences.front();
+  std::vector<RegionIndex::RegionDistance> buffer;
+  size_t i = 0;
+  const size_t n = ls.sequence.size();
+  for (auto _ : state) {
+    world.index().NearestRegionsInto(ls.sequence[i++ % n].location, 6, 40.0,
+                                     &buffer);
+    benchmark::DoNotOptimize(buffer.data());
+  }
+  const uint64_t before = AllocCount();
+  for (int q = 0; q < 64; ++q) {
+    world.index().NearestRegionsInto(ls.sequence[q % n].location, 6, 40.0,
+                                     &buffer);
+  }
+  state.counters["allocs_per_64_queries"] =
+      static_cast<double>(AllocCount() - before);
+}
+BENCHMARK(BM_NearestRegions);
+
+/// Streaming push throughput through a single OnlineAnnotator session.
+void BM_OnlinePush(benchmark::State& state) {
+  InferenceState& s = InferenceState::Get();
+  const LabeledSequence& ls = SequenceNear(s, 400);
+  OnlineAnnotator::Options opts;
+  OnlineAnnotator annotator(*s.scenario.world, s.fopts, C2mnStructure{},
+                            s.weights, opts);
+  size_t i = 0;
+  const size_t n = ls.sequence.size();
+  double t = 0.0;
+  for (auto _ : state) {
+    PositioningRecord r = ls.sequence.records[i++ % n];
+    r.timestamp = (t += 1.0);  // Keep the stream time-ordered across wraps.
+    benchmark::DoNotOptimize(annotator.Push(r));
+  }
+  state.counters["records_consumed"] =
+      static_cast<double>(annotator.records_consumed());
+}
+BENCHMARK(BM_OnlinePush)->Unit(benchmark::kMicrosecond);
+
+// ---------------------------------------------------------------------------
+// Steady-state allocation check (not a google-benchmark): replays a long
+// stream through OnlineAnnotator and verifies that pushes which do not
+// trigger a window decode perform exactly zero heap allocations.
+// ---------------------------------------------------------------------------
+
+struct PushAllocStats {
+  uint64_t steady_push_allocs_max = 0;   // Must be 0.
+  uint64_t steady_pushes_checked = 0;
+  double decode_push_allocs_mean = 0.0;  // Amortized cost of decode pushes.
+  uint64_t decode_pushes_checked = 0;
+};
+
+PushAllocStats RunPushAllocCheck() {
+  InferenceState& s = InferenceState::Get();
+  const LabeledSequence& ls = SequenceNear(s, 400);
+  const OnlineAnnotator::Options opts = OnlineAnnotator::Options().Validated();
+  OnlineAnnotator annotator(*s.scenario.world, s.fopts, C2mnStructure{},
+                            s.weights, opts);
+  // Mirror of Push()'s decode trigger, so each push can be classified
+  // without touching annotator internals.
+  int window = 0;
+  int since_decode = 0;
+  auto push_decodes = [&]() {
+    ++window;
+    ++since_decode;
+    if (window >= opts.window_records && since_decode >= opts.decode_stride) {
+      window = opts.finalize_lag;
+      since_decode = 0;
+      return true;
+    }
+    return false;
+  };
+
+  PushAllocStats stats;
+  const size_t n = ls.sequence.size();
+  double t = 0.0;
+  size_t i = 0;
+  auto next_record = [&]() {
+    PositioningRecord r = ls.sequence.records[i++ % n];
+    r.timestamp = (t += 1.0);
+    return r;
+  };
+  // Warm-up: several full decode cycles grow every buffer to its
+  // steady-state capacity (arena blocks, window, emit scratch).
+  for (int p = 0; p < 3 * opts.window_records; ++p) {
+    annotator.Push(next_record());
+    push_decodes();
+  }
+  uint64_t decode_allocs = 0;
+  for (int p = 0; p < 4 * opts.window_records; ++p) {
+    const PositioningRecord r = next_record();
+    const bool expect_decode = push_decodes();
+    const uint64_t before = AllocCount();
+    const std::vector<MSemantics> emitted = annotator.Push(r);
+    const uint64_t allocs = AllocCount() - before;
+    benchmark::DoNotOptimize(emitted.size());
+    if (expect_decode) {
+      decode_allocs += allocs;
+      ++stats.decode_pushes_checked;
+    } else {
+      stats.steady_push_allocs_max =
+          std::max(stats.steady_push_allocs_max, allocs);
+      ++stats.steady_pushes_checked;
+    }
+  }
+  if (stats.decode_pushes_checked > 0) {
+    stats.decode_push_allocs_mean =
+        static_cast<double>(decode_allocs) /
+        static_cast<double>(stats.decode_pushes_checked);
+  }
+  return stats;
+}
+
+// ---------------------------------------------------------------------------
+// JSON emission.
+// ---------------------------------------------------------------------------
+
+struct CapturedRun {
+  std::string name;
+  double real_ms = 0.0;
+  std::map<std::string, double> counters;
+};
+
+class CaptureReporter : public benchmark::ConsoleReporter {
+ public:
+  void ReportRuns(const std::vector<Run>& report) override {
+    for (const Run& run : report) {
+      // Plain iteration runs only (field names for skipped/errored runs
+      // differ across google-benchmark versions; aggregates are excluded).
+      if (run.run_type != Run::RT_Iteration) continue;
+      CapturedRun captured;
+      captured.name = run.benchmark_name();
+      captured.real_ms =
+          1e3 * run.real_accumulated_time /
+          static_cast<double>(run.iterations > 0 ? run.iterations : 1);
+      for (const auto& [key, counter] : run.counters) {
+        captured.counters[key] = counter.value;
+      }
+      runs_.push_back(std::move(captured));
+    }
+    ConsoleReporter::ReportRuns(report);
+  }
+
+  const std::vector<CapturedRun>& runs() const { return runs_; }
+
+ private:
+  std::vector<CapturedRun> runs_;
+};
+
+/// Minimal JSON string escaping (backslash, quote, control characters).
+std::string EscapeJson(const std::string& raw) {
+  std::string out;
+  out.reserve(raw.size());
+  for (const char c : raw) {
+    if (c == '\\' || c == '"') {
+      out.push_back('\\');
+      out.push_back(c);
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+      out += buf;
+    } else {
+      out.push_back(c);
+    }
+  }
+  return out;
+}
+
+/// Parses "name=ms,name=ms" (C2MN_BENCH_BASELINE).
+std::map<std::string, double> ParseBaseline(const char* spec) {
+  std::map<std::string, double> baseline;
+  if (spec == nullptr) return baseline;
+  std::stringstream stream(spec);
+  std::string entry;
+  while (std::getline(stream, entry, ',')) {
+    const size_t eq = entry.find('=');
+    if (eq == std::string::npos) continue;
+    baseline[entry.substr(0, eq)] = std::atof(entry.c_str() + eq + 1);
+  }
+  return baseline;
+}
+
+void WriteJson(const std::string& path, const std::vector<CapturedRun>& runs,
+               const PushAllocStats& push_stats) {
+  const std::map<std::string, double> baseline =
+      ParseBaseline(std::getenv("C2MN_BENCH_BASELINE"));
+  const char* baseline_commit = std::getenv("C2MN_BENCH_BASELINE_COMMIT");
+  std::ofstream out(path);
+  out.precision(6);
+  out << "{\n";
+  out << "  \"benchmark\": \"micro_inference\",\n";
+  if (baseline_commit != nullptr) {
+    out << "  \"baseline_commit\": \"" << EscapeJson(baseline_commit)
+        << "\",\n";
+  }
+  out << "  \"steady_state_push\": {\n";
+  out << "    \"non_decode_push_allocs_max\": "
+      << push_stats.steady_push_allocs_max << ",\n";
+  out << "    \"non_decode_pushes_checked\": "
+      << push_stats.steady_pushes_checked << ",\n";
+  out << "    \"decode_push_allocs_mean\": "
+      << push_stats.decode_push_allocs_mean << ",\n";
+  out << "    \"decode_pushes_checked\": " << push_stats.decode_pushes_checked
+      << "\n";
+  out << "  },\n";
+  out << "  \"results\": [\n";
+  for (size_t r = 0; r < runs.size(); ++r) {
+    const CapturedRun& run = runs[r];
+    out << "    {\"name\": \"" << EscapeJson(run.name) << "\", \"real_ms\": "
+        << run.real_ms;
+    const auto base = baseline.find(run.name);
+    if (base != baseline.end() && run.real_ms > 0) {
+      out << ", \"baseline_ms\": " << base->second
+          << ", \"speedup\": " << base->second / run.real_ms;
+    }
+    for (const auto& [key, value] : run.counters) {
+      out << ", \"" << EscapeJson(key) << "\": " << value;
+    }
+    out << "}" << (r + 1 < runs.size() ? "," : "") << "\n";
+  }
+  out << "  ]\n";
+  out << "}\n";
+}
+
 }  // namespace
 }  // namespace c2mn
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+
+  const c2mn::PushAllocStats push_stats = c2mn::RunPushAllocCheck();
+
+  c2mn::CaptureReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+
+  const char* json_path = std::getenv("C2MN_BENCH_JSON");
+  c2mn::WriteJson(json_path != nullptr ? json_path : "BENCH_inference.json",
+                  reporter.runs(), push_stats);
+
+  if (push_stats.steady_push_allocs_max != 0) {
+    std::fprintf(stderr,
+                 "FAIL: steady-state OnlineAnnotator::Push allocated "
+                 "(max %llu allocations on a non-decode push; expected 0)\n",
+                 static_cast<unsigned long long>(
+                     push_stats.steady_push_allocs_max));
+    return 1;
+  }
+  std::printf("steady-state push check: 0 allocations over %llu non-decode "
+              "pushes; %.1f allocs/decode-push over %llu decode pushes\n",
+              static_cast<unsigned long long>(push_stats.steady_pushes_checked),
+              push_stats.decode_push_allocs_mean,
+              static_cast<unsigned long long>(
+                  push_stats.decode_pushes_checked));
+  return 0;
+}

@@ -3,68 +3,85 @@
 #include <algorithm>
 #include <cassert>
 
-#include "crf/chain_model.h"
+#include "crf/flat_chain.h"
 
 namespace c2mn {
 
+namespace {
+
+/// Argmax decoding of flat per-position marginal rows into `out`.
+void ArgmaxRows(const FlatChainPotentials& pots, const double* marginals,
+                std::vector<int>* out) {
+  const int n = pots.n;
+  out->resize(n);
+  for (int i = 0; i < n; ++i) {
+    const double* row = marginals + pots.node_off[i];
+    (*out)[i] = static_cast<int>(
+        std::max_element(row, row + pots.domains[i]) - row);
+  }
+}
+
+}  // namespace
+
 void C2mnAnnotator::DecodeRegions(const JointScorer& scorer,
                                   const std::vector<MobilityEvent>& events,
+                                  DecodeWorkspace* ws,
                                   std::vector<int>* regions) const {
   const SequenceGraph& g = scorer.graph();
   const int n = g.size();
-  // Exact pairwise pass: matching + transition + synchronization cliques.
-  ChainPotentials pots;
-  pots.node.resize(n);
-  pots.edge.resize(n - 1);
+  // Exact pairwise pass: matching + transition + synchronization cliques,
+  // built directly in the flat arena layout (no nested vectors).
+  ws->arena.Reset();
+  int* domains = ws->arena.Alloc<int>(n);
   for (int i = 0; i < n; ++i) {
-    const size_t da = g.Candidates(i).size();
-    pots.node[i].resize(da);
-    for (size_t a = 0; a < da; ++a) {
-      pots.node[i][a] =
-          weights_[kWSpatialMatch] * g.SpatialMatch(i, static_cast<int>(a));
+    domains[i] = static_cast<int>(g.Candidates(i).size());
+  }
+  const FlatChainPotentials pots =
+      FlatChainPotentials::Build(n, domains, /*tied_edges=*/false, &ws->arena);
+  for (int i = 0; i < n; ++i) {
+    double* node = pots.NodeRow(i);
+    const int da = domains[i];
+    for (int a = 0; a < da; ++a) {
+      node[a] = weights_[kWSpatialMatch] * g.SpatialMatch(i, a);
     }
     if (i + 1 < n) {
-      const size_t db = g.Candidates(i + 1).size();
-      pots.edge[i].assign(da, std::vector<double>(db, 0.0));
-      for (size_t a = 0; a < da; ++a) {
-        for (size_t b = 0; b < db; ++b) {
+      const int db = domains[i + 1];
+      double* edge = pots.EdgeBlock(i);
+      for (int a = 0; a < da; ++a) {
+        double* row = edge + static_cast<size_t>(a) * db;
+        for (int b = 0; b < db; ++b) {
           double s = 0.0;
           if (structure_.use_transition) {
             s += weights_[kWSpaceTransition] *
-                 features::SpaceTransition(g, i, static_cast<int>(a),
-                                           static_cast<int>(b));
+                 features::SpaceTransition(g, i, a, b);
           }
           if (structure_.use_sync) {
             s += weights_[kWSpatialConsistency] *
-                 features::SpatialConsistency(g, i, static_cast<int>(a),
-                                              static_cast<int>(b));
+                 features::SpatialConsistency(g, i, a, b);
           }
-          pots.edge[i][a][b] = s;
+          row[b] = s;
         }
       }
     }
   }
-  auto decode = [&](const ChainPotentials& p) {
-    const ChainModel chain(p);
+  auto decode = [&](const double* bias, std::vector<int>* out) {
     if (iopts_.use_max_marginals) {
-      const auto marginals = chain.Marginals();
-      std::vector<int> out(n);
-      for (int i = 0; i < n; ++i) {
-        out[i] = static_cast<int>(
-            std::max_element(marginals[i].begin(), marginals[i].end()) -
-            marginals[i].begin());
-      }
-      return out;
+      ws->marginals.resize(pots.node_total);
+      FlatMarginals(pots, bias, &ws->chain, ws->marginals.data());
+      ArgmaxRows(pots, ws->marginals.data(), out);
+    } else {
+      FlatViterbi(pots, bias, &ws->chain, out);
     }
-    return chain.Viterbi();
   };
-  *regions = decode(pots);
+  decode(nullptr, regions);
 
   // Segmentation cliques (f_es DISTNUM, f_ss run restructuring) are
-  // incorporated by folding their per-candidate contribution into the
-  // node potentials around the current labeling and re-running the exact
-  // chain decode — this keeps the chain's global consistency, which a
-  // greedy per-node ICM would destroy.
+  // incorporated by folding their per-candidate contribution into a node
+  // *overlay* around the current labeling and re-running the exact chain
+  // decode — this keeps the chain's global consistency, which a greedy
+  // per-node ICM would destroy.  The overlay touches O(n·d) node entries
+  // per sweep; the edge blocks are shared untouched across sweeps, where
+  // the old code deep-copied the whole O(n·d²) potential set.
   if (!structure_.use_event_seg && !structure_.use_space_seg) return;
   const bool seg_on = weights_[kWEventSeg0] != 0.0 ||
                       weights_[kWEventSeg1] != 0.0 ||
@@ -74,44 +91,38 @@ void C2mnAnnotator::DecodeRegions(const JointScorer& scorer,
                       weights_[kWSpaceSeg2] != 0.0;
   if (!seg_on) return;
   for (int sweep = 0; sweep < iopts_.icm_sweeps; ++sweep) {
-    ChainPotentials augmented = pots;
+    ws->node_bias.assign(pots.node_total, 0.0);
     for (int i = 0; i < n; ++i) {
-      const size_t da = g.Candidates(i).size();
-      for (size_t a = 0; a < da; ++a) {
-        const FeatureVec f = scorer.RegionNodeFeatures(
-            i, static_cast<int>(a), *regions, events);
-        double bonus = 0.0;
-        for (int k : {kWEventSeg0, kWEventSeg1, kWEventSeg2, kWSpaceSeg0,
-                      kWSpaceSeg1, kWSpaceSeg2}) {
-          bonus += weights_[k] * f[k];
-        }
-        augmented.node[i][a] += bonus;
-      }
+      scorer.RegionSegScores(i, weights_, *regions, events, &ws->seg,
+                             ws->node_bias.data() + pots.node_off[i]);
     }
-    std::vector<int> next = decode(augmented);
-    if (next == *regions) break;
-    *regions = std::move(next);
+    decode(ws->node_bias.data(), &ws->next);
+    if (ws->next == *regions) break;
+    std::swap(*regions, ws->next);  // Next decode fully overwrites ws->next.
   }
 }
 
 void C2mnAnnotator::DecodeEvents(const JointScorer& scorer,
                                  const std::vector<int>& regions,
+                                 DecodeWorkspace* ws,
                                  std::vector<MobilityEvent>* events) const {
   const SequenceGraph& g = scorer.graph();
   const int n = g.size();
   const MobilityEvent kDomain[2] = {MobilityEvent::kStay,
                                     MobilityEvent::kPass};
-  ChainPotentials pots;
-  pots.node.resize(n);
-  pots.edge.resize(n - 1);
+  ws->arena.Reset();
+  int* domains = ws->arena.Alloc<int>(n);
+  std::fill(domains, domains + n, 2);
+  const FlatChainPotentials pots =
+      FlatChainPotentials::Build(n, domains, /*tied_edges=*/false, &ws->arena);
   for (int i = 0; i < n; ++i) {
-    pots.node[i].resize(2);
+    double* node = pots.NodeRow(i);
     for (int v = 0; v < 2; ++v) {
-      pots.node[i][v] =
+      node[v] =
           weights_[kWEventMatch] * features::EventMatching(g, i, kDomain[v]);
     }
     if (i + 1 < n) {
-      pots.edge[i].assign(2, std::vector<double>(2, 0.0));
+      double* edge = pots.EdgeBlock(i);
       for (int a = 0; a < 2; ++a) {
         for (int b = 0; b < 2; ++b) {
           double s = 0.0;
@@ -123,49 +134,40 @@ void C2mnAnnotator::DecodeEvents(const JointScorer& scorer,
             s += weights_[kWEventConsistency] *
                  features::EventConsistency(g, i, kDomain[a], kDomain[b]);
           }
-          pots.edge[i][a][b] = s;
+          edge[static_cast<size_t>(a) * 2 + b] = s;
         }
       }
     }
   }
-  auto decode = [&](const ChainPotentials& p) {
-    const ChainModel chain(p);
-    std::vector<int> out;
+  auto decode = [&](const double* bias, std::vector<int>* out) {
     if (iopts_.use_max_marginals) {
-      const auto marginals = chain.Marginals();
-      out.resize(n);
+      ws->marginals.resize(pots.node_total);
+      FlatMarginals(pots, bias, &ws->chain, ws->marginals.data());
+      out->resize(n);
       for (int i = 0; i < n; ++i) {
-        out[i] = marginals[i][0] >= marginals[i][1] ? 0 : 1;
+        const double* row = ws->marginals.data() + pots.node_off[i];
+        (*out)[i] = row[0] >= row[1] ? 0 : 1;
       }
     } else {
-      out = chain.Viterbi();
+      FlatViterbi(pots, bias, &ws->chain, out);
     }
-    return out;
   };
-  std::vector<int> decoded = decode(pots);
+  decode(nullptr, &ws->decoded);
   events->resize(n);
-  for (int i = 0; i < n; ++i) (*events)[i] = kDomain[decoded[i]];
+  for (int i = 0; i < n; ++i) (*events)[i] = kDomain[ws->decoded[i]];
 
   if (!structure_.use_event_seg && !structure_.use_space_seg) return;
   for (int sweep = 0; sweep < iopts_.icm_sweeps; ++sweep) {
-    ChainPotentials augmented = pots;
+    ws->node_bias.assign(pots.node_total, 0.0);
     for (int i = 0; i < n; ++i) {
-      for (int v = 0; v < 2; ++v) {
-        const FeatureVec f =
-            scorer.EventNodeFeatures(i, kDomain[v], regions, *events);
-        double bonus = 0.0;
-        for (int k : {kWEventSeg0, kWEventSeg1, kWEventSeg2, kWSpaceSeg0,
-                      kWSpaceSeg1, kWSpaceSeg2}) {
-          bonus += weights_[k] * f[k];
-        }
-        augmented.node[i][v] += bonus;
-      }
+      scorer.EventSegScores(i, weights_, regions, *events,
+                            ws->node_bias.data() + pots.node_off[i]);
     }
-    const std::vector<int> next = decode(augmented);
+    decode(ws->node_bias.data(), &ws->next);
     bool changed = false;
     for (int i = 0; i < n; ++i) {
-      if ((*events)[i] != kDomain[next[i]]) {
-        (*events)[i] = kDomain[next[i]];
+      if ((*events)[i] != kDomain[ws->next[i]]) {
+        (*events)[i] = kDomain[ws->next[i]];
         changed = true;
       }
     }
@@ -176,30 +178,44 @@ void C2mnAnnotator::DecodeEvents(const JointScorer& scorer,
 void C2mnAnnotator::Decode(const SequenceGraph& graph,
                            std::vector<int>* regions,
                            std::vector<MobilityEvent>* events) const {
+  DecodeWorkspace workspace;
+  Decode(graph, &workspace, regions, events);
+}
+
+void C2mnAnnotator::Decode(const SequenceGraph& graph, DecodeWorkspace* ws,
+                           std::vector<int>* regions,
+                           std::vector<MobilityEvent>* events) const {
   assert(static_cast<int>(weights_.size()) == kNumWeights);
   const JointScorer scorer(graph, structure_);
-  *events = graph.InitialEvents();
+  graph.InitialEventsInto(events);
   const int rounds =
       structure_.IsCoupled() ? iopts_.alternation_rounds : 1;
   for (int round = 0; round < rounds; ++round) {
-    DecodeRegions(scorer, *events, regions);
-    DecodeEvents(scorer, *regions, events);
+    DecodeRegions(scorer, *events, ws, regions);
+    DecodeEvents(scorer, *regions, ws, events);
   }
 }
 
 LabelSequence C2mnAnnotator::Annotate(const PSequence& sequence) const {
+  DecodeWorkspace workspace;
   LabelSequence labels;
-  if (sequence.empty()) return labels;
-  SequenceGraph graph(world_, sequence, fopts_, nullptr);
-  std::vector<int> regions;
-  std::vector<MobilityEvent> events;
-  Decode(graph, &regions, &events);
-  labels.regions.resize(graph.size());
-  labels.events = events;
-  for (int i = 0; i < graph.size(); ++i) {
-    labels.regions[i] = graph.Candidates(i)[regions[i]];
-  }
+  AnnotateInto(sequence, &workspace, &labels);
   return labels;
+}
+
+void C2mnAnnotator::AnnotateInto(const PSequence& sequence,
+                                 DecodeWorkspace* ws,
+                                 LabelSequence* labels) const {
+  labels->regions.clear();
+  labels->events.clear();
+  if (sequence.empty()) return;
+  SequenceGraph graph(world_, sequence, fopts_, nullptr);
+  Decode(graph, ws, &ws->region_idx, &ws->events);
+  labels->regions.resize(graph.size());
+  labels->events.assign(ws->events.begin(), ws->events.end());
+  for (int i = 0; i < graph.size(); ++i) {
+    labels->regions[i] = graph.Candidates(i)[ws->region_idx[i]];
+  }
 }
 
 MSemanticsSequence C2mnAnnotator::AnnotateSemantics(

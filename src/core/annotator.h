@@ -4,9 +4,29 @@
 #include <vector>
 
 #include "core/scorer.h"
+#include "crf/flat_chain.h"
 #include "data/msemantics.h"
 
 namespace c2mn {
+
+/// \brief Reusable decode state: the arena holding the flat chain
+/// potentials, the message workspace, the ICM node-bias overlay, and the
+/// label scratch vectors.  A workspace warmed up on one sequence makes
+/// subsequent decodes of similar length allocation-free, which is what
+/// lets a streaming session (OnlineAnnotator / AnnotationService) run at
+/// steady state without touching the heap.  One workspace serves one
+/// thread; the annotator itself stays immutable and shareable.
+struct DecodeWorkspace {
+  InferenceArena arena;
+  ChainWorkspace chain;
+  std::vector<double> node_bias;     ///< ICM overlay (node layout).
+  std::vector<double> marginals;     ///< Flat marginal buffer.
+  std::vector<int> decoded;          ///< Current labels (indices).
+  std::vector<int> next;             ///< Candidate labels of one sweep.
+  std::vector<int> region_idx;       ///< Region labels as candidate indices.
+  std::vector<MobilityEvent> events; ///< Event labels.
+  SegScratch seg;
+};
 
 /// \brief Decoding hyper-parameters.
 struct InferenceOptions {
@@ -52,9 +72,21 @@ class C2mnAnnotator {
   /// Labels every record with a region and an event.
   LabelSequence Annotate(const PSequence& sequence) const;
 
+  /// Annotate with an external workspace, writing into `labels` (cleared
+  /// first).  Reusing one workspace across calls keeps the decode free of
+  /// per-sequence potential/message allocations; this is the entry point
+  /// of the streaming hot path.
+  void AnnotateInto(const PSequence& sequence, DecodeWorkspace* workspace,
+                    LabelSequence* labels) const;
+
   /// Labels a pre-built sequence graph (exposed for training internals
   /// and micro-benchmarks); returns candidate *indices* for regions.
   void Decode(const SequenceGraph& graph, std::vector<int>* regions,
+              std::vector<MobilityEvent>* events) const;
+
+  /// Decode with an external workspace (see AnnotateInto).
+  void Decode(const SequenceGraph& graph, DecodeWorkspace* workspace,
+              std::vector<int>* regions,
               std::vector<MobilityEvent>* events) const;
 
   /// Full label-and-merge annotation: labels then merges into
@@ -64,9 +96,9 @@ class C2mnAnnotator {
  private:
   void DecodeRegions(const JointScorer& scorer,
                      const std::vector<MobilityEvent>& events,
-                     std::vector<int>* regions) const;
+                     DecodeWorkspace* ws, std::vector<int>* regions) const;
   void DecodeEvents(const JointScorer& scorer,
-                    const std::vector<int>& regions,
+                    const std::vector<int>& regions, DecodeWorkspace* ws,
                     std::vector<MobilityEvent>* events) const;
 
   const World& world_;

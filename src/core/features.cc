@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <cmath>
-#include <unordered_set>
 
 #include "common/math_utils.h"
 
@@ -68,30 +67,14 @@ double EventConsistency(const SequenceGraph& g, int i, MobilityEvent e1,
   return std::exp(-std::fabs(speed_term - pass_term));
 }
 
-std::array<double, 3> EventSegmentation(const SequenceGraph& g, int i, int j,
-                                        const std::vector<int>& regions,
-                                        MobilityEvent e, int override_pos,
-                                        int override_cand) {
-  const int len = j - i + 1;
-  // DISTNUM: distinct region labels over the run, normalized by a fixed
-  // scale so one label flip always moves the feature by the same amount
-  // (normalizing by the run length would make segmentation cliques
-  // powerless on long runs, which defeats their purpose).
-  constexpr double kSegmentScale = 8.0;
-  std::unordered_set<RegionId> distinct;
-  for (int x = i; x <= j; ++x) {
-    const int cand = x == override_pos ? override_cand : regions[x];
-    distinct.insert(g.Candidates(x)[cand]);
-  }
-  const double dist_norm = std::min(
-      1.0, (static_cast<double>(distinct.size()) - 1.0) / kSegmentScale);
+namespace internal {
 
+double RunSpeedNorm(const SequenceGraph& g, int i, int j) {
   // Segment speed: total Euclidean path length over elapsed time, scaled
   // like f_ec.  A singleton run borrows the local edge speed.
   double speed;
-  if (len > 1) {
-    double path = 0.0;
-    for (int x = i; x < j; ++x) path += g.DeltaE(x);
+  if (j > i) {
+    const double path = g.PathLength(i, j);
     const double elapsed = std::max(
         1e-6, g.sequence()[j].timestamp - g.sequence()[i].timestamp);
     speed = path / elapsed;
@@ -108,14 +91,40 @@ std::array<double, 3> EventSegmentation(const SequenceGraph& g, int i, int j,
     }
     speed = cnt > 0 ? local / cnt : 0.0;
   }
-  const double speed_norm = std::min(1.0, g.options().gamma_ec * speed);
+  return std::min(1.0, g.options().gamma_ec * speed);
+}
 
-  // TURNNUM normalized by the number of interior vertices of the run.
-  int turns = 0;
-  for (int x = std::max(1, i); x <= std::min(g.size() - 2, j); ++x) {
-    if (x > i && x < j && g.Turn(x)) ++turns;
+double RunTurnNorm(const SequenceGraph& g, int i, int j) {
+  return std::min(1.0, g.InteriorTurns(i, j) / kSegmentScale);
+}
+
+}  // namespace internal
+
+std::array<double, 3> EventSegmentation(const SequenceGraph& g, int i, int j,
+                                        const std::vector<int>& regions,
+                                        MobilityEvent e, int override_pos,
+                                        int override_cand) {
+  // DISTNUM: distinct region labels over the run.  Counts at or past
+  // internal::kDistinctCap all normalize to 1.0, so the scan keeps a
+  // small bounded id buffer and stops early instead of filling a hash set
+  // proportional to the run.
+  RegionId seen[internal::kDistinctCap];
+  int distinct = 0;
+  for (int x = i; x <= j && distinct < internal::kDistinctCap; ++x) {
+    const int cand = x == override_pos ? override_cand : regions[x];
+    const RegionId r = g.Candidates(x)[cand];
+    bool found = false;
+    for (int s = 0; s < distinct; ++s) {
+      if (seen[s] == r) {
+        found = true;
+        break;
+      }
+    }
+    if (!found) seen[distinct++] = r;
   }
-  const double turn_norm = std::min(1.0, turns / kSegmentScale);
+  const double dist_norm = internal::DistinctNorm(distinct);
+  const double speed_norm = internal::RunSpeedNorm(g, i, j);
+  const double turn_norm = internal::RunTurnNorm(g, i, j);
 
   const double sign = 2.0 * PassIndicator(e) - 1.0;  // +1 pass, -1 stay.
   return {sign * dist_norm, sign * speed_norm, sign * -turn_norm};
@@ -125,7 +134,6 @@ std::array<double, 3> SpaceSegmentation(const SequenceGraph& g, int i, int j,
                                         const std::vector<MobilityEvent>& events,
                                         int override_pos,
                                         MobilityEvent override_event) {
-  const int len = j - i + 1;
   auto event_at = [&](int x) {
     return x == override_pos ? override_event : events[x];
   };
@@ -137,9 +145,9 @@ std::array<double, 3> SpaceSegmentation(const SequenceGraph& g, int i, int j,
     (event_at(x) == MobilityEvent::kStay ? has_stay : has_pass) = true;
     if (x > i && event_at(x) != event_at(x - 1)) ++transitions;
   }
-  constexpr double kSegmentScale = 8.0;
   const double distinct_norm = (has_stay && has_pass) ? 1.0 : 0.0;
-  const double trans_norm = std::min(1.0, transitions / kSegmentScale);
+  const double trans_norm =
+      std::min(1.0, transitions / internal::kSegmentScale);
   // Boundary: the first and last records of a region run are more likely
   // pass events (the object is entering/leaving).  Interior runs only —
   // the sequence ends are not region boundaries.

@@ -1,6 +1,7 @@
 #ifndef C2MN_CORE_FEATURES_H_
 #define C2MN_CORE_FEATURES_H_
 
+#include <algorithm>
 #include <array>
 
 #include "core/sequence_graph.h"
@@ -62,6 +63,33 @@ std::array<double, 3> SpaceSegmentation(
     const std::vector<MobilityEvent>& events, int override_pos = -1,
     MobilityEvent override_event = MobilityEvent::kStay);
 
+/// Shared internals of the segmentation features, exposed so batched
+/// candidate evaluation (scorer::RegionSegScores) computes exactly the
+/// same terms as the per-candidate functions above.
+namespace internal {
+
+/// Fixed normalization scale of DISTNUM / TURNNUM / transition counts: one
+/// label flip always moves the feature by the same amount (normalizing by
+/// the run length would make segmentation cliques powerless on long runs).
+inline constexpr double kSegmentScale = 8.0;
+
+/// Distinct counts at or past the cap all normalize to exactly 1.0, so a
+/// distinct-region scan may stop once it has seen this many ids.
+inline constexpr int kDistinctCap = static_cast<int>(kSegmentScale) + 1;
+
+/// Normalized DISTNUM term for a run with `distinct` distinct regions.
+inline double DistinctNorm(int distinct) {
+  return std::min(1.0, (static_cast<double>(distinct) - 1.0) / kSegmentScale);
+}
+
+/// Normalized segment speed over the run [i, j] (O(1) via the graph's
+/// path-length prefix sums; a singleton run borrows local edge speed).
+double RunSpeedNorm(const SequenceGraph& g, int i, int j);
+
+/// Normalized TURNNUM over the interior of the run [i, j], O(1).
+double RunTurnNorm(const SequenceGraph& g, int i, int j);
+
+}  // namespace internal
 }  // namespace features
 }  // namespace c2mn
 

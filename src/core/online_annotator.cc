@@ -20,7 +20,9 @@ OnlineAnnotator::OnlineAnnotator(const World& world,
     : world_(world),
       fopts_(std::move(feature_options)),
       annotator_(world, fopts_, structure, std::move(weights)),
-      options_(options.Validated()) {}
+      options_(options.Validated()) {
+  window_.reserve(static_cast<size_t>(options_.window_records) + 1);
+}
 
 void OnlineAnnotator::Accumulate(const PositioningRecord& record,
                                  RegionId region, MobilityEvent event,
@@ -44,20 +46,28 @@ void OnlineAnnotator::Accumulate(const PositioningRecord& record,
 void OnlineAnnotator::DecodeAndFinalize(int keep_provisional,
                                         std::vector<MSemantics>* emitted) {
   if (window_.empty()) return;
-  PSequence sequence;
-  sequence.records = window_;
-  const LabelSequence labels = annotator_.Annotate(sequence);
+  sequence_scratch_.records.assign(window_.begin(), window_.end());
+  annotator_.AnnotateInto(sequence_scratch_, &workspace_, &labels_scratch_);
   const int n = static_cast<int>(window_.size());
   const int freeze = n - keep_provisional;
   if (freeze <= 0) return;
   for (int i = 0; i < freeze; ++i) {
-    Accumulate(window_[i], labels.regions[i], labels.events[i], emitted);
+    Accumulate(window_[i], labels_scratch_.regions[i],
+               labels_scratch_.events[i], emitted);
   }
   window_.erase(window_.begin(), window_.begin() + freeze);
 }
 
 std::vector<MSemantics> OnlineAnnotator::Push(
     const PositioningRecord& record) {
+  std::vector<MSemantics> emitted;
+  PushInto(record, &emitted);
+  return emitted;
+}
+
+void OnlineAnnotator::PushInto(const PositioningRecord& record,
+                               std::vector<MSemantics>* emitted) {
+  emitted->clear();
   PositioningRecord accepted = record;
   if (accepted.timestamp < last_timestamp_) {
     accepted.timestamp = last_timestamp_;
@@ -68,26 +78,29 @@ std::vector<MSemantics> OnlineAnnotator::Push(
   ++total_records_;
   ++since_last_decode_;
 
-  std::vector<MSemantics> emitted;
   const bool window_full =
       static_cast<int>(window_.size()) >= options_.window_records;
   if (window_full && since_last_decode_ >= options_.decode_stride) {
-    DecodeAndFinalize(options_.finalize_lag, &emitted);
+    DecodeAndFinalize(options_.finalize_lag, emitted);
     since_last_decode_ = 0;
   }
-  return emitted;
 }
 
 std::vector<MSemantics> OnlineAnnotator::Flush() {
   std::vector<MSemantics> emitted;
-  DecodeAndFinalize(0, &emitted);
+  FlushInto(&emitted);
+  return emitted;
+}
+
+void OnlineAnnotator::FlushInto(std::vector<MSemantics>* emitted) {
+  emitted->clear();
+  DecodeAndFinalize(0, emitted);
   if (pending_.has_value()) {
-    emitted.push_back(*pending_);
+    emitted->push_back(*pending_);
     pending_.reset();
   }
   last_timestamp_ = -1e300;
   since_last_decode_ = 0;
-  return emitted;
 }
 
 }  // namespace c2mn

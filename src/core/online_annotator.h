@@ -54,17 +54,30 @@ class OnlineAnnotator {
   /// in timestamp_violations().
   std::vector<MSemantics> Push(const PositioningRecord& record);
 
+  /// Push writing into a caller-owned vector (cleared first), so a hot
+  /// serving loop can recycle one emit buffer across records.  At steady
+  /// state a push that does not trigger a window re-decode performs zero
+  /// heap allocations through this entry point.
+  void PushInto(const PositioningRecord& record,
+                std::vector<MSemantics>* emitted);
+
   /// Ends the stream: decodes and finalizes everything still pending and
   /// returns the remaining m-semantics.  The annotator is then ready for
   /// a fresh stream — a subsequent Push() behaves exactly as on a newly
   /// constructed instance (counters excepted).
   std::vector<MSemantics> Flush();
 
+  /// Flush writing into a caller-owned vector (cleared first).
+  void FlushInto(std::vector<MSemantics>* emitted);
+
   /// Number of records consumed so far (across Flush() restarts).
   size_t records_consumed() const { return total_records_; }
 
   /// Number of out-of-order timestamps clamped so far.
   uint64_t timestamp_violations() const { return timestamp_violations_; }
+
+  /// Bytes of arena memory held by the decode workspace (diagnostics).
+  size_t workspace_bytes() const { return workspace_.arena.bytes_reserved(); }
 
  private:
   /// Decodes the current window and freezes all but the trailing
@@ -80,7 +93,8 @@ class OnlineAnnotator {
   C2mnAnnotator annotator_;
   Options options_;
 
-  /// Sliding window of not-yet-finalized records.
+  /// Sliding window of not-yet-finalized records (capacity reserved up
+  /// front, so steady-state pushes never reallocate).
   std::vector<PositioningRecord> window_;
   int since_last_decode_ = 0;
   size_t total_records_ = 0;
@@ -89,6 +103,14 @@ class OnlineAnnotator {
 
   /// The in-progress m-semantics run.
   std::optional<MSemantics> pending_;
+
+  /// Decode state reused across window re-decodes: flat potentials arena,
+  /// chain messages, ICM overlay, and the sequence/label scratch.  After
+  /// warm-up a window decode performs no potential/message allocations,
+  /// and pushes that do not trigger a decode perform none at all.
+  mutable DecodeWorkspace workspace_;
+  PSequence sequence_scratch_;
+  LabelSequence labels_scratch_;
 };
 
 }  // namespace c2mn

@@ -7,6 +7,60 @@
 
 namespace c2mn {
 
+void JointScorer::EventRun(int i, const std::vector<MobilityEvent>& events,
+                           int* s, int* e) const {
+  const int n = g_.size();
+  *s = i;
+  *e = i;
+  while (*s > 0 && events[*s - 1] == events[i]) --*s;
+  while (*e + 1 < n && events[*e + 1] == events[i]) ++*e;
+}
+
+void JointScorer::RegionRun(int i, const std::vector<int>& regions, int* s,
+                            int* e) const {
+  const int n = g_.size();
+  const RegionId region = RegionAt(i, regions, -1, -1);
+  *s = i;
+  *e = i;
+  while (*s > 0 && RegionAt(*s - 1, regions, -1, -1) == region) --*s;
+  while (*e + 1 < n && RegionAt(*e + 1, regions, -1, -1) == region) ++*e;
+}
+
+void JointScorer::SpaceSegWindow(int i, const std::vector<int>& regions,
+                                 int* ws, int* we, RegionId* left,
+                                 RegionId* right) const {
+  const int n = g_.size();
+  *ws = i;
+  *we = i;
+  *left = kInvalidId;
+  *right = kInvalidId;
+  if (i > 0) {
+    *ws = i - 1;
+    *left = RegionAt(i - 1, regions, -1, -1);
+    while (*ws > 0 && RegionAt(*ws - 1, regions, -1, -1) == *left) --*ws;
+  }
+  if (i + 1 < n) {
+    *we = i + 1;
+    *right = RegionAt(i + 1, regions, -1, -1);
+    while (*we + 1 < n && RegionAt(*we + 1, regions, -1, -1) == *right) ++*we;
+  }
+}
+
+void JointScorer::EventSegWindow(int i, const std::vector<MobilityEvent>& events,
+                                 int* ws, int* we) const {
+  const int n = g_.size();
+  *ws = i;
+  *we = i;
+  if (i > 0) {
+    *ws = i - 1;
+    while (*ws > 0 && events[*ws - 1] == events[i - 1]) --*ws;
+  }
+  if (i + 1 < n) {
+    *we = i + 1;
+    while (*we + 1 < n && events[*we + 1] == events[i + 1]) ++*we;
+  }
+}
+
 void JointScorer::AccumulateEventSegments(
     int from, int to, const std::vector<int>& regions,
     const std::vector<MobilityEvent>& events, int r_override_pos,
@@ -125,9 +179,8 @@ FeatureVec JointScorer::RegionNodeFeatures(
   if (s_.use_event_seg) {
     // The event-run containing i is the only f_es clique whose features
     // depend on r_i (through DISTNUM).
-    int s = i, e = i;
-    while (s > 0 && events[s - 1] == events[i]) --s;
-    while (e + 1 < n && events[e + 1] == events[i]) ++e;
+    int s, e;
+    EventRun(i, events, &s, &e);
     const auto seg =
         features::EventSegmentation(g_, s, e, regions, events[i], i, a);
     f[kWEventSeg0] += seg[0];
@@ -135,24 +188,131 @@ FeatureVec JointScorer::RegionNodeFeatures(
     f[kWEventSeg2] += seg[2];
   }
   if (s_.use_space_seg) {
-    // Changing r_i can restructure the region runs; only runs within
-    // [start of run ending at i-1, end of run starting at i+1] are
-    // affected, and that window does not depend on the value of a.
-    int ws = i, we = i;
-    if (i > 0) {
-      ws = i - 1;
-      const RegionId left = RegionAt(i - 1, regions, -1, -1);
-      while (ws > 0 && RegionAt(ws - 1, regions, -1, -1) == left) --ws;
-    }
-    if (i + 1 < n) {
-      we = i + 1;
-      const RegionId right = RegionAt(i + 1, regions, -1, -1);
-      while (we + 1 < n && RegionAt(we + 1, regions, -1, -1) == right) ++we;
-    }
+    // Changing r_i can restructure the region runs; the affected window
+    // does not depend on the value of a.
+    int ws, we;
+    RegionId left, right;
+    SpaceSegWindow(i, regions, &ws, &we, &left, &right);
     AccumulateSpaceSegments(ws, we, regions, events, i, a, -1,
                             MobilityEvent::kStay, &f);
   }
   return f;
+}
+
+void JointScorer::RegionSegScores(int i, const std::vector<double>& weights,
+                                  const std::vector<int>& regions,
+                                  const std::vector<MobilityEvent>& events,
+                                  SegScratch* scratch, double* out) const {
+  const int n = g_.size();
+  const int da = static_cast<int>(g_.Candidates(i).size());
+  std::fill(out, out + da, 0.0);
+
+  if (s_.use_event_seg) {
+    // The event-run containing i is the only f_es clique whose features
+    // depend on r_i, and only through DISTNUM: the run bounds and the
+    // speed / turn terms are shared by every candidate.
+    int s, e;
+    EventRun(i, events, &s, &e);
+    const double speed_norm = features::internal::RunSpeedNorm(g_, s, e);
+    const double turn_norm = features::internal::RunTurnNorm(g_, s, e);
+    const double sign = 2.0 * PassIndicator(events[i]) - 1.0;
+    // Distinct regions of the run *excluding* position i; each candidate
+    // then contributes 0 or 1 depending on membership.  Once the base set
+    // reaches the cap every candidate's DISTNUM term is exactly 1.0.
+    std::vector<RegionId>& base = scratch->distinct;
+    base.clear();
+    bool capped = false;
+    for (int x = s; x <= e && !capped; ++x) {
+      if (x == i) continue;
+      const RegionId r = g_.Candidates(x)[regions[x]];
+      if (std::find(base.begin(), base.end(), r) == base.end()) {
+        base.push_back(r);
+        capped = static_cast<int>(base.size()) >=
+                 features::internal::kDistinctCap;
+      }
+    }
+    const double f_speed = sign * speed_norm;
+    const double f_turn = sign * -turn_norm;
+    for (int a = 0; a < da; ++a) {
+      int distinct;
+      if (capped) {
+        distinct = features::internal::kDistinctCap;
+      } else {
+        const RegionId r = g_.Candidates(i)[a];
+        const bool present =
+            std::find(base.begin(), base.end(), r) != base.end();
+        distinct = static_cast<int>(base.size()) + (present ? 0 : 1);
+      }
+      const double f_dist = sign * features::internal::DistinctNorm(distinct);
+      // Same accumulation order as the per-candidate bonus loop
+      // (kWEventSeg0..2 then kWSpaceSeg0..2), so sums agree bitwise.
+      out[a] += weights[kWEventSeg0] * f_dist;
+      out[a] += weights[kWEventSeg1] * f_speed;
+      out[a] += weights[kWEventSeg2] * f_turn;
+    }
+  }
+
+  if (s_.use_space_seg) {
+    // Same label-independent window as RegionNodeFeatures.  Within it the
+    // run decomposition only depends on whether the candidate's region
+    // equals the left / right neighbor's region, so at most four distinct
+    // feature triples exist across the whole candidate set.
+    int ws, we;
+    RegionId left, right;
+    SpaceSegWindow(i, regions, &ws, &we, &left, &right);
+    FeatureVec cls[2][2];
+    bool has_cls[2][2] = {{false, false}, {false, false}};
+    for (int a = 0; a < da; ++a) {
+      const RegionId r = g_.Candidates(i)[a];
+      const int eq_left = (i > 0 && r == left) ? 1 : 0;
+      const int eq_right = (i + 1 < n && r == right) ? 1 : 0;
+      if (!has_cls[eq_left][eq_right]) {
+        cls[eq_left][eq_right] = ZeroFeatures();
+        AccumulateSpaceSegments(ws, we, regions, events, i, a, -1,
+                                MobilityEvent::kStay,
+                                &cls[eq_left][eq_right]);
+        has_cls[eq_left][eq_right] = true;
+      }
+      const FeatureVec& f = cls[eq_left][eq_right];
+      out[a] += weights[kWSpaceSeg0] * f[kWSpaceSeg0];
+      out[a] += weights[kWSpaceSeg1] * f[kWSpaceSeg1];
+      out[a] += weights[kWSpaceSeg2] * f[kWSpaceSeg2];
+    }
+  }
+}
+
+void JointScorer::EventSegScores(int i, const std::vector<double>& weights,
+                                 const std::vector<int>& regions,
+                                 const std::vector<MobilityEvent>& events,
+                                 double out[2]) const {
+  const MobilityEvent kDomain[2] = {MobilityEvent::kStay,
+                                    MobilityEvent::kPass};
+  for (int v = 0; v < 2; ++v) {
+    FeatureVec f = ZeroFeatures();
+    if (s_.use_space_seg) {
+      int s, e;
+      RegionRun(i, regions, &s, &e);
+      const auto seg =
+          features::SpaceSegmentation(g_, s, e, events, i, kDomain[v]);
+      f[kWSpaceSeg0] += seg[0];
+      f[kWSpaceSeg1] += seg[1];
+      f[kWSpaceSeg2] += seg[2];
+    }
+    if (s_.use_event_seg) {
+      int ws, we;
+      EventSegWindow(i, events, &ws, &we);
+      AccumulateEventSegments(ws, we, regions, events, -1, -1, i, kDomain[v],
+                              &f);
+    }
+    double bonus = 0.0;
+    bonus += weights[kWEventSeg0] * f[kWEventSeg0];
+    bonus += weights[kWEventSeg1] * f[kWEventSeg1];
+    bonus += weights[kWEventSeg2] * f[kWEventSeg2];
+    bonus += weights[kWSpaceSeg0] * f[kWSpaceSeg0];
+    bonus += weights[kWSpaceSeg1] * f[kWSpaceSeg1];
+    bonus += weights[kWSpaceSeg2] * f[kWSpaceSeg2];
+    out[v] = bonus;
+  }
 }
 
 FeatureVec JointScorer::EventNodeFeatures(
@@ -182,10 +342,8 @@ FeatureVec JointScorer::EventNodeFeatures(
   if (s_.use_space_seg) {
     // The region-run containing i is the only f_ss clique whose features
     // depend on e_i.
-    const RegionId region = RegionAt(i, regions, -1, -1);
-    int s = i, e = i;
-    while (s > 0 && RegionAt(s - 1, regions, -1, -1) == region) --s;
-    while (e + 1 < n && RegionAt(e + 1, regions, -1, -1) == region) ++e;
+    int s, e;
+    RegionRun(i, regions, &s, &e);
     const auto seg = features::SpaceSegmentation(g_, s, e, events, i, v);
     f[kWSpaceSeg0] += seg[0];
     f[kWSpaceSeg1] += seg[1];
@@ -193,15 +351,8 @@ FeatureVec JointScorer::EventNodeFeatures(
   }
   if (s_.use_event_seg) {
     // Changing e_i can split or merge event runs inside a stable window.
-    int ws = i, we = i;
-    if (i > 0) {
-      ws = i - 1;
-      while (ws > 0 && events[ws - 1] == events[i - 1]) --ws;
-    }
-    if (i + 1 < n) {
-      we = i + 1;
-      while (we + 1 < n && events[we + 1] == events[i + 1]) ++we;
-    }
+    int ws, we;
+    EventSegWindow(i, events, &ws, &we);
     AccumulateEventSegments(ws, we, regions, events, -1, -1, i, v, &f);
   }
   return f;

@@ -8,6 +8,12 @@
 
 namespace c2mn {
 
+/// \brief Reusable scratch of the batched segmentation scorers, so a
+/// long-lived decode workspace makes them allocation-free.
+struct SegScratch {
+  std::vector<RegionId> distinct;
+};
+
 /// \brief Scores joint (R, E) configurations of a SequenceGraph and
 /// exposes the Markov-blanket feature views that drive learning and
 /// inference.
@@ -52,12 +58,48 @@ class JointScorer {
                                const std::vector<int>& regions,
                                const std::vector<MobilityEvent>& events) const;
 
+  /// Weighted segmentation-clique score (w · f over the f_es / f_ss
+  /// templates only) of *every* candidate label of region node i at once,
+  /// written to out[0 .. domain(i)).  Bit-identical to dotting
+  /// RegionNodeFeatures per candidate, but the event-run is walked once —
+  /// only the DISTNUM membership of each candidate differs — and the
+  /// region-run restructuring of f_ss is evaluated once per equivalence
+  /// class (candidate equals left-neighbor region / right-neighbor region,
+  /// at most four classes) instead of once per candidate.  This is the ICM
+  /// inner loop of the annotator.
+  void RegionSegScores(int i, const std::vector<double>& weights,
+                       const std::vector<int>& regions,
+                       const std::vector<MobilityEvent>& events,
+                       SegScratch* scratch, double* out) const;
+
+  /// Weighted segmentation-clique score of both event labels of node i
+  /// (out[0] = stay, out[1] = pass); the event-side ICM counterpart.
+  void EventSegScores(int i, const std::vector<double>& weights,
+                      const std::vector<int>& regions,
+                      const std::vector<MobilityEvent>& events,
+                      double out[2]) const;
+
  private:
   RegionId RegionAt(int x, const std::vector<int>& regions, int override_pos,
                     int override_cand) const {
     const int cand = x == override_pos ? override_cand : regions[x];
     return g_.Candidates(x)[cand];
   }
+
+  /// Run [*s, *e] of equal event labels containing i.
+  void EventRun(int i, const std::vector<MobilityEvent>& events, int* s,
+                int* e) const;
+  /// Run [*s, *e] of equal region labels containing i.
+  void RegionRun(int i, const std::vector<int>& regions, int* s, int* e) const;
+  /// Label-independent window of region runs whose f_ss cliques can change
+  /// when r_i changes: [start of run ending at i-1, end of run starting at
+  /// i+1].  Also reports the neighboring run regions (kInvalidId at the
+  /// sequence ends).
+  void SpaceSegWindow(int i, const std::vector<int>& regions, int* ws, int* we,
+                      RegionId* left, RegionId* right) const;
+  /// Window of event runs whose f_es cliques can change when e_i changes.
+  void EventSegWindow(int i, const std::vector<MobilityEvent>& events, int* ws,
+                      int* we) const;
   static MobilityEvent EventAt(int x, const std::vector<MobilityEvent>& events,
                                int override_pos, MobilityEvent override_event) {
     return x == override_pos ? override_event : events[x];

@@ -93,26 +93,38 @@ SequenceGraph::SequenceGraph(const World& world, const PSequence& sequence,
                    ? 1
                    : 0;
   }
+  path_prefix_.resize(n_);
+  path_prefix_[0] = 0.0;
+  for (int i = 1; i < n_; ++i) path_prefix_[i] = path_prefix_[i - 1] + de_[i - 1];
+  turn_prefix_.resize(n_ + 1);
+  turn_prefix_[0] = 0;
+  for (int i = 0; i < n_; ++i) turn_prefix_[i + 1] = turn_prefix_[i] + turn_[i];
 }
 
 void SequenceGraph::BuildCandidates(const LabelSequence* inject_truth) {
   const FeatureOptions& opts = *options_;
   candidates_.resize(n_);
   fsm_.resize(n_);
+  std::vector<RegionIndex::RegionDistance> nn_scratch;  // Reused across records.
   for (int i = 0; i < n_; ++i) {
     const IndoorPoint loc = opts.smooth_observations
                                 ? SmoothedLocation(*sequence_, i)
                                 : (*sequence_)[i].location;
     std::vector<RegionId> cands;
-    for (const auto& [region, dist] : world_->index().NearestRegions(
-             loc, opts.candidate_k, opts.candidate_max_distance)) {
+    world_->index().NearestRegionsInto(loc, opts.candidate_k,
+                                       opts.candidate_max_distance,
+                                       &nn_scratch);
+    cands.reserve(nn_scratch.size());
+    for (const auto& [region, dist] : nn_scratch) {
       cands.push_back(region);
     }
     if (opts.cross_floor_candidates) {
       for (int df : {-1, 1}) {
         const IndoorPoint shifted(loc.xy, loc.floor + df);
-        for (const auto& [region, dist] : world_->index().NearestRegions(
-                 shifted, opts.cross_floor_k, opts.cross_floor_max_distance)) {
+        world_->index().NearestRegionsInto(shifted, opts.cross_floor_k,
+                                           opts.cross_floor_max_distance,
+                                           &nn_scratch);
+        for (const auto& [region, dist] : nn_scratch) {
           if (std::find(cands.begin(), cands.end(), region) == cands.end()) {
             cands.push_back(region);
           }
@@ -152,12 +164,17 @@ int SequenceGraph::CandidateIndex(int i, RegionId region) const {
 }
 
 std::vector<MobilityEvent> SequenceGraph::InitialEvents() const {
-  std::vector<MobilityEvent> events(n_);
+  std::vector<MobilityEvent> events;
+  InitialEventsInto(&events);
+  return events;
+}
+
+void SequenceGraph::InitialEventsInto(std::vector<MobilityEvent>* out) const {
+  out->resize(n_);
   for (int i = 0; i < n_; ++i) {
-    events[i] = density_[i] == DensityClass::kNoise ? MobilityEvent::kPass
+    (*out)[i] = density_[i] == DensityClass::kNoise ? MobilityEvent::kPass
                                                     : MobilityEvent::kStay;
   }
-  return events;
 }
 
 std::vector<int> SequenceGraph::InitialRegions() const {

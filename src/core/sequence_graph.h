@@ -26,6 +26,13 @@ class SequenceGraph {
                 const FeatureOptions& options,
                 const LabelSequence* inject_truth);
 
+  /// The graph keeps pointers to `sequence` and `options`; binding them to
+  /// temporaries would dangle, so those overloads are rejected.
+  SequenceGraph(const World&, PSequence&&, const FeatureOptions&,
+                const LabelSequence*) = delete;
+  SequenceGraph(const World&, const PSequence&, FeatureOptions&&,
+                const LabelSequence*) = delete;
+
   int size() const { return n_; }
   const PSequence& sequence() const { return *sequence_; }
   const World& world() const { return *world_; }
@@ -51,9 +58,23 @@ class SequenceGraph {
   /// Whether the heading change at record i exceeds the turn threshold.
   bool Turn(int i) const { return turn_[i] != 0; }
 
+  /// Euclidean path length over the run [i, j] (the sum of DeltaE(x) for
+  /// x in [i, j)), O(1) via prefix sums.  The segmentation features call
+  /// this once per counterfactual candidate, so it must not re-walk runs.
+  double PathLength(int i, int j) const {
+    return path_prefix_[j] - path_prefix_[i];
+  }
+  /// Number of turn records strictly inside (i, j), O(1) via prefix sums.
+  int InteriorTurns(int i, int j) const {
+    return j - i < 2 ? 0 : turn_prefix_[j] - turn_prefix_[i + 1];
+  }
+
   /// The st-DBSCAN-based initial event configuration of Algorithm 1
   /// line 1: noise points are pass, core/border points are stay.
   std::vector<MobilityEvent> InitialEvents() const;
+  /// InitialEvents into a caller-owned vector (allocation-free once the
+  /// vector has capacity; used by the streaming decode workspace).
+  void InitialEventsInto(std::vector<MobilityEvent>* out) const;
   /// Nearest-region initial configuration (candidate indices), used by
   /// the C2MN@R variant (first-configure R).
   std::vector<int> InitialRegions() const;
@@ -71,6 +92,8 @@ class SequenceGraph {
   std::vector<DensityClass> density_;
   std::vector<double> dt_, de_, speed_;
   std::vector<uint8_t> turn_;
+  std::vector<double> path_prefix_;  ///< [n]; path_prefix_[i] = Σ de_[x<i].
+  std::vector<int> turn_prefix_;     ///< [n+1]; turn_prefix_[m] = Σ turn_[x<m].
 };
 
 }  // namespace c2mn

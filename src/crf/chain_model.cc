@@ -1,10 +1,6 @@
 #include "crf/chain_model.h"
 
-#include <algorithm>
 #include <cassert>
-#include <cmath>
-
-#include "common/math_utils.h"
 
 namespace c2mn {
 
@@ -23,167 +19,44 @@ bool ChainPotentials::Validate() const {
   return true;
 }
 
-ChainModel::ChainModel(ChainPotentials potentials)
-    : potentials_(std::move(potentials)) {
-  assert(potentials_.Validate());
+ChainModel::ChainModel(const ChainPotentials& potentials) {
+  assert(potentials.Validate());
+  flat_ = FlatChainPotentials::FromNested(potentials, &arena_);
 }
 
 std::vector<int> ChainModel::Viterbi() const {
-  const size_t n = potentials_.length();
-  std::vector<std::vector<double>> best(n);
-  std::vector<std::vector<int>> back(n);
-  best[0] = potentials_.node[0];
-  back[0].assign(potentials_.domain(0), -1);
-  for (size_t i = 1; i < n; ++i) {
-    const size_t da = potentials_.domain(i - 1);
-    const size_t db = potentials_.domain(i);
-    best[i].assign(db, -1e300);
-    back[i].assign(db, 0);
-    for (size_t b = 0; b < db; ++b) {
-      for (size_t a = 0; a < da; ++a) {
-        const double score =
-            best[i - 1][a] + potentials_.edge[i - 1][a][b];
-        if (score > best[i][b]) {
-          best[i][b] = score;
-          back[i][b] = static_cast<int>(a);
-        }
-      }
-      best[i][b] += potentials_.node[i][b];
-    }
-  }
-  std::vector<int> labels(n);
-  labels[n - 1] = static_cast<int>(
-      std::max_element(best[n - 1].begin(), best[n - 1].end()) -
-      best[n - 1].begin());
-  for (size_t i = n - 1; i > 0; --i) {
-    labels[i - 1] = back[i][labels[i]];
-  }
+  std::vector<int> labels;
+  FlatViterbi(flat_, nullptr, &ws_, &labels);
   return labels;
 }
 
 double ChainModel::LogPartition() const {
-  const size_t n = potentials_.length();
-  std::vector<double> alpha = potentials_.node[0];
-  for (size_t i = 1; i < n; ++i) {
-    const size_t da = potentials_.domain(i - 1);
-    const size_t db = potentials_.domain(i);
-    std::vector<double> next(db);
-    std::vector<double> terms(da);
-    for (size_t b = 0; b < db; ++b) {
-      for (size_t a = 0; a < da; ++a) {
-        terms[a] = alpha[a] + potentials_.edge[i - 1][a][b];
-      }
-      next[b] = LogSumExp(terms) + potentials_.node[i][b];
-    }
-    alpha = std::move(next);
-  }
-  return LogSumExp(alpha);
+  return FlatLogPartition(flat_, nullptr, &ws_);
 }
 
 std::vector<std::vector<double>> ChainModel::Marginals() const {
-  const size_t n = potentials_.length();
-  // Forward messages.
-  std::vector<std::vector<double>> alpha(n);
-  alpha[0] = potentials_.node[0];
-  for (size_t i = 1; i < n; ++i) {
-    const size_t da = potentials_.domain(i - 1);
-    const size_t db = potentials_.domain(i);
-    alpha[i].assign(db, 0.0);
-    std::vector<double> terms(da);
-    for (size_t b = 0; b < db; ++b) {
-      for (size_t a = 0; a < da; ++a) {
-        terms[a] = alpha[i - 1][a] + potentials_.edge[i - 1][a][b];
-      }
-      alpha[i][b] = LogSumExp(terms) + potentials_.node[i][b];
-    }
-  }
-  // Backward messages.
-  std::vector<std::vector<double>> beta(n);
-  beta[n - 1].assign(potentials_.domain(n - 1), 0.0);
-  for (size_t i = n - 1; i > 0; --i) {
-    const size_t da = potentials_.domain(i - 1);
-    const size_t db = potentials_.domain(i);
-    beta[i - 1].assign(da, 0.0);
-    std::vector<double> terms(db);
-    for (size_t a = 0; a < da; ++a) {
-      for (size_t b = 0; b < db; ++b) {
-        terms[b] = potentials_.edge[i - 1][a][b] + potentials_.node[i][b] +
-                   beta[i][b];
-      }
-      beta[i - 1][a] = LogSumExp(terms);
-    }
-  }
-  std::vector<std::vector<double>> marginals(n);
-  for (size_t i = 0; i < n; ++i) {
-    marginals[i].resize(potentials_.domain(i));
-    for (size_t a = 0; a < potentials_.domain(i); ++a) {
-      marginals[i][a] = alpha[i][a] + beta[i][a];
-    }
-    SoftmaxInPlace(&marginals[i]);
+  std::vector<double> flat_marginals(flat_.node_total);
+  FlatMarginals(flat_, nullptr, &ws_, flat_marginals.data());
+  std::vector<std::vector<double>> marginals(flat_.n);
+  for (int i = 0; i < flat_.n; ++i) {
+    const double* row = flat_marginals.data() + flat_.node_off[i];
+    marginals[i].assign(row, row + flat_.domains[i]);
   }
   return marginals;
 }
 
 double ChainModel::Score(const std::vector<int>& labels) const {
-  assert(labels.size() == potentials_.length());
-  double score = 0.0;
-  for (size_t i = 0; i < labels.size(); ++i) {
-    score += potentials_.node[i][labels[i]];
-    if (i + 1 < labels.size()) {
-      score += potentials_.edge[i][labels[i]][labels[i + 1]];
-    }
-  }
-  return score;
+  assert(static_cast<int>(labels.size()) == flat_.n);
+  return FlatScore(flat_, nullptr, labels.data());
 }
 
 void ChainModel::GibbsSweep(std::vector<int>* state, Rng* rng) const {
-  const size_t n = potentials_.length();
-  assert(state->size() == n);
-  for (size_t i = 0; i < n; ++i) {
-    const size_t d = potentials_.domain(i);
-    std::vector<double> logits(d);
-    for (size_t a = 0; a < d; ++a) {
-      double s = potentials_.node[i][a];
-      if (i > 0) s += potentials_.edge[i - 1][(*state)[i - 1]][a];
-      if (i + 1 < n) s += potentials_.edge[i][a][(*state)[i + 1]];
-      logits[a] = s;
-    }
-    SoftmaxInPlace(&logits);
-    (*state)[i] = static_cast<int>(rng->Categorical(logits));
-  }
+  FlatGibbsSweep(flat_, nullptr, &ws_, state, rng);
 }
 
 std::vector<int> ChainModel::Sample(Rng* rng) const {
-  const size_t n = potentials_.length();
-  // Forward filtering.
-  std::vector<std::vector<double>> alpha(n);
-  alpha[0] = potentials_.node[0];
-  for (size_t i = 1; i < n; ++i) {
-    const size_t da = potentials_.domain(i - 1);
-    const size_t db = potentials_.domain(i);
-    alpha[i].assign(db, 0.0);
-    std::vector<double> terms(da);
-    for (size_t b = 0; b < db; ++b) {
-      for (size_t a = 0; a < da; ++a) {
-        terms[a] = alpha[i - 1][a] + potentials_.edge[i - 1][a][b];
-      }
-      alpha[i][b] = LogSumExp(terms) + potentials_.node[i][b];
-    }
-  }
-  // Backward sampling.
-  std::vector<int> labels(n);
-  std::vector<double> last = alpha[n - 1];
-  SoftmaxInPlace(&last);
-  labels[n - 1] = static_cast<int>(rng->Categorical(last));
-  for (size_t i = n - 1; i > 0; --i) {
-    const size_t da = potentials_.domain(i - 1);
-    std::vector<double> logits(da);
-    for (size_t a = 0; a < da; ++a) {
-      logits[a] = alpha[i - 1][a] + potentials_.edge[i - 1][a][labels[i]];
-    }
-    SoftmaxInPlace(&logits);
-    labels[i - 1] = static_cast<int>(rng->Categorical(logits));
-  }
+  std::vector<int> labels;
+  FlatSample(flat_, nullptr, &ws_, rng, &labels);
   return labels;
 }
 

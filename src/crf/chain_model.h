@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "common/rng.h"
+#include "crf/flat_chain.h"
 
 namespace c2mn {
 
@@ -13,6 +14,12 @@ namespace c2mn {
 ///
 /// Labels are indices into each position's candidate set, so positions may
 /// have different domain sizes (region candidates differ per record).
+///
+/// This nested layout is the *interchange* format: convenient to build in
+/// cold paths and in tests.  Inference always runs on the flat arena-backed
+/// FlatChainPotentials (see crf/flat_chain.h); hot paths such as the
+/// annotator build flat potentials directly and never materialize this
+/// struct.
 struct ChainPotentials {
   std::vector<std::vector<double>> node;
   /// edge[i] couples positions i and i+1; size node.size() - 1.
@@ -23,17 +30,24 @@ struct ChainPotentials {
   bool Validate() const;
 };
 
-/// \brief Exact and sampling inference over a ChainPotentials.
+/// \brief Exact and sampling inference over chain potentials.
 ///
 /// This is the pairwise backbone shared by the C2MN decoding passes (the
 /// region chain given events, and the event chain given regions) and by
 /// the CMN / HMM baselines.  Segment-level cliques are layered on top via
 /// ICM (see core/annotator).
+///
+/// The constructor flattens the nested potentials once; every query then
+/// runs the flat kernels against an internal workspace, so repeated calls
+/// on one model do not allocate.  The workspace makes the accessors
+/// non-reentrant: share a ChainModel across threads only with external
+/// synchronization (the annotation hot paths use per-session workspaces
+/// instead of this class).
 class ChainModel {
  public:
-  explicit ChainModel(ChainPotentials potentials);
+  explicit ChainModel(const ChainPotentials& potentials);
 
-  const ChainPotentials& potentials() const { return potentials_; }
+  const FlatChainPotentials& flat() const { return flat_; }
 
   /// Max-product decoding: the label configuration with maximal score.
   std::vector<int> Viterbi() const;
@@ -56,7 +70,9 @@ class ChainModel {
   std::vector<int> Sample(Rng* rng) const;
 
  private:
-  ChainPotentials potentials_;
+  InferenceArena arena_;
+  FlatChainPotentials flat_;
+  mutable ChainWorkspace ws_;
 };
 
 }  // namespace c2mn

@@ -1,7 +1,10 @@
 #include "crf/hmm.h"
 
+#include <algorithm>
 #include <cassert>
 #include <cmath>
+
+#include "crf/flat_chain.h"
 
 namespace c2mn {
 
@@ -62,21 +65,32 @@ void Hmm::Fit() {
 std::vector<int> Hmm::Decode(const std::vector<int>& observations) const {
   assert(fitted_);
   if (observations.empty()) return {};
-  ChainPotentials pots;
-  const size_t n = observations.size();
-  pots.node.resize(n);
-  pots.edge.resize(n - 1);
-  for (size_t i = 0; i < n; ++i) {
-    pots.node[i].resize(num_states_);
+  // Flat chain with one tied edge block: the transition matrix is shared
+  // by every position instead of being copied n - 1 times.
+  const int n = static_cast<int>(observations.size());
+  InferenceArena arena;
+  int* domains = arena.Alloc<int>(n);
+  std::fill(domains, domains + n, num_states_);
+  FlatChainPotentials pots =
+      FlatChainPotentials::Build(n, domains, /*tied_edges=*/true, &arena);
+  for (int i = 0; i < n; ++i) {
+    double* row = pots.NodeRow(i);
     for (int s = 0; s < num_states_; ++s) {
-      pots.node[i][s] = log_emission_[s][observations[i]] +
-                        (i == 0 ? log_initial_[s] : 0.0);
-    }
-    if (i + 1 < n) {
-      pots.edge[i] = log_transition_;
+      row[s] = log_emission_[s][observations[i]] +
+               (i == 0 ? log_initial_[s] : 0.0);
     }
   }
-  return ChainModel(std::move(pots)).Viterbi();
+  if (n > 1) {
+    double* edge = pots.EdgeBlock(0);
+    for (int a = 0; a < num_states_; ++a) {
+      std::copy(log_transition_[a].begin(), log_transition_[a].end(),
+                edge + static_cast<size_t>(a) * num_states_);
+    }
+  }
+  ChainWorkspace ws;
+  std::vector<int> labels;
+  FlatViterbi(pots, nullptr, &ws, &labels);
+  return labels;
 }
 
 }  // namespace c2mn

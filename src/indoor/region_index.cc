@@ -1,7 +1,6 @@
 #include "indoor/region_index.h"
 
 #include <algorithm>
-#include <unordered_set>
 
 namespace c2mn {
 
@@ -36,23 +35,37 @@ RegionId RegionIndex::RegionAt(const IndoorPoint& p) const {
 std::vector<RegionIndex::RegionDistance> RegionIndex::NearestRegions(
     const IndoorPoint& p, size_t k, double max_distance) const {
   std::vector<RegionDistance> out;
+  NearestRegionsInto(p, k, max_distance, &out);
+  return out;
+}
+
+void RegionIndex::NearestRegionsInto(const IndoorPoint& p, size_t k,
+                                     double max_distance,
+                                     std::vector<RegionDistance>* out) const {
+  out->clear();
   if (p.floor < 0 || p.floor >= static_cast<FloorId>(floor_trees_.size())) {
-    return out;
+    return;
   }
-  std::unordered_set<RegionId> seen;
+  out->reserve(k);
   const RTree& tree = *floor_trees_[p.floor];
+  // Results are few (<= k, typically single digits), so deduplicating the
+  // multi-partition regions by scanning the output beats a hash set.
   tree.NearestTraversal(
       p.xy,
       [&](int32_t pid) { return plan_.partition(pid).shape.Distance(p.xy); },
       [&](int32_t pid, double dist) {
         if (dist > max_distance) return false;  // Ordered: nothing closer.
         const RegionId region = plan_.partition(pid).region;
-        if (region != kInvalidId && seen.insert(region).second) {
-          out.push_back({region, dist});
+        if (region != kInvalidId) {
+          const bool seen =
+              std::any_of(out->begin(), out->end(),
+                          [region](const RegionDistance& rd) {
+                            return rd.region == region;
+                          });
+          if (!seen) out->push_back({region, dist});
         }
-        return seen.size() < k;
+        return out->size() < k;
       });
-  return out;
 }
 
 RegionId RegionIndex::NearestRegion(const IndoorPoint& p) const {

@@ -39,6 +39,12 @@ class RegionIndex {
       const IndoorPoint& p, size_t k,
       double max_distance = 1e300) const;
 
+  /// NearestRegions writing into a caller-owned vector, so per-record
+  /// candidate generation can recycle one buffer instead of allocating a
+  /// result vector (and a dedup set) per query.  `out` is cleared first.
+  void NearestRegionsInto(const IndoorPoint& p, size_t k, double max_distance,
+                          std::vector<RegionDistance>* out) const;
+
   /// The single nearest region on `p.floor`; kInvalidId only when the
   /// floor holds no semantic region at all.
   RegionId NearestRegion(const IndoorPoint& p) const;

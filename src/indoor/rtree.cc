@@ -124,7 +124,13 @@ void RTree::NearestTraversal(
     int32_t id;
     bool operator>(const Item& o) const { return dist > o.dist; }
   };
-  std::priority_queue<Item, std::vector<Item>, std::greater<>> heap;
+  // One up-front reservation: each node enters the heap at most once and
+  // each entry at most twice (raw popped before its refined re-insert), so
+  // this bound makes the whole traversal a single allocation.
+  std::vector<Item> storage;
+  storage.reserve(nodes_.size() + num_entries_ + 1);
+  std::priority_queue<Item, std::vector<Item>, std::greater<>> heap(
+      std::greater<>{}, std::move(storage));
   heap.push({nodes_[root_].box.Distance(p), 0, root_});
   while (!heap.empty()) {
     const Item item = heap.top();

@@ -184,6 +184,10 @@ void AnnotationService::WorkerLoop(Shard* shard) {
   using service_internal::Session;
   std::vector<Op> batch;
   batch.reserve(options_.max_batch);
+  // One emit buffer per shard, recycled across every session's pushes:
+  // with the annotators' reusable decode workspaces this keeps the
+  // steady-state record path allocation-free.
+  std::vector<MSemantics> emitted;
   while (shard->queue.PopBatch(&batch, options_.max_batch)) {
     for (Op& op : batch) {
       switch (op.kind) {
@@ -200,8 +204,7 @@ void AnnotationService::WorkerLoop(Shard* shard) {
           Session* session = it->second.get();
           const uint64_t violations_before =
               session->annotator.timestamp_violations();
-          const std::vector<MSemantics> emitted =
-              session->annotator.Push(op.record);
+          session->annotator.PushInto(op.record, &emitted);
           for (const MSemantics& ms : emitted) {
             if (session->sink) session->sink(session->object_id, ms);
           }
@@ -223,13 +226,13 @@ void AnnotationService::WorkerLoop(Shard* shard) {
           const auto it = shard->sessions.find(op.object_id);
           if (it == shard->sessions.end()) break;
           Session* session = it->second.get();
-          const std::vector<MSemantics> tail = session->annotator.Flush();
-          for (const MSemantics& ms : tail) {
+          session->annotator.FlushInto(&emitted);
+          for (const MSemantics& ms : emitted) {
             if (session->sink) session->sink(session->object_id, ms);
           }
           {
             std::lock_guard<std::mutex> lock(shard->stats_mu);
-            shard->semantics_emitted += tail.size();
+            shard->semantics_emitted += emitted.size();
           }
           shard->sessions.erase(it);
           break;

@@ -1,0 +1,370 @@
+#include "crf/flat_chain.h"
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/math_utils.h"
+#include "common/rng.h"
+#include "crf/chain_model.h"
+#include "crf/hmm.h"
+
+namespace c2mn {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Reference implementations over the legacy nested layout.  These are the
+// pre-flat ChainModel algorithms, kept verbatim as the ground truth the
+// arena-backed kernels are checked against.
+// ---------------------------------------------------------------------------
+
+std::vector<int> NestedViterbi(const ChainPotentials& pots) {
+  const size_t n = pots.length();
+  std::vector<std::vector<double>> best(n);
+  std::vector<std::vector<int>> back(n);
+  best[0] = pots.node[0];
+  back[0].assign(pots.domain(0), -1);
+  for (size_t i = 1; i < n; ++i) {
+    const size_t da = pots.domain(i - 1);
+    const size_t db = pots.domain(i);
+    best[i].assign(db, -1e300);
+    back[i].assign(db, 0);
+    for (size_t b = 0; b < db; ++b) {
+      for (size_t a = 0; a < da; ++a) {
+        const double score = best[i - 1][a] + pots.edge[i - 1][a][b];
+        if (score > best[i][b]) {
+          best[i][b] = score;
+          back[i][b] = static_cast<int>(a);
+        }
+      }
+      best[i][b] += pots.node[i][b];
+    }
+  }
+  std::vector<int> labels(n);
+  labels[n - 1] = static_cast<int>(
+      std::max_element(best[n - 1].begin(), best[n - 1].end()) -
+      best[n - 1].begin());
+  for (size_t i = n - 1; i > 0; --i) labels[i - 1] = back[i][labels[i]];
+  return labels;
+}
+
+double NestedLogPartition(const ChainPotentials& pots) {
+  const size_t n = pots.length();
+  std::vector<double> alpha = pots.node[0];
+  for (size_t i = 1; i < n; ++i) {
+    const size_t da = pots.domain(i - 1);
+    const size_t db = pots.domain(i);
+    std::vector<double> next(db);
+    std::vector<double> terms(da);
+    for (size_t b = 0; b < db; ++b) {
+      for (size_t a = 0; a < da; ++a) {
+        terms[a] = alpha[a] + pots.edge[i - 1][a][b];
+      }
+      next[b] = LogSumExp(terms) + pots.node[i][b];
+    }
+    alpha = std::move(next);
+  }
+  return LogSumExp(alpha);
+}
+
+std::vector<std::vector<double>> NestedMarginals(const ChainPotentials& pots) {
+  const size_t n = pots.length();
+  std::vector<std::vector<double>> alpha(n);
+  alpha[0] = pots.node[0];
+  for (size_t i = 1; i < n; ++i) {
+    const size_t da = pots.domain(i - 1);
+    const size_t db = pots.domain(i);
+    alpha[i].assign(db, 0.0);
+    std::vector<double> terms(da);
+    for (size_t b = 0; b < db; ++b) {
+      for (size_t a = 0; a < da; ++a) {
+        terms[a] = alpha[i - 1][a] + pots.edge[i - 1][a][b];
+      }
+      alpha[i][b] = LogSumExp(terms) + pots.node[i][b];
+    }
+  }
+  std::vector<std::vector<double>> beta(n);
+  beta[n - 1].assign(pots.domain(n - 1), 0.0);
+  for (size_t i = n - 1; i > 0; --i) {
+    const size_t da = pots.domain(i - 1);
+    const size_t db = pots.domain(i);
+    beta[i - 1].assign(da, 0.0);
+    std::vector<double> terms(db);
+    for (size_t a = 0; a < da; ++a) {
+      for (size_t b = 0; b < db; ++b) {
+        terms[b] = pots.edge[i - 1][a][b] + pots.node[i][b] + beta[i][b];
+      }
+      beta[i - 1][a] = LogSumExp(terms);
+    }
+  }
+  std::vector<std::vector<double>> marginals(n);
+  for (size_t i = 0; i < n; ++i) {
+    marginals[i].resize(pots.domain(i));
+    for (size_t a = 0; a < pots.domain(i); ++a) {
+      marginals[i][a] = alpha[i][a] + beta[i][a];
+    }
+    SoftmaxInPlace(&marginals[i]);
+  }
+  return marginals;
+}
+
+/// Random chain with per-position domain sizes in [min_domain, max_domain].
+ChainPotentials RandomChain(Rng* rng, int len, int min_domain,
+                            int max_domain) {
+  ChainPotentials pots;
+  pots.node.resize(len);
+  pots.edge.resize(len - 1);
+  for (int i = 0; i < len; ++i) {
+    const int d = min_domain + static_cast<int>(rng->UniformInt(
+                                   uint64_t(max_domain - min_domain + 1)));
+    pots.node[i].resize(d);
+    for (double& v : pots.node[i]) v = rng->Uniform(-2, 2);
+  }
+  for (int i = 0; i + 1 < len; ++i) {
+    pots.edge[i].assign(pots.node[i].size(),
+                        std::vector<double>(pots.node[i + 1].size(), 0.0));
+    for (auto& row : pots.edge[i]) {
+      for (double& v : row) v = rng->Uniform(-2, 2);
+    }
+  }
+  return pots;
+}
+
+void ExpectEquivalent(const ChainPotentials& pots) {
+  const ChainModel model(pots);
+  EXPECT_EQ(model.Viterbi(), NestedViterbi(pots));
+  EXPECT_NEAR(model.LogPartition(), NestedLogPartition(pots), 1e-9);
+  const auto flat_marg = model.Marginals();
+  const auto nested_marg = NestedMarginals(pots);
+  ASSERT_EQ(flat_marg.size(), nested_marg.size());
+  for (size_t i = 0; i < flat_marg.size(); ++i) {
+    ASSERT_EQ(flat_marg[i].size(), nested_marg[i].size());
+    for (size_t a = 0; a < flat_marg[i].size(); ++a) {
+      EXPECT_NEAR(flat_marg[i][a], nested_marg[i][a], 1e-9)
+          << "position " << i << " label " << a;
+    }
+  }
+}
+
+class FlatVsNested : public ::testing::TestWithParam<int> {};
+
+TEST_P(FlatVsNested, RandomChainsMatchLegacyImplementation) {
+  Rng rng(GetParam() * 977 + 21);
+  const int len = 1 + static_cast<int>(rng.UniformInt(uint64_t{12}));
+  const ChainPotentials pots = RandomChain(&rng, len, 1, 5);
+  ExpectEquivalent(pots);
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomChains, FlatVsNested, ::testing::Range(0, 30));
+
+TEST(FlatChainTest, LengthOneChain) {
+  ChainPotentials pots;
+  pots.node = {{0.3, -1.2, 0.9}};
+  ExpectEquivalent(pots);
+  const ChainModel model(pots);
+  EXPECT_EQ(model.Viterbi(), std::vector<int>{2});
+}
+
+TEST(FlatChainTest, AllDomainOneChain) {
+  Rng rng(99);
+  const ChainPotentials pots = RandomChain(&rng, 7, 1, 1);
+  ExpectEquivalent(pots);
+  const ChainModel model(pots);
+  // Marginals of a fully determined chain are exactly 1.
+  for (const auto& row : model.Marginals()) {
+    ASSERT_EQ(row.size(), 1u);
+    EXPECT_NEAR(row[0], 1.0, 1e-12);
+  }
+}
+
+TEST(FlatChainTest, MixedDomainOnePositions) {
+  Rng rng(7);
+  for (int trial = 0; trial < 10; ++trial) {
+    ChainPotentials pots = RandomChain(&rng, 8, 1, 4);
+    // Force some interior positions to domain 1.
+    for (size_t i = 1; i < pots.length(); i += 3) {
+      pots.node[i].resize(1);
+      for (auto& row : pots.edge[i - 1]) row.resize(1);
+      if (i < pots.edge.size()) {
+        pots.edge[i].assign(1, std::vector<double>(pots.domain(i + 1), 0.5));
+      }
+    }
+    ASSERT_TRUE(pots.Validate());
+    ExpectEquivalent(pots);
+  }
+}
+
+TEST(FlatChainTest, NodeBiasOverlayEqualsMaterializedAugmentation) {
+  Rng rng(41);
+  for (int trial = 0; trial < 10; ++trial) {
+    const int len = 2 + static_cast<int>(rng.UniformInt(uint64_t{8}));
+    const ChainPotentials pots = RandomChain(&rng, len, 1, 4);
+    // Augment nested node potentials explicitly...
+    ChainPotentials augmented = pots;
+    std::vector<double> bias;
+    for (size_t i = 0; i < pots.length(); ++i) {
+      for (size_t a = 0; a < pots.domain(i); ++a) {
+        const double delta = rng.Uniform(-1, 1);
+        bias.push_back(delta);
+        augmented.node[i][a] += delta;
+      }
+    }
+    // ...and compare against the zero-copy overlay on the original chain.
+    InferenceArena arena;
+    const FlatChainPotentials flat =
+        FlatChainPotentials::FromNested(pots, &arena);
+    ChainWorkspace ws;
+    std::vector<int> overlay_labels;
+    FlatViterbi(flat, bias.data(), &ws, &overlay_labels);
+    EXPECT_EQ(overlay_labels, NestedViterbi(augmented));
+
+    std::vector<double> overlay_marg(flat.node_total);
+    FlatMarginals(flat, bias.data(), &ws, overlay_marg.data());
+    const auto nested_marg = NestedMarginals(augmented);
+    for (int i = 0; i < flat.n; ++i) {
+      for (int a = 0; a < flat.domains[i]; ++a) {
+        EXPECT_NEAR(overlay_marg[flat.node_off[i] + a], nested_marg[i][a],
+                    1e-9);
+      }
+    }
+    EXPECT_NEAR(FlatLogPartition(flat, bias.data(), &ws),
+                NestedLogPartition(augmented), 1e-9);
+  }
+}
+
+TEST(FlatChainTest, TiedEdgesMatchPerPositionEdges) {
+  // The HMM layout: every position shares one transition block.
+  Rng rng(17);
+  const int n = 9;
+  const int d = 4;
+  std::vector<std::vector<double>> shared(d, std::vector<double>(d));
+  for (auto& row : shared) {
+    for (double& v : row) v = rng.Uniform(-2, 2);
+  }
+  ChainPotentials nested;
+  nested.node.resize(n);
+  nested.edge.resize(n - 1);
+  for (int i = 0; i < n; ++i) {
+    nested.node[i].resize(d);
+    for (double& v : nested.node[i]) v = rng.Uniform(-2, 2);
+    if (i + 1 < n) nested.edge[i] = shared;
+  }
+
+  InferenceArena arena;
+  int* domains = arena.Alloc<int>(n);
+  std::fill(domains, domains + n, d);
+  FlatChainPotentials tied =
+      FlatChainPotentials::Build(n, domains, /*tied_edges=*/true, &arena);
+  for (int i = 0; i < n; ++i) {
+    std::copy(nested.node[i].begin(), nested.node[i].end(), tied.NodeRow(i));
+  }
+  for (int a = 0; a < d; ++a) {
+    std::copy(shared[a].begin(), shared[a].end(),
+              tied.EdgeBlock(0) + static_cast<size_t>(a) * d);
+  }
+  ChainWorkspace ws;
+  std::vector<int> labels;
+  FlatViterbi(tied, nullptr, &ws, &labels);
+  EXPECT_EQ(labels, NestedViterbi(nested));
+  EXPECT_NEAR(FlatLogPartition(tied, nullptr, &ws),
+              NestedLogPartition(nested), 1e-9);
+}
+
+TEST(FlatChainTest, HmmDecodeMatchesNestedReference) {
+  Rng rng(23);
+  Hmm hmm(3, 5);
+  for (int seq = 0; seq < 6; ++seq) {
+    std::vector<int> states, obs;
+    for (int t = 0; t < 20; ++t) {
+      states.push_back(static_cast<int>(rng.UniformInt(uint64_t{3})));
+      obs.push_back(static_cast<int>(rng.UniformInt(uint64_t{5})));
+    }
+    hmm.AddSequence(states, obs);
+  }
+  hmm.Fit();
+  std::vector<int> obs;
+  for (int t = 0; t < 40; ++t) {
+    obs.push_back(static_cast<int>(rng.UniformInt(uint64_t{5})));
+  }
+  // Reference: materialize the legacy nested potentials with one copy of
+  // the transition matrix per edge.
+  ChainPotentials pots;
+  pots.node.resize(obs.size());
+  pots.edge.resize(obs.size() - 1);
+  for (size_t i = 0; i < obs.size(); ++i) {
+    pots.node[i].resize(3);
+    for (int s = 0; s < 3; ++s) {
+      pots.node[i][s] =
+          hmm.LogEmission(s, obs[i]) + (i == 0 ? hmm.LogInitial(s) : 0.0);
+    }
+    if (i + 1 < obs.size()) {
+      pots.edge[i].assign(3, std::vector<double>(3));
+      for (int a = 0; a < 3; ++a) {
+        for (int b = 0; b < 3; ++b) pots.edge[i][a][b] = hmm.LogTransition(a, b);
+      }
+    }
+  }
+  EXPECT_EQ(hmm.Decode(obs), NestedViterbi(pots));
+}
+
+// Regression for the backward-message underflow guard: a 2000-step chain
+// whose potentials overwhelmingly prefer one label.  Unnormalized
+// messages reach magnitudes of thousands in log-space; the per-position
+// max-shift must keep every marginal finite and normalized.
+TEST(FlatChainTest, LongLowEntropyChainMarginalsStayNormalized) {
+  const int n = 2000;
+  const int d = 3;
+  ChainPotentials pots;
+  pots.node.resize(n);
+  pots.edge.resize(n - 1);
+  for (int i = 0; i < n; ++i) {
+    pots.node[i] = {8.0, -4.0, -4.0};  // Strong preference for label 0.
+    if (i + 1 < n) {
+      pots.edge[i].assign(d, std::vector<double>(d, -2.0));
+      for (int a = 0; a < d; ++a) pots.edge[i][a][a] = 3.0;  // Sticky.
+    }
+  }
+  const ChainModel model(pots);
+  const auto marginals = model.Marginals();
+  ASSERT_EQ(static_cast<int>(marginals.size()), n);
+  for (int i = 0; i < n; ++i) {
+    double sum = 0.0;
+    for (double m : marginals[i]) {
+      EXPECT_TRUE(std::isfinite(m)) << "non-finite marginal at " << i;
+      EXPECT_GE(m, 0.0);
+      sum += m;
+    }
+    EXPECT_NEAR(sum, 1.0, 1e-9) << "row " << i;
+  }
+  // The dominant label holds the posterior everywhere.
+  EXPECT_GT(marginals[n / 2][0], 0.999);
+  EXPECT_GT(marginals[0][0], 0.999);
+  EXPECT_GT(marginals[n - 1][0], 0.999);
+  // LogPartition is finite and the Viterbi path is the dominant label.
+  EXPECT_TRUE(std::isfinite(model.LogPartition()));
+  EXPECT_EQ(model.Viterbi(), std::vector<int>(n, 0));
+}
+
+TEST(FlatChainTest, ArenaReuseDoesNotGrowAfterWarmup) {
+  InferenceArena arena;
+  ChainWorkspace ws;
+  Rng rng(3);
+  const ChainPotentials pots = RandomChain(&rng, 40, 2, 5);
+  size_t warm_bytes = 0;
+  for (int round = 0; round < 5; ++round) {
+    arena.Reset();
+    const FlatChainPotentials flat =
+        FlatChainPotentials::FromNested(pots, &arena);
+    std::vector<int> labels;
+    FlatViterbi(flat, nullptr, &ws, &labels);
+    if (round == 0) {
+      warm_bytes = arena.bytes_reserved();
+    } else {
+      EXPECT_EQ(arena.bytes_reserved(), warm_bytes);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace c2mn

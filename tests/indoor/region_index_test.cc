@@ -84,5 +84,34 @@ TEST(RegionIndexTest, InsideRegionHasZeroDistance) {
   EXPECT_EQ(nearest[0].region, index.RegionAt(IndoorPoint(5, 4, 0)));
 }
 
+TEST(RegionIndexTest, NearestRegionsIntoReusesBufferAndMatches) {
+  const Floorplan plan = testing_util::TinyFloorplan();
+  const RegionIndex index(plan);
+  std::vector<RegionIndex::RegionDistance> buffer;
+  for (const auto& p : {IndoorPoint(15, 10, 0), IndoorPoint(5, 4, 0),
+                        IndoorPoint(29, 19, 0), IndoorPoint(0, 0, 0)}) {
+    for (size_t k : {size_t{1}, size_t{3}, size_t{6}, size_t{20}}) {
+      index.NearestRegionsInto(p, k, 1e300, &buffer);
+      const auto by_value = index.NearestRegions(p, k);
+      ASSERT_EQ(buffer.size(), by_value.size());
+      for (size_t x = 0; x < buffer.size(); ++x) {
+        EXPECT_EQ(buffer[x].region, by_value[x].region);
+        EXPECT_DOUBLE_EQ(buffer[x].distance, by_value[x].distance);
+      }
+      // Results are distinct regions, closest first, at most k.
+      EXPECT_LE(buffer.size(), k);
+      for (size_t x = 0; x + 1 < buffer.size(); ++x) {
+        EXPECT_LE(buffer[x].distance, buffer[x + 1].distance);
+        for (size_t y = x + 1; y < buffer.size(); ++y) {
+          EXPECT_NE(buffer[x].region, buffer[y].region);
+        }
+      }
+    }
+  }
+  // An invalid floor yields an empty (cleared) result, not stale entries.
+  index.NearestRegionsInto(IndoorPoint(5, 4, 99), 3, 1e300, &buffer);
+  EXPECT_TRUE(buffer.empty());
+}
+
 }  // namespace
 }  // namespace c2mn
