@@ -46,6 +46,10 @@ inline TrainOptions DefaultTrainOptions(const BenchScale& scale) {
   topts.max_iter = scale.max_iter;
   topts.mcmc_samples = scale.mcmc_samples;
   topts.seed = scale.seed + 1;
+  // Trainer worker threads (0 = all cores).  Safe to set for any driver:
+  // the trainer is bit-identical across thread counts, so this only
+  // changes wall time, never a reproduced number.
+  topts.num_threads = EnvInt("C2MN_TRAIN_THREADS", 0);
   return topts;
 }
 

@@ -29,6 +29,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench/bench_json.h"
 #include "baselines/c2mn_method.h"
 #include "common/logging.h"
 #include "core/annotator.h"
@@ -303,73 +304,12 @@ PushAllocStats RunPushAllocCheck() {
 }
 
 // ---------------------------------------------------------------------------
-// JSON emission.
+// JSON emission (capture/escape plumbing shared via bench/bench_json.h).
 // ---------------------------------------------------------------------------
 
-struct CapturedRun {
-  std::string name;
-  double real_ms = 0.0;
-  std::map<std::string, double> counters;
-};
-
-class CaptureReporter : public benchmark::ConsoleReporter {
- public:
-  void ReportRuns(const std::vector<Run>& report) override {
-    for (const Run& run : report) {
-      // Plain iteration runs only (field names for skipped/errored runs
-      // differ across google-benchmark versions; aggregates are excluded).
-      if (run.run_type != Run::RT_Iteration) continue;
-      CapturedRun captured;
-      captured.name = run.benchmark_name();
-      captured.real_ms =
-          1e3 * run.real_accumulated_time /
-          static_cast<double>(run.iterations > 0 ? run.iterations : 1);
-      for (const auto& [key, counter] : run.counters) {
-        captured.counters[key] = counter.value;
-      }
-      runs_.push_back(std::move(captured));
-    }
-    ConsoleReporter::ReportRuns(report);
-  }
-
-  const std::vector<CapturedRun>& runs() const { return runs_; }
-
- private:
-  std::vector<CapturedRun> runs_;
-};
-
-/// Minimal JSON string escaping (backslash, quote, control characters).
-std::string EscapeJson(const std::string& raw) {
-  std::string out;
-  out.reserve(raw.size());
-  for (const char c : raw) {
-    if (c == '\\' || c == '"') {
-      out.push_back('\\');
-      out.push_back(c);
-    } else if (static_cast<unsigned char>(c) < 0x20) {
-      char buf[8];
-      std::snprintf(buf, sizeof(buf), "\\u%04x", c);
-      out += buf;
-    } else {
-      out.push_back(c);
-    }
-  }
-  return out;
-}
-
-/// Parses "name=ms,name=ms" (C2MN_BENCH_BASELINE).
-std::map<std::string, double> ParseBaseline(const char* spec) {
-  std::map<std::string, double> baseline;
-  if (spec == nullptr) return baseline;
-  std::stringstream stream(spec);
-  std::string entry;
-  while (std::getline(stream, entry, ',')) {
-    const size_t eq = entry.find('=');
-    if (eq == std::string::npos) continue;
-    baseline[entry.substr(0, eq)] = std::atof(entry.c_str() + eq + 1);
-  }
-  return baseline;
-}
+using bench::CapturedRun;
+using bench::EscapeJson;
+using bench::ParseBaseline;
 
 void WriteJson(const std::string& path, const std::vector<CapturedRun>& runs,
                const PushAllocStats& push_stats) {
@@ -394,22 +334,16 @@ void WriteJson(const std::string& path, const std::vector<CapturedRun>& runs,
   out << "    \"decode_pushes_checked\": " << push_stats.decode_pushes_checked
       << "\n";
   out << "  },\n";
-  out << "  \"results\": [\n";
-  for (size_t r = 0; r < runs.size(); ++r) {
-    const CapturedRun& run = runs[r];
-    out << "    {\"name\": \"" << EscapeJson(run.name) << "\", \"real_ms\": "
-        << run.real_ms;
-    const auto base = baseline.find(run.name);
-    if (base != baseline.end() && run.real_ms > 0) {
-      out << ", \"baseline_ms\": " << base->second
-          << ", \"speedup\": " << base->second / run.real_ms;
-    }
-    for (const auto& [key, value] : run.counters) {
-      out << ", \"" << EscapeJson(key) << "\": " << value;
-    }
-    out << "}" << (r + 1 < runs.size() ? "," : "") << "\n";
-  }
-  out << "  ]\n";
+  bench::WriteRunsArray(out, runs,
+                        [&baseline](std::ostream& o, const CapturedRun& run) {
+                          const auto base = baseline.find(run.name);
+                          if (base != baseline.end() && run.real_ms > 0) {
+                            o << ", \"baseline_ms\": " << base->second
+                              << ", \"speedup\": "
+                              << base->second / run.real_ms;
+                          }
+                        });
+  out << "\n";
   out << "}\n";
 }
 
@@ -422,7 +356,7 @@ int main(int argc, char** argv) {
 
   const c2mn::PushAllocStats push_stats = c2mn::RunPushAllocCheck();
 
-  c2mn::CaptureReporter reporter;
+  c2mn::bench::CaptureReporter reporter;
   benchmark::RunSpecifiedBenchmarks(&reporter);
   benchmark::Shutdown();
 

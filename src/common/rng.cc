@@ -97,4 +97,15 @@ Rng Rng::Split() {
   return child;
 }
 
+Rng Rng::Stream(uint64_t seed, uint64_t stream) {
+  // Two SplitMix64 rounds over a mix of both inputs: adjacent (seed,
+  // stream) pairs (the common case: stream = sequence ordinal) land on
+  // unrelated points of the seed space before Rng::Seed expands them.
+  uint64_t sm = seed ^ Rotl(stream + 0x9E3779B97F4A7C15ull, 31);
+  const uint64_t a = SplitMix64(&sm);
+  sm ^= stream * 0xBF58476D1CE4E5B9ull;
+  const uint64_t b = SplitMix64(&sm);
+  return Rng(a ^ Rotl(b, 17));
+}
+
 }  // namespace c2mn

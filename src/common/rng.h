@@ -55,6 +55,15 @@ class Rng {
   /// Derives an independent generator for a parallel component.
   Rng Split();
 
+  /// Derives the `stream`-th member of a family of statistically
+  /// independent generators rooted at `seed`, without consuming state from
+  /// any existing generator.  Unlike Split(), which advances the parent,
+  /// Stream(seed, k) is a pure function of (seed, k): parallel workers can
+  /// each construct their own stream in any order (or concurrently) and
+  /// the result is identical to a serial construction — the property the
+  /// trainer relies on for thread-count-invariant results.
+  static Rng Stream(uint64_t seed, uint64_t stream);
+
   /// Fisher-Yates shuffle.
   template <typename T>
   void Shuffle(std::vector<T>* v) {

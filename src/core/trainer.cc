@@ -1,9 +1,11 @@
 #include "core/trainer.h"
 
 #include <algorithm>
+#include <array>
 #include <cassert>
 #include <cmath>
 #include <memory>
+#include <thread>
 
 #include "common/logging.h"
 #include "common/math_utils.h"
@@ -15,17 +17,133 @@ namespace c2mn {
 namespace {
 
 /// Per-sequence training state: the unrolled graph, empirical labels in
-/// candidate-index space, and the current configuration of both chains.
+/// candidate-index space, the current configuration of both chains, a
+/// private RNG stream, and the per-iteration gradient partials.
+///
+/// Everything a sampling sweep touches lives here, so sequences can be
+/// sharded over worker threads with no synchronization: each worker only
+/// reads the shared weight vector and writes its own sequences' state.
 struct TrainSequence {
   std::unique_ptr<SequenceGraph> graph;
-  std::vector<int> empirical_regions;          // Candidate indices.
+  std::vector<int> empirical_regions;          // Candidate indices; -1 =
+                                               // ground truth off-candidate
+                                               // (excluded from the loss).
   std::vector<MobilityEvent> empirical_events;
   std::vector<int> config_regions;             // Current Ā (region side).
   std::vector<MobilityEvent> config_events;    // Current Ā (event side).
+  /// Deterministic per-sequence stream (Rng::Stream(seed, ordinal)): the
+  /// draws a sequence consumes are independent of which thread runs it and
+  /// of how many sequences precede it in the sweep.
+  Rng rng;
+
+  // -- Per-iteration outputs, reduced in ordinal order by the trainer. --
+  std::vector<double> grad;
+  double objective = 0.0;
+
+  // -- Reused sampling scratch (worker-local by construction). --
+  std::vector<FeatureVec> fvecs;
+  std::vector<double> logits;
+  std::vector<double> probs;
+  std::vector<int> votes;
 };
 
 constexpr MobilityEvent kEventDomain[2] = {MobilityEvent::kStay,
                                            MobilityEvent::kPass};
+
+/// One full iteration's sampling work for a single sequence: every pass'
+/// systematic scan, M draws per node, gradient/objective accumulation into
+/// the sequence's private buffers, and the persistent-chain advance.
+/// Reads the shared weights `w`; touches no other shared state.
+void SampleSequence(TrainSequence* ts, const C2mnStructure& structure,
+                    const std::vector<double>& w,
+                    const std::vector<bool>& passes, int M) {
+  TrainSequence& s = *ts;
+  s.grad.assign(kNumWeights, 0.0);
+  s.objective = 0.0;
+  const SequenceGraph& g = *s.graph;
+  const JointScorer scorer(g, structure);
+  const int n = g.size();
+
+  for (const bool pass_regions : passes) {
+    for (int i = 0; i < n; ++i) {
+      // Feature vector per candidate label of node i.  The B-chain
+      // neighbors come from the persistent MCMC chain B̄ (not the
+      // empirical labels): sampling against the model's own blanket is
+      // what keeps the transition weights calibrated for decode time,
+      // where neighbors are inferred rather than given.  The A-chain is
+      // fixed at its configuration Ā.
+      s.fvecs.clear();
+      int empirical_index;
+      if (pass_regions) {
+        const int da = static_cast<int>(g.Candidates(i).size());
+        s.fvecs.reserve(da);
+        for (int a = 0; a < da; ++a) {
+          s.fvecs.push_back(scorer.RegionNodeFeatures(i, a, s.config_regions,
+                                                      s.config_events));
+        }
+        // -1 when the ground-truth region is off-candidate: the node
+        // still advances the chain below but contributes nothing to the
+        // loss or gradient (it has no valid supervision signal).
+        empirical_index = s.empirical_regions[i];
+      } else {
+        s.fvecs.reserve(2);
+        for (MobilityEvent v : kEventDomain) {
+          s.fvecs.push_back(scorer.EventNodeFeatures(i, v, s.config_regions,
+                                                     s.config_events));
+        }
+        empirical_index =
+            s.empirical_events[i] == MobilityEvent::kStay ? 0 : 1;
+      }
+
+      const size_t domain = s.fvecs.size();
+      s.logits.resize(domain);
+      for (size_t a = 0; a < domain; ++a) {
+        s.logits[a] = DotFeatures(w, s.fvecs[a]);
+      }
+      if (empirical_index >= 0) {
+        const double lse = LogSumExp(s.logits);
+        s.objective -= s.logits[empirical_index] - lse;  // -log P(b_i | MB).
+      }
+
+      // M MCMC draws from the local conditional (Eq. 9's sample mean of
+      // Δf = f(sampled) - f(empirical)).
+      s.probs = s.logits;
+      SoftmaxInPlace(&s.probs);
+      s.votes.assign(domain, 0);
+      for (int j = 0; j < M; ++j) {
+        const size_t draw = s.rng.Categorical(s.probs);
+        if (empirical_index >= 0) {
+          for (int k = 0; k < kNumWeights; ++k) {
+            s.grad[k] += (s.fvecs[draw][k] - s.fvecs[empirical_index][k]) /
+                         static_cast<double>(M);
+          }
+        }
+        ++s.votes[draw];
+      }
+
+      // Advance the persistent chain at this node to the majority of the
+      // M draws (line 25's sample averaging), so later nodes in this
+      // systematic-scan sweep see the updated value.
+      const int majority = static_cast<int>(
+          std::max_element(s.votes.begin(), s.votes.end()) - s.votes.begin());
+      if (pass_regions) {
+        s.config_regions[i] = majority;
+      } else {
+        s.config_events[i] = majority == 0 ? MobilityEvent::kStay
+                                           : MobilityEvent::kPass;
+      }
+    }
+  }
+}
+
+/// Resolves TrainOptions::num_threads against the hardware and workload.
+int ResolveNumThreads(int requested, size_t num_sequences) {
+  int n = requested;
+  if (n <= 0) n = static_cast<int>(std::thread::hardware_concurrency());
+  if (n < 1) n = 1;
+  return static_cast<int>(
+      std::min<size_t>(static_cast<size_t>(n), num_sequences));
+}
 
 }  // namespace
 
@@ -61,19 +179,36 @@ TrainResult AlternateTrainer::Train(
     ts.empirical_regions.resize(n);
     for (int i = 0; i < n; ++i) {
       const int idx = ts.graph->CandidateIndex(i, ls->labels.regions[i]);
-      ts.empirical_regions[i] = idx >= 0 ? idx : 0;
+      // A ground-truth region outside the candidate set cannot be
+      // expressed in candidate-index space; keep -1 so the node is
+      // excluded from the loss instead of aliasing it to candidate 0.
+      ts.empirical_regions[i] = idx;
+      if (idx < 0) ++result.dropped_supervision;
     }
     ts.empirical_events = ls->labels.events;
     // Initial configurations of both chains (Algorithm 1, line 1 and
     // footnote 6): st-DBSCAN events, nearest-neighbor regions.
     ts.config_events = ts.graph->InitialEvents();
     ts.config_regions = ts.graph->InitialRegions();
+    // Stream ordinal = position in `sequences`, a pure function of the
+    // training set order — not of threading.
+    ts.rng = Rng::Stream(topts_.seed, sequences.size());
     sequences.push_back(std::move(ts));
+  }
+  if (result.dropped_supervision > 0) {
+    C2MN_LOG_WARN << result.dropped_supervision
+                  << " labeled nodes have ground-truth regions outside "
+                     "their candidate sets; excluding them from the "
+                     "training loss";
   }
   if (sequences.empty()) {
     result.weights.assign(kNumWeights, 0.0);
     return result;
   }
+
+  const int num_threads =
+      ResolveNumThreads(topts_.num_threads, sequences.size());
+  result.num_threads_used = num_threads;
 
   // Random initial weights w0.
   std::vector<double> w(kNumWeights);
@@ -96,9 +231,6 @@ TrainResult AlternateTrainer::Train(
   const int M = std::max(1, topts_.mcmc_samples);
 
   for (int iter = 0; iter < topts_.max_iter; ++iter) {
-    std::vector<double> grad(kNumWeights, 0.0);
-    double objective = 0.0;
-
     // Strict mode reproduces Algorithm 1's one-chain-per-iteration
     // alternation.  The default samples both chains per iteration (the
     // first-configured variable's counterpart first); with segmentation
@@ -112,89 +244,36 @@ TrainResult AlternateTrainer::Train(
     } else {
       passes = {true, false};  // E configured first: sample R, then E.
     }
-    for (const bool pass_regions : passes) {
-    for (TrainSequence& ts : sequences) {
-      const SequenceGraph& g = *ts.graph;
-      const JointScorer scorer(g, structure_);
-      const int n = g.size();
-      // Majority-vote accumulation for line 25's sample averaging.
-      std::vector<std::array<int, 2>> event_votes;
-      std::vector<std::vector<int>> region_votes;
-      if (pass_regions) {
-        region_votes.resize(n);
-      } else {
-        event_votes.assign(n, {0, 0});
+
+    // Shard the per-sequence sampling over the workers.  Each sequence is
+    // self-contained (own graph, chains, RNG stream, gradient buffer), so
+    // the strided assignment below is load balancing only — it cannot
+    // change any sequence's result.
+    auto run_shard = [&](int shard) {
+      for (size_t s = static_cast<size_t>(shard); s < sequences.size();
+           s += static_cast<size_t>(num_threads)) {
+        SampleSequence(&sequences[s], structure_, w, passes, M);
       }
-
-      for (int i = 0; i < n; ++i) {
-        // Feature vector per candidate label of node i.  The B-chain
-        // neighbors come from the persistent MCMC chain B̄ (not the
-        // empirical labels): sampling against the model's own blanket is
-        // what keeps the transition weights calibrated for decode time,
-        // where neighbors are inferred rather than given.  The A-chain is
-        // fixed at its configuration Ā.
-        std::vector<FeatureVec> fvecs;
-        int empirical_index;
-        if (pass_regions) {
-          const int da = static_cast<int>(g.Candidates(i).size());
-          fvecs.reserve(da);
-          for (int a = 0; a < da; ++a) {
-            fvecs.push_back(scorer.RegionNodeFeatures(
-                i, a, ts.config_regions, ts.config_events));
-          }
-          empirical_index = ts.empirical_regions[i];
-          region_votes[i].assign(da, 0);
-        } else {
-          fvecs.reserve(2);
-          for (MobilityEvent v : kEventDomain) {
-            fvecs.push_back(scorer.EventNodeFeatures(
-                i, v, ts.config_regions, ts.config_events));
-          }
-          empirical_index =
-              ts.empirical_events[i] == MobilityEvent::kStay ? 0 : 1;
-        }
-
-        std::vector<double> logits(fvecs.size());
-        for (size_t a = 0; a < fvecs.size(); ++a) {
-          logits[a] = DotFeatures(w, fvecs[a]);
-        }
-        const double lse = LogSumExp(logits);
-        objective -= logits[empirical_index] - lse;  // -log P(b_i | MB).
-
-        // M MCMC draws from the local conditional (Eq. 9's sample mean of
-        // Δf = f(sampled) - f(empirical)).
-        std::vector<double> probs = logits;
-        SoftmaxInPlace(&probs);
-        for (int j = 0; j < M; ++j) {
-          const size_t draw = rng.Categorical(probs);
-          for (int k = 0; k < kNumWeights; ++k) {
-            grad[k] += (fvecs[draw][k] - fvecs[empirical_index][k]) /
-                       static_cast<double>(M);
-          }
-          if (pass_regions) {
-            ++region_votes[i][draw];
-          } else {
-            ++event_votes[i][draw];
-          }
-        }
-
-        // Advance the persistent chain at this node to the majority of
-        // the M draws (line 25's sample averaging), so later nodes in
-        // this systematic-scan sweep see the updated value.
-        if (pass_regions) {
-          ts.config_regions[i] = static_cast<int>(
-              std::max_element(region_votes[i].begin(),
-                               region_votes[i].end()) -
-              region_votes[i].begin());
-        } else {
-          ts.config_events[i] = event_votes[i][0] >= event_votes[i][1]
-                                    ? MobilityEvent::kStay
-                                    : MobilityEvent::kPass;
-        }
-      }
+    };
+    if (num_threads <= 1) {
+      run_shard(0);
+    } else {
+      std::vector<std::thread> workers;
+      workers.reserve(num_threads - 1);
+      for (int t = 1; t < num_threads; ++t) workers.emplace_back(run_shard, t);
+      run_shard(0);
+      for (std::thread& worker : workers) worker.join();
     }
 
-        }  // passes
+    // Fixed-order reduction: summing per-sequence partials in ordinal
+    // order keeps floating-point association identical for every thread
+    // count, so the whole run is bit-identical to the 1-thread run.
+    std::vector<double> grad(kNumWeights, 0.0);
+    double objective = 0.0;
+    for (const TrainSequence& ts : sequences) {
+      for (int k = 0; k < kNumWeights; ++k) grad[k] += ts.grad[k];
+      objective += ts.objective;
+    }
 
     // Gaussian prior (Eq. 6's w'w / 2σ² term, per-template variances).
     for (int k = 0; k < kNumWeights; ++k) {
@@ -235,7 +314,8 @@ TrainResult AlternateTrainer::Train(
   result.weights = std::move(w);
   result.train_seconds = watch.ElapsedSeconds();
   C2MN_LOG_DEBUG << "training finished: " << result.iterations
-                 << " iterations, " << result.train_seconds << " s";
+                 << " iterations, " << result.train_seconds << " s ("
+                 << result.num_threads_used << " threads)";
   return result;
 }
 

@@ -44,6 +44,12 @@ struct TrainOptions {
   /// Incremental L-BFGS step control.
   double stepper_initial_step = 0.15;
   double stepper_max_step = 0.5;
+  /// Worker threads for the per-sequence sampling/gradient work
+  /// (0 = std::thread::hardware_concurrency()).  Each sequence owns a
+  /// deterministic RNG stream (Rng::Stream(seed, ordinal)) and a private
+  /// gradient buffer that is reduced in sequence order, so the learned
+  /// weights are bit-identical for every thread count, including 1.
+  int num_threads = 0;
 };
 
 /// \brief Outcome of a training run.
@@ -54,6 +60,14 @@ struct TrainResult {
   double train_seconds = 0.0;
   /// Exact pseudo-likelihood (lower is better) per outer iteration.
   std::vector<double> objective_trace;
+  /// Labeled nodes whose ground-truth region was absent from the node's
+  /// candidate set.  Such nodes are excluded from the loss and gradient
+  /// (they used to be silently aliased to candidate 0, biasing every
+  /// update); a nonzero count is logged as a warning.
+  int64_t dropped_supervision = 0;
+  /// Worker threads actually used (after resolving num_threads = 0 and
+  /// clamping to the number of training sequences).
+  int num_threads_used = 1;
 };
 
 /// \brief Supervised learning of the C2MN weights by alternate

@@ -1,10 +1,14 @@
 #include "data/io.h"
 
+#include <cerrno>
 #include <cinttypes>
+#include <cmath>
+#include <cstdarg>
 #include <cstdio>
 #include <istream>
 #include <ostream>
 #include <sstream>
+#include <unordered_set>
 #include <vector>
 
 namespace c2mn {
@@ -32,40 +36,71 @@ std::vector<std::string> SplitCsv(const std::string& line) {
 bool ParseDouble(const std::string& s, double* out) {
   char* end = nullptr;
   *out = std::strtod(s.c_str(), &end);
+  // Non-finite values — overflow clamped to ±HUGE_VAL, or literal
+  // "inf"/"nan" tokens — would sail through every downstream range and
+  // ordering check (NaN compares false against everything), so reject
+  // them here.  Underflow-to-subnormal is finite and left alone.
+  if (!std::isfinite(*out)) return false;
   return end != nullptr && *end == '\0' && !s.empty();
 }
 
 bool ParseInt(const std::string& s, int64_t* out) {
   char* end = nullptr;
+  errno = 0;
   *out = std::strtoll(s.c_str(), &end, 10);
+  // Overflowing ids clamp to INT64_MIN/INT64_MAX; reject instead.
+  if (errno == ERANGE) return false;
   return end != nullptr && *end == '\0' && !s.empty();
+}
+
+/// snprintf-style write with an overflow-safe fallback: %f of an
+/// extreme-magnitude (but valid, finite) timestamp can exceed any fixed
+/// buffer, and a truncated row would merge with its successor — a silent
+/// corruption the readers could not detect.
+#if defined(__GNUC__)
+__attribute__((format(printf, 2, 3)))
+#endif
+void WriteFormatted(std::ostream* out, const char* fmt, ...) {
+  char buf[192];
+  va_list args;
+  va_start(args, fmt);
+  va_list retry;
+  va_copy(retry, args);
+  const int len = std::vsnprintf(buf, sizeof(buf), fmt, args);
+  va_end(args);
+  if (len >= 0 && len < static_cast<int>(sizeof(buf))) {
+    out->write(buf, len);
+  } else if (len >= 0) {
+    std::vector<char> big(static_cast<size_t>(len) + 1);
+    std::vsnprintf(big.data(), big.size(), fmt, retry);
+    out->write(big.data(), len);
+  }
+  va_end(retry);
 }
 
 }  // namespace
 
 void WriteRecordsCsv(const Dataset& dataset, std::ostream* out) {
   *out << "object_id,t,x,y,floor\n";
-  char buf[160];
   for (const LabeledSequence& ls : dataset.sequences) {
     for (const PositioningRecord& rec : ls.sequence.records) {
-      std::snprintf(buf, sizeof(buf), "%" PRId64 ",%.3f,%.3f,%.3f,%d\n",
-                    ls.sequence.object_id, rec.timestamp, rec.location.xy.x,
-                    rec.location.xy.y, rec.location.floor);
-      *out << buf;
+      // Microsecond timestamp precision: AttachLabelsCsv rejoins labels to
+      // records by timestamp, so the written precision must out-resolve
+      // its match tolerance or sub-millisecond streams fail to round-trip.
+      WriteFormatted(out, "%" PRId64 ",%.6f,%.3f,%.3f,%d\n",
+                     ls.sequence.object_id, rec.timestamp, rec.location.xy.x,
+                     rec.location.xy.y, rec.location.floor);
     }
   }
 }
 
 void WriteLabelsCsv(const Dataset& dataset, std::ostream* out) {
   *out << "object_id,t,region,event\n";
-  char buf[120];
   for (const LabeledSequence& ls : dataset.sequences) {
     for (size_t i = 0; i < ls.size(); ++i) {
-      std::snprintf(buf, sizeof(buf), "%" PRId64 ",%.3f,%d,%s\n",
-                    ls.sequence.object_id, ls.sequence[i].timestamp,
-                    ls.labels.regions[i],
-                    MobilityEventName(ls.labels.events[i]));
-      *out << buf;
+      WriteFormatted(out, "%" PRId64 ",%.6f,%d,%s\n", ls.sequence.object_id,
+                     ls.sequence[i].timestamp, ls.labels.regions[i],
+                     MobilityEventName(ls.labels.events[i]));
     }
   }
 }
@@ -74,13 +109,13 @@ void WriteMSemanticsCsv(const std::vector<int64_t>& object_ids,
                         const std::vector<MSemanticsSequence>& semantics,
                         std::ostream* out) {
   *out << "object_id,region,t_start,t_end,event,support\n";
-  char buf[160];
   for (size_t s = 0; s < semantics.size(); ++s) {
     for (const MSemantics& ms : semantics[s]) {
-      std::snprintf(buf, sizeof(buf), "%" PRId64 ",%d,%.3f,%.3f,%s,%d\n",
-                    object_ids[s], ms.region, ms.t_start, ms.t_end,
-                    MobilityEventName(ms.event), ms.support);
-      *out << buf;
+      // Same timestamp precision as the record/label writers: semantics
+      // boundaries must stay alignable with the records they came from.
+      WriteFormatted(out, "%" PRId64 ",%d,%.6f,%.6f,%s,%d\n", object_ids[s],
+                     ms.region, ms.t_start, ms.t_end,
+                     MobilityEventName(ms.event), ms.support);
     }
   }
 }
@@ -93,6 +128,7 @@ Result<Dataset> ReadRecordsCsv(std::istream* in) {
   }
   int line_no = 1;
   LabeledSequence* current = nullptr;
+  std::unordered_set<int64_t> seen_objects;
   while (std::getline(*in, line)) {
     ++line_no;
     if (line.empty()) continue;
@@ -106,6 +142,15 @@ Result<Dataset> ReadRecordsCsv(std::istream* in) {
                                      std::to_string(line_no));
     }
     if (current == nullptr || current->sequence.object_id != object_id) {
+      // Each object's records must form one contiguous block: a
+      // re-appearing id would silently open a second sequence with the
+      // same identity, corrupting per-object sessions downstream.
+      if (!seen_objects.insert(object_id).second) {
+        return Status::InvalidArgument(
+            "records csv: object " + std::to_string(object_id) +
+            " re-appears in a non-contiguous block at line " +
+            std::to_string(line_no));
+      }
       dataset.sequences.emplace_back();
       current = &dataset.sequences.back();
       current->sequence.object_id = object_id;
@@ -148,8 +193,11 @@ Status AttachLabelsCsv(std::istream* in, Dataset* dataset) {
       return Status::InvalidArgument("labels csv: more labels than records");
     }
     LabeledSequence& ls = dataset->sequences[seq_idx];
+    // The tolerance matches WriteRecordsCsv/WriteLabelsCsv's %.6f
+    // precision (round-trip error <= 0.5e-6): sub-millisecond timestamps
+    // must rejoin the record they were written for, not a neighbor.
     if (ls.sequence.object_id != object_id ||
-        std::abs(ls.sequence[rec_idx].timestamp - t) > 1e-3) {
+        std::abs(ls.sequence[rec_idx].timestamp - t) > 1e-6) {
       return Status::InvalidArgument(
           "labels csv: row does not match record order at line " +
           std::to_string(line_no));

@@ -6,9 +6,15 @@
 #include "baselines/hmm_dc.h"
 #include "baselines/sap.h"
 #include "baselines/smot.h"
+#include "common/env.h"
 #include "common/stopwatch.h"
 
 namespace c2mn {
+
+TrainOptions WithEnvTrainThreads(TrainOptions topts) {
+  topts.num_threads = EnvInt("C2MN_TRAIN_THREADS", topts.num_threads);
+  return topts;
+}
 
 MethodEvaluation EvaluateMethod(AnnotationMethod* method,
                                 const TrainTestSplit& split, double lambda) {
@@ -66,9 +72,10 @@ std::vector<std::unique_ptr<AnnotationMethod>> MakeC2mnFamily(
     const World& world, const FeatureOptions& fopts,
     const TrainOptions& topts) {
   std::vector<std::unique_ptr<AnnotationMethod>> methods;
+  const TrainOptions resolved = WithEnvTrainThreads(topts);
   for (const C2mnVariant& variant : TableFourVariants()) {
     methods.push_back(
-        std::make_unique<C2mnMethod>(world, variant, fopts, topts));
+        std::make_unique<C2mnMethod>(world, variant, fopts, resolved));
   }
   return methods;
 }

@@ -45,7 +45,16 @@ std::vector<std::unique_ptr<AnnotationMethod>> MakeClassicBaselines(
 std::vector<std::unique_ptr<AnnotationMethod>> MakeClassicBaselines(
     const World& world, const StDbscanParams& dbscan);
 
+/// Applies the C2MN_TRAIN_THREADS environment override (worker threads
+/// for AlternateTrainer; 0 = all cores) to `topts`.  Every experiment
+/// driver that builds methods through the factories below inherits it, so
+/// multi-hour sweeps can be parallelized without touching each driver —
+/// and since the trainer is bit-identical across thread counts, the
+/// override can never change a result.
+TrainOptions WithEnvTrainThreads(TrainOptions topts);
+
 /// The C2MN family: CMN, C2MN/Tran, C2MN/Syn, C2MN/ES, C2MN/SS, C2MN.
+/// TrainOptions::num_threads honors the C2MN_TRAIN_THREADS override.
 std::vector<std::unique_ptr<AnnotationMethod>> MakeC2mnFamily(
     const World& world, const FeatureOptions& fopts,
     const TrainOptions& topts);

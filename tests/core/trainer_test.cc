@@ -136,6 +136,84 @@ TEST_F(TrainerTest, EmptyTrainingSetIsSafe) {
   EXPECT_EQ(result.iterations, 0);
 }
 
+TEST_F(TrainerTest, BitIdenticalAcrossThreadCounts) {
+  // The parallel trainer's contract: per-sequence RNG streams plus a
+  // fixed-order reduction make the result bit-identical for every thread
+  // count, not merely statistically equivalent.
+  for (const bool strict : {false, true}) {
+    std::vector<TrainResult> results;
+    for (const int threads : {1, 2, 4}) {
+      TrainOptions topts = FastOptions();
+      topts.strict_alternation = strict;
+      topts.num_threads = threads;
+      AlternateTrainer trainer(*scenario_.world, FeatureOptions{},
+                               C2mnStructure{}, topts);
+      results.push_back(trainer.Train(split_.train));
+    }
+    EXPECT_EQ(results[0].num_threads_used, 1);
+    EXPECT_EQ(results[1].num_threads_used, 2);
+    for (size_t r = 1; r < results.size(); ++r) {
+      ASSERT_EQ(results[r].weights.size(), results[0].weights.size());
+      for (size_t i = 0; i < results[0].weights.size(); ++i) {
+        // Exact equality on purpose: any cross-thread reduction-order
+        // leak shows up as a last-bit difference here.
+        EXPECT_EQ(results[r].weights[i], results[0].weights[i])
+            << "strict=" << strict << " weight " << i << " differs with "
+            << results[r].num_threads_used << " threads";
+      }
+      ASSERT_EQ(results[r].objective_trace.size(),
+                results[0].objective_trace.size());
+      for (size_t i = 0; i < results[0].objective_trace.size(); ++i) {
+        EXPECT_EQ(results[r].objective_trace[i],
+                  results[0].objective_trace[i]);
+      }
+      EXPECT_EQ(results[r].iterations, results[0].iterations);
+      EXPECT_EQ(results[r].converged, results[0].converged);
+    }
+  }
+}
+
+TEST_F(TrainerTest, FullyLabeledDataDropsNoSupervision) {
+  AlternateTrainer trainer(*scenario_.world, FeatureOptions{},
+                           C2mnStructure{}, FastOptions());
+  const TrainResult result = trainer.Train(split_.train);
+  EXPECT_EQ(result.dropped_supervision, 0);
+}
+
+TEST_F(TrainerTest, OffCandidateSupervisionIsDroppedNotAliased) {
+  // Blank a few region labels to kInvalidId — the shape of real data with
+  // unlabeled records (ReadRecordsCsv before labels attach, or partially
+  // annotated corpora).  Such nodes have no candidate-space ground truth;
+  // the trainer used to alias them to candidate 0 (the nearest region),
+  // silently teaching the model that "unlabeled" means "nearest".
+  std::vector<LabeledSequence> owned;
+  for (const LabeledSequence* ls : split_.train) owned.push_back(*ls);
+  ASSERT_GE(owned.front().size(), 3u);
+  for (size_t i = 0; i < 3; ++i) owned.front().labels.regions[i] = kInvalidId;
+  std::vector<const LabeledSequence*> train;
+  for (const LabeledSequence& ls : owned) train.push_back(&ls);
+
+  AlternateTrainer trainer(*scenario_.world, FeatureOptions{},
+                           C2mnStructure{}, FastOptions());
+  const TrainResult result = trainer.Train(train);
+  EXPECT_EQ(result.dropped_supervision, 3);
+  for (double w : result.weights) EXPECT_TRUE(std::isfinite(w));
+  EXPECT_GT(result.iterations, 0);
+
+  // The dropped nodes must not destabilize determinism either: the same
+  // partially-labeled data trains bit-identically with more threads.
+  TrainOptions topts = FastOptions();
+  topts.num_threads = 3;
+  AlternateTrainer parallel(*scenario_.world, FeatureOptions{},
+                            C2mnStructure{}, topts);
+  const TrainResult presult = parallel.Train(train);
+  EXPECT_EQ(presult.dropped_supervision, 3);
+  ASSERT_EQ(presult.weights.size(), result.weights.size());
+  for (size_t i = 0; i < result.weights.size(); ++i) {
+    EXPECT_EQ(presult.weights[i], result.weights[i]);
+  }
+}
+
 TEST_F(TrainerTest, RegionFrequencyOptionTrains) {
   FeatureOptions fopts;
   fopts.use_region_frequency = true;

@@ -73,7 +73,7 @@ TEST(IoTest, MSemanticsCsvHasExpectedRows) {
   const std::string text = out.str();
   EXPECT_NE(text.find("object_id,region,t_start,t_end,event,support"),
             std::string::npos);
-  EXPECT_NE(text.find("42,7,10.000,30.000,stay,3"), std::string::npos);
+  EXPECT_NE(text.find("42,7,10.000000,30.000000,stay,3"), std::string::npos);
 }
 
 TEST(IoTest, RejectsMalformedRecords) {
@@ -105,6 +105,116 @@ TEST(IoTest, RejectsMismatchedLabels) {
   std::stringstream wrong_object(
       "object_id,t,region,event\n999,0.000,1,stay\n");
   EXPECT_FALSE(io::AttachLabelsCsv(&wrong_object, &back).ok());
+}
+
+TEST(IoTest, RejectsNonContiguousObjectBlocks) {
+  // Object 1 re-appears after object 2: silently starting a second
+  // sequence with the same id would fork a single object's identity
+  // (e.g. two AnnotationService sessions for one user).
+  std::stringstream csv(
+      "object_id,t,x,y,floor\n"
+      "1,0,0,0,0\n1,10,1,1,0\n2,0,5,5,1\n1,20,2,2,0\n");
+  const auto parsed = io::ReadRecordsCsv(&csv);
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_EQ(parsed.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(parsed.status().message().find("non-contiguous"),
+            std::string::npos);
+}
+
+TEST(IoTest, RejectsOverflowingNumericFields) {
+  // INT64_MAX + 1 as object id: strtoll clamps to INT64_MAX with ERANGE.
+  std::stringstream big_id(
+      "object_id,t,x,y,floor\n9223372036854775808,0,0,0,0\n");
+  EXPECT_FALSE(io::ReadRecordsCsv(&big_id).ok());
+  std::stringstream small_id(
+      "object_id,t,x,y,floor\n-9223372036854775809,0,0,0,0\n");
+  EXPECT_FALSE(io::ReadRecordsCsv(&small_id).ok());
+  // 1e999 as timestamp: strtod clamps to HUGE_VAL with ERANGE.
+  std::stringstream big_t("object_id,t,x,y,floor\n1,1e999,0,0,0\n");
+  EXPECT_FALSE(io::ReadRecordsCsv(&big_t).ok());
+  std::stringstream neg_t("object_id,t,x,y,floor\n1,-1e999,0,0,0\n");
+  EXPECT_FALSE(io::ReadRecordsCsv(&neg_t).ok());
+  // Literal non-finite tokens: strtod accepts them without ERANGE, but a
+  // NaN timestamp disables every downstream ordering/match comparison.
+  std::stringstream nan_t("object_id,t,x,y,floor\n1,nan,0,0,0\n");
+  EXPECT_FALSE(io::ReadRecordsCsv(&nan_t).ok());
+  std::stringstream inf_t("object_id,t,x,y,floor\n1,inf,0,0,0\n");
+  EXPECT_FALSE(io::ReadRecordsCsv(&inf_t).ok());
+  std::stringstream inf_x("object_id,t,x,y,floor\n1,0,-inf,0,0\n");
+  EXPECT_FALSE(io::ReadRecordsCsv(&inf_x).ok());
+  // Near-max but representable values still parse.
+  std::stringstream fine(
+      "object_id,t,x,y,floor\n9223372036854775807,1e300,0,0,0\n");
+  EXPECT_TRUE(io::ReadRecordsCsv(&fine).ok());
+}
+
+TEST(IoTest, SubMillisecondTimestampsRoundTrip) {
+  // Two records 100 microseconds apart: the old %.3f writers collapsed
+  // them to the same printed timestamp, losing the ordering information
+  // that AttachLabelsCsv and downstream session replay depend on.
+  Dataset original;
+  LabeledSequence ls;
+  ls.sequence.object_id = 7;
+  const double times[3] = {5.0001, 5.0002, 5.01};
+  for (int i = 0; i < 3; ++i) {
+    ls.sequence.records.push_back({IndoorPoint(1.0 * i, 2.0, 0), times[i]});
+    ls.labels.regions.push_back(i % 2);
+    ls.labels.events.push_back(MobilityEvent::kStay);
+  }
+  original.sequences.push_back(std::move(ls));
+
+  std::stringstream records, labels;
+  io::WriteRecordsCsv(original, &records);
+  io::WriteLabelsCsv(original, &labels);
+  auto parsed = io::ReadRecordsCsv(&records);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  Dataset back = std::move(parsed).ValueOrDie();
+  ASSERT_EQ(back.sequences[0].size(), 3u);
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_NEAR(back.sequences[0].sequence[i].timestamp, times[i], 1e-6);
+  }
+  const Status attach = io::AttachLabelsCsv(&labels, &back);
+  ASSERT_TRUE(attach.ok()) << attach.ToString();
+  EXPECT_EQ(back.sequences[0].labels.regions,
+            original.sequences[0].labels.regions);
+}
+
+TEST(IoTest, ExtremeTimestampsWriteWithoutTruncation) {
+  // %.6f of 1e300 is ~308 characters — far beyond any fixed line buffer.
+  // A truncated row would merge with its successor and the readers could
+  // never tell; the writers must fall back to a large-enough buffer.
+  Dataset original;
+  LabeledSequence ls;
+  ls.sequence.object_id = 1;
+  ls.sequence.records.push_back({IndoorPoint(0.0, 0.0, 0), 1e300});
+  ls.labels.regions.push_back(0);
+  ls.labels.events.push_back(MobilityEvent::kStay);
+  original.sequences.push_back(std::move(ls));
+
+  std::stringstream records, labels;
+  io::WriteRecordsCsv(original, &records);
+  io::WriteLabelsCsv(original, &labels);
+  auto parsed = io::ReadRecordsCsv(&records);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  Dataset back = std::move(parsed).ValueOrDie();
+  ASSERT_EQ(back.sequences.size(), 1u);
+  ASSERT_EQ(back.sequences[0].size(), 1u);
+  EXPECT_EQ(back.sequences[0].sequence[0].timestamp, 1e300);
+  const Status attach = io::AttachLabelsCsv(&labels, &back);
+  EXPECT_TRUE(attach.ok()) << attach.ToString();
+}
+
+TEST(IoTest, AttachLabelsRejectsTimestampBeyondTolerance) {
+  std::stringstream records("object_id,t,x,y,floor\n7,5.000000,0,0,0\n");
+  auto parsed = io::ReadRecordsCsv(&records);
+  ASSERT_TRUE(parsed.ok());
+  Dataset back = std::move(parsed).ValueOrDie();
+  // 0.1 ms off: accepted by the old 1e-3 tolerance, a mismatch under the
+  // %.6f round-trip contract.
+  std::stringstream labels("object_id,t,region,event\n7,5.000100,1,stay\n");
+  const Status attach = io::AttachLabelsCsv(&labels, &back);
+  ASSERT_FALSE(attach.ok());
+  EXPECT_EQ(attach.code(), StatusCode::kInvalidArgument);
 }
 
 TEST(IoTest, SplitsObjectsOnIdChange) {

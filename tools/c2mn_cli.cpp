@@ -61,13 +61,15 @@ int Usage() {
                "  generate --out-records R.csv --out-labels L.csv "
                "[--objects N] [--seed S]\n"
                "  train    --records R.csv --labels L.csv --out-weights "
-               "W.txt [--iters N] [--seed S]\n"
+               "W.txt [--iters N] [--threads T] [--seed S]\n"
                "  annotate --records R.csv --weights W.txt --out-semantics "
                "M.csv [--seed S]\n"
                "  render   --records R.csv --out-svg OUT.svg [--floor F] "
                "[--seed S]\n"
                "  serve-sim [--objects N] [--shards K] [--producers P] "
-               "[--iters N] [--weights W.txt] [--seed S]\n");
+               "[--iters N] [--threads T] [--weights W.txt] [--seed S]\n"
+               "  --threads T: trainer worker threads (0 = all cores); the\n"
+               "  learned weights are bit-identical for every T.\n");
   return 2;
 }
 
@@ -121,14 +123,19 @@ int Train(const Args& args) {
   const World world = MakeVenue(static_cast<uint64_t>(args.GetInt("seed", 7)));
   TrainOptions topts;
   topts.max_iter = args.GetInt("iters", 40);
+  topts.num_threads = args.GetInt("threads", 0);
   std::vector<const LabeledSequence*> train;
   for (const LabeledSequence& ls : data.sequences) train.push_back(&ls);
   AlternateTrainer trainer(world, FeatureOptions{}, C2mnStructure{}, topts);
+  // Dropped-supervision diagnostics surface through the trainer's own
+  // C2MN_LOG_WARN (visible at the CLI's kWarning log level).
   const TrainResult result = trainer.Train(train);
   std::ofstream out(out_weights);
   weights_io::Write(result.weights, &out);
-  std::printf("trained on %zu sequences in %.1f s; weights -> %s\n",
-              train.size(), result.train_seconds, out_weights);
+  std::printf("trained on %zu sequences in %.1f s (%d threads); "
+              "weights -> %s\n",
+              train.size(), result.train_seconds, result.num_threads_used,
+              out_weights);
   return 0;
 }
 
@@ -213,6 +220,7 @@ int ServeSim(const Args& args) {
     TrainOptions topts;
     topts.max_iter = args.GetInt("iters", 12);
     topts.mcmc_samples = 15;
+    topts.num_threads = args.GetInt("threads", 0);
     std::vector<const LabeledSequence*> train;
     for (const LabeledSequence& ls : scenario.dataset.sequences) {
       train.push_back(&ls);
