@@ -1,0 +1,204 @@
+// Micro-benchmarks of the streaming analytics engine (google-benchmark).
+//
+// BM_Ingest measures the per-m-semantics cost of the shard-local
+// accumulators (visit counters, dwell histogram, flow matrix, occupancy,
+// retention ring) — the overhead the AnnotationService pays per emission
+// when AnalyticsOptions::enabled is set.  BM_IngestEvicting drives a
+// deliberately tiny retention horizon so every few ingests recycle a
+// ring bucket.  BM_TopKPopularRegions / BM_TopKFrequentRegionPairs /
+// BM_Snapshot measure the read side against a pre-loaded engine.
+//
+// Results are emitted as machine-readable JSON (default
+// BENCH_analytics.json in the working directory; override with
+// C2MN_BENCH_JSON).  Scale knob: C2MN_BENCH_ANALYTICS_VISITS (retained
+// visits the query benchmarks run against, default 100000).
+//
+// Everything here is synthetic m-semantics — no venue, no training — so
+// the binary starts instantly and isolates the engine's own costs.
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include <benchmark/benchmark.h>
+
+#include "analytics/analytics_engine.h"
+#include "bench/bench_json.h"
+#include "common/env.h"
+#include "common/rng.h"
+
+namespace c2mn {
+namespace {
+
+constexpr int kRegions = 64;
+constexpr int kObjects = 512;
+
+/// A deterministic synthetic m-semantics stream: objects hop between
+/// regions, alternating stays and passes, timestamps advancing so the
+/// retention ring sees realistic watermark movement.
+struct SyntheticStream {
+  std::vector<int64_t> object_ids;
+  std::vector<MSemantics> semantics;
+  /// Largest clock reached; replaying the stream again shifted by this
+  /// keeps timestamps advancing instead of jumping behind the watermark.
+  double span_seconds = 0.0;
+
+  explicit SyntheticStream(size_t n, double seconds_per_step = 30.0) {
+    Rng rng(1234);
+    object_ids.reserve(n);
+    semantics.reserve(n);
+    std::vector<double> clocks(kObjects, 0.0);
+    for (size_t i = 0; i < n; ++i) {
+      const int64_t object = static_cast<int64_t>(rng.UniformInt(static_cast<uint64_t>(kObjects)));
+      double& clock = clocks[static_cast<size_t>(object)];
+      MSemantics ms;
+      ms.region = static_cast<RegionId>(rng.UniformInt(static_cast<uint64_t>(kRegions)));
+      ms.event = rng.Bernoulli(0.5) ? MobilityEvent::kStay
+                                             : MobilityEvent::kPass;
+      ms.t_start = clock;
+      ms.t_end = clock + rng.Uniform(5.0, seconds_per_step);
+      ms.support = 1;
+      clock = ms.t_end;
+      span_seconds = std::max(span_seconds, clock);
+      object_ids.push_back(object);
+      semantics.push_back(ms);
+    }
+  }
+};
+
+/// Replays `stream` through `engine` for the benchmark's duration,
+/// shifting each pass forward in time so the watermark keeps advancing
+/// (a plain wrap-around would land every record behind the retention
+/// horizon and measure only the late-dropped early-return).
+void RunIngestLoop(benchmark::State& state, const SyntheticStream& stream,
+                   AnalyticsEngine* engine) {
+  size_t i = 0;
+  double offset = 0.0;
+  const size_t n = stream.semantics.size();
+  for (auto _ : state) {
+    MSemantics ms = stream.semantics[i];
+    ms.t_start += offset;
+    ms.t_end += offset;
+    engine->Ingest(stream.object_ids[i], ms);
+    if (++i == n) {
+      i = 0;
+      offset += stream.span_seconds;
+    }
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+
+AnalyticsEngine::Options EngineOptions(int shards) {
+  AnalyticsEngine::Options options;
+  options.num_shards = shards;
+  options.bucket_seconds = 60.0;
+  options.horizon_seconds = 1e9;  // Nothing ages out mid-benchmark.
+  options.min_visit_seconds = 10.0;
+  return options;
+}
+
+/// Ingest cost per m-semantics, single producer, `shards` shards.
+void BM_Ingest(benchmark::State& state) {
+  static const SyntheticStream& stream = *new SyntheticStream(1 << 16);
+  const int shards = static_cast<int>(state.range(0));
+  AnalyticsEngine engine(EngineOptions(shards));
+  RunIngestLoop(state, stream, &engine);
+}
+BENCHMARK(BM_Ingest)->Arg(1)->Arg(4);
+
+/// Ingest with constant retention churn: a horizon of a few buckets, so
+/// the watermark advance recycles ring slots throughout.
+void BM_IngestEvicting(benchmark::State& state) {
+  static const SyntheticStream& stream = *new SyntheticStream(1 << 16, 120.0);
+  AnalyticsEngine::Options options = EngineOptions(1);
+  options.bucket_seconds = 30.0;
+  options.horizon_seconds = 300.0;
+  AnalyticsEngine engine(options);
+  RunIngestLoop(state, stream, &engine);
+}
+BENCHMARK(BM_IngestEvicting);
+
+/// An engine pre-loaded with C2MN_BENCH_ANALYTICS_VISITS retained stays,
+/// shared by the read-side benchmarks.
+AnalyticsEngine& LoadedEngine() {
+  static AnalyticsEngine* engine = [] {
+    const size_t n = static_cast<size_t>(
+        EnvInt("C2MN_BENCH_ANALYTICS_VISITS", 100000));
+    auto* e = new AnalyticsEngine(EngineOptions(4));
+    const SyntheticStream stream(n);
+    for (size_t i = 0; i < stream.semantics.size(); ++i) {
+      e->Ingest(stream.object_ids[i], stream.semantics[i]);
+    }
+    return e;
+  }();
+  return *engine;
+}
+
+std::vector<RegionId> AllRegions() {
+  std::vector<RegionId> regions;
+  for (int r = 0; r < kRegions; ++r) regions.push_back(r);
+  return regions;
+}
+
+void BM_TopKPopularRegions(benchmark::State& state) {
+  AnalyticsEngine& engine = LoadedEngine();
+  const std::vector<RegionId> regions = AllRegions();
+  const TimeWindow window{0.0, 1e18};
+  for (auto _ : state) {
+    auto top = engine.TopKPopularRegions(regions, window, 10, 10.0);
+    benchmark::DoNotOptimize(top);
+  }
+  state.counters["retained_visits"] = static_cast<double>(
+      engine.Snapshot().retained_visits);
+}
+BENCHMARK(BM_TopKPopularRegions);
+
+void BM_TopKFrequentRegionPairs(benchmark::State& state) {
+  AnalyticsEngine& engine = LoadedEngine();
+  const std::vector<RegionId> regions = AllRegions();
+  const TimeWindow window{0.0, 1e18};
+  for (auto _ : state) {
+    auto top = engine.TopKFrequentRegionPairs(regions, window, 10, 10.0);
+    benchmark::DoNotOptimize(top);
+  }
+}
+BENCHMARK(BM_TopKFrequentRegionPairs);
+
+void BM_Snapshot(benchmark::State& state) {
+  AnalyticsEngine& engine = LoadedEngine();
+  for (auto _ : state) {
+    AnalyticsSnapshot snapshot = engine.Snapshot();
+    benchmark::DoNotOptimize(snapshot.regions.size());
+  }
+}
+BENCHMARK(BM_Snapshot);
+
+void WriteJson(const std::string& path,
+               const std::vector<bench::CapturedRun>& runs) {
+  std::ofstream out(path);
+  out.precision(6);
+  out << "{\n";
+  out << "  \"benchmark\": \"micro_analytics\",\n";
+  bench::WriteRunsArray(out, runs,
+                        [](std::ostream&, const bench::CapturedRun&) {});
+  out << "\n";
+  out << "}\n";
+}
+
+}  // namespace
+}  // namespace c2mn
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  c2mn::bench::CaptureReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+  const char* json_path = std::getenv("C2MN_BENCH_JSON");
+  c2mn::WriteJson(json_path != nullptr ? json_path : "BENCH_analytics.json",
+                  reporter.runs());
+  return 0;
+}

@@ -1,0 +1,357 @@
+#include "analytics/analytics_engine.h"
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/streaming_histogram.h"
+
+namespace c2mn {
+
+namespace {
+
+/// Packs a directed region edge into one map key.
+uint64_t FlowKey(RegionId from, RegionId to) {
+  return (static_cast<uint64_t>(static_cast<uint32_t>(from)) << 32) |
+         static_cast<uint32_t>(to);
+}
+
+}  // namespace
+
+/// All per-shard state.  The worker feeding the shard and any thread
+/// querying it synchronize on `mu`; there is no cross-shard locking, so
+/// ingest on different shards never contends.
+struct AnalyticsEngine::Shard {
+  /// Cumulative gauges for one region.
+  struct RegionAccum {
+    RegionAccum(double dwell_min, double dwell_max, double growth)
+        : dwell(dwell_min, dwell_max, growth) {}
+    uint64_t visits = 0;
+    uint64_t stays = 0;
+    uint64_t passes = 0;
+    double total_dwell_seconds = 0.0;
+    StreamingHistogram dwell;
+    int64_t occupancy = 0;
+  };
+
+  /// Where one object's stream currently stands.
+  struct ObjectState {
+    RegionId last_region = kInvalidId;
+    bool occupying = false;
+    RegionId occupied_region = kInvalidId;
+  };
+
+  mutable std::mutex mu;
+  std::unordered_map<RegionId, RegionAccum> regions;
+  std::unordered_map<uint64_t, uint64_t> flows;
+  std::unordered_map<int64_t, ObjectState> objects;
+  /// The coarse time-bucketed retention window: live buckets keyed by
+  /// bucket index, ascending.  Only occupied buckets exist, so memory
+  /// and query cost track the retained data, not the horizon width; at
+  /// most ring_buckets_ buckets are ever live at once.
+  std::map<int64_t, std::vector<StayVisit>> buckets;
+  /// Highest bucket index written so far; INT64_MIN before any stay.
+  int64_t max_bucket = INT64_MIN;
+  double watermark_seconds = 0.0;
+
+  uint64_t semantics_ingested = 0;
+  uint64_t late_dropped = 0;
+  uint64_t invalid_dropped = 0;
+  uint64_t buckets_evicted = 0;
+};
+
+AnalyticsEngine::Options AnalyticsEngine::Options::Validated() const {
+  Options v = *this;
+  v.num_shards = std::max(v.num_shards, 1);
+  if (!(v.bucket_seconds > 0.0) || !std::isfinite(v.bucket_seconds)) {
+    v.bucket_seconds = 60.0;
+  }
+  if (!std::isfinite(v.horizon_seconds)) v.horizon_seconds = 86400.0;
+  v.horizon_seconds = std::max(v.horizon_seconds, v.bucket_seconds);
+  if (!(v.min_visit_seconds >= 0.0)) v.min_visit_seconds = 0.0;
+  if (!(v.dwell_min_seconds > 0.0)) v.dwell_min_seconds = 1.0;
+  if (!(v.dwell_max_seconds > v.dwell_min_seconds)) {
+    v.dwell_max_seconds = v.dwell_min_seconds * 1e5;
+  }
+  if (!(v.dwell_growth > 1.0)) v.dwell_growth = 1.3;
+  return v;
+}
+
+AnalyticsEngine::AnalyticsEngine(Options options)
+    : options_(options.Validated()) {
+  ring_buckets_ = static_cast<int64_t>(
+                      std::ceil(options_.horizon_seconds /
+                                options_.bucket_seconds)) +
+                  1;
+  shards_.reserve(static_cast<size_t>(options_.num_shards));
+  for (int i = 0; i < options_.num_shards; ++i) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+}
+
+AnalyticsEngine::~AnalyticsEngine() = default;
+
+int AnalyticsEngine::ShardOf(int64_t object_id) const {
+  // Matches AnnotationService::ShardOf so a session and its analytics
+  // always live on the same shard.
+  const size_t h = std::hash<int64_t>{}(object_id);
+  return static_cast<int>(h % shards_.size());
+}
+
+void AnalyticsEngine::Ingest(int64_t object_id, const MSemantics& ms) {
+  Ingest(ShardOf(object_id), object_id, ms);
+}
+
+void AnalyticsEngine::NoteSessionClosed(int64_t object_id) {
+  NoteSessionClosed(ShardOf(object_id), object_id);
+}
+
+void AnalyticsEngine::Ingest(int shard, int64_t object_id,
+                             const MSemantics& ms) {
+  Shard& s = *shards_[static_cast<size_t>(shard) % shards_.size()];
+  std::lock_guard<std::mutex> lock(s.mu);
+  ++s.semantics_ingested;
+  // Reject time periods that are non-finite or too extreme to bucket:
+  // casting an out-of-range double to int64_t below would be undefined
+  // behavior (the StreamingHistogram NaN-cast class of bug).
+  const double bucket_d = std::floor(ms.t_end / options_.bucket_seconds);
+  if (!std::isfinite(ms.t_start) || !std::isfinite(ms.t_end) ||
+      !(bucket_d >= -9.0e18 && bucket_d <= 9.0e18)) {
+    ++s.invalid_dropped;
+    return;
+  }
+  const int64_t bucket = static_cast<int64_t>(bucket_d);
+
+  // --- cumulative region gauges -------------------------------------
+  auto region_it = s.regions.find(ms.region);
+  if (region_it == s.regions.end()) {
+    region_it = s.regions
+                    .emplace(ms.region,
+                             Shard::RegionAccum(options_.dwell_min_seconds,
+                                                options_.dwell_max_seconds,
+                                                options_.dwell_growth))
+                    .first;
+  }
+  Shard::RegionAccum& acc = region_it->second;
+  const double duration = ms.DurationSeconds();
+  if (ms.event == MobilityEvent::kStay) {
+    ++acc.stays;
+    acc.total_dwell_seconds += duration;
+    acc.dwell.Add(duration);
+    if (duration >= options_.min_visit_seconds) ++acc.visits;
+  } else {
+    ++acc.passes;
+  }
+
+  // --- flow matrix + occupancy gauge --------------------------------
+  Shard::ObjectState& obj = s.objects[object_id];
+  if (obj.last_region != kInvalidId && obj.last_region != ms.region) {
+    ++s.flows[FlowKey(obj.last_region, ms.region)];
+  }
+  obj.last_region = ms.region;
+  if (obj.occupying) {
+    --s.regions.at(obj.occupied_region).occupancy;
+    obj.occupying = false;
+  }
+  if (ms.event == MobilityEvent::kStay) {
+    ++acc.occupancy;
+    obj.occupying = true;
+    obj.occupied_region = ms.region;
+  }
+
+  // --- retention window (stay visits only: the windowed queries never
+  // look at passes) ---------------------------------------------------
+  if (ms.event != MobilityEvent::kStay) return;
+  if (s.max_bucket != INT64_MIN && bucket <= s.max_bucket - ring_buckets_) {
+    ++s.late_dropped;  // Already aged out of the horizon.
+    return;
+  }
+  if (bucket > s.max_bucket) {
+    // Advance the watermark, evicting every bucket the horizon left
+    // behind.
+    s.max_bucket = bucket;
+    const int64_t min_keep = bucket - ring_buckets_ + 1;
+    while (!s.buckets.empty() && s.buckets.begin()->first < min_keep) {
+      ++s.buckets_evicted;
+      s.buckets.erase(s.buckets.begin());
+    }
+  }
+  s.watermark_seconds = std::max(s.watermark_seconds, ms.t_end);
+  s.buckets[bucket].push_back(
+      StayVisit{object_id, ms.region, ms.t_start, ms.t_end});
+}
+
+void AnalyticsEngine::NoteSessionClosed(int shard, int64_t object_id) {
+  Shard& s = *shards_[static_cast<size_t>(shard) % shards_.size()];
+  std::lock_guard<std::mutex> lock(s.mu);
+  const auto it = s.objects.find(object_id);
+  if (it == s.objects.end()) return;
+  if (it->second.occupying) {
+    --s.regions.at(it->second.occupied_region).occupancy;
+  }
+  s.objects.erase(it);
+}
+
+template <typename Fn>
+void AnalyticsEngine::ForEachRetainedVisit(Fn&& fn) const {
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    for (const auto& [index, visits] : shard->buckets) {
+      (void)index;
+      for (const StayVisit& visit : visits) fn(visit);
+    }
+  }
+}
+
+std::vector<RegionId> AnalyticsEngine::TopKPopularRegions(
+    const std::vector<RegionId>& query_regions, const TimeWindow& window,
+    size_t k, double min_visit_seconds) const {
+  const std::unordered_set<RegionId> query_set(query_regions.begin(),
+                                               query_regions.end());
+  // Mirrors the batch implementation's predicate and accumulator types
+  // exactly: a visit is a stay intersecting the window, lasting at least
+  // the threshold, at a queried region.
+  std::unordered_map<RegionId, int> visits;
+  ForEachRetainedVisit([&](const StayVisit& visit) {
+    if (visit.t_end - visit.t_start < min_visit_seconds) return;
+    if (!window.Overlaps(visit.t_start, visit.t_end)) return;
+    if (query_set.count(visit.region) == 0) return;
+    ++visits[visit.region];
+  });
+  std::vector<std::pair<RegionId, int>> ranked(visits.begin(), visits.end());
+  std::sort(ranked.begin(), ranked.end(), [](const auto& a, const auto& b) {
+    if (a.second != b.second) return a.second > b.second;
+    return a.first < b.first;
+  });
+  std::vector<RegionId> out;
+  for (size_t i = 0; i < ranked.size() && i < k; ++i) {
+    out.push_back(ranked[i].first);
+  }
+  return out;
+}
+
+std::vector<std::pair<RegionId, RegionId>>
+AnalyticsEngine::TopKFrequentRegionPairs(
+    const std::vector<RegionId>& query_regions, const TimeWindow& window,
+    size_t k, double min_visit_seconds) const {
+  const std::unordered_set<RegionId> query_set(query_regions.begin(),
+                                               query_regions.end());
+  // Group by object (the streaming analogue of "per corpus sequence"),
+  // then count each unordered pair once per object, exactly like the
+  // batch StayedRegions + pair loop.
+  std::unordered_map<int64_t, std::unordered_set<RegionId>> stayed;
+  ForEachRetainedVisit([&](const StayVisit& visit) {
+    if (visit.t_end - visit.t_start < min_visit_seconds) return;
+    if (!window.Overlaps(visit.t_start, visit.t_end)) return;
+    if (query_set.count(visit.region) == 0) return;
+    stayed[visit.object_id].insert(visit.region);
+  });
+  std::map<std::pair<RegionId, RegionId>, int> counts;
+  for (const auto& [object_id, region_set] : stayed) {
+    (void)object_id;
+    std::vector<RegionId> regions(region_set.begin(), region_set.end());
+    std::sort(regions.begin(), regions.end());
+    for (size_t i = 0; i < regions.size(); ++i) {
+      for (size_t j = i + 1; j < regions.size(); ++j) {
+        ++counts[{regions[i], regions[j]}];
+      }
+    }
+  }
+  std::vector<std::pair<std::pair<RegionId, RegionId>, int>> ranked(
+      counts.begin(), counts.end());
+  std::sort(ranked.begin(), ranked.end(), [](const auto& a, const auto& b) {
+    if (a.second != b.second) return a.second > b.second;
+    return a.first < b.first;
+  });
+  std::vector<std::pair<RegionId, RegionId>> out;
+  for (size_t i = 0; i < ranked.size() && i < k; ++i) {
+    out.push_back(ranked[i].first);
+  }
+  return out;
+}
+
+AnalyticsSnapshot AnalyticsEngine::Snapshot() const {
+  AnalyticsSnapshot snapshot;
+  // Deterministic shard order; region / flow maps are re-sorted below,
+  // so the merged result is independent of hash-map iteration order too.
+  struct MergedRegion {
+    uint64_t visits = 0;
+    uint64_t stays = 0;
+    uint64_t passes = 0;
+    double total_dwell_seconds = 0.0;
+    int64_t occupancy = 0;
+    StreamingHistogram dwell;
+    MergedRegion(double lo, double hi, double growth) : dwell(lo, hi, growth) {}
+  };
+  std::map<RegionId, MergedRegion> regions;
+  std::map<uint64_t, uint64_t> flows;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    snapshot.semantics_ingested += shard->semantics_ingested;
+    snapshot.late_dropped += shard->late_dropped;
+    snapshot.invalid_dropped += shard->invalid_dropped;
+    snapshot.buckets_evicted += shard->buckets_evicted;
+    snapshot.objects_tracked += shard->objects.size();
+    snapshot.watermark_seconds =
+        std::max(snapshot.watermark_seconds, shard->watermark_seconds);
+    for (const auto& [index, visits] : shard->buckets) {
+      (void)index;
+      snapshot.retained_visits += visits.size();
+    }
+    for (const auto& [region, acc] : shard->regions) {
+      auto it = regions.find(region);
+      if (it == regions.end()) {
+        it = regions
+                 .emplace(region,
+                          MergedRegion(options_.dwell_min_seconds,
+                                       options_.dwell_max_seconds,
+                                       options_.dwell_growth))
+                 .first;
+      }
+      MergedRegion& merged = it->second;
+      merged.visits += acc.visits;
+      merged.stays += acc.stays;
+      merged.passes += acc.passes;
+      merged.total_dwell_seconds += acc.total_dwell_seconds;
+      merged.occupancy += acc.occupancy;
+      merged.dwell.Merge(acc.dwell);
+    }
+    for (const auto& [key, count] : shard->flows) flows[key] += count;
+  }
+  snapshot.regions.reserve(regions.size());
+  for (const auto& [region, merged] : regions) {
+    RegionAnalytics out;
+    out.region = region;
+    out.visits = merged.visits;
+    out.stays = merged.stays;
+    out.passes = merged.passes;
+    out.total_dwell_seconds = merged.total_dwell_seconds;
+    out.dwell_p50_seconds = merged.dwell.Quantile(0.5);
+    out.dwell_p99_seconds = merged.dwell.Quantile(0.99);
+    out.dwell_mean_seconds = merged.dwell.Mean();
+    out.dwell_max_seconds = merged.dwell.max();
+    out.occupancy = merged.occupancy;
+    snapshot.regions.push_back(out);
+  }
+  snapshot.flows.reserve(flows.size());
+  for (const auto& [key, count] : flows) {
+    RegionFlow flow;
+    flow.from = static_cast<RegionId>(static_cast<int32_t>(key >> 32));
+    flow.to = static_cast<RegionId>(static_cast<int32_t>(key & 0xffffffffu));
+    flow.count = count;
+    snapshot.flows.push_back(flow);
+  }
+  std::sort(snapshot.flows.begin(), snapshot.flows.end(),
+            [](const RegionFlow& a, const RegionFlow& b) {
+              if (a.count != b.count) return a.count > b.count;
+              if (a.from != b.from) return a.from < b.from;
+              return a.to < b.to;
+            });
+  return snapshot;
+}
+
+}  // namespace c2mn

@@ -1,0 +1,183 @@
+#ifndef C2MN_ANALYTICS_ANALYTICS_ENGINE_H_
+#define C2MN_ANALYTICS_ANALYTICS_ENGINE_H_
+
+#include <cstdint>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "data/msemantics.h"
+#include "eval/queries.h"
+
+namespace c2mn {
+
+/// Cumulative per-region gauges, merged across shards at snapshot time.
+struct RegionAnalytics {
+  RegionId region = kInvalidId;
+  /// Stay m-semantics lasting at least Options::min_visit_seconds.
+  uint64_t visits = 0;
+  /// All stay / pass m-semantics at the region, regardless of duration.
+  uint64_t stays = 0;
+  uint64_t passes = 0;
+  /// Seconds spent staying at the region, summed over all stays.
+  double total_dwell_seconds = 0.0;
+  /// Dwell-time distribution over stays (StreamingHistogram quantiles).
+  double dwell_p50_seconds = 0.0;
+  double dwell_p99_seconds = 0.0;
+  double dwell_mean_seconds = 0.0;
+  double dwell_max_seconds = 0.0;
+  /// Objects whose most recent m-semantics is a stay at this region and
+  /// whose stream has not been closed: the live occupancy gauge.
+  int64_t occupancy = 0;
+};
+
+/// One directed edge of the region->region flow matrix: how many times
+/// any object's consecutive m-semantics moved `from` -> `to`.
+struct RegionFlow {
+  RegionId from = kInvalidId;
+  RegionId to = kInvalidId;
+  uint64_t count = 0;
+};
+
+/// A merge of every shard's accumulators, assembled in deterministic
+/// shard order (0, 1, ...).  Each shard's contribution is internally
+/// consistent, but under live ingestion the shards are read at slightly
+/// different instants — quiesce the stream (AnnotationService::Drain)
+/// first for an exact global view.
+struct AnalyticsSnapshot {
+  uint64_t semantics_ingested = 0;
+  /// Stay visits currently retained in the time-bucket ring (the data
+  /// windowed queries can still see).
+  uint64_t retained_visits = 0;
+  /// Stay visits whose bucket had already aged out when they arrived.
+  uint64_t late_dropped = 0;
+  /// M-semantics dropped because their time period was non-finite or
+  /// too extreme to bucket.
+  uint64_t invalid_dropped = 0;
+  /// Ring buckets recycled so far (each eviction forgets its visits).
+  uint64_t buckets_evicted = 0;
+  /// Objects with live per-object state (stream seen, not yet closed).
+  size_t objects_tracked = 0;
+  /// Largest finite stay end-timestamp ingested so far (the retention
+  /// watermark); 0 before any stay arrives.
+  double watermark_seconds = 0.0;
+  /// Per-region gauges, sorted by region id.
+  std::vector<RegionAnalytics> regions;
+  /// Flow matrix edges, sorted by count desc, then (from, to) asc.
+  std::vector<RegionFlow> flows;
+};
+
+/// \brief An incremental analytics engine over streaming m-semantics: the
+/// read-side companion of AnnotationService.
+///
+/// The batch queries in eval/queries.cc need a fully materialized
+/// AnnotatedCorpus; this engine answers the same top-k questions while
+/// the stream is still running.  Each shard owns thread-local
+/// accumulators (visit counts, dwell histograms, a region->region flow
+/// matrix, occupancy gauges) plus a coarse time-bucketed ring of stay
+/// visits; queries lock and fold the shards in deterministic shard order,
+/// so the answer never depends on thread scheduling.
+///
+/// Determinism / equivalence guarantee: TopKPopularRegions and
+/// TopKFrequentRegionPairs return exactly what the batch implementation
+/// returns on an AnnotatedCorpus holding the same m-semantics (one corpus
+/// sequence per object id), for any shard count, as long as no queried
+/// visit has aged out of the retention horizon.
+///
+/// Thread model: Ingest / NoteSessionClosed for one shard must not race
+/// themselves (AnnotationService guarantees this by construction — one
+/// worker per shard); queries and snapshots are safe from any thread at
+/// any time.
+class AnalyticsEngine {
+ public:
+  struct Options {
+    /// Number of independent accumulator shards.  When the engine is
+    /// wired into an AnnotationService this is overridden with the
+    /// service's shard count.
+    int num_shards = 1;
+    /// Width of one retention ring bucket, in seconds.
+    double bucket_seconds = 60.0;
+    /// Stay visits whose end time falls more than this far behind the
+    /// shard's watermark age out (bounded memory).  Rounded up to a
+    /// whole number of buckets.
+    double horizon_seconds = 86400.0;
+    /// Minimum stay duration for the cumulative `visits` gauge.  The
+    /// windowed queries take their own threshold parameter, mirroring
+    /// the batch API.
+    double min_visit_seconds = 0.0;
+    /// Dwell-time histogram bucketization (seconds).
+    double dwell_min_seconds = 1.0;
+    double dwell_max_seconds = 1e5;
+    double dwell_growth = 1.3;
+
+    /// Repairs inconsistent settings (shards >= 1, positive bucket
+    /// width, horizon >= one bucket, sane histogram bounds) so a service
+    /// embedding the engine never crashes on a bad config.
+    Options Validated() const;
+  };
+
+  explicit AnalyticsEngine(Options options);
+  ~AnalyticsEngine();
+
+  AnalyticsEngine(const AnalyticsEngine&) = delete;
+  AnalyticsEngine& operator=(const AnalyticsEngine&) = delete;
+
+  int num_shards() const { return static_cast<int>(shards_.size()); }
+  const Options& options() const { return options_; }
+
+  /// Folds one completed m-semantics of `object_id` into shard `shard`.
+  /// All m-semantics of one object must go to the same shard, in stream
+  /// order (AnnotationService's object->shard mapping satisfies both).
+  void Ingest(int shard, int64_t object_id, const MSemantics& ms);
+
+  /// Single-shard-keyed convenience: shards by object id the same way
+  /// AnnotationService does, for standalone use against OnlineAnnotator.
+  void Ingest(int64_t object_id, const MSemantics& ms);
+
+  /// Drops `object_id`'s per-object state (occupancy gauge, flow
+  /// predecessor).  Retained visits are unaffected.
+  void NoteSessionClosed(int shard, int64_t object_id);
+  void NoteSessionClosed(int64_t object_id);
+
+  /// \brief The k regions from `query_regions` with the most stay visits
+  /// intersecting `window` — result-identical to the batch
+  /// c2mn::TopKPopularRegions on the same stream.
+  std::vector<RegionId> TopKPopularRegions(
+      const std::vector<RegionId>& query_regions, const TimeWindow& window,
+      size_t k, double min_visit_seconds = 0.0) const;
+
+  /// \brief The k unordered region pairs most frequently co-visited by
+  /// the same object within `window` — result-identical to the batch
+  /// c2mn::TopKFrequentRegionPairs on the same stream.
+  std::vector<std::pair<RegionId, RegionId>> TopKFrequentRegionPairs(
+      const std::vector<RegionId>& query_regions, const TimeWindow& window,
+      size_t k, double min_visit_seconds = 0.0) const;
+
+  /// Merged view of every accumulator, deterministic for a quiesced
+  /// stream regardless of shard count.
+  AnalyticsSnapshot Snapshot() const;
+
+ private:
+  struct Shard;
+
+  /// One retained stay: enough to re-evaluate the batch visit predicate.
+  struct StayVisit {
+    int64_t object_id = 0;
+    RegionId region = kInvalidId;
+    double t_start = 0.0;
+    double t_end = 0.0;
+  };
+
+  int ShardOf(int64_t object_id) const;
+  /// Walks every retained visit of every shard in shard order.
+  template <typename Fn>
+  void ForEachRetainedVisit(Fn&& fn) const;
+
+  Options options_;
+  int64_t ring_buckets_ = 1;
+  std::vector<std::unique_ptr<Shard>> shards_;
+};
+
+}  // namespace c2mn
+
+#endif  // C2MN_ANALYTICS_ANALYTICS_ENGINE_H_

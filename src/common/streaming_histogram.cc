@@ -10,6 +10,7 @@ StreamingHistogram::StreamingHistogram(double min_value, double max_value,
                                        double growth)
     : min_value_(min_value),
       max_value_(max_value),
+      growth_(growth),
       log_min_(std::log(min_value)),
       inv_log_growth_(1.0 / std::log(growth)),
       log_growth_(std::log(growth)) {
@@ -35,6 +36,12 @@ double StreamingHistogram::BucketUpper(int i) const {
 }
 
 void StreamingHistogram::Add(double value) {
+  if (!std::isfinite(value)) {
+    // BucketIndex would cast NaN/inf to int (undefined behavior), and a
+    // NaN would poison sum_/min_/max_ forever; count it instead.
+    ++non_finite_;
+    return;
+  }
   ++counts_[static_cast<size_t>(BucketIndex(value))];
   if (count_ == 0) {
     min_ = max_ = value;
@@ -46,20 +53,38 @@ void StreamingHistogram::Add(double value) {
   sum_ += value;
 }
 
-void StreamingHistogram::Merge(const StreamingHistogram& other) {
-  assert(counts_.size() == other.counts_.size());
-  for (size_t i = 0; i < counts_.size(); ++i) counts_[i] += other.counts_[i];
+bool StreamingHistogram::Merge(const StreamingHistogram& other) {
+  const bool same_config = min_value_ == other.min_value_ &&
+                           max_value_ == other.max_value_ &&
+                           growth_ == other.growth_ &&
+                           counts_.size() == other.counts_.size();
+  if (same_config) {
+    for (size_t i = 0; i < counts_.size(); ++i) counts_[i] += other.counts_[i];
+  } else {
+    // Mismatched bucketizations: fold each foreign bucket in at its
+    // log-space midpoint so no samples vanish, at the cost of quantile
+    // accuracy.  The summary statistics below stay exact either way.
+    for (size_t i = 0; i < other.counts_.size(); ++i) {
+      if (other.counts_[i] == 0) continue;
+      const double midpoint = std::exp(
+          other.log_min_ + (static_cast<double>(i) + 0.5) * other.log_growth_);
+      counts_[static_cast<size_t>(BucketIndex(midpoint))] += other.counts_[i];
+    }
+  }
   if (other.count_ > 0) {
     min_ = count_ > 0 ? std::min(min_, other.min_) : other.min_;
     max_ = count_ > 0 ? std::max(max_, other.max_) : other.max_;
   }
   count_ += other.count_;
+  non_finite_ += other.non_finite_;
   sum_ += other.sum_;
+  return same_config;
 }
 
 void StreamingHistogram::Clear() {
   std::fill(counts_.begin(), counts_.end(), 0);
   count_ = 0;
+  non_finite_ = 0;
   sum_ = 0.0;
   min_ = 0.0;
   max_ = 0.0;

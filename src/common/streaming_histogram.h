@@ -23,11 +23,20 @@ class StreamingHistogram {
                               double max_value = 1e3,
                               double growth = 1.2);
 
+  /// Records `value`.  Non-finite values (NaN, +/-inf) are never folded
+  /// into the buckets or the summary statistics — casting them to a
+  /// bucket index would be undefined behavior — they are only counted
+  /// in non_finite_count().
   void Add(double value);
 
-  /// Adds every bucket count of `other`; bucketizations must match
-  /// (same constructor arguments).
-  void Merge(const StreamingHistogram& other);
+  /// Adds every bucket count of `other`.  Returns true when the two
+  /// bucketizations match (same constructor arguments) and the merge
+  /// was exact.  On a configuration mismatch — checked at runtime, not
+  /// by a Release-stripped assert — the summary statistics (count, sum,
+  /// min, max) still merge exactly, each of `other`'s buckets is folded
+  /// in at its log-space midpoint (approximate quantiles instead of
+  /// silently corrupted ones), and false is returned.
+  bool Merge(const StreamingHistogram& other);
 
   void Clear();
 
@@ -36,6 +45,10 @@ class StreamingHistogram {
   double min() const { return count_ > 0 ? min_ : 0.0; }
   double max() const { return count_ > 0 ? max_ : 0.0; }
   double Mean() const { return count_ > 0 ? sum_ / count_ : 0.0; }
+
+  /// Non-finite values passed to Add(); excluded from every other
+  /// statistic.
+  uint64_t non_finite_count() const { return non_finite_; }
 
   /// Value at quantile q in [0, 1], linearly interpolated inside the
   /// containing bucket; 0 when empty.
@@ -48,11 +61,13 @@ class StreamingHistogram {
 
   double min_value_;
   double max_value_;
+  double growth_;
   double log_min_;
   double inv_log_growth_;
   double log_growth_;
   std::vector<uint64_t> counts_;
   uint64_t count_ = 0;
+  uint64_t non_finite_ = 0;
   double sum_ = 0.0;
   double min_ = 0.0;
   double max_ = 0.0;

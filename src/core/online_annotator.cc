@@ -10,6 +10,12 @@ OnlineAnnotator::Options OnlineAnnotator::Options::Validated() const {
   v.window_records = std::max(v.window_records, 2);
   v.decode_stride = std::max(v.decode_stride, 1);
   v.finalize_lag = std::clamp(v.finalize_lag, 0, v.window_records - 1);
+  // A decode frees window_records - finalize_lag slots, so a stride
+  // longer than that would legally grow the window past window_records
+  // and reallocate on the hot push path, breaking both the documented
+  // window size and the zero-alloc steady state.
+  v.decode_stride =
+      std::min(v.decode_stride, v.window_records - v.finalize_lag);
   return v;
 }
 
@@ -21,7 +27,15 @@ OnlineAnnotator::OnlineAnnotator(const World& world,
       fopts_(std::move(feature_options)),
       annotator_(world, fopts_, structure, std::move(weights)),
       options_(options.Validated()) {
-  window_.reserve(static_cast<size_t>(options_.window_records) + 1);
+  // The true maximum: a decode fires once the window is full AND
+  // decode_stride records arrived since the last one, so the window can
+  // hold up to max(window_records, finalize_lag + decode_stride)
+  // records.  With Validated()'s stride clamp the two terms coincide;
+  // the max() keeps the reservation correct even if the invariant is
+  // ever relaxed.
+  window_.reserve(static_cast<size_t>(
+      std::max(options_.window_records,
+               options_.finalize_lag + options_.decode_stride)));
 }
 
 void OnlineAnnotator::Accumulate(const PositioningRecord& record,

@@ -33,8 +33,11 @@ class OnlineAnnotator {
 
     /// Inconsistent settings are repaired rather than rejected, so a
     /// service hosting thousands of annotators never crashes on a bad
-    /// config: window_records >= 2, decode_stride >= 1, and finalize_lag
-    /// clamped into [0, window_records - 1].
+    /// config: window_records >= 2, finalize_lag clamped into
+    /// [0, window_records - 1], and decode_stride clamped into
+    /// [1, window_records - finalize_lag] — a longer stride would grow
+    /// the window past window_records between decodes, reallocating on
+    /// the hot push path.
     Options Validated() const;
   };
 
@@ -78,6 +81,13 @@ class OnlineAnnotator {
 
   /// Bytes of arena memory held by the decode workspace (diagnostics).
   size_t workspace_bytes() const { return workspace_.arena.bytes_reserved(); }
+
+  /// Capacity of the sliding window buffer (diagnostics).  Reserved once
+  /// at construction; steady-state pushes never grow it.
+  size_t window_capacity() const { return window_.capacity(); }
+
+  /// The repaired options actually in effect.
+  const Options& options() const { return options_; }
 
  private:
   /// Decodes the current window and freezes all but the trailing

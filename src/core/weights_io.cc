@@ -39,13 +39,24 @@ std::string ToString(const std::vector<double>& weights) {
 }
 
 Result<std::vector<double>> Read(std::istream* in) {
+  // Files saved on Windows (or round-tripped through a CRLF checkout)
+  // leave a trailing '\r' on every line std::getline returns; strip it
+  // so the header comparison and name lookups see the bare tokens.
+  const auto strip_cr = [](std::string* s) {
+    if (!s->empty() && s->back() == '\r') s->pop_back();
+  };
   std::string header;
-  if (!std::getline(*in, header) || header != "c2mn-weights v1") {
+  if (!std::getline(*in, header)) {
+    return Status::InvalidArgument("weights file: bad header");
+  }
+  strip_cr(&header);
+  if (header != "c2mn-weights v1") {
     return Status::InvalidArgument("weights file: bad header");
   }
   std::map<std::string, double> values;
   std::string line;
   while (std::getline(*in, line)) {
+    strip_cr(&line);
     if (line.empty()) continue;
     const size_t space = line.find(' ');
     if (space == std::string::npos) {
@@ -53,12 +64,26 @@ Result<std::vector<double>> Read(std::istream* in) {
                                      "'");
     }
     const std::string name = line.substr(0, space);
+    bool known = false;
+    for (const std::string& component : ComponentNames()) {
+      if (component == name) {
+        known = true;
+        break;
+      }
+    }
+    if (!known) {
+      return Status::InvalidArgument("weights file: unknown component " +
+                                     name);
+    }
     char* end = nullptr;
     const double value = std::strtod(line.c_str() + space + 1, &end);
     if (end == line.c_str() + space + 1 || !std::isfinite(value)) {
       return Status::InvalidArgument("weights file: bad value for " + name);
     }
-    values[name] = value;
+    if (!values.emplace(name, value).second) {
+      return Status::InvalidArgument("weights file: duplicate component " +
+                                     name);
+    }
   }
   std::vector<double> weights(kNumWeights);
   for (int k = 0; k < kNumWeights; ++k) {

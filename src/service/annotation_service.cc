@@ -31,8 +31,11 @@ struct Op {
 /// thread; `stats_mu` guards the counters and histogram that Stats()
 /// reads from other threads.
 struct AnnotationService::Shard {
-  explicit Shard(size_t queue_capacity) : queue(queue_capacity) {}
+  Shard(int shard_index, size_t queue_capacity)
+      : index(shard_index), queue(queue_capacity) {}
 
+  /// Position in shards_; doubles as the analytics-engine shard id.
+  const int index;
   BoundedQueue<Op> queue;
   std::thread worker;
   std::unordered_map<int64_t, std::unique_ptr<service_internal::Session>>
@@ -60,7 +63,12 @@ AnnotationService::AnnotationService(const World& world,
   shards_.reserve(static_cast<size_t>(n));
   for (int i = 0; i < n; ++i) {
     shards_.push_back(std::make_unique<Shard>(
-        options_.queue_capacity > 0 ? options_.queue_capacity : 1));
+        i, options_.queue_capacity > 0 ? options_.queue_capacity : 1));
+  }
+  if (options_.analytics.enabled) {
+    AnalyticsEngine::Options aopts = options_.analytics.engine;
+    aopts.num_shards = n;  // One analytics shard per worker.
+    analytics_ = std::make_unique<AnalyticsEngine>(aopts);
   }
   for (auto& shard : shards_) {
     shard->worker = std::thread([this, s = shard.get()] { WorkerLoop(s); });
@@ -207,6 +215,9 @@ void AnnotationService::WorkerLoop(Shard* shard) {
           session->annotator.PushInto(op.record, &emitted);
           for (const MSemantics& ms : emitted) {
             if (session->sink) session->sink(session->object_id, ms);
+            if (analytics_ != nullptr) {
+              analytics_->Ingest(shard->index, session->object_id, ms);
+            }
           }
           const double latency_s =
               std::chrono::duration<double>(std::chrono::steady_clock::now() -
@@ -229,6 +240,12 @@ void AnnotationService::WorkerLoop(Shard* shard) {
           session->annotator.FlushInto(&emitted);
           for (const MSemantics& ms : emitted) {
             if (session->sink) session->sink(session->object_id, ms);
+            if (analytics_ != nullptr) {
+              analytics_->Ingest(shard->index, session->object_id, ms);
+            }
+          }
+          if (analytics_ != nullptr) {
+            analytics_->NoteSessionClosed(shard->index, session->object_id);
           }
           {
             std::lock_guard<std::mutex> lock(shard->stats_mu);

@@ -9,6 +9,7 @@
 #include <unordered_set>
 #include <vector>
 
+#include "analytics/analytics_engine.h"
 #include "common/status.h"
 #include "common/stopwatch.h"
 #include "service/service_stats.h"
@@ -37,6 +38,17 @@ namespace c2mn {
 ///    been fully processed (and its emissions delivered).
 class AnnotationService {
  public:
+  /// Opt-in live analytics over the service's m-semantics stream.
+  struct AnalyticsOptions {
+    /// When true the service owns an AnalyticsEngine and feeds it every
+    /// m-semantics it delivers to sinks (shard-local, so ingestion never
+    /// crosses threads).
+    bool enabled = false;
+    /// Engine configuration; num_shards is overridden with the
+    /// service's shard count.
+    AnalyticsEngine::Options engine;
+  };
+
   struct Options {
     /// Worker threads; each owns one queue and a disjoint set of
     /// sessions.
@@ -49,6 +61,8 @@ class AnnotationService {
     size_t max_batch = 64;
     /// Streaming-decode knobs forwarded to every session's annotator.
     OnlineAnnotator::Options annotator;
+    /// Live analytics over everything the sinks receive.
+    AnalyticsOptions analytics;
   };
 
   /// The world and weights are shared (read-only) by all sessions; the
@@ -99,6 +113,18 @@ class AnnotationService {
   /// A consistent point-in-time snapshot; cheap enough to poll.
   ServiceStats Stats() const;
 
+  /// The live analytics engine, or nullptr when analytics are disabled.
+  /// Queries and snapshots are safe from any thread while the service
+  /// runs; Drain() first for answers covering everything submitted.
+  const AnalyticsEngine* analytics() const { return analytics_.get(); }
+
+  /// Merged analytics gauges alongside ServiceStats; empty when
+  /// analytics are disabled.
+  AnalyticsSnapshot AnalyticsStats() const {
+    return analytics_ != nullptr ? analytics_->Snapshot()
+                                 : AnalyticsSnapshot{};
+  }
+
   int num_shards() const { return static_cast<int>(shards_.size()); }
 
  private:
@@ -116,6 +142,7 @@ class AnnotationService {
   const Stopwatch uptime_;
 
   std::vector<std::unique_ptr<Shard>> shards_;
+  std::unique_ptr<AnalyticsEngine> analytics_;
 
   /// Caller-visible session registry (which ids are open right now);
   /// the authoritative per-session state lives with the shard workers.

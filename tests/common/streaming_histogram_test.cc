@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <limits>
+
 #include "common/rng.h"
 
 namespace c2mn {
@@ -69,6 +72,58 @@ TEST(StreamingHistogramTest, MergeEqualsCombinedStream) {
   EXPECT_DOUBLE_EQ(a.max(), both.max());
   EXPECT_DOUBLE_EQ(a.Quantile(0.5), both.Quantile(0.5));
   EXPECT_DOUBLE_EQ(a.Quantile(0.99), both.Quantile(0.99));
+}
+
+TEST(StreamingHistogramTest, NonFiniteValuesAreCountedNotBucketed) {
+  StreamingHistogram hist;
+  hist.Add(std::numeric_limits<double>::quiet_NaN());
+  hist.Add(std::numeric_limits<double>::infinity());
+  hist.Add(-std::numeric_limits<double>::infinity());
+  // The poison never reaches the buckets or the summary statistics.
+  EXPECT_EQ(hist.non_finite_count(), 3u);
+  EXPECT_EQ(hist.count(), 0u);
+  EXPECT_EQ(hist.Quantile(0.5), 0.0);
+  EXPECT_EQ(hist.min(), 0.0);
+  EXPECT_EQ(hist.max(), 0.0);
+
+  hist.Add(0.5);
+  EXPECT_EQ(hist.count(), 1u);
+  EXPECT_DOUBLE_EQ(hist.Mean(), 0.5);
+  EXPECT_FALSE(std::isnan(hist.sum()));
+
+  // Merge carries the non-finite tally along.
+  StreamingHistogram other;
+  other.Add(std::numeric_limits<double>::quiet_NaN());
+  EXPECT_TRUE(hist.Merge(other));
+  EXPECT_EQ(hist.non_finite_count(), 4u);
+
+  hist.Clear();
+  EXPECT_EQ(hist.non_finite_count(), 0u);
+}
+
+TEST(StreamingHistogramTest, MergeVerifiesBucketConfiguration) {
+  StreamingHistogram a(1e-6, 1e3, 1.2);
+  StreamingHistogram same(1e-6, 1e3, 1.2);
+  same.Add(0.01);
+  EXPECT_TRUE(a.Merge(same));
+  EXPECT_EQ(a.count(), 1u);
+
+  // A mismatched bucketization is detected at runtime (the old assert
+  // compiled out in Release): the merge degrades gracefully instead of
+  // adding bucket counts at the wrong positions.
+  StreamingHistogram different(1e-3, 1e2, 1.5);
+  different.Add(0.5);
+  different.Add(7.0);
+  EXPECT_FALSE(a.Merge(different));
+  // Summary statistics merge exactly...
+  EXPECT_EQ(a.count(), 3u);
+  EXPECT_DOUBLE_EQ(a.sum(), 0.01 + 0.5 + 7.0);
+  EXPECT_DOUBLE_EQ(a.min(), 0.01);
+  EXPECT_DOUBLE_EQ(a.max(), 7.0);
+  // ...and the foreign samples are re-bucketed near their true values
+  // (within one source-bucket width), not dropped or misfiled.
+  EXPECT_NEAR(a.Quantile(0.99), 7.0, 7.0 * 0.6);
+  EXPECT_LE(a.Quantile(0.99), a.max() + 1e-12);
 }
 
 TEST(StreamingHistogramTest, ClearResets) {

@@ -166,6 +166,58 @@ TEST_F(OnlineAnnotatorTest, WindowSmallerThanFinalizeLagIsRepaired) {
   EXPECT_EQ(support, static_cast<int>(ls.size()));
 }
 
+TEST(OnlineAnnotatorOptionsTest, ValidatedKeepsWindowReservationInvariant) {
+  // A stride longer than the refill length (window - lag) would grow
+  // the window past window_records between decodes; Validated() clamps
+  // it so the constructor-time reservation is the true maximum.
+  OnlineAnnotator::Options options;
+  options.window_records = 20;
+  options.finalize_lag = 15;
+  options.decode_stride = 50;
+  const OnlineAnnotator::Options v = options.Validated();
+  EXPECT_EQ(v.window_records, 20);
+  EXPECT_EQ(v.finalize_lag, 15);
+  EXPECT_EQ(v.decode_stride, 5);  // window - lag.
+  EXPECT_LE(v.finalize_lag + v.decode_stride, v.window_records);
+
+  // Consistent settings pass through untouched.
+  options.window_records = 80;
+  options.finalize_lag = 10;
+  options.decode_stride = 5;
+  const OnlineAnnotator::Options ok = options.Validated();
+  EXPECT_EQ(ok.decode_stride, 5);
+  EXPECT_EQ(ok.finalize_lag, 10);
+}
+
+TEST_F(OnlineAnnotatorTest, WindowNeverOutgrowsItsReservation) {
+  // Regression: with decode_stride > window_records - finalize_lag the
+  // window buffer used to reallocate on the hot push path.  The stream
+  // below must complete without the window capacity ever moving.
+  const LabeledSequence& ls = *split_.test.front();
+  OnlineAnnotator::Options options;
+  options.window_records = 12;
+  options.finalize_lag = 8;
+  options.decode_stride = 30;  // Larger than window - lag = 4.
+  OnlineAnnotator online(*scenario_.world, FeatureOptions{}, C2mnStructure{},
+                         weights_, options);
+  EXPECT_EQ(online.options().decode_stride, 4);
+  const size_t reserved = online.window_capacity();
+  EXPECT_GE(reserved, 12u);
+
+  MSemanticsSequence all;
+  for (const PositioningRecord& rec : ls.sequence.records) {
+    for (MSemantics& ms : online.Push(rec)) all.push_back(ms);
+    EXPECT_EQ(online.window_capacity(), reserved);
+  }
+  for (MSemantics& ms : online.Flush()) all.push_back(ms);
+  EXPECT_EQ(online.window_capacity(), reserved);
+
+  EXPECT_TRUE(IsValidMSemanticsSequence(all, ls.sequence));
+  int support = 0;
+  for (const MSemantics& m : all) support += m.support;
+  EXPECT_EQ(support, static_cast<int>(ls.size()));
+}
+
 TEST_F(OnlineAnnotatorTest, OutOfOrderTimestampsAreClampedAndCounted) {
   const LabeledSequence& ls = *split_.test.front();
   PSequence scrambled = ls.sequence;

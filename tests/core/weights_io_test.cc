@@ -51,6 +51,48 @@ TEST(WeightsIoTest, RejectsMissingComponent) {
   EXPECT_NE(result.status().message().find("missing"), std::string::npos);
 }
 
+TEST(WeightsIoTest, ReadsCrlfSavedFiles) {
+  // A weights file round-tripped through Windows line endings leaves a
+  // trailing '\r' on every line; Read must still match every component
+  // (the last one used to be reported as missing).
+  std::vector<double> weights(kNumWeights);
+  for (int k = 0; k < kNumWeights; ++k) weights[k] = 0.25 * k - 1.0;
+  std::string text = weights_io::ToString(weights);
+  std::string crlf;
+  for (const char c : text) {
+    if (c == '\n') crlf += '\r';
+    crlf += c;
+  }
+  std::stringstream stream(crlf);
+  const auto back = weights_io::Read(&stream);
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  for (int k = 0; k < kNumWeights; ++k) {
+    EXPECT_DOUBLE_EQ((*back)[k], weights[k]);
+  }
+}
+
+TEST(WeightsIoTest, RejectsDuplicateComponent) {
+  std::vector<double> weights(kNumWeights, 1.0);
+  std::string text = weights_io::ToString(weights);
+  // Append a second copy of the first component with a different value;
+  // the old reader silently let it win.
+  text += weights_io::ComponentNames()[0] + " 99.0\n";
+  std::stringstream stream(text);
+  const auto result = weights_io::Read(&stream);
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.status().message().find("duplicate"), std::string::npos);
+}
+
+TEST(WeightsIoTest, RejectsUnknownComponent) {
+  std::vector<double> weights(kNumWeights, 1.0);
+  std::string text = weights_io::ToString(weights);
+  text += "not_a_component 1.0\n";  // The old reader silently ignored it.
+  std::stringstream stream(text);
+  const auto result = weights_io::Read(&stream);
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.status().message().find("unknown"), std::string::npos);
+}
+
 TEST(WeightsIoTest, RejectsMalformedValue) {
   std::string text = "c2mn-weights v1\n";
   for (const std::string& name : weights_io::ComponentNames()) {

@@ -13,6 +13,11 @@
 //   serve-sim [--objects N] [--shards K] [--producers P] [--iters N]
 //       Replay simulator traffic through the concurrent AnnotationService
 //       and report throughput / latency statistics.
+//   analytics [--objects N] [--shards K] [--k K] [--min-visit S]
+//       Replay simulator traffic with the live analytics engine enabled,
+//       print top-k popular regions / frequent pairs plus dwell, flow,
+//       and occupancy gauges, and cross-check the answers against the
+//       batch eval/queries implementation.
 //
 // All subcommands accept --seed (default 7) which controls the generated
 // venue, so weights and data stay consistent across invocations.
@@ -28,7 +33,9 @@
 
 #include "common/logging.h"
 #include "common/stopwatch.h"
+#include "common/table_printer.h"
 #include "core/trainer.h"
+#include "eval/queries.h"
 #include "core/variants.h"
 #include "core/weights_io.h"
 #include "data/io.h"
@@ -52,11 +59,16 @@ struct Args {
     const char* v = Get(key);
     return v != nullptr ? std::atoi(v) : fallback;
   }
+  double GetDouble(const std::string& key, double fallback) const {
+    const char* v = Get(key);
+    return v != nullptr ? std::atof(v) : fallback;
+  }
 };
 
 int Usage() {
   std::fprintf(stderr,
-               "usage: c2mn_cli <generate|train|annotate|render|serve-sim> "
+               "usage: c2mn_cli "
+               "<generate|train|annotate|render|serve-sim|analytics> "
                "[--key value]...\n"
                "  generate --out-records R.csv --out-labels L.csv "
                "[--objects N] [--seed S]\n"
@@ -68,6 +80,9 @@ int Usage() {
                "[--seed S]\n"
                "  serve-sim [--objects N] [--shards K] [--producers P] "
                "[--iters N] [--threads T] [--weights W.txt] [--seed S]\n"
+               "  analytics [--objects N] [--shards K] [--k K] "
+               "[--min-visit S] [--iters N] [--threads T] "
+               "[--weights W.txt] [--seed S]\n"
                "  --threads T: trainer worker threads (0 = all cores); the\n"
                "  learned weights are bit-identical for every T.\n");
   return 2;
@@ -190,6 +205,41 @@ int Render(const Args& args) {
   return 0;
 }
 
+/// Loads --weights if given, otherwise trains on the scenario's own
+/// labeled sequences.  Returns false (after printing the error) when a
+/// weights file cannot be read.
+bool LoadOrTrainWeights(const Args& args, const Scenario& scenario,
+                        std::vector<double>* weights) {
+  if (const char* weights_path = args.Get("weights")) {
+    std::ifstream win(weights_path);
+    if (!win) {
+      std::fprintf(stderr, "cannot open %s\n", weights_path);
+      return false;
+    }
+    auto loaded = weights_io::Read(&win);
+    if (!loaded.ok()) {
+      std::fprintf(stderr, "%s\n", loaded.status().ToString().c_str());
+      return false;
+    }
+    *weights = *loaded;
+    return true;
+  }
+  TrainOptions topts;
+  topts.max_iter = args.GetInt("iters", 12);
+  topts.mcmc_samples = 15;
+  topts.num_threads = args.GetInt("threads", 0);
+  std::vector<const LabeledSequence*> train;
+  for (const LabeledSequence& ls : scenario.dataset.sequences) {
+    train.push_back(&ls);
+  }
+  AlternateTrainer trainer(*scenario.world, FeatureOptions{}, C2mnStructure{},
+                           topts);
+  std::printf("training weights (%d iters; pass --weights to skip)...\n",
+              topts.max_iter);
+  *weights = trainer.Train(train).weights;
+  return true;
+}
+
 // Replays simulated mall traffic through the sharded AnnotationService:
 // one session per simulated object, `--producers` submitting threads, and
 // a stats report at the end.  This is the "running the service demo" path
@@ -204,33 +254,7 @@ int ServeSim(const Args& args) {
   const Scenario scenario = MakeMallScenario(sopts);
 
   std::vector<double> weights;
-  if (const char* weights_path = args.Get("weights")) {
-    std::ifstream win(weights_path);
-    if (!win) {
-      std::fprintf(stderr, "cannot open %s\n", weights_path);
-      return 1;
-    }
-    auto loaded = weights_io::Read(&win);
-    if (!loaded.ok()) {
-      std::fprintf(stderr, "%s\n", loaded.status().ToString().c_str());
-      return 1;
-    }
-    weights = *loaded;
-  } else {
-    TrainOptions topts;
-    topts.max_iter = args.GetInt("iters", 12);
-    topts.mcmc_samples = 15;
-    topts.num_threads = args.GetInt("threads", 0);
-    std::vector<const LabeledSequence*> train;
-    for (const LabeledSequence& ls : scenario.dataset.sequences) {
-      train.push_back(&ls);
-    }
-    AlternateTrainer trainer(*scenario.world, FeatureOptions{},
-                             C2mnStructure{}, topts);
-    std::printf("training weights (%d iters; pass --weights to skip)...\n",
-                topts.max_iter);
-    weights = trainer.Train(train).weights;
-  }
+  if (!LoadOrTrainWeights(args, scenario, &weights)) return 1;
 
   AnnotationService::Options options;
   options.num_shards = args.GetInt("shards", 4);
@@ -287,6 +311,133 @@ int ServeSim(const Args& args) {
   return 0;
 }
 
+// Replays simulated traffic through the service with live analytics
+// enabled, prints the headline queries (top-k popular regions, top-k
+// frequent region pairs) plus dwell / flow / occupancy gauges, and
+// cross-checks every query answer against the batch eval/queries
+// implementation over the corpus collected from the sinks.
+int Analytics(const Args& args) {
+  const uint64_t seed = static_cast<uint64_t>(args.GetInt("seed", 7));
+  ScenarioOptions sopts;
+  sopts.num_objects = args.GetInt("objects", 40);
+  sopts.seed = seed;
+  std::printf("simulating %d objects in the mall venue...\n",
+              sopts.num_objects);
+  const Scenario scenario = MakeMallScenario(sopts);
+
+  std::vector<double> weights;
+  if (!LoadOrTrainWeights(args, scenario, &weights)) return 1;
+
+  AnnotationService::Options options;
+  options.num_shards = args.GetInt("shards", 4);
+  options.analytics.enabled = true;
+  options.analytics.engine.min_visit_seconds =
+      args.GetDouble("min-visit", 30.0);
+  AnnotationService service(*scenario.world, FeatureOptions{}, C2mnStructure{},
+                            weights, options);
+
+  const size_t num_streams = scenario.dataset.sequences.size();
+  std::vector<MSemanticsSequence> emitted(num_streams);
+  for (size_t i = 0; i < num_streams; ++i) {
+    service.OpenSession(static_cast<int64_t>(i),
+                        [&emitted](int64_t id, const MSemantics& ms) {
+                          emitted[static_cast<size_t>(id)].push_back(ms);
+                        });
+  }
+  std::printf("replaying %zu streams with live analytics...\n", num_streams);
+  for (size_t i = 0; i < num_streams; ++i) {
+    for (const PositioningRecord& rec :
+         scenario.dataset.sequences[i].sequence.records) {
+      service.Submit(static_cast<int64_t>(i), rec);
+    }
+    service.CloseSession(static_cast<int64_t>(i));
+  }
+  service.Drain();
+
+  AnnotatedCorpus corpus;
+  for (size_t i = 0; i < num_streams; ++i) {
+    corpus.Add(static_cast<int64_t>(i), emitted[i]);
+  }
+
+  std::vector<RegionId> query_regions;
+  for (const SemanticRegion& region : scenario.world->plan().regions()) {
+    query_regions.push_back(region.id);
+  }
+  double t_min = 0.0, t_max = 0.0;
+  bool first = true;
+  for (const MSemanticsSequence& ms_seq : corpus.semantics) {
+    for (const MSemantics& ms : ms_seq) {
+      if (first || ms.t_start < t_min) t_min = ms.t_start;
+      if (first || ms.t_end > t_max) t_max = ms.t_end;
+      first = false;
+    }
+  }
+  const TimeWindow window{t_min, t_max};
+  const size_t k = static_cast<size_t>(args.GetInt("k", 5));
+  const double min_visit = args.GetDouble("min-visit", 30.0);
+
+  const AnalyticsEngine& engine = *service.analytics();
+  const auto popular =
+      engine.TopKPopularRegions(query_regions, window, k, min_visit);
+  const auto pairs =
+      engine.TopKFrequentRegionPairs(query_regions, window, k, min_visit);
+  const auto batch_popular =
+      TopKPopularRegions(corpus, query_regions, window, k, min_visit);
+  const auto batch_pairs =
+      TopKFrequentRegionPairs(corpus, query_regions, window, k, min_visit);
+
+  const AnalyticsSnapshot snap = service.AnalyticsStats();
+  std::printf("\n--- live analytics over [%.0f, %.0f] s ---\n", t_min, t_max);
+  std::printf("ingested %" PRIu64 " m-semantics (%" PRIu64
+              " visits retained, %" PRIu64 " late-dropped)\n",
+              snap.semantics_ingested, snap.retained_visits,
+              snap.late_dropped);
+
+  TablePrinter regions_table({"rank", "region", "name", "visits",
+                              "dwell p50 s", "dwell p99 s", "occupancy"});
+  int rank = 1;
+  for (RegionId region : popular) {
+    const RegionAnalytics* gauges = nullptr;
+    for (const RegionAnalytics& r : snap.regions) {
+      if (r.region == region) {
+        gauges = &r;
+        break;
+      }
+    }
+    regions_table.AddRow(
+        {std::to_string(rank++), std::to_string(region),
+         scenario.world->plan().region(region).name,
+         gauges != nullptr ? std::to_string(gauges->visits) : "0",
+         TablePrinter::Fmt(gauges != nullptr ? gauges->dwell_p50_seconds : 0.0,
+                           1),
+         TablePrinter::Fmt(gauges != nullptr ? gauges->dwell_p99_seconds : 0.0,
+                           1),
+         gauges != nullptr ? std::to_string(gauges->occupancy) : "0"});
+  }
+  std::printf("\ntop-%zu popular regions (stays >= %.0f s):\n", k, min_visit);
+  regions_table.Print();
+
+  std::printf("\ntop-%zu frequent region pairs:\n", k);
+  for (size_t i = 0; i < pairs.size(); ++i) {
+    std::printf("  %zu. %s + %s\n", i + 1,
+                scenario.world->plan().region(pairs[i].first).name.c_str(),
+                scenario.world->plan().region(pairs[i].second).name.c_str());
+  }
+
+  std::printf("\nbusiest region->region flows:\n");
+  for (size_t i = 0; i < snap.flows.size() && i < 5; ++i) {
+    std::printf("  %s -> %s: %" PRIu64 "\n",
+                scenario.world->plan().region(snap.flows[i].from).name.c_str(),
+                scenario.world->plan().region(snap.flows[i].to).name.c_str(),
+                snap.flows[i].count);
+  }
+
+  const bool identical = popular == batch_popular && pairs == batch_pairs;
+  std::printf("\nbatch eval/queries cross-check: %s\n",
+              identical ? "identical" : "MISMATCH");
+  return identical ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -303,5 +454,6 @@ int main(int argc, char** argv) {
   if (args.command == "annotate") return Annotate(args);
   if (args.command == "render") return Render(args);
   if (args.command == "serve-sim") return ServeSim(args);
+  if (args.command == "analytics") return Analytics(args);
   return Usage();
 }
