@@ -2,11 +2,17 @@
 //
 // BM_Ingest measures the per-m-semantics cost of the shard-local
 // accumulators (visit counters, dwell histogram, flow matrix, occupancy,
-// retention ring) — the overhead the AnnotationService pays per emission
-// when AnalyticsOptions::enabled is set.  BM_IngestEvicting drives a
-// deliberately tiny retention horizon so every few ingests recycle a
-// ring bucket.  BM_TopKPopularRegions / BM_TopKFrequentRegionPairs /
-// BM_Snapshot measure the read side against a pre-loaded engine.
+// retention ring, pre-aggregation sketch) — the overhead the
+// AnnotationService pays per emission when AnalyticsOptions::enabled is
+// set.  BM_IngestEvicting drives a deliberately tiny retention horizon
+// so every few ingests recycle a ring bucket.  The read side runs both
+// top-k paths against the same pre-loaded engine:
+// BM_TopK*PreAgg folds the incrementally maintained per-shard sketches
+// (cost tracks distinct regions), BM_TopK*Scan forces the fallback that
+// re-evaluates the predicate over every retained visit — their ratio is
+// the pre-aggregation win.  BM_StandingQueryPush measures the ingest
+// path with a standing continuous query subscribed, reporting how long
+// a delta push takes end to end.
 //
 // Results are emitted as machine-readable JSON (default
 // BENCH_analytics.json in the working directory; override with
@@ -17,6 +23,7 @@
 // the binary starts instantly and isolates the engine's own costs.
 
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
@@ -29,6 +36,7 @@
 #include "bench/bench_json.h"
 #include "common/env.h"
 #include "common/rng.h"
+#include "common/streaming_histogram.h"
 
 namespace c2mn {
 namespace {
@@ -143,29 +151,117 @@ std::vector<RegionId> AllRegions() {
   return regions;
 }
 
-void BM_TopKPopularRegions(benchmark::State& state) {
+/// Served by the pre-aggregated sketches: min_visit matches the
+/// engine's maintained threshold and the window covers every retained
+/// visit.  Aborts if the fast path was not actually taken — the
+/// benchmark exists to track that win, not a silent fallback.
+void BM_TopKPopularRegionsPreAgg(benchmark::State& state) {
+  AnalyticsEngine& engine = LoadedEngine();
+  const std::vector<RegionId> regions = AllRegions();
+  const TimeWindow window{0.0, 1e18};
+  const uint64_t preagg_before = engine.Snapshot().preagg_queries;
+  for (auto _ : state) {
+    auto top = engine.TopKPopularRegions(regions, window, 10, 10.0);
+    benchmark::DoNotOptimize(top);
+  }
+  if (engine.Snapshot().preagg_queries == preagg_before) {
+    std::fprintf(stderr,
+                 "BM_TopKPopularRegionsPreAgg did not hit the "
+                 "pre-aggregated path\n");
+    std::abort();
+  }
+  state.counters["retained_visits"] = static_cast<double>(
+      engine.Snapshot().retained_visits);
+}
+BENCHMARK(BM_TopKPopularRegionsPreAgg);
+
+/// The scan fallback over the same engine and window: a min_visit that
+/// differs from the maintained spec forces the predicate re-evaluation
+/// over every retained visit.  PreAgg time vs. this is the headline
+/// ratio.
+void BM_TopKPopularRegionsScan(benchmark::State& state) {
   AnalyticsEngine& engine = LoadedEngine();
   const std::vector<RegionId> regions = AllRegions();
   const TimeWindow window{0.0, 1e18};
   for (auto _ : state) {
-    auto top = engine.TopKPopularRegions(regions, window, 10, 10.0);
+    auto top = engine.TopKPopularRegions(regions, window, 10, 9.999);
     benchmark::DoNotOptimize(top);
   }
   state.counters["retained_visits"] = static_cast<double>(
       engine.Snapshot().retained_visits);
 }
-BENCHMARK(BM_TopKPopularRegions);
+BENCHMARK(BM_TopKPopularRegionsScan);
 
-void BM_TopKFrequentRegionPairs(benchmark::State& state) {
+void BM_TopKFrequentRegionPairsPreAgg(benchmark::State& state) {
   AnalyticsEngine& engine = LoadedEngine();
   const std::vector<RegionId> regions = AllRegions();
   const TimeWindow window{0.0, 1e18};
+  const uint64_t preagg_before = engine.Snapshot().preagg_queries;
   for (auto _ : state) {
     auto top = engine.TopKFrequentRegionPairs(regions, window, 10, 10.0);
     benchmark::DoNotOptimize(top);
   }
+  if (engine.Snapshot().preagg_queries == preagg_before) {
+    std::fprintf(stderr,
+                 "BM_TopKFrequentRegionPairsPreAgg did not hit the "
+                 "pre-aggregated path\n");
+    std::abort();
+  }
 }
-BENCHMARK(BM_TopKFrequentRegionPairs);
+BENCHMARK(BM_TopKFrequentRegionPairsPreAgg);
+
+void BM_TopKFrequentRegionPairsScan(benchmark::State& state) {
+  AnalyticsEngine& engine = LoadedEngine();
+  const std::vector<RegionId> regions = AllRegions();
+  const TimeWindow window{0.0, 1e18};
+  for (auto _ : state) {
+    auto top = engine.TopKFrequentRegionPairs(regions, window, 10, 9.999);
+    benchmark::DoNotOptimize(top);
+  }
+}
+BENCHMARK(BM_TopKFrequentRegionPairsScan);
+
+/// Ingest with a standing top-10 subscribed: every m-semantics pays the
+/// incremental sketch update, and answer-set changes push a delta.  The
+/// counters report how many deltas fired and the p50/p99 time from the
+/// Ingest call to the callback's return — the engine-side half of the
+/// service's submit-to-push latency.
+void BM_StandingQueryPush(benchmark::State& state) {
+  static const SyntheticStream& stream = *new SyntheticStream(1 << 16);
+  AnalyticsEngine engine(EngineOptions(1));
+  StandingQuery standing;
+  standing.spec.all_regions = true;
+  standing.spec.min_visit_seconds = 10.0;
+  standing.k = 10;
+  StreamingHistogram push_latency(1e-9, 1.0, 1.5);
+  std::chrono::steady_clock::time_point ingest_start;
+  uint64_t deltas = 0;
+  engine.Subscribe(standing, [&](const StandingQueryDelta&) {
+    ++deltas;
+    push_latency.Add(std::chrono::duration<double>(
+                         std::chrono::steady_clock::now() - ingest_start)
+                         .count());
+  });
+  size_t i = 0;
+  double offset = 0.0;
+  const size_t n = stream.semantics.size();
+  for (auto _ : state) {
+    MSemantics ms = stream.semantics[i];
+    ms.t_start += offset;
+    ms.t_end += offset;
+    ingest_start = std::chrono::steady_clock::now();
+    engine.Ingest(stream.object_ids[i], ms);
+    if (++i == n) {
+      i = 0;
+      offset += stream.span_seconds;
+    }
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.counters["deltas"] = static_cast<double>(deltas);
+  state.counters["push_p50_us"] = push_latency.Quantile(0.5) * 1e6;
+  state.counters["push_p99_us"] = push_latency.Quantile(0.99) * 1e6;
+}
+BENCHMARK(BM_StandingQueryPush);
 
 void BM_Snapshot(benchmark::State& state) {
   AnalyticsEngine& engine = LoadedEngine();

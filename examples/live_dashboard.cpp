@@ -6,12 +6,15 @@
 // top regions by visits, dwell-time quantiles, live occupancy, and the
 // busiest region-to-region flows.  Everything shown comes from
 // AnalyticsEngine queries that are safe to run while ingestion is still
-// in full swing.
+// in full swing.  A standing continuous query runs alongside: instead
+// of polling, the dashboard's "trending now" ticker is pushed a delta
+// from the shard workers whenever the top-3 answer set changes.
 
 #include <algorithm>
 #include <cinttypes>
 #include <cstdio>
 #include <chrono>
+#include <mutex>
 #include <thread>
 #include <vector>
 
@@ -96,8 +99,32 @@ int main() {
   options.analytics.engine.min_visit_seconds = 30.0;
   options.analytics.engine.bucket_seconds = 120.0;
   options.analytics.engine.horizon_seconds = 24 * 3600.0;
+
+  // The pushed "trending now" ticker: a standing top-3 by visits over
+  // everything inside the retention horizon.  The callback runs on the
+  // shard workers, so the print is serialized by its own mutex — both
+  // declared before the service so they outlive its teardown.
+  std::mutex ticker_mu;
+  uint64_t ticker_updates = 0;
+
   AnnotationService service(*scenario.world, FeatureOptions{}, C2mnStructure{},
                             weights, options);
+  StandingQuery trending;
+  trending.spec.all_regions = true;
+  trending.spec.min_visit_seconds = 30.0;
+  trending.k = 3;
+  service.SubscribeAnalytics(
+      trending, [&ticker_mu, &ticker_updates, &scenario](
+                    const StandingQueryDelta& delta) {
+        std::lock_guard<std::mutex> lock(ticker_mu);
+        ++ticker_updates;
+        std::printf("[trending #%02" PRIu64 "]", delta.sequence);
+        for (RegionId region : delta.regions) {
+          std::printf("  %s",
+                      scenario.world->plan().region(region).name.c_str());
+        }
+        std::printf("\n");
+      });
 
   const size_t streams = scenario.dataset.sequences.size();
   for (size_t i = 0; i < streams; ++i) {
@@ -143,5 +170,12 @@ int main() {
     std::printf("  %s", scenario.world->plan().region(region).name.c_str());
   }
   std::printf("\n");
+  {
+    std::lock_guard<std::mutex> lock(ticker_mu);
+    std::printf("standing query pushed %" PRIu64
+                " ticker updates (p99 push latency %.3f ms); the final "
+                "pushed answer matches the poll above by construction.\n",
+                ticker_updates, snap.push_p99_ms);
+  }
   return 0;
 }

@@ -3,8 +3,10 @@
 #include <algorithm>
 #include <cmath>
 #include <functional>
+#include <limits>
 #include <map>
 #include <mutex>
+#include <type_traits>
 #include <unordered_map>
 #include <unordered_set>
 
@@ -18,6 +20,19 @@ namespace {
 uint64_t FlowKey(RegionId from, RegionId to) {
   return (static_cast<uint64_t>(static_cast<uint32_t>(from)) << 32) |
          static_cast<uint32_t>(to);
+}
+
+/// The elements of `current` not in `previous` (answer order preserved).
+template <typename Key>
+std::vector<Key> SetDifference(const std::vector<Key>& current,
+                               const std::vector<Key>& previous) {
+  std::vector<Key> out;
+  for (const Key& key : current) {
+    if (std::find(previous.begin(), previous.end(), key) == previous.end()) {
+      out.push_back(key);
+    }
+  }
+  return out;
 }
 
 }  // namespace
@@ -45,6 +60,18 @@ struct AnalyticsEngine::Shard {
     RegionId occupied_region = kInvalidId;
   };
 
+  /// One live retention bucket, with the bounds the pre-aggregation
+  /// coverage check needs (a query window covers every visit here iff it
+  /// reaches max_t_start on the right and min_t_end on the left).
+  struct Bucket {
+    std::vector<StayVisit> visits;
+    double max_t_start = -std::numeric_limits<double>::infinity();
+    double min_t_end = std::numeric_limits<double>::infinity();
+  };
+
+  explicit Shard(const query::CompiledSpec* preagg_spec)
+      : preagg(preagg_spec) {}
+
   mutable std::mutex mu;
   std::unordered_map<RegionId, RegionAccum> regions;
   std::unordered_map<uint64_t, uint64_t> flows;
@@ -53,15 +80,72 @@ struct AnalyticsEngine::Shard {
   /// bucket index, ascending.  Only occupied buckets exist, so memory
   /// and query cost track the retained data, not the horizon width; at
   /// most ring_buckets_ buckets are ever live at once.
-  std::map<int64_t, std::vector<StayVisit>> buckets;
+  std::map<int64_t, Bucket> buckets;
+  /// Incrementally maintained counters over the retained visits for the
+  /// engine's default query spec; updated on ingest and aging, folded
+  /// across shards (in shard order) to answer matching polls without a
+  /// scan.
+  query::TopKSketch preagg;
   /// Highest bucket index written so far; INT64_MIN before any stay.
   int64_t max_bucket = INT64_MIN;
   double watermark_seconds = 0.0;
+  /// Bumped on every Ingest; subscriptions seeded at sequence S ignore
+  /// visit deltas tagged <= S (they already saw that state).
+  uint64_t mutation_seq = 0;
 
   uint64_t semantics_ingested = 0;
   uint64_t late_dropped = 0;
   uint64_t invalid_dropped = 0;
   uint64_t buckets_evicted = 0;
+};
+
+/// One standing continuous query: a global (cross-shard) sketch plus the
+/// last pushed answer, all behind `mu` so deltas carry consistent
+/// sequence numbers no matter which worker fires them.
+struct AnalyticsEngine::Subscription {
+  Subscription(StandingQuery q, StandingQueryCallback cb)
+      : query(std::move(q)),
+        spec(query.spec),
+        sketch(&spec),
+        callback(std::move(cb)) {}
+
+  int id = -1;
+  const StandingQuery query;
+  const query::CompiledSpec spec;
+
+  std::mutex mu;
+  query::TopKSketch sketch;
+  StandingQueryCallback callback;
+  std::vector<RegionId> last_regions;
+  std::vector<RegionPair> last_pairs;
+  uint64_t sequence = 0;
+  /// Per shard: the mutation sequence the sketch was seeded through.
+  std::vector<uint64_t> seeded_seq;
+
+  /// Recomputes the answer; if it differs from the last pushed one,
+  /// emits the delta.  Caller holds `mu`.
+  bool EmitIfChanged() {
+    StandingQueryDelta delta;
+    delta.subscription_id = id;
+    if (query.kind == StandingQuery::Kind::kPopularRegions) {
+      std::vector<RegionId> answer = sketch.TopKRegions(query.k);
+      if (answer == last_regions && sequence > 0) return false;
+      delta.regions_entered = SetDifference(answer, last_regions);
+      delta.regions_exited = SetDifference(last_regions, answer);
+      delta.regions = answer;
+      last_regions = std::move(answer);
+    } else {
+      std::vector<RegionPair> answer = sketch.TopKPairs(query.k);
+      if (answer == last_pairs && sequence > 0) return false;
+      delta.pairs_entered = SetDifference(answer, last_pairs);
+      delta.pairs_exited = SetDifference(last_pairs, answer);
+      delta.pairs = answer;
+      last_pairs = std::move(answer);
+    }
+    delta.sequence = ++sequence;
+    if (callback) callback(delta);
+    return true;
+  }
 };
 
 AnalyticsEngine::Options AnalyticsEngine::Options::Validated() const {
@@ -87,9 +171,14 @@ AnalyticsEngine::AnalyticsEngine(Options options)
                       std::ceil(options_.horizon_seconds /
                                 options_.bucket_seconds)) +
                   1;
+  query::VisitSpec preagg_spec;
+  preagg_spec.all_regions = true;
+  preagg_spec.window = TimeWindow::All();
+  preagg_spec.min_visit_seconds = options_.min_visit_seconds;
+  preagg_spec_ = std::make_unique<query::CompiledSpec>(std::move(preagg_spec));
   shards_.reserve(static_cast<size_t>(options_.num_shards));
   for (int i = 0; i < options_.num_shards; ++i) {
-    shards_.push_back(std::make_unique<Shard>());
+    shards_.push_back(std::make_unique<Shard>(preagg_spec_.get()));
   }
 }
 
@@ -102,87 +191,123 @@ int AnalyticsEngine::ShardOf(int64_t object_id) const {
   return static_cast<int>(h % shards_.size());
 }
 
-void AnalyticsEngine::Ingest(int64_t object_id, const MSemantics& ms) {
-  Ingest(ShardOf(object_id), object_id, ms);
+int AnalyticsEngine::Ingest(int64_t object_id, const MSemantics& ms) {
+  return Ingest(ShardOf(object_id), object_id, ms);
 }
 
 void AnalyticsEngine::NoteSessionClosed(int64_t object_id) {
   NoteSessionClosed(ShardOf(object_id), object_id);
 }
 
-void AnalyticsEngine::Ingest(int shard, int64_t object_id,
-                             const MSemantics& ms) {
-  Shard& s = *shards_[static_cast<size_t>(shard) % shards_.size()];
-  std::lock_guard<std::mutex> lock(s.mu);
-  ++s.semantics_ingested;
-  // Reject time periods that are non-finite or too extreme to bucket:
-  // casting an out-of-range double to int64_t below would be undefined
-  // behavior (the StreamingHistogram NaN-cast class of bug).
-  const double bucket_d = std::floor(ms.t_end / options_.bucket_seconds);
-  if (!std::isfinite(ms.t_start) || !std::isfinite(ms.t_end) ||
-      !(bucket_d >= -9.0e18 && bucket_d <= 9.0e18)) {
-    ++s.invalid_dropped;
-    return;
-  }
-  const int64_t bucket = static_cast<int64_t>(bucket_d);
+int AnalyticsEngine::Ingest(int shard, int64_t object_id,
+                            const MSemantics& ms) {
+  const int shard_index = static_cast<int>(
+      static_cast<size_t>(shard) % shards_.size());
+  Shard& s = *shards_[static_cast<size_t>(shard_index)];
+  // Visit deltas collected under the shard lock, then forwarded to the
+  // standing queries after it drops (never hold a shard mutex while
+  // acquiring subs_mu_ — see the lock-order comment in the header).
+  StayVisit added{};
+  bool has_added = false;
+  std::vector<StayVisit> evicted;
+  uint64_t mutation_seq = 0;
+  bool notify = false;
+  {
+    std::lock_guard<std::mutex> lock(s.mu);
+    // Read under the shard lock: a Subscribe bumps the count before
+    // seeding from this shard (under this same mutex), so any mutation
+    // its seed missed sees a non-zero count here.  Zero means the
+    // delta bookkeeping below is dead weight — skip it.
+    notify = standing_count_.load(std::memory_order_relaxed) > 0;
+    mutation_seq = ++s.mutation_seq;
+    ++s.semantics_ingested;
+    // Reject time periods that are non-finite or too extreme to bucket:
+    // casting an out-of-range double to int64_t below would be undefined
+    // behavior (the StreamingHistogram NaN-cast class of bug).
+    const double bucket_d = std::floor(ms.t_end / options_.bucket_seconds);
+    if (!std::isfinite(ms.t_start) || !std::isfinite(ms.t_end) ||
+        !(bucket_d >= -9.0e18 && bucket_d <= 9.0e18)) {
+      ++s.invalid_dropped;
+      return 0;
+    }
+    const int64_t bucket = static_cast<int64_t>(bucket_d);
 
-  // --- cumulative region gauges -------------------------------------
-  auto region_it = s.regions.find(ms.region);
-  if (region_it == s.regions.end()) {
-    region_it = s.regions
-                    .emplace(ms.region,
-                             Shard::RegionAccum(options_.dwell_min_seconds,
-                                                options_.dwell_max_seconds,
-                                                options_.dwell_growth))
-                    .first;
-  }
-  Shard::RegionAccum& acc = region_it->second;
-  const double duration = ms.DurationSeconds();
-  if (ms.event == MobilityEvent::kStay) {
-    ++acc.stays;
-    acc.total_dwell_seconds += duration;
-    acc.dwell.Add(duration);
-    if (duration >= options_.min_visit_seconds) ++acc.visits;
-  } else {
-    ++acc.passes;
-  }
+    // --- cumulative region gauges -----------------------------------
+    auto region_it = s.regions.find(ms.region);
+    if (region_it == s.regions.end()) {
+      region_it = s.regions
+                      .emplace(ms.region,
+                               Shard::RegionAccum(options_.dwell_min_seconds,
+                                                  options_.dwell_max_seconds,
+                                                  options_.dwell_growth))
+                      .first;
+    }
+    Shard::RegionAccum& acc = region_it->second;
+    const double duration = ms.DurationSeconds();
+    if (ms.event == MobilityEvent::kStay) {
+      ++acc.stays;
+      acc.total_dwell_seconds += duration;
+      acc.dwell.Add(duration);
+      if (duration >= options_.min_visit_seconds) ++acc.visits;
+    } else {
+      ++acc.passes;
+    }
 
-  // --- flow matrix + occupancy gauge --------------------------------
-  Shard::ObjectState& obj = s.objects[object_id];
-  if (obj.last_region != kInvalidId && obj.last_region != ms.region) {
-    ++s.flows[FlowKey(obj.last_region, ms.region)];
-  }
-  obj.last_region = ms.region;
-  if (obj.occupying) {
-    --s.regions.at(obj.occupied_region).occupancy;
-    obj.occupying = false;
-  }
-  if (ms.event == MobilityEvent::kStay) {
-    ++acc.occupancy;
-    obj.occupying = true;
-    obj.occupied_region = ms.region;
-  }
+    // --- flow matrix + occupancy gauge ------------------------------
+    Shard::ObjectState& obj = s.objects[object_id];
+    if (obj.last_region != kInvalidId && obj.last_region != ms.region) {
+      ++s.flows[FlowKey(obj.last_region, ms.region)];
+    }
+    obj.last_region = ms.region;
+    if (obj.occupying) {
+      --s.regions.at(obj.occupied_region).occupancy;
+      obj.occupying = false;
+    }
+    if (ms.event == MobilityEvent::kStay) {
+      ++acc.occupancy;
+      obj.occupying = true;
+      obj.occupied_region = ms.region;
+    }
 
-  // --- retention window (stay visits only: the windowed queries never
-  // look at passes) ---------------------------------------------------
-  if (ms.event != MobilityEvent::kStay) return;
-  if (s.max_bucket != INT64_MIN && bucket <= s.max_bucket - ring_buckets_) {
-    ++s.late_dropped;  // Already aged out of the horizon.
-    return;
-  }
-  if (bucket > s.max_bucket) {
-    // Advance the watermark, evicting every bucket the horizon left
-    // behind.
-    s.max_bucket = bucket;
-    const int64_t min_keep = bucket - ring_buckets_ + 1;
-    while (!s.buckets.empty() && s.buckets.begin()->first < min_keep) {
-      ++s.buckets_evicted;
-      s.buckets.erase(s.buckets.begin());
+    // --- retention window (stay visits only: the windowed queries
+    // never look at passes) -------------------------------------------
+    if (ms.event != MobilityEvent::kStay) return 0;
+    if (s.max_bucket != INT64_MIN && bucket <= s.max_bucket - ring_buckets_) {
+      ++s.late_dropped;  // Already aged out of the horizon.
+      return 0;
+    }
+    if (bucket > s.max_bucket) {
+      // Advance the watermark, evicting every bucket the horizon left
+      // behind.  Evicted visits leave the pre-aggregation sketch too —
+      // a stale counter here would make the sketch-served answers drift
+      // from what a scan of the retained visits returns.
+      s.max_bucket = bucket;
+      const int64_t min_keep = bucket - ring_buckets_ + 1;
+      while (!s.buckets.empty() && s.buckets.begin()->first < min_keep) {
+        ++s.buckets_evicted;
+        for (const StayVisit& visit : s.buckets.begin()->second.visits) {
+          s.preagg.RemoveVisit(visit.object_id, visit.region, visit.t_start,
+                               visit.t_end);
+          if (notify) evicted.push_back(visit);
+        }
+        s.buckets.erase(s.buckets.begin());
+      }
+    }
+    s.watermark_seconds = std::max(s.watermark_seconds, ms.t_end);
+    Shard::Bucket& slot = s.buckets[bucket];
+    slot.visits.push_back(
+        StayVisit{object_id, ms.region, ms.t_start, ms.t_end});
+    slot.max_t_start = std::max(slot.max_t_start, ms.t_start);
+    slot.min_t_end = std::min(slot.min_t_end, ms.t_end);
+    s.preagg.AddVisit(object_id, ms.region, ms.t_start, ms.t_end);
+    if (notify) {
+      added = StayVisit{object_id, ms.region, ms.t_start, ms.t_end};
+      has_added = true;
     }
   }
-  s.watermark_seconds = std::max(s.watermark_seconds, ms.t_end);
-  s.buckets[bucket].push_back(
-      StayVisit{object_id, ms.region, ms.t_start, ms.t_end});
+  if (!has_added && evicted.empty()) return 0;
+  return NotifySubscriptions(shard_index, mutation_seq,
+                             has_added ? &added : nullptr, evicted);
 }
 
 void AnalyticsEngine::NoteSessionClosed(int shard, int64_t object_id) {
@@ -193,85 +318,210 @@ void AnalyticsEngine::NoteSessionClosed(int shard, int64_t object_id) {
   if (it->second.occupying) {
     --s.regions.at(it->second.occupied_region).occupancy;
   }
+  // Retained visits (and so the sketches and standing answers) survive
+  // the close on purpose: a departed visitor still counts toward what
+  // was popular, exactly like the batch corpus.  Only the live
+  // per-object state goes.
   s.objects.erase(it);
 }
 
-template <typename Fn>
-void AnalyticsEngine::ForEachRetainedVisit(Fn&& fn) const {
-  for (const auto& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard->mu);
-    for (const auto& [index, visits] : shard->buckets) {
-      (void)index;
-      for (const StayVisit& visit : visits) fn(visit);
+int AnalyticsEngine::NotifySubscriptions(int shard_index,
+                                         uint64_t mutation_seq,
+                                         const StayVisit* added,
+                                         const std::vector<StayVisit>& evicted) {
+  int fired = 0;
+  std::shared_lock<std::shared_mutex> lock(subs_mu_);
+  for (const auto& sub : subs_) {
+    std::lock_guard<std::mutex> sub_lock(sub->mu);
+    // Seeded at or past this mutation: the seed already saw its effect.
+    if (mutation_seq <= sub->seeded_seq[static_cast<size_t>(shard_index)]) {
+      continue;
+    }
+    bool changed = false;
+    if (added != nullptr) {
+      changed |= sub->sketch.AddVisit(added->object_id, added->region,
+                                      added->t_start, added->t_end);
+    }
+    for (const StayVisit& visit : evicted) {
+      changed |= sub->sketch.RemoveVisit(visit.object_id, visit.region,
+                                         visit.t_start, visit.t_end);
+    }
+    if (changed && sub->EmitIfChanged()) ++fired;
+  }
+  if (fired > 0) {
+    deltas_pushed_.fetch_add(static_cast<uint64_t>(fired),
+                             std::memory_order_relaxed);
+  }
+  return fired;
+}
+
+int AnalyticsEngine::Subscribe(StandingQuery query,
+                               StandingQueryCallback callback) {
+  auto sub = std::make_shared<Subscription>(std::move(query),
+                                            std::move(callback));
+  // Lock order everywhere: subs_mu_ -> sub->mu -> a shard mutex.  The
+  // subscription's own mutex stays held across seeding + publication +
+  // the initial emit, so any worker that sees the subscription right
+  // after publication waits for sequence 1 to go out first; subs_mu_ is
+  // dropped before the initial emit so the callback may hit any engine
+  // API except Subscribe / Unsubscribe.
+  std::unique_lock<std::mutex> sub_lock(sub->mu, std::defer_lock);
+  {
+    std::unique_lock<std::shared_mutex> lock(subs_mu_);
+    sub_lock.lock();
+    // Raise the count before seeding: an ingest the seed misses is
+    // ordered after the seed by the shard mutex, so it observes a
+    // non-zero count and collects its delta for us.
+    standing_count_.fetch_add(1, std::memory_order_relaxed);
+    sub->id = next_subscription_id_++;
+    sub->seeded_seq.assign(shards_.size(), 0);
+    for (size_t i = 0; i < shards_.size(); ++i) {
+      Shard& s = *shards_[i];
+      std::lock_guard<std::mutex> shard_lock(s.mu);
+      for (const auto& [index, bucket] : s.buckets) {
+        (void)index;
+        for (const StayVisit& visit : bucket.visits) {
+          sub->sketch.AddVisit(visit.object_id, visit.region, visit.t_start,
+                               visit.t_end);
+        }
+      }
+      sub->seeded_seq[i] = s.mutation_seq;
+    }
+    subs_.push_back(sub);
+  }
+  // Initial snapshot (sequence 1), on the subscriber's thread.
+  if (sub->EmitIfChanged()) {
+    deltas_pushed_.fetch_add(1, std::memory_order_relaxed);
+  }
+  return sub->id;
+}
+
+bool AnalyticsEngine::Unsubscribe(int subscription_id) {
+  std::unique_lock<std::shared_mutex> lock(subs_mu_);
+  for (auto it = subs_.begin(); it != subs_.end(); ++it) {
+    if ((*it)->id == subscription_id) {
+      subs_.erase(it);
+      standing_count_.fetch_sub(1, std::memory_order_relaxed);
+      return true;
     }
   }
+  return false;
+}
+
+template <typename Fn>
+void AnalyticsEngine::ForEachRetainedVisit(const TimeWindow& window,
+                                           Fn&& fn) const {
+  // Buckets are keyed by floor(t_end / bucket_seconds), so every visit
+  // with t_end >= window.t_start lives at or after the window-start
+  // bucket: older buckets cannot intersect the window and are skipped.
+  int64_t min_bucket = INT64_MIN;
+  const double bucket_d = std::floor(window.t_start / options_.bucket_seconds);
+  if (bucket_d >= -9.0e18 && bucket_d <= 9.0e18) {
+    min_bucket = static_cast<int64_t>(bucket_d);
+  } else if (bucket_d > 9.0e18) {
+    min_bucket = INT64_MAX;  // The window starts after any bucketable time.
+  }
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    for (auto it = shard->buckets.lower_bound(min_bucket);
+         it != shard->buckets.end(); ++it) {
+      for (const StayVisit& visit : it->second.visits) fn(visit);
+    }
+  }
+}
+
+template <typename CountMap>
+bool AnalyticsEngine::FoldPreAgg(const TimeWindow& window,
+                                 CountMap* counts) const {
+  // The sketches count every retained visit (their window is unbounded),
+  // so their fold answers exactly when the query window covers all of
+  // them: it must reach past the latest visit start and before the
+  // earliest visit end.  Counts and the bounds that validate them are
+  // read under one lock acquisition per shard, so a racing ingest can
+  // only fail the coverage check (routing the query to the scan), never
+  // slip an out-of-window visit into an accepted fold.  Bounds come
+  // from the per-bucket aggregates: O(live buckets), not O(visits).
+  double max_t_start = -std::numeric_limits<double>::infinity();
+  double min_t_end = std::numeric_limits<double>::infinity();
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    for (const auto& [index, bucket] : shard->buckets) {
+      (void)index;
+      max_t_start = std::max(max_t_start, bucket.max_t_start);
+      min_t_end = std::min(min_t_end, bucket.min_t_end);
+    }
+    if constexpr (std::is_same_v<typename CountMap::key_type, RegionId>) {
+      shard->preagg.AccumulateRegionCounts(counts);
+    } else {
+      shard->preagg.AccumulatePairCounts(counts);
+    }
+  }
+  return window.t_start <= min_t_end && window.t_end >= max_t_start;
 }
 
 std::vector<RegionId> AnalyticsEngine::TopKPopularRegions(
     const std::vector<RegionId>& query_regions, const TimeWindow& window,
     size_t k, double min_visit_seconds) const {
-  const std::unordered_set<RegionId> query_set(query_regions.begin(),
-                                               query_regions.end());
-  // Mirrors the batch implementation's predicate and accumulator types
-  // exactly: a visit is a stay intersecting the window, lasting at least
-  // the threshold, at a queried region.
-  std::unordered_map<RegionId, int> visits;
-  ForEachRetainedVisit([&](const StayVisit& visit) {
-    if (visit.t_end - visit.t_start < min_visit_seconds) return;
-    if (!window.Overlaps(visit.t_start, visit.t_end)) return;
-    if (query_set.count(visit.region) == 0) return;
-    ++visits[visit.region];
-  });
-  std::vector<std::pair<RegionId, int>> ranked(visits.begin(), visits.end());
-  std::sort(ranked.begin(), ranked.end(), [](const auto& a, const auto& b) {
-    if (a.second != b.second) return a.second > b.second;
-    return a.first < b.first;
-  });
-  std::vector<RegionId> out;
-  for (size_t i = 0; i < ranked.size() && i < k; ++i) {
-    out.push_back(ranked[i].first);
+  if (min_visit_seconds == options_.min_visit_seconds) {
+    std::map<RegionId, int64_t> counts;
+    if (FoldPreAgg(window, &counts)) {
+      preagg_queries_.fetch_add(1, std::memory_order_relaxed);
+      const std::unordered_set<RegionId> query_set(query_regions.begin(),
+                                                   query_regions.end());
+      std::vector<std::pair<RegionId, int64_t>> filtered;
+      filtered.reserve(counts.size());
+      for (const auto& [region, count] : counts) {
+        if (query_set.count(region) > 0) filtered.emplace_back(region, count);
+      }
+      return query::RankTopK(std::move(filtered), k);
+    }
   }
-  return out;
+  scan_queries_.fetch_add(1, std::memory_order_relaxed);
+  // Scan fallback: the same shared predicate and accumulation, applied
+  // to each retained visit the window can reach.
+  const query::CompiledSpec spec(
+      query::VisitSpec{query_regions, false, window, min_visit_seconds});
+  query::TopKSketch sketch(&spec);
+  ForEachRetainedVisit(window, [&](const StayVisit& visit) {
+    sketch.AddVisit(visit.object_id, visit.region, visit.t_start,
+                    visit.t_end);
+  });
+  return sketch.TopKRegions(k);
 }
 
 std::vector<std::pair<RegionId, RegionId>>
 AnalyticsEngine::TopKFrequentRegionPairs(
     const std::vector<RegionId>& query_regions, const TimeWindow& window,
     size_t k, double min_visit_seconds) const {
-  const std::unordered_set<RegionId> query_set(query_regions.begin(),
-                                               query_regions.end());
-  // Group by object (the streaming analogue of "per corpus sequence"),
-  // then count each unordered pair once per object, exactly like the
-  // batch StayedRegions + pair loop.
-  std::unordered_map<int64_t, std::unordered_set<RegionId>> stayed;
-  ForEachRetainedVisit([&](const StayVisit& visit) {
-    if (visit.t_end - visit.t_start < min_visit_seconds) return;
-    if (!window.Overlaps(visit.t_start, visit.t_end)) return;
-    if (query_set.count(visit.region) == 0) return;
-    stayed[visit.object_id].insert(visit.region);
-  });
-  std::map<std::pair<RegionId, RegionId>, int> counts;
-  for (const auto& [object_id, region_set] : stayed) {
-    (void)object_id;
-    std::vector<RegionId> regions(region_set.begin(), region_set.end());
-    std::sort(regions.begin(), regions.end());
-    for (size_t i = 0; i < regions.size(); ++i) {
-      for (size_t j = i + 1; j < regions.size(); ++j) {
-        ++counts[{regions[i], regions[j]}];
+  if (min_visit_seconds == options_.min_visit_seconds) {
+    std::map<RegionPair, int64_t> counts;
+    if (FoldPreAgg(window, &counts)) {
+      preagg_queries_.fetch_add(1, std::memory_order_relaxed);
+      // A pair qualifies iff both endpoints are queried; its co-visit
+      // count never depends on other regions, so endpoint filtering is
+      // exact.
+      const std::unordered_set<RegionId> query_set(query_regions.begin(),
+                                                   query_regions.end());
+      std::vector<std::pair<RegionPair, int64_t>> filtered;
+      filtered.reserve(counts.size());
+      for (const auto& [pair, count] : counts) {
+        if (query_set.count(pair.first) > 0 &&
+            query_set.count(pair.second) > 0) {
+          filtered.emplace_back(pair, count);
+        }
       }
+      return query::RankTopK(std::move(filtered), k);
     }
   }
-  std::vector<std::pair<std::pair<RegionId, RegionId>, int>> ranked(
-      counts.begin(), counts.end());
-  std::sort(ranked.begin(), ranked.end(), [](const auto& a, const auto& b) {
-    if (a.second != b.second) return a.second > b.second;
-    return a.first < b.first;
+  scan_queries_.fetch_add(1, std::memory_order_relaxed);
+  const query::CompiledSpec spec(
+      query::VisitSpec{query_regions, false, window, min_visit_seconds});
+  query::TopKSketch sketch(&spec);
+  ForEachRetainedVisit(window, [&](const StayVisit& visit) {
+    sketch.AddVisit(visit.object_id, visit.region, visit.t_start,
+                    visit.t_end);
   });
-  std::vector<std::pair<RegionId, RegionId>> out;
-  for (size_t i = 0; i < ranked.size() && i < k; ++i) {
-    out.push_back(ranked[i].first);
-  }
-  return out;
+  return sketch.TopKPairs(k);
 }
 
 AnalyticsSnapshot AnalyticsEngine::Snapshot() const {
@@ -298,9 +548,9 @@ AnalyticsSnapshot AnalyticsEngine::Snapshot() const {
     snapshot.objects_tracked += shard->objects.size();
     snapshot.watermark_seconds =
         std::max(snapshot.watermark_seconds, shard->watermark_seconds);
-    for (const auto& [index, visits] : shard->buckets) {
+    for (const auto& [index, bucket] : shard->buckets) {
       (void)index;
-      snapshot.retained_visits += visits.size();
+      snapshot.retained_visits += bucket.visits.size();
     }
     for (const auto& [region, acc] : shard->regions) {
       auto it = regions.find(region);
@@ -322,6 +572,12 @@ AnalyticsSnapshot AnalyticsEngine::Snapshot() const {
     }
     for (const auto& [key, count] : shard->flows) flows[key] += count;
   }
+  snapshot.preagg_queries = preagg_queries_.load(std::memory_order_relaxed);
+  snapshot.scan_queries = scan_queries_.load(std::memory_order_relaxed);
+  // Atomics, not subs_mu_: a standing-query delta callback may call
+  // Snapshot() without self-deadlocking on the notify walk's lock.
+  snapshot.standing_queries = standing_count_.load(std::memory_order_relaxed);
+  snapshot.deltas_pushed = deltas_pushed_.load(std::memory_order_relaxed);
   snapshot.regions.reserve(regions.size());
   for (const auto& [region, merged] : regions) {
     RegionAnalytics out;

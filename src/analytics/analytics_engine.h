@@ -1,13 +1,15 @@
 #ifndef C2MN_ANALYTICS_ANALYTICS_ENGINE_H_
 #define C2MN_ANALYTICS_ANALYTICS_ENGINE_H_
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
+#include <shared_mutex>
 #include <utility>
 #include <vector>
 
 #include "data/msemantics.h"
-#include "eval/queries.h"
+#include "query/query_core.h"
 
 namespace c2mn {
 
@@ -61,6 +63,22 @@ struct AnalyticsSnapshot {
   /// Largest finite stay end-timestamp ingested so far (the retention
   /// watermark); 0 before any stay arrives.
   double watermark_seconds = 0.0;
+  /// Top-k polls answered from the pre-aggregated sketches vs. by
+  /// scanning retained visits (a query falls back to the scan when its
+  /// window or threshold does not match the maintained spec).
+  uint64_t preagg_queries = 0;
+  uint64_t scan_queries = 0;
+  /// Standing continuous queries currently subscribed, and the total
+  /// deltas pushed to their callbacks so far.
+  size_t standing_queries = 0;
+  uint64_t deltas_pushed = 0;
+  /// Submit-to-delta push latency over ingests that fired at least one
+  /// standing-query delta.  Filled by AnnotationService::AnalyticsStats()
+  /// (the engine alone has no submit timestamps); zero when standalone.
+  uint64_t push_samples = 0;
+  double push_p50_ms = 0.0;
+  double push_p99_ms = 0.0;
+  double push_max_ms = 0.0;
   /// Per-region gauges, sorted by region id.
   std::vector<RegionAnalytics> regions;
   /// Flow matrix edges, sorted by count desc, then (from, to) asc.
@@ -70,24 +88,31 @@ struct AnalyticsSnapshot {
 /// \brief An incremental analytics engine over streaming m-semantics: the
 /// read-side companion of AnnotationService.
 ///
-/// The batch queries in eval/queries.cc need a fully materialized
+/// The batch queries in eval/queries need a fully materialized
 /// AnnotatedCorpus; this engine answers the same top-k questions while
 /// the stream is still running.  Each shard owns thread-local
 /// accumulators (visit counts, dwell histograms, a region->region flow
-/// matrix, occupancy gauges) plus a coarse time-bucketed ring of stay
-/// visits; queries lock and fold the shards in deterministic shard order,
-/// so the answer never depends on thread scheduling.
+/// matrix, occupancy gauges), a coarse time-bucketed ring of stay
+/// visits, and a query::TopKSketch pre-aggregating the engine's default
+/// query spec (all regions, unbounded window, Options::min_visit_seconds)
+/// so matching top-k polls fold sorted counters instead of scanning
+/// every retained visit.  Queries lock and fold the shards in
+/// deterministic shard order, so the answer never depends on thread
+/// scheduling.
 ///
 /// Determinism / equivalence guarantee: TopKPopularRegions and
 /// TopKFrequentRegionPairs return exactly what the batch implementation
 /// returns on an AnnotatedCorpus holding the same m-semantics (one corpus
-/// sequence per object id), for any shard count, as long as no queried
-/// visit has aged out of the retention horizon.
+/// sequence per object id), for any shard count and regardless of which
+/// path (pre-aggregated or scan) serves the query, as long as no queried
+/// visit has aged out of the retention horizon.  Both paths share the
+/// predicate and ranking in query/query_core.h with the batch
+/// implementation, so they cannot drift apart.
 ///
 /// Thread model: Ingest / NoteSessionClosed for one shard must not race
 /// themselves (AnnotationService guarantees this by construction — one
-/// worker per shard); queries and snapshots are safe from any thread at
-/// any time.
+/// worker per shard); queries, snapshots, and Subscribe / Unsubscribe are
+/// safe from any thread at any time.
 class AnalyticsEngine {
  public:
   struct Options {
@@ -101,9 +126,11 @@ class AnalyticsEngine {
     /// shard's watermark age out (bounded memory).  Rounded up to a
     /// whole number of buckets.
     double horizon_seconds = 86400.0;
-    /// Minimum stay duration for the cumulative `visits` gauge.  The
-    /// windowed queries take their own threshold parameter, mirroring
-    /// the batch API.
+    /// Minimum stay duration for the cumulative `visits` gauge and the
+    /// pre-aggregated top-k sketches.  The windowed queries take their
+    /// own threshold parameter, mirroring the batch API; a poll whose
+    /// threshold equals this value (and whose window covers everything
+    /// retained) is served from the sketches.
     double min_visit_seconds = 0.0;
     /// Dwell-time histogram bucketization (seconds).
     double dwell_min_seconds = 1.0;
@@ -128,30 +155,52 @@ class AnalyticsEngine {
   /// Folds one completed m-semantics of `object_id` into shard `shard`.
   /// All m-semantics of one object must go to the same shard, in stream
   /// order (AnnotationService's object->shard mapping satisfies both).
-  void Ingest(int shard, int64_t object_id, const MSemantics& ms);
+  /// Returns the number of standing-query deltas this ingest pushed
+  /// (counting aging-driven evictions it triggered).
+  int Ingest(int shard, int64_t object_id, const MSemantics& ms);
 
   /// Single-shard-keyed convenience: shards by object id the same way
   /// AnnotationService does, for standalone use against OnlineAnnotator.
-  void Ingest(int64_t object_id, const MSemantics& ms);
+  int Ingest(int64_t object_id, const MSemantics& ms);
 
   /// Drops `object_id`'s per-object state (occupancy gauge, flow
-  /// predecessor).  Retained visits are unaffected.
+  /// predecessor).  Retained visits — and therefore the pre-aggregated
+  /// sketches and standing-query answers — are unaffected: a departed
+  /// visitor still counts toward what was popular, exactly as in the
+  /// batch corpus.
   void NoteSessionClosed(int shard, int64_t object_id);
   void NoteSessionClosed(int64_t object_id);
 
   /// \brief The k regions from `query_regions` with the most stay visits
   /// intersecting `window` — result-identical to the batch
-  /// c2mn::TopKPopularRegions on the same stream.
+  /// c2mn::TopKPopularRegions on the same stream.  Served from the
+  /// per-shard pre-aggregated sketches (O(distinct regions), independent
+  /// of retained-visit count) when `min_visit_seconds` equals
+  /// Options::min_visit_seconds and `window` covers every retained
+  /// visit; otherwise falls back to a window-pruned scan.
   std::vector<RegionId> TopKPopularRegions(
       const std::vector<RegionId>& query_regions, const TimeWindow& window,
       size_t k, double min_visit_seconds = 0.0) const;
 
   /// \brief The k unordered region pairs most frequently co-visited by
   /// the same object within `window` — result-identical to the batch
-  /// c2mn::TopKFrequentRegionPairs on the same stream.
+  /// c2mn::TopKFrequentRegionPairs on the same stream.  Same
+  /// pre-aggregated fast path as TopKPopularRegions.
   std::vector<std::pair<RegionId, RegionId>> TopKFrequentRegionPairs(
       const std::vector<RegionId>& query_regions, const TimeWindow& window,
       size_t k, double min_visit_seconds = 0.0) const;
+
+  /// \brief Registers a standing continuous query.  The subscription is
+  /// seeded from the currently retained visits and `callback` is invoked
+  /// immediately (on this thread) with the initial answer as delta
+  /// sequence 1; afterwards deltas fire on the worker whose ingest (or
+  /// retention-aging) changed the answer set.  Returns the subscription
+  /// id.
+  int Subscribe(StandingQuery query, StandingQueryCallback callback);
+
+  /// Removes a subscription; no callbacks fire after this returns.
+  /// Returns false if the id is unknown (or already unsubscribed).
+  bool Unsubscribe(int subscription_id);
 
   /// Merged view of every accumulator, deterministic for a quiesced
   /// stream regardless of shard count.
@@ -159,6 +208,7 @@ class AnalyticsEngine {
 
  private:
   struct Shard;
+  struct Subscription;
 
   /// One retained stay: enough to re-evaluate the batch visit predicate.
   struct StayVisit {
@@ -169,13 +219,54 @@ class AnalyticsEngine {
   };
 
   int ShardOf(int64_t object_id) const;
-  /// Walks every retained visit of every shard in shard order.
+  /// Walks every retained visit (of every shard, in shard order) whose
+  /// bucket can intersect `window` — buckets are keyed by visit end
+  /// time, so buckets entirely before the window's start are skipped.
   template <typename Fn>
-  void ForEachRetainedVisit(Fn&& fn) const;
+  void ForEachRetainedVisit(const TimeWindow& window, Fn&& fn) const;
+  /// Folds every shard's pre-aggregated counters (region or pair) and
+  /// retained-visit time bounds in one pass — counts and the bounds
+  /// validating them are read under the same lock acquisition, so a
+  /// race with ingest can only route the query to the scan fallback,
+  /// never count a visit outside the window.  Returns true when
+  /// `window` covers every retained visit (the folded counts answer the
+  /// query exactly).
+  template <typename CountMap>
+  bool FoldPreAgg(const TimeWindow& window, CountMap* counts) const;
+  /// Applies one ingest's visit delta (an added visit and/or evicted
+  /// visits) to every subscription; returns the number of deltas pushed.
+  int NotifySubscriptions(int shard_index, uint64_t mutation_seq,
+                          const StayVisit* added,
+                          const std::vector<StayVisit>& evicted);
 
   Options options_;
   int64_t ring_buckets_ = 1;
+  /// The spec the per-shard sketches maintain: every region, unbounded
+  /// window, Options::min_visit_seconds.
+  std::unique_ptr<query::CompiledSpec> preagg_spec_;
   std::vector<std::unique_ptr<Shard>> shards_;
+
+  /// Subscriptions: the list is guarded by subs_mu_ (shared for the
+  /// ingest-side notify walk, exclusive for Subscribe / Unsubscribe);
+  /// each subscription's counters live behind its own mutex.  One lock
+  /// order everywhere: subs_mu_ -> subscription mutex -> shard mutex.
+  /// Ingest never violates it because it collects its visit deltas
+  /// under the shard lock, releases it, and only then acquires subs_mu_
+  /// and the per-subscription mutexes.
+  mutable std::shared_mutex subs_mu_;
+  std::vector<std::shared_ptr<Subscription>> subs_;
+  int next_subscription_id_ = 1;
+  /// Mirrors subs_.size() / total deltas so Snapshot() (and therefore a
+  /// delta callback calling it) never touches subs_mu_.  standing_count_
+  /// also lets Ingest skip delta collection entirely when nobody is
+  /// subscribed: it is incremented before a new subscription seeds from
+  /// the shards, so any mutation a seed misses sees a non-zero count
+  /// (the shard mutex orders the two).
+  std::atomic<size_t> standing_count_{0};
+  std::atomic<uint64_t> deltas_pushed_{0};
+
+  mutable std::atomic<uint64_t> preagg_queries_{0};
+  mutable std::atomic<uint64_t> scan_queries_{0};
 };
 
 }  // namespace c2mn

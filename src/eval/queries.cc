@@ -1,91 +1,22 @@
 #include "eval/queries.h"
 
-#include <algorithm>
-#include <map>
 #include <set>
-#include <unordered_map>
 #include <unordered_set>
 
 namespace c2mn {
 
-namespace {
-
-/// Distinct regions from `query_regions` that `ms_seq` stays at within
-/// `window`.
-std::unordered_set<RegionId> StayedRegions(
-    const MSemanticsSequence& ms_seq,
-    const std::unordered_set<RegionId>& query_set, const TimeWindow& window,
-    double min_visit_seconds) {
-  std::unordered_set<RegionId> out;
-  for (const MSemantics& ms : ms_seq) {
-    if (ms.event != MobilityEvent::kStay) continue;
-    if (ms.DurationSeconds() < min_visit_seconds) continue;
-    if (!window.Overlaps(ms.t_start, ms.t_end)) continue;
-    if (query_set.count(ms.region) == 0) continue;
-    out.insert(ms.region);
-  }
-  return out;
-}
-
-}  // namespace
-
 std::vector<RegionId> TopKPopularRegions(
     const AnnotatedCorpus& corpus, const std::vector<RegionId>& query_regions,
     const TimeWindow& window, size_t k, double min_visit_seconds) {
-  const std::unordered_set<RegionId> query_set(query_regions.begin(),
-                                               query_regions.end());
-  std::unordered_map<RegionId, int> visits;
-  for (const MSemanticsSequence& ms_seq : corpus.semantics) {
-    for (const MSemantics& ms : ms_seq) {
-      // A visit is a stay m-semantics intersecting the window (footnote 8)
-      // and lasting long enough to be a purposeful stop.
-      if (ms.event != MobilityEvent::kStay) continue;
-      if (ms.DurationSeconds() < min_visit_seconds) continue;
-      if (!window.Overlaps(ms.t_start, ms.t_end)) continue;
-      if (query_set.count(ms.region) == 0) continue;
-      ++visits[ms.region];
-    }
-  }
-  std::vector<std::pair<RegionId, int>> ranked(visits.begin(), visits.end());
-  std::sort(ranked.begin(), ranked.end(), [](const auto& a, const auto& b) {
-    if (a.second != b.second) return a.second > b.second;
-    return a.first < b.first;
-  });
-  std::vector<RegionId> out;
-  for (size_t i = 0; i < ranked.size() && i < k; ++i) {
-    out.push_back(ranked[i].first);
-  }
-  return out;
+  return query::TopKPopularRegions(corpus, query_regions, window, k,
+                                   min_visit_seconds);
 }
 
 std::vector<std::pair<RegionId, RegionId>> TopKFrequentRegionPairs(
     const AnnotatedCorpus& corpus, const std::vector<RegionId>& query_regions,
     const TimeWindow& window, size_t k, double min_visit_seconds) {
-  const std::unordered_set<RegionId> query_set(query_regions.begin(),
-                                               query_regions.end());
-  std::map<std::pair<RegionId, RegionId>, int> counts;
-  for (const MSemanticsSequence& ms_seq : corpus.semantics) {
-    const auto stayed =
-        StayedRegions(ms_seq, query_set, window, min_visit_seconds);
-    std::vector<RegionId> regions(stayed.begin(), stayed.end());
-    std::sort(regions.begin(), regions.end());
-    for (size_t i = 0; i < regions.size(); ++i) {
-      for (size_t j = i + 1; j < regions.size(); ++j) {
-        ++counts[{regions[i], regions[j]}];
-      }
-    }
-  }
-  std::vector<std::pair<std::pair<RegionId, RegionId>, int>> ranked(
-      counts.begin(), counts.end());
-  std::sort(ranked.begin(), ranked.end(), [](const auto& a, const auto& b) {
-    if (a.second != b.second) return a.second > b.second;
-    return a.first < b.first;
-  });
-  std::vector<std::pair<RegionId, RegionId>> out;
-  for (size_t i = 0; i < ranked.size() && i < k; ++i) {
-    out.push_back(ranked[i].first);
-  }
-  return out;
+  return query::TopKFrequentRegionPairs(corpus, query_regions, window, k,
+                                        min_visit_seconds);
 }
 
 double TopKPrecision(const std::vector<RegionId>& truth,

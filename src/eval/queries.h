@@ -5,33 +5,14 @@
 #include <utility>
 #include <vector>
 
-#include "data/msemantics.h"
+#include "query/query_core.h"
 
 namespace c2mn {
 
-/// \brief The m-semantics of many objects, the input of the semantics-
-/// oriented queries (Section V-B4).
-struct AnnotatedCorpus {
-  /// Parallel vectors: object id and its m-semantics sequence.
-  std::vector<int64_t> object_ids;
-  std::vector<MSemanticsSequence> semantics;
-
-  void Add(int64_t object_id, MSemanticsSequence ms) {
-    object_ids.push_back(object_id);
-    semantics.push_back(std::move(ms));
-  }
-  size_t size() const { return semantics.size(); }
-};
-
-/// A query time window [t_start, t_end] in seconds.
-struct TimeWindow {
-  double t_start = 0.0;
-  double t_end = 0.0;
-
-  bool Overlaps(double s, double e) const {
-    return s <= t_end && e >= t_start;
-  }
-};
+// AnnotatedCorpus and TimeWindow live in query/query_core.h — the shared
+// query core behind this batch path, the streaming AnalyticsEngine, and
+// standing continuous queries.  This header keeps the original batch API
+// as a thin adapter over the core.
 
 /// \brief Top-k Popular Region Query: the k regions from `query_regions`
 /// with the most visits (stay m-semantics intersecting the window).
@@ -40,7 +21,8 @@ struct TimeWindow {
 /// the paper defines a stay as remaining "for a sufficiently long period
 /// of time", and the threshold screens out single-record stay blips that
 /// would otherwise register as visits.  Ties break toward the smaller
-/// region id, so precision comparisons are deterministic.
+/// region id (query::RankTopK), so precision comparisons are
+/// deterministic.
 std::vector<RegionId> TopKPopularRegions(
     const AnnotatedCorpus& corpus, const std::vector<RegionId>& query_regions,
     const TimeWindow& window, size_t k, double min_visit_seconds = 0.0);

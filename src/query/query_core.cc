@@ -1,0 +1,106 @@
+#include "query/query_core.h"
+
+namespace c2mn {
+namespace query {
+
+bool TopKSketch::AddVisit(int64_t object_id, RegionId region, double t_start,
+                          double t_end) {
+  if (!spec_->MatchesStay(region, t_start, t_end)) return false;
+  ++region_counts_[region];
+  auto& refs = object_region_refs_[object_id];
+  if (++refs[region] == 1) {
+    // The region just entered this object's co-visit set: one new
+    // co-visiting object for every pair it forms with the set.
+    for (const auto& [other, count] : refs) {
+      (void)count;
+      if (other != region) ++pair_counts_[MakeRegionPair(region, other)];
+    }
+  }
+  return true;
+}
+
+bool TopKSketch::RemoveVisit(int64_t object_id, RegionId region,
+                             double t_start, double t_end) {
+  if (!spec_->MatchesStay(region, t_start, t_end)) return false;
+  auto region_it = region_counts_.find(region);
+  if (region_it != region_counts_.end() && --region_it->second == 0) {
+    region_counts_.erase(region_it);
+  }
+  const auto object_it = object_region_refs_.find(object_id);
+  if (object_it == object_region_refs_.end()) return true;
+  auto& refs = object_it->second;
+  const auto ref_it = refs.find(region);
+  if (ref_it == refs.end()) return true;
+  if (--ref_it->second == 0) {
+    refs.erase(ref_it);
+    for (const auto& [other, count] : refs) {
+      (void)count;
+      const auto pair_it = pair_counts_.find(MakeRegionPair(region, other));
+      if (pair_it != pair_counts_.end() && --pair_it->second == 0) {
+        pair_counts_.erase(pair_it);
+      }
+    }
+    if (refs.empty()) object_region_refs_.erase(object_it);
+  }
+  return true;
+}
+
+std::vector<RegionId> TopKSketch::TopKRegions(size_t k) const {
+  return RankTopK(std::vector<std::pair<RegionId, int64_t>>(
+                      region_counts_.begin(), region_counts_.end()),
+                  k);
+}
+
+std::vector<RegionPair> TopKSketch::TopKPairs(size_t k) const {
+  return RankTopK(std::vector<std::pair<RegionPair, int64_t>>(
+                      pair_counts_.begin(), pair_counts_.end()),
+                  k);
+}
+
+void TopKSketch::AccumulateRegionCounts(
+    std::map<RegionId, int64_t>* out) const {
+  for (const auto& [region, count] : region_counts_) (*out)[region] += count;
+}
+
+void TopKSketch::AccumulatePairCounts(
+    std::map<RegionPair, int64_t>* out) const {
+  for (const auto& [pair, count] : pair_counts_) (*out)[pair] += count;
+}
+
+namespace {
+
+/// Feeds every stay of the corpus through a sketch, one synthetic object
+/// per corpus sequence (batch pair co-visits are per sequence).
+TopKSketch CorpusSketch(const AnnotatedCorpus& corpus,
+                        const CompiledSpec& spec) {
+  TopKSketch sketch(&spec);
+  for (size_t s = 0; s < corpus.semantics.size(); ++s) {
+    for (const MSemantics& ms : corpus.semantics[s]) {
+      if (ms.event != MobilityEvent::kStay) continue;
+      sketch.AddVisit(static_cast<int64_t>(s), ms.region, ms.t_start,
+                      ms.t_end);
+    }
+  }
+  return sketch;
+}
+
+}  // namespace
+
+std::vector<RegionId> TopKPopularRegions(
+    const AnnotatedCorpus& corpus, const std::vector<RegionId>& query_regions,
+    const TimeWindow& window, size_t k, double min_visit_seconds) {
+  const CompiledSpec spec(
+      VisitSpec{query_regions, false, window, min_visit_seconds});
+  return CorpusSketch(corpus, spec).TopKRegions(k);
+}
+
+std::vector<RegionPair> TopKFrequentRegionPairs(
+    const AnnotatedCorpus& corpus, const std::vector<RegionId>& query_regions,
+    const TimeWindow& window, size_t k, double min_visit_seconds) {
+  const CompiledSpec spec(
+      VisitSpec{query_regions, false, window, min_visit_seconds});
+  return CorpusSketch(corpus, spec).TopKPairs(k);
+}
+
+}  // namespace query
+}  // namespace c2mn

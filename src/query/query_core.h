@@ -1,0 +1,251 @@
+#ifndef C2MN_QUERY_QUERY_CORE_H_
+#define C2MN_QUERY_QUERY_CORE_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <map>
+#include <unordered_map>
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+#include "data/msemantics.h"
+
+/// \file The shared query core: one definition of the visit predicate,
+/// windowing, counting, ranking, and tie-breaking behind every top-k
+/// surface in the system.  Three consumers build on it:
+///
+///  - the batch path (eval/queries) over a fully materialized corpus,
+///  - the streaming poll path (AnalyticsEngine::TopK*), which answers
+///    from per-shard incrementally maintained TopKSketch instances when
+///    the query matches the engine's pre-aggregation spec, and from a
+///    window-pruned scan of retained visits otherwise,
+///  - standing continuous queries (AnalyticsEngine::Subscribe), whose
+///    sketches are updated on ingest and retention-aging and whose delta
+///    callbacks fire when the answer set changes.
+///
+/// Because all three share the predicate (query::VisitSpec) and the
+/// ranking (query::RankTopK), their answers are bit-identical on the
+/// same data — the equivalence replay test holds this by construction
+/// instead of by parallel re-implementation.
+
+namespace c2mn {
+
+/// \brief The m-semantics of many objects, the input of the semantics-
+/// oriented queries (Section V-B4).
+struct AnnotatedCorpus {
+  /// Parallel vectors: object id and its m-semantics sequence.
+  std::vector<int64_t> object_ids;
+  std::vector<MSemanticsSequence> semantics;
+
+  void Add(int64_t object_id, MSemanticsSequence ms) {
+    object_ids.push_back(object_id);
+    semantics.push_back(std::move(ms));
+  }
+  size_t size() const { return semantics.size(); }
+};
+
+/// A query time window [t_start, t_end] in seconds.
+struct TimeWindow {
+  double t_start = 0.0;
+  double t_end = 0.0;
+
+  bool Overlaps(double s, double e) const {
+    return s <= t_end && e >= t_start;
+  }
+  /// A window wide enough to cover any finite time period.
+  static TimeWindow All() {
+    return TimeWindow{-std::numeric_limits<double>::infinity(),
+                      std::numeric_limits<double>::infinity()};
+  }
+};
+
+/// An unordered region pair, stored (smaller id, larger id).
+using RegionPair = std::pair<RegionId, RegionId>;
+
+namespace query {
+
+inline RegionPair MakeRegionPair(RegionId a, RegionId b) {
+  return a < b ? RegionPair{a, b} : RegionPair{b, a};
+}
+
+/// \brief What counts as a visit for one query: a stay m-semantics whose
+/// time period intersects `window`, lasting at least `min_visit_seconds`
+/// (the paper defines a stay as remaining "for a sufficiently long
+/// period of time"; the threshold screens out single-record blips), at a
+/// region from `regions` (or any region when `all_regions` is set —
+/// note the distinction: an *empty* `regions` with `all_regions` false
+/// matches nothing, exactly like the batch query over an empty
+/// query-region list).
+struct VisitSpec {
+  std::vector<RegionId> regions;
+  bool all_regions = false;
+  TimeWindow window = TimeWindow::All();
+  double min_visit_seconds = 0.0;
+};
+
+/// A VisitSpec with its region set compiled for O(1) membership tests.
+/// Immutable after construction, so one instance is safely shared by
+/// concurrent readers (e.g. every shard's pre-aggregation sketch).
+class CompiledSpec {
+ public:
+  explicit CompiledSpec(VisitSpec spec)
+      : spec_(std::move(spec)),
+        region_set_(spec_.regions.begin(), spec_.regions.end()) {}
+
+  const VisitSpec& spec() const { return spec_; }
+
+  bool MatchesRegion(RegionId region) const {
+    return spec_.all_regions || region_set_.count(region) > 0;
+  }
+
+  /// The canonical visit predicate, on the raw fields a retained
+  /// StayVisit carries (the event is implied kStay).
+  bool MatchesStay(RegionId region, double t_start, double t_end) const {
+    return t_end - t_start >= spec_.min_visit_seconds &&
+           spec_.window.Overlaps(t_start, t_end) && MatchesRegion(region);
+  }
+
+  bool Matches(const MSemantics& ms) const {
+    return ms.event == MobilityEvent::kStay &&
+           MatchesStay(ms.region, ms.t_start, ms.t_end);
+  }
+
+ private:
+  VisitSpec spec_;
+  std::unordered_set<RegionId> region_set_;
+};
+
+/// \brief The canonical top-k ranking: count descending, key ascending on
+/// ties.  Every query surface ranks through this one function, so equal
+/// counts order identically across batch, streaming-poll, pre-aggregated,
+/// and standing paths, for any shard count.
+template <typename Key>
+std::vector<Key> RankTopK(std::vector<std::pair<Key, int64_t>> counted,
+                          size_t k) {
+  std::sort(counted.begin(), counted.end(),
+            [](const std::pair<Key, int64_t>& a,
+               const std::pair<Key, int64_t>& b) {
+              if (a.second != b.second) return a.second > b.second;
+              return a.first < b.first;
+            });
+  std::vector<Key> out;
+  out.reserve(counted.size() < k ? counted.size() : k);
+  for (size_t i = 0; i < counted.size() && i < k; ++i) {
+    out.push_back(counted[i].first);
+  }
+  return out;
+}
+
+/// \brief Incrementally maintained counters for one VisitSpec: per-region
+/// visit counts plus per-object co-visit pair counts, updated on ingest
+/// (AddVisit) and retention-aging (RemoveVisit).  Reading the top-k costs
+/// O(M log M) in the number of *distinct matched keys* M — independent of
+/// how many visits are retained, which is the pre-aggregation win over
+/// the scan path.
+///
+/// Pair semantics mirror the batch query exactly: an unordered pair is
+/// counted once per object that visited both regions (per-region
+/// refcounts keep that exact under removal).  Not thread-safe; the owner
+/// provides synchronization (a shard lock or a subscription mutex).
+class TopKSketch {
+ public:
+  /// `spec` must outlive the sketch.
+  explicit TopKSketch(const CompiledSpec* spec) : spec_(spec) {}
+
+  /// Folds one stay visit in; returns true iff it matched the spec (and
+  /// counters changed).
+  bool AddVisit(int64_t object_id, RegionId region, double t_start,
+                double t_end);
+
+  /// Reverses AddVisit for a visit that aged out of retention.  Must be
+  /// called with exactly the arguments of a prior matching AddVisit;
+  /// returns true iff the visit matched the spec.
+  bool RemoveVisit(int64_t object_id, RegionId region, double t_start,
+                   double t_end);
+
+  /// Current answers, ranked by the canonical tie-break.
+  std::vector<RegionId> TopKRegions(size_t k) const;
+  std::vector<RegionPair> TopKPairs(size_t k) const;
+
+  /// Adds this sketch's counters into cross-shard accumulators (ordered
+  /// maps, so folding shards 0..N-1 in order is deterministic).
+  void AccumulateRegionCounts(std::map<RegionId, int64_t>* out) const;
+  void AccumulatePairCounts(std::map<RegionPair, int64_t>* out) const;
+
+  const CompiledSpec& spec() const { return *spec_; }
+  bool empty() const { return region_counts_.empty(); }
+
+ private:
+  const CompiledSpec* spec_;
+  std::unordered_map<RegionId, int64_t> region_counts_;
+  std::map<RegionPair, int64_t> pair_counts_;
+  /// Per object, how many *matching retained visits* it has at each
+  /// region; a region enters the object's co-visit set at refcount 0->1
+  /// and leaves at 1->0.
+  std::unordered_map<int64_t, std::unordered_map<RegionId, int64_t>>
+      object_region_refs_;
+};
+
+/// \brief Batch reference implementations over a materialized corpus —
+/// the canonical semantics the streaming paths are proven against.  Pair
+/// co-visits are counted per corpus *sequence* (each sequence feeds the
+/// sketch as its own object), matching the original batch behavior even
+/// if two sequences share an object id.
+std::vector<RegionId> TopKPopularRegions(
+    const AnnotatedCorpus& corpus, const std::vector<RegionId>& query_regions,
+    const TimeWindow& window, size_t k, double min_visit_seconds = 0.0);
+
+std::vector<RegionPair> TopKFrequentRegionPairs(
+    const AnnotatedCorpus& corpus, const std::vector<RegionId>& query_regions,
+    const TimeWindow& window, size_t k, double min_visit_seconds = 0.0);
+
+}  // namespace query
+
+/// \brief A standing continuous top-k query: registered once, its answer
+/// maintained incrementally on every ingest and retention-aging event,
+/// with a delta pushed to the subscriber whenever the answer set changes
+/// — instead of the caller polling TopK* scans.
+struct StandingQuery {
+  enum class Kind {
+    kPopularRegions,   ///< Top-k regions by matching visit count.
+    kFrequentPairs,    ///< Top-k unordered pairs by co-visiting objects.
+  };
+  Kind kind = Kind::kPopularRegions;
+  /// Which visits the query counts.  The default spec (all regions,
+  /// unbounded window) ranks everything inside the retention horizon —
+  /// the streaming analogue of a sliding window whose width is the
+  /// engine's horizon_seconds.
+  query::VisitSpec spec;
+  size_t k = 10;
+};
+
+/// One pushed change of a standing query's answer.  `sequence` is
+/// per-subscription and starts at 1 (the initial snapshot delivered by
+/// Subscribe itself); applying deltas in sequence order reconstructs
+/// exactly what polling after quiescing would return.
+struct StandingQueryDelta {
+  int subscription_id = -1;
+  uint64_t sequence = 0;
+  /// Kind::kPopularRegions: the full current answer plus what changed
+  /// relative to the previous delta.
+  std::vector<RegionId> regions;
+  std::vector<RegionId> regions_entered;
+  std::vector<RegionId> regions_exited;
+  /// Kind::kFrequentPairs: same, for pairs.
+  std::vector<RegionPair> pairs;
+  std::vector<RegionPair> pairs_entered;
+  std::vector<RegionPair> pairs_exited;
+};
+
+/// Invoked on the worker that owns the mutating shard (or on the
+/// subscriber's thread for the initial snapshot).  Keep it fast: it runs
+/// on the ingest path.  It must not call back into Subscribe /
+/// Unsubscribe (self-deadlock); engine queries and Snapshot are safe.
+using StandingQueryCallback = std::function<void(const StandingQueryDelta&)>;
+
+}  // namespace c2mn
+
+#endif  // C2MN_QUERY_QUERY_CORE_H_

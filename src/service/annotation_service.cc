@@ -47,6 +47,9 @@ struct AnnotationService::Shard {
   uint64_t timestamp_violations = 0;
   /// Submit-to-emit latency in seconds (1 us .. 1000 s buckets).
   StreamingHistogram latency;
+  /// Submit-to-standing-query-delta latency, over the ops whose
+  /// analytics ingest pushed at least one delta.
+  StreamingHistogram push_latency;
 };
 
 AnnotationService::AnnotationService(const World& world,
@@ -213,10 +216,12 @@ void AnnotationService::WorkerLoop(Shard* shard) {
           const uint64_t violations_before =
               session->annotator.timestamp_violations();
           session->annotator.PushInto(op.record, &emitted);
+          int deltas_fired = 0;
           for (const MSemantics& ms : emitted) {
             if (session->sink) session->sink(session->object_id, ms);
             if (analytics_ != nullptr) {
-              analytics_->Ingest(shard->index, session->object_id, ms);
+              deltas_fired +=
+                  analytics_->Ingest(shard->index, session->object_id, ms);
             }
           }
           const double latency_s =
@@ -230,6 +235,7 @@ void AnnotationService::WorkerLoop(Shard* shard) {
             shard->timestamp_violations +=
                 session->annotator.timestamp_violations() - violations_before;
             shard->latency.Add(latency_s);
+            if (deltas_fired > 0) shard->push_latency.Add(latency_s);
           }
           break;
         }
@@ -238,18 +244,25 @@ void AnnotationService::WorkerLoop(Shard* shard) {
           if (it == shard->sessions.end()) break;
           Session* session = it->second.get();
           session->annotator.FlushInto(&emitted);
+          int deltas_fired = 0;
           for (const MSemantics& ms : emitted) {
             if (session->sink) session->sink(session->object_id, ms);
             if (analytics_ != nullptr) {
-              analytics_->Ingest(shard->index, session->object_id, ms);
+              deltas_fired +=
+                  analytics_->Ingest(shard->index, session->object_id, ms);
             }
           }
           if (analytics_ != nullptr) {
             analytics_->NoteSessionClosed(shard->index, session->object_id);
           }
+          const double latency_s =
+              std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                            op.submit_time)
+                  .count();
           {
             std::lock_guard<std::mutex> lock(shard->stats_mu);
             shard->semantics_emitted += emitted.size();
+            if (deltas_fired > 0) shard->push_latency.Add(latency_s);
           }
           shard->sessions.erase(it);
           break;
@@ -259,6 +272,42 @@ void AnnotationService::WorkerLoop(Shard* shard) {
     }
     batch.clear();
   }
+}
+
+Result<int> AnnotationService::SubscribeAnalytics(
+    StandingQuery query, StandingQueryCallback callback) {
+  if (analytics_ == nullptr) {
+    return Status::FailedPrecondition(
+        "analytics are disabled (Options::analytics.enabled)");
+  }
+  return analytics_->Subscribe(std::move(query), std::move(callback));
+}
+
+Status AnnotationService::UnsubscribeAnalytics(int subscription_id) {
+  if (analytics_ == nullptr) {
+    return Status::FailedPrecondition(
+        "analytics are disabled (Options::analytics.enabled)");
+  }
+  if (!analytics_->Unsubscribe(subscription_id)) {
+    return Status::NotFound("no standing query with id " +
+                            std::to_string(subscription_id));
+  }
+  return Status::OK();
+}
+
+AnalyticsSnapshot AnnotationService::AnalyticsStats() const {
+  if (analytics_ == nullptr) return AnalyticsSnapshot{};
+  AnalyticsSnapshot snapshot = analytics_->Snapshot();
+  StreamingHistogram push_latency;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->stats_mu);
+    push_latency.Merge(shard->push_latency);
+  }
+  snapshot.push_samples = push_latency.count();
+  snapshot.push_p50_ms = push_latency.Quantile(0.5) * 1e3;
+  snapshot.push_p99_ms = push_latency.Quantile(0.99) * 1e3;
+  snapshot.push_max_ms = push_latency.max() * 1e3;
+  return snapshot;
 }
 
 ServiceStats AnnotationService::Stats() const {

@@ -118,12 +118,23 @@ class AnnotationService {
   /// runs; Drain() first for answers covering everything submitted.
   const AnalyticsEngine* analytics() const { return analytics_.get(); }
 
-  /// Merged analytics gauges alongside ServiceStats; empty when
-  /// analytics are disabled.
-  AnalyticsSnapshot AnalyticsStats() const {
-    return analytics_ != nullptr ? analytics_->Snapshot()
-                                 : AnalyticsSnapshot{};
-  }
+  /// \brief Registers a standing continuous top-k query over the live
+  /// analytics stream.  The callback receives the initial answer
+  /// (sequence 1) on this thread before the call returns, then a delta
+  /// on the owning shard worker every time ingest or retention-aging
+  /// changes the answer set.  Keep callbacks fast — they run on the
+  /// record-processing path.  Fails when analytics are disabled.
+  Result<int> SubscribeAnalytics(StandingQuery query,
+                                 StandingQueryCallback callback);
+
+  /// Cancels a standing query; no deltas fire after this returns.
+  Status UnsubscribeAnalytics(int subscription_id);
+
+  /// Merged analytics gauges alongside ServiceStats, including
+  /// standing-query push latency (submit to delta-callback-returned,
+  /// over ingests that pushed at least one delta); empty when analytics
+  /// are disabled.
+  AnalyticsSnapshot AnalyticsStats() const;
 
   int num_shards() const { return static_cast<int>(shards_.size()); }
 

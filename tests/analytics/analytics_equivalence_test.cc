@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include <mutex>
 #include <vector>
 
 #include "analytics/analytics_engine.h"
@@ -38,6 +39,9 @@ class AnalyticsEquivalenceTest : public ::testing::Test {
     std::vector<std::pair<RegionId, RegionId>> pairs[3];
     std::vector<RegionId> batch_popular[3];
     std::vector<std::pair<RegionId, RegionId>> batch_pairs[3];
+    /// The last delta pushed by a standing top-k subscribed before any
+    /// record was submitted.
+    std::vector<RegionId> standing_answer;
   };
 
   Replay Run(int num_shards) {
@@ -50,8 +54,28 @@ class AnalyticsEquivalenceTest : public ::testing::Test {
     // A horizon wide enough that nothing ages out during the replay.
     options.analytics.engine.bucket_seconds = 60.0;
     options.analytics.engine.horizon_seconds = 1e9;
+    // A standing query riding along with the replay: its final pushed
+    // answer must equal the poll (and therefore the batch answer).  Its
+    // captured state precedes the service so teardown-time deltas (an
+    // early EXPECT failure path) never touch destroyed objects.
+    std::mutex standing_mu;
+    std::vector<RegionId> standing_answer;
+
     AnnotationService service(*scenario_.world, FeatureOptions{},
                               C2mnStructure{}, weights_, options);
+
+    StandingQuery standing;
+    standing.spec.all_regions = true;
+    standing.k = 5;
+    EXPECT_TRUE(service
+                    .SubscribeAnalytics(
+                        standing,
+                        [&standing_mu, &standing_answer](
+                            const StandingQueryDelta& delta) {
+                          std::lock_guard<std::mutex> lock(standing_mu);
+                          standing_answer = delta.regions;
+                        })
+                    .ok());
 
     const size_t n = sources_.size();
     std::vector<MSemanticsSequence> emitted(n);
@@ -111,6 +135,17 @@ class AnalyticsEquivalenceTest : public ::testing::Test {
       replay.batch_pairs[q] = TopKFrequentRegionPairs(
           replay.corpus, query_regions, windows[q], k[q], min_visit[q]);
     }
+    {
+      std::lock_guard<std::mutex> lock(standing_mu);
+      replay.standing_answer = standing_answer;
+    }
+    // The refreshed snapshot sees the queries above: query 0 (window
+    // covering everything, threshold 0 = the engine's maintained spec)
+    // must have been served by the pre-aggregated sketches, the sliced
+    // windows by the scan fallback.
+    replay.snapshot = service.AnalyticsStats();
+    EXPECT_GE(replay.snapshot.preagg_queries, 2u);
+    EXPECT_GE(replay.snapshot.scan_queries, 2u);
     return replay;
   }
 
@@ -129,9 +164,14 @@ TEST_F(AnalyticsEquivalenceTest, TopKIdenticalToBatchAcrossShardCounts) {
     EXPECT_EQ(first.popular[q], first.batch_popular[q]) << "query " << q;
     EXPECT_EQ(first.pairs[q], first.batch_pairs[q]) << "query " << q;
   }
+  // The standing query's final pushed answer is the polled (and batch)
+  // top-5 over everything retained.
+  EXPECT_EQ(first.standing_answer, first.popular[0]);
 
   for (int shards : {2, 4}) {
     const Replay replay = Run(shards);
+    EXPECT_EQ(replay.standing_answer, replay.popular[0])
+        << shards << " shards";
     for (int q = 0; q < 3; ++q) {
       // Engine == its own run's batch answers...
       EXPECT_EQ(replay.popular[q], replay.batch_popular[q])

@@ -1,0 +1,343 @@
+#include <gtest/gtest.h>
+
+#include <mutex>
+#include <vector>
+
+#include "analytics/analytics_engine.h"
+#include "core/options.h"
+#include "service/annotation_service.h"
+#include "tests/test_util.h"
+
+namespace c2mn {
+namespace {
+
+MSemantics Stay(RegionId region, double t_start, double t_end) {
+  MSemantics ms;
+  ms.region = region;
+  ms.t_start = t_start;
+  ms.t_end = t_end;
+  ms.event = MobilityEvent::kStay;
+  ms.support = 1;
+  return ms;
+}
+
+/// Collects every delta a subscription pushes; thread-safe so service
+/// workers can feed it.
+struct DeltaLog {
+  std::mutex mu;
+  std::vector<StandingQueryDelta> deltas;
+
+  StandingQueryCallback Callback() {
+    return [this](const StandingQueryDelta& delta) {
+      std::lock_guard<std::mutex> lock(mu);
+      deltas.push_back(delta);
+    };
+  }
+  size_t size() {
+    std::lock_guard<std::mutex> lock(mu);
+    return deltas.size();
+  }
+  StandingQueryDelta last() {
+    std::lock_guard<std::mutex> lock(mu);
+    return deltas.back();
+  }
+  /// Re-applies entered/exited in sequence order and checks the running
+  /// set always matches the delta's own full answer.
+  std::vector<RegionId> ReconstructRegions() {
+    std::lock_guard<std::mutex> lock(mu);
+    std::vector<RegionId> state;
+    uint64_t expected_sequence = 1;
+    for (const StandingQueryDelta& delta : deltas) {
+      EXPECT_EQ(delta.sequence, expected_sequence++);
+      for (RegionId r : delta.regions_exited) {
+        state.erase(std::remove(state.begin(), state.end(), r), state.end());
+      }
+      for (RegionId r : delta.regions_entered) state.push_back(r);
+      // Order within the answer comes from the delta itself; membership
+      // must agree with the incremental reconstruction.
+      std::vector<RegionId> sorted_state = state;
+      std::vector<RegionId> sorted_answer = delta.regions;
+      std::sort(sorted_state.begin(), sorted_state.end());
+      std::sort(sorted_answer.begin(), sorted_answer.end());
+      EXPECT_EQ(sorted_state, sorted_answer)
+          << "delta sequence " << delta.sequence;
+      state = delta.regions;
+    }
+    return state;
+  }
+};
+
+TEST(StandingQueryTest, DeltasFireOnAnswerChangesOnly) {
+  AnalyticsEngine engine(AnalyticsEngine::Options{});
+  StandingQuery standing;
+  standing.spec.all_regions = true;
+  standing.k = 2;
+  DeltaLog log;
+  const int id = engine.Subscribe(standing, log.Callback());
+  EXPECT_GE(id, 1);
+  // The initial snapshot (empty answer) arrives synchronously.
+  ASSERT_EQ(log.size(), 1u);
+  EXPECT_EQ(log.last().sequence, 1u);
+  EXPECT_TRUE(log.last().regions.empty());
+
+  engine.Ingest(1, Stay(5, 0.0, 10.0));
+  ASSERT_EQ(log.size(), 2u);
+  EXPECT_EQ(log.last().regions, (std::vector<RegionId>{5}));
+  EXPECT_EQ(log.last().regions_entered, (std::vector<RegionId>{5}));
+
+  // A second visit at region 5: counts change but the top-2 answer
+  // (still just {5}) does not — no delta.
+  engine.Ingest(2, Stay(5, 1.0, 11.0));
+  EXPECT_EQ(log.size(), 2u);
+
+  // Region 7 enters the top-2.
+  engine.Ingest(1, Stay(7, 12.0, 20.0));
+  ASSERT_EQ(log.size(), 3u);
+  EXPECT_EQ(log.last().regions, (std::vector<RegionId>{5, 7}));
+
+  // Region 7 overtakes region 5: same set, different order — the
+  // ranked answer changed, so a delta fires with empty entered/exited.
+  engine.Ingest(2, Stay(7, 13.0, 21.0));
+  engine.Ingest(3, Stay(7, 14.0, 22.0));
+  ASSERT_EQ(log.size(), 4u);
+  EXPECT_EQ(log.last().regions, (std::vector<RegionId>{7, 5}));
+  EXPECT_TRUE(log.last().regions_entered.empty());
+  EXPECT_TRUE(log.last().regions_exited.empty());
+
+  EXPECT_EQ(engine.Snapshot().standing_queries, 1u);
+  EXPECT_EQ(engine.Snapshot().deltas_pushed, 4u);
+  EXPECT_TRUE(engine.Unsubscribe(id));
+  EXPECT_FALSE(engine.Unsubscribe(id));
+  // Unsubscribed: further ingest pushes nothing.
+  engine.Ingest(4, Stay(9, 30.0, 40.0));
+  EXPECT_EQ(log.size(), 4u);
+  EXPECT_EQ(engine.Snapshot().standing_queries, 0u);
+}
+
+TEST(StandingQueryTest, CallbackMayQueryAndSnapshotTheEngine) {
+  // Delta callbacks run inside the notify walk; the engine guarantees
+  // its queries and Snapshot stay callable from there (only
+  // Subscribe/Unsubscribe are off limits).
+  AnalyticsEngine engine(AnalyticsEngine::Options{});
+  StandingQuery standing;
+  standing.spec.all_regions = true;
+  standing.k = 3;
+  uint64_t snapshots_taken = 0;
+  engine.Subscribe(standing, [&engine, &snapshots_taken](
+                                 const StandingQueryDelta& delta) {
+    const AnalyticsSnapshot snap = engine.Snapshot();
+    EXPECT_EQ(snap.standing_queries, 1u);
+    const auto poll =
+        engine.TopKPopularRegions({5, 6, 7}, TimeWindow::All(), 3);
+    EXPECT_EQ(poll, delta.regions);
+    ++snapshots_taken;
+  });
+  engine.Ingest(1, Stay(5, 0.0, 10.0));
+  engine.Ingest(1, Stay(6, 11.0, 20.0));
+  EXPECT_EQ(snapshots_taken, 3u);  // Initial snapshot + two deltas.
+}
+
+TEST(StandingQueryTest, SubscribeMidStreamSeedsFromRetainedVisits) {
+  AnalyticsEngine engine(AnalyticsEngine::Options{});
+  engine.Ingest(1, Stay(3, 0.0, 10.0));
+  engine.Ingest(1, Stay(4, 12.0, 20.0));
+  engine.Ingest(2, Stay(3, 0.0, 10.0));
+
+  StandingQuery standing;
+  standing.spec.all_regions = true;
+  standing.k = 5;
+  DeltaLog log;
+  engine.Subscribe(standing, log.Callback());
+  // The initial snapshot already ranks the retained visits.
+  ASSERT_EQ(log.size(), 1u);
+  EXPECT_EQ(log.last().regions, (std::vector<RegionId>{3, 4}));
+  EXPECT_EQ(log.last().regions_entered, (std::vector<RegionId>{3, 4}));
+
+  StandingQuery pairs;
+  pairs.kind = StandingQuery::Kind::kFrequentPairs;
+  pairs.spec.all_regions = true;
+  pairs.k = 5;
+  DeltaLog pair_log;
+  engine.Subscribe(pairs, pair_log.Callback());
+  ASSERT_EQ(pair_log.size(), 1u);
+  EXPECT_EQ(pair_log.last().pairs, (std::vector<RegionPair>{{3, 4}}));
+}
+
+TEST(StandingQueryTest, FilteredSpecIgnoresOtherRegions) {
+  AnalyticsEngine engine(AnalyticsEngine::Options{});
+  StandingQuery standing;
+  standing.spec.regions = {1, 2};
+  standing.spec.min_visit_seconds = 10.0;
+  standing.k = 5;
+  DeltaLog log;
+  engine.Subscribe(standing, log.Callback());
+  ASSERT_EQ(log.size(), 1u);
+
+  engine.Ingest(1, Stay(9, 0.0, 60.0));   // Region not watched.
+  engine.Ingest(1, Stay(1, 60.0, 65.0));  // Watched but too short.
+  EXPECT_EQ(log.size(), 1u);
+  engine.Ingest(1, Stay(2, 70.0, 90.0));
+  ASSERT_EQ(log.size(), 2u);
+  EXPECT_EQ(log.last().regions, (std::vector<RegionId>{2}));
+}
+
+/// The regression the scan path used to hide: visits aging out of the
+/// retention horizon must decrement the sketches and push deltas for
+/// the evicted regions — including visits of sessions already closed.
+TEST(StandingQueryTest, RetentionAgingFiresEvictionDeltas) {
+  AnalyticsEngine::Options options;
+  options.bucket_seconds = 10.0;
+  options.horizon_seconds = 30.0;
+  AnalyticsEngine engine(options);
+
+  StandingQuery standing;
+  standing.spec.all_regions = true;
+  standing.k = 5;
+  DeltaLog log;
+  engine.Subscribe(standing, log.Callback());
+
+  engine.Ingest(1, Stay(1, 0.0, 5.0));
+  engine.Ingest(1, Stay(2, 6.0, 9.0));
+  engine.Ingest(2, Stay(1, 0.0, 8.0));
+  ASSERT_EQ(log.last().regions, (std::vector<RegionId>{1, 2}));
+  const size_t before = log.size();
+  // Object 1's session closes; its retained visits must keep counting
+  // (batch semantics) until they age out.
+  engine.NoteSessionClosed(1);
+  EXPECT_EQ(log.size(), before);
+  EXPECT_EQ(engine.TopKPopularRegions({1, 2}, TimeWindow::All(), 5),
+            (std::vector<RegionId>{1, 2}));
+
+  // A far-future stay advances the watermark past the horizon: every
+  // earlier visit evicts, and the standing answer must shed regions 1
+  // and 2 in the same delta that admits region 3.
+  engine.Ingest(3, Stay(3, 200.0, 205.0));
+  const StandingQueryDelta last = log.last();
+  EXPECT_EQ(last.regions, (std::vector<RegionId>{3}));
+  std::vector<RegionId> exited = last.regions_exited;
+  std::sort(exited.begin(), exited.end());
+  EXPECT_EQ(exited, (std::vector<RegionId>{1, 2}));
+  // The pre-aggregated poll agrees (nothing stale left behind).
+  EXPECT_EQ(engine.TopKPopularRegions({1, 2, 3}, TimeWindow::All(), 5),
+            (std::vector<RegionId>{3}));
+  const AnalyticsSnapshot snap = engine.Snapshot();
+  EXPECT_EQ(snap.retained_visits, 1u);
+  EXPECT_GT(snap.buckets_evicted, 0u);
+}
+
+TEST(StandingQueryTest, PairEvictionDecrementsCoVisits) {
+  AnalyticsEngine::Options options;
+  options.bucket_seconds = 10.0;
+  options.horizon_seconds = 20.0;
+  AnalyticsEngine engine(options);
+
+  StandingQuery standing;
+  standing.kind = StandingQuery::Kind::kFrequentPairs;
+  standing.spec.all_regions = true;
+  standing.k = 5;
+  DeltaLog log;
+  engine.Subscribe(standing, log.Callback());
+
+  engine.Ingest(1, Stay(1, 0.0, 5.0));
+  engine.Ingest(1, Stay(2, 6.0, 9.0));
+  ASSERT_EQ(log.last().pairs, (std::vector<RegionPair>{{1, 2}}));
+
+  // Aging out region 1's visit dissolves the co-visit pair.
+  engine.Ingest(1, Stay(2, 100.0, 105.0));
+  EXPECT_EQ(log.last().pairs, std::vector<RegionPair>{});
+  EXPECT_EQ(log.last().pairs_exited, (std::vector<RegionPair>{{1, 2}}));
+}
+
+/// End-to-end through the service: deltas pushed from shard workers
+/// reconstruct exactly the answer a poll returns after draining, for
+/// every shard count, and push latency lands in AnalyticsStats.
+TEST(StandingQueryServiceTest, PushedDeltasReconstructPolledAnswer) {
+  const Scenario& scenario = testing_util::SmallMallScenario();
+  std::vector<double> weights(static_cast<size_t>(kNumWeights), 0.5);
+  std::vector<std::vector<PositioningRecord>> sources;
+  for (const LabeledSequence& ls : scenario.dataset.sequences) {
+    std::vector<PositioningRecord> records = ls.sequence.records;
+    if (records.size() > 120) records.resize(120);
+    sources.push_back(std::move(records));
+  }
+
+  std::vector<RegionId> query_regions;
+  for (const SemanticRegion& region : scenario.world->plan().regions()) {
+    query_regions.push_back(region.id);
+  }
+
+  std::vector<RegionId> first_answer;
+  for (int shards : {1, 2, 4}) {
+    AnnotationService::Options options;
+    options.num_shards = shards;
+    options.annotator.window_records = 24;
+    options.annotator.finalize_lag = 6;
+    options.annotator.decode_stride = 4;
+    options.analytics.enabled = true;
+    options.analytics.engine.horizon_seconds = 1e9;
+    // Callback state outlives the service (declared first): workers can
+    // still push deltas from ~AnnotationService's final Drain().
+    DeltaLog log;
+    AnnotationService service(*scenario.world, FeatureOptions{},
+                              C2mnStructure{}, weights, options);
+
+    StandingQuery standing;
+    standing.spec.all_regions = true;
+    standing.k = 5;
+    auto subscribed = service.SubscribeAnalytics(standing, log.Callback());
+    ASSERT_TRUE(subscribed.ok()) << subscribed.status().ToString();
+
+    for (size_t i = 0; i < sources.size(); ++i) {
+      ASSERT_TRUE(service.OpenSession(static_cast<int64_t>(i), nullptr).ok());
+    }
+    for (size_t i = 0; i < sources.size(); ++i) {
+      for (const PositioningRecord& rec : sources[i]) {
+        ASSERT_TRUE(service.Submit(static_cast<int64_t>(i), rec).ok());
+      }
+    }
+    for (size_t i = 0; i < sources.size(); ++i) {
+      ASSERT_TRUE(service.CloseSession(static_cast<int64_t>(i)).ok());
+    }
+    service.Drain();
+
+    // Replaying the delta stream must land exactly on the polled
+    // answer (same engine, same spec: unbounded window, threshold 0).
+    const std::vector<RegionId> polled = service.analytics()->TopKPopularRegions(
+        query_regions, TimeWindow::All(), standing.k);
+    ASSERT_FALSE(polled.empty());
+    EXPECT_EQ(log.ReconstructRegions(), polled) << shards << " shards";
+    EXPECT_EQ(log.last().regions, polled) << shards << " shards";
+
+    // The final answer is shard-count invariant (delta *timing* need
+    // not be: interleaving differs, the fixed point does not).
+    if (first_answer.empty()) {
+      first_answer = polled;
+    } else {
+      EXPECT_EQ(polled, first_answer) << shards << " shards";
+    }
+
+    const AnalyticsSnapshot snap = service.AnalyticsStats();
+    EXPECT_EQ(snap.standing_queries, 1u);
+    EXPECT_GT(snap.deltas_pushed, 1u);
+    EXPECT_GT(snap.push_samples, 0u);
+    EXPECT_GE(snap.push_p99_ms, snap.push_p50_ms);
+
+    ASSERT_TRUE(service.UnsubscribeAnalytics(*subscribed).ok());
+    EXPECT_FALSE(service.UnsubscribeAnalytics(*subscribed).ok());
+  }
+}
+
+TEST(StandingQueryServiceTest, SubscribeFailsWithoutAnalytics) {
+  const Scenario& scenario = testing_util::SmallMallScenario();
+  std::vector<double> weights(static_cast<size_t>(kNumWeights), 0.5);
+  AnnotationService service(*scenario.world, FeatureOptions{},
+                            C2mnStructure{}, weights);
+  StandingQuery standing;
+  auto result = service.SubscribeAnalytics(
+      standing, [](const StandingQueryDelta&) {});
+  EXPECT_FALSE(result.ok());
+  EXPECT_FALSE(service.UnsubscribeAnalytics(1).ok());
+}
+
+}  // namespace
+}  // namespace c2mn

@@ -13,11 +13,13 @@
 //   serve-sim [--objects N] [--shards K] [--producers P] [--iters N]
 //       Replay simulator traffic through the concurrent AnnotationService
 //       and report throughput / latency statistics.
-//   analytics [--objects N] [--shards K] [--k K] [--min-visit S]
+//   analytics [--objects N] [--shards K] [--k K] [--min-visit S] [--follow]
 //       Replay simulator traffic with the live analytics engine enabled,
 //       print top-k popular regions / frequent pairs plus dwell, flow,
 //       and occupancy gauges, and cross-check the answers against the
-//       batch eval/queries implementation.
+//       batch eval/queries implementation.  With --follow, standing
+//       continuous queries are subscribed before the replay and every
+//       pushed delta (answer-set change) is printed as it fires.
 //
 // All subcommands accept --seed (default 7) which controls the generated
 // venue, so weights and data stay consistent across invocations.
@@ -27,6 +29,7 @@
 #include <cstring>
 #include <fstream>
 #include <map>
+#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
@@ -55,6 +58,7 @@ struct Args {
     const auto it = options.find(key);
     return it != options.end() ? it->second.c_str() : fallback;
   }
+  bool GetFlag(const std::string& key) const { return Get(key) != nullptr; }
   int GetInt(const std::string& key, int fallback) const {
     const char* v = Get(key);
     return v != nullptr ? std::atoi(v) : fallback;
@@ -82,9 +86,11 @@ int Usage() {
                "[--iters N] [--threads T] [--weights W.txt] [--seed S]\n"
                "  analytics [--objects N] [--shards K] [--k K] "
                "[--min-visit S] [--iters N] [--threads T] "
-               "[--weights W.txt] [--seed S]\n"
+               "[--weights W.txt] [--seed S] [--follow]\n"
                "  --threads T: trainer worker threads (0 = all cores); the\n"
-               "  learned weights are bit-identical for every T.\n");
+               "  learned weights are bit-identical for every T.\n"
+               "  --follow: subscribe standing top-k queries and print each\n"
+               "  pushed delta while the replay streams.\n");
   return 2;
 }
 
@@ -328,13 +334,73 @@ int Analytics(const Args& args) {
   std::vector<double> weights;
   if (!LoadOrTrainWeights(args, scenario, &weights)) return 1;
 
+  const size_t k = static_cast<size_t>(args.GetInt("k", 5));
+  const double min_visit = args.GetDouble("min-visit", 30.0);
+  const bool follow = args.GetFlag("follow");
+
   AnnotationService::Options options;
   options.num_shards = args.GetInt("shards", 4);
   options.analytics.enabled = true;
-  options.analytics.engine.min_visit_seconds =
-      args.GetDouble("min-visit", 30.0);
+  options.analytics.engine.min_visit_seconds = min_visit;
+
+  // --follow: standing continuous queries subscribed before any record
+  // streams.  Deltas print from the shard workers as the answer set
+  // changes; the final pushed answers are cross-checked against the
+  // poll below.  The captured state is declared before the service so
+  // it outlives any delta the service's own teardown can still push.
+  std::mutex follow_mu;
+  std::vector<RegionId> followed_regions;
+  std::vector<std::pair<RegionId, RegionId>> followed_pairs;
+  const auto& plan = scenario.world->plan();
+
   AnnotationService service(*scenario.world, FeatureOptions{}, C2mnStructure{},
                             weights, options);
+  if (follow) {
+    StandingQuery top_regions;
+    top_regions.spec.all_regions = true;
+    top_regions.spec.min_visit_seconds = min_visit;
+    top_regions.k = k;
+    service.SubscribeAnalytics(
+        top_regions, [&follow_mu, &followed_regions, &plan](
+                         const StandingQueryDelta& delta) {
+          std::lock_guard<std::mutex> lock(follow_mu);
+          followed_regions = delta.regions;
+          std::printf("[follow regions #%03" PRIu64 "]", delta.sequence);
+          for (RegionId r : delta.regions_entered) {
+            std::printf(" +%s", plan.region(r).name.c_str());
+          }
+          for (RegionId r : delta.regions_exited) {
+            std::printf(" -%s", plan.region(r).name.c_str());
+          }
+          std::printf("  => {");
+          for (size_t i = 0; i < delta.regions.size(); ++i) {
+            std::printf("%s%s", i > 0 ? ", " : "",
+                        plan.region(delta.regions[i]).name.c_str());
+          }
+          std::printf("}\n");
+        });
+    StandingQuery top_pairs;
+    top_pairs.kind = StandingQuery::Kind::kFrequentPairs;
+    top_pairs.spec.all_regions = true;
+    top_pairs.spec.min_visit_seconds = min_visit;
+    top_pairs.k = k;
+    service.SubscribeAnalytics(
+        top_pairs, [&follow_mu, &followed_pairs, &plan](
+                       const StandingQueryDelta& delta) {
+          std::lock_guard<std::mutex> lock(follow_mu);
+          followed_pairs = delta.pairs;
+          std::printf("[follow pairs   #%03" PRIu64 "]", delta.sequence);
+          for (const auto& p : delta.pairs_entered) {
+            std::printf(" +%s|%s", plan.region(p.first).name.c_str(),
+                        plan.region(p.second).name.c_str());
+          }
+          for (const auto& p : delta.pairs_exited) {
+            std::printf(" -%s|%s", plan.region(p.first).name.c_str(),
+                        plan.region(p.second).name.c_str());
+          }
+          std::printf("\n");
+        });
+  }
 
   const size_t num_streams = scenario.dataset.sequences.size();
   std::vector<MSemanticsSequence> emitted(num_streams);
@@ -344,7 +410,8 @@ int Analytics(const Args& args) {
                           emitted[static_cast<size_t>(id)].push_back(ms);
                         });
   }
-  std::printf("replaying %zu streams with live analytics...\n", num_streams);
+  std::printf("replaying %zu streams with live analytics%s...\n", num_streams,
+              follow ? " (following standing queries)" : "");
   for (size_t i = 0; i < num_streams; ++i) {
     for (const PositioningRecord& rec :
          scenario.dataset.sequences[i].sequence.records) {
@@ -373,8 +440,6 @@ int Analytics(const Args& args) {
     }
   }
   const TimeWindow window{t_min, t_max};
-  const size_t k = static_cast<size_t>(args.GetInt("k", 5));
-  const double min_visit = args.GetDouble("min-visit", 30.0);
 
   const AnalyticsEngine& engine = *service.analytics();
   const auto popular =
@@ -392,6 +457,14 @@ int Analytics(const Args& args) {
               " visits retained, %" PRIu64 " late-dropped)\n",
               snap.semantics_ingested, snap.retained_visits,
               snap.late_dropped);
+  std::printf("queries: %" PRIu64 " pre-aggregated, %" PRIu64 " scanned\n",
+              snap.preagg_queries, snap.scan_queries);
+  if (follow) {
+    std::printf("standing queries: %zu subscribed, %" PRIu64
+                " deltas pushed, push latency p50 %.3f ms p99 %.3f ms\n",
+                snap.standing_queries, snap.deltas_pushed, snap.push_p50_ms,
+                snap.push_p99_ms);
+  }
 
   TablePrinter regions_table({"rank", "region", "name", "visits",
                               "dwell p50 s", "dwell p99 s", "occupancy"});
@@ -432,9 +505,19 @@ int Analytics(const Args& args) {
                 snap.flows[i].count);
   }
 
-  const bool identical = popular == batch_popular && pairs == batch_pairs;
+  bool identical = popular == batch_popular && pairs == batch_pairs;
   std::printf("\nbatch eval/queries cross-check: %s\n",
               identical ? "identical" : "MISMATCH");
+  if (follow) {
+    // The standing queries' last pushed answers must equal the polls:
+    // pushed deltas and poll-time queries share one query core.
+    std::lock_guard<std::mutex> lock(follow_mu);
+    const bool follow_identical =
+        followed_regions == popular && followed_pairs == pairs;
+    std::printf("standing-query cross-check:     %s\n",
+                follow_identical ? "identical" : "MISMATCH");
+    identical = identical && follow_identical;
+  }
   return identical ? 0 : 1;
 }
 
@@ -445,9 +528,16 @@ int main(int argc, char** argv) {
   if (argc < 2) return Usage();
   Args args;
   args.command = argv[1];
-  for (int i = 2; i + 1 < argc; i += 2) {
+  for (int i = 2; i < argc; ++i) {
     if (std::strncmp(argv[i], "--", 2) != 0) return Usage();
-    args.options[argv[i] + 2] = argv[i + 1];
+    // "--key value" pairs, or a bare "--flag" (next token missing or
+    // itself an option).
+    if (i + 1 < argc && std::strncmp(argv[i + 1], "--", 2) != 0) {
+      args.options[argv[i] + 2] = argv[i + 1];
+      ++i;
+    } else {
+      args.options[argv[i] + 2] = "1";
+    }
   }
   if (args.command == "generate") return Generate(args);
   if (args.command == "train") return Train(args);
