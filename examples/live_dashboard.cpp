@@ -15,12 +15,15 @@
 #include <cstdio>
 #include <chrono>
 #include <mutex>
+#include <string>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "common/logging.h"
 #include "common/table_printer.h"
 #include "core/trainer.h"
+#include "obs/metrics_registry.h"
 #include "service/annotation_service.h"
 #include "sim/scenarios.h"
 
@@ -68,6 +71,41 @@ void PrintDashboard(const AnnotationService& service, const World& world,
     }
     std::printf("\n");
   }
+}
+
+/// Where does a record's latency go?  The service's pipeline tracer
+/// keeps one histogram per stage; this renders the breakdown straight
+/// off the service's metrics registry (the same data `c2mn_cli metrics`
+/// exports in Prometheus/JSON form).
+void PrintStageBreakdown(const AnnotationService& service) {
+  const auto snaps = service.metrics_registry().Snapshot();
+  const obs::HistogramSnapshot* end_to_end = nullptr;
+  std::vector<std::pair<std::string, const obs::HistogramSnapshot*>> stages;
+  for (const obs::MetricSnapshot& snap : snaps) {
+    if (snap.name == "c2mn_pipeline_stage_seconds" && !snap.labels.empty()) {
+      stages.emplace_back(snap.labels.front().second, &snap.histogram);
+    } else if (snap.name == "c2mn_pipeline_record_seconds") {
+      end_to_end = &snap.histogram;
+    }
+  }
+  if (end_to_end == nullptr || end_to_end->count == 0) return;
+
+  std::printf("\nwhere the latency goes (per traced pipeline op):\n");
+  TablePrinter table({"stage", "samples", "p50 ms", "p99 ms", "max ms",
+                     "share"});
+  for (const auto& [name, hist] : stages) {
+    table.AddRow({name, std::to_string(hist->count),
+                  TablePrinter::Fmt(hist->Quantile(0.5) * 1e3, 3),
+                  TablePrinter::Fmt(hist->Quantile(0.99) * 1e3, 3),
+                  TablePrinter::Fmt(hist->max * 1e3, 3),
+                  TablePrinter::Fmt(100.0 * hist->sum / end_to_end->sum, 1) +
+                      "%"});
+  }
+  table.AddRow({"end-to-end", std::to_string(end_to_end->count),
+                TablePrinter::Fmt(end_to_end->Quantile(0.5) * 1e3, 3),
+                TablePrinter::Fmt(end_to_end->Quantile(0.99) * 1e3, 3),
+                TablePrinter::Fmt(end_to_end->max * 1e3, 3), "100%"});
+  table.Print();
 }
 
 }  // namespace
@@ -154,6 +192,7 @@ int main() {
   }
   service.Drain();
   PrintDashboard(service, *scenario.world, "final (all sessions closed)");
+  PrintStageBreakdown(service);
 
   // A windowed headline query, straight off the live engine.
   const AnalyticsEngine& engine = *service.analytics();

@@ -10,6 +10,7 @@
 #include <unordered_map>
 #include <unordered_set>
 
+#include "common/stopwatch.h"
 #include "common/streaming_histogram.h"
 
 namespace c2mn {
@@ -92,11 +93,6 @@ struct AnalyticsEngine::Shard {
   /// Bumped on every Ingest; subscriptions seeded at sequence S ignore
   /// visit deltas tagged <= S (they already saw that state).
   uint64_t mutation_seq = 0;
-
-  uint64_t semantics_ingested = 0;
-  uint64_t late_dropped = 0;
-  uint64_t invalid_dropped = 0;
-  uint64_t buckets_evicted = 0;
 };
 
 /// One standing continuous query: a global (cross-shard) sketch plus the
@@ -171,6 +167,47 @@ AnalyticsEngine::AnalyticsEngine(Options options)
                       std::ceil(options_.horizon_seconds /
                                 options_.bucket_seconds)) +
                   1;
+  if (options_.metrics_registry != nullptr) {
+    registry_ = options_.metrics_registry;
+  } else {
+    owned_registry_ = std::make_unique<obs::MetricsRegistry>();
+    registry_ = owned_registry_.get();
+  }
+  semantics_ingested_total_ = registry_->GetCounter(
+      "c2mn_analytics_semantics_ingested_total",
+      "M-semantics folded into the analytics accumulators");
+  late_dropped_total_ = registry_->GetCounter(
+      "c2mn_analytics_late_dropped_total",
+      "Stay visits dropped because their bucket had already aged out");
+  invalid_dropped_total_ = registry_->GetCounter(
+      "c2mn_analytics_invalid_dropped_total",
+      "M-semantics dropped for non-finite or unbucketable time periods");
+  buckets_evicted_total_ = registry_->GetCounter(
+      "c2mn_analytics_buckets_evicted_total",
+      "Retention ring buckets recycled (each forgets its visits)");
+  deltas_pushed_total_ = registry_->GetCounter(
+      "c2mn_analytics_deltas_pushed_total",
+      "Standing-query deltas delivered to subscriber callbacks");
+  preagg_queries_total_ = registry_->GetCounter(
+      "c2mn_query_topk_total", "Top-k polls by the path that served them",
+      {{"path", "preagg"}});
+  scan_queries_total_ = registry_->GetCounter(
+      "c2mn_query_topk_total", "Top-k polls by the path that served them",
+      {{"path", "scan"}});
+  standing_queries_gauge_ = registry_->GetGauge(
+      "c2mn_analytics_standing_queries",
+      "Standing continuous queries currently subscribed");
+  const obs::Histogram::Config fold_cfg{1e-8, 1e2, 2.0};
+  preagg_fold_seconds_ = registry_->GetHistogram(
+      "c2mn_query_fold_seconds", "Time to answer one top-k poll, by path",
+      fold_cfg, {{"path", "preagg"}});
+  scan_fold_seconds_ = registry_->GetHistogram(
+      "c2mn_query_fold_seconds", "Time to answer one top-k poll, by path",
+      fold_cfg, {{"path", "scan"}});
+  standing_push_seconds_ = registry_->GetHistogram(
+      "c2mn_analytics_standing_push_seconds",
+      "Ingest-side time applying visit deltas to standing queries",
+      obs::Histogram::Config{1e-8, 1e2, 2.0});
   query::VisitSpec preagg_spec;
   preagg_spec.all_regions = true;
   preagg_spec.window = TimeWindow::All();
@@ -220,14 +257,14 @@ int AnalyticsEngine::Ingest(int shard, int64_t object_id,
     // delta bookkeeping below is dead weight — skip it.
     notify = standing_count_.load(std::memory_order_relaxed) > 0;
     mutation_seq = ++s.mutation_seq;
-    ++s.semantics_ingested;
+    semantics_ingested_total_->Increment();
     // Reject time periods that are non-finite or too extreme to bucket:
     // casting an out-of-range double to int64_t below would be undefined
     // behavior (the StreamingHistogram NaN-cast class of bug).
     const double bucket_d = std::floor(ms.t_end / options_.bucket_seconds);
     if (!std::isfinite(ms.t_start) || !std::isfinite(ms.t_end) ||
         !(bucket_d >= -9.0e18 && bucket_d <= 9.0e18)) {
-      ++s.invalid_dropped;
+      invalid_dropped_total_->Increment();
       return 0;
     }
     const int64_t bucket = static_cast<int64_t>(bucket_d);
@@ -273,7 +310,7 @@ int AnalyticsEngine::Ingest(int shard, int64_t object_id,
     // never look at passes) -------------------------------------------
     if (ms.event != MobilityEvent::kStay) return 0;
     if (s.max_bucket != INT64_MIN && bucket <= s.max_bucket - ring_buckets_) {
-      ++s.late_dropped;  // Already aged out of the horizon.
+      late_dropped_total_->Increment();  // Already aged out of the horizon.
       return 0;
     }
     if (bucket > s.max_bucket) {
@@ -284,7 +321,7 @@ int AnalyticsEngine::Ingest(int shard, int64_t object_id,
       s.max_bucket = bucket;
       const int64_t min_keep = bucket - ring_buckets_ + 1;
       while (!s.buckets.empty() && s.buckets.begin()->first < min_keep) {
-        ++s.buckets_evicted;
+        buckets_evicted_total_->Increment();
         for (const StayVisit& visit : s.buckets.begin()->second.visits) {
           s.preagg.RemoveVisit(visit.object_id, visit.region, visit.t_start,
                                visit.t_end);
@@ -306,8 +343,11 @@ int AnalyticsEngine::Ingest(int shard, int64_t object_id,
     }
   }
   if (!has_added && evicted.empty()) return 0;
-  return NotifySubscriptions(shard_index, mutation_seq,
-                             has_added ? &added : nullptr, evicted);
+  const Stopwatch push_watch;
+  const int fired = NotifySubscriptions(shard_index, mutation_seq,
+                                        has_added ? &added : nullptr, evicted);
+  standing_push_seconds_->Observe(push_watch.ElapsedSeconds());
+  return fired;
 }
 
 void AnalyticsEngine::NoteSessionClosed(int shard, int64_t object_id) {
@@ -349,8 +389,7 @@ int AnalyticsEngine::NotifySubscriptions(int shard_index,
     if (changed && sub->EmitIfChanged()) ++fired;
   }
   if (fired > 0) {
-    deltas_pushed_.fetch_add(static_cast<uint64_t>(fired),
-                             std::memory_order_relaxed);
+    deltas_pushed_total_->Increment(static_cast<uint64_t>(fired));
   }
   return fired;
 }
@@ -373,6 +412,8 @@ int AnalyticsEngine::Subscribe(StandingQuery query,
     // ordered after the seed by the shard mutex, so it observes a
     // non-zero count and collects its delta for us.
     standing_count_.fetch_add(1, std::memory_order_relaxed);
+    standing_queries_gauge_->Set(
+        static_cast<double>(standing_count_.load(std::memory_order_relaxed)));
     sub->id = next_subscription_id_++;
     sub->seeded_seq.assign(shards_.size(), 0);
     for (size_t i = 0; i < shards_.size(); ++i) {
@@ -391,7 +432,7 @@ int AnalyticsEngine::Subscribe(StandingQuery query,
   }
   // Initial snapshot (sequence 1), on the subscriber's thread.
   if (sub->EmitIfChanged()) {
-    deltas_pushed_.fetch_add(1, std::memory_order_relaxed);
+    deltas_pushed_total_->Increment();
   }
   return sub->id;
 }
@@ -402,6 +443,8 @@ bool AnalyticsEngine::Unsubscribe(int subscription_id) {
     if ((*it)->id == subscription_id) {
       subs_.erase(it);
       standing_count_.fetch_sub(1, std::memory_order_relaxed);
+      standing_queries_gauge_->Set(
+          static_cast<double>(standing_count_.load(std::memory_order_relaxed)));
       return true;
     }
   }
@@ -462,10 +505,11 @@ bool AnalyticsEngine::FoldPreAgg(const TimeWindow& window,
 std::vector<RegionId> AnalyticsEngine::TopKPopularRegions(
     const std::vector<RegionId>& query_regions, const TimeWindow& window,
     size_t k, double min_visit_seconds) const {
+  const Stopwatch fold_watch;
   if (min_visit_seconds == options_.min_visit_seconds) {
     std::map<RegionId, int64_t> counts;
     if (FoldPreAgg(window, &counts)) {
-      preagg_queries_.fetch_add(1, std::memory_order_relaxed);
+      preagg_queries_total_->Increment();
       const std::unordered_set<RegionId> query_set(query_regions.begin(),
                                                    query_regions.end());
       std::vector<std::pair<RegionId, int64_t>> filtered;
@@ -473,10 +517,12 @@ std::vector<RegionId> AnalyticsEngine::TopKPopularRegions(
       for (const auto& [region, count] : counts) {
         if (query_set.count(region) > 0) filtered.emplace_back(region, count);
       }
-      return query::RankTopK(std::move(filtered), k);
+      auto answer = query::RankTopK(std::move(filtered), k);
+      preagg_fold_seconds_->Observe(fold_watch.ElapsedSeconds());
+      return answer;
     }
   }
-  scan_queries_.fetch_add(1, std::memory_order_relaxed);
+  scan_queries_total_->Increment();
   // Scan fallback: the same shared predicate and accumulation, applied
   // to each retained visit the window can reach.
   const query::CompiledSpec spec(
@@ -486,17 +532,20 @@ std::vector<RegionId> AnalyticsEngine::TopKPopularRegions(
     sketch.AddVisit(visit.object_id, visit.region, visit.t_start,
                     visit.t_end);
   });
-  return sketch.TopKRegions(k);
+  auto answer = sketch.TopKRegions(k);
+  scan_fold_seconds_->Observe(fold_watch.ElapsedSeconds());
+  return answer;
 }
 
 std::vector<std::pair<RegionId, RegionId>>
 AnalyticsEngine::TopKFrequentRegionPairs(
     const std::vector<RegionId>& query_regions, const TimeWindow& window,
     size_t k, double min_visit_seconds) const {
+  const Stopwatch fold_watch;
   if (min_visit_seconds == options_.min_visit_seconds) {
     std::map<RegionPair, int64_t> counts;
     if (FoldPreAgg(window, &counts)) {
-      preagg_queries_.fetch_add(1, std::memory_order_relaxed);
+      preagg_queries_total_->Increment();
       // A pair qualifies iff both endpoints are queried; its co-visit
       // count never depends on other regions, so endpoint filtering is
       // exact.
@@ -510,10 +559,12 @@ AnalyticsEngine::TopKFrequentRegionPairs(
           filtered.emplace_back(pair, count);
         }
       }
-      return query::RankTopK(std::move(filtered), k);
+      auto answer = query::RankTopK(std::move(filtered), k);
+      preagg_fold_seconds_->Observe(fold_watch.ElapsedSeconds());
+      return answer;
     }
   }
-  scan_queries_.fetch_add(1, std::memory_order_relaxed);
+  scan_queries_total_->Increment();
   const query::CompiledSpec spec(
       query::VisitSpec{query_regions, false, window, min_visit_seconds});
   query::TopKSketch sketch(&spec);
@@ -521,7 +572,9 @@ AnalyticsEngine::TopKFrequentRegionPairs(
     sketch.AddVisit(visit.object_id, visit.region, visit.t_start,
                     visit.t_end);
   });
-  return sketch.TopKPairs(k);
+  auto answer = sketch.TopKPairs(k);
+  scan_fold_seconds_->Observe(fold_watch.ElapsedSeconds());
+  return answer;
 }
 
 AnalyticsSnapshot AnalyticsEngine::Snapshot() const {
@@ -539,12 +592,14 @@ AnalyticsSnapshot AnalyticsEngine::Snapshot() const {
   };
   std::map<RegionId, MergedRegion> regions;
   std::map<uint64_t, uint64_t> flows;
+  // Counts are thin views over the registry counters (cached handles, no
+  // registry lock): safe from a standing-query delta callback.
+  snapshot.semantics_ingested = semantics_ingested_total_->Value();
+  snapshot.late_dropped = late_dropped_total_->Value();
+  snapshot.invalid_dropped = invalid_dropped_total_->Value();
+  snapshot.buckets_evicted = buckets_evicted_total_->Value();
   for (const auto& shard : shards_) {
     std::lock_guard<std::mutex> lock(shard->mu);
-    snapshot.semantics_ingested += shard->semantics_ingested;
-    snapshot.late_dropped += shard->late_dropped;
-    snapshot.invalid_dropped += shard->invalid_dropped;
-    snapshot.buckets_evicted += shard->buckets_evicted;
     snapshot.objects_tracked += shard->objects.size();
     snapshot.watermark_seconds =
         std::max(snapshot.watermark_seconds, shard->watermark_seconds);
@@ -572,12 +627,12 @@ AnalyticsSnapshot AnalyticsEngine::Snapshot() const {
     }
     for (const auto& [key, count] : shard->flows) flows[key] += count;
   }
-  snapshot.preagg_queries = preagg_queries_.load(std::memory_order_relaxed);
-  snapshot.scan_queries = scan_queries_.load(std::memory_order_relaxed);
-  // Atomics, not subs_mu_: a standing-query delta callback may call
-  // Snapshot() without self-deadlocking on the notify walk's lock.
+  snapshot.preagg_queries = preagg_queries_total_->Value();
+  snapshot.scan_queries = scan_queries_total_->Value();
+  // The atomic mirror, not subs_mu_: a standing-query delta callback may
+  // call Snapshot() without self-deadlocking on the notify walk's lock.
   snapshot.standing_queries = standing_count_.load(std::memory_order_relaxed);
-  snapshot.deltas_pushed = deltas_pushed_.load(std::memory_order_relaxed);
+  snapshot.deltas_pushed = deltas_pushed_total_->Value();
   snapshot.regions.reserve(regions.size());
   for (const auto& [region, merged] : regions) {
     RegionAnalytics out;

@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "data/msemantics.h"
+#include "obs/metrics_registry.h"
 #include "query/query_core.h"
 
 namespace c2mn {
@@ -137,6 +138,12 @@ class AnalyticsEngine {
     double dwell_max_seconds = 1e5;
     double dwell_growth = 1.3;
 
+    /// Registry for the engine's counters and query-timing histograms.
+    /// nullptr (the default) gives the engine a private registry; an
+    /// embedding AnnotationService passes its own so one export covers
+    /// the whole pipeline.  Not owned; must outlive the engine.
+    obs::MetricsRegistry* metrics_registry = nullptr;
+
     /// Repairs inconsistent settings (shards >= 1, positive bucket
     /// width, horizon >= one bucket, sane histogram bounds) so a service
     /// embedding the engine never crashes on a bad config.
@@ -151,6 +158,10 @@ class AnalyticsEngine {
 
   int num_shards() const { return static_cast<int>(shards_.size()); }
   const Options& options() const { return options_; }
+
+  /// The registry holding the engine's metrics (the injected one, or
+  /// the private per-instance default).
+  obs::MetricsRegistry& metrics_registry() const { return *registry_; }
 
   /// Folds one completed m-semantics of `object_id` into shard `shard`.
   /// All m-semantics of one object must go to the same shard, in stream
@@ -241,6 +252,26 @@ class AnalyticsEngine {
 
   Options options_;
   int64_t ring_buckets_ = 1;
+
+  /// Private registry when none was injected; registry_ points at it or
+  /// at the injected one.  Counter/histogram handles are cached here so
+  /// snapshots and delta callbacks never take the registry mutex.
+  std::unique_ptr<obs::MetricsRegistry> owned_registry_;
+  obs::MetricsRegistry* registry_ = nullptr;
+  obs::Counter* semantics_ingested_total_ = nullptr;
+  obs::Counter* late_dropped_total_ = nullptr;
+  obs::Counter* invalid_dropped_total_ = nullptr;
+  obs::Counter* buckets_evicted_total_ = nullptr;
+  obs::Counter* deltas_pushed_total_ = nullptr;
+  obs::Counter* preagg_queries_total_ = nullptr;
+  obs::Counter* scan_queries_total_ = nullptr;
+  obs::Gauge* standing_queries_gauge_ = nullptr;
+  /// Fold time of one top-k poll, labeled by the path that served it.
+  obs::Histogram* preagg_fold_seconds_ = nullptr;
+  obs::Histogram* scan_fold_seconds_ = nullptr;
+  /// Ingest-side time spent applying visit deltas to standing queries
+  /// (the NotifySubscriptions walk), over ingests that had deltas.
+  obs::Histogram* standing_push_seconds_ = nullptr;
   /// The spec the per-shard sketches maintain: every region, unbounded
   /// window, Options::min_visit_seconds.
   std::unique_ptr<query::CompiledSpec> preagg_spec_;
@@ -263,10 +294,6 @@ class AnalyticsEngine {
   /// the shards, so any mutation a seed misses sees a non-zero count
   /// (the shard mutex orders the two).
   std::atomic<size_t> standing_count_{0};
-  std::atomic<uint64_t> deltas_pushed_{0};
-
-  mutable std::atomic<uint64_t> preagg_queries_{0};
-  mutable std::atomic<uint64_t> scan_queries_{0};
 };
 
 }  // namespace c2mn

@@ -1,6 +1,7 @@
 #ifndef C2MN_COMMON_LOGGING_H_
 #define C2MN_COMMON_LOGGING_H_
 
+#include <atomic>
 #include <sstream>
 #include <string>
 
@@ -19,19 +20,40 @@ enum class LogLevel : int {
 ///
 /// Experiments print their results to stdout; diagnostics go through this
 /// logger so they can be silenced (benches set the level to kWarning).
+///
+/// Multi-thread contract (the annotation service logs from its shard
+/// workers while the main thread may call set_level):
+///  - the level is atomic, so concurrent set_level/level never race;
+///  - each line is emitted with a single write, so lines from concurrent
+///    workers never interleave mid-line;
+///  - every line carries an ISO-8601 UTC timestamp and the emitting
+///    thread's id, so interleaved worker output can be reconstructed.
+///
+/// The startup level honors the C2MN_LOG_LEVEL environment variable
+/// ("debug" | "info" | "warn" | "error" | "off", case-insensitive, or
+/// the numeric LogLevel value); set_level overrides it at runtime.
 class Logger {
  public:
   /// Returns the process-wide logger.
   static Logger& Global();
 
-  void set_level(LogLevel level) { level_ = level; }
-  LogLevel level() const { return level_; }
+  void set_level(LogLevel level) {
+    level_.store(level, std::memory_order_relaxed);
+  }
+  LogLevel level() const { return level_.load(std::memory_order_relaxed); }
 
-  /// Emits one line at `level`, prefixed with the severity tag.
+  /// Emits one line at `level`, prefixed with the timestamp, severity
+  /// tag, and thread id, via a single stderr write.
   void Log(LogLevel level, const std::string& message);
 
+  /// Parses a C2MN_LOG_LEVEL-style spec; returns `fallback` when the
+  /// spec is null, empty, or unrecognized.
+  static LogLevel ParseLevel(const char* spec, LogLevel fallback);
+
  private:
-  LogLevel level_ = LogLevel::kInfo;
+  Logger();
+
+  std::atomic<LogLevel> level_;
 };
 
 namespace internal {

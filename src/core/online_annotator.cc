@@ -2,8 +2,34 @@
 
 #include <algorithm>
 #include <cassert>
+#include <chrono>
+
+#include "obs/metrics_registry.h"
 
 namespace c2mn {
+
+namespace {
+
+/// Process-wide decode metrics via function-local statics: registration
+/// (the only allocating step) happens on the first decode, after which
+/// each decode adds two clock reads and lock-free atomic folds — the
+/// steady-state record path stays allocation-free.
+obs::Counter* DecodeWindowsTotal() {
+  static obs::Counter* counter = obs::MetricsRegistry::Global().GetCounter(
+      "c2mn_decode_windows_total",
+      "Sliding-window Viterbi decodes run by online annotators");
+  return counter;
+}
+
+obs::Histogram* DecodeSeconds() {
+  static obs::Histogram* histogram =
+      obs::MetricsRegistry::Global().GetHistogram(
+          "c2mn_decode_seconds", "Wall time of one sliding-window decode",
+          obs::Histogram::Config{1e-7, 1e2, 2.0});
+  return histogram;
+}
+
+}  // namespace
 
 OnlineAnnotator::Options OnlineAnnotator::Options::Validated() const {
   Options v = *this;
@@ -60,8 +86,13 @@ void OnlineAnnotator::Accumulate(const PositioningRecord& record,
 void OnlineAnnotator::DecodeAndFinalize(int keep_provisional,
                                         std::vector<MSemantics>* emitted) {
   if (window_.empty()) return;
+  const auto decode_start = std::chrono::steady_clock::now();
   sequence_scratch_.records.assign(window_.begin(), window_.end());
   annotator_.AnnotateInto(sequence_scratch_, &workspace_, &labels_scratch_);
+  DecodeWindowsTotal()->Increment();
+  DecodeSeconds()->Observe(std::chrono::duration<double>(
+                               std::chrono::steady_clock::now() - decode_start)
+                               .count());
   const int n = static_cast<int>(window_.size());
   const int freeze = n - keep_provisional;
   if (freeze <= 0) return;

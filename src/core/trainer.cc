@@ -153,6 +153,22 @@ TrainResult AlternateTrainer::Train(
   Stopwatch watch;
   Rng rng(topts_.seed);
 
+  // Progress gauges: a monitoring thread (or `c2mn_cli metrics`) can
+  // watch a long run converge without touching TrainResult early.
+  obs::MetricsRegistry& registry =
+      topts_.metrics_registry != nullptr ? *topts_.metrics_registry
+                                         : obs::MetricsRegistry::Global();
+  obs::Gauge* objective_gauge = registry.GetGauge(
+      "c2mn_train_objective", "Pseudo-likelihood objective, last iteration");
+  obs::Gauge* iteration_seconds_gauge = registry.GetGauge(
+      "c2mn_train_iteration_seconds", "Wall time of the last outer iteration");
+  obs::Counter* iterations_total = registry.GetCounter(
+      "c2mn_train_iterations_total", "Outer training iterations completed");
+  obs::Counter* dropped_supervision_total = registry.GetCounter(
+      "c2mn_train_dropped_supervision_total",
+      "Labeled nodes excluded because the ground-truth region was absent "
+      "from the candidate set");
+
   FeatureOptions fopts = fopts_;
   if (fopts.use_region_frequency) {
     // Normalized historical region frequency, the optional f_sm extension.
@@ -196,6 +212,8 @@ TrainResult AlternateTrainer::Train(
     sequences.push_back(std::move(ts));
   }
   if (result.dropped_supervision > 0) {
+    dropped_supervision_total->Increment(
+        static_cast<uint64_t>(result.dropped_supervision));
     C2MN_LOG_WARN << result.dropped_supervision
                   << " labeled nodes have ground-truth regions outside "
                      "their candidate sets; excluding them from the "
@@ -231,6 +249,7 @@ TrainResult AlternateTrainer::Train(
   const int M = std::max(1, topts_.mcmc_samples);
 
   for (int iter = 0; iter < topts_.max_iter; ++iter) {
+    const Stopwatch iter_watch;
     // Strict mode reproduces Algorithm 1's one-chain-per-iteration
     // alternation.  The default samples both chains per iteration (the
     // first-configured variable's counterpart first); with segmentation
@@ -281,6 +300,9 @@ TrainResult AlternateTrainer::Train(
       objective += 0.5 * w[k] * w[k] * inv_sigma2[k];
     }
     result.objective_trace.push_back(objective);
+    objective_gauge->Set(objective);
+    iteration_seconds_gauge->Set(iter_watch.ElapsedSeconds());
+    iterations_total->Increment();
 
     std::vector<double> w_new = stepper.Step(w, grad);
     if (topts_.nonnegative_weights) {

@@ -6,6 +6,7 @@
 #include "common/rng.h"
 #include "core/annotator.h"
 #include "core/scorer.h"
+#include "obs/metrics_registry.h"
 
 namespace c2mn {
 
@@ -50,6 +51,11 @@ struct TrainOptions {
   /// gradient buffer that is reduced in sequence order, so the learned
   /// weights are bit-identical for every thread count, including 1.
   int num_threads = 0;
+  /// Registry for the trainer's progress gauges (per-iteration objective
+  /// and timing, iteration and dropped-supervision counters), so a
+  /// monitoring thread can watch a long run converge.  nullptr uses the
+  /// process-wide obs::MetricsRegistry::Global().
+  obs::MetricsRegistry* metrics_registry = nullptr;
 };
 
 /// \brief Outcome of a training run.

@@ -8,8 +8,24 @@
 #include <ostream>
 #include <sstream>
 
+#include "obs/metrics_registry.h"
+
 namespace c2mn {
 namespace weights_io {
+
+namespace {
+
+/// Counts a rejected weights file by reason in the process-wide
+/// registry (error path only).
+void CountRejected(const char* reason) {
+  obs::MetricsRegistry::Global()
+      .GetCounter("c2mn_weights_rejected_total",
+                  "Weights files rejected by the reader, by reason",
+                  {{"reason", reason}})
+      ->Increment();
+}
+
+}  // namespace
 
 const std::vector<std::string>& ComponentNames() {
   static const std::vector<std::string>* names = new std::vector<std::string>{
@@ -47,10 +63,12 @@ Result<std::vector<double>> Read(std::istream* in) {
   };
   std::string header;
   if (!std::getline(*in, header)) {
+    CountRejected("bad_header");
     return Status::InvalidArgument("weights file: bad header");
   }
   strip_cr(&header);
   if (header != "c2mn-weights v1") {
+    CountRejected("bad_header");
     return Status::InvalidArgument("weights file: bad header");
   }
   std::map<std::string, double> values;
@@ -60,6 +78,7 @@ Result<std::vector<double>> Read(std::istream* in) {
     if (line.empty()) continue;
     const size_t space = line.find(' ');
     if (space == std::string::npos) {
+      CountRejected("malformed_line");
       return Status::InvalidArgument("weights file: malformed line '" + line +
                                      "'");
     }
@@ -72,15 +91,18 @@ Result<std::vector<double>> Read(std::istream* in) {
       }
     }
     if (!known) {
+      CountRejected("unknown_component");
       return Status::InvalidArgument("weights file: unknown component " +
                                      name);
     }
     char* end = nullptr;
     const double value = std::strtod(line.c_str() + space + 1, &end);
     if (end == line.c_str() + space + 1 || !std::isfinite(value)) {
+      CountRejected("bad_value");
       return Status::InvalidArgument("weights file: bad value for " + name);
     }
     if (!values.emplace(name, value).second) {
+      CountRejected("duplicate_component");
       return Status::InvalidArgument("weights file: duplicate component " +
                                      name);
     }
@@ -89,6 +111,7 @@ Result<std::vector<double>> Read(std::istream* in) {
   for (int k = 0; k < kNumWeights; ++k) {
     const auto it = values.find(ComponentNames()[k]);
     if (it == values.end()) {
+      CountRejected("missing_component");
       return Status::InvalidArgument("weights file: missing component " +
                                      ComponentNames()[k]);
     }

@@ -11,10 +11,22 @@
 #include <unordered_set>
 #include <vector>
 
+#include "obs/metrics_registry.h"
+
 namespace c2mn {
 namespace io {
 
 namespace {
+
+/// Counts a rejected input row/file by reason in the process-wide
+/// registry.  Error path only, so the registry lookup cost is fine.
+void CountRejected(const char* reason) {
+  obs::MetricsRegistry::Global()
+      .GetCounter("c2mn_io_records_rejected_total",
+                  "CSV rows or files rejected by the readers, by reason",
+                  {{"reason", reason}})
+      ->Increment();
+}
 
 /// Splits one CSV line on commas (no quoting: the formats are numeric
 /// plus fixed enum tokens).
@@ -124,6 +136,7 @@ Result<Dataset> ReadRecordsCsv(std::istream* in) {
   Dataset dataset;
   std::string line;
   if (!std::getline(*in, line)) {
+    CountRejected("missing_header");
     return Status::InvalidArgument("records csv: missing header");
   }
   int line_no = 1;
@@ -138,6 +151,7 @@ Result<Dataset> ReadRecordsCsv(std::istream* in) {
     if (fields.size() != 5 || !ParseInt(fields[0], &object_id) ||
         !ParseDouble(fields[1], &t) || !ParseDouble(fields[2], &x) ||
         !ParseDouble(fields[3], &y) || !ParseInt(fields[4], &floor)) {
+      CountRejected("malformed_line");
       return Status::InvalidArgument("records csv: malformed line " +
                                      std::to_string(line_no));
     }
@@ -146,6 +160,7 @@ Result<Dataset> ReadRecordsCsv(std::istream* in) {
       // re-appearing id would silently open a second sequence with the
       // same identity, corrupting per-object sessions downstream.
       if (!seen_objects.insert(object_id).second) {
+        CountRejected("noncontiguous_object");
         return Status::InvalidArgument(
             "records csv: object " + std::to_string(object_id) +
             " re-appears in a non-contiguous block at line " +
@@ -157,6 +172,7 @@ Result<Dataset> ReadRecordsCsv(std::istream* in) {
     }
     if (!current->sequence.empty() &&
         t < current->sequence.records.back().timestamp) {
+      CountRejected("out_of_order_timestamp");
       return Status::InvalidArgument(
           "records csv: timestamps out of order at line " +
           std::to_string(line_no));
@@ -172,6 +188,7 @@ Result<Dataset> ReadRecordsCsv(std::istream* in) {
 Status AttachLabelsCsv(std::istream* in, Dataset* dataset) {
   std::string line;
   if (!std::getline(*in, line)) {
+    CountRejected("missing_header");
     return Status::InvalidArgument("labels csv: missing header");
   }
   size_t seq_idx = 0;
@@ -186,10 +203,12 @@ Status AttachLabelsCsv(std::istream* in, Dataset* dataset) {
     if (fields.size() != 4 || !ParseInt(fields[0], &object_id) ||
         !ParseDouble(fields[1], &t) || !ParseInt(fields[2], &region) ||
         (fields[3] != "stay" && fields[3] != "pass")) {
+      CountRejected("malformed_line");
       return Status::InvalidArgument("labels csv: malformed line " +
                                      std::to_string(line_no));
     }
     if (seq_idx >= dataset->sequences.size()) {
+      CountRejected("label_count_mismatch");
       return Status::InvalidArgument("labels csv: more labels than records");
     }
     LabeledSequence& ls = dataset->sequences[seq_idx];
@@ -198,6 +217,7 @@ Status AttachLabelsCsv(std::istream* in, Dataset* dataset) {
     // must rejoin the record they were written for, not a neighbor.
     if (ls.sequence.object_id != object_id ||
         std::abs(ls.sequence[rec_idx].timestamp - t) > 1e-6) {
+      CountRejected("label_record_mismatch");
       return Status::InvalidArgument(
           "labels csv: row does not match record order at line " +
           std::to_string(line_no));
@@ -211,6 +231,7 @@ Status AttachLabelsCsv(std::istream* in, Dataset* dataset) {
     }
   }
   if (seq_idx != dataset->sequences.size() || rec_idx != 0) {
+    CountRejected("label_count_mismatch");
     return Status::InvalidArgument("labels csv: fewer labels than records");
   }
   return Status::OK();

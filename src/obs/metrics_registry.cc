@@ -1,0 +1,413 @@
+#include "obs/metrics_registry.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <limits>
+#include <sstream>
+
+#include "common/logging.h"
+
+namespace c2mn {
+namespace obs {
+
+namespace internal {
+
+unsigned ThreadStripe() {
+  static std::atomic<unsigned> next{0};
+  thread_local unsigned stripe = next.fetch_add(1, std::memory_order_relaxed);
+  return stripe;
+}
+
+}  // namespace internal
+
+// ------------------------------------------------------------------ Gauge
+
+uint64_t Gauge::Pack(double v) {
+  uint64_t bits;
+  static_assert(sizeof(bits) == sizeof(v), "double must be 64-bit");
+  std::memcpy(&bits, &v, sizeof(bits));
+  return bits;
+}
+
+double Gauge::Unpack(uint64_t bits) {
+  double v;
+  std::memcpy(&v, &bits, sizeof(v));
+  return v;
+}
+
+// -------------------------------------------------------------- Histogram
+
+namespace {
+
+uint64_t PackDouble(double v) {
+  uint64_t bits;
+  std::memcpy(&bits, &v, sizeof(bits));
+  return bits;
+}
+
+double UnpackDouble(uint64_t bits) {
+  double v;
+  std::memcpy(&v, &bits, sizeof(v));
+  return v;
+}
+
+/// CAS-folds `value` into the atomic double at `bits` through `fold`
+/// (sum, min, or max).  Lock-free; the loop is one iteration long unless
+/// another writer landed between the load and the CAS.
+template <typename Fold>
+void FoldDouble(std::atomic<uint64_t>* bits, double value, Fold fold) {
+  uint64_t expected = bits->load(std::memory_order_relaxed);
+  while (!bits->compare_exchange_weak(
+      expected, PackDouble(fold(UnpackDouble(expected), value)),
+      std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace
+
+Histogram::Histogram(const Config& config)
+    : min_value_(config.min_value > 0.0 ? config.min_value : 1e-6),
+      growth_(config.growth > 1.0 ? config.growth : 2.0),
+      log_min_(std::log(min_value_)),
+      inv_log_growth_(1.0 / std::log(growth_)),
+      buckets_(static_cast<size_t>(std::max(
+          1, static_cast<int>(std::ceil(
+                 (std::log(std::max(config.max_value, min_value_ * growth_)) -
+                  log_min_) *
+                 inv_log_growth_))))),
+      sum_bits_(PackDouble(0.0)),
+      min_bits_(PackDouble(std::numeric_limits<double>::infinity())),
+      max_bits_(PackDouble(-std::numeric_limits<double>::infinity())) {}
+
+void Histogram::Observe(double value) {
+  if (!std::isfinite(value)) {
+    // Casting NaN/inf to a bucket index is undefined behavior, and a NaN
+    // would poison sum/min/max forever; count it and stop.
+    non_finite_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  size_t index = 0;
+  if (value > min_value_) {
+    const int i =
+        static_cast<int>((std::log(value) - log_min_) * inv_log_growth_);
+    index = std::min(static_cast<size_t>(std::max(i, 0)), buckets_.size() - 1);
+  }
+  buckets_[index].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  FoldDouble(&sum_bits_, value, [](double a, double b) { return a + b; });
+  FoldDouble(&min_bits_, value,
+             [](double a, double b) { return b < a ? b : a; });
+  FoldDouble(&max_bits_, value,
+             [](double a, double b) { return b > a ? b : a; });
+}
+
+HistogramSnapshot Histogram::Snapshot() const {
+  HistogramSnapshot snap;
+  snap.min_value = min_value_;
+  snap.growth = growth_;
+  snap.buckets.resize(buckets_.size());
+  for (size_t i = 0; i < buckets_.size(); ++i) {
+    snap.buckets[i] = buckets_[i].load(std::memory_order_relaxed);
+  }
+  snap.count = count_.load(std::memory_order_relaxed);
+  snap.non_finite = non_finite_.load(std::memory_order_relaxed);
+  snap.sum = UnpackDouble(sum_bits_.load(std::memory_order_relaxed));
+  const double min = UnpackDouble(min_bits_.load(std::memory_order_relaxed));
+  const double max = UnpackDouble(max_bits_.load(std::memory_order_relaxed));
+  snap.min = snap.count > 0 ? min : 0.0;
+  snap.max = snap.count > 0 ? max : 0.0;
+  return snap;
+}
+
+double HistogramSnapshot::BucketUpper(size_t i) const {
+  return min_value * std::pow(growth, static_cast<double>(i) + 1.0);
+}
+
+double HistogramSnapshot::Quantile(double q) const {
+  if (count == 0) return 0.0;
+  q = std::max(0.0, std::min(q, 1.0));
+  const double rank = q * static_cast<double>(count);
+  uint64_t cumulative = 0;
+  for (size_t i = 0; i < buckets.size(); ++i) {
+    if (buckets[i] == 0) continue;
+    const double before = static_cast<double>(cumulative);
+    cumulative += buckets[i];
+    if (static_cast<double>(cumulative) >= rank) {
+      const double frac =
+          (rank - before) / static_cast<double>(buckets[i]);
+      const double lower =
+          min_value * std::pow(growth, static_cast<double>(i));
+      const double lo = std::max(lower, min);
+      const double hi = std::min(BucketUpper(i), max);
+      return lo + std::max(0.0, std::min(frac, 1.0)) * (hi - lo);
+    }
+  }
+  return max;
+}
+
+// --------------------------------------------------------------- Registry
+
+namespace {
+
+/// Serializes a sorted label set into the registry key / render suffix:
+/// {a="1",b="2"}.  Values are escaped per the Prometheus text format.
+std::string RenderLabels(const LabelSet& labels) {
+  if (labels.empty()) return std::string();
+  std::string out = "{";
+  for (size_t i = 0; i < labels.size(); ++i) {
+    if (i > 0) out.push_back(',');
+    out += labels[i].first;
+    out += "=\"";
+    for (const char c : labels[i].second) {
+      if (c == '\\' || c == '"') {
+        out.push_back('\\');
+        out.push_back(c);
+      } else if (c == '\n') {
+        out += "\\n";
+      } else {
+        out.push_back(c);
+      }
+    }
+    out.push_back('"');
+  }
+  out.push_back('}');
+  return out;
+}
+
+LabelSet SortedLabels(LabelSet labels) {
+  std::sort(labels.begin(), labels.end());
+  return labels;
+}
+
+std::string MetricKey(const std::string& name, const LabelSet& sorted) {
+  return name + RenderLabels(sorted);
+}
+
+const char* KindName(MetricKind kind) {
+  switch (kind) {
+    case MetricKind::kCounter:
+      return "counter";
+    case MetricKind::kGauge:
+      return "gauge";
+    case MetricKind::kHistogram:
+      return "histogram";
+  }
+  return "counter";
+}
+
+/// Formats a double the way both renderers need it: integral values
+/// without a fractional tail, everything else with enough digits to
+/// round-trip.  Never emits inf/nan bare (JSON would reject them).
+std::string FormatNumber(double v) {
+  if (!std::isfinite(v)) return "0";
+  if (v == std::floor(v) && std::abs(v) < 1e15) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.0f", v);
+    return buf;
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.9g", v);
+  return buf;
+}
+
+std::string EscapeJsonString(const std::string& raw) {
+  std::string out;
+  out.reserve(raw.size());
+  for (const char c : raw) {
+    if (c == '\\' || c == '"') {
+      out.push_back('\\');
+      out.push_back(c);
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+      out += buf;
+    } else {
+      out.push_back(c);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+MetricsRegistry& MetricsRegistry::Global() {
+  // Intentionally leaked: metrics handles cached in function-local
+  // statics across the library must stay valid through static
+  // destruction order.
+  static MetricsRegistry* global = new MetricsRegistry();
+  return *global;
+}
+
+MetricsRegistry::Entry* MetricsRegistry::FindOrCreate(const std::string& name,
+                                                      const std::string& help,
+                                                      MetricKind kind,
+                                                      const LabelSet& labels) {
+  const LabelSet sorted = SortedLabels(labels);
+  const std::string key = MetricKey(name, sorted);
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(key);
+  if (it != entries_.end()) {
+    if (it->second->kind != kind) {
+      C2MN_LOG_ERROR << "metrics: " << key << " re-registered as "
+                     << KindName(kind) << " (was "
+                     << KindName(it->second->kind)
+                     << "); returning a detached metric";
+      return nullptr;
+    }
+    return it->second.get();
+  }
+  auto entry = std::make_unique<Entry>();
+  entry->name = name;
+  entry->help = help;
+  entry->kind = kind;
+  entry->labels = sorted;
+  Entry* raw = entry.get();
+  entries_.emplace(key, std::move(entry));
+  return raw;
+}
+
+Counter* MetricsRegistry::GetCounter(const std::string& name,
+                                     const std::string& help,
+                                     const LabelSet& labels) {
+  Entry* entry = FindOrCreate(name, help, MetricKind::kCounter, labels);
+  if (entry == nullptr) return new Counter();  // Detached; kind conflict.
+  if (!entry->counter) entry->counter = std::make_unique<Counter>();
+  return entry->counter.get();
+}
+
+Gauge* MetricsRegistry::GetGauge(const std::string& name,
+                                 const std::string& help,
+                                 const LabelSet& labels) {
+  Entry* entry = FindOrCreate(name, help, MetricKind::kGauge, labels);
+  if (entry == nullptr) return new Gauge();
+  if (!entry->gauge) entry->gauge = std::make_unique<Gauge>();
+  return entry->gauge.get();
+}
+
+Histogram* MetricsRegistry::GetHistogram(const std::string& name,
+                                         const std::string& help,
+                                         const Histogram::Config& config,
+                                         const LabelSet& labels) {
+  Entry* entry = FindOrCreate(name, help, MetricKind::kHistogram, labels);
+  if (entry == nullptr) return new Histogram(config);
+  if (!entry->histogram) entry->histogram = std::make_unique<Histogram>(config);
+  return entry->histogram.get();
+}
+
+size_t MetricsRegistry::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return entries_.size();
+}
+
+std::vector<MetricSnapshot> MetricsRegistry::Snapshot() const {
+  std::vector<MetricSnapshot> out;
+  std::lock_guard<std::mutex> lock(mu_);
+  out.reserve(entries_.size());
+  // entries_ is an ordered map keyed by name+labels, so the snapshot is
+  // already deterministically sorted.
+  for (const auto& [key, entry] : entries_) {
+    (void)key;
+    MetricSnapshot snap;
+    snap.name = entry->name;
+    snap.help = entry->help;
+    snap.kind = entry->kind;
+    snap.labels = entry->labels;
+    switch (entry->kind) {
+      case MetricKind::kCounter:
+        snap.value = static_cast<double>(entry->counter->Value());
+        break;
+      case MetricKind::kGauge:
+        snap.value = entry->gauge->Value();
+        break;
+      case MetricKind::kHistogram:
+        snap.histogram = entry->histogram->Snapshot();
+        break;
+    }
+    out.push_back(std::move(snap));
+  }
+  return out;
+}
+
+std::string MetricsRegistry::RenderPrometheus() const {
+  const std::vector<MetricSnapshot> metrics = Snapshot();
+  std::string out;
+  std::string last_header;
+  for (const MetricSnapshot& m : metrics) {
+    // One HELP/TYPE header per metric family (same name, many label
+    // sets); entries are sorted, so families are contiguous.
+    if (m.name != last_header) {
+      out += "# HELP " + m.name + " " + m.help + "\n";
+      out += "# TYPE " + m.name + " " + KindName(m.kind) + "\n";
+      last_header = m.name;
+    }
+    if (m.kind == MetricKind::kHistogram) {
+      const HistogramSnapshot& h = m.histogram;
+      uint64_t cumulative = 0;
+      for (size_t i = 0; i < h.buckets.size(); ++i) {
+        cumulative += h.buckets[i];
+        if (h.buckets[i] == 0 && i + 1 < h.buckets.size()) continue;
+        LabelSet with_le = m.labels;
+        with_le.emplace_back("le", FormatNumber(h.BucketUpper(i)));
+        out += m.name + "_bucket" + RenderLabels(with_le) + " " +
+               std::to_string(cumulative) + "\n";
+      }
+      LabelSet inf = m.labels;
+      inf.emplace_back("le", "+Inf");
+      out += m.name + "_bucket" + RenderLabels(inf) + " " +
+             std::to_string(h.count) + "\n";
+      out += m.name + "_sum" + RenderLabels(m.labels) + " " +
+             FormatNumber(h.sum) + "\n";
+      out += m.name + "_count" + RenderLabels(m.labels) + " " +
+             std::to_string(h.count) + "\n";
+    } else {
+      out += m.name + RenderLabels(m.labels) + " " + FormatNumber(m.value) +
+             "\n";
+    }
+  }
+  return out;
+}
+
+std::string MetricsRegistry::RenderJson() const {
+  const std::vector<MetricSnapshot> metrics = Snapshot();
+  std::string out = "{\n  \"metrics\": [\n";
+  for (size_t i = 0; i < metrics.size(); ++i) {
+    const MetricSnapshot& m = metrics[i];
+    out += "    {\"name\": \"" + EscapeJsonString(m.name) + "\", \"kind\": \"" +
+           KindName(m.kind) + "\"";
+    if (!m.labels.empty()) {
+      out += ", \"labels\": {";
+      for (size_t l = 0; l < m.labels.size(); ++l) {
+        if (l > 0) out += ", ";
+        out += "\"" + EscapeJsonString(m.labels[l].first) + "\": \"" +
+               EscapeJsonString(m.labels[l].second) + "\"";
+      }
+      out += "}";
+    }
+    if (m.kind == MetricKind::kHistogram) {
+      const HistogramSnapshot& h = m.histogram;
+      out += ", \"count\": " + std::to_string(h.count);
+      out += ", \"sum\": " + FormatNumber(h.sum);
+      out += ", \"min\": " + FormatNumber(h.min);
+      out += ", \"max\": " + FormatNumber(h.max);
+      out += ", \"mean\": " + FormatNumber(h.Mean());
+      out += ", \"p50\": " + FormatNumber(h.Quantile(0.5));
+      out += ", \"p90\": " + FormatNumber(h.Quantile(0.9));
+      out += ", \"p99\": " + FormatNumber(h.Quantile(0.99));
+      if (h.non_finite > 0) {
+        out += ", \"non_finite\": " + std::to_string(h.non_finite);
+      }
+    } else {
+      out += ", \"value\": " + FormatNumber(m.value);
+    }
+    out += "}";
+    if (i + 1 < metrics.size()) out += ",";
+    out += "\n";
+  }
+  out += "  ]\n}\n";
+  return out;
+}
+
+}  // namespace obs
+}  // namespace c2mn

@@ -1,0 +1,239 @@
+#ifndef C2MN_OBS_METRICS_REGISTRY_H_
+#define C2MN_OBS_METRICS_REGISTRY_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace c2mn {
+namespace obs {
+
+/// \file The process observability substrate: named counters, gauges, and
+/// latency histograms registered once and incremented from the hot paths.
+///
+/// Design constraints (they shape everything below):
+///  - Registration is slow-path (mutex + allocation) and idempotent: the
+///    same (name, labels) always returns the same handle, so subsystems
+///    can register in constructors or function-local statics without
+///    coordination.
+///  - After registration, every write — Counter::Increment,
+///    Gauge::Set/Add, Histogram::Observe — is wait-free on the fast path
+///    (relaxed atomics; the histogram's sum/min/max use short CAS loops)
+///    and performs ZERO heap allocations, so metrics can live inside the
+///    zero-alloc decode invariant the inference benches enforce.
+///  - Counters are striped across cache-line-padded atomic cells indexed
+///    by a per-thread ordinal, so concurrent shard workers do not ping
+///    one cache line per record.
+///  - Reads (Value(), Snapshot(), the renderers) are safe from any
+///    thread at any time; they see each cell's latest relaxed value.
+///
+/// Naming scheme (see README "Observability"):
+///   c2mn_<subsystem>_<quantity>[_<unit>][_total]
+/// with `_total` reserved for monotonic counters and seconds as the
+/// canonical duration unit (Prometheus convention).
+
+/// A set of Prometheus-style key/value labels.  Order-insensitive: labels
+/// are sorted by key at registration, so {a=1,b=2} and {b=2,a=1} resolve
+/// to the same time series.
+using LabelSet = std::vector<std::pair<std::string, std::string>>;
+
+namespace internal {
+
+/// Per-thread stripe ordinal; assigned on first use, never reused.  Kept
+/// small and POD so the thread_local involves no allocation.
+unsigned ThreadStripe();
+
+/// One cache-line-padded atomic cell (avoids false sharing between
+/// stripes of one counter and between adjacent counters).
+struct alignas(64) PaddedCell {
+  std::atomic<uint64_t> value{0};
+};
+
+}  // namespace internal
+
+/// \brief A monotonically increasing counter.  Increment is wait-free and
+/// allocation-free; Value() folds the stripes.
+class Counter {
+ public:
+  static constexpr unsigned kStripes = 8;
+
+  void Increment(uint64_t n = 1) {
+    cells_[internal::ThreadStripe() & (kStripes - 1)].value.fetch_add(
+        n, std::memory_order_relaxed);
+  }
+
+  uint64_t Value() const {
+    uint64_t total = 0;
+    for (const auto& cell : cells_) {
+      total += cell.value.load(std::memory_order_relaxed);
+    }
+    return total;
+  }
+
+ private:
+  internal::PaddedCell cells_[kStripes];
+};
+
+/// \brief A gauge: a value that goes up and down (queue depth, objective,
+/// occupancy).  Set/Add are lock-free; Add is a CAS loop (double has no
+/// fetch_add until C++20).
+class Gauge {
+ public:
+  void Set(double value) { bits_.store(Pack(value), std::memory_order_relaxed); }
+
+  void Add(double delta) {
+    uint64_t expected = bits_.load(std::memory_order_relaxed);
+    while (!bits_.compare_exchange_weak(expected,
+                                        Pack(Unpack(expected) + delta),
+                                        std::memory_order_relaxed)) {
+    }
+  }
+
+  double Value() const { return Unpack(bits_.load(std::memory_order_relaxed)); }
+
+ private:
+  static uint64_t Pack(double v);
+  static double Unpack(uint64_t bits);
+  std::atomic<uint64_t> bits_{0};  // Pack(0.0) == 0.
+};
+
+/// Read-only view of a histogram at one instant, with the same
+/// log-interpolated quantile math as common/StreamingHistogram so the
+/// two families report comparable p50/p99 figures.
+struct HistogramSnapshot {
+  double min_value = 0.0;
+  double growth = 0.0;
+  uint64_t count = 0;
+  uint64_t non_finite = 0;
+  double sum = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  /// Per-bucket (non-cumulative) counts; bucket i covers
+  /// [min_value * growth^i, min_value * growth^(i+1)).
+  std::vector<uint64_t> buckets;
+
+  double Mean() const { return count > 0 ? sum / static_cast<double>(count) : 0.0; }
+  double Quantile(double q) const;
+  /// Upper bound of bucket i (the Prometheus `le` value).
+  double BucketUpper(size_t i) const;
+};
+
+/// \brief A geometric-bucket latency histogram safe for concurrent
+/// writers.  Observe() is lock-free and allocation-free: one relaxed
+/// fetch_add on the bucket plus CAS folds of sum/min/max.  Values are
+/// clamped into [min_value, max_value] like StreamingHistogram; NaN/inf
+/// are counted separately, never bucketed (the int-cast of a NaN is UB).
+class Histogram {
+ public:
+  struct Config {
+    double min_value = 1e-6;
+    double max_value = 1e3;
+    double growth = 2.0;
+  };
+
+  explicit Histogram(const Config& config);
+
+  void Observe(double value);
+
+  uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  HistogramSnapshot Snapshot() const;
+
+ private:
+  const double min_value_;
+  const double growth_;
+  const double log_min_;
+  const double inv_log_growth_;
+  std::vector<std::atomic<uint64_t>> buckets_;
+  std::atomic<uint64_t> count_{0};
+  std::atomic<uint64_t> non_finite_{0};
+  std::atomic<uint64_t> sum_bits_;
+  std::atomic<uint64_t> min_bits_;
+  std::atomic<uint64_t> max_bits_;
+};
+
+enum class MetricKind { kCounter, kGauge, kHistogram };
+
+/// One metric flattened for the exporters and dashboards.
+struct MetricSnapshot {
+  std::string name;
+  std::string help;
+  MetricKind kind = MetricKind::kCounter;
+  LabelSet labels;
+  /// Counter (as double) or gauge value; unused for histograms.
+  double value = 0.0;
+  HistogramSnapshot histogram;
+};
+
+/// \brief The registry: owns every metric and renders them.
+///
+/// `Global()` is the process-wide instance library-level code (data io,
+/// the trainer, the decode core) registers into.  Subsystems with
+/// per-instance statistics (AnnotationService, AnalyticsEngine) default
+/// to a private registry per instance — so two services in one process
+/// never fold their counters together — and accept an injected registry
+/// (typically `&Global()`) when one unified export is wanted.
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// The process-wide registry (never destroyed, safe during shutdown).
+  static MetricsRegistry& Global();
+
+  /// Registers (or finds) a metric.  Handles are stable for the
+  /// registry's lifetime.  Re-registering the same (name, labels) with a
+  /// different kind is a programming error: the call logs once and
+  /// returns a detached instance that is never exported, so the caller
+  /// stays safe either way.
+  Counter* GetCounter(const std::string& name, const std::string& help,
+                      const LabelSet& labels = {});
+  Gauge* GetGauge(const std::string& name, const std::string& help,
+                  const LabelSet& labels = {});
+  Histogram* GetHistogram(const std::string& name, const std::string& help,
+                          const Histogram::Config& config = {},
+                          const LabelSet& labels = {});
+
+  /// Every metric at one instant, sorted by (name, labels) so renders
+  /// and golden tests are deterministic.
+  std::vector<MetricSnapshot> Snapshot() const;
+
+  /// Prometheus text exposition format (text/plain; version=0.0.4):
+  /// HELP/TYPE headers, `le`-cumulative histogram buckets, _sum/_count.
+  std::string RenderPrometheus() const;
+
+  /// The same snapshot as one JSON object (machine-readable dump for
+  /// dashboards and the BENCH_* trajectory files).
+  std::string RenderJson() const;
+
+  size_t size() const;
+
+ private:
+  struct Entry {
+    std::string name;
+    std::string help;
+    MetricKind kind;
+    LabelSet labels;
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<Histogram> histogram;
+  };
+
+  Entry* FindOrCreate(const std::string& name, const std::string& help,
+                      MetricKind kind, const LabelSet& labels);
+
+  mutable std::mutex mu_;
+  /// Keyed by name + serialized sorted labels; values are stable heap
+  /// entries so handles survive rehashing.
+  std::map<std::string, std::unique_ptr<Entry>> entries_;
+};
+
+}  // namespace obs
+}  // namespace c2mn
+
+#endif  // C2MN_OBS_METRICS_REGISTRY_H_

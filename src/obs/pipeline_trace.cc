@@ -1,0 +1,101 @@
+#include "obs/pipeline_trace.h"
+
+#include <cstdio>
+
+#include "common/logging.h"
+
+namespace c2mn {
+namespace obs {
+
+const char* PipelineStageName(PipelineStage stage) {
+  switch (stage) {
+    case PipelineStage::kQueueWait:
+      return "queue_wait";
+    case PipelineStage::kDecode:
+      return "decode";
+    case PipelineStage::kSinkEmit:
+      return "sink_emit";
+    case PipelineStage::kAnalyticsIngest:
+      return "analytics_ingest";
+  }
+  return "unknown";
+}
+
+PipelineTracer::PipelineTracer(MetricsRegistry* registry,
+                               const Options& options)
+    : options_(options) {
+  // Latencies span sub-microsecond queue hops to multi-second stalls;
+  // growth 2.0 keeps relative quantile error bounded at ~2x over that
+  // whole range with ~45 buckets.
+  const Histogram::Config latency{1e-9, 1e3, 2.0};
+  for (int i = 0; i < kNumPipelineStages; ++i) {
+    stage_histograms_[i] = registry->GetHistogram(
+        "c2mn_pipeline_stage_seconds",
+        "Per-record time spent in each pipeline stage",
+        latency, {{"stage", PipelineStageName(static_cast<PipelineStage>(i))}});
+  }
+  end_to_end_ = registry->GetHistogram(
+      "c2mn_pipeline_record_seconds",
+      "End-to-end submit-to-done latency of traced pipeline ops", latency);
+  records_traced_ = registry->GetCounter(
+      "c2mn_pipeline_records_traced_total",
+      "Pipeline ops with a recorded stage breakdown");
+  slow_ops_ = registry->GetCounter(
+      "c2mn_pipeline_slow_ops_total",
+      "Traced ops whose end-to-end latency crossed the slow threshold");
+}
+
+void PipelineTracer::Record(const Span& span, int64_t object_id, int shard) {
+  for (int i = 0; i < kNumPipelineStages; ++i) {
+    if (span.stage_seconds_[i] > 0.0) {
+      stage_histograms_[i]->Observe(span.stage_seconds_[i]);
+    }
+  }
+  const double total = span.total_seconds();
+  end_to_end_->Observe(total);
+  records_traced_->Increment();
+
+  if (options_.slow_threshold_seconds <= 0.0 ||
+      total < options_.slow_threshold_seconds) {
+    return;
+  }
+  slow_ops_->Increment();
+  SlowOpTrace trace;
+  trace.object_id = object_id;
+  trace.shard = shard;
+  trace.total_seconds = total;
+  for (int i = 0; i < kNumPipelineStages; ++i) {
+    trace.stage_seconds[i] = span.stage_seconds_[i];
+  }
+  const int every = options_.slow_log_every < 1 ? 1 : options_.slow_log_every;
+  bool log_this = false;
+  {
+    std::lock_guard<std::mutex> lock(slow_mu_);
+    if (++slow_since_log_ >= static_cast<uint64_t>(every)) {
+      slow_since_log_ = 0;
+      log_this = true;
+      recent_slow_.push_back(trace);
+      while (recent_slow_.size() > options_.max_recent_slow_ops) {
+        recent_slow_.pop_front();
+      }
+    }
+  }
+  if (log_this) {
+    char breakdown[256];
+    std::snprintf(breakdown, sizeof(breakdown),
+                  "slow op: object %lld shard %d total %.3f ms "
+                  "(queue %.3f, decode %.3f, sink %.3f, analytics %.3f)",
+                  static_cast<long long>(object_id), shard, total * 1e3,
+                  trace.stage_seconds[0] * 1e3, trace.stage_seconds[1] * 1e3,
+                  trace.stage_seconds[2] * 1e3, trace.stage_seconds[3] * 1e3);
+    C2MN_LOG_WARN << breakdown;
+  }
+}
+
+std::vector<SlowOpTrace> PipelineTracer::RecentSlowOps() const {
+  std::lock_guard<std::mutex> lock(slow_mu_);
+  return std::vector<SlowOpTrace>(recent_slow_.begin(), recent_slow_.end());
+}
+
+}  // namespace obs
+}  // namespace c2mn

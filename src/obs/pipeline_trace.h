@@ -1,0 +1,135 @@
+#ifndef C2MN_OBS_PIPELINE_TRACE_H_
+#define C2MN_OBS_PIPELINE_TRACE_H_
+
+#include <chrono>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "obs/metrics_registry.h"
+
+namespace c2mn {
+namespace obs {
+
+/// The stages one record passes through inside the annotation pipeline.
+/// They partition the submit-to-done interval: for every traced record,
+/// the stage durations sum exactly to the record's end-to-end latency
+/// (the same clock reads bound adjacent stages), which is what the
+/// stage-trace sum test asserts.
+enum class PipelineStage : int {
+  kQueueWait = 0,       ///< Submit() accepted -> shard worker dequeued.
+  kDecode = 1,          ///< OnlineAnnotator::PushInto / FlushInto.
+  kSinkEmit = 2,        ///< Delivering emitted m-semantics to the sink.
+  kAnalyticsIngest = 3, ///< AnalyticsEngine::Ingest (incl. standing push).
+};
+inline constexpr int kNumPipelineStages = 4;
+
+/// Stage names as they appear in the `stage` metric label.
+const char* PipelineStageName(PipelineStage stage);
+
+/// One fully-timed outlier record, kept for dashboards and tests.
+struct SlowOpTrace {
+  int64_t object_id = 0;
+  int shard = -1;
+  double total_seconds = 0.0;
+  double stage_seconds[kNumPipelineStages] = {0.0, 0.0, 0.0, 0.0};
+};
+
+/// \brief Per-stage latency tracing for the record pipeline.
+///
+/// The tracer owns one registry histogram per stage
+/// (`c2mn_pipeline_stage_seconds{stage=...}`) plus the end-to-end
+/// histogram (`c2mn_pipeline_record_seconds`), and a slow-op trace log:
+/// records whose end-to-end latency crosses `slow_threshold_seconds` are
+/// counted, sampled 1-in-`slow_log_every`, logged with their full span
+/// breakdown, and kept in a bounded ring readable via RecentSlowOps().
+///
+/// Recording is allocation-free and lock-free on the fast path (histogram
+/// observes); only a slow op takes the ring mutex.  When disabled the
+/// service skips the per-stage clock reads entirely, so tracing cost can
+/// be measured on/off (bench/micro_obs.cpp).
+class PipelineTracer {
+ public:
+  struct Options {
+    /// Master switch for per-stage clock reads and histograms.
+    bool enabled = true;
+    /// End-to-end latency (seconds) beyond which a record is a slow op;
+    /// 0 (or negative) disables the slow-op log.
+    double slow_threshold_seconds = 0.0;
+    /// Log 1 in N slow ops (all are counted; the ring keeps the logged
+    /// ones).  Values < 1 behave as 1.
+    int slow_log_every = 1;
+    /// Slow-op ring capacity.
+    size_t max_recent_slow_ops = 16;
+  };
+
+  PipelineTracer(MetricsRegistry* registry, const Options& options);
+
+  bool enabled() const { return options_.enabled; }
+
+  /// A span under construction for one record.  Plain value type: the
+  /// worker keeps one and re-arms it per op, so tracing allocates
+  /// nothing.  Usage:
+  ///   span.Start(submit_time);          // stage 0 opens at submit
+  ///   span.FinishStage(kQueueWait);     // now() closes stage 0, opens 1
+  ///   ...
+  ///   tracer.Record(span, object_id, shard);
+  class Span {
+   public:
+    void Start(std::chrono::steady_clock::time_point submit_time) {
+      for (double& s : stage_seconds_) s = 0.0;
+      last_ = submit_time;
+      start_ = submit_time;
+    }
+
+    /// Closes `stage` at now(); the next stage opens at the same instant.
+    void FinishStage(PipelineStage stage) {
+      const auto now = std::chrono::steady_clock::now();
+      stage_seconds_[static_cast<int>(stage)] +=
+          std::chrono::duration<double>(now - last_).count();
+      last_ = now;
+    }
+
+    double total_seconds() const {
+      return std::chrono::duration<double>(last_ - start_).count();
+    }
+    double stage_seconds(PipelineStage stage) const {
+      return stage_seconds_[static_cast<int>(stage)];
+    }
+
+   private:
+    friend class PipelineTracer;
+    std::chrono::steady_clock::time_point start_;
+    std::chrono::steady_clock::time_point last_;
+    double stage_seconds_[kNumPipelineStages] = {0.0, 0.0, 0.0, 0.0};
+  };
+
+  /// Folds one finished span into the stage histograms (stages with zero
+  /// elapsed time and no samples — e.g. analytics on a push that emitted
+  /// nothing — are skipped so their histograms reflect real work), the
+  /// end-to-end histogram, and the slow-op log.
+  void Record(const Span& span, int64_t object_id, int shard);
+
+  /// The most recent logged slow ops, newest last.
+  std::vector<SlowOpTrace> RecentSlowOps() const;
+
+  uint64_t slow_ops() const { return slow_ops_->Value(); }
+
+ private:
+  const Options options_;
+  Histogram* stage_histograms_[kNumPipelineStages];
+  Histogram* end_to_end_;
+  Counter* records_traced_;
+  Counter* slow_ops_;
+
+  mutable std::mutex slow_mu_;
+  std::deque<SlowOpTrace> recent_slow_;
+  uint64_t slow_since_log_ = 0;
+};
+
+}  // namespace obs
+}  // namespace c2mn
+
+#endif  // C2MN_OBS_PIPELINE_TRACE_H_

@@ -1,11 +1,13 @@
 #include "service/annotation_service.h"
 
 #include <chrono>
+#include <fstream>
 #include <functional>
 #include <string>
 #include <thread>
 #include <unordered_map>
 
+#include "common/logging.h"
 #include "common/streaming_histogram.h"
 #include "service/bounded_queue.h"
 
@@ -42,9 +44,6 @@ struct AnnotationService::Shard {
       sessions;
 
   std::mutex stats_mu;
-  uint64_t records_processed = 0;
-  uint64_t semantics_emitted = 0;
-  uint64_t timestamp_violations = 0;
   /// Submit-to-emit latency in seconds (1 us .. 1000 s buckets).
   StreamingHistogram latency;
   /// Submit-to-standing-query-delta latency, over the ops whose
@@ -62,20 +61,61 @@ AnnotationService::AnnotationService(const World& world,
       structure_(structure),
       weights_(std::move(weights)),
       options_(options) {
+  if (options_.obs.registry != nullptr) {
+    registry_ = options_.obs.registry;
+  } else {
+    owned_registry_ = std::make_unique<obs::MetricsRegistry>();
+    registry_ = owned_registry_.get();
+  }
+  RegisterMetrics();
+  if (options_.obs.stage_tracing) {
+    obs::PipelineTracer::Options topts;
+    topts.slow_threshold_seconds = options_.obs.slow_trace_threshold_seconds;
+    topts.slow_log_every = options_.obs.slow_trace_log_every;
+    tracer_ = std::make_unique<obs::PipelineTracer>(registry_, topts);
+  }
   const int n = options_.num_shards > 0 ? options_.num_shards : 1;
   shards_.reserve(static_cast<size_t>(n));
   for (int i = 0; i < n; ++i) {
     shards_.push_back(std::make_unique<Shard>(
         i, options_.queue_capacity > 0 ? options_.queue_capacity : 1));
+    queue_depth_gauges_.push_back(registry_->GetGauge(
+        "c2mn_service_queue_depth", "Per-shard submission backlog",
+        {{"shard", std::to_string(i)}}));
   }
   if (options_.analytics.enabled) {
     AnalyticsEngine::Options aopts = options_.analytics.engine;
     aopts.num_shards = n;  // One analytics shard per worker.
+    aopts.metrics_registry = registry_;  // One export covers the pipeline.
     analytics_ = std::make_unique<AnalyticsEngine>(aopts);
   }
   for (auto& shard : shards_) {
     shard->worker = std::thread([this, s = shard.get()] { WorkerLoop(s); });
   }
+  if (options_.obs.export_interval_seconds > 0.0 &&
+      !options_.obs.export_path.empty()) {
+    export_thread_ = std::thread([this] { ExportLoop(); });
+  }
+}
+
+void AnnotationService::RegisterMetrics() {
+  records_submitted_total_ = registry_->GetCounter(
+      "c2mn_service_records_submitted_total",
+      "Positioning records accepted by Submit()");
+  records_processed_total_ = registry_->GetCounter(
+      "c2mn_service_records_processed_total",
+      "Records fully processed by shard workers");
+  semantics_emitted_total_ = registry_->GetCounter(
+      "c2mn_service_semantics_emitted_total",
+      "M-semantics delivered to session sinks");
+  timestamp_violations_total_ = registry_->GetCounter(
+      "c2mn_service_timestamp_violations_total",
+      "Out-of-order timestamps clamped by per-session annotators");
+  merge_mismatches_total_ = registry_->GetCounter(
+      "c2mn_service_histogram_merge_mismatches_total",
+      "Latency-histogram merges skipped for mismatched bucket configs");
+  sessions_open_gauge_ = registry_->GetGauge(
+      "c2mn_service_sessions_open", "Sessions currently open");
 }
 
 AnnotationService::~AnnotationService() { Stop(); }
@@ -133,7 +173,7 @@ Status AnnotationService::Submit(int64_t object_id,
     NoteOpDone();
     return Status::FailedPrecondition("service is stopped");
   }
-  records_submitted_.fetch_add(1, std::memory_order_relaxed);
+  records_submitted_total_->Increment();
   return Status::OK();
 }
 
@@ -189,6 +229,49 @@ void AnnotationService::Stop() {
   for (auto& shard : shards_) {
     if (shard->worker.joinable()) shard->worker.join();
   }
+  if (export_thread_.joinable()) {
+    {
+      std::lock_guard<std::mutex> lock(export_mu_);
+      export_stop_ = true;
+    }
+    export_cv_.notify_all();
+    export_thread_.join();
+  }
+}
+
+void AnnotationService::UpdateGauges() const {
+  {
+    std::lock_guard<std::mutex> lock(registry_mu_);
+    sessions_open_gauge_->Set(static_cast<double>(open_sessions_.size()));
+  }
+  for (size_t i = 0; i < shards_.size(); ++i) {
+    queue_depth_gauges_[i]->Set(static_cast<double>(shards_[i]->queue.size()));
+  }
+}
+
+void AnnotationService::ExportLoop() {
+  const auto interval = std::chrono::duration<double>(
+      options_.obs.export_interval_seconds);
+  std::unique_lock<std::mutex> lock(export_mu_);
+  while (!export_stop_) {
+    if (export_cv_.wait_for(lock, interval, [this] { return export_stop_; })) {
+      break;
+    }
+    lock.unlock();
+    UpdateGauges();
+    const std::string body = options_.obs.export_format == "json"
+                                 ? registry_->RenderJson()
+                                 : registry_->RenderPrometheus();
+    std::ofstream out(options_.obs.export_path,
+                      std::ios::out | std::ios::trunc);
+    if (out) {
+      out << body;
+    } else {
+      C2MN_LOG_WARN << "metrics export: cannot write "
+                    << options_.obs.export_path;
+    }
+    lock.lock();
+  }
 }
 
 void AnnotationService::WorkerLoop(Shard* shard) {
@@ -215,55 +298,100 @@ void AnnotationService::WorkerLoop(Shard* shard) {
           Session* session = it->second.get();
           const uint64_t violations_before =
               session->annotator.timestamp_violations();
+          // Stage tracing: the span's clock reads double as the latency
+          // measurement, so tracing adds at most three extra now() calls
+          // per record over the untraced path.  The sink/ingest loops run
+          // back-to-back (all sinks, then all ingests) so the two stages
+          // time separately; per-object ordering is preserved in both
+          // streams.
+          const bool trace = tracer_ != nullptr;
+          obs::PipelineTracer::Span span;
+          if (trace) {
+            span.Start(op.submit_time);
+            span.FinishStage(obs::PipelineStage::kQueueWait);
+          }
           session->annotator.PushInto(op.record, &emitted);
-          int deltas_fired = 0;
+          if (trace) span.FinishStage(obs::PipelineStage::kDecode);
           for (const MSemantics& ms : emitted) {
             if (session->sink) session->sink(session->object_id, ms);
-            if (analytics_ != nullptr) {
+          }
+          if (trace && !emitted.empty()) {
+            span.FinishStage(obs::PipelineStage::kSinkEmit);
+          }
+          int deltas_fired = 0;
+          if (analytics_ != nullptr && !emitted.empty()) {
+            for (const MSemantics& ms : emitted) {
               deltas_fired +=
                   analytics_->Ingest(shard->index, session->object_id, ms);
             }
+            if (trace) {
+              span.FinishStage(obs::PipelineStage::kAnalyticsIngest);
+            }
           }
           const double latency_s =
-              std::chrono::duration<double>(std::chrono::steady_clock::now() -
-                                            op.submit_time)
-                  .count();
+              trace ? span.total_seconds()
+                    : std::chrono::duration<double>(
+                          std::chrono::steady_clock::now() - op.submit_time)
+                          .count();
+          records_processed_total_->Increment();
+          if (!emitted.empty()) {
+            semantics_emitted_total_->Increment(emitted.size());
+          }
+          const uint64_t violations =
+              session->annotator.timestamp_violations() - violations_before;
+          if (violations > 0) {
+            timestamp_violations_total_->Increment(violations);
+          }
           {
             std::lock_guard<std::mutex> lock(shard->stats_mu);
-            ++shard->records_processed;
-            shard->semantics_emitted += emitted.size();
-            shard->timestamp_violations +=
-                session->annotator.timestamp_violations() - violations_before;
             shard->latency.Add(latency_s);
             if (deltas_fired > 0) shard->push_latency.Add(latency_s);
           }
+          if (trace) tracer_->Record(span, op.object_id, shard->index);
           break;
         }
         case OpKind::kClose: {
           const auto it = shard->sessions.find(op.object_id);
           if (it == shard->sessions.end()) break;
           Session* session = it->second.get();
+          const bool trace = tracer_ != nullptr;
+          obs::PipelineTracer::Span span;
+          if (trace) {
+            span.Start(op.submit_time);
+            span.FinishStage(obs::PipelineStage::kQueueWait);
+          }
           session->annotator.FlushInto(&emitted);
-          int deltas_fired = 0;
+          if (trace) span.FinishStage(obs::PipelineStage::kDecode);
           for (const MSemantics& ms : emitted) {
             if (session->sink) session->sink(session->object_id, ms);
-            if (analytics_ != nullptr) {
+          }
+          if (trace && !emitted.empty()) {
+            span.FinishStage(obs::PipelineStage::kSinkEmit);
+          }
+          int deltas_fired = 0;
+          if (analytics_ != nullptr) {
+            for (const MSemantics& ms : emitted) {
               deltas_fired +=
                   analytics_->Ingest(shard->index, session->object_id, ms);
             }
-          }
-          if (analytics_ != nullptr) {
             analytics_->NoteSessionClosed(shard->index, session->object_id);
+            if (trace) {
+              span.FinishStage(obs::PipelineStage::kAnalyticsIngest);
+            }
           }
           const double latency_s =
-              std::chrono::duration<double>(std::chrono::steady_clock::now() -
-                                            op.submit_time)
-                  .count();
-          {
-            std::lock_guard<std::mutex> lock(shard->stats_mu);
-            shard->semantics_emitted += emitted.size();
-            if (deltas_fired > 0) shard->push_latency.Add(latency_s);
+              trace ? span.total_seconds()
+                    : std::chrono::duration<double>(
+                          std::chrono::steady_clock::now() - op.submit_time)
+                          .count();
+          if (!emitted.empty()) {
+            semantics_emitted_total_->Increment(emitted.size());
           }
+          if (deltas_fired > 0) {
+            std::lock_guard<std::mutex> lock(shard->stats_mu);
+            shard->push_latency.Add(latency_s);
+          }
+          if (trace) tracer_->Record(span, op.object_id, shard->index);
           shard->sessions.erase(it);
           break;
         }
@@ -301,7 +429,16 @@ AnalyticsSnapshot AnnotationService::AnalyticsStats() const {
   StreamingHistogram push_latency;
   for (const auto& shard : shards_) {
     std::lock_guard<std::mutex> lock(shard->stats_mu);
-    push_latency.Merge(shard->push_latency);
+    if (!push_latency.Merge(shard->push_latency)) {
+      // A mismatched bucket config silently loses the shard's samples;
+      // count it (and log once) instead of ignoring the failure.
+      merge_mismatches_total_->Increment();
+      static std::once_flag logged;
+      std::call_once(logged, [] {
+        C2MN_LOG_ERROR << "histogram merge skipped: shard push-latency "
+                          "histogram has a mismatched bucket config";
+      });
+    }
   }
   snapshot.push_samples = push_latency.count();
   snapshot.push_p50_ms = push_latency.Quantile(0.5) * 1e3;
@@ -317,17 +454,30 @@ ServiceStats AnnotationService::Stats() const {
     stats.sessions_open = open_sessions_.size();
     stats.sessions_opened = sessions_opened_;
     stats.sessions_closed = sessions_closed_;
+    sessions_open_gauge_->Set(static_cast<double>(stats.sessions_open));
   }
-  stats.records_submitted = records_submitted_.load(std::memory_order_relaxed);
+  // Thin views over the registry counters the workers increment.
+  stats.records_submitted = records_submitted_total_->Value();
+  stats.records_processed = records_processed_total_->Value();
+  stats.semantics_emitted = semantics_emitted_total_->Value();
+  stats.timestamp_violations = timestamp_violations_total_->Value();
   StreamingHistogram latency;
-  for (const auto& shard : shards_) {
-    stats.queue_depths.push_back(shard->queue.size());
+  for (size_t i = 0; i < shards_.size(); ++i) {
+    const auto& shard = shards_[i];
+    const size_t depth = shard->queue.size();
+    stats.queue_depths.push_back(depth);
+    queue_depth_gauges_[i]->Set(static_cast<double>(depth));
     std::lock_guard<std::mutex> lock(shard->stats_mu);
-    stats.records_processed += shard->records_processed;
-    stats.semantics_emitted += shard->semantics_emitted;
-    stats.timestamp_violations += shard->timestamp_violations;
-    latency.Merge(shard->latency);
+    if (!latency.Merge(shard->latency)) {
+      merge_mismatches_total_->Increment();
+      static std::once_flag logged;
+      std::call_once(logged, [] {
+        C2MN_LOG_ERROR << "histogram merge skipped: shard latency "
+                          "histogram has a mismatched bucket config";
+      });
+    }
   }
+  stats.histogram_merge_mismatches = merge_mismatches_total_->Value();
   stats.elapsed_seconds = uptime_.ElapsedSeconds();
   stats.records_per_second =
       stats.elapsed_seconds > 0.0

@@ -6,12 +6,16 @@
 #include <cstdint>
 #include <memory>
 #include <mutex>
+#include <string>
+#include <thread>
 #include <unordered_set>
 #include <vector>
 
 #include "analytics/analytics_engine.h"
 #include "common/status.h"
 #include "common/stopwatch.h"
+#include "obs/metrics_registry.h"
+#include "obs/pipeline_trace.h"
 #include "service/service_stats.h"
 #include "service/session.h"
 
@@ -49,6 +53,31 @@ class AnnotationService {
     AnalyticsEngine::Options engine;
   };
 
+  /// Observability wiring: where the service's metrics live and how
+  /// finely records are traced.
+  struct ObsOptions {
+    /// Registry to register into.  nullptr (the default) gives the
+    /// service a private registry so two services in one process never
+    /// fold their counters together; pass &obs::MetricsRegistry::Global()
+    /// for one unified process-wide export.
+    obs::MetricsRegistry* registry = nullptr;
+    /// Per-stage latency tracing (queue_wait/decode/sink_emit/
+    /// analytics_ingest histograms).  Off leaves only the single
+    /// submit-to-done clock read the legacy stats need.
+    bool stage_tracing = true;
+    /// End-to-end latency beyond which a record is logged as a slow op
+    /// with its full stage breakdown; 0 disables the slow-op log.
+    double slow_trace_threshold_seconds = 0.0;
+    /// Log 1 in N slow ops (all are counted).
+    int slow_trace_log_every = 1;
+    /// When > 0, a background thread renders the registry to
+    /// `export_path` every interval.  Requires a non-empty path.
+    double export_interval_seconds = 0.0;
+    std::string export_path;
+    /// "prom" or "json".
+    std::string export_format = "prom";
+  };
+
   struct Options {
     /// Worker threads; each owns one queue and a disjoint set of
     /// sessions.
@@ -63,6 +92,8 @@ class AnnotationService {
     OnlineAnnotator::Options annotator;
     /// Live analytics over everything the sinks receive.
     AnalyticsOptions analytics;
+    /// Metrics registry, stage tracing, and periodic export.
+    ObsOptions obs;
   };
 
   /// The world and weights are shared (read-only) by all sessions; the
@@ -138,12 +169,23 @@ class AnnotationService {
 
   int num_shards() const { return static_cast<int>(shards_.size()); }
 
+  /// The registry this service's metrics live in (the injected one, or
+  /// the private per-instance default).  Safe to snapshot/render from
+  /// any thread while the service exists.
+  obs::MetricsRegistry& metrics_registry() const { return *registry_; }
+
+  /// The per-stage tracer, or nullptr when stage tracing is disabled.
+  const obs::PipelineTracer* tracer() const { return tracer_.get(); }
+
  private:
   struct Shard;
 
   Shard* ShardOf(int64_t object_id) const;
   void WorkerLoop(Shard* shard);
   void NoteOpDone();
+  void RegisterMetrics();
+  void UpdateGauges() const;
+  void ExportLoop();
 
   const World& world_;
   const FeatureOptions fopts_;
@@ -152,8 +194,29 @@ class AnnotationService {
   const Options options_;
   const Stopwatch uptime_;
 
+  /// Private registry when none was injected; registry_ points at it or
+  /// at the injected one.
+  std::unique_ptr<obs::MetricsRegistry> owned_registry_;
+  obs::MetricsRegistry* registry_ = nullptr;
+  std::unique_ptr<obs::PipelineTracer> tracer_;
+
+  /// Registry-backed counters; ServiceStats is a thin view over these.
+  obs::Counter* records_submitted_total_ = nullptr;
+  obs::Counter* records_processed_total_ = nullptr;
+  obs::Counter* semantics_emitted_total_ = nullptr;
+  obs::Counter* timestamp_violations_total_ = nullptr;
+  obs::Counter* merge_mismatches_total_ = nullptr;
+  obs::Gauge* sessions_open_gauge_ = nullptr;
+  std::vector<obs::Gauge*> queue_depth_gauges_;
+
   std::vector<std::unique_ptr<Shard>> shards_;
   std::unique_ptr<AnalyticsEngine> analytics_;
+
+  /// Periodic exporter (obs.export_interval_seconds > 0).
+  std::thread export_thread_;
+  mutable std::mutex export_mu_;
+  std::condition_variable export_cv_;
+  bool export_stop_ = false;
 
   /// Caller-visible session registry (which ids are open right now);
   /// the authoritative per-session state lives with the shard workers.
@@ -162,8 +225,6 @@ class AnnotationService {
   uint64_t sessions_opened_ = 0;
   uint64_t sessions_closed_ = 0;
   bool stopped_ = false;
-
-  std::atomic<uint64_t> records_submitted_{0};
 
   /// Operations enqueued but not yet fully processed, across all
   /// shards; Drain() waits for zero.

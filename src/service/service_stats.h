@@ -22,6 +22,11 @@ struct ServiceStats {
   uint64_t semantics_emitted = 0;
   /// Out-of-order timestamps clamped by the per-session annotators.
   uint64_t timestamp_violations = 0;
+  /// Latency-histogram merges that hit a shard histogram with a
+  /// different bucket configuration and were skipped.  Always 0 unless
+  /// the service's histograms were misconfigured; surfaced (instead of
+  /// silently dropping the shard's samples) so the gap is visible.
+  uint64_t histogram_merge_mismatches = 0;
 
   /// Per-shard backlog at snapshot time.
   std::vector<size_t> queue_depths;

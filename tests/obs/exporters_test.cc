@@ -1,0 +1,117 @@
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "obs/metrics_registry.h"
+
+namespace c2mn {
+namespace obs {
+namespace {
+
+/// A small deterministic registry both golden tests render.  All values
+/// are chosen so every intermediate double is reproducible across libm
+/// implementations (bucket indices are far from integer log boundaries;
+/// BucketUpper only uses pow with small integer exponents, which is
+/// exact).
+void FillDemoRegistry(MetricsRegistry* registry) {
+  registry->GetCounter("c2mn_demo_requests_total", "Demo requests",
+                       {{"path", "/api"}})
+      ->Increment(3);
+  registry->GetGauge("c2mn_demo_queue_depth", "Demo queue depth")->Set(2.5);
+  Histogram* hist = registry->GetHistogram(
+      "c2mn_demo_latency_seconds", "Demo latency",
+      Histogram::Config{0.001, 0.008, 2.0});  // 3 buckets: 2ms, 4ms, 8ms.
+  hist->Observe(0.001);  // At min_value: first bucket.
+  hist->Observe(0.003);  // Second bucket.
+  hist->Observe(0.02);   // Above max_value: clamps into the last bucket.
+}
+
+TEST(ExportersTest, PrometheusGolden) {
+  MetricsRegistry registry;
+  FillDemoRegistry(&registry);
+  const std::string expected =
+      "# HELP c2mn_demo_latency_seconds Demo latency\n"
+      "# TYPE c2mn_demo_latency_seconds histogram\n"
+      "c2mn_demo_latency_seconds_bucket{le=\"0.002\"} 1\n"
+      "c2mn_demo_latency_seconds_bucket{le=\"0.004\"} 2\n"
+      "c2mn_demo_latency_seconds_bucket{le=\"0.008\"} 3\n"
+      "c2mn_demo_latency_seconds_bucket{le=\"+Inf\"} 3\n"
+      "c2mn_demo_latency_seconds_sum 0.024\n"
+      "c2mn_demo_latency_seconds_count 3\n"
+      "# HELP c2mn_demo_queue_depth Demo queue depth\n"
+      "# TYPE c2mn_demo_queue_depth gauge\n"
+      "c2mn_demo_queue_depth 2.5\n"
+      "# HELP c2mn_demo_requests_total Demo requests\n"
+      "# TYPE c2mn_demo_requests_total counter\n"
+      "c2mn_demo_requests_total{path=\"/api\"} 3\n";
+  EXPECT_EQ(registry.RenderPrometheus(), expected);
+}
+
+TEST(ExportersTest, JsonGolden) {
+  MetricsRegistry registry;
+  FillDemoRegistry(&registry);
+  const std::string expected =
+      "{\n"
+      "  \"metrics\": [\n"
+      "    {\"name\": \"c2mn_demo_latency_seconds\", \"kind\": \"histogram\","
+      " \"count\": 3, \"sum\": 0.024, \"min\": 0.001, \"max\": 0.02,"
+      " \"mean\": 0.008, \"p50\": 0.003, \"p90\": 0.0068, \"p99\": 0.00788},\n"
+      "    {\"name\": \"c2mn_demo_queue_depth\", \"kind\": \"gauge\","
+      " \"value\": 2.5},\n"
+      "    {\"name\": \"c2mn_demo_requests_total\", \"kind\": \"counter\","
+      " \"labels\": {\"path\": \"/api\"}, \"value\": 3}\n"
+      "  ]\n"
+      "}\n";
+  EXPECT_EQ(registry.RenderJson(), expected);
+}
+
+TEST(ExportersTest, OneHeaderPerFamily) {
+  // Two label sets of one family share a single HELP/TYPE header.
+  MetricsRegistry registry;
+  registry.GetCounter("c2mn_x_total", "X", {{"path", "a"}})->Increment();
+  registry.GetCounter("c2mn_x_total", "X", {{"path", "b"}})->Increment(2);
+  const std::string prom = registry.RenderPrometheus();
+  EXPECT_EQ(prom,
+            "# HELP c2mn_x_total X\n"
+            "# TYPE c2mn_x_total counter\n"
+            "c2mn_x_total{path=\"a\"} 1\n"
+            "c2mn_x_total{path=\"b\"} 2\n");
+}
+
+TEST(ExportersTest, ZeroCountInteriorBucketsSkipped) {
+  MetricsRegistry registry;
+  Histogram* hist = registry.GetHistogram(
+      "c2mn_demo_seconds", "sparse", Histogram::Config{0.001, 0.016, 2.0});
+  hist->Observe(0.001);  // First of 4 buckets; the middle two stay empty.
+  const std::string prom = registry.RenderPrometheus();
+  EXPECT_NE(prom.find("c2mn_demo_seconds_bucket{le=\"0.002\"} 1\n"),
+            std::string::npos);
+  EXPECT_EQ(prom.find("le=\"0.004\""), std::string::npos);
+  EXPECT_EQ(prom.find("le=\"0.008\""), std::string::npos);
+  // The final bucket always renders (it closes the cumulative series).
+  EXPECT_NE(prom.find("c2mn_demo_seconds_bucket{le=\"0.016\"} 1\n"),
+            std::string::npos);
+  EXPECT_NE(prom.find("c2mn_demo_seconds_bucket{le=\"+Inf\"} 1\n"),
+            std::string::npos);
+}
+
+TEST(ExportersTest, LabelValuesEscaped) {
+  MetricsRegistry registry;
+  registry.GetCounter("c2mn_x_total", "X", {{"path", "he\"llo\\"}})
+      ->Increment();
+  const std::string prom = registry.RenderPrometheus();
+  EXPECT_NE(prom.find("c2mn_x_total{path=\"he\\\"llo\\\\\"} 1\n"),
+            std::string::npos);
+  const std::string json = registry.RenderJson();
+  EXPECT_NE(json.find("\"path\": \"he\\\"llo\\\\\""), std::string::npos);
+}
+
+TEST(ExportersTest, EmptyRegistryRenders) {
+  MetricsRegistry registry;
+  EXPECT_EQ(registry.RenderPrometheus(), "");
+  EXPECT_EQ(registry.RenderJson(), "{\n  \"metrics\": [\n  ]\n}\n");
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace c2mn

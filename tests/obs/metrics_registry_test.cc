@@ -1,0 +1,198 @@
+#include "obs/metrics_registry.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <thread>
+#include <vector>
+
+namespace c2mn {
+namespace obs {
+namespace {
+
+TEST(CounterTest, ConcurrentIncrementsAreExact) {
+  // The striped cells trade read cost for wait-free writes; the fold
+  // must still be exact.  Run under TSan in CI (obs_ suite).
+  MetricsRegistry registry;
+  Counter* counter = registry.GetCounter("c2mn_test_total", "test");
+  constexpr int kThreads = 8;
+  constexpr uint64_t kPerThread = 100000;
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([counter] {
+      for (uint64_t i = 0; i < kPerThread; ++i) counter->Increment();
+    });
+  }
+  for (std::thread& w : workers) w.join();
+  EXPECT_EQ(counter->Value(), kThreads * kPerThread);
+}
+
+TEST(CounterTest, IncrementByN) {
+  MetricsRegistry registry;
+  Counter* counter = registry.GetCounter("c2mn_test_total", "test");
+  counter->Increment(5);
+  counter->Increment();
+  EXPECT_EQ(counter->Value(), 6u);
+}
+
+TEST(GaugeTest, SetAddConcurrent) {
+  MetricsRegistry registry;
+  Gauge* gauge = registry.GetGauge("c2mn_test_gauge", "test");
+  EXPECT_EQ(gauge->Value(), 0.0);
+  gauge->Set(2.5);
+  EXPECT_EQ(gauge->Value(), 2.5);
+  // Concurrent Add deltas must all land (CAS loop).
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 10000;
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([gauge] {
+      for (int i = 0; i < kPerThread; ++i) gauge->Add(1.0);
+    });
+  }
+  for (std::thread& w : workers) w.join();
+  EXPECT_DOUBLE_EQ(gauge->Value(), 2.5 + kThreads * kPerThread);
+}
+
+TEST(HistogramTest, ConcurrentObservesAreExact) {
+  MetricsRegistry registry;
+  Histogram* hist = registry.GetHistogram("c2mn_test_seconds", "test",
+                                          Histogram::Config{1e-6, 1e3, 2.0});
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 50000;
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([hist, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        hist->Observe(1e-4 * (1 + (t + i) % 7));
+      }
+    });
+  }
+  for (std::thread& w : workers) w.join();
+  const HistogramSnapshot snap = hist->Snapshot();
+  EXPECT_EQ(snap.count, static_cast<uint64_t>(kThreads) * kPerThread);
+  uint64_t bucket_total = 0;
+  for (uint64_t b : snap.buckets) bucket_total += b;
+  EXPECT_EQ(bucket_total, snap.count);
+  EXPECT_GE(snap.min, 1e-4);
+  EXPECT_LE(snap.max, 7e-4 + 1e-12);
+  EXPECT_GE(snap.sum, static_cast<double>(snap.count) * 1e-4);
+  EXPECT_LE(snap.sum, static_cast<double>(snap.count) * 7e-4 + 1e-6);
+}
+
+TEST(HistogramTest, QuantilesTrackObservedRange) {
+  MetricsRegistry registry;
+  Histogram* hist = registry.GetHistogram("c2mn_test_seconds", "test",
+                                          Histogram::Config{1e-6, 1e3, 2.0});
+  for (int i = 1; i <= 1000; ++i) hist->Observe(i * 1e-3);
+  const HistogramSnapshot snap = hist->Snapshot();
+  // Geometric buckets with growth 2 bound relative quantile error at 2x.
+  EXPECT_GT(snap.Quantile(0.5), 0.5 * 0.25);
+  EXPECT_LT(snap.Quantile(0.5), 0.5 * 2.0);
+  EXPECT_GE(snap.Quantile(0.99), snap.Quantile(0.5));
+  EXPECT_LE(snap.Quantile(1.0), snap.max + 1e-12);
+  EXPECT_GE(snap.Quantile(0.0), snap.min - 1e-12);
+}
+
+TEST(HistogramTest, NonFiniteValuesNeverBucketed) {
+  // The StreamingHistogram NaN-cast bug class: a NaN reaching the
+  // bucket-index cast is UB.  Non-finite observations are counted
+  // separately and excluded from count/sum/quantiles.
+  MetricsRegistry registry;
+  Histogram* hist = registry.GetHistogram("c2mn_test_seconds", "test");
+  hist->Observe(std::numeric_limits<double>::quiet_NaN());
+  hist->Observe(std::numeric_limits<double>::infinity());
+  hist->Observe(-std::numeric_limits<double>::infinity());
+  hist->Observe(1.0);
+  const HistogramSnapshot snap = hist->Snapshot();
+  EXPECT_EQ(snap.count, 1u);
+  EXPECT_EQ(snap.non_finite, 3u);
+  EXPECT_DOUBLE_EQ(snap.sum, 1.0);
+  EXPECT_TRUE(std::isfinite(snap.Quantile(0.5)));
+}
+
+TEST(HistogramTest, OutOfRangeValuesClamp) {
+  MetricsRegistry registry;
+  Histogram* hist = registry.GetHistogram("c2mn_test_seconds", "test",
+                                          Histogram::Config{1e-3, 1.0, 2.0});
+  hist->Observe(1e-9);  // Below min_value: first bucket.
+  hist->Observe(50.0);  // Above max_value: last bucket.
+  const HistogramSnapshot snap = hist->Snapshot();
+  EXPECT_EQ(snap.count, 2u);
+  EXPECT_EQ(snap.buckets.front(), 1u);
+  EXPECT_EQ(snap.buckets.back(), 1u);
+}
+
+TEST(RegistryTest, RegistrationIsIdempotent) {
+  MetricsRegistry registry;
+  Counter* a = registry.GetCounter("c2mn_x_total", "help");
+  Counter* b = registry.GetCounter("c2mn_x_total", "help");
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(registry.size(), 1u);
+}
+
+TEST(RegistryTest, LabelsAreOrderInsensitive) {
+  MetricsRegistry registry;
+  Counter* a = registry.GetCounter("c2mn_x_total", "help",
+                                   {{"a", "1"}, {"b", "2"}});
+  Counter* b = registry.GetCounter("c2mn_x_total", "help",
+                                   {{"b", "2"}, {"a", "1"}});
+  Counter* c = registry.GetCounter("c2mn_x_total", "help", {{"a", "2"}});
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+  EXPECT_EQ(registry.size(), 2u);
+}
+
+TEST(RegistryTest, KindConflictReturnsDetachedInstance) {
+  MetricsRegistry registry;
+  Counter* counter = registry.GetCounter("c2mn_x", "help");
+  ASSERT_NE(counter, nullptr);
+  // Same name, different kind: a programming error, but the caller must
+  // still get a safe (detached, never-exported) handle.
+  Gauge* gauge = registry.GetGauge("c2mn_x", "help");
+  ASSERT_NE(gauge, nullptr);
+  gauge->Set(5.0);
+  EXPECT_EQ(registry.size(), 1u);
+  EXPECT_EQ(registry.Snapshot().size(), 1u);
+  EXPECT_EQ(registry.Snapshot()[0].kind, MetricKind::kCounter);
+}
+
+TEST(RegistryTest, ConcurrentRegistrationOneInstance) {
+  MetricsRegistry registry;
+  constexpr int kThreads = 8;
+  std::vector<Counter*> handles(kThreads, nullptr);
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&registry, &handles, t] {
+      handles[static_cast<size_t>(t)] =
+          registry.GetCounter("c2mn_race_total", "help");
+      handles[static_cast<size_t>(t)]->Increment();
+    });
+  }
+  for (std::thread& w : workers) w.join();
+  for (int t = 1; t < kThreads; ++t) EXPECT_EQ(handles[0], handles[t]);
+  EXPECT_EQ(handles[0]->Value(), static_cast<uint64_t>(kThreads));
+}
+
+TEST(RegistryTest, SnapshotIsSortedAndComplete) {
+  MetricsRegistry registry;
+  registry.GetGauge("c2mn_b", "gauge b");
+  registry.GetCounter("c2mn_a_total", "counter a")->Increment(3);
+  registry.GetHistogram("c2mn_c_seconds", "hist c")->Observe(0.5);
+  const auto snaps = registry.Snapshot();
+  ASSERT_EQ(snaps.size(), 3u);
+  EXPECT_EQ(snaps[0].name, "c2mn_a_total");
+  EXPECT_EQ(snaps[0].value, 3.0);
+  EXPECT_EQ(snaps[1].name, "c2mn_b");
+  EXPECT_EQ(snaps[2].name, "c2mn_c_seconds");
+  EXPECT_EQ(snaps[2].histogram.count, 1u);
+}
+
+TEST(RegistryTest, GlobalIsSingleton) {
+  EXPECT_EQ(&MetricsRegistry::Global(), &MetricsRegistry::Global());
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace c2mn

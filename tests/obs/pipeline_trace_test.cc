@@ -1,0 +1,247 @@
+#include "obs/pipeline_trace.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "core/trainer.h"
+#include "data/dataset.h"
+#include "service/annotation_service.h"
+#include "tests/test_util.h"
+
+namespace c2mn {
+namespace {
+
+using obs::PipelineStage;
+using obs::PipelineTracer;
+
+/// A span whose queue_wait stage is backdated by `queue_wait_seconds`:
+/// Start() accepts any submit_time, so a past instant makes the first
+/// stage deterministically long without sleeping.
+PipelineTracer::Span BackdatedSpan(double queue_wait_seconds) {
+  PipelineTracer::Span span;
+  const auto now = std::chrono::steady_clock::now();
+  span.Start(now - std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                       std::chrono::duration<double>(queue_wait_seconds)));
+  span.FinishStage(PipelineStage::kQueueWait);
+  span.FinishStage(PipelineStage::kDecode);
+  return span;
+}
+
+TEST(PipelineTracerTest, StageSecondsPartitionTotal) {
+  PipelineTracer::Span span = BackdatedSpan(0.01);
+  double stage_sum = 0.0;
+  for (int i = 0; i < obs::kNumPipelineStages; ++i) {
+    stage_sum += span.stage_seconds(static_cast<PipelineStage>(i));
+  }
+  EXPECT_NEAR(stage_sum, span.total_seconds(),
+              1e-9 * std::max(1.0, span.total_seconds()));
+  EXPECT_GE(span.stage_seconds(PipelineStage::kQueueWait), 0.01);
+  EXPECT_EQ(span.stage_seconds(PipelineStage::kSinkEmit), 0.0);
+}
+
+TEST(PipelineTracerTest, RecordFillsHistograms) {
+  obs::MetricsRegistry registry;
+  PipelineTracer::Options options;
+  options.slow_threshold_seconds = 0.0;  // Slow-op log off.
+  PipelineTracer tracer(&registry, options);
+  tracer.Record(BackdatedSpan(0.01), /*object_id=*/7, /*shard=*/0);
+  obs::Histogram* queue_wait = registry.GetHistogram(
+      "c2mn_pipeline_stage_seconds", "", obs::Histogram::Config{},
+      {{"stage", "queue_wait"}});
+  obs::Histogram* sink_emit = registry.GetHistogram(
+      "c2mn_pipeline_stage_seconds", "", obs::Histogram::Config{},
+      {{"stage", "sink_emit"}});
+  EXPECT_EQ(queue_wait->count(), 1u);
+  // Zero-duration stages are skipped, not recorded as 0 — their
+  // histograms describe real work only.
+  EXPECT_EQ(sink_emit->count(), 0u);
+  EXPECT_EQ(tracer.slow_ops(), 0u);
+  EXPECT_TRUE(tracer.RecentSlowOps().empty());
+}
+
+TEST(PipelineTracerTest, SlowOpsCountedSampledAndBounded) {
+  obs::MetricsRegistry registry;
+  PipelineTracer::Options options;
+  options.slow_threshold_seconds = 1e-3;
+  options.slow_log_every = 2;  // Keep 1 in 2 in the ring.
+  options.max_recent_slow_ops = 3;
+  PipelineTracer tracer(&registry, options);
+  for (int i = 0; i < 10; ++i) {
+    tracer.Record(BackdatedSpan(0.01), /*object_id=*/i, /*shard=*/0);
+  }
+  EXPECT_EQ(tracer.slow_ops(), 10u);  // All counted...
+  const std::vector<obs::SlowOpTrace> recent = tracer.RecentSlowOps();
+  ASSERT_EQ(recent.size(), 3u);  // ...but the ring holds the sampled tail.
+  EXPECT_EQ(recent.back().object_id, 9);  // Ops 1,3,5,7,9 sampled.
+  EXPECT_EQ(recent.front().object_id, 5);
+  for (const obs::SlowOpTrace& trace : recent) {
+    EXPECT_GE(trace.total_seconds, 0.01);
+    EXPECT_GE(trace.stage_seconds[0], 0.01);
+  }
+}
+
+TEST(PipelineTracerTest, FastOpsBelowThresholdNotSlow) {
+  obs::MetricsRegistry registry;
+  PipelineTracer::Options options;
+  options.slow_threshold_seconds = 10.0;
+  PipelineTracer tracer(&registry, options);
+  tracer.Record(BackdatedSpan(1e-4), 1, 0);
+  EXPECT_EQ(tracer.slow_ops(), 0u);
+}
+
+/// Replays real streams through an AnnotationService (analytics on, one
+/// standing subscription active) and checks the tracer's books against
+/// the pipeline's: every stage histogram is populated and the per-stage
+/// sums partition the end-to-end latency sum.
+class PipelineTraceServiceTest : public ::testing::Test {
+ protected:
+  PipelineTraceServiceTest() : scenario_(testing_util::SmallMallScenario()) {
+    Rng rng(7);
+    split_ = SplitDataset(scenario_.dataset, 0.7, &rng);
+    TrainOptions topts;
+    topts.max_iter = 12;
+    topts.mcmc_samples = 15;
+    AlternateTrainer trainer(*scenario_.world, FeatureOptions{},
+                             C2mnStructure{}, topts);
+    weights_ = trainer.Train(split_.train).weights;
+    for (const LabeledSequence& ls : scenario_.dataset.sequences) {
+      std::vector<PositioningRecord> records = ls.sequence.records;
+      if (records.size() > 150) records.resize(150);
+      sources_.push_back(std::move(records));
+    }
+  }
+
+  static OnlineAnnotator::Options FastOptions() {
+    OnlineAnnotator::Options options;
+    options.window_records = 24;
+    options.finalize_lag = 6;
+    options.decode_stride = 4;
+    return options;
+  }
+
+  const Scenario& scenario_;
+  TrainTestSplit split_;
+  std::vector<double> weights_;
+  std::vector<std::vector<PositioningRecord>> sources_;
+};
+
+const obs::MetricSnapshot* FindMetric(
+    const std::vector<obs::MetricSnapshot>& snaps, const std::string& name,
+    const obs::LabelSet& labels = {}) {
+  for (const obs::MetricSnapshot& snap : snaps) {
+    if (snap.name == name && snap.labels == labels) return &snap;
+  }
+  return nullptr;
+}
+
+TEST_F(PipelineTraceServiceTest, StageSumsPartitionEndToEndLatency) {
+  constexpr int kObjects = 16;
+  ASSERT_FALSE(sources_.empty());
+
+  AnnotationService::Options options;
+  options.num_shards = 4;
+  options.queue_capacity = 256;
+  options.annotator = FastOptions();
+  options.analytics.enabled = true;
+  options.analytics.engine.min_visit_seconds = 30.0;
+  AnnotationService service(*scenario_.world, FeatureOptions{},
+                            C2mnStructure{}, weights_, options);
+
+  // A standing subscription keeps the continuous-query push path inside
+  // the traced analytics_ingest stage.
+  std::atomic<uint64_t> deltas{0};
+  StandingQuery standing;
+  standing.spec.all_regions = true;
+  standing.k = 5;
+  auto sub = service.SubscribeAnalytics(
+      standing, [&deltas](const StandingQueryDelta&) {
+        deltas.fetch_add(1, std::memory_order_relaxed);
+      });
+  ASSERT_TRUE(sub.ok());
+
+  uint64_t expected_records = 0;
+  for (int64_t id = 0; id < kObjects; ++id) {
+    ASSERT_TRUE(service.OpenSession(id, [](int64_t, const MSemantics&) {}).ok());
+    expected_records += sources_[id % sources_.size()].size();
+  }
+  for (int64_t id = 0; id < kObjects; ++id) {
+    for (const PositioningRecord& rec : sources_[id % sources_.size()]) {
+      ASSERT_TRUE(service.Submit(id, rec).ok());
+    }
+  }
+  for (int64_t id = 0; id < kObjects; ++id) {
+    ASSERT_TRUE(service.CloseSession(id).ok());
+  }
+  service.Drain();
+
+  EXPECT_GE(deltas.load(), 1u);  // At least the initial snapshot.
+
+  ASSERT_NE(service.tracer(), nullptr);
+  const auto snaps = service.metrics_registry().Snapshot();
+
+  const obs::MetricSnapshot* traced =
+      FindMetric(snaps, "c2mn_pipeline_records_traced_total");
+  ASSERT_NE(traced, nullptr);
+  // Every record op and every close op is traced; opens are not.
+  EXPECT_EQ(traced->value, static_cast<double>(expected_records + kObjects));
+
+  const obs::MetricSnapshot* end_to_end =
+      FindMetric(snaps, "c2mn_pipeline_record_seconds");
+  ASSERT_NE(end_to_end, nullptr);
+  EXPECT_EQ(end_to_end->histogram.count, expected_records + kObjects);
+
+  // The four stages partition submit-to-done: adjacent stages share
+  // their boundary clock reads and skipped stages contribute exactly 0,
+  // so the stage sums must add up to the end-to-end sum (tolerance only
+  // for double summation order).
+  double stage_sum = 0.0;
+  const char* kStages[] = {"queue_wait", "decode", "sink_emit",
+                           "analytics_ingest"};
+  for (const char* stage : kStages) {
+    const obs::MetricSnapshot* snap = FindMetric(
+        snaps, "c2mn_pipeline_stage_seconds", {{"stage", stage}});
+    ASSERT_NE(snap, nullptr) << stage;
+    EXPECT_GT(snap->histogram.count, 0u) << stage;
+    stage_sum += snap->histogram.sum;
+  }
+  EXPECT_NEAR(stage_sum, end_to_end->histogram.sum,
+              1e-6 * std::max(1.0, end_to_end->histogram.sum));
+
+  // The thin-view stats stay consistent with the registry counters.
+  const ServiceStats stats = service.Stats();
+  EXPECT_EQ(stats.records_processed, expected_records);
+  const obs::MetricSnapshot* processed =
+      FindMetric(snaps, "c2mn_service_records_processed_total");
+  ASSERT_NE(processed, nullptr);
+  EXPECT_EQ(processed->value, static_cast<double>(expected_records));
+}
+
+TEST_F(PipelineTraceServiceTest, TracingDisabledLeavesNoStageHistograms) {
+  AnnotationService::Options options;
+  options.num_shards = 2;
+  options.annotator = FastOptions();
+  options.obs.stage_tracing = false;
+  AnnotationService service(*scenario_.world, FeatureOptions{},
+                            C2mnStructure{}, weights_, options);
+  ASSERT_TRUE(service.OpenSession(0, [](int64_t, const MSemantics&) {}).ok());
+  for (const PositioningRecord& rec : sources_[0]) {
+    ASSERT_TRUE(service.Submit(0, rec).ok());
+  }
+  ASSERT_TRUE(service.CloseSession(0).ok());
+  service.Drain();
+
+  EXPECT_EQ(service.tracer(), nullptr);
+  const auto snaps = service.metrics_registry().Snapshot();
+  EXPECT_EQ(FindMetric(snaps, "c2mn_pipeline_record_seconds"), nullptr);
+  // The legacy latency stats still work without the tracer.
+  const ServiceStats stats = service.Stats();
+  EXPECT_EQ(stats.records_processed, sources_[0].size());
+}
+
+}  // namespace
+}  // namespace c2mn

@@ -20,10 +20,19 @@
 //       batch eval/queries implementation.  With --follow, standing
 //       continuous queries are subscribed before the replay and every
 //       pushed delta (answer-set change) is printed as it fires.
+//   metrics [--objects N] [--shards K] [--format prom|json] [--out FILE]
+//       [--watch] [--interval S] [--slow-ms T]
+//       Replay simulator traffic through the service with analytics and
+//       a standing subscription active, all metrics registered in the
+//       process-wide registry, and render the registry (Prometheus text
+//       or JSON) — once after the replay drains, or repeatedly while it
+//       streams with --watch.
 //
 // All subcommands accept --seed (default 7) which controls the generated
 // venue, so weights and data stay consistent across invocations.
 
+#include <atomic>
+#include <chrono>
 #include <cinttypes>
 #include <cstdio>
 #include <cstring>
@@ -72,7 +81,7 @@ struct Args {
 int Usage() {
   std::fprintf(stderr,
                "usage: c2mn_cli "
-               "<generate|train|annotate|render|serve-sim|analytics> "
+               "<generate|train|annotate|render|serve-sim|analytics|metrics> "
                "[--key value]...\n"
                "  generate --out-records R.csv --out-labels L.csv "
                "[--objects N] [--seed S]\n"
@@ -87,6 +96,8 @@ int Usage() {
                "  analytics [--objects N] [--shards K] [--k K] "
                "[--min-visit S] [--iters N] [--threads T] "
                "[--weights W.txt] [--seed S] [--follow]\n"
+               "  metrics  [--objects N] [--shards K] [--format prom|json] "
+               "[--out FILE] [--watch] [--interval S] [--slow-ms T]\n"
                "  --threads T: trainer worker threads (0 = all cores); the\n"
                "  learned weights are bit-identical for every T.\n"
                "  --follow: subscribe standing top-k queries and print each\n"
@@ -240,8 +251,10 @@ bool LoadOrTrainWeights(const Args& args, const Scenario& scenario,
   }
   AlternateTrainer trainer(*scenario.world, FeatureOptions{}, C2mnStructure{},
                            topts);
-  std::printf("training weights (%d iters; pass --weights to skip)...\n",
-              topts.max_iter);
+  // Progress goes to stderr: `metrics` renders machine-readable output
+  // on stdout and must not have it contaminated.
+  std::fprintf(stderr, "training weights (%d iters; pass --weights to skip)...\n",
+               topts.max_iter);
   *weights = trainer.Train(train).weights;
   return true;
 }
@@ -521,6 +534,105 @@ int Analytics(const Args& args) {
   return identical ? 0 : 1;
 }
 
+int Metrics(const Args& args) {
+  const uint64_t seed = static_cast<uint64_t>(args.GetInt("seed", 7));
+  ScenarioOptions sopts;
+  sopts.num_objects = args.GetInt("objects", 40);
+  sopts.seed = seed;
+  std::fprintf(stderr, "simulating %d objects in the mall venue...\n",
+               sopts.num_objects);
+  const Scenario scenario = MakeMallScenario(sopts);
+
+  std::vector<double> weights;
+  if (!LoadOrTrainWeights(args, scenario, &weights)) return 1;
+
+  const std::string format = args.Get("format", "prom");
+  if (format != "prom" && format != "json") {
+    std::fprintf(stderr, "--format must be prom or json\n");
+    return 2;
+  }
+  const bool watch = args.GetFlag("watch");
+  const double interval_s = args.GetDouble("interval", 1.0);
+  const char* out_path = args.Get("out");
+
+  AnnotationService::Options options;
+  options.num_shards = args.GetInt("shards", 4);
+  options.analytics.enabled = true;
+  options.analytics.engine.min_visit_seconds =
+      args.GetDouble("min-visit", 30.0);
+  // One unified export: the service, its analytics engine, and the
+  // library-level metrics (decode, io, trainer) all land in Global().
+  options.obs.registry = &obs::MetricsRegistry::Global();
+  options.obs.slow_trace_threshold_seconds =
+      args.GetDouble("slow-ms", 0.0) * 1e-3;
+
+  AnnotationService service(*scenario.world, FeatureOptions{}, C2mnStructure{},
+                            weights, options);
+
+  // A standing subscription keeps the continuous-query path (and its
+  // push-latency metrics) exercised during the replay.
+  StandingQuery top_regions;
+  top_regions.spec.all_regions = true;
+  top_regions.spec.min_visit_seconds =
+      options.analytics.engine.min_visit_seconds;
+  top_regions.k = 5;
+  service.SubscribeAnalytics(top_regions, [](const StandingQueryDelta&) {});
+
+  const auto render = [&] {
+    const std::string body = format == "json"
+                                 ? service.metrics_registry().RenderJson()
+                                 : service.metrics_registry().RenderPrometheus();
+    if (out_path != nullptr) {
+      std::ofstream out(out_path, std::ios::out | std::ios::trunc);
+      if (!out) {
+        std::fprintf(stderr, "cannot write %s\n", out_path);
+        return false;
+      }
+      out << body;
+    } else {
+      std::fwrite(body.data(), 1, body.size(), stdout);
+      std::fflush(stdout);
+    }
+    return true;
+  };
+
+  const size_t num_streams = scenario.dataset.sequences.size();
+  for (size_t i = 0; i < num_streams; ++i) {
+    service.OpenSession(static_cast<int64_t>(i),
+                        [](int64_t, const MSemantics&) {});
+  }
+  std::fprintf(stderr, "replaying %zu streams...\n", num_streams);
+  std::atomic<bool> replay_done{false};
+  std::thread producer([&] {
+    for (size_t i = 0; i < num_streams; ++i) {
+      for (const PositioningRecord& rec :
+           scenario.dataset.sequences[i].sequence.records) {
+        service.Submit(static_cast<int64_t>(i), rec);
+      }
+      service.CloseSession(static_cast<int64_t>(i));
+    }
+    service.Drain();
+    replay_done.store(true, std::memory_order_release);
+  });
+  bool ok = true;
+  if (watch) {
+    // Re-render while the replay streams, then once more after it
+    // drains so the final snapshot covers every record.
+    const auto interval = std::chrono::duration<double>(
+        interval_s > 0.0 ? interval_s : 1.0);
+    while (!replay_done.load(std::memory_order_acquire)) {
+      std::this_thread::sleep_for(interval);
+      if (out_path == nullptr) std::printf("\n--- metrics ---\n");
+      ok = render() && ok;
+    }
+  }
+  producer.join();
+  service.Stop();
+  if (watch && out_path == nullptr) std::printf("\n--- final metrics ---\n");
+  ok = render() && ok;
+  return ok ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -545,5 +657,6 @@ int main(int argc, char** argv) {
   if (args.command == "render") return Render(args);
   if (args.command == "serve-sim") return ServeSim(args);
   if (args.command == "analytics") return Analytics(args);
+  if (args.command == "metrics") return Metrics(args);
   return Usage();
 }
