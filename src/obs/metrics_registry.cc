@@ -232,6 +232,28 @@ std::string EscapeJsonString(const std::string& raw) {
 
 }  // namespace
 
+namespace {
+
+// One leaked detached instance per kind, shared by every kind-conflicting
+// call site: conflicting callers still get a safe, never-exported handle,
+// without allocating a fresh (and leaked) metric on each call.
+Counter* DetachedCounter() {
+  static Counter* detached = new Counter();
+  return detached;
+}
+
+Gauge* DetachedGauge() {
+  static Gauge* detached = new Gauge();
+  return detached;
+}
+
+Histogram* DetachedHistogram() {
+  static Histogram* detached = new Histogram(Histogram::Config{});
+  return detached;
+}
+
+}  // namespace
+
 MetricsRegistry& MetricsRegistry::Global() {
   // Intentionally leaked: metrics handles cached in function-local
   // statics across the library must stay valid through static
@@ -240,20 +262,22 @@ MetricsRegistry& MetricsRegistry::Global() {
   return *global;
 }
 
-MetricsRegistry::Entry* MetricsRegistry::FindOrCreate(const std::string& name,
-                                                      const std::string& help,
-                                                      MetricKind kind,
-                                                      const LabelSet& labels) {
+MetricsRegistry::Entry* MetricsRegistry::FindOrCreate(
+    const std::string& name, const std::string& help, MetricKind kind,
+    const LabelSet& labels, const Histogram::Config* config) {
   const LabelSet sorted = SortedLabels(labels);
   const std::string key = MetricKey(name, sorted);
   std::lock_guard<std::mutex> lock(mu_);
   auto it = entries_.find(key);
   if (it != entries_.end()) {
     if (it->second->kind != kind) {
-      C2MN_LOG_ERROR << "metrics: " << key << " re-registered as "
-                     << KindName(kind) << " (was "
-                     << KindName(it->second->kind)
-                     << "); returning a detached metric";
+      std::call_once(kind_conflict_logged_, [&] {
+        C2MN_LOG_ERROR << "metrics: " << key << " re-registered as "
+                       << KindName(kind) << " (was "
+                       << KindName(it->second->kind)
+                       << "); returning a detached metric (further kind "
+                          "conflicts in this registry are silent)";
+      });
       return nullptr;
     }
     return it->second.get();
@@ -263,6 +287,22 @@ MetricsRegistry::Entry* MetricsRegistry::FindOrCreate(const std::string& name,
   entry->help = help;
   entry->kind = kind;
   entry->labels = sorted;
+  // Construct the kind-appropriate sub-metric before the entry becomes
+  // visible: once inserted, an Entry is immutable under mu_, so readers
+  // (Snapshot, the renderers) never see a null sub-metric and Get* never
+  // mutates an entry outside the lock.
+  switch (kind) {
+    case MetricKind::kCounter:
+      entry->counter = std::make_unique<Counter>();
+      break;
+    case MetricKind::kGauge:
+      entry->gauge = std::make_unique<Gauge>();
+      break;
+    case MetricKind::kHistogram:
+      entry->histogram = std::make_unique<Histogram>(
+          config != nullptr ? *config : Histogram::Config{});
+      break;
+  }
   Entry* raw = entry.get();
   entries_.emplace(key, std::move(entry));
   return raw;
@@ -271,29 +311,26 @@ MetricsRegistry::Entry* MetricsRegistry::FindOrCreate(const std::string& name,
 Counter* MetricsRegistry::GetCounter(const std::string& name,
                                      const std::string& help,
                                      const LabelSet& labels) {
-  Entry* entry = FindOrCreate(name, help, MetricKind::kCounter, labels);
-  if (entry == nullptr) return new Counter();  // Detached; kind conflict.
-  if (!entry->counter) entry->counter = std::make_unique<Counter>();
-  return entry->counter.get();
+  Entry* entry = FindOrCreate(name, help, MetricKind::kCounter, labels,
+                              /*config=*/nullptr);
+  return entry != nullptr ? entry->counter.get() : DetachedCounter();
 }
 
 Gauge* MetricsRegistry::GetGauge(const std::string& name,
                                  const std::string& help,
                                  const LabelSet& labels) {
-  Entry* entry = FindOrCreate(name, help, MetricKind::kGauge, labels);
-  if (entry == nullptr) return new Gauge();
-  if (!entry->gauge) entry->gauge = std::make_unique<Gauge>();
-  return entry->gauge.get();
+  Entry* entry = FindOrCreate(name, help, MetricKind::kGauge, labels,
+                              /*config=*/nullptr);
+  return entry != nullptr ? entry->gauge.get() : DetachedGauge();
 }
 
 Histogram* MetricsRegistry::GetHistogram(const std::string& name,
                                          const std::string& help,
                                          const Histogram::Config& config,
                                          const LabelSet& labels) {
-  Entry* entry = FindOrCreate(name, help, MetricKind::kHistogram, labels);
-  if (entry == nullptr) return new Histogram(config);
-  if (!entry->histogram) entry->histogram = std::make_unique<Histogram>(config);
-  return entry->histogram.get();
+  Entry* entry =
+      FindOrCreate(name, help, MetricKind::kHistogram, labels, &config);
+  return entry != nullptr ? entry->histogram.get() : DetachedHistogram();
 }
 
 size_t MetricsRegistry::size() const {

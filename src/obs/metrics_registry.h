@@ -125,9 +125,12 @@ struct HistogramSnapshot {
 
 /// \brief A geometric-bucket latency histogram safe for concurrent
 /// writers.  Observe() is lock-free and allocation-free: one relaxed
-/// fetch_add on the bucket plus CAS folds of sum/min/max.  Values are
-/// clamped into [min_value, max_value] like StreamingHistogram; NaN/inf
-/// are counted separately, never bucketed (the int-cast of a NaN is UB).
+/// fetch_add on the bucket plus CAS folds of sum/min/max.  Only the
+/// bucket index is clamped into [min_value, max_value]; sum/min/max fold
+/// the raw observed value, so _sum stays the true total even when an
+/// outlier lands in the edge bucket.  NaN/inf are counted separately,
+/// never bucketed or folded (the int-cast of a NaN is UB, and a NaN
+/// would poison the folds).
 class Histogram {
  public:
   struct Config {
@@ -188,9 +191,10 @@ class MetricsRegistry {
 
   /// Registers (or finds) a metric.  Handles are stable for the
   /// registry's lifetime.  Re-registering the same (name, labels) with a
-  /// different kind is a programming error: the call logs once and
-  /// returns a detached instance that is never exported, so the caller
-  /// stays safe either way.
+  /// different kind is a programming error: the registry logs the first
+  /// conflict (once per registry) and returns a shared detached instance
+  /// of the requested kind that is never exported — a histogram's Config
+  /// is ignored on that path — so the caller stays safe either way.
   Counter* GetCounter(const std::string& name, const std::string& help,
                       const LabelSet& labels = {});
   Gauge* GetGauge(const std::string& name, const std::string& help,
@@ -214,6 +218,9 @@ class MetricsRegistry {
   size_t size() const;
 
  private:
+  /// Fully constructed under mu_ before insertion (the kind-matching
+  /// sub-metric is never null) and immutable afterwards, so readers can
+  /// dereference sub-metrics without revalidating.
   struct Entry {
     std::string name;
     std::string help;
@@ -224,10 +231,13 @@ class MetricsRegistry {
     std::unique_ptr<Histogram> histogram;
   };
 
+  /// `config` is consumed only for kHistogram; pass nullptr otherwise.
   Entry* FindOrCreate(const std::string& name, const std::string& help,
-                      MetricKind kind, const LabelSet& labels);
+                      MetricKind kind, const LabelSet& labels,
+                      const Histogram::Config* config);
 
   mutable std::mutex mu_;
+  std::once_flag kind_conflict_logged_;
   /// Keyed by name + serialized sorted labels; values are stable heap
   /// entries so handles survive rehashing.
   std::map<std::string, std::unique_ptr<Entry>> entries_;

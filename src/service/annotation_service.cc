@@ -433,8 +433,7 @@ AnalyticsSnapshot AnnotationService::AnalyticsStats() const {
       // A mismatched bucket config silently loses the shard's samples;
       // count it (and log once) instead of ignoring the failure.
       merge_mismatches_total_->Increment();
-      static std::once_flag logged;
-      std::call_once(logged, [] {
+      std::call_once(push_merge_mismatch_logged_, [] {
         C2MN_LOG_ERROR << "histogram merge skipped: shard push-latency "
                           "histogram has a mismatched bucket config";
       });
@@ -470,8 +469,7 @@ ServiceStats AnnotationService::Stats() const {
     std::lock_guard<std::mutex> lock(shard->stats_mu);
     if (!latency.Merge(shard->latency)) {
       merge_mismatches_total_->Increment();
-      static std::once_flag logged;
-      std::call_once(logged, [] {
+      std::call_once(latency_merge_mismatch_logged_, [] {
         C2MN_LOG_ERROR << "histogram merge skipped: shard latency "
                           "histogram has a mismatched bucket config";
       });

@@ -209,6 +209,13 @@ class AnnotationService {
   obs::Gauge* sessions_open_gauge_ = nullptr;
   std::vector<obs::Gauge*> queue_depth_gauges_;
 
+  /// Per-instance (not function-local static) so each service logs its
+  /// own histogram-config mismatch; a process-wide flag would mute every
+  /// instance after the first one logged.  Mutable: flipped from the
+  /// const Stats()/AnalyticsStats() accessors.
+  mutable std::once_flag latency_merge_mismatch_logged_;
+  mutable std::once_flag push_merge_mismatch_logged_;
+
   std::vector<std::unique_ptr<Shard>> shards_;
   std::unique_ptr<AnalyticsEngine> analytics_;
 

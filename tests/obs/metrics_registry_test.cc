@@ -4,6 +4,7 @@
 
 #include <cmath>
 #include <limits>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -173,6 +174,55 @@ TEST(RegistryTest, ConcurrentRegistrationOneInstance) {
   for (std::thread& w : workers) w.join();
   for (int t = 1; t < kThreads; ++t) EXPECT_EQ(handles[0], handles[t]);
   EXPECT_EQ(handles[0]->Value(), static_cast<uint64_t>(kThreads));
+}
+
+TEST(RegistryTest, ConcurrentRegistrationAndSnapshot) {
+  // Regression: sub-metrics used to be assigned after FindOrCreate
+  // released the registry mutex, so a concurrent Snapshot() could see an
+  // entry with a null counter/gauge/histogram, and two racing first
+  // registrations could free each other's handle.  Readers must render
+  // while writers register brand-new metrics.
+  MetricsRegistry registry;
+  constexpr int kThreads = 8;
+  constexpr int kMetricsPerThread = 50;
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&registry] {
+      for (int i = 0; i < kMetricsPerThread; ++i) {
+        // All threads race on the same names, so first registration of
+        // each metric is contended.
+        const std::string suffix = std::to_string(i);
+        registry.GetCounter("c2mn_race_c" + suffix + "_total", "test")
+            ->Increment();
+        registry.GetGauge("c2mn_race_g" + suffix, "test")->Set(1.0);
+        registry
+            .GetHistogram("c2mn_race_h" + suffix + "_seconds", "test",
+                          {1e-6, 10.0, 2.0})
+            ->Observe(0.5);
+      }
+    });
+  }
+  std::thread reader([&registry] {
+    for (int i = 0; i < 200; ++i) {
+      for (const MetricSnapshot& m : registry.Snapshot()) {
+        // A null sub-metric would have crashed inside Snapshot(); the
+        // values themselves just need to be sane.
+        if (m.kind == MetricKind::kHistogram) {
+          EXPECT_LE(m.histogram.count,
+                    static_cast<uint64_t>(kThreads * kMetricsPerThread));
+        }
+      }
+      (void)registry.RenderPrometheus();
+    }
+  });
+  for (std::thread& w : workers) w.join();
+  reader.join();
+  EXPECT_EQ(registry.size(), 3u * kMetricsPerThread);
+  for (int i = 0; i < kMetricsPerThread; ++i) {
+    Counter* c = registry.GetCounter(
+        "c2mn_race_c" + std::to_string(i) + "_total", "test");
+    EXPECT_EQ(c->Value(), static_cast<uint64_t>(kThreads));
+  }
 }
 
 TEST(RegistryTest, SnapshotIsSortedAndComplete) {
