@@ -29,6 +29,9 @@
 
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+#include <thread>
+
 #include "bench/bench_json.h"
 #include "baselines/c2mn_method.h"
 #include "common/logging.h"
@@ -36,6 +39,7 @@
 #include "core/online_annotator.h"
 #include "core/trainer.h"
 #include "data/dataset.h"
+#include "service/annotation_service.h"
 #include "sim/scenarios.h"
 
 // ---------------------------------------------------------------------------
@@ -229,6 +233,94 @@ void BM_OnlinePush(benchmark::State& state) {
 }
 BENCHMARK(BM_OnlinePush)->Unit(benchmark::kMicrosecond);
 
+/// Cross-session batched decode through the AnnotationService: one shard,
+/// `Arg(0)` concurrent sessions submitted round-robin so the shard queue
+/// carries a heavy session mix and window decodes drain through the
+/// shard's shared-workspace decode batches.  Reports sessions/sec/core
+/// (wall-clock sessions completed per second, divided by the hardware
+/// thread count) plus the realized batch fill.
+void BM_ServiceBatchedDecode(benchmark::State& state) {
+  InferenceState& s = InferenceState::Get();
+  const int kSessions = static_cast<int>(state.range(0));
+  constexpr size_t kRecordsPerSession = 96;
+
+  // One source stream per session, truncated; timestamps already ordered.
+  std::vector<std::vector<PositioningRecord>> streams;
+  for (int i = 0; i < kSessions; ++i) {
+    const auto& seqs = s.scenario.dataset.sequences;
+    std::vector<PositioningRecord> records =
+        seqs[static_cast<size_t>(i) % seqs.size()].sequence.records;
+    if (records.size() > kRecordsPerSession) records.resize(kRecordsPerSession);
+    streams.push_back(std::move(records));
+  }
+
+  AnnotationService::Options options;
+  options.num_shards = 1;  // All sessions share one queue: maximal mixing.
+  options.queue_capacity = 1024;
+  options.annotator.window_records = 24;
+  options.annotator.finalize_lag = 6;
+  options.annotator.decode_stride = 4;
+  AnnotationService service(*s.scenario.world, s.fopts, C2mnStructure{},
+                            s.weights, options);
+
+  std::atomic<uint64_t> emitted{0};
+  const auto wall_start = std::chrono::steady_clock::now();
+  for (auto _ : state) {
+    for (int64_t id = 0; id < kSessions; ++id) {
+      service.OpenSession(id, [&emitted](int64_t, const MSemantics&) {
+        emitted.fetch_add(1, std::memory_order_relaxed);
+      });
+    }
+    // Round-robin across sessions: consecutive queue entries belong to
+    // different sessions, the worst case for per-session decode locality
+    // and the exact case batching is for.  Session `id` starts `id`
+    // rounds late so the per-session decode strides de-phase — real
+    // sessions never open simultaneously, and an all-in-phase replay
+    // would park every decode right before that same session's next
+    // record, completing each one individually by construction.
+    const size_t rounds =
+        kRecordsPerSession + static_cast<size_t>(kSessions);
+    for (size_t i = 0; i < rounds; ++i) {
+      for (int64_t id = 0; id < kSessions; ++id) {
+        if (i < static_cast<size_t>(id)) continue;
+        const size_t k = i - static_cast<size_t>(id);
+        const auto& records = streams[static_cast<size_t>(id)];
+        if (k < records.size()) service.Submit(id, records[k]);
+      }
+    }
+    for (int64_t id = 0; id < kSessions; ++id) service.CloseSession(id);
+    service.Drain();
+  }
+
+  // Rate over *wall* time: the decode work happens on the shard worker
+  // thread while this thread blocks in Drain(), so a CPU-time rate
+  // (benchmark::Counter::kIsRate) would overstate throughput ~100x.
+  const double wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    wall_start)
+          .count();
+  const ServiceStats stats = service.Stats();
+  const double sessions_total =
+      static_cast<double>(kSessions) * static_cast<double>(state.iterations());
+  const double cores =
+      static_cast<double>(std::max(1u, std::thread::hardware_concurrency()));
+  state.counters["sessions_per_sec"] =
+      wall_seconds > 0 ? sessions_total / wall_seconds : 0.0;
+  state.counters["sessions_per_sec_per_core"] =
+      wall_seconds > 0 ? sessions_total / (wall_seconds * cores) : 0.0;
+  state.counters["batched_decodes"] =
+      static_cast<double>(stats.batched_decodes);
+  state.counters["decode_batches"] = static_cast<double>(stats.decode_batches);
+  state.counters["batch_fill_mean"] =
+      stats.decode_batches > 0
+          ? static_cast<double>(stats.batched_decodes) /
+                static_cast<double>(stats.decode_batches)
+          : 0.0;
+  state.counters["emitted"] =
+      static_cast<double>(emitted.load(std::memory_order_relaxed));
+}
+BENCHMARK(BM_ServiceBatchedDecode)->Arg(16)->Unit(benchmark::kMillisecond);
+
 // ---------------------------------------------------------------------------
 // Steady-state allocation check (not a google-benchmark): replays a long
 // stream through OnlineAnnotator and verifies that pushes which do not
@@ -240,7 +332,32 @@ struct PushAllocStats {
   uint64_t steady_pushes_checked = 0;
   double decode_push_allocs_mean = 0.0;  // Amortized cost of decode pushes.
   uint64_t decode_pushes_checked = 0;
+  uint64_t warm_decode_allocs = 0;       // Must be 0.
 };
+
+/// Decode pushes may allocate only for the emitted MSemantics they hand
+/// back (vector growth, pending-run splices); the decode itself is
+/// arena-backed.  Anything above this bound means a fresh heap path crept
+/// back into the warm decode cycle.
+constexpr double kMaxDecodePushAllocsMean = 24.0;
+
+/// A warm C2mnAnnotator::AnnotateInto through a reused DecodeWorkspace
+/// must not heap-allocate at all: the arena, label buffers, and every
+/// scratch vector reach steady-state capacity after the first decode.
+uint64_t RunWarmDecodeAllocCheck() {
+  InferenceState& s = InferenceState::Get();
+  const LabeledSequence& ls = SequenceNear(s, 200);
+  const C2mnAnnotator annotator(*s.scenario.world, s.fopts, C2mnStructure{},
+                                s.weights);
+  DecodeWorkspace workspace;
+  LabelSequence labels;
+  annotator.AnnotateInto(ls.sequence, &workspace, &labels);  // Warm up.
+  annotator.AnnotateInto(ls.sequence, &workspace, &labels);
+  const uint64_t before = AllocCount();
+  annotator.AnnotateInto(ls.sequence, &workspace, &labels);
+  benchmark::DoNotOptimize(labels.regions.data());
+  return AllocCount() - before;
+}
 
 PushAllocStats RunPushAllocCheck() {
   InferenceState& s = InferenceState::Get();
@@ -300,6 +417,7 @@ PushAllocStats RunPushAllocCheck() {
         static_cast<double>(decode_allocs) /
         static_cast<double>(stats.decode_pushes_checked);
   }
+  stats.warm_decode_allocs = RunWarmDecodeAllocCheck();
   return stats;
 }
 
@@ -332,6 +450,8 @@ void WriteJson(const std::string& path, const std::vector<CapturedRun>& runs,
   out << "    \"decode_push_allocs_mean\": "
       << push_stats.decode_push_allocs_mean << ",\n";
   out << "    \"decode_pushes_checked\": " << push_stats.decode_pushes_checked
+      << ",\n";
+  out << "    \"warm_decode_allocs\": " << push_stats.warm_decode_allocs
       << "\n";
   out << "  },\n";
   bench::WriteRunsArray(out, runs,
@@ -372,11 +492,30 @@ int main(int argc, char** argv) {
                      push_stats.steady_push_allocs_max));
     return 1;
   }
+  if (push_stats.warm_decode_allocs != 0) {
+    std::fprintf(stderr,
+                 "FAIL: warm AnnotateInto through a reused DecodeWorkspace "
+                 "allocated (%llu allocations; expected 0)\n",
+                 static_cast<unsigned long long>(
+                     push_stats.warm_decode_allocs));
+    return 1;
+  }
+  if (push_stats.decode_push_allocs_mean > c2mn::kMaxDecodePushAllocsMean) {
+    std::fprintf(stderr,
+                 "FAIL: decode pushes averaged %.1f allocations "
+                 "(gate: <= %.0f) — a heap path crept back into the warm "
+                 "decode cycle\n",
+                 push_stats.decode_push_allocs_mean,
+                 c2mn::kMaxDecodePushAllocsMean);
+    return 1;
+  }
   std::printf("steady-state push check: 0 allocations over %llu non-decode "
-              "pushes; %.1f allocs/decode-push over %llu decode pushes\n",
+              "pushes; %.1f allocs/decode-push over %llu decode pushes "
+              "(gate <= %.0f); warm reused-workspace decode: 0 allocations\n",
               static_cast<unsigned long long>(push_stats.steady_pushes_checked),
               push_stats.decode_push_allocs_mean,
               static_cast<unsigned long long>(
-                  push_stats.decode_pushes_checked));
+                  push_stats.decode_pushes_checked),
+              c2mn::kMaxDecodePushAllocsMean);
   return 0;
 }

@@ -1,17 +1,15 @@
 #include "clustering/st_dbscan.h"
 
 #include <cassert>
-#include <deque>
 
 namespace c2mn {
 
 namespace {
 
-/// Neighborhood of record i, exploiting time order: only a contiguous
-/// window around i can be within eps_temporal.
-std::vector<int> Neighborhood(const PSequence& seq, int i,
-                              const StDbscanParams& params) {
-  std::vector<int> out;
+/// Appends the neighborhood of record i to `out`, exploiting time order:
+/// only a contiguous window around i can be within eps_temporal.
+void AppendNeighborhood(const PSequence& seq, int i,
+                        const StDbscanParams& params, std::vector<int>* out) {
   const int n = static_cast<int>(seq.size());
   const PositioningRecord& center = seq[i];
   for (int j = i; j >= 0; --j) {
@@ -19,7 +17,7 @@ std::vector<int> Neighborhood(const PSequence& seq, int i,
     if (seq[j].location.floor == center.location.floor &&
         HorizontalDistance(seq[j].location, center.location) <=
             params.eps_spatial) {
-      out.push_back(j);
+      out->push_back(j);
     }
   }
   for (int j = i + 1; j < n; ++j) {
@@ -27,55 +25,72 @@ std::vector<int> Neighborhood(const PSequence& seq, int i,
     if (seq[j].location.floor == center.location.floor &&
         HorizontalDistance(seq[j].location, center.location) <=
             params.eps_spatial) {
-      out.push_back(j);
+      out->push_back(j);
     }
   }
-  return out;
 }
 
 }  // namespace
 
-StDbscanResult StDbscan(const PSequence& sequence,
-                        const StDbscanParams& params) {
+void StDbscanInto(const PSequence& sequence, const StDbscanParams& params,
+                  StDbscanScratch* scratch, StDbscanResult* result) {
   assert(params.min_points >= 1);
   const int n = static_cast<int>(sequence.size());
-  StDbscanResult result;
-  result.cluster_ids.assign(n, -1);
-  result.classes.assign(n, DensityClass::kNoise);
-  if (n == 0) return result;
+  result->cluster_ids.assign(n, -1);
+  result->classes.assign(n, DensityClass::kNoise);
+  result->num_clusters = 0;
+  if (n == 0) return;
 
-  // Pass 1: find core points.
-  std::vector<std::vector<int>> neighbors(n);
-  std::vector<bool> is_core(n, false);
+  // Pass 1: find core points.  Neighbor lists are concatenated into one
+  // CSR buffer instead of n per-record vectors.
+  scratch->neighbor_data.clear();
+  scratch->neighbor_off.resize(n + 1);
+  scratch->is_core.assign(n, 0);
   for (int i = 0; i < n; ++i) {
-    neighbors[i] = Neighborhood(sequence, i, params);
-    is_core[i] = static_cast<int>(neighbors[i].size()) >= params.min_points;
-    if (is_core[i]) result.classes[i] = DensityClass::kCore;
+    scratch->neighbor_off[i] = scratch->neighbor_data.size();
+    AppendNeighborhood(sequence, i, params, &scratch->neighbor_data);
+    const size_t count =
+        scratch->neighbor_data.size() - scratch->neighbor_off[i];
+    scratch->is_core[i] = count >= static_cast<size_t>(params.min_points);
+    if (scratch->is_core[i]) result->classes[i] = DensityClass::kCore;
   }
+  scratch->neighbor_off[n] = scratch->neighbor_data.size();
 
-  // Pass 2: grow clusters by BFS over core points.
+  // Pass 2: grow clusters by BFS over core points.  The frontier is a
+  // head-indexed vector (FIFO without deque block churn).
   int next_cluster = 0;
   for (int i = 0; i < n; ++i) {
-    if (!is_core[i] || result.cluster_ids[i] != -1) continue;
+    if (!scratch->is_core[i] || result->cluster_ids[i] != -1) continue;
     const int cid = next_cluster++;
-    std::deque<int> frontier = {i};
-    result.cluster_ids[i] = cid;
-    while (!frontier.empty()) {
-      const int u = frontier.front();
-      frontier.pop_front();
-      for (int v : neighbors[u]) {
-        if (result.cluster_ids[v] == -1) {
-          result.cluster_ids[v] = cid;
-          if (is_core[v]) {
-            frontier.push_back(v);
+    scratch->frontier.clear();
+    scratch->frontier.push_back(i);
+    size_t head = 0;
+    result->cluster_ids[i] = cid;
+    while (head < scratch->frontier.size()) {
+      const int u = scratch->frontier[head++];
+      const size_t lo = scratch->neighbor_off[u];
+      const size_t hi = scratch->neighbor_off[u + 1];
+      for (size_t x = lo; x < hi; ++x) {
+        const int v = scratch->neighbor_data[x];
+        if (result->cluster_ids[v] == -1) {
+          result->cluster_ids[v] = cid;
+          if (scratch->is_core[v]) {
+            scratch->frontier.push_back(v);
           } else {
-            result.classes[v] = DensityClass::kBorder;
+            result->classes[v] = DensityClass::kBorder;
           }
         }
       }
     }
   }
-  result.num_clusters = next_cluster;
+  result->num_clusters = next_cluster;
+}
+
+StDbscanResult StDbscan(const PSequence& sequence,
+                        const StDbscanParams& params) {
+  StDbscanScratch scratch;
+  StDbscanResult result;
+  StDbscanInto(sequence, params, &scratch, &result);
   return result;
 }
 

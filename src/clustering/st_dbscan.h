@@ -58,6 +58,18 @@ struct StDbscanResult {
   int num_clusters = 0;
 };
 
+/// \brief Reusable working memory for StDbscanInto: the CSR neighbor
+/// lists and the BFS frontier.  Buffers grow to the largest sequence seen
+/// and are never shrunk, so a warmed-up scratch makes every clustering
+/// call allocation-free (SequenceGraph rebuilds run once per streaming
+/// decode, so this is on the annotation hot path).
+struct StDbscanScratch {
+  std::vector<int> neighbor_data;  ///< Concatenated neighbor lists.
+  std::vector<size_t> neighbor_off;  ///< [n + 1] offsets into neighbor_data.
+  std::vector<uint8_t> is_core;
+  std::vector<int> frontier;  ///< BFS queue (head index, never pops front).
+};
+
 /// \brief Runs st-DBSCAN over the records of one p-sequence.
 ///
 /// Two records are neighbors when their horizontal distance is within
@@ -71,6 +83,11 @@ struct StDbscanResult {
 /// E-initialization of Algorithm 1 (line 1).
 StDbscanResult StDbscan(const PSequence& sequence,
                         const StDbscanParams& params);
+
+/// StDbscan into caller-owned result/scratch buffers (same output, no
+/// allocations once both have warmed up to the working-set size).
+void StDbscanInto(const PSequence& sequence, const StDbscanParams& params,
+                  StDbscanScratch* scratch, StDbscanResult* result);
 
 }  // namespace c2mn
 

@@ -1,0 +1,91 @@
+#ifndef C2MN_COMMON_SIMD_H_
+#define C2MN_COMMON_SIMD_H_
+
+namespace c2mn {
+namespace simd {
+
+/// \brief Instruction-set tiers the double-precision kernels dispatch
+/// over at runtime.  Detection picks the widest tier the host supports;
+/// tests (and the C2MN_SIMD environment variable) can force a narrower
+/// one so the scalar fallback stays exercised on wide hosts.
+enum class Level {
+  kScalar = 0,
+  kSSE2 = 1,
+  kAVX2 = 2,
+  kNEON = 3,
+};
+
+/// Widest tier this binary/host combination supports.  Compile-time
+/// gating (C2MN_SIMD cmake option off) caps this at kScalar.
+Level DetectedLevel();
+
+/// The tier the kernel entry points currently dispatch to.  Initialized
+/// lazily from DetectedLevel(), optionally narrowed by the C2MN_SIMD
+/// environment variable ("scalar", "sse2", "avx2", "neon", "auto").
+Level ActiveLevel();
+
+/// Forces dispatch to `level`; returns false (and leaves dispatch
+/// unchanged) when the host does not support it.  kScalar always
+/// succeeds.  Not thread-safe against concurrent kernel calls — intended
+/// for test setup and process start only.
+bool ForceLevel(Level level);
+
+const char* LevelName(Level level);
+
+// ---------------------------------------------------------------------------
+// Kernel primitives.  All operate on contiguous double rows of length n
+// (n >= 0, no alignment requirements) and dispatch to the active tier.
+// Semantics notes:
+//  * RowMax matches a left-to-right std::max fold over finite/±inf data
+//    (inputs are log-potentials; NaN never reaches these kernels).
+//  * MaxPlusStep preserves the scalar Viterbi tie-break exactly: an entry
+//    is overwritten only on a strictly greater score, so for equal scores
+//    the smallest predecessor index a wins.  It is bit-identical across
+//    tiers (pure add/compare, no reassociation).
+//  * The exp-based kernels (ExpAccumulate, SumExpShifted, ExpSumRow,
+//    ExpNormalize) use a polynomial exp on vector tiers whose result can
+//    differ from std::exp by a few ulp; callers must treat cross-tier
+//    equivalence as <= 1e-9, not bit-equality.  exp(-inf) = 0 and
+//    exp(+inf) = inf hold on every tier.
+// ---------------------------------------------------------------------------
+
+/// Arguments below this flush to exactly +0.0 in the vector tiers' exp
+/// (the true values are subnormal or smaller).  Callers may skip whole
+/// rows whose arguments are all below it: on vector tiers the skipped
+/// contributions are exactly +0.0, on the scalar (std::exp) tier they are
+/// at most subnormal, far beneath the 1e-9 cross-tier tolerance.
+inline constexpr double kExpFlushMin = -708.396418532264106224;
+
+/// max(x[0..n)); -inf for n == 0.
+double RowMax(const double* x, int n);
+
+/// x[i] += b[i].
+void BiasAdd(double* x, const double* b, int n);
+
+/// Viterbi inner step: for each i, if va + row[i] > cur[i] then
+/// cur[i] = va + row[i], back[i] = a.
+void MaxPlusStep(double va, const double* row, double* cur, int* back, int a,
+                 int n);
+
+/// acc[i] += exp(base + row[i]).
+void ExpAccumulate(double base, const double* row, double* acc, int n);
+
+/// Returns sum_i exp(row[i] + v[i] - shift).
+double SumExpShifted(const double* row, const double* v, double shift, int n);
+
+/// Returns sum_i exp(x[i] - m).
+double ExpSumRow(double m, const double* x, int n);
+
+/// x[i] = exp(x[i] - lse).
+void ExpNormalize(double* x, double lse, int n);
+
+namespace internal {
+/// The scalar form of the polynomial exp used by the vector tiers —
+/// exposed so tests can bound its error against std::exp directly.
+double PolyExp(double x);
+}  // namespace internal
+
+}  // namespace simd
+}  // namespace c2mn
+
+#endif  // C2MN_COMMON_SIMD_H_

@@ -7,37 +7,22 @@
 
 namespace c2mn {
 
-namespace {
-
-/// Argmax decoding of flat per-position marginal rows into `out`.
-void ArgmaxRows(const FlatChainPotentials& pots, const double* marginals,
-                std::vector<int>* out) {
-  const int n = pots.n;
-  out->resize(n);
-  for (int i = 0; i < n; ++i) {
-    const double* row = marginals + pots.node_off[i];
-    (*out)[i] = static_cast<int>(
-        std::max_element(row, row + pots.domains[i]) - row);
-  }
-}
-
-}  // namespace
-
-void C2mnAnnotator::DecodeRegions(const JointScorer& scorer,
-                                  const std::vector<MobilityEvent>& events,
-                                  DecodeWorkspace* ws,
-                                  std::vector<int>* regions) const {
-  const SequenceGraph& g = scorer.graph();
+void C2mnAnnotator::BuildRegionPotentials(const SequenceGraph& g,
+                                          DecodeWorkspace* ws) const {
   const int n = g.size();
   // Exact pairwise pass: matching + transition + synchronization cliques,
   // built directly in the flat arena layout (no nested vectors).
-  ws->arena.Reset();
   int* domains = ws->arena.Alloc<int>(n);
   for (int i = 0; i < n; ++i) {
     domains[i] = static_cast<int>(g.Candidates(i).size());
   }
-  const FlatChainPotentials pots =
+  ws->region_pots =
       FlatChainPotentials::Build(n, domains, /*tied_edges=*/false, &ws->arena);
+  const FlatChainPotentials& pots = ws->region_pots;
+  const double w_st = weights_[kWSpaceTransition];
+  const double w_sc = weights_[kWSpatialConsistency];
+  const double gamma_st = g.options().gamma_st;
+  const double sc_scale = g.options().sc_scale_meters;
   for (int i = 0; i < n; ++i) {
     double* node = pots.NodeRow(i);
     const int da = domains[i];
@@ -47,33 +32,57 @@ void C2mnAnnotator::DecodeRegions(const JointScorer& scorer,
     if (i + 1 < n) {
       const int db = domains[i + 1];
       double* edge = pots.EdgeBlock(i);
+      // f_st and f_sc share one decayed expected-MIWD per (a, b) pair,
+      // and the decay multiplier depends only on the edge — one oracle
+      // lookup and one decay per pair instead of two of each
+      // (bit-identical to evaluating the two features independently).
+      const double decay = features::EdgeTimeDecay(g, i);
+      const double delta_e = g.DeltaE(i);
+      const std::vector<RegionId>& cands_a = g.Candidates(i);
+      const std::vector<RegionId>& cands_b = g.Candidates(i + 1);
       for (int a = 0; a < da; ++a) {
+        const RegionId ra = cands_a[a];
         double* row = edge + static_cast<size_t>(a) * db;
         for (int b = 0; b < db; ++b) {
+          const RegionId rb = cands_b[b];
+          const double dist =
+              ra == rb ? 0.0
+                       : features::RegionBaseDistance(g, ra, rb) * decay;
           double s = 0.0;
           if (structure_.use_transition) {
-            s += weights_[kWSpaceTransition] *
-                 features::SpaceTransition(g, i, a, b);
+            s += w_st * std::exp(-gamma_st * dist);
           }
           if (structure_.use_sync) {
-            s += weights_[kWSpatialConsistency] *
-                 features::SpatialConsistency(g, i, a, b);
+            s += w_sc * std::exp(-std::fabs(dist - delta_e) / sc_scale);
           }
           row[b] = s;
         }
       }
     }
   }
+  ws->region_pots.PrecomputeEdgeMax(&ws->arena);
+}
+
+void C2mnAnnotator::DecodeRegions(const JointScorer& scorer,
+                                  const std::vector<MobilityEvent>& events,
+                                  DecodeWorkspace* ws, bool first_round,
+                                  std::vector<int>* regions) const {
+  const SequenceGraph& g = scorer.graph();
+  const int n = g.size();
+  const FlatChainPotentials& pots = ws->region_pots;
   auto decode = [&](const double* bias, std::vector<int>* out) {
     if (iopts_.use_max_marginals) {
-      ws->marginals.resize(pots.node_total);
-      FlatMarginals(pots, bias, &ws->chain, ws->marginals.data());
-      ArgmaxRows(pots, ws->marginals.data(), out);
+      FlatMaxMarginalLabels(pots, bias, &ws->chain, out);
     } else {
       FlatViterbi(pots, bias, &ws->chain, out);
     }
   };
-  decode(nullptr, regions);
+  if (first_round) {
+    decode(nullptr, regions);
+    ws->initial_regions = *regions;
+  } else {
+    *regions = ws->initial_regions;
+  }
 
   // Segmentation cliques (f_es DISTNUM, f_ss run restructuring) are
   // incorporated by folding their per-candidate contribution into a node
@@ -92,6 +101,9 @@ void C2mnAnnotator::DecodeRegions(const JointScorer& scorer,
   if (!seg_on) return;
   for (int sweep = 0; sweep < iopts_.icm_sweeps; ++sweep) {
     ws->node_bias.assign(pots.node_total, 0.0);
+    // Labels are frozen while the overlay is scored (the chain re-decode
+    // happens after), so one index build serves the whole sweep.
+    scorer.BuildSegIndex(*regions, events, &ws->seg);
     for (int i = 0; i < n; ++i) {
       scorer.RegionSegScores(i, weights_, *regions, events, &ws->seg,
                              ws->node_bias.data() + pots.node_off[i]);
@@ -102,19 +114,16 @@ void C2mnAnnotator::DecodeRegions(const JointScorer& scorer,
   }
 }
 
-void C2mnAnnotator::DecodeEvents(const JointScorer& scorer,
-                                 const std::vector<int>& regions,
-                                 DecodeWorkspace* ws,
-                                 std::vector<MobilityEvent>* events) const {
-  const SequenceGraph& g = scorer.graph();
+void C2mnAnnotator::BuildEventPotentials(const SequenceGraph& g,
+                                         DecodeWorkspace* ws) const {
   const int n = g.size();
   const MobilityEvent kDomain[2] = {MobilityEvent::kStay,
                                     MobilityEvent::kPass};
-  ws->arena.Reset();
   int* domains = ws->arena.Alloc<int>(n);
   std::fill(domains, domains + n, 2);
-  const FlatChainPotentials pots =
+  ws->event_pots =
       FlatChainPotentials::Build(n, domains, /*tied_edges=*/false, &ws->arena);
+  const FlatChainPotentials& pots = ws->event_pots;
   for (int i = 0; i < n; ++i) {
     double* node = pots.NodeRow(i);
     for (int v = 0; v < 2; ++v) {
@@ -139,28 +148,42 @@ void C2mnAnnotator::DecodeEvents(const JointScorer& scorer,
       }
     }
   }
+  ws->event_pots.PrecomputeEdgeMax(&ws->arena);
+}
+
+void C2mnAnnotator::DecodeEvents(const JointScorer& scorer,
+                                 const std::vector<int>& regions,
+                                 DecodeWorkspace* ws, bool first_round,
+                                 std::vector<MobilityEvent>* events) const {
+  const SequenceGraph& g = scorer.graph();
+  const int n = g.size();
+  const MobilityEvent kDomain[2] = {MobilityEvent::kStay,
+                                    MobilityEvent::kPass};
+  const FlatChainPotentials& pots = ws->event_pots;
   auto decode = [&](const double* bias, std::vector<int>* out) {
     if (iopts_.use_max_marginals) {
-      ws->marginals.resize(pots.node_total);
-      FlatMarginals(pots, bias, &ws->chain, ws->marginals.data());
-      out->resize(n);
-      for (int i = 0; i < n; ++i) {
-        const double* row = ws->marginals.data() + pots.node_off[i];
-        (*out)[i] = row[0] >= row[1] ? 0 : 1;
-      }
+      // row[0] >= row[1] picks stay on ties, exactly what the argmax's
+      // smallest-index tie-break does.
+      FlatMaxMarginalLabels(pots, bias, &ws->chain, out);
     } else {
       FlatViterbi(pots, bias, &ws->chain, out);
     }
   };
-  decode(nullptr, &ws->decoded);
+  if (first_round) {
+    decode(nullptr, &ws->decoded);
+    ws->initial_events = ws->decoded;
+  } else {
+    ws->decoded = ws->initial_events;
+  }
   events->resize(n);
   for (int i = 0; i < n; ++i) (*events)[i] = kDomain[ws->decoded[i]];
 
   if (!structure_.use_event_seg && !structure_.use_space_seg) return;
   for (int sweep = 0; sweep < iopts_.icm_sweeps; ++sweep) {
     ws->node_bias.assign(pots.node_total, 0.0);
+    scorer.BuildSegIndex(regions, *events, &ws->seg);
     for (int i = 0; i < n; ++i) {
-      scorer.EventSegScores(i, weights_, regions, *events,
+      scorer.EventSegScores(i, weights_, regions, *events, &ws->seg,
                             ws->node_bias.data() + pots.node_off[i]);
     }
     decode(ws->node_bias.data(), &ws->next);
@@ -188,11 +211,25 @@ void C2mnAnnotator::Decode(const SequenceGraph& graph, DecodeWorkspace* ws,
   assert(static_cast<int>(weights_.size()) == kNumWeights);
   const JointScorer scorer(graph, structure_);
   graph.InitialEventsInto(events);
+  // Both chains' potentials depend only on the graph, never on the
+  // alternating labels (the coupling enters through the ICM node-bias
+  // overlay), so they are built once and shared by every round.
+  ws->arena.Reset();
+  BuildRegionPotentials(graph, ws);
+  BuildEventPotentials(graph, ws);
   const int rounds =
       structure_.IsCoupled() ? iopts_.alternation_rounds : 1;
+  ws->last_region_input.clear();
+  ws->last_event_input.clear();
   for (int round = 0; round < rounds; ++round) {
-    DecodeRegions(scorer, *events, ws, regions);
-    DecodeEvents(scorer, *regions, ws, events);
+    if (ws->last_region_input != *events) {
+      ws->last_region_input = *events;
+      DecodeRegions(scorer, *events, ws, round == 0, regions);
+    }
+    if (ws->last_event_input != *regions) {
+      ws->last_event_input = *regions;
+      DecodeEvents(scorer, *regions, ws, round == 0, events);
+    }
   }
 }
 
@@ -209,7 +246,8 @@ void C2mnAnnotator::AnnotateInto(const PSequence& sequence,
   labels->regions.clear();
   labels->events.clear();
   if (sequence.empty()) return;
-  SequenceGraph graph(world_, sequence, fopts_, nullptr);
+  SequenceGraph& graph = ws->graph;
+  graph.Rebuild(world_, sequence, fopts_, nullptr);
   Decode(graph, ws, &ws->region_idx, &ws->events);
   labels->regions.resize(graph.size());
   labels->events.assign(ws->events.begin(), ws->events.end());

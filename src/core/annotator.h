@@ -20,12 +20,35 @@ struct DecodeWorkspace {
   InferenceArena arena;
   ChainWorkspace chain;
   std::vector<double> node_bias;     ///< ICM overlay (node layout).
-  std::vector<double> marginals;     ///< Flat marginal buffer.
   std::vector<int> decoded;          ///< Current labels (indices).
   std::vector<int> next;             ///< Candidate labels of one sweep.
   std::vector<int> region_idx;       ///< Region labels as candidate indices.
   std::vector<MobilityEvent> events; ///< Event labels.
   SegScratch seg;
+  /// Arena-backed chain views built once per Decode() and shared by every
+  /// alternation round (the potentials depend only on the graph; the
+  /// alternating coupling enters via the ICM node-bias overlay).  Valid
+  /// until the next arena.Reset().
+  FlatChainPotentials region_pots;
+  FlatChainPotentials event_pots;
+  /// Pairwise-only (no-overlay) decode of each chain, computed in round 1
+  /// and replayed by later rounds: the initial decode never depends on
+  /// the other chain's labels, so re-running it would reproduce these
+  /// exact labels at full marginal-pass cost.
+  std::vector<int> initial_regions;
+  std::vector<int> initial_events;
+  /// Alternation memoization: each half-round is a pure function of the
+  /// *other* chain's labels (it restarts from the cached initial decode),
+  /// so when its input labels match the previous run verbatim the rerun
+  /// would reproduce the labels already in place and is skipped.  Cleared
+  /// at the start of every Decode().
+  std::vector<MobilityEvent> last_region_input;
+  std::vector<int> last_event_input;
+  /// Reusable sequence graph for AnnotateInto: rebuilding one warmed-up
+  /// graph per decode reuses the candidate/feature/clustering buffers
+  /// instead of reallocating them.  Valid only during the AnnotateInto
+  /// call (it points into the caller's sequence).
+  SequenceGraph graph;
 };
 
 /// \brief Decoding hyper-parameters.
@@ -94,11 +117,21 @@ class C2mnAnnotator {
   MSemanticsSequence AnnotateSemantics(const PSequence& sequence) const;
 
  private:
+  /// Build the pairwise chain potentials into ws->arena (views stored in
+  /// ws->region_pots / ws->event_pots).  Called once per Decode().
+  void BuildRegionPotentials(const SequenceGraph& graph,
+                             DecodeWorkspace* ws) const;
+  void BuildEventPotentials(const SequenceGraph& graph,
+                            DecodeWorkspace* ws) const;
+  /// One alternation round of each chain.  `first_round` computes and
+  /// caches the pairwise-only initial decode; later rounds replay it.
   void DecodeRegions(const JointScorer& scorer,
                      const std::vector<MobilityEvent>& events,
-                     DecodeWorkspace* ws, std::vector<int>* regions) const;
+                     DecodeWorkspace* ws, bool first_round,
+                     std::vector<int>* regions) const;
   void DecodeEvents(const JointScorer& scorer,
                     const std::vector<int>& regions, DecodeWorkspace* ws,
+                    bool first_round,
                     std::vector<MobilityEvent>* events) const;
 
   const World& world_;

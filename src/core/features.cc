@@ -22,6 +22,19 @@ double EventMatching(const SequenceGraph& g, int i, MobilityEvent e) {
   return 0.0;
 }
 
+double RegionBaseDistance(const SequenceGraph& g, RegionId ra, RegionId rb) {
+  double dist = g.world().oracle().RegionToRegion(ra, rb);
+  if (!std::isfinite(dist)) {
+    dist = 10.0 * std::max(1.0, g.world().oracle().max_region_distance());
+  }
+  return dist;
+}
+
+double EdgeTimeDecay(const SequenceGraph& g, int i) {
+  if (!g.options().use_time_decay) return 1.0;
+  return std::exp(-g.options().gamma_time_decay * g.DeltaT(i));
+}
+
 namespace {
 
 /// Expected MIWD between the region labels of records i and i+1, with the
@@ -29,14 +42,7 @@ namespace {
 double DecayedRegionDistance(const SequenceGraph& g, int i, RegionId ra,
                              RegionId rb) {
   if (ra == rb) return 0.0;
-  double dist = g.world().oracle().RegionToRegion(ra, rb);
-  if (!std::isfinite(dist)) {
-    dist = 10.0 * std::max(1.0, g.world().oracle().max_region_distance());
-  }
-  if (g.options().use_time_decay) {
-    dist *= std::exp(-g.options().gamma_time_decay * g.DeltaT(i));
-  }
-  return dist;
+  return RegionBaseDistance(g, ra, rb) * EdgeTimeDecay(g, i);
 }
 
 }  // namespace

@@ -27,6 +27,18 @@ double EventMatching(const SequenceGraph& g, int i, MobilityEvent e);
 double SpaceTransition(const SequenceGraph& g, int i, int a_at_i,
                        int b_at_next);
 
+/// Expected MIWD between two distinct region ids, clamped finite (no
+/// time decay).  f_st and f_sc both consume this one distance; evaluating
+/// it once per (a, b) pair and the decay multiplier once per edge is how
+/// the annotator builds both pairwise features without recomputing the
+/// oracle lookup (bit-identical to calling SpaceTransition and
+/// SpatialConsistency separately).
+double RegionBaseDistance(const SequenceGraph& g, RegionId ra, RegionId rb);
+
+/// Time-decay multiplier of edge i's distance term; 1.0 when decay is
+/// disabled.  Depends only on i, so callers hoist it out of label loops.
+double EdgeTimeDecay(const SequenceGraph& g, int i);
+
 /// (4) f_et: event smoothness (1 if equal else 0).
 inline double EventTransition(MobilityEvent e1, MobilityEvent e2) {
   return e1 == e2 ? 1.0 : 0.0;

@@ -29,6 +29,14 @@ obs::Histogram* DecodeSeconds() {
   return histogram;
 }
 
+obs::Counter* DecodeWindowsSkippedTotal() {
+  static obs::Counter* counter = obs::MetricsRegistry::Global().GetCounter(
+      "c2mn_decode_windows_skipped_total",
+      "Window decodes skipped because the window was unchanged since the "
+      "last decode (finalized from cached provisional labels)");
+  return counter;
+}
+
 }  // namespace
 
 OnlineAnnotator::Options OnlineAnnotator::Options::Validated() const {
@@ -84,17 +92,45 @@ void OnlineAnnotator::Accumulate(const PositioningRecord& record,
 }
 
 void OnlineAnnotator::DecodeAndFinalize(int keep_provisional,
+                                        DecodeWorkspace* ws,
                                         std::vector<MSemantics>* emitted) {
   if (window_.empty()) return;
+  const int n = static_cast<int>(window_.size());
+  const int freeze = n - keep_provisional;
+  if (!window_dirty_ &&
+      static_cast<int>(provisional_regions_.size()) == n) {
+    // Nothing was pushed since the last decode, so the cached labels are
+    // exactly what re-decoding would have to improve on — and they came
+    // from a wider window than the one a re-decode would see now.
+    DecodeWindowsSkippedTotal()->Increment();
+    if (freeze <= 0) return;
+    for (int i = 0; i < freeze; ++i) {
+      Accumulate(window_[i], provisional_regions_[i], provisional_events_[i],
+                 emitted);
+    }
+    window_.erase(window_.begin(), window_.begin() + freeze);
+    provisional_regions_.erase(provisional_regions_.begin(),
+                               provisional_regions_.begin() + freeze);
+    provisional_events_.erase(provisional_events_.begin(),
+                              provisional_events_.begin() + freeze);
+    return;
+  }
   const auto decode_start = std::chrono::steady_clock::now();
   sequence_scratch_.records.assign(window_.begin(), window_.end());
-  annotator_.AnnotateInto(sequence_scratch_, &workspace_, &labels_scratch_);
+  annotator_.AnnotateInto(sequence_scratch_, ws, &labels_scratch_);
   DecodeWindowsTotal()->Increment();
   DecodeSeconds()->Observe(std::chrono::duration<double>(
                                std::chrono::steady_clock::now() - decode_start)
                                .count());
-  const int n = static_cast<int>(window_.size());
-  const int freeze = n - keep_provisional;
+  // Cache the labels of the records that stay in the window, so an
+  // immediately following decode of the unchanged window (a flush right
+  // after a stride decode) can skip the annotator entirely.
+  const int first_kept = freeze > 0 ? freeze : 0;
+  provisional_regions_.assign(labels_scratch_.regions.begin() + first_kept,
+                              labels_scratch_.regions.end());
+  provisional_events_.assign(labels_scratch_.events.begin() + first_kept,
+                             labels_scratch_.events.end());
+  window_dirty_ = false;
   if (freeze <= 0) return;
   for (int i = 0; i < freeze; ++i) {
     Accumulate(window_[i], labels_scratch_.regions[i],
@@ -112,7 +148,14 @@ std::vector<MSemantics> OnlineAnnotator::Push(
 
 void OnlineAnnotator::PushInto(const PositioningRecord& record,
                                std::vector<MSemantics>* emitted) {
-  emitted->clear();
+  if (PushBuffered(record)) {
+    CompleteDecode(&workspace_, emitted);
+  } else {
+    emitted->clear();
+  }
+}
+
+bool OnlineAnnotator::PushBuffered(const PositioningRecord& record) {
   PositioningRecord accepted = record;
   if (accepted.timestamp < last_timestamp_) {
     accepted.timestamp = last_timestamp_;
@@ -120,15 +163,25 @@ void OnlineAnnotator::PushInto(const PositioningRecord& record,
   }
   last_timestamp_ = accepted.timestamp;
   window_.push_back(accepted);
+  window_dirty_ = true;
   ++total_records_;
   ++since_last_decode_;
 
   const bool window_full =
       static_cast<int>(window_.size()) >= options_.window_records;
   if (window_full && since_last_decode_ >= options_.decode_stride) {
-    DecodeAndFinalize(options_.finalize_lag, emitted);
-    since_last_decode_ = 0;
+    decode_due_ = true;
   }
+  return decode_due_;
+}
+
+void OnlineAnnotator::CompleteDecode(DecodeWorkspace* ws,
+                                     std::vector<MSemantics>* emitted) {
+  emitted->clear();
+  if (!decode_due_) return;
+  decode_due_ = false;
+  DecodeAndFinalize(options_.finalize_lag, ws, emitted);
+  since_last_decode_ = 0;
 }
 
 std::vector<MSemantics> OnlineAnnotator::Flush() {
@@ -138,14 +191,23 @@ std::vector<MSemantics> OnlineAnnotator::Flush() {
 }
 
 void OnlineAnnotator::FlushInto(std::vector<MSemantics>* emitted) {
+  FlushInto(&workspace_, emitted);
+}
+
+void OnlineAnnotator::FlushInto(DecodeWorkspace* ws,
+                                std::vector<MSemantics>* emitted) {
   emitted->clear();
-  DecodeAndFinalize(0, emitted);
+  decode_due_ = false;
+  DecodeAndFinalize(0, ws, emitted);
   if (pending_.has_value()) {
     emitted->push_back(*pending_);
     pending_.reset();
   }
   last_timestamp_ = -1e300;
   since_last_decode_ = 0;
+  window_dirty_ = true;
+  provisional_regions_.clear();
+  provisional_events_.clear();
 }
 
 }  // namespace c2mn

@@ -64,6 +64,21 @@ class OnlineAnnotator {
   void PushInto(const PositioningRecord& record,
                 std::vector<MSemantics>* emitted);
 
+  /// The two halves of PushInto, split so a multi-session host can batch
+  /// the expensive half: PushBuffered() appends the record (cheap, never
+  /// decodes) and returns true when a window decode is now due;
+  /// CompleteDecode() runs that decode — using `ws` instead of the
+  /// internal workspace, so N sessions on one shard can share a single
+  /// warm workspace — and emits into `emitted` (cleared first).  No
+  /// record may be buffered between the two calls for one annotator.
+  /// PushBuffered + CompleteDecode produce exactly PushInto's output.
+  bool PushBuffered(const PositioningRecord& record);
+  void CompleteDecode(DecodeWorkspace* ws, std::vector<MSemantics>* emitted);
+
+  /// Whether a buffered decode is pending (PushBuffered returned true
+  /// and CompleteDecode has not run yet).
+  bool decode_due() const { return decode_due_; }
+
   /// Ends the stream: decodes and finalizes everything still pending and
   /// returns the remaining m-semantics.  The annotator is then ready for
   /// a fresh stream — a subsequent Push() behaves exactly as on a newly
@@ -72,6 +87,9 @@ class OnlineAnnotator {
 
   /// Flush writing into a caller-owned vector (cleared first).
   void FlushInto(std::vector<MSemantics>* emitted);
+
+  /// Flush decoding through a caller-owned workspace (see CompleteDecode).
+  void FlushInto(DecodeWorkspace* ws, std::vector<MSemantics>* emitted);
 
   /// Number of records consumed so far (across Flush() restarts).
   size_t records_consumed() const { return total_records_; }
@@ -90,9 +108,14 @@ class OnlineAnnotator {
   const Options& options() const { return options_; }
 
  private:
-  /// Decodes the current window and freezes all but the trailing
-  /// `keep_provisional` records, emitting completed runs.
-  void DecodeAndFinalize(int keep_provisional,
+  /// Decodes the current window through `ws` and freezes all but the
+  /// trailing `keep_provisional` records, emitting completed runs.  When
+  /// the window is byte-identical to the one the previous decode saw
+  /// (no push since — e.g. a flush right after a stride decode), the
+  /// decode is skipped and the cached provisional labels are finalized
+  /// instead; they carry *more* context than a re-decode of the short
+  /// remaining window would.
+  void DecodeAndFinalize(int keep_provisional, DecodeWorkspace* ws,
                          std::vector<MSemantics>* emitted);
   /// Folds one finalized (record, labels) into the pending run.
   void Accumulate(const PositioningRecord& record, RegionId region,
@@ -110,6 +133,17 @@ class OnlineAnnotator {
   size_t total_records_ = 0;
   uint64_t timestamp_violations_ = 0;
   double last_timestamp_ = -1e300;
+  /// Set by PushBuffered when a window decode is due; cleared by
+  /// CompleteDecode / FlushInto.
+  bool decode_due_ = false;
+  /// Whether the window changed since the last decode.  While false, the
+  /// cached provisional labels below still describe window_ exactly and
+  /// DecodeAndFinalize can finalize from them without decoding.
+  bool window_dirty_ = true;
+  /// Labels of window_[i] from the last decode (valid iff !window_dirty_
+  /// and the sizes match).
+  std::vector<RegionId> provisional_regions_;
+  std::vector<MobilityEvent> provisional_events_;
 
   /// The in-progress m-semantics run.
   std::optional<MSemantics> pending_;

@@ -10,8 +10,24 @@ namespace c2mn {
 
 /// \brief Reusable scratch of the batched segmentation scorers, so a
 /// long-lived decode workspace makes them allocation-free.
+///
+/// Beyond the distinct-id buffer it carries the per-sweep label index
+/// built by JointScorer::BuildSegIndex: run boundaries of both label
+/// chains plus event prefix sums.  The index turns every run-feature
+/// evaluation inside RegionSegScores / EventSegScores into O(1) lookups —
+/// without it each position re-walked its surrounding runs, which made an
+/// ICM sweep over a long stay quadratic in the run length.
 struct SegScratch {
   std::vector<RegionId> distinct;
+  /// Region label (as RegionId) per position under the indexed labeling.
+  std::vector<RegionId> region_ids;
+  /// First/last position of the run of equal labels containing i.
+  std::vector<int> event_run_start, event_run_end;
+  std::vector<int> region_run_start, region_run_end;
+  /// stay_prefix[m] = #{x < m : events[x] == kStay}.
+  std::vector<int> stay_prefix;
+  /// event_trans_prefix[i] = #{x <= i : x > 0, events[x] != events[x-1]}.
+  std::vector<int> event_trans_prefix;
 };
 
 /// \brief Scores joint (R, E) configurations of a SequenceGraph and
@@ -58,6 +74,15 @@ class JointScorer {
                                const std::vector<int>& regions,
                                const std::vector<MobilityEvent>& events) const;
 
+  /// Builds the per-sweep label index in `scratch` (run boundaries of both
+  /// chains, event prefix sums).  Must be called with exactly the
+  /// labelings later passed to RegionSegScores / EventSegScores; the ICM
+  /// overlay loops score every position against frozen labels and only
+  /// re-decode afterwards, so one build per sweep suffices.  O(n).
+  void BuildSegIndex(const std::vector<int>& regions,
+                     const std::vector<MobilityEvent>& events,
+                     SegScratch* scratch) const;
+
   /// Weighted segmentation-clique score (w · f over the f_es / f_ss
   /// templates only) of *every* candidate label of region node i at once,
   /// written to out[0 .. domain(i)).  Bit-identical to dotting
@@ -65,8 +90,12 @@ class JointScorer {
   /// only the DISTNUM membership of each candidate differs — and the
   /// region-run restructuring of f_ss is evaluated once per equivalence
   /// class (candidate equals left-neighbor region / right-neighbor region,
-  /// at most four classes) instead of once per candidate.  This is the ICM
-  /// inner loop of the annotator.
+  /// at most four classes) instead of once per candidate.  Run bounds and
+  /// run features come from the BuildSegIndex tables (which must be
+  /// current for `regions` / `events`), so the cost per position is
+  /// O(runs in the affected window), not O(window length) — the scan
+  /// version made sweeps over long homogeneous runs quadratic.  This is
+  /// the ICM inner loop of the annotator.
   void RegionSegScores(int i, const std::vector<double>& weights,
                        const std::vector<int>& regions,
                        const std::vector<MobilityEvent>& events,
@@ -74,10 +103,11 @@ class JointScorer {
 
   /// Weighted segmentation-clique score of both event labels of node i
   /// (out[0] = stay, out[1] = pass); the event-side ICM counterpart.
+  /// Requires a current BuildSegIndex in `scratch`, like RegionSegScores.
   void EventSegScores(int i, const std::vector<double>& weights,
                       const std::vector<int>& regions,
                       const std::vector<MobilityEvent>& events,
-                      double out[2]) const;
+                      SegScratch* scratch, double out[2]) const;
 
  private:
   RegionId RegionAt(int x, const std::vector<int>& regions, int override_pos,

@@ -42,20 +42,34 @@ IndoorPoint SmoothedLocation(const PSequence& seq, int i) {
   const int lo = std::max(0, i - 1);
   const int hi = std::min(n - 1, i + 1);
   Vec2 mean{0, 0};
-  std::vector<int> floor_votes;
+  // The window holds at most three records, hence at most three distinct
+  // non-negative floors — fixed arrays, since this runs per record of
+  // every rebuilt sequence graph.
+  int floors[3];
+  int votes[3];
+  int nf = 0;
   for (int j = lo; j <= hi; ++j) {
     mean = mean + seq[j].location.xy;
     const int f = seq[j].location.floor;
-    if (f >= static_cast<int>(floor_votes.size())) floor_votes.resize(f + 1, 0);
-    if (f >= 0) ++floor_votes[f];
+    if (f < 0) continue;
+    int s = 0;
+    while (s < nf && floors[s] != f) ++s;
+    if (s == nf) {
+      floors[nf] = f;
+      votes[nf] = 0;
+      ++nf;
+    }
+    ++votes[s];
   }
   mean = mean / static_cast<double>(hi - lo + 1);
+  // Majority floor; ties go to the smallest floor (the order the old
+  // dense vote array scanned them in).  No votes keeps the record's own.
   int floor = seq[i].location.floor;
   int best = 0;
-  for (size_t f = 0; f < floor_votes.size(); ++f) {
-    if (floor_votes[f] > best) {
-      best = floor_votes[f];
-      floor = static_cast<int>(f);
+  for (int s = 0; s < nf; ++s) {
+    if (votes[s] > best || (votes[s] == best && floors[s] < floor)) {
+      best = votes[s];
+      floor = floors[s];
     }
   }
   return IndoorPoint(mean, floor);
@@ -65,16 +79,22 @@ IndoorPoint SmoothedLocation(const PSequence& seq, int i) {
 
 SequenceGraph::SequenceGraph(const World& world, const PSequence& sequence,
                              const FeatureOptions& options,
-                             const LabelSequence* inject_truth)
-    : world_(&world),
-      sequence_(&sequence),
-      options_(&options),
-      n_(static_cast<int>(sequence.size())) {
+                             const LabelSequence* inject_truth) {
+  Rebuild(world, sequence, options, inject_truth);
+}
+
+void SequenceGraph::Rebuild(const World& world, const PSequence& sequence,
+                            const FeatureOptions& options,
+                            const LabelSequence* inject_truth) {
+  world_ = &world;
+  sequence_ = &sequence;
+  options_ = &options;
+  n_ = static_cast<int>(sequence.size());
   assert(n_ > 0);
   BuildCandidates(inject_truth);
 
-  const StDbscanResult clustering = StDbscan(sequence, options.dbscan);
-  density_ = clustering.classes;
+  StDbscanInto(sequence, options.dbscan, &dbscan_scratch_, &dbscan_result_);
+  density_ = dbscan_result_.classes;
 
   dt_.resize(n_ - 1);
   de_.resize(n_ - 1);
@@ -103,19 +123,20 @@ SequenceGraph::SequenceGraph(const World& world, const PSequence& sequence,
 
 void SequenceGraph::BuildCandidates(const LabelSequence* inject_truth) {
   const FeatureOptions& opts = *options_;
-  candidates_.resize(n_);
-  fsm_.resize(n_);
-  std::vector<RegionIndex::RegionDistance> nn_scratch;  // Reused across records.
+  // Grow-only: entries past n_ keep their capacity for a later, longer
+  // rebuild; entries below n_ are rebuilt in place (clear keeps capacity).
+  if (static_cast<int>(candidates_.size()) < n_) candidates_.resize(n_);
+  if (static_cast<int>(fsm_.size()) < n_) fsm_.resize(n_);
   for (int i = 0; i < n_; ++i) {
     const IndoorPoint loc = opts.smooth_observations
                                 ? SmoothedLocation(*sequence_, i)
                                 : (*sequence_)[i].location;
-    std::vector<RegionId> cands;
+    std::vector<RegionId>& cands = candidates_[i];
+    cands.clear();
     world_->index().NearestRegionsInto(loc, opts.candidate_k,
                                        opts.candidate_max_distance,
-                                       &nn_scratch);
-    cands.reserve(nn_scratch.size());
-    for (const auto& [region, dist] : nn_scratch) {
+                                       &nn_scratch_);
+    for (const auto& [region, dist] : nn_scratch_) {
       cands.push_back(region);
     }
     if (opts.cross_floor_candidates) {
@@ -123,8 +144,8 @@ void SequenceGraph::BuildCandidates(const LabelSequence* inject_truth) {
         const IndoorPoint shifted(loc.xy, loc.floor + df);
         world_->index().NearestRegionsInto(shifted, opts.cross_floor_k,
                                            opts.cross_floor_max_distance,
-                                           &nn_scratch);
-        for (const auto& [region, dist] : nn_scratch) {
+                                           &nn_scratch_);
+        for (const auto& [region, dist] : nn_scratch_) {
           if (std::find(cands.begin(), cands.end(), region) == cands.end()) {
             cands.push_back(region);
           }
@@ -153,7 +174,6 @@ void SequenceGraph::BuildCandidates(const LabelSequence* inject_truth) {
     if (opts.normalize_fsm && fsm_sum > 1e-12) {
       for (double& v : fsm_[i]) v /= fsm_sum;
     }
-    candidates_[i] = std::move(cands);
   }
 }
 

@@ -3,8 +3,10 @@
 
 #include <vector>
 
+#include "clustering/st_dbscan.h"
 #include "core/options.h"
 #include "data/labels.h"
+#include "indoor/region_index.h"
 #include "sim/world.h"
 
 namespace c2mn {
@@ -26,12 +28,29 @@ class SequenceGraph {
                 const FeatureOptions& options,
                 const LabelSequence* inject_truth);
 
+  /// An empty graph to be filled by Rebuild(); every accessor requires a
+  /// successful Rebuild first.  Lets a streaming workspace keep one graph
+  /// alive across decodes so candidate/feature buffers reuse capacity.
+  SequenceGraph() = default;
+
+  /// (Re)builds the graph in place, reusing previously grown storage.
+  /// Identical output to constructing a fresh graph, but a warmed-up
+  /// instance rebuilds without heap allocations.  Keeps pointers to
+  /// `sequence` and `options` — they must outlive the next Rebuild().
+  void Rebuild(const World& world, const PSequence& sequence,
+               const FeatureOptions& options,
+               const LabelSequence* inject_truth);
+
   /// The graph keeps pointers to `sequence` and `options`; binding them to
   /// temporaries would dangle, so those overloads are rejected.
   SequenceGraph(const World&, PSequence&&, const FeatureOptions&,
                 const LabelSequence*) = delete;
   SequenceGraph(const World&, const PSequence&, FeatureOptions&&,
                 const LabelSequence*) = delete;
+  void Rebuild(const World&, PSequence&&, const FeatureOptions&,
+               const LabelSequence*) = delete;
+  void Rebuild(const World&, const PSequence&, FeatureOptions&&,
+               const LabelSequence*) = delete;
 
   int size() const { return n_; }
   const PSequence& sequence() const { return *sequence_; }
@@ -82,11 +101,13 @@ class SequenceGraph {
  private:
   void BuildCandidates(const LabelSequence* inject_truth);
 
-  const World* world_;
-  const PSequence* sequence_;
-  const FeatureOptions* options_;
-  int n_;
+  const World* world_ = nullptr;
+  const PSequence* sequence_ = nullptr;
+  const FeatureOptions* options_ = nullptr;
+  int n_ = 0;
 
+  /// candidates_/fsm_ grow but never shrink (only the first n_ entries
+  /// are live), so the inner vectors keep their capacity across Rebuilds.
   std::vector<std::vector<RegionId>> candidates_;
   std::vector<std::vector<double>> fsm_;
   std::vector<DensityClass> density_;
@@ -94,6 +115,11 @@ class SequenceGraph {
   std::vector<uint8_t> turn_;
   std::vector<double> path_prefix_;  ///< [n]; path_prefix_[i] = Σ de_[x<i].
   std::vector<int> turn_prefix_;     ///< [n+1]; turn_prefix_[m] = Σ turn_[x<m].
+
+  /// Rebuild-only working memory, kept to make rebuilds allocation-free.
+  std::vector<RegionIndex::RegionDistance> nn_scratch_;
+  StDbscanScratch dbscan_scratch_;
+  StDbscanResult dbscan_result_;
 };
 
 }  // namespace c2mn

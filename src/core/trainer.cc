@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <array>
+#include <atomic>
 #include <cassert>
 #include <cmath>
 #include <memory>
@@ -36,10 +37,6 @@ struct TrainSequence {
   /// of how many sequences precede it in the sweep.
   Rng rng;
 
-  // -- Per-iteration outputs, reduced in ordinal order by the trainer. --
-  std::vector<double> grad;
-  double objective = 0.0;
-
   // -- Reused sampling scratch (worker-local by construction). --
   std::vector<FeatureVec> fvecs;
   std::vector<double> logits;
@@ -50,16 +47,31 @@ struct TrainSequence {
 constexpr MobilityEvent kEventDomain[2] = {MobilityEvent::kStay,
                                            MobilityEvent::kPass};
 
+/// Gradient/objective partial of one reduction chunk (a fixed contiguous
+/// range of sequences).  Cache-line aligned so two workers finishing
+/// adjacent chunks never write the same line — the per-*sequence* partial
+/// buffers this replaces interleaved across threads under the old strided
+/// sharding and false-shared heavily.
+struct alignas(64) ChunkPartial {
+  std::array<double, kNumWeights> grad;
+  double objective = 0.0;
+};
+
+/// Sequences per reduction chunk.  A pure function of nothing — keeping
+/// the chunk layout independent of the thread count is what keeps the
+/// accumulation order (and therefore every learned weight) bit-identical
+/// from 1 thread to N.
+constexpr size_t kReduceChunk = 8;
+
 /// One full iteration's sampling work for a single sequence: every pass'
 /// systematic scan, M draws per node, gradient/objective accumulation into
-/// the sequence's private buffers, and the persistent-chain advance.
+/// the owning chunk's partial buffer, and the persistent-chain advance.
 /// Reads the shared weights `w`; touches no other shared state.
 void SampleSequence(TrainSequence* ts, const C2mnStructure& structure,
                     const std::vector<double>& w,
-                    const std::vector<bool>& passes, int M) {
+                    const std::vector<bool>& passes, int M, double* grad,
+                    double* objective) {
   TrainSequence& s = *ts;
-  s.grad.assign(kNumWeights, 0.0);
-  s.objective = 0.0;
   const SequenceGraph& g = *s.graph;
   const JointScorer scorer(g, structure);
   const int n = g.size();
@@ -102,7 +114,7 @@ void SampleSequence(TrainSequence* ts, const C2mnStructure& structure,
       }
       if (empirical_index >= 0) {
         const double lse = LogSumExp(s.logits);
-        s.objective -= s.logits[empirical_index] - lse;  // -log P(b_i | MB).
+        *objective -= s.logits[empirical_index] - lse;  // -log P(b_i | MB).
       }
 
       // M MCMC draws from the local conditional (Eq. 9's sample mean of
@@ -114,8 +126,8 @@ void SampleSequence(TrainSequence* ts, const C2mnStructure& structure,
         const size_t draw = s.rng.Categorical(s.probs);
         if (empirical_index >= 0) {
           for (int k = 0; k < kNumWeights; ++k) {
-            s.grad[k] += (s.fvecs[draw][k] - s.fvecs[empirical_index][k]) /
-                         static_cast<double>(M);
+            grad[k] += (s.fvecs[draw][k] - s.fvecs[empirical_index][k]) /
+                       static_cast<double>(M);
           }
         }
         ++s.votes[draw];
@@ -248,6 +260,15 @@ TrainResult AlternateTrainer::Train(
   }
   const int M = std::max(1, topts_.mcmc_samples);
 
+  // Fixed-grain reduction chunks: sequences [c*kReduceChunk, ...) fold
+  // their gradient/objective into partial c as they are sampled, and the
+  // partials are merged once per outer iteration in chunk order.  The
+  // chunk layout (and so the floating-point association) depends only on
+  // the training set, never on the thread count.
+  const size_t num_chunks =
+      (sequences.size() + kReduceChunk - 1) / kReduceChunk;
+  std::vector<ChunkPartial> partials(num_chunks);
+
   for (int iter = 0; iter < topts_.max_iter; ++iter) {
     const Stopwatch iter_watch;
     // Strict mode reproduces Algorithm 1's one-chain-per-iteration
@@ -264,34 +285,49 @@ TrainResult AlternateTrainer::Train(
       passes = {true, false};  // E configured first: sample R, then E.
     }
 
-    // Shard the per-sequence sampling over the workers.  Each sequence is
-    // self-contained (own graph, chains, RNG stream, gradient buffer), so
-    // the strided assignment below is load balancing only — it cannot
-    // change any sequence's result.
-    auto run_shard = [&](int shard) {
-      for (size_t s = static_cast<size_t>(shard); s < sequences.size();
-           s += static_cast<size_t>(num_threads)) {
-        SampleSequence(&sequences[s], structure_, w, passes, M);
+    // Workers claim whole chunks off a shared counter: contiguous ranges
+    // keep each thread inside its own stretch of the sequence array (the
+    // old strided assignment interleaved adjacent TrainSequence structs
+    // across threads, false-sharing their headers on every scratch
+    // resize), and dynamic claiming load-balances uneven sequence
+    // lengths.  Which thread runs a chunk cannot change its partial:
+    // every sequence is self-contained (own graph, chains, RNG stream)
+    // and folds into its chunk's buffer in ordinal order.
+    std::atomic<size_t> next_chunk{0};
+    auto run_worker = [&] {
+      for (size_t c = next_chunk.fetch_add(1, std::memory_order_relaxed);
+           c < num_chunks;
+           c = next_chunk.fetch_add(1, std::memory_order_relaxed)) {
+        ChunkPartial& partial = partials[c];
+        partial.grad.fill(0.0);
+        partial.objective = 0.0;
+        const size_t begin = c * kReduceChunk;
+        const size_t end =
+            std::min(sequences.size(), begin + kReduceChunk);
+        for (size_t s = begin; s < end; ++s) {
+          SampleSequence(&sequences[s], structure_, w, passes, M,
+                         partial.grad.data(), &partial.objective);
+        }
       }
     };
     if (num_threads <= 1) {
-      run_shard(0);
+      run_worker();
     } else {
       std::vector<std::thread> workers;
       workers.reserve(num_threads - 1);
-      for (int t = 1; t < num_threads; ++t) workers.emplace_back(run_shard, t);
-      run_shard(0);
+      for (int t = 1; t < num_threads; ++t) workers.emplace_back(run_worker);
+      run_worker();
       for (std::thread& worker : workers) worker.join();
     }
 
-    // Fixed-order reduction: summing per-sequence partials in ordinal
-    // order keeps floating-point association identical for every thread
-    // count, so the whole run is bit-identical to the 1-thread run.
+    // Merge the chunk partials once, in chunk order — with the fixed
+    // grain above this association is identical for every thread count,
+    // so the whole run is bit-identical to the 1-thread run.
     std::vector<double> grad(kNumWeights, 0.0);
     double objective = 0.0;
-    for (const TrainSequence& ts : sequences) {
-      for (int k = 0; k < kNumWeights; ++k) grad[k] += ts.grad[k];
-      objective += ts.objective;
+    for (const ChunkPartial& partial : partials) {
+      for (int k = 0; k < kNumWeights; ++k) grad[k] += partial.grad[k];
+      objective += partial.objective;
     }
 
     // Gaussian prior (Eq. 6's w'w / 2σ² term, per-template variances).

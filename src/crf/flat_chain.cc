@@ -5,6 +5,7 @@
 #include <cmath>
 
 #include "common/math_utils.h"
+#include "common/simd.h"
 #include "crf/chain_model.h"
 
 namespace c2mn {
@@ -12,15 +13,28 @@ namespace c2mn {
 namespace {
 
 inline double MaxOf(const double* x, size_t n) {
-  double m = x[0];
-  for (size_t i = 1; i < n; ++i) m = std::max(m, x[i]);
-  return m;
+  return simd::RowMax(x, static_cast<int>(n));
 }
 
 inline double NodeValue(const FlatChainPotentials& p, const double* bias,
                         size_t flat_index) {
   return bias == nullptr ? p.node[flat_index]
                          : p.node[flat_index] + bias[flat_index];
+}
+
+/// cur[b] += node(i, b) [+ bias(i, b)].  The biased path rounds
+/// node + bias first (one fused overlay value, exactly like NodeValue)
+/// so an overlay decode stays bit-identical to decoding materialized
+/// augmented potentials.
+inline void AddNodeRow(const FlatChainPotentials& p, const double* bias,
+                       size_t off, double* cur, int d) {
+  if (bias == nullptr) {
+    simd::BiasAdd(cur, p.node + off, d);
+    return;
+  }
+  const double* node = p.node + off;
+  const double* b = bias + off;
+  for (int i = 0; i < d; ++i) cur[i] += node[i] + b[i];
 }
 
 }  // namespace
@@ -88,6 +102,21 @@ FlatChainPotentials FlatChainPotentials::FromNested(
   return p;
 }
 
+void FlatChainPotentials::PrecomputeEdgeMax(InferenceArena* arena) {
+  if (n <= 1) return;
+  double* em = arena->Alloc<double>(static_cast<size_t>(n) - 1);
+  for (int i = 0; i + 1 < n; ++i) {
+    if (i > 0 && edge_off[i] == edge_off[i - 1] &&
+        domains[i + 1] == domains[i]) {
+      em[i] = em[i - 1];  // tied edges share one block
+      continue;
+    }
+    em[i] = MaxOf(EdgeBlock(i),
+                  static_cast<size_t>(domains[i]) * domains[i + 1]);
+  }
+  edge_max = em;
+}
+
 void FlatViterbi(const FlatChainPotentials& p, const double* node_bias,
                  ChainWorkspace* ws, std::vector<int>* out) {
   const int n = p.n;
@@ -106,18 +135,10 @@ void FlatViterbi(const FlatChainPotentials& p, const double* node_bias,
     std::fill(cur, cur + db, -1e300);
     std::fill(back_cur, back_cur + db, 0);
     for (int a = 0; a < da; ++a) {
-      const double va = prev[a];
-      const double* row = edge + static_cast<size_t>(a) * db;
-      for (int b = 0; b < db; ++b) {
-        const double score = va + row[b];
-        if (score > cur[b]) {
-          cur[b] = score;
-          back_cur[b] = a;
-        }
-      }
+      simd::MaxPlusStep(prev[a], edge + static_cast<size_t>(a) * db, cur,
+                        back_cur, a, db);
     }
-    const size_t off = p.node_off[i];
-    for (int b = 0; b < db; ++b) cur[b] += NodeValue(p, node_bias, off + b);
+    AddNodeRow(p, node_bias, p.node_off[i], cur, db);
   }
   out->resize(n);
   const double* last = best + p.node_off[n - 1];
@@ -147,14 +168,22 @@ void ForwardMessages(const FlatChainPotentials& p, const double* node_bias,
     const double* prev = alpha + p.node_off[i - 1];
     double* cur = alpha + p.node_off[i];
     const double* edge = p.EdgeBlock(i - 1);
-    const double shift =
-        MaxOf(prev, da) + MaxOf(edge, static_cast<size_t>(da) * db);
+    const double edge_mx =
+        p.edge_max != nullptr ? p.edge_max[i - 1]
+                              : MaxOf(edge, static_cast<size_t>(da) * db);
+    const double max_prev = MaxOf(prev, da);
+    const double shift = max_prev + edge_mx;
     ws->local.assign(db, 0.0);
     double* acc = ws->local.data();
     for (int a = 0; a < da; ++a) {
-      const double base = prev[a] - shift;
-      const double* row = edge + static_cast<size_t>(a) * db;
-      for (int b = 0; b < db; ++b) acc[b] += std::exp(base + row[b]);
+      // Every term of row a is at most prev[a] - max_prev (the shift
+      // already absorbs the largest edge entry), so rows below the exp
+      // flush threshold contribute exactly +0.0 and can be skipped.  On
+      // peaked chains — exactly the ones ICM sharpens round over round —
+      // most predecessor labels fall out this way.
+      if (prev[a] - max_prev < simd::kExpFlushMin) continue;
+      simd::ExpAccumulate(prev[a] - shift, edge + static_cast<size_t>(a) * db,
+                          acc, db);
     }
     const size_t off = p.node_off[i];
     for (int b = 0; b < db; ++b) {
@@ -166,31 +195,16 @@ void ForwardMessages(const FlatChainPotentials& p, const double* node_bias,
 /// Softmax over a contiguous row of unnormalized log-scores.
 void SoftmaxRow(double* x, int d) {
   const double m = MaxOf(x, d);
-  double sum = 0.0;
-  for (int a = 0; a < d; ++a) sum += std::exp(x[a] - m);
-  const double lse = m + std::log(sum);
-  for (int a = 0; a < d; ++a) x[a] = std::exp(x[a] - lse);
+  const double lse = m + std::log(simd::ExpSumRow(m, x, d));
+  simd::ExpNormalize(x, lse, d);
 }
 
-}  // namespace
-
-double FlatLogPartition(const FlatChainPotentials& p, const double* node_bias,
-                        ChainWorkspace* ws) {
-  ForwardMessages(p, node_bias, ws);
-  const double* last = ws->val_a.data() + p.node_off[p.n - 1];
-  const int d = p.domains[p.n - 1];
-  const double m = MaxOf(last, d);
-  if (!std::isfinite(m)) return m;
-  double sum = 0.0;
-  for (int a = 0; a < d; ++a) sum += std::exp(last[a] - m);
-  return m + std::log(sum);
-}
-
-void FlatMarginals(const FlatChainPotentials& p, const double* node_bias,
-                   ChainWorkspace* ws, double* out) {
+/// Backward counterpart of ForwardMessages: fills ws->val_b with
+/// log-space beta messages (ws->val_a must already hold the alphas, since
+/// both share ws->local).
+void BackwardMessages(const FlatChainPotentials& p, const double* node_bias,
+                      ChainWorkspace* ws) {
   const int n = p.n;
-  ForwardMessages(p, node_bias, ws);
-  const double* alpha = ws->val_a.data();
   ws->val_b.resize(p.node_total);
   double* beta = ws->val_b.data();
   std::fill(beta + p.node_off[n - 1], beta + p.node_total, 0.0);
@@ -205,20 +219,85 @@ void FlatMarginals(const FlatChainPotentials& p, const double* node_bias,
     double* v = ws->local.data();
     const size_t off = p.node_off[i];
     for (int b = 0; b < db; ++b) v[b] = NodeValue(p, node_bias, off + b) + cur[b];
-    const double shift =
-        MaxOf(v, db) + MaxOf(edge, static_cast<size_t>(da) * db);
+    const double edge_mx =
+        p.edge_max != nullptr ? p.edge_max[i - 1]
+                              : MaxOf(edge, static_cast<size_t>(da) * db);
+    const double shift = MaxOf(v, db) + edge_mx;
     for (int a = 0; a < da; ++a) {
-      const double* row = edge + static_cast<size_t>(a) * db;
-      double acc = 0.0;
-      for (int b = 0; b < db; ++b) acc += std::exp(row[b] + v[b] - shift);
+      const double acc =
+          simd::SumExpShifted(edge + static_cast<size_t>(a) * db, v, shift, db);
       prev[a] = shift + std::log(acc);
     }
   }
+}
+
+}  // namespace
+
+double FlatLogPartition(const FlatChainPotentials& p, const double* node_bias,
+                        ChainWorkspace* ws) {
+  ForwardMessages(p, node_bias, ws);
+  const double* last = ws->val_a.data() + p.node_off[p.n - 1];
+  const int d = p.domains[p.n - 1];
+  const double m = MaxOf(last, d);
+  if (!std::isfinite(m)) return m;
+  return m + std::log(simd::ExpSumRow(m, last, d));
+}
+
+void FlatMarginals(const FlatChainPotentials& p, const double* node_bias,
+                   ChainWorkspace* ws, double* out) {
+  const int n = p.n;
+  ForwardMessages(p, node_bias, ws);
+  BackwardMessages(p, node_bias, ws);
+  const double* alpha = ws->val_a.data();
+  const double* beta = ws->val_b.data();
   for (int i = 0; i < n; ++i) {
     const size_t off = p.node_off[i];
     const int d = p.domains[i];
     for (int a = 0; a < d; ++a) out[off + a] = alpha[off + a] + beta[off + a];
     SoftmaxRow(out + off, d);
+  }
+}
+
+void FlatMaxMarginalLabels(const FlatChainPotentials& p,
+                           const double* node_bias, ChainWorkspace* ws,
+                           std::vector<int>* out) {
+  const int n = p.n;
+  ForwardMessages(p, node_bias, ws);
+  BackwardMessages(p, node_bias, ws);
+  const double* alpha = ws->val_a.data();
+  const double* beta = ws->val_b.data();
+  out->resize(n);
+  for (int i = 0; i < n; ++i) {
+    const size_t off = p.node_off[i];
+    const int d = p.domains[i];
+    // The softmax FlatMarginals applies per row is strictly increasing,
+    // so the argmax of alpha + beta is the argmax of the marginals; ties
+    // resolve to the smallest index either way.
+    int best = 0;
+    double best_v = alpha[off] + beta[off];
+    for (int a = 1; a < d; ++a) {
+      const double v = alpha[off + a] + beta[off + a];
+      if (v > best_v) {
+        best_v = v;
+        best = a;
+      }
+    }
+    (*out)[i] = best;
+  }
+}
+
+void FlatViterbiBatch(const FlatChainTask* tasks, int count,
+                      ChainWorkspace* ws) {
+  for (int t = 0; t < count; ++t) {
+    FlatViterbi(*tasks[t].potentials, tasks[t].node_bias, ws, tasks[t].labels);
+  }
+}
+
+void FlatMarginalsBatch(const FlatChainTask* tasks, int count,
+                        ChainWorkspace* ws) {
+  for (int t = 0; t < count; ++t) {
+    FlatMarginals(*tasks[t].potentials, tasks[t].node_bias, ws,
+                  tasks[t].marginals);
   }
 }
 

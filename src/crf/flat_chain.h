@@ -82,6 +82,11 @@ struct FlatChainPotentials {
   const size_t* edge_off = nullptr;  ///< [n - 1] (nullptr when n == 1).
   double* node = nullptr;
   double* edge = nullptr;
+  /// Optional [n - 1] per-position edge-block maxima (PrecomputeEdgeMax).
+  /// When set, the forward/backward passes use it for their max-shift
+  /// instead of rescanning the d_a*d_b block on every call — worthwhile
+  /// because one decode runs many marginal passes over fixed edges.
+  const double* edge_max = nullptr;
   size_t node_total = 0;
   size_t edge_total = 0;
 
@@ -99,6 +104,11 @@ struct FlatChainPotentials {
   /// Flattens legacy nested potentials (must Validate()).
   static FlatChainPotentials FromNested(const ChainPotentials& nested,
                                         InferenceArena* arena);
+
+  /// Fills edge_max from the current edge values (call after the blocks
+  /// are fully written; re-call if they change).  Exactly the maxima the
+  /// kernels would compute themselves, so results are unchanged.
+  void PrecomputeEdgeMax(InferenceArena* arena);
 };
 
 /// \brief Reusable message/back-pointer buffers for the flat kernels.
@@ -132,9 +142,40 @@ double FlatLogPartition(const FlatChainPotentials& p, const double* node_bias,
 void FlatMarginals(const FlatChainPotentials& p, const double* node_bias,
                    ChainWorkspace* ws, double* out);
 
+/// Per-position max-posterior labels: the argmax of every FlatMarginals
+/// row, computed from the unnormalized alpha + beta sums (softmax is
+/// monotone per row, so the labels are the same while the per-row exp/log
+/// normalization is skipped entirely).  This is the decode-only fast path
+/// for callers that never read the probabilities.
+void FlatMaxMarginalLabels(const FlatChainPotentials& p,
+                           const double* node_bias, ChainWorkspace* ws,
+                           std::vector<int>* out);
+
 /// Unnormalized log-score of a configuration.
 double FlatScore(const FlatChainPotentials& p, const double* node_bias,
                  const int* labels);
+
+/// \brief One unit of a cross-session decode batch: a chain (typically
+/// arena-backed, one shared InferenceArena for the whole batch), an
+/// optional node-bias overlay, and where its answer goes.
+struct FlatChainTask {
+  const FlatChainPotentials* potentials = nullptr;
+  const double* node_bias = nullptr;  ///< Overlay, or nullptr.
+  std::vector<int>* labels = nullptr;  ///< FlatViterbiBatch output.
+  double* marginals = nullptr;  ///< FlatMarginalsBatch output (node_total).
+};
+
+/// Decodes `count` chains in one sweep over a single shared workspace, so
+/// a shard draining N sessions touches one set of warm message buffers
+/// instead of N cold per-session ones.  Results are exactly what `count`
+/// FlatViterbi calls would produce (the kernels are deterministic and the
+/// workspace carries no state across chains).
+void FlatViterbiBatch(const FlatChainTask* tasks, int count,
+                      ChainWorkspace* ws);
+
+/// Batched FlatMarginals; same contract as FlatViterbiBatch.
+void FlatMarginalsBatch(const FlatChainTask* tasks, int count,
+                        ChainWorkspace* ws);
 
 /// One systematic-scan Gibbs sweep.
 void FlatGibbsSweep(const FlatChainPotentials& p, const double* node_bias,

@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <cmath>
-#include <vector>
 
 namespace c2mn {
 namespace {
@@ -29,18 +28,23 @@ double TriangleDiskArea(Vec2 a, Vec2 b, double r) {
   const double C = a.SquaredNorm() - r2;
   const double disc = B * B - 4.0 * A * C;
 
-  std::vector<double> ts = {0.0, 1.0};
+  // At most four breakpoints: 0, the (ordered) circle hits t1 <= t2, 1.
+  // Appending the in-range hits between the endpoints keeps the list
+  // sorted without touching the heap on this innermost geometry call.
+  double ts[4];
+  size_t nts = 0;
+  ts[nts++] = 0.0;
   if (disc > 0.0) {
     const double sq = std::sqrt(disc);
     const double t1 = (-B - sq) / (2.0 * A);
     const double t2 = (-B + sq) / (2.0 * A);
-    if (t1 > 0.0 && t1 < 1.0) ts.push_back(t1);
-    if (t2 > 0.0 && t2 < 1.0) ts.push_back(t2);
-    std::sort(ts.begin(), ts.end());
+    if (t1 > 0.0 && t1 < 1.0) ts[nts++] = t1;
+    if (t2 > 0.0 && t2 < 1.0) ts[nts++] = t2;
   }
+  ts[nts++] = 1.0;
 
   double area = 0.0;
-  for (size_t i = 0; i + 1 < ts.size(); ++i) {
+  for (size_t i = 0; i + 1 < nts; ++i) {
     const Vec2 p = a + d * ts[i];
     const Vec2 q = a + d * ts[i + 1];
     const Vec2 mid = (p + q) * 0.5;

@@ -50,22 +50,38 @@ void RegionIndex::NearestRegionsInto(const IndoorPoint& p, size_t k,
   const RTree& tree = *floor_trees_[p.floor];
   // Results are few (<= k, typically single digits), so deduplicating the
   // multi-partition regions by scanning the output beats a hash set.
+  // Both callbacks capture one pointer so they fit std::function's inline
+  // buffer — this query runs per record of every decoded sequence and
+  // must not heap-allocate its closures.
+  struct Ctx {
+    const Floorplan* plan;
+    Vec2 xy;
+    double max_distance;
+    size_t k;
+    std::vector<RegionDistance>* out;
+  };
+  const Ctx ctx{&plan_, p.xy, max_distance, k, out};
   tree.NearestTraversal(
       p.xy,
-      [&](int32_t pid) { return plan_.partition(pid).shape.Distance(p.xy); },
-      [&](int32_t pid, double dist) {
-        if (dist > max_distance) return false;  // Ordered: nothing closer.
-        const RegionId region = plan_.partition(pid).region;
+      [&ctx](int32_t pid) {
+        return ctx.plan->partition(pid).shape.Distance(ctx.xy);
+      },
+      [&ctx](int32_t pid, double dist) {
+        if (dist > ctx.max_distance) return false;  // Ordered: nothing closer.
+        const RegionId region = ctx.plan->partition(pid).region;
         if (region != kInvalidId) {
           const bool seen =
-              std::any_of(out->begin(), out->end(),
+              std::any_of(ctx.out->begin(), ctx.out->end(),
                           [region](const RegionDistance& rd) {
                             return rd.region == region;
                           });
-          if (!seen) out->push_back({region, dist});
+          if (!seen) ctx.out->push_back({region, dist});
         }
-        return out->size() < k;
-      });
+        return ctx.out->size() < ctx.k;
+      },
+      // Prune the traversal at the query radius: subtrees beyond it can
+      // only produce visits the callback above would reject.
+      max_distance);
 }
 
 RegionId RegionIndex::NearestRegion(const IndoorPoint& p) const {

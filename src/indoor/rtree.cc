@@ -3,7 +3,6 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
-#include <queue>
 
 namespace c2mn {
 
@@ -109,50 +108,6 @@ std::vector<int32_t> RTree::Search(const BoundingBox& query) const {
     }
   }
   return result;
-}
-
-void RTree::NearestTraversal(
-    const Vec2& p, const std::function<double(int32_t)>& refine,
-    const std::function<bool(int32_t, double)>& visit) const {
-  if (root_ < 0) return;
-  // Queue items: distance, kind (0 = node, 1 = raw entry, 2 = refined
-  // entry), id.  Raw entries are keyed by bbox distance; popping one
-  // refines it and re-inserts, so reported order is exact.
-  struct Item {
-    double dist;
-    int kind;
-    int32_t id;
-    bool operator>(const Item& o) const { return dist > o.dist; }
-  };
-  // One up-front reservation: each node enters the heap at most once and
-  // each entry at most twice (raw popped before its refined re-insert), so
-  // this bound makes the whole traversal a single allocation.
-  std::vector<Item> storage;
-  storage.reserve(nodes_.size() + num_entries_ + 1);
-  std::priority_queue<Item, std::vector<Item>, std::greater<>> heap(
-      std::greater<>{}, std::move(storage));
-  heap.push({nodes_[root_].box.Distance(p), 0, root_});
-  while (!heap.empty()) {
-    const Item item = heap.top();
-    heap.pop();
-    if (item.kind == 0) {
-      const Node& node = nodes_[item.id];
-      if (node.is_leaf) {
-        for (int32_t e : node.children) {
-          heap.push({entries_[e].box.Distance(p), 1, e});
-        }
-      } else {
-        for (int32_t c : node.children) {
-          heap.push({nodes_[c].box.Distance(p), 0, c});
-        }
-      }
-    } else if (item.kind == 1) {
-      const double exact = refine(entries_[item.id].payload);
-      heap.push({exact, 2, item.id});
-    } else {
-      if (!visit(entries_[item.id].payload, item.dist)) return;
-    }
-  }
 }
 
 std::vector<std::pair<int32_t, double>> RTree::NearestK(

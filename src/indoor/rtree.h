@@ -1,8 +1,10 @@
 #ifndef C2MN_INDOOR_RTREE_H_
 #define C2MN_INDOOR_RTREE_H_
 
+#include <algorithm>
 #include <cstdint>
 #include <functional>
+#include <limits>
 #include <vector>
 
 #include "geometry/polygon.h"
@@ -36,10 +38,58 @@ class RTree {
   /// `refine(payload)` returns the exact distance of the payload's object
   /// from the query point (at least the bbox distance, or the traversal is
   /// not guaranteed to be ordered).  `visit(payload, dist)` returns false
-  /// to stop the traversal.
+  /// to stop the traversal.  `max_dist` prunes the search: subtrees,
+  /// entries, and refined results farther than it are never enqueued, so a
+  /// bounded-radius query touches only the part of the tree inside the
+  /// radius.  Entries within `max_dist` are visited in the exact same
+  /// order as the unbounded traversal; entries beyond it are simply never
+  /// visited (callers that stop at a radius see identical results).
+  ///
+  /// Templated over the callables (not std::function) so the per-item
+  /// callback dispatch inlines: this traversal runs for every record of
+  /// every decoded sequence and the indirect calls dominated its cost.
+  template <typename Refine, typename Visit>
   void NearestTraversal(
-      const Vec2& p, const std::function<double(int32_t)>& refine,
-      const std::function<bool(int32_t, double)>& visit) const;
+      const Vec2& p, const Refine& refine, const Visit& visit,
+      double max_dist = std::numeric_limits<double>::infinity()) const {
+    if (root_ < 0) return;
+    // Heap storage is thread-local so repeated traversals reuse one warmed
+    // buffer instead of allocating per query; push_heap/pop_heap on the
+    // vector directly keeps its capacity ours (std::priority_queue would
+    // swallow it).  Bounded: each node enters the heap at most once and
+    // each entry at most twice (raw popped before its refined re-insert).
+    thread_local std::vector<HeapItem> heap;
+    heap.clear();
+    heap.reserve(nodes_.size() + num_entries_ + 1);
+    const auto push = [max_dist](std::vector<HeapItem>* h, HeapItem item) {
+      if (item.dist > max_dist) return;
+      h->push_back(item);
+      std::push_heap(h->begin(), h->end(), std::greater<>{});
+    };
+    push(&heap, {nodes_[root_].box.Distance(p), 0, root_});
+    while (!heap.empty()) {
+      std::pop_heap(heap.begin(), heap.end(), std::greater<>{});
+      const HeapItem item = heap.back();
+      heap.pop_back();
+      if (item.kind == 0) {
+        const Node& node = nodes_[item.id];
+        if (node.is_leaf) {
+          for (int32_t e : node.children) {
+            push(&heap, {entries_[e].box.Distance(p), 1, e});
+          }
+        } else {
+          for (int32_t c : node.children) {
+            push(&heap, {nodes_[c].box.Distance(p), 0, c});
+          }
+        }
+      } else if (item.kind == 1) {
+        const double exact = refine(entries_[item.id].payload);
+        push(&heap, {exact, 2, item.id});
+      } else {
+        if (!visit(entries_[item.id].payload, item.dist)) return;
+      }
+    }
+  }
 
   /// Convenience: the k nearest payloads with their refined distances.
   std::vector<std::pair<int32_t, double>> NearestK(
@@ -52,6 +102,16 @@ class RTree {
     bool is_leaf = false;
     /// Children node indices (internal) or entry indices (leaf).
     std::vector<int32_t> children;
+  };
+
+  /// Best-first queue item: distance, kind (0 = node, 1 = raw entry,
+  /// 2 = refined entry), id.  Raw entries are keyed by bbox distance;
+  /// popping one refines it and re-inserts, so reported order is exact.
+  struct HeapItem {
+    double dist;
+    int kind;
+    int32_t id;
+    bool operator>(const HeapItem& o) const { return dist > o.dist; }
   };
 
   /// Builds one tree level above `child_ids` (indices into nodes_);

@@ -43,6 +43,12 @@ struct AnnotationService::Shard {
   std::unordered_map<int64_t, std::unique_ptr<service_internal::Session>>
       sessions;
 
+  /// One decode workspace shared by every session on this shard: window
+  /// decodes run back-to-back on its warm arena and message buffers
+  /// instead of each session paying for (and holding) its own working
+  /// set.  Worker-thread only.
+  DecodeWorkspace decode_workspace;
+
   std::mutex stats_mu;
   /// Submit-to-emit latency in seconds (1 us .. 1000 s buckets).
   StreamingHistogram latency;
@@ -114,6 +120,13 @@ void AnnotationService::RegisterMetrics() {
   merge_mismatches_total_ = registry_->GetCounter(
       "c2mn_service_histogram_merge_mismatches_total",
       "Latency-histogram merges skipped for mismatched bucket configs");
+  batched_decodes_total_ = registry_->GetCounter(
+      "c2mn_service_batched_decodes_total",
+      "Window decodes executed through the shard decode batch (parked by "
+      "PushBuffered, run on the shared workspace)");
+  decode_batches_total_ = registry_->GetCounter(
+      "c2mn_service_decode_batches_total",
+      "Queue drains that ran at least one parked decode back-to-back");
   sessions_open_gauge_ = registry_->GetGauge(
       "c2mn_service_sessions_open", "Sessions currently open");
 }
@@ -279,9 +292,76 @@ void AnnotationService::WorkerLoop(Shard* shard) {
   std::vector<Op> batch;
   batch.reserve(options_.max_batch);
   // One emit buffer per shard, recycled across every session's pushes:
-  // with the annotators' reusable decode workspaces this keeps the
-  // steady-state record path allocation-free.
+  // with the shard's shared decode workspace this keeps the steady-state
+  // record path allocation-free.
   std::vector<MSemantics> emitted;
+
+  // Cross-session decode batching: a record whose push makes a window
+  // decode due is *parked* instead of decoded in place, and the parked
+  // decodes run back-to-back over the shard's shared workspace once the
+  // drained batch has been walked.  A session has at most one parked
+  // decode, and any later op for the same session completes it first, so
+  // each session still observes its ops strictly in submission order —
+  // which is why the emitted m-semantics stay bit-identical to a
+  // standalone annotator.  The parked op's NoteOpDone/stats are deferred
+  // with it: the op is not "processed" until its emissions are delivered.
+  struct PendingDecode {
+    Session* session;  ///< nullptr once completed.
+    obs::PipelineTracer::Span span;
+    std::chrono::steady_clock::time_point submit_time;
+  };
+  std::vector<PendingDecode> pending;
+  pending.reserve(options_.max_batch);
+
+  // Runs one parked decode to completion (decode, sink, analytics,
+  // stats, op accounting) and marks the slot done.
+  const auto complete_pending = [&](PendingDecode* pd) {
+    Session* session = pd->session;
+    pd->session = nullptr;
+    const bool trace = tracer_ != nullptr;
+    session->annotator.CompleteDecode(&shard->decode_workspace, &emitted);
+    batched_decodes_total_->Increment();
+    if (trace) pd->span.FinishStage(obs::PipelineStage::kDecode);
+    for (const MSemantics& ms : emitted) {
+      if (session->sink) session->sink(session->object_id, ms);
+    }
+    if (trace && !emitted.empty()) {
+      pd->span.FinishStage(obs::PipelineStage::kSinkEmit);
+    }
+    int deltas_fired = 0;
+    if (analytics_ != nullptr && !emitted.empty()) {
+      for (const MSemantics& ms : emitted) {
+        deltas_fired +=
+            analytics_->Ingest(shard->index, session->object_id, ms);
+      }
+      if (trace) pd->span.FinishStage(obs::PipelineStage::kAnalyticsIngest);
+    }
+    const double latency_s =
+        trace ? pd->span.total_seconds()
+              : std::chrono::duration<double>(
+                    std::chrono::steady_clock::now() - pd->submit_time)
+                    .count();
+    records_processed_total_->Increment();
+    if (!emitted.empty()) {
+      semantics_emitted_total_->Increment(emitted.size());
+    }
+    {
+      std::lock_guard<std::mutex> lock(shard->stats_mu);
+      shard->latency.Add(latency_s);
+      if (deltas_fired > 0) shard->push_latency.Add(latency_s);
+    }
+    if (trace) tracer_->Record(pd->span, session->object_id, shard->index);
+    NoteOpDone();
+  };
+  const auto complete_pending_for = [&](Session* session) {
+    for (PendingDecode& pd : pending) {
+      if (pd.session == session) {
+        complete_pending(&pd);
+        return;
+      }
+    }
+  };
+
   while (shard->queue.PopBatch(&batch, options_.max_batch)) {
     for (Op& op : batch) {
       switch (op.kind) {
@@ -294,8 +374,12 @@ void AnnotationService::WorkerLoop(Shard* shard) {
         }
         case OpKind::kRecord: {
           const auto it = shard->sessions.find(op.object_id);
-          if (it == shard->sessions.end()) break;  // Raced with Stop().
+          if (it == shard->sessions.end()) {
+            NoteOpDone();  // Raced with Stop().
+            continue;
+          }
           Session* session = it->second.get();
+          complete_pending_for(session);
           const uint64_t violations_before =
               session->annotator.timestamp_violations();
           // Stage tracing: the span's clock reads double as the latency
@@ -310,42 +394,28 @@ void AnnotationService::WorkerLoop(Shard* shard) {
             span.Start(op.submit_time);
             span.FinishStage(obs::PipelineStage::kQueueWait);
           }
-          session->annotator.PushInto(op.record, &emitted);
+          const bool decode_due = session->annotator.PushBuffered(op.record);
+          const uint64_t violations =
+              session->annotator.timestamp_violations() - violations_before;
+          if (violations > 0) {
+            timestamp_violations_total_->Increment(violations);
+          }
+          if (decode_due) {
+            // Park the decode; its span stays open across the deferral
+            // so the decode stage reports the true submit-to-emit path.
+            pending.push_back({session, span, op.submit_time});
+            continue;  // NoteOpDone deferred to complete_pending.
+          }
           if (trace) span.FinishStage(obs::PipelineStage::kDecode);
-          for (const MSemantics& ms : emitted) {
-            if (session->sink) session->sink(session->object_id, ms);
-          }
-          if (trace && !emitted.empty()) {
-            span.FinishStage(obs::PipelineStage::kSinkEmit);
-          }
-          int deltas_fired = 0;
-          if (analytics_ != nullptr && !emitted.empty()) {
-            for (const MSemantics& ms : emitted) {
-              deltas_fired +=
-                  analytics_->Ingest(shard->index, session->object_id, ms);
-            }
-            if (trace) {
-              span.FinishStage(obs::PipelineStage::kAnalyticsIngest);
-            }
-          }
           const double latency_s =
               trace ? span.total_seconds()
                     : std::chrono::duration<double>(
                           std::chrono::steady_clock::now() - op.submit_time)
                           .count();
           records_processed_total_->Increment();
-          if (!emitted.empty()) {
-            semantics_emitted_total_->Increment(emitted.size());
-          }
-          const uint64_t violations =
-              session->annotator.timestamp_violations() - violations_before;
-          if (violations > 0) {
-            timestamp_violations_total_->Increment(violations);
-          }
           {
             std::lock_guard<std::mutex> lock(shard->stats_mu);
             shard->latency.Add(latency_s);
-            if (deltas_fired > 0) shard->push_latency.Add(latency_s);
           }
           if (trace) tracer_->Record(span, op.object_id, shard->index);
           break;
@@ -354,13 +424,14 @@ void AnnotationService::WorkerLoop(Shard* shard) {
           const auto it = shard->sessions.find(op.object_id);
           if (it == shard->sessions.end()) break;
           Session* session = it->second.get();
+          complete_pending_for(session);
           const bool trace = tracer_ != nullptr;
           obs::PipelineTracer::Span span;
           if (trace) {
             span.Start(op.submit_time);
             span.FinishStage(obs::PipelineStage::kQueueWait);
           }
-          session->annotator.FlushInto(&emitted);
+          session->annotator.FlushInto(&shard->decode_workspace, &emitted);
           if (trace) span.FinishStage(obs::PipelineStage::kDecode);
           for (const MSemantics& ms : emitted) {
             if (session->sink) session->sink(session->object_id, ms);
@@ -398,6 +469,18 @@ void AnnotationService::WorkerLoop(Shard* shard) {
       }
       NoteOpDone();
     }
+    // Drain the parked decodes back-to-back over the shared workspace —
+    // this is the cross-session decode batch.  Nothing may straddle the
+    // next PopBatch: Drain() counts these ops as pending until here.
+    size_t ran = 0;
+    for (PendingDecode& pd : pending) {
+      if (pd.session != nullptr) {
+        complete_pending(&pd);
+        ++ran;
+      }
+    }
+    if (ran > 0) decode_batches_total_->Increment();
+    pending.clear();
     batch.clear();
   }
 }
@@ -460,6 +543,8 @@ ServiceStats AnnotationService::Stats() const {
   stats.records_processed = records_processed_total_->Value();
   stats.semantics_emitted = semantics_emitted_total_->Value();
   stats.timestamp_violations = timestamp_violations_total_->Value();
+  stats.batched_decodes = batched_decodes_total_->Value();
+  stats.decode_batches = decode_batches_total_->Value();
   StreamingHistogram latency;
   for (size_t i = 0; i < shards_.size(); ++i) {
     const auto& shard = shards_[i];

@@ -206,6 +206,8 @@ class AnnotationService {
   obs::Counter* semantics_emitted_total_ = nullptr;
   obs::Counter* timestamp_violations_total_ = nullptr;
   obs::Counter* merge_mismatches_total_ = nullptr;
+  obs::Counter* batched_decodes_total_ = nullptr;
+  obs::Counter* decode_batches_total_ = nullptr;
   obs::Gauge* sessions_open_gauge_ = nullptr;
   std::vector<obs::Gauge*> queue_depth_gauges_;
 

@@ -28,6 +28,13 @@ struct ServiceStats {
   /// silently dropping the shard's samples) so the gap is visible.
   uint64_t histogram_merge_mismatches = 0;
 
+  /// Window decodes executed through the cross-session decode batch
+  /// (parked by the shard worker and run back-to-back on the shard's
+  /// shared workspace).
+  uint64_t batched_decodes = 0;
+  /// Queue drains that ran at least one parked decode.
+  uint64_t decode_batches = 0;
+
   /// Per-shard backlog at snapshot time.
   std::vector<size_t> queue_depths;
 

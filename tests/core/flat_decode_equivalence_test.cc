@@ -272,6 +272,7 @@ TEST_F(FlatDecodeEquivalenceTest, BatchedSegScoresMatchPerCandidateExactly) {
                                      : MobilityEvent::kPass;
     }
     SegScratch scratch;
+    scorer.BuildSegIndex(regions, events, &scratch);
     std::vector<double> batched;
     for (int i = 0; i < n; ++i) {
       const int da = static_cast<int>(g.Candidates(i).size());
@@ -288,7 +289,8 @@ TEST_F(FlatDecodeEquivalenceTest, BatchedSegScoresMatchPerCandidateExactly) {
         EXPECT_DOUBLE_EQ(batched[a], bonus) << "position " << i << " cand " << a;
       }
       double event_scores[2];
-      scorer.EventSegScores(i, weights_, regions, events, event_scores);
+      scorer.EventSegScores(i, weights_, regions, events, &scratch,
+                            event_scores);
       const MobilityEvent kDomain[2] = {MobilityEvent::kStay,
                                         MobilityEvent::kPass};
       for (int v = 0; v < 2; ++v) {

@@ -103,6 +103,96 @@ TEST_F(OnlineAnnotatorTest, SmallWindowStillValid) {
   EXPECT_TRUE(IsValidMSemanticsSequence(ms, ls.sequence));
 }
 
+TEST_F(OnlineAnnotatorTest, SplitPushMatchesPushIntoBitForBit) {
+  // PushBuffered + CompleteDecode over an external (shared) workspace is
+  // the service's batched-decode path; it must reproduce PushInto/Flush
+  // exactly, including when two annotators interleave on one workspace.
+  const LabeledSequence& a = *split_.test.front();
+  const LabeledSequence& b = *split_.test.back();
+  OnlineAnnotator::Options options;
+  options.window_records = 24;
+  options.finalize_lag = 6;
+  options.decode_stride = 4;
+
+  const MSemanticsSequence ref_a = Stream(a.sequence, options);
+  const MSemanticsSequence ref_b = Stream(b.sequence, options);
+
+  OnlineAnnotator oa(*scenario_.world, FeatureOptions{}, C2mnStructure{},
+                     weights_, options);
+  OnlineAnnotator ob(*scenario_.world, FeatureOptions{}, C2mnStructure{},
+                     weights_, options);
+  DecodeWorkspace shared;
+  std::vector<MSemantics> emitted;
+  MSemanticsSequence got_a, got_b;
+  const size_t longest = std::max(a.size(), b.size());
+  for (size_t i = 0; i < longest; ++i) {
+    // Interleave the two streams; decodes from both land on `shared`.
+    if (i < a.size() && oa.PushBuffered(a.sequence[i])) {
+      oa.CompleteDecode(&shared, &emitted);
+      for (const MSemantics& ms : emitted) got_a.push_back(ms);
+    }
+    if (i < b.size() && ob.PushBuffered(b.sequence[i])) {
+      ob.CompleteDecode(&shared, &emitted);
+      for (const MSemantics& ms : emitted) got_b.push_back(ms);
+    }
+  }
+  oa.FlushInto(&shared, &emitted);
+  for (const MSemantics& ms : emitted) got_a.push_back(ms);
+  ob.FlushInto(&shared, &emitted);
+  for (const MSemantics& ms : emitted) got_b.push_back(ms);
+
+  const auto same = [](const MSemanticsSequence& x,
+                       const MSemanticsSequence& y) {
+    if (x.size() != y.size()) return false;
+    for (size_t i = 0; i < x.size(); ++i) {
+      if (x[i].region != y[i].region || x[i].event != y[i].event ||
+          x[i].t_start != y[i].t_start || x[i].t_end != y[i].t_end ||
+          x[i].support != y[i].support) {
+        return false;
+      }
+    }
+    return true;
+  };
+  EXPECT_TRUE(same(got_a, ref_a));
+  EXPECT_TRUE(same(got_b, ref_b));
+  // The annotators' private workspaces were never warmed: the shared one
+  // carried every decode.
+  EXPECT_EQ(oa.workspace_bytes(), 0u);
+  EXPECT_GT(shared.arena.bytes_reserved(), 0u);
+}
+
+TEST_F(OnlineAnnotatorTest, FlushAfterStrideDecodeSkipsRedecode) {
+  // When a flush lands exactly on a stride decode (window unchanged), the
+  // cached provisional labels are finalized without another decode — and
+  // they must still describe every record exactly once.
+  const LabeledSequence& ls = *split_.test.front();
+  OnlineAnnotator::Options options;
+  options.window_records = 10;
+  options.finalize_lag = 4;
+  options.decode_stride = 2;
+  OnlineAnnotator online(*scenario_.world, FeatureOptions{}, C2mnStructure{},
+                         weights_, options);
+  MSemanticsSequence all;
+  std::vector<MSemantics> emitted;
+  // Push exactly window_records records: the last push fills the window
+  // and fires the decode, so the flush below sees an untouched window.
+  const size_t pushed = static_cast<size_t>(options.window_records);
+  ASSERT_GE(ls.sequence.size(), pushed);
+  for (size_t i = 0; i < pushed; ++i) {
+    online.PushInto(ls.sequence[i], &emitted);
+    for (const MSemantics& ms : emitted) all.push_back(ms);
+  }
+  online.FlushInto(&emitted);
+  for (const MSemantics& ms : emitted) all.push_back(ms);
+  PSequence consumed;
+  consumed.records.assign(ls.sequence.records.begin(),
+                          ls.sequence.records.begin() + pushed);
+  EXPECT_TRUE(IsValidMSemanticsSequence(all, consumed));
+  int support = 0;
+  for (const MSemantics& m : all) support += m.support;
+  EXPECT_EQ(support, static_cast<int>(pushed));
+}
+
 TEST_F(OnlineAnnotatorTest, FlushOnEmptyStream) {
   OnlineAnnotator online(*scenario_.world, FeatureOptions{}, C2mnStructure{},
                          weights_);

@@ -1,12 +1,14 @@
 #include "crf/flat_chain.h"
 
 #include <cmath>
+#include <limits>
 #include <vector>
 
 #include <gtest/gtest.h>
 
 #include "common/math_utils.h"
 #include "common/rng.h"
+#include "common/simd.h"
 #include "crf/chain_model.h"
 #include "crf/hmm.h"
 
@@ -362,6 +364,238 @@ TEST(FlatChainTest, ArenaReuseDoesNotGrowAfterWarmup) {
       warm_bytes = arena.bytes_reserved();
     } else {
       EXPECT_EQ(arena.bytes_reserved(), warm_bytes);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// SIMD tier equivalence.  Every kernel dispatches through simd::ActiveLevel;
+// these tests force each tier the host supports in turn and require labels
+// identical to (and quantities within 1e-9 of) the scalar tier, across the
+// shapes that stress lane handling: domain 1, odd domains, lane-width ±1,
+// tie-heavy potentials, and ±inf node biases.
+// ---------------------------------------------------------------------------
+
+/// Restores the dispatch tier active at construction (tests force tiers).
+class ScopedSimdLevel {
+ public:
+  ScopedSimdLevel() : saved_(simd::ActiveLevel()) {}
+  ~ScopedSimdLevel() { simd::ForceLevel(saved_); }
+
+ private:
+  simd::Level saved_;
+};
+
+std::vector<simd::Level> SupportedLevels() {
+  ScopedSimdLevel restore;
+  std::vector<simd::Level> levels;
+  for (simd::Level level : {simd::Level::kScalar, simd::Level::kSSE2,
+                            simd::Level::kAVX2, simd::Level::kNEON}) {
+    if (simd::ForceLevel(level)) levels.push_back(level);
+  }
+  return levels;
+}
+
+/// Everything the flat kernels compute for one chain + bias.
+struct KernelRun {
+  std::vector<int> viterbi;
+  std::vector<int> max_marginal;
+  double log_partition = 0.0;
+  std::vector<double> marginals;
+};
+
+KernelRun RunKernels(const ChainPotentials& pots, const double* bias,
+                     bool marginal_safe) {
+  InferenceArena arena;
+  ChainWorkspace ws;
+  const FlatChainPotentials flat = FlatChainPotentials::FromNested(pots, &arena);
+  KernelRun run;
+  FlatViterbi(flat, bias, &ws, &run.viterbi);
+  if (marginal_safe) {
+    FlatMaxMarginalLabels(flat, bias, &ws, &run.max_marginal);
+    run.log_partition = FlatLogPartition(flat, bias, &ws);
+    run.marginals.resize(flat.node_total);
+    FlatMarginals(flat, bias, &ws, run.marginals.data());
+  }
+  return run;
+}
+
+void ExpectTiersAgree(const ChainPotentials& pots, const double* bias,
+                      bool marginal_safe) {
+  ScopedSimdLevel restore;
+  ASSERT_TRUE(simd::ForceLevel(simd::Level::kScalar));
+  const KernelRun scalar = RunKernels(pots, bias, marginal_safe);
+  for (simd::Level level : SupportedLevels()) {
+    ASSERT_TRUE(simd::ForceLevel(level));
+    const KernelRun tier = RunKernels(pots, bias, marginal_safe);
+    EXPECT_EQ(tier.viterbi, scalar.viterbi) << simd::LevelName(level);
+    if (!marginal_safe) continue;
+    EXPECT_EQ(tier.max_marginal, scalar.max_marginal)
+        << simd::LevelName(level);
+    EXPECT_NEAR(tier.log_partition, scalar.log_partition, 1e-9)
+        << simd::LevelName(level);
+    ASSERT_EQ(tier.marginals.size(), scalar.marginals.size());
+    for (size_t i = 0; i < scalar.marginals.size(); ++i) {
+      EXPECT_NEAR(tier.marginals[i], scalar.marginals[i], 1e-9)
+          << simd::LevelName(level) << " entry " << i;
+    }
+  }
+}
+
+TEST(FlatChainSimdTest, TiersAgreeAcrossAwkwardDomainSizes) {
+  // Domains hit 1, odd sizes, and the AVX2 (4) / SSE2 (2) lane widths ±1.
+  Rng rng(404);
+  for (int rep = 0; rep < 12; ++rep) {
+    const int len = 1 + static_cast<int>(rng.UniformInt(uint64_t{14}));
+    const ChainPotentials pots = RandomChain(&rng, len, 1, 9);
+    ExpectTiersAgree(pots, nullptr, /*marginal_safe=*/true);
+  }
+}
+
+TEST(FlatChainSimdTest, TiersAgreeOnTieHeavyPotentials) {
+  // Quantized potentials make equal-score paths the common case, so the
+  // smallest-index tie-break must be implemented identically in every
+  // lane arrangement.
+  Rng rng(405);
+  for (int rep = 0; rep < 12; ++rep) {
+    const int len = 2 + static_cast<int>(rng.UniformInt(uint64_t{10}));
+    ChainPotentials pots = RandomChain(&rng, len, 1, 7);
+    for (auto& row : pots.node) {
+      for (double& v : row) v = std::floor(v + 0.5);  // {-2..2} ties.
+    }
+    for (auto& block : pots.edge) {
+      for (auto& row : block) {
+        for (double& v : row) v = 0.0;  // Every transition ties.
+      }
+    }
+    ExpectTiersAgree(pots, nullptr, /*marginal_safe=*/true);
+  }
+}
+
+TEST(FlatChainSimdTest, TiersAgreeWithInfiniteNodeBias) {
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  Rng rng(406);
+  for (int rep = 0; rep < 8; ++rep) {
+    const int len = 3 + static_cast<int>(rng.UniformInt(uint64_t{8}));
+    const ChainPotentials pots = RandomChain(&rng, len, 2, 6);
+    size_t node_total = 0;
+    for (const auto& row : pots.node) node_total += row.size();
+    // -inf forbids labels (at most domain-1 per position, so a path
+    // always exists); exercised on every kernel including marginals.
+    std::vector<double> bias(node_total, 0.0);
+    size_t off = 0;
+    for (const auto& row : pots.node) {
+      const size_t d = row.size();
+      const size_t forbidden = rng.UniformInt(uint64_t{d});  // d = none.
+      for (size_t a = 0; a < d; ++a) {
+        if (a == forbidden && d > 1) bias[off + a] = -kInf;
+      }
+      off += d;
+    }
+    ExpectTiersAgree(pots, bias.data(), /*marginal_safe=*/true);
+    // A forbidden label must never decode.
+    InferenceArena arena;
+    ChainWorkspace ws;
+    const FlatChainPotentials flat =
+        FlatChainPotentials::FromNested(pots, &arena);
+    std::vector<int> labels;
+    FlatViterbi(flat, bias.data(), &ws, &labels);
+    for (int i = 0; i < flat.n; ++i) {
+      EXPECT_NE(bias[flat.node_off[i] + labels[i]], -kInf) << "position " << i;
+    }
+    // +inf pins the Viterbi path (max-plus never subtracts, so no
+    // inf - inf); the log-sum-exp kernels are not required to accept it.
+    std::vector<double> pin(node_total, 0.0);
+    const int pin_pos = static_cast<int>(rng.UniformInt(uint64_t(len)));
+    const int pin_label = static_cast<int>(
+        rng.UniformInt(uint64_t(pots.node[pin_pos].size())));
+    pin[flat.node_off[pin_pos] + pin_label] = kInf;
+    ExpectTiersAgree(pots, pin.data(), /*marginal_safe=*/false);
+    FlatViterbi(flat, pin.data(), &ws, &labels);
+    EXPECT_EQ(labels[pin_pos], pin_label);
+  }
+}
+
+TEST(FlatChainSimdTest, ForcedScalarFallbackStaysExercised) {
+  // The dispatch override must reach the scalar tier on any host — this
+  // is what CI's SIMD-off leg relies on — and the scalar kernels must
+  // reproduce the legacy nested reference exactly.
+  ScopedSimdLevel restore;
+  ASSERT_TRUE(simd::ForceLevel(simd::Level::kScalar));
+  EXPECT_EQ(simd::ActiveLevel(), simd::Level::kScalar);
+  Rng rng(407);
+  const ChainPotentials pots = RandomChain(&rng, 9, 1, 5);
+  ExpectEquivalent(pots);
+}
+
+TEST(FlatChainSimdTest, MaxMarginalLabelsMatchMarginalsArgmax) {
+  Rng rng(408);
+  InferenceArena arena;
+  ChainWorkspace ws;
+  for (int rep = 0; rep < 10; ++rep) {
+    const int len = 1 + static_cast<int>(rng.UniformInt(uint64_t{12}));
+    const ChainPotentials pots = RandomChain(&rng, len, 1, 6);
+    arena.Reset();
+    const FlatChainPotentials flat =
+        FlatChainPotentials::FromNested(pots, &arena);
+    std::vector<int> fast;
+    FlatMaxMarginalLabels(flat, nullptr, &ws, &fast);
+    std::vector<double> marginals(flat.node_total);
+    FlatMarginals(flat, nullptr, &ws, marginals.data());
+    for (int i = 0; i < flat.n; ++i) {
+      const double* row = marginals.data() + flat.node_off[i];
+      int argmax = 0;
+      for (int a = 1; a < flat.domain(i); ++a) {
+        if (row[a] > row[argmax]) argmax = a;
+      }
+      EXPECT_EQ(fast[i], argmax) << "position " << i;
+    }
+  }
+}
+
+TEST(FlatChainTest, BatchEntryPointsMatchIndividualCalls) {
+  // FlatViterbiBatch / FlatMarginalsBatch over one shared workspace must
+  // reproduce the per-chain calls bit for bit — this is the contract the
+  // service's cross-session decode batching stands on.
+  Rng rng(409);
+  InferenceArena arena;
+  constexpr int kChains = 5;
+  std::vector<ChainPotentials> nested;
+  nested.reserve(kChains);
+  std::vector<FlatChainPotentials> flats(kChains);
+  for (int c = 0; c < kChains; ++c) {
+    const int len = 1 + static_cast<int>(rng.UniformInt(uint64_t{10}));
+    nested.push_back(RandomChain(&rng, len, 1, 5));
+    flats[c] = FlatChainPotentials::FromNested(nested.back(), &arena);
+  }
+  // Individual reference runs on a fresh workspace.
+  ChainWorkspace ref_ws;
+  std::vector<std::vector<int>> ref_labels(kChains);
+  std::vector<std::vector<double>> ref_marginals(kChains);
+  for (int c = 0; c < kChains; ++c) {
+    FlatViterbi(flats[c], nullptr, &ref_ws, &ref_labels[c]);
+    ref_marginals[c].resize(flats[c].node_total);
+    FlatMarginals(flats[c], nullptr, &ref_ws, ref_marginals[c].data());
+  }
+  // Batched runs over one shared workspace.
+  std::vector<std::vector<int>> got_labels(kChains);
+  std::vector<std::vector<double>> got_marginals(kChains);
+  std::vector<FlatChainTask> tasks(kChains);
+  for (int c = 0; c < kChains; ++c) {
+    got_marginals[c].resize(flats[c].node_total);
+    tasks[c].potentials = &flats[c];
+    tasks[c].labels = &got_labels[c];
+    tasks[c].marginals = got_marginals[c].data();
+  }
+  ChainWorkspace batch_ws;
+  FlatViterbiBatch(tasks.data(), kChains, &batch_ws);
+  FlatMarginalsBatch(tasks.data(), kChains, &batch_ws);
+  for (int c = 0; c < kChains; ++c) {
+    EXPECT_EQ(got_labels[c], ref_labels[c]) << "chain " << c;
+    ASSERT_EQ(got_marginals[c].size(), ref_marginals[c].size());
+    for (size_t i = 0; i < ref_marginals[c].size(); ++i) {
+      EXPECT_DOUBLE_EQ(got_marginals[c][i], ref_marginals[c][i])
+          << "chain " << c << " entry " << i;
     }
   }
 }

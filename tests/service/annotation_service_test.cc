@@ -146,6 +146,11 @@ TEST_F(AnnotationServiceTest, DeterministicAcrossProducerInterleavings) {
   EXPECT_EQ(stats.sessions_open, 0u);
   EXPECT_EQ(stats.timestamp_violations, 0u);
   EXPECT_EQ(stats.latency_samples, expected_records);
+  // The heavy cross-session mix must have routed window decodes through
+  // the shard decode batches (the bit-for-bit check above proves the
+  // batched path changes nothing but the schedule).
+  EXPECT_GT(stats.batched_decodes, 0u);
+  EXPECT_GT(stats.decode_batches, 0u);
   EXPECT_LE(stats.latency_p50_ms, stats.latency_p99_ms);
   EXPECT_LE(stats.latency_p99_ms, stats.latency_max_ms + 1e-9);
   EXPECT_EQ(stats.queue_depths.size(), 4u);

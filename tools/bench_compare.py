@@ -1,0 +1,102 @@
+#!/usr/bin/env python3
+"""Compare two BENCH_*.json files and fail on wall-clock regressions.
+
+Usage:
+    bench_compare.py BASELINE.json CANDIDATE.json [--max-regress 0.20]
+                     [--min-ms 0.05]
+
+Both files are the machine-readable output of the bench_micro_* binaries
+(a top-level "results" array of {"name": ..., "real_ms": ...} objects).
+Benchmarks are matched by name; a candidate more than --max-regress
+slower than the baseline fails the run (exit 1).  Entries below --min-ms
+in the baseline are reported but never gated: at microsecond scale the
+smoke runs' timing jitter swamps any real signal.
+
+Benchmarks present on only one side are listed but do not fail the
+comparison, so adding or retiring a benchmark does not require touching
+the committed baseline in the same change.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_results(path):
+    with open(path, "r", encoding="utf-8") as fh:
+        doc = json.load(fh)
+    results = {}
+    for entry in doc.get("results", []):
+        name = entry.get("name")
+        real_ms = entry.get("real_ms")
+        if isinstance(name, str) and isinstance(real_ms, (int, float)):
+            results[name] = float(real_ms)
+    return results
+
+
+def main(argv):
+    parser = argparse.ArgumentParser(
+        description="Gate benchmark regressions between two BENCH json files."
+    )
+    parser.add_argument("baseline", help="committed BENCH_*.json")
+    parser.add_argument("candidate", help="freshly generated BENCH_*.json")
+    parser.add_argument(
+        "--max-regress",
+        type=float,
+        default=0.20,
+        help="maximum tolerated slowdown as a fraction (default 0.20 = +20%%)",
+    )
+    parser.add_argument(
+        "--min-ms",
+        type=float,
+        default=0.05,
+        help="skip gating benchmarks whose baseline is below this many ms",
+    )
+    args = parser.parse_args(argv)
+
+    baseline = load_results(args.baseline)
+    candidate = load_results(args.candidate)
+    if not baseline:
+        print(f"error: no results parsed from {args.baseline}", file=sys.stderr)
+        return 2
+    if not candidate:
+        print(f"error: no results parsed from {args.candidate}",
+              file=sys.stderr)
+        return 2
+
+    width = max(len(n) for n in set(baseline) | set(candidate))
+    failures = []
+    for name in sorted(set(baseline) | set(candidate)):
+        base = baseline.get(name)
+        cand = candidate.get(name)
+        if base is None:
+            print(f"  {name:<{width}}  (new benchmark; not gated)")
+            continue
+        if cand is None:
+            print(f"  {name:<{width}}  (missing from candidate; not gated)")
+            continue
+        ratio = cand / base if base > 0 else float("inf")
+        line = (f"  {name:<{width}}  {base:9.4f} ms -> {cand:9.4f} ms  "
+                f"({ratio:5.2f}x)")
+        if base < args.min_ms:
+            print(line + "  [below --min-ms; not gated]")
+        elif ratio > 1.0 + args.max_regress:
+            failures.append(name)
+            print(line + "  REGRESSION")
+        else:
+            print(line)
+
+    if failures:
+        print(
+            f"\nFAIL: {len(failures)} benchmark(s) regressed more than "
+            f"{args.max_regress:.0%} vs {args.baseline}: "
+            + ", ".join(failures),
+            file=sys.stderr,
+        )
+        return 1
+    print(f"\nOK: no benchmark regressed more than {args.max_regress:.0%}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
