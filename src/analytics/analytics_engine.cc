@@ -5,13 +5,13 @@
 #include <functional>
 #include <limits>
 #include <map>
-#include <mutex>
 #include <type_traits>
 #include <unordered_map>
 #include <unordered_set>
 
 #include "common/stopwatch.h"
 #include "common/streaming_histogram.h"
+#include "common/sync.h"
 
 namespace c2mn {
 
@@ -73,26 +73,26 @@ struct AnalyticsEngine::Shard {
   explicit Shard(const query::CompiledSpec* preagg_spec)
       : preagg(preagg_spec) {}
 
-  mutable std::mutex mu;
-  std::unordered_map<RegionId, RegionAccum> regions;
-  std::unordered_map<uint64_t, uint64_t> flows;
-  std::unordered_map<int64_t, ObjectState> objects;
+  mutable Mutex mu{LockRank::kAnalyticsShard, "AnalyticsEngine::Shard::mu"};
+  std::unordered_map<RegionId, RegionAccum> regions C2MN_GUARDED_BY(mu);
+  std::unordered_map<uint64_t, uint64_t> flows C2MN_GUARDED_BY(mu);
+  std::unordered_map<int64_t, ObjectState> objects C2MN_GUARDED_BY(mu);
   /// The coarse time-bucketed retention window: live buckets keyed by
   /// bucket index, ascending.  Only occupied buckets exist, so memory
   /// and query cost track the retained data, not the horizon width; at
   /// most ring_buckets_ buckets are ever live at once.
-  std::map<int64_t, Bucket> buckets;
+  std::map<int64_t, Bucket> buckets C2MN_GUARDED_BY(mu);
   /// Incrementally maintained counters over the retained visits for the
   /// engine's default query spec; updated on ingest and aging, folded
   /// across shards (in shard order) to answer matching polls without a
   /// scan.
-  query::TopKSketch preagg;
+  query::TopKSketch preagg C2MN_GUARDED_BY(mu);
   /// Highest bucket index written so far; INT64_MIN before any stay.
-  int64_t max_bucket = INT64_MIN;
-  double watermark_seconds = 0.0;
+  int64_t max_bucket C2MN_GUARDED_BY(mu) = INT64_MIN;
+  double watermark_seconds C2MN_GUARDED_BY(mu) = 0.0;
   /// Bumped on every Ingest; subscriptions seeded at sequence S ignore
   /// visit deltas tagged <= S (they already saw that state).
-  uint64_t mutation_seq = 0;
+  uint64_t mutation_seq C2MN_GUARDED_BY(mu) = 0;
 };
 
 /// One standing continuous query: a global (cross-shard) sketch plus the
@@ -105,22 +105,25 @@ struct AnalyticsEngine::Subscription {
         sketch(&spec),
         callback(std::move(cb)) {}
 
+  /// Written once (under subs_mu_ + mu) before the subscription is
+  /// published; immutable afterwards, so readers need no lock.
   int id = -1;
   const StandingQuery query;
   const query::CompiledSpec spec;
 
-  std::mutex mu;
-  query::TopKSketch sketch;
-  StandingQueryCallback callback;
-  std::vector<RegionId> last_regions;
-  std::vector<RegionPair> last_pairs;
-  uint64_t sequence = 0;
+  Mutex mu{LockRank::kAnalyticsSubscription,
+           "AnalyticsEngine::Subscription::mu"};
+  query::TopKSketch sketch C2MN_GUARDED_BY(mu);
+  StandingQueryCallback callback C2MN_GUARDED_BY(mu);
+  std::vector<RegionId> last_regions C2MN_GUARDED_BY(mu);
+  std::vector<RegionPair> last_pairs C2MN_GUARDED_BY(mu);
+  uint64_t sequence C2MN_GUARDED_BY(mu) = 0;
   /// Per shard: the mutation sequence the sketch was seeded through.
-  std::vector<uint64_t> seeded_seq;
+  std::vector<uint64_t> seeded_seq C2MN_GUARDED_BY(mu);
 
   /// Recomputes the answer; if it differs from the last pushed one,
   /// emits the delta.  Caller holds `mu`.
-  bool EmitIfChanged() {
+  bool EmitIfChanged() C2MN_REQUIRES(mu) {
     StandingQueryDelta delta;
     delta.subscription_id = id;
     if (query.kind == StandingQuery::Kind::kPopularRegions) {
@@ -250,7 +253,7 @@ int AnalyticsEngine::Ingest(int shard, int64_t object_id,
   uint64_t mutation_seq = 0;
   bool notify = false;
   {
-    std::lock_guard<std::mutex> lock(s.mu);
+    MutexLock lock(&s.mu);
     // Read under the shard lock: a Subscribe bumps the count before
     // seeding from this shard (under this same mutex), so any mutation
     // its seed missed sees a non-zero count here.  Zero means the
@@ -352,7 +355,7 @@ int AnalyticsEngine::Ingest(int shard, int64_t object_id,
 
 void AnalyticsEngine::NoteSessionClosed(int shard, int64_t object_id) {
   Shard& s = *shards_[static_cast<size_t>(shard) % shards_.size()];
-  std::lock_guard<std::mutex> lock(s.mu);
+  MutexLock lock(&s.mu);
   const auto it = s.objects.find(object_id);
   if (it == s.objects.end()) return;
   if (it->second.occupying) {
@@ -370,9 +373,9 @@ int AnalyticsEngine::NotifySubscriptions(int shard_index,
                                          const StayVisit* added,
                                          const std::vector<StayVisit>& evicted) {
   int fired = 0;
-  std::shared_lock<std::shared_mutex> lock(subs_mu_);
+  ReaderMutexLock lock(&subs_mu_);
   for (const auto& sub : subs_) {
-    std::lock_guard<std::mutex> sub_lock(sub->mu);
+    MutexLock sub_lock(&sub->mu);
     // Seeded at or past this mutation: the seed already saw its effect.
     if (mutation_seq <= sub->seeded_seq[static_cast<size_t>(shard_index)]) {
       continue;
@@ -404,10 +407,9 @@ int AnalyticsEngine::Subscribe(StandingQuery query,
   // after publication waits for sequence 1 to go out first; subs_mu_ is
   // dropped before the initial emit so the callback may hit any engine
   // API except Subscribe / Unsubscribe.
-  std::unique_lock<std::mutex> sub_lock(sub->mu, std::defer_lock);
   {
-    std::unique_lock<std::shared_mutex> lock(subs_mu_);
-    sub_lock.lock();
+    WriterMutexLock lock(&subs_mu_);
+    sub->mu.Lock();
     // Raise the count before seeding: an ingest the seed misses is
     // ordered after the seed by the shard mutex, so it observes a
     // non-zero count and collects its delta for us.
@@ -418,7 +420,7 @@ int AnalyticsEngine::Subscribe(StandingQuery query,
     sub->seeded_seq.assign(shards_.size(), 0);
     for (size_t i = 0; i < shards_.size(); ++i) {
       Shard& s = *shards_[i];
-      std::lock_guard<std::mutex> shard_lock(s.mu);
+      MutexLock shard_lock(&s.mu);
       for (const auto& [index, bucket] : s.buckets) {
         (void)index;
         for (const StayVisit& visit : bucket.visits) {
@@ -434,11 +436,12 @@ int AnalyticsEngine::Subscribe(StandingQuery query,
   if (sub->EmitIfChanged()) {
     deltas_pushed_total_->Increment();
   }
+  sub->mu.Unlock();
   return sub->id;
 }
 
 bool AnalyticsEngine::Unsubscribe(int subscription_id) {
-  std::unique_lock<std::shared_mutex> lock(subs_mu_);
+  WriterMutexLock lock(&subs_mu_);
   for (auto it = subs_.begin(); it != subs_.end(); ++it) {
     if ((*it)->id == subscription_id) {
       subs_.erase(it);
@@ -465,7 +468,7 @@ void AnalyticsEngine::ForEachRetainedVisit(const TimeWindow& window,
     min_bucket = INT64_MAX;  // The window starts after any bucketable time.
   }
   for (const auto& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard->mu);
+    MutexLock lock(&shard->mu);
     for (auto it = shard->buckets.lower_bound(min_bucket);
          it != shard->buckets.end(); ++it) {
       for (const StayVisit& visit : it->second.visits) fn(visit);
@@ -487,7 +490,7 @@ bool AnalyticsEngine::FoldPreAgg(const TimeWindow& window,
   double max_t_start = -std::numeric_limits<double>::infinity();
   double min_t_end = std::numeric_limits<double>::infinity();
   for (const auto& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard->mu);
+    MutexLock lock(&shard->mu);
     for (const auto& [index, bucket] : shard->buckets) {
       (void)index;
       max_t_start = std::max(max_t_start, bucket.max_t_start);
@@ -599,7 +602,7 @@ AnalyticsSnapshot AnalyticsEngine::Snapshot() const {
   snapshot.invalid_dropped = invalid_dropped_total_->Value();
   snapshot.buckets_evicted = buckets_evicted_total_->Value();
   for (const auto& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard->mu);
+    MutexLock lock(&shard->mu);
     snapshot.objects_tracked += shard->objects.size();
     snapshot.watermark_seconds =
         std::max(snapshot.watermark_seconds, shard->watermark_seconds);

@@ -4,10 +4,10 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
-#include <shared_mutex>
 #include <utility>
 #include <vector>
 
+#include "common/sync.h"
 #include "data/msemantics.h"
 #include "obs/metrics_registry.h"
 #include "query/query_core.h"
@@ -280,13 +280,16 @@ class AnalyticsEngine {
   /// Subscriptions: the list is guarded by subs_mu_ (shared for the
   /// ingest-side notify walk, exclusive for Subscribe / Unsubscribe);
   /// each subscription's counters live behind its own mutex.  One lock
-  /// order everywhere: subs_mu_ -> subscription mutex -> shard mutex.
-  /// Ingest never violates it because it collects its visit deltas
-  /// under the shard lock, releases it, and only then acquires subs_mu_
-  /// and the per-subscription mutexes.
-  mutable std::shared_mutex subs_mu_;
-  std::vector<std::shared_ptr<Subscription>> subs_;
-  int next_subscription_id_ = 1;
+  /// order everywhere: subs_mu_ -> subscription mutex -> shard mutex —
+  /// now spelled out by the declared ranks (kAnalyticsSubscribers <
+  /// kAnalyticsSubscription < kAnalyticsShard) and enforced by the
+  /// runtime checker.  Ingest never violates it because it collects its
+  /// visit deltas under the shard lock, releases it, and only then
+  /// acquires subs_mu_ and the per-subscription mutexes.
+  mutable SharedMutex subs_mu_{LockRank::kAnalyticsSubscribers,
+                               "AnalyticsEngine::subs_mu_"};
+  std::vector<std::shared_ptr<Subscription>> subs_ C2MN_GUARDED_BY(subs_mu_);
+  int next_subscription_id_ C2MN_GUARDED_BY(subs_mu_) = 1;
   /// Mirrors subs_.size() / total deltas so Snapshot() (and therefore a
   /// delta callback calling it) never touches subs_mu_.  standing_count_
   /// also lets Ingest skip delta collection entirely when nobody is

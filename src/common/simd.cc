@@ -6,7 +6,8 @@
 #include <cstdlib>
 #include <cstring>
 #include <limits>
-#include <mutex>
+
+#include "common/sync.h"
 
 #if !defined(C2MN_SIMD_DISABLED)
 #if defined(__x86_64__)
@@ -630,14 +631,14 @@ Level ParseLevelName(const char* s) {
   return Level(-1);
 }
 
-std::mutex g_dispatch_mu;
+Mutex g_dispatch_mu{LockRank::kSimdDispatch, "simd::g_dispatch_mu"};
 std::atomic<const OpsTable*> g_ops{nullptr};
 std::atomic<int> g_level{-1};
 
 const OpsTable* EnsureDispatch() {
   const OpsTable* t = g_ops.load(std::memory_order_acquire);
   if (t != nullptr) return t;
-  std::lock_guard<std::mutex> lock(g_dispatch_mu);
+  MutexLock lock(&g_dispatch_mu);
   t = g_ops.load(std::memory_order_acquire);
   if (t != nullptr) return t;
   Level level = DetectedLevel();
@@ -674,7 +675,7 @@ Level ActiveLevel() {
 
 bool ForceLevel(Level level) {
   if (!LevelSupported(level)) return false;
-  std::lock_guard<std::mutex> lock(g_dispatch_mu);
+  MutexLock lock(&g_dispatch_mu);
   g_level.store(static_cast<int>(level), std::memory_order_relaxed);
   g_ops.store(TableFor(level), std::memory_order_release);
   return true;

@@ -1,0 +1,124 @@
+#include "common/sync.h"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+
+namespace c2mn {
+namespace sync_internal {
+
+namespace {
+
+std::atomic<ViolationHandler> g_violation_handler{nullptr};
+
+}  // namespace
+
+ViolationHandler SetViolationHandlerForTest(ViolationHandler handler) {
+  return g_violation_handler.exchange(handler, std::memory_order_acq_rel);
+}
+
+#if defined(C2MN_LOCK_ORDER_CHECK)
+
+namespace {
+
+/// Deeper nesting than this is a design smell long before it is a
+/// checker limit; excess acquisitions are counted but not rank-checked.
+constexpr int kMaxHeld = 32;
+
+struct HeldLock {
+  const void* mu;
+  LockRank rank;
+  const char* name;
+  const char* file;
+  int line;
+};
+
+/// Per-thread held-lock stack.  Fixed storage: lock acquisition must
+/// stay allocation-free (the inference benches enforce zero-alloc
+/// steady-state paths that take shard stats locks).
+struct ThreadLockState {
+  HeldLock held[kMaxHeld];
+  int depth = 0;
+  int overflow = 0;
+};
+
+ThreadLockState& State() {
+  thread_local ThreadLockState state;
+  return state;
+}
+
+[[noreturn]] void AbortWithMessage(const char* message) {
+  std::fputs(message, stderr);
+  std::fputs("\n", stderr);
+  std::fflush(stderr);
+  std::abort();
+}
+
+void ReportViolation(const char* kind, const HeldLock& held, LockRank rank,
+                     const char* name, const char* file, int line) {
+  char message[512];
+  std::snprintf(message, sizeof(message),
+                "lock-order violation (%s): acquiring %s (rank %d) at %s:%d "
+                "while holding %s (rank %d) acquired at %s:%d",
+                kind, name, static_cast<int>(rank), file, line, held.name,
+                static_cast<int>(held.rank), held.file, held.line);
+  const ViolationHandler handler =
+      g_violation_handler.load(std::memory_order_acquire);
+  if (handler != nullptr) {
+    handler(message);
+    return;
+  }
+  AbortWithMessage(message);
+}
+
+}  // namespace
+
+void NoteAcquire(const void* mu, LockRank rank, const char* name,
+                 const char* file, int line) {
+  ThreadLockState& state = State();
+  for (int i = 0; i < state.depth; ++i) {
+    const HeldLock& held = state.held[i];
+    if (held.mu == mu) {
+      // Recursive acquisition of a std::mutex is UB (in practice a
+      // deadlock); report it before the lock call hangs forever.
+      ReportViolation("recursive acquisition", held, rank, name, file, line);
+      return;
+    }
+    if (rank != LockRank::kUnranked && held.rank != LockRank::kUnranked &&
+        held.rank >= rank) {
+      ReportViolation("rank not increasing", held, rank, name, file, line);
+      return;
+    }
+  }
+  if (state.depth < kMaxHeld) {
+    state.held[state.depth++] = HeldLock{mu, rank, name, file, line};
+  } else {
+    ++state.overflow;
+  }
+}
+
+void NoteRelease(const void* mu) {
+  ThreadLockState& state = State();
+  if (state.overflow > 0) {
+    // Can't tell whether the released lock was a tracked or an overflow
+    // one; assume overflow (releases run in reverse acquisition order).
+    --state.overflow;
+    return;
+  }
+  for (int i = state.depth - 1; i >= 0; --i) {
+    if (state.held[i].mu == mu) {
+      for (int j = i; j + 1 < state.depth; ++j) {
+        state.held[j] = state.held[j + 1];
+      }
+      --state.depth;
+      return;
+    }
+  }
+  // Releasing an untracked lock: acquired before the checker saw it
+  // (e.g. a handler consumed its acquire record).  Nothing to do.
+}
+
+#endif  // C2MN_LOCK_ORDER_CHECK
+
+}  // namespace sync_internal
+}  // namespace c2mn

@@ -267,7 +267,7 @@ MetricsRegistry::Entry* MetricsRegistry::FindOrCreate(
     const LabelSet& labels, const Histogram::Config* config) {
   const LabelSet sorted = SortedLabels(labels);
   const std::string key = MetricKey(name, sorted);
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto it = entries_.find(key);
   if (it != entries_.end()) {
     if (it->second->kind != kind) {
@@ -334,13 +334,13 @@ Histogram* MetricsRegistry::GetHistogram(const std::string& name,
 }
 
 size_t MetricsRegistry::size() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return entries_.size();
 }
 
 std::vector<MetricSnapshot> MetricsRegistry::Snapshot() const {
   std::vector<MetricSnapshot> out;
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   out.reserve(entries_.size());
   // entries_ is an ordered map keyed by name+labels, so the snapshot is
   // already deterministically sorted.

@@ -10,6 +10,8 @@
 #include <utility>
 #include <vector>
 
+#include "common/sync.h"
+
 namespace c2mn {
 namespace obs {
 
@@ -236,11 +238,11 @@ class MetricsRegistry {
                       MetricKind kind, const LabelSet& labels,
                       const Histogram::Config* config);
 
-  mutable std::mutex mu_;
+  mutable Mutex mu_{LockRank::kObsRegistry, "MetricsRegistry::mu_"};
   std::once_flag kind_conflict_logged_;
   /// Keyed by name + serialized sorted labels; values are stable heap
   /// entries so handles survive rehashing.
-  std::map<std::string, std::unique_ptr<Entry>> entries_;
+  std::map<std::string, std::unique_ptr<Entry>> entries_ C2MN_GUARDED_BY(mu_);
 };
 
 }  // namespace obs

@@ -70,7 +70,7 @@ void PipelineTracer::Record(const Span& span, int64_t object_id, int shard) {
   const int every = options_.slow_log_every < 1 ? 1 : options_.slow_log_every;
   bool log_this = false;
   {
-    std::lock_guard<std::mutex> lock(slow_mu_);
+    MutexLock lock(&slow_mu_);
     if (++slow_since_log_ >= static_cast<uint64_t>(every)) {
       slow_since_log_ = 0;
       log_this = true;
@@ -93,7 +93,7 @@ void PipelineTracer::Record(const Span& span, int64_t object_id, int shard) {
 }
 
 std::vector<SlowOpTrace> PipelineTracer::RecentSlowOps() const {
-  std::lock_guard<std::mutex> lock(slow_mu_);
+  MutexLock lock(&slow_mu_);
   return std::vector<SlowOpTrace>(recent_slow_.begin(), recent_slow_.end());
 }
 

@@ -4,10 +4,10 @@
 #include <chrono>
 #include <cstdint>
 #include <deque>
-#include <mutex>
 #include <string>
 #include <vector>
 
+#include "common/sync.h"
 #include "obs/metrics_registry.h"
 
 namespace c2mn {
@@ -124,9 +124,9 @@ class PipelineTracer {
   Counter* records_traced_;
   Counter* slow_ops_;
 
-  mutable std::mutex slow_mu_;
-  std::deque<SlowOpTrace> recent_slow_;
-  uint64_t slow_since_log_ = 0;
+  mutable Mutex slow_mu_{LockRank::kObsSlowOps, "PipelineTracer::slow_mu_"};
+  std::deque<SlowOpTrace> recent_slow_ C2MN_GUARDED_BY(slow_mu_);
+  uint64_t slow_since_log_ C2MN_GUARDED_BY(slow_mu_) = 0;
 };
 
 }  // namespace obs

@@ -9,6 +9,7 @@
 
 #include "common/logging.h"
 #include "common/streaming_histogram.h"
+#include "common/sync.h"
 #include "service/bounded_queue.h"
 
 namespace c2mn {
@@ -49,12 +50,12 @@ struct AnnotationService::Shard {
   /// set.  Worker-thread only.
   DecodeWorkspace decode_workspace;
 
-  std::mutex stats_mu;
+  Mutex stats_mu{LockRank::kServiceShardStats, "Shard::stats_mu"};
   /// Submit-to-emit latency in seconds (1 us .. 1000 s buckets).
-  StreamingHistogram latency;
+  StreamingHistogram latency C2MN_GUARDED_BY(stats_mu);
   /// Submit-to-standing-query-delta latency, over the ops whose
   /// analytics ingest pushed at least one delta.
-  StreamingHistogram push_latency;
+  StreamingHistogram push_latency C2MN_GUARDED_BY(stats_mu);
 };
 
 AnnotationService::AnnotationService(const World& world,
@@ -140,7 +141,7 @@ AnnotationService::Shard* AnnotationService::ShardOf(int64_t object_id) const {
 
 Status AnnotationService::OpenSession(int64_t object_id, SemanticsSink sink) {
   {
-    std::lock_guard<std::mutex> lock(registry_mu_);
+    MutexLock lock(&registry_mu_);
     if (stopped_) return Status::FailedPrecondition("service is stopped");
     if (!open_sessions_.insert(object_id).second) {
       return Status::InvalidArgument("session " + std::to_string(object_id) +
@@ -158,7 +159,7 @@ Status AnnotationService::OpenSession(int64_t object_id, SemanticsSink sink) {
     // Raced with Stop(): the open op was dropped, so undo the
     // registration to keep Stats() consistent.
     NoteOpDone();
-    std::lock_guard<std::mutex> lock(registry_mu_);
+    MutexLock lock(&registry_mu_);
     open_sessions_.erase(object_id);
     --sessions_opened_;
     return Status::FailedPrecondition("service is stopped");
@@ -169,7 +170,7 @@ Status AnnotationService::OpenSession(int64_t object_id, SemanticsSink sink) {
 Status AnnotationService::Submit(int64_t object_id,
                                  const PositioningRecord& record) {
   {
-    std::lock_guard<std::mutex> lock(registry_mu_);
+    MutexLock lock(&registry_mu_);
     if (stopped_) return Status::FailedPrecondition("service is stopped");
     if (open_sessions_.count(object_id) == 0) {
       return Status::NotFound("no open session for object " +
@@ -192,7 +193,7 @@ Status AnnotationService::Submit(int64_t object_id,
 
 Status AnnotationService::CloseSession(int64_t object_id) {
   {
-    std::lock_guard<std::mutex> lock(registry_mu_);
+    MutexLock lock(&registry_mu_);
     if (stopped_) return Status::FailedPrecondition("service is stopped");
     if (open_sessions_.erase(object_id) == 0) {
       return Status::NotFound("no open session for object " +
@@ -209,7 +210,7 @@ Status AnnotationService::CloseSession(int64_t object_id) {
     // Raced with Stop(): the flush op was dropped, so the session was
     // never actually closed.
     NoteOpDone();
-    std::lock_guard<std::mutex> lock(registry_mu_);
+    MutexLock lock(&registry_mu_);
     open_sessions_.insert(object_id);
     --sessions_closed_;
     return Status::FailedPrecondition("service is stopped");
@@ -219,21 +220,21 @@ Status AnnotationService::CloseSession(int64_t object_id) {
 
 void AnnotationService::NoteOpDone() {
   if (pending_ops_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
-    std::lock_guard<std::mutex> lock(drain_mu_);
-    drain_cv_.notify_all();
+    MutexLock lock(&drain_mu_);
+    drain_cv_.NotifyAll();
   }
 }
 
 void AnnotationService::Drain() {
-  std::unique_lock<std::mutex> lock(drain_mu_);
-  drain_cv_.wait(lock, [this] {
-    return pending_ops_.load(std::memory_order_acquire) == 0;
-  });
+  MutexLock lock(&drain_mu_);
+  while (pending_ops_.load(std::memory_order_acquire) != 0) {
+    drain_cv_.Wait(&drain_mu_);
+  }
 }
 
 void AnnotationService::Stop() {
   {
-    std::lock_guard<std::mutex> lock(registry_mu_);
+    MutexLock lock(&registry_mu_);
     if (stopped_) return;
     stopped_ = true;
   }
@@ -244,17 +245,17 @@ void AnnotationService::Stop() {
   }
   if (export_thread_.joinable()) {
     {
-      std::lock_guard<std::mutex> lock(export_mu_);
+      MutexLock lock(&export_mu_);
       export_stop_ = true;
     }
-    export_cv_.notify_all();
+    export_cv_.NotifyAll();
     export_thread_.join();
   }
 }
 
 void AnnotationService::UpdateGauges() const {
   {
-    std::lock_guard<std::mutex> lock(registry_mu_);
+    MutexLock lock(&registry_mu_);
     sessions_open_gauge_->Set(static_cast<double>(open_sessions_.size()));
   }
   for (size_t i = 0; i < shards_.size(); ++i) {
@@ -263,14 +264,21 @@ void AnnotationService::UpdateGauges() const {
 }
 
 void AnnotationService::ExportLoop() {
-  const auto interval = std::chrono::duration<double>(
-      options_.obs.export_interval_seconds);
-  std::unique_lock<std::mutex> lock(export_mu_);
-  while (!export_stop_) {
-    if (export_cv_.wait_for(lock, interval, [this] { return export_stop_; })) {
-      break;
+  const auto interval =
+      std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+          std::chrono::duration<double>(
+              options_.obs.export_interval_seconds));
+  for (;;) {
+    // One interval of interruptible sleep under the lock; the export
+    // itself runs with export_mu_ released (it takes the session
+    // registry and queue locks while rendering gauges).
+    {
+      MutexLock lock(&export_mu_);
+      const auto deadline = std::chrono::steady_clock::now() + interval;
+      while (!export_stop_ && export_cv_.WaitUntil(&export_mu_, deadline)) {
+      }
+      if (export_stop_) return;
     }
-    lock.unlock();
     UpdateGauges();
     const std::string body = options_.obs.export_format == "json"
                                  ? registry_->RenderJson()
@@ -283,7 +291,6 @@ void AnnotationService::ExportLoop() {
       C2MN_LOG_WARN << "metrics export: cannot write "
                     << options_.obs.export_path;
     }
-    lock.lock();
   }
 }
 
@@ -346,7 +353,7 @@ void AnnotationService::WorkerLoop(Shard* shard) {
       semantics_emitted_total_->Increment(emitted.size());
     }
     {
-      std::lock_guard<std::mutex> lock(shard->stats_mu);
+      MutexLock lock(&shard->stats_mu);
       shard->latency.Add(latency_s);
       if (deltas_fired > 0) shard->push_latency.Add(latency_s);
     }
@@ -414,7 +421,7 @@ void AnnotationService::WorkerLoop(Shard* shard) {
                           .count();
           records_processed_total_->Increment();
           {
-            std::lock_guard<std::mutex> lock(shard->stats_mu);
+            MutexLock lock(&shard->stats_mu);
             shard->latency.Add(latency_s);
           }
           if (trace) tracer_->Record(span, op.object_id, shard->index);
@@ -459,7 +466,7 @@ void AnnotationService::WorkerLoop(Shard* shard) {
             semantics_emitted_total_->Increment(emitted.size());
           }
           if (deltas_fired > 0) {
-            std::lock_guard<std::mutex> lock(shard->stats_mu);
+            MutexLock lock(&shard->stats_mu);
             shard->push_latency.Add(latency_s);
           }
           if (trace) tracer_->Record(span, op.object_id, shard->index);
@@ -511,7 +518,7 @@ AnalyticsSnapshot AnnotationService::AnalyticsStats() const {
   AnalyticsSnapshot snapshot = analytics_->Snapshot();
   StreamingHistogram push_latency;
   for (const auto& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard->stats_mu);
+    MutexLock lock(&shard->stats_mu);
     if (!push_latency.Merge(shard->push_latency)) {
       // A mismatched bucket config silently loses the shard's samples;
       // count it (and log once) instead of ignoring the failure.
@@ -532,7 +539,7 @@ AnalyticsSnapshot AnnotationService::AnalyticsStats() const {
 ServiceStats AnnotationService::Stats() const {
   ServiceStats stats;
   {
-    std::lock_guard<std::mutex> lock(registry_mu_);
+    MutexLock lock(&registry_mu_);
     stats.sessions_open = open_sessions_.size();
     stats.sessions_opened = sessions_opened_;
     stats.sessions_closed = sessions_closed_;
@@ -551,7 +558,7 @@ ServiceStats AnnotationService::Stats() const {
     const size_t depth = shard->queue.size();
     stats.queue_depths.push_back(depth);
     queue_depth_gauges_[i]->Set(static_cast<double>(depth));
-    std::lock_guard<std::mutex> lock(shard->stats_mu);
+    MutexLock lock(&shard->stats_mu);
     if (!latency.Merge(shard->latency)) {
       merge_mismatches_total_->Increment();
       std::call_once(latency_merge_mismatch_logged_, [] {

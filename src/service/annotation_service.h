@@ -2,10 +2,9 @@
 #define C2MN_SERVICE_ANNOTATION_SERVICE_H_
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <memory>
-#include <mutex>
+#include <mutex>  // std::once_flag
 #include <string>
 #include <thread>
 #include <unordered_set>
@@ -14,6 +13,7 @@
 #include "analytics/analytics_engine.h"
 #include "common/status.h"
 #include "common/stopwatch.h"
+#include "common/sync.h"
 #include "obs/metrics_registry.h"
 #include "obs/pipeline_trace.h"
 #include "service/service_stats.h"
@@ -223,23 +223,28 @@ class AnnotationService {
 
   /// Periodic exporter (obs.export_interval_seconds > 0).
   std::thread export_thread_;
-  mutable std::mutex export_mu_;
-  std::condition_variable export_cv_;
-  bool export_stop_ = false;
+  mutable Mutex export_mu_{LockRank::kServiceExport,
+                           "AnnotationService::export_mu_"};
+  CondVar export_cv_;
+  bool export_stop_ C2MN_GUARDED_BY(export_mu_) = false;
 
   /// Caller-visible session registry (which ids are open right now);
   /// the authoritative per-session state lives with the shard workers.
-  mutable std::mutex registry_mu_;
-  std::unordered_set<int64_t> open_sessions_;
-  uint64_t sessions_opened_ = 0;
-  uint64_t sessions_closed_ = 0;
-  bool stopped_ = false;
+  /// Acquired before the queue mutexes (Submit checks the registry, then
+  /// pushes) — the declared rank order makes that edge explicit.
+  mutable Mutex registry_mu_{LockRank::kServiceRegistry,
+                             "AnnotationService::registry_mu_"};
+  std::unordered_set<int64_t> open_sessions_ C2MN_GUARDED_BY(registry_mu_);
+  uint64_t sessions_opened_ C2MN_GUARDED_BY(registry_mu_) = 0;
+  uint64_t sessions_closed_ C2MN_GUARDED_BY(registry_mu_) = 0;
+  bool stopped_ C2MN_GUARDED_BY(registry_mu_) = false;
 
   /// Operations enqueued but not yet fully processed, across all
   /// shards; Drain() waits for zero.
   std::atomic<uint64_t> pending_ops_{0};
-  mutable std::mutex drain_mu_;
-  std::condition_variable drain_cv_;
+  mutable Mutex drain_mu_{LockRank::kServiceDrain,
+                          "AnnotationService::drain_mu_"};
+  CondVar drain_cv_;
 };
 
 }  // namespace c2mn

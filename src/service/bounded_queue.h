@@ -1,12 +1,12 @@
 #ifndef C2MN_SERVICE_BOUNDED_QUEUE_H_
 #define C2MN_SERVICE_BOUNDED_QUEUE_H_
 
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
-#include <mutex>
 #include <utility>
 #include <vector>
+
+#include "common/sync.h"
 
 namespace c2mn {
 
@@ -20,68 +20,75 @@ namespace c2mn {
 /// stride.  FIFO order is global across producers, which is what makes
 /// per-session processing deterministic when each session has a single
 /// submitting thread.
+///
+/// The queue mutex is a leaf in the lock lattice (LockRank::kServiceQueue):
+/// nothing is ever acquired while holding it, so producers can call Push
+/// from under any caller-side locking discipline without adding an edge.
 template <typename T>
 class BoundedQueue {
  public:
-  explicit BoundedQueue(size_t capacity) : capacity_(capacity) {}
+  explicit BoundedQueue(size_t capacity)
+      : mu_(LockRank::kServiceQueue, "BoundedQueue::mu_"),
+        capacity_(capacity) {}
 
   BoundedQueue(const BoundedQueue&) = delete;
   BoundedQueue& operator=(const BoundedQueue&) = delete;
 
   /// Blocks while full.  Returns false (dropping the item) once the
   /// queue is closed.
-  bool Push(T item) {
-    std::unique_lock<std::mutex> lock(mu_);
-    not_full_.wait(lock,
-                   [this] { return closed_ || items_.size() < capacity_; });
-    if (closed_) return false;
-    items_.push_back(std::move(item));
-    lock.unlock();
-    not_empty_.notify_one();
+  bool Push(T item) C2MN_EXCLUDES(mu_) {
+    {
+      MutexLock lock(&mu_);
+      while (!closed_ && items_.size() >= capacity_) not_full_.Wait(&mu_);
+      if (closed_) return false;
+      items_.push_back(std::move(item));
+    }
+    not_empty_.NotifyOne();
     return true;
   }
 
   /// Blocks while empty.  Appends up to `max_items` into `*out` and
   /// returns true; returns false once the queue is closed and drained.
-  bool PopBatch(std::vector<T>* out, size_t max_items) {
-    std::unique_lock<std::mutex> lock(mu_);
-    not_empty_.wait(lock, [this] { return closed_ || !items_.empty(); });
-    if (items_.empty()) return false;  // Closed and drained.
-    const size_t n = std::min(max_items, items_.size());
-    for (size_t i = 0; i < n; ++i) {
-      out->push_back(std::move(items_.front()));
-      items_.pop_front();
+  bool PopBatch(std::vector<T>* out, size_t max_items) C2MN_EXCLUDES(mu_) {
+    {
+      MutexLock lock(&mu_);
+      while (!closed_ && items_.empty()) not_empty_.Wait(&mu_);
+      if (items_.empty()) return false;  // Closed and drained.
+      const size_t n = std::min(max_items, items_.size());
+      for (size_t i = 0; i < n; ++i) {
+        out->push_back(std::move(items_.front()));
+        items_.pop_front();
+      }
     }
-    lock.unlock();
-    not_full_.notify_all();
+    not_full_.NotifyAll();
     return true;
   }
 
   /// Wakes all waiters; subsequent Push() calls fail, PopBatch() keeps
   /// succeeding until the backlog is drained.
-  void Close() {
+  void Close() C2MN_EXCLUDES(mu_) {
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(&mu_);
       closed_ = true;
     }
-    not_full_.notify_all();
-    not_empty_.notify_all();
+    not_full_.NotifyAll();
+    not_empty_.NotifyAll();
   }
 
-  size_t size() const {
-    std::lock_guard<std::mutex> lock(mu_);
+  size_t size() const C2MN_EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
     return items_.size();
   }
 
   size_t capacity() const { return capacity_; }
 
  private:
-  mutable std::mutex mu_;
-  std::condition_variable not_full_;
-  std::condition_variable not_empty_;
-  std::deque<T> items_;
+  mutable Mutex mu_;
+  CondVar not_full_;
+  CondVar not_empty_;
+  std::deque<T> items_ C2MN_GUARDED_BY(mu_);
   const size_t capacity_;
-  bool closed_ = false;
+  bool closed_ C2MN_GUARDED_BY(mu_) = false;
 };
 
 }  // namespace c2mn

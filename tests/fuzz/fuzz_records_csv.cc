@@ -1,0 +1,33 @@
+#include <cstddef>
+#include <cstdint>
+#include <sstream>
+#include <string>
+
+#include "data/dataset.h"
+#include "data/io.h"
+
+/// Fuzzes the positioning-records CSV reader: arbitrary bytes must either
+/// parse into a Dataset or come back as a Status — never crash, leak, or
+/// trip UBSan (the parser is the service's untrusted-input boundary).
+///
+/// On a successful parse the harness also round-trips through
+/// WriteRecordsCsv: whatever the reader accepted, the writer must emit in
+/// a form the reader accepts again with identical shape.  A trap here is
+/// a real reader/writer disagreement, not a fuzzing artifact.
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  std::istringstream in(
+      std::string(reinterpret_cast<const char*>(data), size));
+  const c2mn::Result<c2mn::Dataset> parsed = c2mn::io::ReadRecordsCsv(&in);
+  if (!parsed.ok()) return 0;
+
+  std::ostringstream rewritten;
+  c2mn::io::WriteRecordsCsv(*parsed, &rewritten);
+  std::istringstream in2(rewritten.str());
+  const c2mn::Result<c2mn::Dataset> reparsed = c2mn::io::ReadRecordsCsv(&in2);
+  if (!reparsed.ok() ||
+      reparsed->NumSequences() != parsed->NumSequences() ||
+      reparsed->NumRecords() != parsed->NumRecords()) {
+    __builtin_trap();
+  }
+  return 0;
+}

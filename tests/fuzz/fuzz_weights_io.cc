@@ -1,0 +1,30 @@
+#include <cstddef>
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/weights_io.h"
+
+/// Fuzzes the trained-weights file reader: arbitrary bytes must either
+/// yield a complete weight vector or a Status.  Accepted files round-trip
+/// through Write (which prints %.17g, exact for the finite values Read
+/// admits) back to bit-identical weights; a trap is a real
+/// serialization bug.
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  std::istringstream in(
+      std::string(reinterpret_cast<const char*>(data), size));
+  const c2mn::Result<std::vector<double>> parsed =
+      c2mn::weights_io::Read(&in);
+  if (!parsed.ok()) return 0;
+
+  std::ostringstream rewritten;
+  c2mn::weights_io::Write(*parsed, &rewritten);
+  std::istringstream in2(rewritten.str());
+  const c2mn::Result<std::vector<double>> reparsed =
+      c2mn::weights_io::Read(&in2);
+  if (!reparsed.ok() || *reparsed != *parsed) {
+    __builtin_trap();
+  }
+  return 0;
+}

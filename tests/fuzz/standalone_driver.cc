@@ -1,0 +1,30 @@
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+/// Corpus-replay main for compilers without libFuzzer (the repo's GCC-only
+/// containers, and the CI fuzz-smoke fallback): runs the harness's
+/// LLVMFuzzerTestOneInput once over every file passed on the command
+/// line.  No mutation — this is regression replay, not exploration; use a
+/// clang -DC2MN_FUZZ build for real fuzzing.
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size);
+
+int main(int argc, char** argv) {
+  int replayed = 0;
+  for (int i = 1; i < argc; ++i) {
+    std::ifstream file(argv[i], std::ios::binary);
+    if (!file) {
+      std::fprintf(stderr, "standalone_driver: cannot open %s\n", argv[i]);
+      return 1;
+    }
+    std::vector<char> bytes((std::istreambuf_iterator<char>(file)),
+                            std::istreambuf_iterator<char>());
+    LLVMFuzzerTestOneInput(reinterpret_cast<const uint8_t*>(bytes.data()),
+                           bytes.size());
+    ++replayed;
+  }
+  std::fprintf(stderr, "standalone_driver: replayed %d input(s)\n", replayed);
+  return 0;
+}

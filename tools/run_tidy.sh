@@ -1,0 +1,87 @@
+#!/usr/bin/env bash
+# Runs clang-tidy (the repo's .clang-tidy check set) over the library
+# sources using an exported compilation database.
+#
+# Usage:
+#   tools/run_tidy.sh [-p BUILD_DIR] [--diff [BASE_REF]] [-j N]
+#
+#   -p BUILD_DIR   Directory holding compile_commands.json (default:
+#                  build/; configured automatically — every CMake
+#                  configure exports the database).
+#   --diff [REF]   Only lint .cc/.h files changed relative to REF
+#                  (default: the merge-base with origin/main, falling
+#                  back to HEAD~1).  The fast pre-push mode.
+#   -j N           Parallel clang-tidy processes (default: nproc).
+#
+# Exits 0 when clang-tidy is unavailable (GCC-only containers) so local
+# wrappers can call it unconditionally; CI installs clang-tidy and treats
+# findings in WarningsAsErrors as failures.
+set -u
+
+BUILD_DIR=build
+DIFF_MODE=0
+DIFF_BASE=""
+JOBS="$(nproc 2>/dev/null || echo 4)"
+
+while [ $# -gt 0 ]; do
+  case "$1" in
+    -p) BUILD_DIR="$2"; shift 2 ;;
+    --diff)
+      DIFF_MODE=1
+      shift
+      if [ $# -gt 0 ] && [ "${1#-}" = "$1" ]; then DIFF_BASE="$1"; shift; fi
+      ;;
+    -j) JOBS="$2"; shift 2 ;;
+    *) echo "run_tidy.sh: unknown argument: $1" >&2; exit 2 ;;
+  esac
+done
+
+TIDY="${CLANG_TIDY:-}"
+if [ -z "$TIDY" ]; then
+  for candidate in clang-tidy clang-tidy-18 clang-tidy-17 clang-tidy-16 \
+                   clang-tidy-15 clang-tidy-14; do
+    if command -v "$candidate" >/dev/null 2>&1; then TIDY="$candidate"; break; fi
+  done
+fi
+if [ -z "$TIDY" ]; then
+  echo "run_tidy.sh: clang-tidy not found; skipping (install clang-tidy" \
+       "or set CLANG_TIDY)" >&2
+  exit 0
+fi
+
+cd "$(dirname "$0")/.."
+
+if [ ! -f "$BUILD_DIR/compile_commands.json" ]; then
+  echo "run_tidy.sh: $BUILD_DIR/compile_commands.json missing;" \
+       "configure first: cmake -B $BUILD_DIR -S ." >&2
+  exit 2
+fi
+
+if [ "$DIFF_MODE" -eq 1 ]; then
+  if [ -z "$DIFF_BASE" ]; then
+    DIFF_BASE="$(git merge-base HEAD origin/main 2>/dev/null ||
+                 git rev-parse HEAD~1 2>/dev/null || echo HEAD)"
+  fi
+  # Headers are linted through the .cc files that include them
+  # (HeaderFilterRegex), so a header-only diff lints every library file.
+  CHANGED="$(git diff --name-only "$DIFF_BASE" -- 'src/*.cc' 'src/*.h')"
+  if [ -z "$CHANGED" ]; then
+    echo "run_tidy.sh: no src/ changes vs $DIFF_BASE; nothing to lint"
+    exit 0
+  fi
+  if echo "$CHANGED" | grep -q '\.h$'; then
+    FILES="$(find src -name '*.cc' | sort)"
+  else
+    FILES="$CHANGED"
+  fi
+  echo "run_tidy.sh: linting changes vs $DIFF_BASE"
+else
+  FILES="$(find src -name '*.cc' | sort)"
+fi
+
+echo "$FILES" | xargs -P "$JOBS" -n 1 "$TIDY" -p "$BUILD_DIR" --quiet
+STATUS=$?
+if [ $STATUS -ne 0 ]; then
+  echo "run_tidy.sh: clang-tidy reported errors (see above)" >&2
+fi
+exit $STATUS
