@@ -240,7 +240,7 @@ void AnalyticsEngine::NoteSessionClosed(int64_t object_id) {
 }
 
 int AnalyticsEngine::Ingest(int shard, int64_t object_id,
-                            const MSemantics& ms) {
+                            const MSemantics& ms, uint64_t* applied_seq) {
   const int shard_index = static_cast<int>(
       static_cast<size_t>(shard) % shards_.size());
   Shard& s = *shards_[static_cast<size_t>(shard_index)];
@@ -260,6 +260,10 @@ int AnalyticsEngine::Ingest(int shard, int64_t object_id,
     // delta bookkeeping below is dead weight — skip it.
     notify = standing_count_.load(std::memory_order_relaxed) > 0;
     mutation_seq = ++s.mutation_seq;
+    // Report the sequence before any early return below: dropped or
+    // non-retained m-semantics still consumed a sequence number, and the
+    // write-ahead log must record it for replay to line up.
+    if (applied_seq != nullptr) *applied_seq = mutation_seq;
     semantics_ingested_total_->Increment();
     // Reject time periods that are non-finite or too extreme to bucket:
     // casting an out-of-range double to int64_t below would be undefined
@@ -353,9 +357,15 @@ int AnalyticsEngine::Ingest(int shard, int64_t object_id,
   return fired;
 }
 
-void AnalyticsEngine::NoteSessionClosed(int shard, int64_t object_id) {
+void AnalyticsEngine::NoteSessionClosed(int shard, int64_t object_id,
+                                        uint64_t* applied_seq) {
   Shard& s = *shards_[static_cast<size_t>(shard) % shards_.size()];
   MutexLock lock(&s.mu);
+  // A close mutates shard state (occupancy, the object table), so it
+  // takes a sequence number like any ingest: the write-ahead log can
+  // then replay closes in exactly their original position.
+  const uint64_t seq = ++s.mutation_seq;
+  if (applied_seq != nullptr) *applied_seq = seq;
   const auto it = s.objects.find(object_id);
   if (it == s.objects.end()) return;
   if (it->second.occupying) {
@@ -666,6 +676,227 @@ AnalyticsSnapshot AnalyticsEngine::Snapshot() const {
               return a.to < b.to;
             });
   return snapshot;
+}
+
+AnalyticsEngineState AnalyticsEngine::SaveState() const {
+  AnalyticsEngineState state;
+  state.num_shards = num_shards();
+  state.bucket_seconds = options_.bucket_seconds;
+  state.horizon_seconds = options_.horizon_seconds;
+  state.min_visit_seconds = options_.min_visit_seconds;
+  state.dwell_min_seconds = options_.dwell_min_seconds;
+  state.dwell_max_seconds = options_.dwell_max_seconds;
+  state.dwell_growth = options_.dwell_growth;
+  state.semantics_ingested = semantics_ingested_total_->Value();
+  state.late_dropped = late_dropped_total_->Value();
+  state.invalid_dropped = invalid_dropped_total_->Value();
+  state.buckets_evicted = buckets_evicted_total_->Value();
+  state.shards.resize(shards_.size());
+  for (size_t i = 0; i < shards_.size(); ++i) {
+    const Shard& s = *shards_[i];
+    AnalyticsShardState& out = state.shards[i];
+    MutexLock lock(&s.mu);
+    out.mutation_seq = s.mutation_seq;
+    out.watermark_seconds = s.watermark_seconds;
+    out.max_bucket = s.max_bucket;
+    out.regions.reserve(s.regions.size());
+    for (const auto& [region, acc] : s.regions) {
+      AnalyticsShardState::Region r;
+      r.region = region;
+      r.visits = acc.visits;
+      r.stays = acc.stays;
+      r.passes = acc.passes;
+      r.total_dwell_seconds = acc.total_dwell_seconds;
+      r.occupancy = acc.occupancy;
+      r.dwell = acc.dwell.SaveState();
+      out.regions.push_back(std::move(r));
+    }
+    std::sort(out.regions.begin(), out.regions.end(),
+              [](const AnalyticsShardState::Region& a,
+                 const AnalyticsShardState::Region& b) {
+                return a.region < b.region;
+              });
+    out.flows.reserve(s.flows.size());
+    for (const auto& [key, count] : s.flows) {
+      AnalyticsShardState::Flow flow;
+      flow.from = static_cast<RegionId>(static_cast<int32_t>(key >> 32));
+      flow.to = static_cast<RegionId>(static_cast<int32_t>(key & 0xffffffffu));
+      flow.count = count;
+      out.flows.push_back(flow);
+    }
+    std::sort(out.flows.begin(), out.flows.end(),
+              [](const AnalyticsShardState::Flow& a,
+                 const AnalyticsShardState::Flow& b) {
+                if (a.from != b.from) return a.from < b.from;
+                return a.to < b.to;
+              });
+    out.objects.reserve(s.objects.size());
+    for (const auto& [object_id, obj] : s.objects) {
+      out.objects.push_back(AnalyticsShardState::Object{
+          object_id, obj.last_region, obj.occupying, obj.occupied_region});
+    }
+    std::sort(out.objects.begin(), out.objects.end(),
+              [](const AnalyticsShardState::Object& a,
+                 const AnalyticsShardState::Object& b) {
+                return a.object_id < b.object_id;
+              });
+    for (const auto& [index, bucket] : s.buckets) {
+      (void)index;
+      for (const StayVisit& visit : bucket.visits) {
+        out.visits.push_back(AnalyticsShardState::Visit{
+            visit.object_id, visit.region, visit.t_start, visit.t_end});
+      }
+    }
+    out.preagg = s.preagg.SaveState();
+  }
+  return state;
+}
+
+Status AnalyticsEngine::RestoreState(const AnalyticsEngineState& state) {
+  if (state.num_shards != num_shards() ||
+      state.shards.size() != shards_.size()) {
+    return Status::InvalidArgument(
+        "analytics restore: shard count does not match engine options");
+  }
+  if (state.bucket_seconds != options_.bucket_seconds ||
+      state.horizon_seconds != options_.horizon_seconds ||
+      state.min_visit_seconds != options_.min_visit_seconds ||
+      state.dwell_min_seconds != options_.dwell_min_seconds ||
+      state.dwell_max_seconds != options_.dwell_max_seconds ||
+      state.dwell_growth != options_.dwell_growth) {
+    return Status::InvalidArgument(
+        "analytics restore: state was saved under different accumulator "
+        "options; refusing to reinterpret it");
+  }
+  if (standing_count_.load(std::memory_order_relaxed) > 0) {
+    return Status::FailedPrecondition(
+        "analytics restore: standing queries already subscribed");
+  }
+  // Counters restore by increment, so the engine must not have counted
+  // anything yet (a fresh engine, or a fresh registry after restart).
+  if (semantics_ingested_total_->Value() > state.semantics_ingested ||
+      late_dropped_total_->Value() > state.late_dropped ||
+      invalid_dropped_total_->Value() > state.invalid_dropped ||
+      buckets_evicted_total_->Value() > state.buckets_evicted) {
+    return Status::FailedPrecondition(
+        "analytics restore: engine counters already ahead of the state");
+  }
+  for (const auto& shard : shards_) {
+    MutexLock lock(&shard->mu);
+    if (shard->mutation_seq != 0 || !shard->regions.empty() ||
+        !shard->objects.empty() || !shard->buckets.empty()) {
+      return Status::FailedPrecondition(
+          "analytics restore: engine has already ingested");
+    }
+  }
+  for (size_t i = 0; i < shards_.size(); ++i) {
+    Shard& s = *shards_[i];
+    const AnalyticsShardState& in = state.shards[i];
+    MutexLock lock(&s.mu);
+    s.mutation_seq = in.mutation_seq;
+    s.watermark_seconds = in.watermark_seconds;
+    s.max_bucket = in.max_bucket;
+    for (const auto& r : in.regions) {
+      if (r.dwell.min_value != options_.dwell_min_seconds ||
+          r.dwell.max_value != options_.dwell_max_seconds ||
+          r.dwell.growth != options_.dwell_growth) {
+        return Status::InvalidArgument(
+            "analytics restore: dwell histogram config does not match "
+            "engine options");
+      }
+      Result<StreamingHistogram> dwell = StreamingHistogram::FromState(r.dwell);
+      C2MN_RETURN_NOT_OK(dwell.status());
+      auto [it, inserted] = s.regions.emplace(
+          r.region, Shard::RegionAccum(options_.dwell_min_seconds,
+                                       options_.dwell_max_seconds,
+                                       options_.dwell_growth));
+      if (!inserted) {
+        return Status::InvalidArgument(
+            "analytics restore: duplicate region in shard state");
+      }
+      Shard::RegionAccum& acc = it->second;
+      acc.visits = r.visits;
+      acc.stays = r.stays;
+      acc.passes = r.passes;
+      acc.total_dwell_seconds = r.total_dwell_seconds;
+      acc.occupancy = r.occupancy;
+      acc.dwell = *dwell;
+    }
+    for (const auto& flow : in.flows) {
+      const uint64_t key = FlowKey(flow.from, flow.to);
+      if (s.flows.count(key) > 0) {
+        return Status::InvalidArgument(
+            "analytics restore: duplicate flow edge in shard state");
+      }
+      s.flows[key] = flow.count;
+    }
+    for (const auto& obj : in.objects) {
+      if (s.objects.count(obj.object_id) > 0) {
+        return Status::InvalidArgument(
+            "analytics restore: duplicate object in shard state");
+      }
+      s.objects[obj.object_id] =
+          Shard::ObjectState{obj.last_region, obj.occupying,
+                             obj.occupied_region};
+    }
+    // Occupancy is derivable from the object table; a disagreement means
+    // the two sections of the snapshot do not describe the same moment.
+    std::unordered_map<RegionId, int64_t> occupancy;
+    for (const auto& [object_id, obj] : s.objects) {
+      (void)object_id;
+      if (obj.occupying) ++occupancy[obj.occupied_region];
+    }
+    for (const auto& [region, acc] : s.regions) {
+      const auto it = occupancy.find(region);
+      const int64_t derived = it != occupancy.end() ? it->second : 0;
+      if (acc.occupancy != derived) {
+        return Status::Internal(
+            "analytics restore: region occupancy disagrees with the "
+            "object table");
+      }
+    }
+    // Re-bucket the retained visits from their timestamps (the bucket
+    // index is derived state) and rebuild the pre-aggregation sketch by
+    // refolding them — then cross-check against the sketch counters the
+    // snapshot carried.  Any drift means a corrupt or inconsistent
+    // snapshot and the restore is refused.
+    for (const auto& visit : in.visits) {
+      const double bucket_d = std::floor(visit.t_end / options_.bucket_seconds);
+      if (!std::isfinite(visit.t_start) || !std::isfinite(visit.t_end) ||
+          !(bucket_d >= -9.0e18 && bucket_d <= 9.0e18)) {
+        return Status::InvalidArgument(
+            "analytics restore: retained visit with unbucketable time");
+      }
+      const int64_t bucket = static_cast<int64_t>(bucket_d);
+      if (s.max_bucket == INT64_MIN || bucket > s.max_bucket ||
+          bucket <= s.max_bucket - ring_buckets_) {
+        return Status::Internal(
+            "analytics restore: retained visit outside the shard's "
+            "retention window");
+      }
+      Shard::Bucket& slot = s.buckets[bucket];
+      slot.visits.push_back(StayVisit{visit.object_id, visit.region,
+                                      visit.t_start, visit.t_end});
+      slot.max_t_start = std::max(slot.max_t_start, visit.t_start);
+      slot.min_t_end = std::min(slot.min_t_end, visit.t_end);
+      s.preagg.AddVisit(visit.object_id, visit.region, visit.t_start,
+                        visit.t_end);
+    }
+    if (s.preagg.SaveState() != in.preagg) {
+      return Status::Internal(
+          "analytics restore: pre-aggregation rebuilt from the retained "
+          "visits disagrees with the saved sketch");
+    }
+  }
+  semantics_ingested_total_->Increment(state.semantics_ingested -
+                                       semantics_ingested_total_->Value());
+  late_dropped_total_->Increment(state.late_dropped -
+                                 late_dropped_total_->Value());
+  invalid_dropped_total_->Increment(state.invalid_dropped -
+                                    invalid_dropped_total_->Value());
+  buckets_evicted_total_->Increment(state.buckets_evicted -
+                                    buckets_evicted_total_->Value());
+  return Status::OK();
 }
 
 }  // namespace c2mn

@@ -7,6 +7,8 @@
 #include <utility>
 #include <vector>
 
+#include "common/status.h"
+#include "common/streaming_histogram.h"
 #include "common/sync.h"
 #include "data/msemantics.h"
 #include "obs/metrics_registry.h"
@@ -84,6 +86,79 @@ struct AnalyticsSnapshot {
   std::vector<RegionAnalytics> regions;
   /// Flow matrix edges, sorted by count desc, then (from, to) asc.
   std::vector<RegionFlow> flows;
+};
+
+/// \brief The complete durable state of one analytics shard, in canonical
+/// (sorted) order so two equivalent shards always serialize identically.
+/// Produced by AnalyticsEngine::SaveState and consumed by RestoreState;
+/// src/storage/ encodes it into the versioned snapshot file.
+struct AnalyticsShardState {
+  struct Region {
+    RegionId region = kInvalidId;
+    uint64_t visits = 0;
+    uint64_t stays = 0;
+    uint64_t passes = 0;
+    double total_dwell_seconds = 0.0;
+    int64_t occupancy = 0;
+    StreamingHistogram::State dwell;
+  };
+  struct Flow {
+    RegionId from = kInvalidId;
+    RegionId to = kInvalidId;
+    uint64_t count = 0;
+  };
+  struct Object {
+    int64_t object_id = 0;
+    RegionId last_region = kInvalidId;
+    bool occupying = false;
+    RegionId occupied_region = kInvalidId;
+  };
+  struct Visit {
+    int64_t object_id = 0;
+    RegionId region = kInvalidId;
+    double t_start = 0.0;
+    double t_end = 0.0;
+  };
+
+  /// The shard's mutation sequence at save time.  Write-ahead-log records
+  /// carry the sequence their mutation was assigned, so replay skips
+  /// records with seq <= this value: they are already inside the snapshot.
+  uint64_t mutation_seq = 0;
+  double watermark_seconds = 0.0;
+  /// Highest retention-bucket index written; INT64_MIN before any stay.
+  int64_t max_bucket = 0;
+  /// Sorted by region id.
+  std::vector<Region> regions;
+  /// Sorted by (from, to).
+  std::vector<Flow> flows;
+  /// Sorted by object id.
+  std::vector<Object> objects;
+  /// Retained stay visits in bucket order, insertion order within a
+  /// bucket — exactly the order a replay of the surviving stream would
+  /// recreate them in.
+  std::vector<Visit> visits;
+  /// The pre-aggregation sketch's counters, kept alongside the visits
+  /// they were derived from so restore can cross-check the rebuild.
+  query::TopKSketch::State preagg;
+};
+
+/// Everything AnalyticsEngine needs to rebuild itself bit-identically:
+/// the config the accumulators were built under (restore refuses a
+/// mismatch rather than reinterpreting foreign state), the cumulative
+/// counters, and every shard's state.
+struct AnalyticsEngineState {
+  int num_shards = 0;
+  double bucket_seconds = 0.0;
+  double horizon_seconds = 0.0;
+  double min_visit_seconds = 0.0;
+  double dwell_min_seconds = 0.0;
+  double dwell_max_seconds = 0.0;
+  double dwell_growth = 0.0;
+  uint64_t semantics_ingested = 0;
+  uint64_t late_dropped = 0;
+  uint64_t invalid_dropped = 0;
+  uint64_t buckets_evicted = 0;
+  std::vector<AnalyticsShardState> shards;
 };
 
 /// \brief An incremental analytics engine over streaming m-semantics: the
@@ -167,8 +242,12 @@ class AnalyticsEngine {
   /// All m-semantics of one object must go to the same shard, in stream
   /// order (AnnotationService's object->shard mapping satisfies both).
   /// Returns the number of standing-query deltas this ingest pushed
-  /// (counting aging-driven evictions it triggered).
-  int Ingest(int shard, int64_t object_id, const MSemantics& ms);
+  /// (counting aging-driven evictions it triggered).  When `applied_seq`
+  /// is non-null it receives the shard mutation sequence this ingest was
+  /// assigned — the write-ahead log records it so replay after a restore
+  /// can skip mutations the snapshot already contains.
+  int Ingest(int shard, int64_t object_id, const MSemantics& ms,
+             uint64_t* applied_seq = nullptr);
 
   /// Single-shard-keyed convenience: shards by object id the same way
   /// AnnotationService does, for standalone use against OnlineAnnotator.
@@ -178,8 +257,10 @@ class AnalyticsEngine {
   /// predecessor).  Retained visits — and therefore the pre-aggregated
   /// sketches and standing-query answers — are unaffected: a departed
   /// visitor still counts toward what was popular, exactly as in the
-  /// batch corpus.
-  void NoteSessionClosed(int shard, int64_t object_id);
+  /// batch corpus.  Counts as a shard mutation (reported through
+  /// `applied_seq` like Ingest) so closes are replayable from the log.
+  void NoteSessionClosed(int shard, int64_t object_id,
+                         uint64_t* applied_seq = nullptr);
   void NoteSessionClosed(int64_t object_id);
 
   /// \brief The k regions from `query_regions` with the most stay visits
@@ -216,6 +297,27 @@ class AnalyticsEngine {
   /// Merged view of every accumulator, deterministic for a quiesced
   /// stream regardless of shard count.
   AnalyticsSnapshot Snapshot() const;
+
+  /// \brief The engine's complete durable state, in canonical order:
+  /// calling this twice on a quiesced engine yields equal states, and
+  /// RestoreState on a fresh engine with the same Options reproduces
+  /// every poll and snapshot bit-identically.  Locks one shard at a
+  /// time; quiesce the stream first for a consistent cross-shard cut
+  /// (the storage checkpoint relies on the log for anything in flight).
+  AnalyticsEngineState SaveState() const;
+
+  /// \brief Rebuilds the engine from `state`.  The engine must be fresh
+  /// and quiesced: nothing ingested yet and no standing queries
+  /// subscribed (kFailedPrecondition otherwise).  Refuses state saved
+  /// under a different config — shard count or any accumulator-shaping
+  /// option (kInvalidArgument): reinterpreting state bucketed under
+  /// other parameters would silently corrupt the analytics.  The
+  /// pre-aggregation sketches are rebuilt by refolding the restored
+  /// visits and cross-checked against the saved sketch state; a
+  /// mismatch (corrupt or internally inconsistent snapshot) fails with
+  /// kInternal and leaves the engine unusable for restore retries on
+  /// different state (restart with a fresh engine instead).
+  Status RestoreState(const AnalyticsEngineState& state);
 
  private:
   struct Shard;

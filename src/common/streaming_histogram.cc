@@ -81,6 +81,47 @@ bool StreamingHistogram::Merge(const StreamingHistogram& other) {
   return same_config;
 }
 
+StreamingHistogram::State StreamingHistogram::SaveState() const {
+  State state;
+  state.min_value = min_value_;
+  state.max_value = max_value_;
+  state.growth = growth_;
+  state.counts = counts_;
+  state.count = count_;
+  state.non_finite = non_finite_;
+  state.sum = sum_;
+  state.min = min_;
+  state.max = max_;
+  return state;
+}
+
+Result<StreamingHistogram> StreamingHistogram::FromState(const State& state) {
+  if (!std::isfinite(state.min_value) || !std::isfinite(state.max_value) ||
+      !std::isfinite(state.growth) || !(state.min_value > 0.0) ||
+      !(state.max_value > state.min_value) || !(state.growth > 1.0)) {
+    return Status::InvalidArgument(
+        "streaming histogram state: unusable bucket config");
+  }
+  StreamingHistogram h(state.min_value, state.max_value, state.growth);
+  if (state.counts.size() != h.counts_.size()) {
+    return Status::InvalidArgument(
+        "streaming histogram state: bucket count does not match config");
+  }
+  uint64_t total = 0;
+  for (const uint64_t c : state.counts) total += c;
+  if (total != state.count) {
+    return Status::InvalidArgument(
+        "streaming histogram state: bucket counts do not sum to count");
+  }
+  h.counts_ = state.counts;
+  h.count_ = state.count;
+  h.non_finite_ = state.non_finite;
+  h.sum_ = state.sum;
+  h.min_ = state.min;
+  h.max_ = state.max;
+  return h;
+}
+
 void StreamingHistogram::Clear() {
   std::fill(counts_.begin(), counts_.end(), 0);
   count_ = 0;

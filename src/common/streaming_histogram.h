@@ -4,6 +4,8 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/status.h"
+
 namespace c2mn {
 
 /// \brief A fixed-memory streaming histogram with geometric buckets,
@@ -53,6 +55,32 @@ class StreamingHistogram {
   /// Value at quantile q in [0, 1], linearly interpolated inside the
   /// containing bucket; 0 when empty.
   double Quantile(double q) const;
+
+  /// \brief The complete, round-trippable state of a histogram: the
+  /// merge-config fields (the same ones Merge() compares) plus every
+  /// counter and summary statistic.  FromState(h.SaveState()) rebuilds a
+  /// histogram whose every accessor — including non_finite_count() and
+  /// the exact bit patterns of sum/min/max — matches `h`.
+  struct State {
+    double min_value = 0.0;
+    double max_value = 0.0;
+    double growth = 0.0;
+    std::vector<uint64_t> counts;
+    uint64_t count = 0;
+    uint64_t non_finite = 0;
+    double sum = 0.0;
+    double min = 0.0;
+    double max = 0.0;
+  };
+
+  State SaveState() const;
+
+  /// Rebuilds a histogram from a saved state.  Fails (InvalidArgument)
+  /// when the config is unusable (non-positive min, max <= min,
+  /// growth <= 1, non-finite anywhere) or `counts` does not have the
+  /// bucket count that config derives — a decoded state from a corrupt
+  /// or version-skewed snapshot must be refused, not trusted.
+  static Result<StreamingHistogram> FromState(const State& state);
 
  private:
   int BucketIndex(double value) const;

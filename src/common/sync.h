@@ -128,6 +128,20 @@ enum class LockRank : int {
   kServiceShardStats = 500,
   kServiceQueue = 600,
   kServiceExport = 650,
+  // Durable-state layer: the checkpoint thread's wakeup mutex (held only
+  // across its interruptible sleep, like kServiceExport), the flush
+  // hand-off queue between shard workers and the background log writer,
+  // and the StorageManager's write-ahead-log mutex.  The flush queue
+  // ranks below the log mutex so the writer could legally nest them,
+  // though it never does (it pops under one, writes under the other).
+  // The log mutex is a leaf on the write path — the writer thread holds
+  // nothing else — and the checkpoint cycle interleaves it with the
+  // analytics shard locks strictly sequentially (rotate, release, then
+  // snapshot one shard at a time), so no nesting with kAnalyticsShard
+  // ever forms.
+  kServiceCheckpoint = 660,
+  kStorageFlush = 670,
+  kStorageLog = 680,
   kServiceDrain = 700,
 
   // Observability + dispatch leaves: safe to take from anywhere, must

@@ -57,6 +57,38 @@ std::vector<RegionPair> TopKSketch::TopKPairs(size_t k) const {
                   k);
 }
 
+TopKSketch::State TopKSketch::SaveState() const {
+  State state;
+  state.region_counts.assign(region_counts_.begin(), region_counts_.end());
+  std::sort(state.region_counts.begin(), state.region_counts.end());
+  state.pair_counts.assign(pair_counts_.begin(), pair_counts_.end());
+  for (const auto& [object_id, refs] : object_region_refs_) {
+    for (const auto& [region, count] : refs) {
+      state.object_region_refs.push_back(
+          State::ObjectRegionRef{object_id, region, count});
+    }
+  }
+  std::sort(state.object_region_refs.begin(), state.object_region_refs.end(),
+            [](const State::ObjectRegionRef& a,
+               const State::ObjectRegionRef& b) {
+              if (a.object_id != b.object_id) return a.object_id < b.object_id;
+              return a.region < b.region;
+            });
+  return state;
+}
+
+void TopKSketch::RestoreState(const State& state) {
+  region_counts_.clear();
+  pair_counts_.clear();
+  object_region_refs_.clear();
+  region_counts_.insert(state.region_counts.begin(),
+                        state.region_counts.end());
+  pair_counts_.insert(state.pair_counts.begin(), state.pair_counts.end());
+  for (const auto& ref : state.object_region_refs) {
+    object_region_refs_[ref.object_id][ref.region] = ref.count;
+  }
+}
+
 void TopKSketch::AccumulateRegionCounts(
     std::map<RegionId, int64_t>* out) const {
   for (const auto& [region, count] : region_counts_) (*out)[region] += count;

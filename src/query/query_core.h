@@ -170,6 +170,44 @@ class TopKSketch {
   std::vector<RegionId> TopKRegions(size_t k) const;
   std::vector<RegionPair> TopKPairs(size_t k) const;
 
+  /// \brief The sketch's complete counter state in canonical (sorted)
+  /// order, for serialization: RestoreState(s.SaveState()) on a sketch
+  /// with the same spec reproduces every answer bit-identically, and two
+  /// sketches built from the same visits save equal states regardless of
+  /// hash-map iteration order.
+  struct State {
+    struct ObjectRegionRef {
+      int64_t object_id = 0;
+      RegionId region = kInvalidId;
+      int64_t count = 0;
+
+      bool operator==(const ObjectRegionRef& other) const {
+        return object_id == other.object_id && region == other.region &&
+               count == other.count;
+      }
+    };
+    /// Sorted by region id.
+    std::vector<std::pair<RegionId, int64_t>> region_counts;
+    /// Sorted by (smaller id, larger id).
+    std::vector<std::pair<RegionPair, int64_t>> pair_counts;
+    /// Sorted by (object_id, region).
+    std::vector<ObjectRegionRef> object_region_refs;
+
+    bool operator==(const State& other) const {
+      return region_counts == other.region_counts &&
+             pair_counts == other.pair_counts &&
+             object_region_refs == other.object_region_refs;
+    }
+    bool operator!=(const State& other) const { return !(*this == other); }
+  };
+
+  State SaveState() const;
+
+  /// Replaces the sketch's counters with `state` (typically decoded from
+  /// a snapshot).  The caller is responsible for pairing the state with
+  /// the spec it was saved under; counts are taken as-is.
+  void RestoreState(const State& state);
+
   /// Adds this sketch's counters into cross-shard accumulators (ordered
   /// maps, so folding shards 0..N-1 in order is deterministic).
   void AccumulateRegionCounts(std::map<RegionId, int64_t>* out) const;

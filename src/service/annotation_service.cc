@@ -96,12 +96,41 @@ AnnotationService::AnnotationService(const World& world,
     aopts.metrics_registry = registry_;  // One export covers the pipeline.
     analytics_ = std::make_unique<AnalyticsEngine>(aopts);
   }
+  if (!options_.storage.state_dir.empty()) {
+    // Recover (or initialize) the durable state before any worker can
+    // ingest: the engine must be rebuilt while it is still fresh, and
+    // the workers treat storage_ as immutable.
+    if (analytics_ == nullptr) {
+      storage_status_ = Status::FailedPrecondition(
+          "durable state requires analytics to be enabled");
+    } else {
+      storage::StorageManager::Options sopts;
+      sopts.state_dir = options_.storage.state_dir;
+      sopts.fsync_on_checkpoint = options_.storage.fsync;
+      sopts.metrics_registry = registry_;
+      storage_ =
+          std::make_unique<storage::StorageManager>(std::move(sopts), n);
+      storage_status_ = storage_->Recover(analytics_.get(), &recovery_stats_);
+    }
+    if (!storage_status_.ok()) {
+      // An observable refusal, not a silent fresh start: the service
+      // runs without durability and storage_status() says why.
+      C2MN_LOG_ERROR << "durable state recovery failed ("
+                     << storage_status_.ToString()
+                     << "); running without logging or checkpoints";
+      storage_.reset();
+    }
+  }
   for (auto& shard : shards_) {
     shard->worker = std::thread([this, s = shard.get()] { WorkerLoop(s); });
   }
   if (options_.obs.export_interval_seconds > 0.0 &&
       !options_.obs.export_path.empty()) {
     export_thread_ = std::thread([this] { ExportLoop(); });
+  }
+  if (storage_ != nullptr &&
+      options_.storage.checkpoint_interval_seconds > 0.0) {
+    checkpoint_thread_ = std::thread([this] { CheckpointLoop(); });
   }
 }
 
@@ -251,6 +280,26 @@ void AnnotationService::Stop() {
     export_cv_.NotifyAll();
     export_thread_.join();
   }
+  if (checkpoint_thread_.joinable()) {
+    {
+      MutexLock lock(&checkpoint_mu_);
+      checkpoint_stop_ = true;
+    }
+    checkpoint_cv_.NotifyAll();
+    checkpoint_thread_.join();
+  }
+  if (storage_ != nullptr) {
+    // Workers are joined, so the shard buffers are quiescent.  Either
+    // publish a final snapshot or just make the log tail durable; both
+    // leave the next boot able to rebuild everything processed so far.
+    const Status status = options_.storage.checkpoint_on_stop
+                              ? storage_->Checkpoint(*analytics_)
+                              : storage_->Sync();
+    if (!status.ok()) {
+      C2MN_LOG_ERROR << "durable state shutdown flush failed: "
+                     << status.ToString();
+    }
+  }
 }
 
 void AnnotationService::UpdateGauges() const {
@@ -292,6 +341,38 @@ void AnnotationService::ExportLoop() {
                     << options_.obs.export_path;
     }
   }
+}
+
+void AnnotationService::CheckpointLoop() {
+  const auto interval =
+      std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+          std::chrono::duration<double>(
+              options_.storage.checkpoint_interval_seconds));
+  for (;;) {
+    // Interruptible sleep under the lock; the checkpoint itself runs
+    // with checkpoint_mu_ released (it takes the log and shard locks).
+    {
+      MutexLock lock(&checkpoint_mu_);
+      const auto deadline = std::chrono::steady_clock::now() + interval;
+      while (!checkpoint_stop_ &&
+             checkpoint_cv_.WaitUntil(&checkpoint_mu_, deadline)) {
+      }
+      if (checkpoint_stop_) return;
+    }
+    const Status status = CheckpointStorage();
+    if (!status.ok()) {
+      C2MN_LOG_ERROR << "periodic checkpoint failed: " << status.ToString();
+    }
+  }
+}
+
+Status AnnotationService::CheckpointStorage() {
+  if (storage_ == nullptr) {
+    if (!storage_status_.ok()) return storage_status_;
+    return Status::FailedPrecondition(
+        "durable state is not configured (Options::storage.state_dir)");
+  }
+  return storage_->Checkpoint(*analytics_);
 }
 
 void AnnotationService::WorkerLoop(Shard* shard) {
@@ -338,8 +419,17 @@ void AnnotationService::WorkerLoop(Shard* shard) {
     int deltas_fired = 0;
     if (analytics_ != nullptr && !emitted.empty()) {
       for (const MSemantics& ms : emitted) {
-        deltas_fired +=
-            analytics_->Ingest(shard->index, session->object_id, ms);
+        // Apply, then log with the engine-assigned sequence: the durable
+        // log of this shard is always a sequence-contiguous prefix of
+        // what was applied, which recovery's cross-check relies on.
+        uint64_t seq = 0;
+        deltas_fired += analytics_->Ingest(shard->index, session->object_id,
+                                           ms,
+                                           storage_ != nullptr ? &seq
+                                                               : nullptr);
+        if (storage_ != nullptr) {
+          storage_->BufferIngest(shard->index, seq, session->object_id, ms);
+        }
       }
       if (trace) pd->span.FinishStage(obs::PipelineStage::kAnalyticsIngest);
     }
@@ -449,10 +539,23 @@ void AnnotationService::WorkerLoop(Shard* shard) {
           int deltas_fired = 0;
           if (analytics_ != nullptr) {
             for (const MSemantics& ms : emitted) {
-              deltas_fired +=
-                  analytics_->Ingest(shard->index, session->object_id, ms);
+              uint64_t seq = 0;
+              deltas_fired += analytics_->Ingest(
+                  shard->index, session->object_id, ms,
+                  storage_ != nullptr ? &seq : nullptr);
+              if (storage_ != nullptr) {
+                storage_->BufferIngest(shard->index, seq, session->object_id,
+                                       ms);
+              }
             }
-            analytics_->NoteSessionClosed(shard->index, session->object_id);
+            uint64_t close_seq = 0;
+            analytics_->NoteSessionClosed(
+                shard->index, session->object_id,
+                storage_ != nullptr ? &close_seq : nullptr);
+            if (storage_ != nullptr) {
+              storage_->BufferClose(shard->index, close_seq,
+                                    session->object_id);
+            }
             if (trace) {
               span.FinishStage(obs::PipelineStage::kAnalyticsIngest);
             }
@@ -489,6 +592,9 @@ void AnnotationService::WorkerLoop(Shard* shard) {
     if (ran > 0) decode_batches_total_->Increment();
     pending.clear();
     batch.clear();
+    // Batch boundary: push this shard's buffered log records to disk so
+    // a crash loses at most the current batch.
+    if (storage_ != nullptr) storage_->FlushShard(shard->index);
   }
 }
 

@@ -18,6 +18,7 @@
 #include "obs/pipeline_trace.h"
 #include "service/service_stats.h"
 #include "service/session.h"
+#include "storage/storage_manager.h"
 
 namespace c2mn {
 
@@ -78,6 +79,24 @@ class AnnotationService {
     std::string export_format = "prom";
   };
 
+  /// Opt-in durable analytics state: a write-ahead visit log plus
+  /// periodic snapshots in a state directory, recovered on construction.
+  /// Requires analytics to be enabled (the log records what the engine
+  /// ingests).
+  struct StorageOptions {
+    /// Empty (the default) disables durability entirely.
+    std::string state_dir;
+    /// Background checkpoint period; <= 0 leaves checkpointing to
+    /// explicit CheckpointStorage() calls (and Stop(), below).
+    double checkpoint_interval_seconds = 0.0;
+    /// Run a final checkpoint during Stop().  When false, Stop() still
+    /// flushes and fsyncs the log tail, so nothing processed is lost —
+    /// the next boot just replays more.
+    bool checkpoint_on_stop = true;
+    /// Forwarded to StorageManager (tests disable for speed).
+    bool fsync = true;
+  };
+
   struct Options {
     /// Worker threads; each owns one queue and a disjoint set of
     /// sessions.
@@ -94,6 +113,8 @@ class AnnotationService {
     AnalyticsOptions analytics;
     /// Metrics registry, stage tracing, and periodic export.
     ObsOptions obs;
+    /// Durable state (snapshot + write-ahead log) for the analytics.
+    StorageOptions storage;
   };
 
   /// The world and weights are shared (read-only) by all sessions; the
@@ -167,6 +188,23 @@ class AnnotationService {
   /// are disabled.
   AnalyticsSnapshot AnalyticsStats() const;
 
+  /// Runs one checkpoint cycle now (rotate the log, publish a snapshot,
+  /// compact).  Safe from any thread while the service runs; fails when
+  /// durability is disabled, recovery failed at boot, or another
+  /// checkpoint is in flight.
+  Status CheckpointStorage();
+
+  /// OK when durability is active (or disabled deliberately via an
+  /// empty state_dir); the recovery error when boot-time recovery
+  /// refused the state directory — the service still runs, but nothing
+  /// is logged and CheckpointStorage() fails.
+  const Status& storage_status() const { return storage_status_; }
+
+  /// What boot-time recovery found; zeros when durability is off.
+  const storage::RecoveryStats& recovery_stats() const {
+    return recovery_stats_;
+  }
+
   int num_shards() const { return static_cast<int>(shards_.size()); }
 
   /// The registry this service's metrics live in (the injected one, or
@@ -186,6 +224,7 @@ class AnnotationService {
   void RegisterMetrics();
   void UpdateGauges() const;
   void ExportLoop();
+  void CheckpointLoop();
 
   const World& world_;
   const FeatureOptions fopts_;
@@ -220,6 +259,20 @@ class AnnotationService {
 
   std::vector<std::unique_ptr<Shard>> shards_;
   std::unique_ptr<AnalyticsEngine> analytics_;
+
+  /// Durable state.  Created (and recovered) before the workers start,
+  /// reset to null on recovery failure — so by the time any worker or
+  /// caller can observe it, the pointer is immutable.
+  std::unique_ptr<storage::StorageManager> storage_;
+  Status storage_status_;
+  storage::RecoveryStats recovery_stats_;
+
+  /// Background checkpointer (storage.checkpoint_interval_seconds > 0).
+  std::thread checkpoint_thread_;
+  mutable Mutex checkpoint_mu_{LockRank::kServiceCheckpoint,
+                               "AnnotationService::checkpoint_mu_"};
+  CondVar checkpoint_cv_;
+  bool checkpoint_stop_ C2MN_GUARDED_BY(checkpoint_mu_) = false;
 
   /// Periodic exporter (obs.export_interval_seconds > 0).
   std::thread export_thread_;

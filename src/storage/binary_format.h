@@ -1,0 +1,213 @@
+#ifndef C2MN_STORAGE_BINARY_FORMAT_H_
+#define C2MN_STORAGE_BINARY_FORMAT_H_
+
+#include <array>
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <string_view>
+
+/// \file Byte-level primitives shared by the snapshot and write-ahead-log
+/// codecs: little-endian integer encoding (doubles travel as their IEEE
+/// bit pattern, so round-trips are bit-exact, NaNs included), a
+/// bounds-checked reader over an in-memory buffer, and CRC-32.  Pure
+/// functions over strings — no I/O — so the fuzz harness exercises the
+/// exact production decode paths.
+
+namespace c2mn {
+namespace storage {
+
+/// CRC-32 (the IEEE 802.3 polynomial, reflected) over `data`.  Matches
+/// zlib's crc32() so the framed files are checkable with standard tools.
+uint32_t Crc32(std::string_view data);
+
+namespace internal {
+/// Slicing-by-8 tables behind Crc32 and Crc32Accumulator; [0] is the
+/// classic byte-at-a-time table, [k][b] advances byte b through k
+/// additional zero bytes.
+extern const std::array<std::array<uint32_t, 256>, 8> kCrcTables;
+}  // namespace internal
+
+/// Accumulates the same CRC-32 field by field, straight from register
+/// values.  The log append path encodes a record into stack scratch and
+/// would otherwise immediately re-read those bytes to checksum them —
+/// a store-to-load-forwarding stall on every word.  Feeding the
+/// accumulator the values themselves produces bit-identical CRCs
+/// without touching memory.
+class Crc32Accumulator {
+ public:
+  void Add8(uint8_t v) {
+    crc_ = (crc_ >> 8) ^ T(0, (crc_ ^ v) & 0xffu);
+  }
+  void Add32(uint32_t v) {
+    const uint32_t x = crc_ ^ v;
+    crc_ = T(3, x & 0xffu) ^ T(2, (x >> 8) & 0xffu) ^
+           T(1, (x >> 16) & 0xffu) ^ T(0, (x >> 24) & 0xffu);
+  }
+  void Add64(uint64_t v) {
+    const uint32_t x = crc_ ^ static_cast<uint32_t>(v);
+    const uint32_t hi = static_cast<uint32_t>(v >> 32);
+    crc_ = T(7, x & 0xffu) ^ T(6, (x >> 8) & 0xffu) ^
+           T(5, (x >> 16) & 0xffu) ^ T(4, (x >> 24) & 0xffu) ^
+           T(3, hi & 0xffu) ^ T(2, (hi >> 8) & 0xffu) ^
+           T(1, (hi >> 16) & 0xffu) ^ T(0, (hi >> 24) & 0xffu);
+  }
+  void AddF64(double v) {
+    uint64_t bits = 0;
+    std::memcpy(&bits, &v, sizeof(bits));
+    Add64(bits);
+  }
+  /// The CRC of everything added so far, equal to Crc32() over the same
+  /// bytes in little-endian field order.
+  uint32_t Finish() const { return crc_ ^ 0xFFFFFFFFu; }
+
+ private:
+  static uint32_t T(size_t k, uint32_t b) {
+    return internal::kCrcTables[k][b];
+  }
+
+  uint32_t crc_ = 0xFFFFFFFFu;
+};
+
+/// The host stores multi-byte integers in the format's (little-endian)
+/// byte order, so encode/decode can be a plain memcpy instead of a
+/// byte-by-byte shift loop.  The portable loops below stay the fallback.
+#if defined(__BYTE_ORDER__) && defined(__ORDER_LITTLE_ENDIAN__) && \
+    __BYTE_ORDER__ == __ORDER_LITTLE_ENDIAN__
+#define C2MN_STORAGE_LITTLE_ENDIAN 1
+#else
+#define C2MN_STORAGE_LITTLE_ENDIAN 0
+#endif
+
+/// Little-endian stores into a raw buffer, for codecs that encode into
+/// stack scratch before a single string append (the log hot path).
+/// Each returns the position just past what it wrote.
+inline char* EncodeU8(char* p, uint8_t v) {
+  *p = static_cast<char>(v);
+  return p + 1;
+}
+inline char* EncodeU32(char* p, uint32_t v) {
+#if C2MN_STORAGE_LITTLE_ENDIAN
+  std::memcpy(p, &v, sizeof(v));
+#else
+  for (int i = 0; i < 4; ++i) {
+    p[i] = static_cast<char>((v >> (8 * i)) & 0xff);
+  }
+#endif
+  return p + 4;
+}
+inline char* EncodeU64(char* p, uint64_t v) {
+#if C2MN_STORAGE_LITTLE_ENDIAN
+  std::memcpy(p, &v, sizeof(v));
+#else
+  for (int i = 0; i < 8; ++i) {
+    p[i] = static_cast<char>((v >> (8 * i)) & 0xff);
+  }
+#endif
+  return p + 8;
+}
+inline char* EncodeF64(char* p, double v) {
+  uint64_t bits = 0;
+  std::memcpy(&bits, &v, sizeof(bits));
+  return EncodeU64(p, bits);
+}
+
+/// Appends fixed-width little-endian values to a std::string.
+class Writer {
+ public:
+  explicit Writer(std::string* out) : out_(out) {}
+
+  void PutU8(uint8_t v) { out_->push_back(static_cast<char>(v)); }
+  void PutU32(uint32_t v) {
+    char buf[4];
+    EncodeU32(buf, v);
+    out_->append(buf, sizeof(buf));
+  }
+  void PutU64(uint64_t v) {
+    char buf[8];
+    EncodeU64(buf, v);
+    out_->append(buf, sizeof(buf));
+  }
+  void PutI64(int64_t v) { PutU64(static_cast<uint64_t>(v)); }
+  void PutF64(double v) {
+    uint64_t bits = 0;
+    std::memcpy(&bits, &v, sizeof(bits));
+    PutU64(bits);
+  }
+  void PutBytes(std::string_view data) { out_->append(data); }
+
+ private:
+  std::string* out_;
+};
+
+/// Reads fixed-width little-endian values back out of a buffer.  Every
+/// getter returns false (leaving the output untouched) instead of
+/// reading past the end, so decoders stay well-defined on truncated or
+/// hostile input.
+class Reader {
+ public:
+  explicit Reader(std::string_view data) : data_(data) {}
+
+  bool GetU8(uint8_t* v) {
+    if (remaining() < 1) return false;
+    *v = static_cast<uint8_t>(data_[offset_++]);
+    return true;
+  }
+  bool GetU32(uint32_t* v) {
+    if (remaining() < 4) return false;
+    uint32_t out = 0;
+    for (int i = 0; i < 4; ++i) {
+      out |= static_cast<uint32_t>(static_cast<uint8_t>(data_[offset_ + i]))
+             << (8 * i);
+    }
+    offset_ += 4;
+    *v = out;
+    return true;
+  }
+  bool GetU64(uint64_t* v) {
+    if (remaining() < 8) return false;
+    uint64_t out = 0;
+    for (int i = 0; i < 8; ++i) {
+      out |= static_cast<uint64_t>(static_cast<uint8_t>(data_[offset_ + i]))
+             << (8 * i);
+    }
+    offset_ += 8;
+    *v = out;
+    return true;
+  }
+  bool GetI64(int64_t* v) {
+    uint64_t bits = 0;
+    if (!GetU64(&bits)) return false;
+    *v = static_cast<int64_t>(bits);
+    return true;
+  }
+  bool GetF64(double* v) {
+    uint64_t bits = 0;
+    if (!GetU64(&bits)) return false;
+    std::memcpy(v, &bits, sizeof(*v));
+    return true;
+  }
+  bool GetBytes(size_t n, std::string_view* out) {
+    if (remaining() < n) return false;
+    *out = data_.substr(offset_, n);
+    offset_ += n;
+    return true;
+  }
+  bool Skip(size_t n) {
+    if (remaining() < n) return false;
+    offset_ += n;
+    return true;
+  }
+
+  size_t offset() const { return offset_; }
+  size_t remaining() const { return data_.size() - offset_; }
+
+ private:
+  std::string_view data_;
+  size_t offset_ = 0;
+};
+
+}  // namespace storage
+}  // namespace c2mn
+
+#endif  // C2MN_STORAGE_BINARY_FORMAT_H_

@@ -1,0 +1,302 @@
+#include "storage/snapshot_codec.h"
+
+#include <cstring>
+#include <vector>
+
+#include "storage/binary_format.h"
+
+namespace c2mn {
+namespace storage {
+
+namespace {
+
+void EncodeHistogram(const StreamingHistogram::State& state, Writer* w) {
+  w->PutF64(state.min_value);
+  w->PutF64(state.max_value);
+  w->PutF64(state.growth);
+  w->PutU64(state.counts.size());
+  for (const uint64_t c : state.counts) w->PutU64(c);
+  w->PutU64(state.count);
+  w->PutU64(state.non_finite);
+  w->PutF64(state.sum);
+  w->PutF64(state.min);
+  w->PutF64(state.max);
+}
+
+void EncodeShard(uint32_t index, const AnalyticsShardState& shard,
+                 Writer* w) {
+  w->PutU8(kShardSectionTag);
+  w->PutU32(index);
+  w->PutU64(shard.mutation_seq);
+  w->PutF64(shard.watermark_seconds);
+  w->PutI64(shard.max_bucket);
+  w->PutU64(shard.regions.size());
+  for (const auto& r : shard.regions) {
+    w->PutU32(static_cast<uint32_t>(r.region));
+    w->PutU64(r.visits);
+    w->PutU64(r.stays);
+    w->PutU64(r.passes);
+    w->PutF64(r.total_dwell_seconds);
+    w->PutI64(r.occupancy);
+    EncodeHistogram(r.dwell, w);
+  }
+  w->PutU64(shard.flows.size());
+  for (const auto& f : shard.flows) {
+    w->PutU32(static_cast<uint32_t>(f.from));
+    w->PutU32(static_cast<uint32_t>(f.to));
+    w->PutU64(f.count);
+  }
+  w->PutU64(shard.objects.size());
+  for (const auto& o : shard.objects) {
+    w->PutI64(o.object_id);
+    w->PutU32(static_cast<uint32_t>(o.last_region));
+    w->PutU8(o.occupying ? 1 : 0);
+    w->PutU32(static_cast<uint32_t>(o.occupied_region));
+  }
+  w->PutU64(shard.visits.size());
+  for (const auto& v : shard.visits) {
+    w->PutI64(v.object_id);
+    w->PutU32(static_cast<uint32_t>(v.region));
+    w->PutF64(v.t_start);
+    w->PutF64(v.t_end);
+  }
+  w->PutU64(shard.preagg.region_counts.size());
+  for (const auto& [region, count] : shard.preagg.region_counts) {
+    w->PutU32(static_cast<uint32_t>(region));
+    w->PutI64(count);
+  }
+  w->PutU64(shard.preagg.pair_counts.size());
+  for (const auto& [pair, count] : shard.preagg.pair_counts) {
+    w->PutU32(static_cast<uint32_t>(pair.first));
+    w->PutU32(static_cast<uint32_t>(pair.second));
+    w->PutI64(count);
+  }
+  w->PutU64(shard.preagg.object_region_refs.size());
+  for (const auto& ref : shard.preagg.object_region_refs) {
+    w->PutI64(ref.object_id);
+    w->PutU32(static_cast<uint32_t>(ref.region));
+    w->PutI64(ref.count);
+  }
+}
+
+/// Reads an element count and refuses counts that could not possibly
+/// fit in the remaining payload (each element takes at least
+/// `min_element_bytes`): hostile counts must fail fast, not reserve.
+bool GetCount(Reader* r, size_t min_element_bytes, uint64_t* count) {
+  if (!r->GetU64(count)) return false;
+  return *count <= r->remaining() / min_element_bytes;
+}
+
+bool DecodeHistogram(Reader* r, StreamingHistogram::State* state) {
+  if (!r->GetF64(&state->min_value) || !r->GetF64(&state->max_value) ||
+      !r->GetF64(&state->growth)) {
+    return false;
+  }
+  uint64_t n = 0;
+  if (!GetCount(r, 8, &n)) return false;
+  state->counts.resize(static_cast<size_t>(n));
+  for (uint64_t i = 0; i < n; ++i) {
+    if (!r->GetU64(&state->counts[static_cast<size_t>(i)])) return false;
+  }
+  return r->GetU64(&state->count) && r->GetU64(&state->non_finite) &&
+         r->GetF64(&state->sum) && r->GetF64(&state->min) &&
+         r->GetF64(&state->max);
+}
+
+bool DecodeShardBody(Reader* r, AnalyticsShardState* shard) {
+  if (!r->GetU64(&shard->mutation_seq) ||
+      !r->GetF64(&shard->watermark_seconds) ||
+      !r->GetI64(&shard->max_bucket)) {
+    return false;
+  }
+  uint64_t n = 0;
+  if (!GetCount(r, 4 + 8 * 3 + 8 + 8 + 8 * 3 + 8, &n)) return false;
+  shard->regions.resize(static_cast<size_t>(n));
+  for (auto& region : shard->regions) {
+    uint32_t id = 0;
+    if (!r->GetU32(&id) || !r->GetU64(&region.visits) ||
+        !r->GetU64(&region.stays) || !r->GetU64(&region.passes) ||
+        !r->GetF64(&region.total_dwell_seconds) ||
+        !r->GetI64(&region.occupancy) || !DecodeHistogram(r, &region.dwell)) {
+      return false;
+    }
+    region.region = static_cast<RegionId>(id);
+  }
+  if (!GetCount(r, 4 + 4 + 8, &n)) return false;
+  shard->flows.resize(static_cast<size_t>(n));
+  for (auto& flow : shard->flows) {
+    uint32_t from = 0, to = 0;
+    if (!r->GetU32(&from) || !r->GetU32(&to) || !r->GetU64(&flow.count)) {
+      return false;
+    }
+    flow.from = static_cast<RegionId>(from);
+    flow.to = static_cast<RegionId>(to);
+  }
+  if (!GetCount(r, 8 + 4 + 1 + 4, &n)) return false;
+  shard->objects.resize(static_cast<size_t>(n));
+  for (auto& object : shard->objects) {
+    uint32_t last = 0, occupied = 0;
+    uint8_t occupying = 0;
+    if (!r->GetI64(&object.object_id) || !r->GetU32(&last) ||
+        !r->GetU8(&occupying) || occupying > 1 || !r->GetU32(&occupied)) {
+      return false;
+    }
+    object.last_region = static_cast<RegionId>(last);
+    object.occupying = occupying != 0;
+    object.occupied_region = static_cast<RegionId>(occupied);
+  }
+  if (!GetCount(r, 8 + 4 + 8 + 8, &n)) return false;
+  shard->visits.resize(static_cast<size_t>(n));
+  for (auto& visit : shard->visits) {
+    uint32_t region = 0;
+    if (!r->GetI64(&visit.object_id) || !r->GetU32(&region) ||
+        !r->GetF64(&visit.t_start) || !r->GetF64(&visit.t_end)) {
+      return false;
+    }
+    visit.region = static_cast<RegionId>(region);
+  }
+  if (!GetCount(r, 4 + 8, &n)) return false;
+  shard->preagg.region_counts.resize(static_cast<size_t>(n));
+  for (auto& entry : shard->preagg.region_counts) {
+    uint32_t region = 0;
+    if (!r->GetU32(&region) || !r->GetI64(&entry.second)) return false;
+    entry.first = static_cast<RegionId>(region);
+  }
+  if (!GetCount(r, 4 + 4 + 8, &n)) return false;
+  shard->preagg.pair_counts.resize(static_cast<size_t>(n));
+  for (auto& entry : shard->preagg.pair_counts) {
+    uint32_t a = 0, b = 0;
+    if (!r->GetU32(&a) || !r->GetU32(&b) || !r->GetI64(&entry.second)) {
+      return false;
+    }
+    entry.first = RegionPair{static_cast<RegionId>(a),
+                             static_cast<RegionId>(b)};
+  }
+  if (!GetCount(r, 8 + 4 + 8, &n)) return false;
+  shard->preagg.object_region_refs.resize(static_cast<size_t>(n));
+  for (auto& ref : shard->preagg.object_region_refs) {
+    uint32_t region = 0;
+    if (!r->GetI64(&ref.object_id) || !r->GetU32(&region) ||
+        !r->GetI64(&ref.count)) {
+      return false;
+    }
+    ref.region = static_cast<RegionId>(region);
+  }
+  return true;
+}
+
+}  // namespace
+
+void EncodeSnapshot(const SnapshotData& data, std::string* out) {
+  std::string payload;
+  Writer w(&payload);
+  w.PutU64(data.wal_epoch_covered);
+  w.PutU32(static_cast<uint32_t>(data.engine.num_shards));
+  w.PutF64(data.engine.bucket_seconds);
+  w.PutF64(data.engine.horizon_seconds);
+  w.PutF64(data.engine.min_visit_seconds);
+  w.PutF64(data.engine.dwell_min_seconds);
+  w.PutF64(data.engine.dwell_max_seconds);
+  w.PutF64(data.engine.dwell_growth);
+  w.PutU64(data.engine.semantics_ingested);
+  w.PutU64(data.engine.late_dropped);
+  w.PutU64(data.engine.invalid_dropped);
+  w.PutU64(data.engine.buckets_evicted);
+  for (size_t i = 0; i < data.engine.shards.size(); ++i) {
+    EncodeShard(static_cast<uint32_t>(i), data.engine.shards[i], &w);
+  }
+  w.PutU8(kEndTag);
+
+  out->clear();
+  out->append(kSnapshotMagic, sizeof(kSnapshotMagic));
+  Writer framer(out);
+  framer.PutU32(kSnapshotVersion);
+  framer.PutU64(payload.size());
+  framer.PutU32(Crc32(payload));
+  framer.PutBytes(payload);
+}
+
+Status DecodeSnapshot(std::string_view bytes, SnapshotData* data) {
+  if (bytes.size() < sizeof(kSnapshotMagic) + 4 ||
+      std::memcmp(bytes.data(), kSnapshotMagic, sizeof(kSnapshotMagic)) !=
+          0) {
+    return Status::InvalidArgument("snapshot: bad magic");
+  }
+  Reader reader(bytes);
+  reader.Skip(sizeof(kSnapshotMagic));
+  uint32_t version = 0;
+  reader.GetU32(&version);
+  if (version != kSnapshotVersion) {
+    return Status::InvalidArgument("snapshot: unsupported format version " +
+                                   std::to_string(version));
+  }
+  uint64_t payload_size = 0;
+  uint32_t crc = 0;
+  std::string_view payload;
+  if (!reader.GetU64(&payload_size) || !reader.GetU32(&crc) ||
+      payload_size != reader.remaining() ||
+      !reader.GetBytes(static_cast<size_t>(payload_size), &payload)) {
+    return Status::InvalidArgument("snapshot: truncated or oversized file");
+  }
+  if (Crc32(payload) != crc) {
+    return Status::InvalidArgument("snapshot: payload CRC mismatch");
+  }
+  Reader r(payload);
+  AnalyticsEngineState& engine = data->engine;
+  uint32_t num_shards = 0;
+  if (!r.GetU64(&data->wal_epoch_covered) || !r.GetU32(&num_shards) ||
+      !r.GetF64(&engine.bucket_seconds) ||
+      !r.GetF64(&engine.horizon_seconds) ||
+      !r.GetF64(&engine.min_visit_seconds) ||
+      !r.GetF64(&engine.dwell_min_seconds) ||
+      !r.GetF64(&engine.dwell_max_seconds) ||
+      !r.GetF64(&engine.dwell_growth) ||
+      !r.GetU64(&engine.semantics_ingested) ||
+      !r.GetU64(&engine.late_dropped) ||
+      !r.GetU64(&engine.invalid_dropped) ||
+      !r.GetU64(&engine.buckets_evicted)) {
+    return Status::InvalidArgument("snapshot: truncated header");
+  }
+  // Each shard section needs at least its fixed fields; this bounds the
+  // shard count against the payload like every other element count.
+  if (num_shards > payload.size() / (1 + 4 + 8 + 8 + 8)) {
+    return Status::InvalidArgument("snapshot: implausible shard count");
+  }
+  engine.num_shards = static_cast<int>(num_shards);
+  engine.shards.clear();
+  engine.shards.resize(num_shards);
+  std::vector<bool> seen(num_shards, false);
+  for (;;) {
+    uint8_t tag = 0;
+    if (!r.GetU8(&tag)) {
+      return Status::InvalidArgument("snapshot: missing end tag");
+    }
+    if (tag == kEndTag) break;
+    if (tag != kShardSectionTag) {
+      return Status::InvalidArgument("snapshot: unknown section tag");
+    }
+    uint32_t index = 0;
+    if (!r.GetU32(&index) || index >= num_shards) {
+      return Status::InvalidArgument("snapshot: shard index out of range");
+    }
+    if (seen[index]) {
+      return Status::InvalidArgument("snapshot: duplicate shard section");
+    }
+    seen[index] = true;
+    if (!DecodeShardBody(&r, &engine.shards[index])) {
+      return Status::InvalidArgument("snapshot: truncated shard section");
+    }
+  }
+  for (uint32_t i = 0; i < num_shards; ++i) {
+    if (!seen[i]) {
+      return Status::InvalidArgument("snapshot: missing shard section");
+    }
+  }
+  if (r.remaining() != 0) {
+    return Status::InvalidArgument("snapshot: trailing bytes after end tag");
+  }
+  return Status::OK();
+}
+
+}  // namespace storage
+}  // namespace c2mn

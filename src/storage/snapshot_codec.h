@@ -1,0 +1,69 @@
+#ifndef C2MN_STORAGE_SNAPSHOT_CODEC_H_
+#define C2MN_STORAGE_SNAPSHOT_CODEC_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "analytics/analytics_engine.h"
+#include "common/status.h"
+
+/// \file The versioned snapshot format: one self-contained binary file
+/// holding the complete durable analytics state (config, counters, every
+/// shard's accumulators, retained visits, and pre-aggregation sketch)
+/// plus the write-ahead-log epoch it covers.  Columnar-ish
+/// struct-of-arrays sections with explicit counts, all little-endian,
+/// doubles as IEEE bits so a decode-encode round trip is byte-identical.
+///
+/// Layout:
+///
+///   file    := magic "C2MNSNAP" | u32 format_version |
+///              u64 payload_size | u32 crc32(payload) | payload
+///   payload := u64 wal_epoch_covered | config | counters | shard* | u8 end
+///   shard   := u8 tag(kShardSectionTag) | u32 shard_index | ...sections
+///
+/// Compatibility rule: a reader accepts exactly its own format_version.
+/// Any format change — field added, width changed, section reordered —
+/// bumps kSnapshotVersion, and old files are refused (kInvalidArgument),
+/// never reinterpreted; recovery then falls back to an empty state plus
+/// whatever the log still holds.  The snapshot is advisory cache, the
+/// log is truth, so refusing a skewed snapshot loses time, not data.
+///
+/// Unlike the log, a snapshot is all-or-nothing: it is published by
+/// rename only after a full write + fsync, so a torn snapshot means the
+/// publish protocol was violated and the whole file is refused (CRC or
+/// size mismatch), not salvaged.
+///
+/// Pure byte codec, no I/O.
+
+namespace c2mn {
+namespace storage {
+
+inline constexpr char kSnapshotMagic[8] = {'C', '2', 'M', 'N',
+                                           'S', 'N', 'A', 'P'};
+inline constexpr uint32_t kSnapshotVersion = 1;
+inline constexpr uint8_t kShardSectionTag = 1;
+inline constexpr uint8_t kEndTag = 0xFF;
+
+/// Everything one snapshot file holds.
+struct SnapshotData {
+  /// Log segments with epoch <= this value are fully contained in the
+  /// snapshot (modulo the per-shard seq skip) and are deleted after the
+  /// snapshot publishes.
+  uint64_t wal_epoch_covered = 0;
+  AnalyticsEngineState engine;
+};
+
+/// Serializes `data` into the framed snapshot file format.
+void EncodeSnapshot(const SnapshotData& data, std::string* out);
+
+/// Parses a snapshot file.  kInvalidArgument for anything unacceptable:
+/// bad magic, version skew, truncation, CRC mismatch, duplicate or
+/// missing shard sections, counts that overrun the payload.  On failure
+/// `data` is left in an unspecified state.
+Status DecodeSnapshot(std::string_view bytes, SnapshotData* data);
+
+}  // namespace storage
+}  // namespace c2mn
+
+#endif  // C2MN_STORAGE_SNAPSHOT_CODEC_H_

@@ -1,0 +1,570 @@
+#include "storage/storage_manager.h"
+
+#include <dirent.h>
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <utility>
+
+#include "common/logging.h"
+#include "common/stopwatch.h"
+#include "storage/snapshot_codec.h"
+#include "storage/visit_log.h"
+
+namespace c2mn {
+namespace storage {
+
+namespace {
+
+Status IoError(const std::string& what) {
+  return Status::Internal(what + ": " + std::strerror(errno));
+}
+
+bool FileExists(const std::string& path) {
+  struct stat st;
+  return ::stat(path.c_str(), &st) == 0;
+}
+
+Status ReadFile(const std::string& path, std::string* out) {
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) return IoError("open " + path);
+  out->clear();
+  char buf[1 << 16];
+  for (;;) {
+    const ssize_t n = ::read(fd, buf, sizeof(buf));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      ::close(fd);
+      return IoError("read " + path);
+    }
+    if (n == 0) break;
+    out->append(buf, static_cast<size_t>(n));
+  }
+  ::close(fd);
+  return Status::OK();
+}
+
+Status WriteAll(int fd, const std::string& bytes, const std::string& path) {
+  size_t off = 0;
+  while (off < bytes.size()) {
+    const ssize_t n = ::write(fd, bytes.data() + off, bytes.size() - off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return IoError("write " + path);
+    }
+    off += static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+Status SyncDir(const std::string& dir) {
+  const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd < 0) return IoError("open " + dir);
+  if (::fsync(fd) != 0) {
+    const Status status = IoError("fsync " + dir);
+    ::close(fd);
+    return status;
+  }
+  ::close(fd);
+  return Status::OK();
+}
+
+/// Matches "wal-<digits>.log" and extracts the epoch.
+bool ParseSegmentEpoch(const char* name, uint64_t* epoch) {
+  const size_t len = std::strlen(name);
+  if (len < 4 + 1 + 4 || std::strncmp(name, "wal-", 4) != 0 ||
+      std::strcmp(name + len - 4, ".log") != 0) {
+    return false;
+  }
+  uint64_t value = 0;
+  for (size_t i = 4; i < len - 4; ++i) {
+    if (name[i] < '0' || name[i] > '9') return false;
+    value = value * 10 + static_cast<uint64_t>(name[i] - '0');
+  }
+  *epoch = value;
+  return true;
+}
+
+Status ListSegments(const std::string& dir, std::vector<uint64_t>* epochs) {
+  epochs->clear();
+  DIR* d = ::opendir(dir.c_str());
+  if (d == nullptr) return IoError("opendir " + dir);
+  while (struct dirent* entry = ::readdir(d)) {
+    uint64_t epoch = 0;
+    if (ParseSegmentEpoch(entry->d_name, &epoch)) epochs->push_back(epoch);
+  }
+  ::closedir(d);
+  std::sort(epochs->begin(), epochs->end());
+  return Status::OK();
+}
+
+uint64_t FileSizeOrZero(const std::string& path) {
+  struct stat st;
+  if (::stat(path.c_str(), &st) != 0) return 0;
+  return static_cast<uint64_t>(st.st_size);
+}
+
+}  // namespace
+
+struct StorageManager::LogFile {
+  explicit LogFile(int fd) : fd(fd) {}
+  ~LogFile() {
+    if (fd >= 0) ::close(fd);
+  }
+  int fd = -1;
+};
+
+StorageManager::StorageManager(Options options, int num_shards)
+    : options_(std::move(options)),
+      buffers_(static_cast<size_t>(std::max(num_shards, 1))) {
+  if (options_.metrics_registry != nullptr) {
+    registry_ = options_.metrics_registry;
+  } else {
+    owned_registry_ = std::make_unique<obs::MetricsRegistry>();
+    registry_ = owned_registry_.get();
+  }
+  checkpoint_seconds_ = registry_->GetHistogram(
+      "c2mn_storage_checkpoint_seconds",
+      "End-to-end time of one checkpoint cycle (rotate, save, publish, "
+      "compact)",
+      obs::Histogram::Config{1e-5, 1e2, 2.0});
+  checkpoints_total_ = registry_->GetCounter(
+      "c2mn_storage_checkpoints_total",
+      "Checkpoint cycles that published a snapshot");
+  replayed_visits_total_ = registry_->GetCounter(
+      "c2mn_storage_replayed_visits_total",
+      "Visit ingests replayed from the write-ahead log at recovery");
+  torn_tail_truncations_total_ = registry_->GetCounter(
+      "c2mn_storage_torn_tail_truncations_total",
+      "Recoveries that truncated a torn tail off the last log segment");
+  log_bytes_gauge_ = registry_->GetGauge(
+      "c2mn_storage_log_bytes",
+      "Bytes across live (not yet compacted) write-ahead-log segments");
+}
+
+StorageManager::~StorageManager() {
+  {
+    MutexLock lock(&flush_mu_);
+    writer_stop_ = true;
+    flush_work_cv_.NotifyAll();
+  }
+  if (writer_thread_.joinable()) writer_thread_.join();
+}
+
+void StorageManager::StartWriter() {
+  MutexLock lock(&flush_mu_);
+  accepting_flushes_ = true;
+  writer_thread_ = std::thread([this] { WriterLoop(); });
+}
+
+void StorageManager::WriterLoop() {
+  std::vector<std::string> batch;
+  for (;;) {
+    {
+      MutexLock lock(&flush_mu_);
+      writer_busy_ = false;
+      if (flush_queue_.empty()) flush_drained_cv_.NotifyAll();
+      while (flush_queue_.empty() && !writer_stop_) {
+        flush_work_cv_.Wait(&flush_mu_);
+      }
+      if (flush_queue_.empty() && writer_stop_) return;
+      // Take everything queued in one go; the FIFO order is what keeps
+      // each shard's durable log a sequence-contiguous prefix.
+      batch.clear();
+      while (!flush_queue_.empty()) {
+        batch.push_back(std::move(flush_queue_.front()));
+        flush_queue_.pop_front();
+      }
+      writer_busy_ = true;
+    }
+    Status status;
+    size_t written = 0;
+    {
+      MutexLock lock(&log_mu_);
+      for (; written < batch.size(); ++written) {
+        status = WriteCurrentSegment(batch[written]);
+        if (!status.ok()) break;
+      }
+    }
+    MutexLock lock(&flush_mu_);
+    writer_status_ = status;
+    if (status.ok()) {
+      // Recycle the consumed buffers so the shards' next fills reuse
+      // their capacity instead of growing from scratch.
+      for (std::string& consumed : batch) {
+        if (spare_buffers_.size() >= buffers_.size() + 2) break;
+        consumed.clear();
+        spare_buffers_.push_back(std::move(consumed));
+      }
+      batch.clear();
+      continue;
+    }
+    C2MN_LOG_ERROR << "storage: log write failed, will retry: "
+                   << status.ToString();
+    // Wake any Sync() drain-waiter so it can observe the sticky error.
+    flush_drained_cv_.NotifyAll();
+    if (writer_stop_) {
+      // Shutting down with a wedged log: nothing left to retry into.
+      return;
+    }
+    // Put the unwritten tail back at the front, in order, and back off
+    // so a persistent failure does not spin.
+    for (size_t i = batch.size(); i > written; --i) {
+      flush_queue_.emplace_front(std::move(batch[i - 1]));
+    }
+    batch.clear();
+    flush_work_cv_.WaitUntil(
+        &flush_mu_,
+        std::chrono::steady_clock::now() + std::chrono::milliseconds(100));
+  }
+}
+
+std::string StorageManager::SnapshotPath() const {
+  return options_.state_dir + "/snapshot.c2mn";
+}
+
+std::string StorageManager::SnapshotTmpPath() const {
+  return options_.state_dir + "/snapshot.c2mn.tmp";
+}
+
+std::string StorageManager::SegmentPath(uint64_t epoch) const {
+  char name[32];
+  std::snprintf(name, sizeof(name), "wal-%08llu.log",
+                static_cast<unsigned long long>(epoch));
+  return options_.state_dir + "/" + name;
+}
+
+Status StorageManager::OpenSegment(uint64_t epoch) {
+  const std::string path = SegmentPath(epoch);
+  const int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_APPEND, 0644);
+  if (fd < 0) return IoError("open " + path);
+  log_ = std::make_unique<LogFile>(fd);
+  if (FileSizeOrZero(path) == 0) {
+    std::string header;
+    AppendVisitLogHeader(&header);
+    C2MN_RETURN_NOT_OK(WriteAll(fd, header, path));
+    log_bytes_ += header.size();
+    log_bytes_gauge_->Set(static_cast<double>(log_bytes_));
+  }
+  return Status::OK();
+}
+
+Status StorageManager::WriteCurrentSegment(const std::string& bytes) {
+  if (log_ == nullptr) {
+    return Status::FailedPrecondition("storage: no open log segment");
+  }
+  C2MN_RETURN_NOT_OK(WriteAll(log_->fd, bytes, SegmentPath(current_epoch_)));
+  log_bytes_ += bytes.size();
+  log_bytes_gauge_->Set(static_cast<double>(log_bytes_));
+  return Status::OK();
+}
+
+Status StorageManager::Start() {
+  if (options_.state_dir.empty()) {
+    return Status::InvalidArgument("storage: empty state directory");
+  }
+  if (::mkdir(options_.state_dir.c_str(), 0755) != 0 && errno != EEXIST) {
+    return IoError("mkdir " + options_.state_dir);
+  }
+  std::vector<uint64_t> epochs;
+  C2MN_RETURN_NOT_OK(ListSegments(options_.state_dir, &epochs));
+  {
+    MutexLock lock(&log_mu_);
+    if (started_) {
+      return Status::FailedPrecondition("storage: already started");
+    }
+    current_epoch_ = epochs.empty() ? 1 : epochs.back() + 1;
+    log_bytes_ = 0;
+    for (const uint64_t epoch : epochs) {
+      log_bytes_ += FileSizeOrZero(SegmentPath(epoch));
+    }
+    C2MN_RETURN_NOT_OK(OpenSegment(current_epoch_));
+    started_ = true;
+  }
+  StartWriter();
+  return Status::OK();
+}
+
+Status StorageManager::Recover(AnalyticsEngine* engine, RecoveryStats* stats) {
+  *stats = RecoveryStats{};
+  if (engine == nullptr || engine->num_shards() != num_shards()) {
+    return Status::InvalidArgument(
+        "storage: recovery engine is missing or has a different shard "
+        "count");
+  }
+  if (options_.state_dir.empty()) {
+    return Status::InvalidArgument("storage: empty state directory");
+  }
+  if (::mkdir(options_.state_dir.c_str(), 0755) != 0 && errno != EEXIST) {
+    return IoError("mkdir " + options_.state_dir);
+  }
+  // An in-flight publish that never renamed is garbage by definition.
+  if (::unlink(SnapshotTmpPath().c_str()) != 0 && errno != ENOENT) {
+    return IoError("unlink " + SnapshotTmpPath());
+  }
+
+  uint64_t covered_epoch = 0;
+  std::vector<uint64_t> restored_seq(static_cast<size_t>(num_shards()), 0);
+  if (FileExists(SnapshotPath())) {
+    std::string bytes;
+    C2MN_RETURN_NOT_OK(ReadFile(SnapshotPath(), &bytes));
+    SnapshotData data;
+    C2MN_RETURN_NOT_OK(DecodeSnapshot(bytes, &data));
+    C2MN_RETURN_NOT_OK(engine->RestoreState(data.engine));
+    covered_epoch = data.wal_epoch_covered;
+    for (size_t i = 0; i < data.engine.shards.size(); ++i) {
+      restored_seq[i] = data.engine.shards[i].mutation_seq;
+    }
+    stats->snapshot_loaded = true;
+  }
+
+  std::vector<uint64_t> epochs;
+  C2MN_RETURN_NOT_OK(ListSegments(options_.state_dir, &epochs));
+  uint64_t max_epoch = covered_epoch;
+  std::vector<uint64_t> surviving;
+  for (const uint64_t epoch : epochs) {
+    max_epoch = std::max(max_epoch, epoch);
+    if (epoch <= covered_epoch) {
+      // Fully inside the snapshot; a crash between publish and compact
+      // left it behind.
+      if (::unlink(SegmentPath(epoch).c_str()) != 0 && errno != ENOENT) {
+        return IoError("unlink " + SegmentPath(epoch));
+      }
+      continue;
+    }
+    surviving.push_back(epoch);
+  }
+
+  uint64_t live_bytes = 0;
+  for (size_t i = 0; i < surviving.size(); ++i) {
+    const std::string path = SegmentPath(surviving[i]);
+    std::string data;
+    C2MN_RETURN_NOT_OK(ReadFile(path, &data));
+    VisitLogReplay replay;
+    C2MN_RETURN_NOT_OK(DecodeVisitLog(data, &replay));
+    if (!replay.clean) {
+      if (i + 1 != surviving.size()) {
+        // A torn frame mid-chain cannot come from a crash mid-append
+        // (only the newest segment was being written); something else
+        // damaged the log, and replaying past a hole would silently
+        // diverge from the pre-crash state.
+        return Status::Internal("storage: torn frame in non-final log "
+                                "segment " + path);
+      }
+      if (::truncate(path.c_str(), static_cast<off_t>(replay.valid_bytes)) !=
+          0) {
+        return IoError("truncate " + path);
+      }
+      stats->truncated_torn_tail = true;
+      stats->truncated_bytes += data.size() - replay.valid_bytes;
+      torn_tail_truncations_total_->Increment();
+    }
+    live_bytes += replay.valid_bytes;
+    for (const VisitLogRecord& record : replay.records) {
+      if (record.shard < 0 || record.shard >= num_shards()) {
+        return Status::InvalidArgument(
+            "storage: log record for out-of-range shard");
+      }
+      uint64_t& last = restored_seq[static_cast<size_t>(record.shard)];
+      if (record.seq <= last) {
+        // The snapshot (or an earlier duplicate flush) already covers
+        // this mutation.
+        ++stats->skipped_records;
+        continue;
+      }
+      uint64_t applied = 0;
+      if (record.kind == VisitLogRecord::Kind::kIngest) {
+        engine->Ingest(record.shard, record.object_id, record.ms, &applied);
+        ++stats->replayed_visits;
+      } else {
+        engine->NoteSessionClosed(record.shard, record.object_id, &applied);
+      }
+      if (applied != record.seq) {
+        // The engine assigns sequences densely, so a mismatch means the
+        // log has a gap or reordering relative to what was applied
+        // before the crash — state we cannot faithfully rebuild.
+        return Status::Internal(
+            "storage: replay sequence cross-check failed in " + path);
+      }
+      last = record.seq;
+      ++stats->replayed_records;
+    }
+  }
+  replayed_visits_total_->Increment(stats->replayed_visits);
+
+  {
+    MutexLock lock(&log_mu_);
+    if (started_) {
+      return Status::FailedPrecondition("storage: already started");
+    }
+    current_epoch_ = max_epoch + 1;
+    log_bytes_ = live_bytes;
+    C2MN_RETURN_NOT_OK(OpenSegment(current_epoch_));
+    started_ = true;
+  }
+  StartWriter();
+  return Status::OK();
+}
+
+void StorageManager::BufferIngest(int shard, uint64_t seq, int64_t object_id,
+                                  const MSemantics& ms) {
+  VisitLogRecord record;
+  record.kind = VisitLogRecord::Kind::kIngest;
+  record.shard = shard;
+  record.seq = seq;
+  record.object_id = object_id;
+  record.ms = ms;
+  std::string& buffer = buffers_[static_cast<size_t>(shard)];
+  AppendVisitLogRecord(record, &buffer);
+  if (buffer.size() >= options_.flush_buffer_bytes) FlushShard(shard);
+}
+
+void StorageManager::BufferClose(int shard, uint64_t seq, int64_t object_id) {
+  VisitLogRecord record;
+  record.kind = VisitLogRecord::Kind::kClose;
+  record.shard = shard;
+  record.seq = seq;
+  record.object_id = object_id;
+  std::string& buffer = buffers_[static_cast<size_t>(shard)];
+  AppendVisitLogRecord(record, &buffer);
+  if (buffer.size() >= options_.flush_buffer_bytes) FlushShard(shard);
+}
+
+void StorageManager::FlushShard(int shard) {
+  std::string& buffer = buffers_[static_cast<size_t>(shard)];
+  if (buffer.empty()) return;
+  MutexLock lock(&flush_mu_);
+  // Not started: keep the records buffered (nowhere to send them yet).
+  if (!accepting_flushes_) return;
+  std::string replacement;
+  if (!spare_buffers_.empty()) {
+    replacement = std::move(spare_buffers_.back());
+    spare_buffers_.pop_back();
+  }
+  flush_queue_.push_back(std::move(buffer));
+  buffer = std::move(replacement);
+  flush_work_cv_.NotifyOne();
+}
+
+Status StorageManager::Checkpoint(const AnalyticsEngine& engine) {
+  const Stopwatch watch;
+  // Serialized by an atomic flag, not a mutex: the cycle interleaves
+  // the log mutex with the analytics shard locks (a lower rank), so no
+  // single lock may legally span it.
+  if (checkpoint_running_.exchange(true, std::memory_order_acq_rel)) {
+    return Status::FailedPrecondition(
+        "storage: another checkpoint is already running");
+  }
+  struct FlagReset {
+    std::atomic<bool>* flag;
+    ~FlagReset() { flag->store(false, std::memory_order_release); }
+  } flag_reset{&checkpoint_running_};
+
+  uint64_t covered_epoch = 0;
+  {
+    MutexLock lock(&log_mu_);
+    if (!started_) {
+      return Status::FailedPrecondition("storage: not started");
+    }
+    // Rotate before saving: every record in the covered segments was
+    // applied before this point, so the state we save below contains
+    // all of them.  Records applied after this point land in the new
+    // segment; the ones the save still catches replay as no-ops via
+    // the sequence skip.
+    covered_epoch = current_epoch_;
+    log_.reset();
+    ++current_epoch_;
+    const Status opened = OpenSegment(current_epoch_);
+    if (!opened.ok()) {
+      started_ = false;  // No segment to append to: storage is dead.
+      return opened;
+    }
+  }
+
+  SnapshotData data;
+  data.wal_epoch_covered = covered_epoch;
+  data.engine = engine.SaveState();
+  std::string bytes;
+  EncodeSnapshot(data, &bytes);
+
+  const std::string tmp = SnapshotTmpPath();
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) return IoError("open " + tmp);
+  Status write_status = WriteAll(fd, bytes, tmp);
+  if (write_status.ok() && options_.fsync_on_checkpoint &&
+      ::fsync(fd) != 0) {
+    write_status = IoError("fsync " + tmp);
+  }
+  ::close(fd);
+  if (!write_status.ok()) {
+    ::unlink(tmp.c_str());
+    return write_status;
+  }
+  if (::rename(tmp.c_str(), SnapshotPath().c_str()) != 0) {
+    const Status status = IoError("rename " + tmp);
+    ::unlink(tmp.c_str());
+    return status;
+  }
+  if (options_.fsync_on_checkpoint) {
+    C2MN_RETURN_NOT_OK(SyncDir(options_.state_dir));
+  }
+
+  // The snapshot is live; the covered segments are now redundant.
+  std::vector<uint64_t> epochs;
+  C2MN_RETURN_NOT_OK(ListSegments(options_.state_dir, &epochs));
+  uint64_t live_bytes = 0;
+  for (const uint64_t epoch : epochs) {
+    if (epoch <= covered_epoch) {
+      if (::unlink(SegmentPath(epoch).c_str()) != 0 && errno != ENOENT) {
+        return IoError("unlink " + SegmentPath(epoch));
+      }
+    } else {
+      live_bytes += FileSizeOrZero(SegmentPath(epoch));
+    }
+  }
+  {
+    MutexLock lock(&log_mu_);
+    log_bytes_ = live_bytes;
+    log_bytes_gauge_->Set(static_cast<double>(log_bytes_));
+  }
+  checkpoints_total_->Increment();
+  checkpoint_seconds_->Observe(watch.ElapsedSeconds());
+  return Status::OK();
+}
+
+Status StorageManager::Sync() {
+  for (int shard = 0; shard < num_shards(); ++shard) FlushShard(shard);
+  {
+    // Wait for the writer to drain what we just queued; a wedged log
+    // surfaces as the writer's sticky error instead of a hang.
+    MutexLock lock(&flush_mu_);
+    while ((!flush_queue_.empty() || writer_busy_) && writer_status_.ok()) {
+      flush_drained_cv_.Wait(&flush_mu_);
+    }
+    if (!writer_status_.ok()) return writer_status_;
+  }
+  MutexLock lock(&log_mu_);
+  if (!started_ || log_ == nullptr) {
+    return Status::FailedPrecondition("storage: not started");
+  }
+  if (::fsync(log_->fd) != 0) {
+    return IoError("fsync " + SegmentPath(current_epoch_));
+  }
+  return Status::OK();
+}
+
+uint64_t StorageManager::log_bytes() const {
+  MutexLock lock(&log_mu_);
+  return log_bytes_;
+}
+
+}  // namespace storage
+}  // namespace c2mn

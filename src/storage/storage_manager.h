@@ -1,0 +1,210 @@
+#ifndef C2MN_STORAGE_STORAGE_MANAGER_H_
+#define C2MN_STORAGE_STORAGE_MANAGER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "analytics/analytics_engine.h"
+#include "common/status.h"
+#include "common/sync.h"
+#include "data/msemantics.h"
+#include "obs/metrics_registry.h"
+
+/// \file Durable analytics state: a write-ahead visit log layered under
+/// periodic versioned snapshots, living together in one state directory:
+///
+///   <state_dir>/snapshot.c2mn       the last published snapshot
+///   <state_dir>/snapshot.c2mn.tmp   in-flight publish (deleted on boot)
+///   <state_dir>/wal-%08u.log        log segments, epoch-numbered
+///
+/// Write path: the worker that owns a shard applies the mutation to the
+/// engine, then buffers the log record carrying the engine-assigned
+/// mutation sequence, and flushes its buffer at batch boundaries.  A
+/// flush is a hand-off, not an I/O: the buffer moves onto a FIFO queue
+/// that a single background writer thread drains to the current
+/// segment, so the ingest hot path never blocks on the filesystem.  The
+/// durable log of one shard is still always a sequence-contiguous
+/// prefix of what the engine applied — the queue preserves order, and a
+/// crash loses at most the buffered + queued tail, never a middle
+/// record (the pre-async behavior already only made data durable at
+/// fsync points: Sync() and checkpoints, both of which drain the queue
+/// first).
+///
+/// Checkpoint cycle (any thread): rotate to a fresh log segment, save
+/// the engine state, publish it atomically (write temp + fsync + rename
+/// + directory fsync), then delete the covered segments.  Rotation
+/// happens before the state save, so every record in a covered segment
+/// is inside the snapshot; records that straddle the cycle land in the
+/// new segment and replay skips them by sequence.
+///
+/// Recovery: load the snapshot (if any), restore the engine, replay the
+/// surviving segments in epoch order skipping records the snapshot
+/// already covers, and cross-check that every applied record receives
+/// exactly the sequence it logged.  A torn tail is legal only on the
+/// last segment (a crash mid-append) and is truncated; anything torn
+/// earlier in the chain, or a snapshot that fails its CRC or carries an
+/// unknown format version, refuses recovery instead of guessing.
+
+namespace c2mn {
+namespace storage {
+
+/// What recovery found and did.
+struct RecoveryStats {
+  bool snapshot_loaded = false;
+  /// Log records applied to the engine (ingests + closes).
+  uint64_t replayed_records = 0;
+  /// The subset of replayed records that were visit ingests.
+  uint64_t replayed_visits = 0;
+  /// Records skipped because the snapshot already covered their sequence.
+  uint64_t skipped_records = 0;
+  bool truncated_torn_tail = false;
+  uint64_t truncated_bytes = 0;
+};
+
+/// \brief Owns the state directory: log segments, snapshot publishing,
+/// and recovery.  One instance per AnnotationService (or per CLI
+/// command).
+///
+/// Thread model: BufferIngest / BufferClose / FlushShard for one shard
+/// are owner-exclusive, exactly like AnalyticsEngine::Ingest — only the
+/// worker feeding the shard calls them while the service runs.  The log
+/// file behind the buffers is guarded by a ranked mutex, so flushes and
+/// the checkpoint rotation interleave safely.  Checkpoint / Sync /
+/// log_bytes are safe from any thread; Sync and Recover additionally
+/// require the shard owners to be quiescent (drained or not yet
+/// started).
+class StorageManager {
+ public:
+  struct Options {
+    /// Directory for the snapshot + log files; created if missing.
+    std::string state_dir;
+    /// fsync the snapshot temp file (and directory) before publishing.
+    /// Always on outside of tests.
+    bool fsync_on_checkpoint = true;
+    /// A shard buffer past this size flushes itself on the next append.
+    size_t flush_buffer_bytes = 64 * 1024;
+    /// Registry for the storage metrics; nullptr gives the manager a
+    /// private registry.  Not owned; must outlive the manager.
+    obs::MetricsRegistry* metrics_registry = nullptr;
+  };
+
+  StorageManager(Options options, int num_shards);
+  ~StorageManager();
+
+  StorageManager(const StorageManager&) = delete;
+  StorageManager& operator=(const StorageManager&) = delete;
+
+  /// Rebuilds `engine` from the state directory (snapshot + log replay)
+  /// and opens a fresh log segment for the new run.  The engine must be
+  /// fresh (nothing ingested, no subscriptions) and its shard count must
+  /// match this manager's.  Call exactly once, before any Buffer* call.
+  /// On failure the directory is left as found (minus a deleted
+  /// in-flight snapshot temp file and a truncated torn tail) and the
+  /// manager must not be used for writing.
+  Status Recover(AnalyticsEngine* engine, RecoveryStats* stats);
+
+  /// Opens a fresh log segment without restoring anything — for a brand
+  /// new state directory, or standalone encoding tools.  Alternative to
+  /// Recover; exactly one of the two starts the manager.
+  Status Start();
+
+  /// Buffers one log record for `shard`.  `seq` is the mutation sequence
+  /// the engine assigned when the mutation was applied (the out-param of
+  /// AnalyticsEngine::Ingest / NoteSessionClosed).
+  void BufferIngest(int shard, uint64_t seq, int64_t object_id,
+                    const MSemantics& ms);
+  void BufferClose(int shard, uint64_t seq, int64_t object_id);
+
+  /// Hands `shard`'s buffered records to the background writer, which
+  /// appends them to the current log segment.  Called by the owning
+  /// worker at batch boundaries; does not block on I/O.
+  void FlushShard(int shard);
+
+  /// Runs one checkpoint cycle against `engine` (which this manager
+  /// recovered or started alongside).  Safe from any thread, including
+  /// concurrently with live ingestion.
+  Status Checkpoint(const AnalyticsEngine& engine);
+
+  /// Flushes every shard buffer, waits for the background writer to
+  /// drain the queue, and fsyncs the current segment.  Only legal while
+  /// the shard owners are quiescent (e.g. after Drain or worker join):
+  /// makes the in-memory tail durable without paying for a full
+  /// checkpoint.
+  Status Sync();
+
+  /// Bytes across the live (not yet compacted) log segments.
+  uint64_t log_bytes() const;
+
+  const Options& options() const { return options_; }
+  int num_shards() const { return static_cast<int>(buffers_.size()); }
+
+ private:
+  struct LogFile;
+
+  std::string SnapshotPath() const;
+  std::string SnapshotTmpPath() const;
+  std::string SegmentPath(uint64_t epoch) const;
+  /// Spawns the background writer once a segment is open.
+  void StartWriter();
+  /// Body of the writer thread: drains flush_queue_ to the current
+  /// segment until told to stop, then drains whatever is left.
+  void WriterLoop();
+  /// Opens segment `epoch` for append, writing the header if new.
+  Status OpenSegment(uint64_t epoch) C2MN_REQUIRES(log_mu_);
+  Status WriteCurrentSegment(const std::string& bytes)
+      C2MN_REQUIRES(log_mu_);
+
+  Options options_;
+
+  std::unique_ptr<obs::MetricsRegistry> owned_registry_;
+  obs::MetricsRegistry* registry_ = nullptr;
+  obs::Histogram* checkpoint_seconds_ = nullptr;
+  obs::Counter* checkpoints_total_ = nullptr;
+  obs::Counter* replayed_visits_total_ = nullptr;
+  obs::Counter* torn_tail_truncations_total_ = nullptr;
+  obs::Gauge* log_bytes_gauge_ = nullptr;
+
+  /// Per-shard append buffers, owner-exclusive (see the thread model).
+  std::vector<std::string> buffers_;
+
+  /// Serializes checkpoint cycles (see Checkpoint in the .cc for why
+  /// this cannot be a mutex).
+  std::atomic<bool> checkpoint_running_{false};
+
+  /// Guards the current segment file and the epoch/byte bookkeeping.
+  /// A leaf on the write path: flushes hold it alone, and the
+  /// checkpoint cycle takes it only for the rotation step — never
+  /// nested with the engine's shard locks.
+  mutable Mutex log_mu_{LockRank::kStorageLog, "StorageManager::log_mu_"};
+  std::unique_ptr<LogFile> log_ C2MN_GUARDED_BY(log_mu_);
+  uint64_t current_epoch_ C2MN_GUARDED_BY(log_mu_) = 0;
+  /// Bytes across live segments (current + not-yet-compacted older ones).
+  uint64_t log_bytes_ C2MN_GUARDED_BY(log_mu_) = 0;
+  bool started_ C2MN_GUARDED_BY(log_mu_) = false;
+
+  /// Hand-off between the shard workers and the writer thread: FIFO of
+  /// flushed buffers, plus consumed buffers recycled back to the shards
+  /// so steady state never reallocates.
+  Mutex flush_mu_{LockRank::kStorageFlush, "StorageManager::flush_mu_"};
+  CondVar flush_work_cv_;
+  CondVar flush_drained_cv_;
+  std::deque<std::string> flush_queue_ C2MN_GUARDED_BY(flush_mu_);
+  std::vector<std::string> spare_buffers_ C2MN_GUARDED_BY(flush_mu_);
+  bool accepting_flushes_ C2MN_GUARDED_BY(flush_mu_) = false;
+  bool writer_busy_ C2MN_GUARDED_BY(flush_mu_) = false;
+  bool writer_stop_ C2MN_GUARDED_BY(flush_mu_) = false;
+  /// The most recent write attempt's result — sticky across retries so
+  /// Sync() can surface a wedged log instead of waiting forever.
+  Status writer_status_ C2MN_GUARDED_BY(flush_mu_);
+  std::thread writer_thread_;
+};
+
+}  // namespace storage
+}  // namespace c2mn
+
+#endif  // C2MN_STORAGE_STORAGE_MANAGER_H_

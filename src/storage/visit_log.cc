@@ -1,0 +1,158 @@
+#include "storage/visit_log.h"
+
+#include <cstring>
+
+#include "storage/binary_format.h"
+
+namespace c2mn {
+namespace storage {
+
+namespace {
+
+/// Fixed payload sizes per record kind (the format has no variable-width
+/// fields yet, which makes hostile lengths easy to reject).
+constexpr size_t kCommonPayloadSize = 1 + 4 + 8 + 8;
+constexpr size_t kIngestPayloadSize = kCommonPayloadSize + 4 + 8 + 8 + 1 + 4;
+/// u32 payload_len + u32 crc, in front of every frame.
+constexpr size_t kFrameHeaderSize = 4 + 4;
+
+bool DecodePayload(std::string_view payload, VisitLogRecord* record) {
+  Reader reader(payload);
+  uint8_t kind = 0;
+  uint32_t shard = 0;
+  if (!reader.GetU8(&kind) || !reader.GetU32(&shard) ||
+      !reader.GetU64(&record->seq) || !reader.GetI64(&record->object_id)) {
+    return false;
+  }
+  record->shard = static_cast<int>(shard);
+  if (kind == static_cast<uint8_t>(VisitLogRecord::Kind::kClose)) {
+    record->kind = VisitLogRecord::Kind::kClose;
+    record->ms = MSemantics{};
+    return payload.size() == kCommonPayloadSize;
+  }
+  if (kind != static_cast<uint8_t>(VisitLogRecord::Kind::kIngest) ||
+      payload.size() != kIngestPayloadSize) {
+    return false;
+  }
+  record->kind = VisitLogRecord::Kind::kIngest;
+  uint32_t region = 0;
+  uint8_t event = 0;
+  uint32_t support = 0;
+  if (!reader.GetU32(&region) || !reader.GetF64(&record->ms.t_start) ||
+      !reader.GetF64(&record->ms.t_end) || !reader.GetU8(&event) ||
+      !reader.GetU32(&support)) {
+    return false;
+  }
+  if (event != static_cast<uint8_t>(MobilityEvent::kStay) &&
+      event != static_cast<uint8_t>(MobilityEvent::kPass)) {
+    return false;
+  }
+  record->ms.region = static_cast<RegionId>(region);
+  record->ms.event = static_cast<MobilityEvent>(event);
+  record->ms.support = static_cast<int>(support);
+  return true;
+}
+
+}  // namespace
+
+bool VisitLogRecord::operator==(const VisitLogRecord& other) const {
+  if (kind != other.kind || shard != other.shard || seq != other.seq ||
+      object_id != other.object_id) {
+    return false;
+  }
+  if (kind == Kind::kClose) return true;
+  // Bit-wise time comparison: the codec must round-trip every double
+  // exactly, including NaNs and signed zeros.
+  uint64_t a_start = 0, b_start = 0, a_end = 0, b_end = 0;
+  std::memcpy(&a_start, &ms.t_start, sizeof(a_start));
+  std::memcpy(&b_start, &other.ms.t_start, sizeof(b_start));
+  std::memcpy(&a_end, &ms.t_end, sizeof(a_end));
+  std::memcpy(&b_end, &other.ms.t_end, sizeof(b_end));
+  return ms.region == other.ms.region && a_start == b_start &&
+         a_end == b_end && ms.event == other.ms.event &&
+         ms.support == other.ms.support;
+}
+
+void AppendVisitLogHeader(std::string* out) {
+  out->append(kVisitLogMagic, sizeof(kVisitLogMagic));
+  Writer(out).PutU32(kVisitLogVersion);
+}
+
+void AppendVisitLogRecord(const VisitLogRecord& record, std::string* out) {
+  // This runs once per ingested m-semantics on the service's hot path,
+  // so the whole frame is encoded into stack scratch and appended with
+  // a single call — no temporary string, no per-field append.  The CRC
+  // accumulates from the field values in registers as they are encoded:
+  // checksumming the scratch bytes afterwards would stall on
+  // store-to-load forwarding for every word.
+  char frame[kFrameHeaderSize + kIngestPayloadSize];
+  char* p = frame + kFrameHeaderSize;
+  Crc32Accumulator crc;
+  p = EncodeU8(p, static_cast<uint8_t>(record.kind));
+  crc.Add8(static_cast<uint8_t>(record.kind));
+  p = EncodeU32(p, static_cast<uint32_t>(record.shard));
+  crc.Add32(static_cast<uint32_t>(record.shard));
+  p = EncodeU64(p, record.seq);
+  crc.Add64(record.seq);
+  p = EncodeU64(p, static_cast<uint64_t>(record.object_id));
+  crc.Add64(static_cast<uint64_t>(record.object_id));
+  if (record.kind == VisitLogRecord::Kind::kIngest) {
+    p = EncodeU32(p, static_cast<uint32_t>(record.ms.region));
+    crc.Add32(static_cast<uint32_t>(record.ms.region));
+    p = EncodeF64(p, record.ms.t_start);
+    crc.AddF64(record.ms.t_start);
+    p = EncodeF64(p, record.ms.t_end);
+    crc.AddF64(record.ms.t_end);
+    p = EncodeU8(p, static_cast<uint8_t>(record.ms.event));
+    crc.Add8(static_cast<uint8_t>(record.ms.event));
+    p = EncodeU32(p, static_cast<uint32_t>(record.ms.support));
+    crc.Add32(static_cast<uint32_t>(record.ms.support));
+  }
+  const size_t payload_len =
+      static_cast<size_t>(p - frame) - kFrameHeaderSize;
+  EncodeU32(frame, static_cast<uint32_t>(payload_len));
+  EncodeU32(frame + 4, crc.Finish());
+  out->append(frame, kFrameHeaderSize + payload_len);
+}
+
+Status DecodeVisitLog(std::string_view data, VisitLogReplay* replay) {
+  replay->records.clear();
+  replay->valid_bytes = 0;
+  replay->clean = false;
+  if (data.size() < kVisitLogHeaderSize ||
+      std::memcmp(data.data(), kVisitLogMagic, sizeof(kVisitLogMagic)) != 0) {
+    return Status::InvalidArgument("visit log: bad magic");
+  }
+  Reader header(data.substr(sizeof(kVisitLogMagic)));
+  uint32_t version = 0;
+  header.GetU32(&version);
+  if (version != kVisitLogVersion) {
+    return Status::InvalidArgument("visit log: unsupported format version " +
+                                   std::to_string(version));
+  }
+  Reader reader(data);
+  reader.Skip(kVisitLogHeaderSize);
+  replay->valid_bytes = kVisitLogHeaderSize;
+  while (reader.remaining() > 0) {
+    uint32_t payload_len = 0;
+    uint32_t crc = 0;
+    std::string_view payload;
+    VisitLogRecord record;
+    if (!reader.GetU32(&payload_len) || !reader.GetU32(&crc) ||
+        payload_len > kVisitLogMaxPayload ||
+        !reader.GetBytes(payload_len, &payload) || Crc32(payload) != crc ||
+        !DecodePayload(payload, &record)) {
+      // Torn or corrupt tail: stop at the last good frame.  The caller
+      // decides whether a tail here is legal (last live segment) or a
+      // mid-chain corruption that must refuse recovery.
+      return Status::OK();
+    }
+    replay->records.push_back(record);
+    replay->valid_bytes = reader.offset();
+  }
+  replay->clean = true;
+  return Status::OK();
+}
+
+}  // namespace storage
+}  // namespace c2mn

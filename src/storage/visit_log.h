@@ -1,0 +1,95 @@
+#ifndef C2MN_STORAGE_VISIT_LOG_H_
+#define C2MN_STORAGE_VISIT_LOG_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "data/msemantics.h"
+
+/// \file The write-ahead visit log format: an append-only sequence of
+/// CRC-framed records, one per analytics mutation (an ingested
+/// m-semantics or a session close), written before the mutation is
+/// considered durable.  Recovery replays surviving records on top of the
+/// last published snapshot; records whose shard mutation sequence the
+/// snapshot already covers are skipped, which makes replay idempotent
+/// across the checkpoint race window.
+///
+/// Layout (all integers little-endian, doubles as IEEE bits):
+///
+///   file   := magic "C2MNWAL0" | u32 format_version | frame*
+///   frame  := u32 payload_len | u32 crc32(payload) | payload
+///   payload:= u8 kind | u32 shard | u64 seq | i64 object_id
+///             [kind == kIngest: i32 region | f64 t_start | f64 t_end |
+///              u8 event | i32 support]
+///
+/// A torn tail — a frame cut short by a crash mid-append — is expected
+/// and reported (not an error): the decoder returns every complete,
+/// CRC-valid frame plus the byte offset where the log stops being
+/// trustworthy, and recovery truncates there.  A bad magic or an
+/// unsupported version is a refusal: the file is not (or is no longer)
+/// ours to interpret.
+///
+/// Pure byte codec, no I/O — StorageManager owns the files, the fuzz
+/// harness feeds the decoder directly.
+
+namespace c2mn {
+namespace storage {
+
+inline constexpr char kVisitLogMagic[8] = {'C', '2', 'M', 'N',
+                                           'W', 'A', 'L', '0'};
+inline constexpr uint32_t kVisitLogVersion = 1;
+/// Bytes of magic + version every valid log file starts with.
+inline constexpr size_t kVisitLogHeaderSize = sizeof(kVisitLogMagic) + 4;
+/// Frames larger than this are rejected as corrupt (no legitimate record
+/// comes close; the cap keeps hostile lengths from driving allocations).
+inline constexpr uint32_t kVisitLogMaxPayload = 1u << 20;
+
+/// One logged analytics mutation.
+struct VisitLogRecord {
+  enum class Kind : uint8_t {
+    kIngest = 1,  ///< An m-semantics folded into the engine.
+    kClose = 2,   ///< A session close (NoteSessionClosed).
+  };
+
+  Kind kind = Kind::kIngest;
+  int shard = 0;
+  /// The shard mutation sequence the engine assigned this mutation.
+  uint64_t seq = 0;
+  int64_t object_id = 0;
+  /// Meaningful for kIngest only.
+  MSemantics ms;
+
+  bool operator==(const VisitLogRecord& other) const;
+};
+
+/// Appends the file header (magic + version) to `out`.  Written once at
+/// the start of every log segment.
+void AppendVisitLogHeader(std::string* out);
+
+/// Frames `record` (length + CRC + payload) and appends it to `out`.
+void AppendVisitLogRecord(const VisitLogRecord& record, std::string* out);
+
+/// The result of decoding one log segment.
+struct VisitLogReplay {
+  std::vector<VisitLogRecord> records;
+  /// Offset just past the last complete, CRC-valid frame: everything
+  /// before it is trustworthy, everything after is the torn tail.
+  size_t valid_bytes = 0;
+  /// True when the segment ends exactly at a frame boundary (no tail).
+  bool clean = false;
+};
+
+/// Decodes a log segment.  Non-OK only for refusals — bad magic, version
+/// skew, or a header too short to identify the file (kInvalidArgument).
+/// Torn or corrupt tails are tolerated: decoding stops at the first
+/// incomplete or CRC-failing frame and `replay` reports how far the
+/// trustworthy prefix reaches.
+Status DecodeVisitLog(std::string_view data, VisitLogReplay* replay);
+
+}  // namespace storage
+}  // namespace c2mn
+
+#endif  // C2MN_STORAGE_VISIT_LOG_H_

@@ -126,6 +126,60 @@ TEST(StreamingHistogramTest, MergeVerifiesBucketConfiguration) {
   EXPECT_LE(a.Quantile(0.99), a.max() + 1e-12);
 }
 
+TEST(StreamingHistogramTest, StateRoundTripPreservesEverything) {
+  StreamingHistogram hist(0.5, 2000.0, 1.4);
+  for (double v : {0.1, 0.7, 3.0, 55.5, 1999.0, 1e9}) hist.Add(v);
+  hist.Add(std::nan(""));
+  hist.Add(std::numeric_limits<double>::infinity());
+
+  auto restored_or = StreamingHistogram::FromState(hist.SaveState());
+  ASSERT_TRUE(restored_or.ok()) << restored_or.status().ToString();
+  StreamingHistogram restored = std::move(restored_or).ValueOrDie();
+
+  // The summary round trip is exact: non-finite tally and the
+  // merge-config fields survive precisely, not approximately.
+  EXPECT_EQ(restored.non_finite_count(), hist.non_finite_count());
+  EXPECT_EQ(restored.count(), hist.count());
+  EXPECT_DOUBLE_EQ(restored.sum(), hist.sum());
+  EXPECT_DOUBLE_EQ(restored.min(), hist.min());
+  EXPECT_DOUBLE_EQ(restored.max(), hist.max());
+  for (double q : {0.0, 0.25, 0.5, 0.9, 0.99, 1.0}) {
+    EXPECT_DOUBLE_EQ(restored.Quantile(q), hist.Quantile(q)) << "q=" << q;
+  }
+  // A merge-config match proves the bucketization fields round-tripped:
+  // Merge() compares exactly the fields SaveState() persists.
+  EXPECT_TRUE(restored.Merge(hist));
+
+  // And the state itself is stable through the trip.
+  const StreamingHistogram::State state = hist.SaveState();
+  auto again = StreamingHistogram::FromState(state);
+  ASSERT_TRUE(again.ok());
+  const StreamingHistogram::State reencoded = again->SaveState();
+  EXPECT_EQ(reencoded.counts, state.counts);
+  EXPECT_EQ(reencoded.non_finite, state.non_finite);
+  EXPECT_EQ(reencoded.min_value, state.min_value);
+  EXPECT_EQ(reencoded.max_value, state.max_value);
+  EXPECT_EQ(reencoded.growth, state.growth);
+}
+
+TEST(StreamingHistogramTest, FromStateRefusesInconsistentState) {
+  StreamingHistogram hist(1.0, 100.0, 1.5);
+  hist.Add(7.0);
+  StreamingHistogram::State state = hist.SaveState();
+
+  StreamingHistogram::State bad = state;
+  bad.growth = 0.9;  // Not a geometric bucketization.
+  EXPECT_FALSE(StreamingHistogram::FromState(bad).ok());
+
+  bad = state;
+  bad.counts.push_back(3);  // Wrong bucket count for the config.
+  EXPECT_FALSE(StreamingHistogram::FromState(bad).ok());
+
+  bad = state;
+  bad.count += 1;  // Bucket sum no longer matches the total.
+  EXPECT_FALSE(StreamingHistogram::FromState(bad).ok());
+}
+
 TEST(StreamingHistogramTest, ClearResets) {
   StreamingHistogram hist;
   hist.Add(1.0);

@@ -1,0 +1,60 @@
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <string_view>
+
+#include "storage/snapshot_codec.h"
+#include "storage/visit_log.h"
+
+/// Fuzzes both durable-state decoders — the snapshot file and the
+/// write-ahead visit log share this harness because their magics
+/// disambiguate, so one corpus can cross-pollinate both formats.
+///
+/// Invariants enforced on every accepted input:
+///  - a decoded snapshot re-encodes and re-decodes to the identical
+///    byte string (canonical form is a fixed point);
+///  - a decoded log's accepted prefix re-encodes to records that decode
+///    back equal, and valid_bytes never exceeds the input;
+///  - neither decoder may crash, leak, or overrun on arbitrary bytes
+///    (ASan+UBSan underneath catch what asserts cannot).
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  const std::string_view bytes(reinterpret_cast<const char*>(data), size);
+
+  c2mn::storage::SnapshotData snapshot;
+  if (c2mn::storage::DecodeSnapshot(bytes, &snapshot).ok()) {
+    std::string reencoded;
+    c2mn::storage::EncodeSnapshot(snapshot, &reencoded);
+    c2mn::storage::SnapshotData second;
+    if (!c2mn::storage::DecodeSnapshot(reencoded, &second).ok()) {
+      __builtin_trap();  // Our own encoder's output must decode.
+    }
+    std::string third;
+    c2mn::storage::EncodeSnapshot(second, &third);
+    if (third != reencoded) {
+      __builtin_trap();  // Decode/encode must be a fixed point.
+    }
+  }
+
+  c2mn::storage::VisitLogReplay replay;
+  if (c2mn::storage::DecodeVisitLog(bytes, &replay).ok()) {
+    if (replay.valid_bytes > bytes.size()) __builtin_trap();
+    if (replay.clean && replay.valid_bytes != bytes.size()) {
+      __builtin_trap();
+    }
+    std::string reencoded;
+    c2mn::storage::AppendVisitLogHeader(&reencoded);
+    for (const c2mn::storage::VisitLogRecord& record : replay.records) {
+      c2mn::storage::AppendVisitLogRecord(record, &reencoded);
+    }
+    c2mn::storage::VisitLogReplay second;
+    if (!c2mn::storage::DecodeVisitLog(reencoded, &second).ok() ||
+        !second.clean || second.records.size() != replay.records.size()) {
+      __builtin_trap();
+    }
+    for (size_t i = 0; i < second.records.size(); ++i) {
+      if (!(second.records[i] == replay.records[i])) __builtin_trap();
+    }
+  }
+  return 0;
+}

@@ -65,6 +65,84 @@ TEST(ExportersTest, JsonGolden) {
   EXPECT_EQ(registry.RenderJson(), expected);
 }
 
+/// The storage subsystem's metric families, with deterministic demo
+/// values (the histogram mirrors FillDemoRegistry's exactly-reproducible
+/// bucket choices).  Guards the renderer against regressions over the
+/// family mix src/storage/ registers: histogram + gauge + counters.
+void FillStorageDemoRegistry(MetricsRegistry* registry) {
+  Histogram* checkpoint_seconds = registry->GetHistogram(
+      "c2mn_storage_checkpoint_seconds", "Checkpoint cycle duration",
+      Histogram::Config{0.001, 0.008, 2.0});
+  checkpoint_seconds->Observe(0.001);
+  checkpoint_seconds->Observe(0.003);
+  checkpoint_seconds->Observe(0.02);
+  registry->GetCounter("c2mn_storage_checkpoints_total",
+                       "Completed checkpoint cycles")
+      ->Increment(2);
+  registry->GetGauge("c2mn_storage_log_bytes",
+                     "Bytes across live write-ahead-log segments")
+      ->Set(8192);
+  registry->GetCounter("c2mn_storage_replayed_visits_total",
+                       "Visits replayed from the log during recovery")
+      ->Increment(473);
+  registry->GetCounter("c2mn_storage_torn_tail_truncations_total",
+                       "Torn log tails truncated during recovery")
+      ->Increment(1);
+}
+
+TEST(ExportersTest, StorageMetricsPrometheusGolden) {
+  MetricsRegistry registry;
+  FillStorageDemoRegistry(&registry);
+  const std::string expected =
+      "# HELP c2mn_storage_checkpoint_seconds Checkpoint cycle duration\n"
+      "# TYPE c2mn_storage_checkpoint_seconds histogram\n"
+      "c2mn_storage_checkpoint_seconds_bucket{le=\"0.002\"} 1\n"
+      "c2mn_storage_checkpoint_seconds_bucket{le=\"0.004\"} 2\n"
+      "c2mn_storage_checkpoint_seconds_bucket{le=\"0.008\"} 3\n"
+      "c2mn_storage_checkpoint_seconds_bucket{le=\"+Inf\"} 3\n"
+      "c2mn_storage_checkpoint_seconds_sum 0.024\n"
+      "c2mn_storage_checkpoint_seconds_count 3\n"
+      "# HELP c2mn_storage_checkpoints_total Completed checkpoint cycles\n"
+      "# TYPE c2mn_storage_checkpoints_total counter\n"
+      "c2mn_storage_checkpoints_total 2\n"
+      "# HELP c2mn_storage_log_bytes Bytes across live write-ahead-log "
+      "segments\n"
+      "# TYPE c2mn_storage_log_bytes gauge\n"
+      "c2mn_storage_log_bytes 8192\n"
+      "# HELP c2mn_storage_replayed_visits_total Visits replayed from the "
+      "log during recovery\n"
+      "# TYPE c2mn_storage_replayed_visits_total counter\n"
+      "c2mn_storage_replayed_visits_total 473\n"
+      "# HELP c2mn_storage_torn_tail_truncations_total Torn log tails "
+      "truncated during recovery\n"
+      "# TYPE c2mn_storage_torn_tail_truncations_total counter\n"
+      "c2mn_storage_torn_tail_truncations_total 1\n";
+  EXPECT_EQ(registry.RenderPrometheus(), expected);
+}
+
+TEST(ExportersTest, StorageMetricsJsonGolden) {
+  MetricsRegistry registry;
+  FillStorageDemoRegistry(&registry);
+  const std::string expected =
+      "{\n"
+      "  \"metrics\": [\n"
+      "    {\"name\": \"c2mn_storage_checkpoint_seconds\", \"kind\": "
+      "\"histogram\", \"count\": 3, \"sum\": 0.024, \"min\": 0.001, "
+      "\"max\": 0.02, \"mean\": 0.008, \"p50\": 0.003, \"p90\": 0.0068, "
+      "\"p99\": 0.00788},\n"
+      "    {\"name\": \"c2mn_storage_checkpoints_total\", \"kind\": "
+      "\"counter\", \"value\": 2},\n"
+      "    {\"name\": \"c2mn_storage_log_bytes\", \"kind\": \"gauge\", "
+      "\"value\": 8192},\n"
+      "    {\"name\": \"c2mn_storage_replayed_visits_total\", \"kind\": "
+      "\"counter\", \"value\": 473},\n"
+      "    {\"name\": \"c2mn_storage_torn_tail_truncations_total\", "
+      "\"kind\": \"counter\", \"value\": 1}\n"
+      "  ]\n"
+      "}\n";
+  EXPECT_EQ(registry.RenderJson(), expected);
+}
+
 TEST(ExportersTest, OneHeaderPerFamily) {
   // Two label sets of one family share a single HELP/TYPE header.
   MetricsRegistry registry;

@@ -1,0 +1,382 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "storage/binary_format.h"
+#include "storage/snapshot_codec.h"
+#include "storage/visit_log.h"
+
+namespace c2mn {
+namespace storage {
+namespace {
+
+MSemantics Stay(RegionId region, double t_start, double t_end) {
+  MSemantics ms;
+  ms.region = region;
+  ms.t_start = t_start;
+  ms.t_end = t_end;
+  ms.event = MobilityEvent::kStay;
+  ms.support = 3;
+  return ms;
+}
+
+VisitLogRecord Ingest(int shard, uint64_t seq, int64_t object_id,
+                      const MSemantics& ms) {
+  VisitLogRecord record;
+  record.kind = VisitLogRecord::Kind::kIngest;
+  record.shard = shard;
+  record.seq = seq;
+  record.object_id = object_id;
+  record.ms = ms;
+  return record;
+}
+
+VisitLogRecord Close(int shard, uint64_t seq, int64_t object_id) {
+  VisitLogRecord record;
+  record.kind = VisitLogRecord::Kind::kClose;
+  record.shard = shard;
+  record.seq = seq;
+  record.object_id = object_id;
+  return record;
+}
+
+// ------------------------------------------------------------- visit log
+
+TEST(VisitLogTest, RoundTripsRecordsBitExactly) {
+  std::string log;
+  AppendVisitLogHeader(&log);
+  std::vector<VisitLogRecord> expected;
+  expected.push_back(Ingest(0, 1, 42, Stay(7, 10.0, 55.5)));
+  expected.push_back(Ingest(1, 1, 43, Stay(3, -0.0, 1e18)));
+  // Doubles travel as IEEE bits: a NaN timestamp (invalid upstream, but
+  // representable) must survive the trip without normalization.
+  MSemantics weird = Stay(2, std::nan(""), 9.25);
+  weird.event = MobilityEvent::kPass;
+  weird.support = 0;
+  expected.push_back(Ingest(0, 2, 44, weird));
+  expected.push_back(Close(1, 2, 43));
+  for (const VisitLogRecord& record : expected) {
+    AppendVisitLogRecord(record, &log);
+  }
+
+  VisitLogReplay replay;
+  ASSERT_TRUE(DecodeVisitLog(log, &replay).ok());
+  EXPECT_TRUE(replay.clean);
+  EXPECT_EQ(replay.valid_bytes, log.size());
+  ASSERT_EQ(replay.records.size(), expected.size());
+  for (size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_EQ(replay.records[i], expected[i]) << "record " << i;
+  }
+}
+
+TEST(VisitLogTest, HeaderOnlyLogIsCleanAndEmpty) {
+  std::string log;
+  AppendVisitLogHeader(&log);
+  VisitLogReplay replay;
+  ASSERT_TRUE(DecodeVisitLog(log, &replay).ok());
+  EXPECT_TRUE(replay.clean);
+  EXPECT_TRUE(replay.records.empty());
+  EXPECT_EQ(replay.valid_bytes, kVisitLogHeaderSize);
+}
+
+TEST(VisitLogTest, TornTailStopsAtLastFrameBoundary) {
+  std::string log;
+  AppendVisitLogHeader(&log);
+  AppendVisitLogRecord(Ingest(0, 1, 1, Stay(5, 0.0, 10.0)), &log);
+  const size_t boundary = log.size();
+  AppendVisitLogRecord(Close(0, 2, 1), &log);
+
+  // Chop the second frame anywhere — mid-payload, mid-CRC, mid-length —
+  // and the first record must still decode with valid_bytes at the
+  // boundary before the tear.
+  for (size_t cut = boundary + 1; cut < log.size(); ++cut) {
+    VisitLogReplay replay;
+    ASSERT_TRUE(DecodeVisitLog(std::string_view(log).substr(0, cut), &replay)
+                    .ok())
+        << "cut at " << cut;
+    EXPECT_FALSE(replay.clean);
+    EXPECT_EQ(replay.valid_bytes, boundary) << "cut at " << cut;
+    ASSERT_EQ(replay.records.size(), 1u);
+    EXPECT_EQ(replay.records[0].seq, 1u);
+  }
+}
+
+TEST(VisitLogTest, CorruptCrcStopsBeforeTheBadFrame) {
+  std::string log;
+  AppendVisitLogHeader(&log);
+  AppendVisitLogRecord(Ingest(0, 1, 1, Stay(5, 0.0, 10.0)), &log);
+  const size_t boundary = log.size();
+  AppendVisitLogRecord(Ingest(0, 2, 1, Stay(6, 10.0, 20.0)), &log);
+  AppendVisitLogRecord(Ingest(0, 3, 1, Stay(7, 20.0, 30.0)), &log);
+
+  // Flip one payload byte of the middle record: it and everything after
+  // it (even though intact) is untrustworthy tail.
+  std::string corrupt = log;
+  corrupt[boundary + 9] ^= 0x01;
+  VisitLogReplay replay;
+  ASSERT_TRUE(DecodeVisitLog(corrupt, &replay).ok());
+  EXPECT_FALSE(replay.clean);
+  EXPECT_EQ(replay.valid_bytes, boundary);
+  ASSERT_EQ(replay.records.size(), 1u);
+}
+
+TEST(VisitLogTest, OversizedLengthIsTreatedAsCorruptTail) {
+  std::string log;
+  AppendVisitLogHeader(&log);
+  const size_t boundary = log.size();
+  Writer w(&log);
+  w.PutU32(kVisitLogMaxPayload + 1);  // Hostile length; no such payload.
+  w.PutU32(0);
+  log.append(64, '\0');
+  VisitLogReplay replay;
+  ASSERT_TRUE(DecodeVisitLog(log, &replay).ok());
+  EXPECT_FALSE(replay.clean);
+  EXPECT_EQ(replay.valid_bytes, boundary);
+  EXPECT_TRUE(replay.records.empty());
+}
+
+TEST(VisitLogTest, MalformedPayloadIsTreatedAsCorruptTail) {
+  // A frame whose CRC is valid but whose payload is not a record (bad
+  // kind byte) must stop decoding like any other corruption.
+  std::string log;
+  AppendVisitLogHeader(&log);
+  const size_t boundary = log.size();
+  std::string payload;
+  Writer pw(&payload);
+  pw.PutU8(99);  // No such record kind.
+  for (int i = 0; i < 20; ++i) pw.PutU8(0);
+  Writer w(&log);
+  w.PutU32(static_cast<uint32_t>(payload.size()));
+  w.PutU32(Crc32(payload));
+  w.PutBytes(payload);
+  VisitLogReplay replay;
+  ASSERT_TRUE(DecodeVisitLog(log, &replay).ok());
+  EXPECT_FALSE(replay.clean);
+  EXPECT_EQ(replay.valid_bytes, boundary);
+  EXPECT_TRUE(replay.records.empty());
+}
+
+TEST(VisitLogTest, RefusesBadMagicAndVersionSkew) {
+  std::string log;
+  AppendVisitLogHeader(&log);
+  AppendVisitLogRecord(Close(0, 1, 1), &log);
+
+  std::string bad_magic = log;
+  bad_magic[0] = 'X';
+  VisitLogReplay replay;
+  EXPECT_EQ(DecodeVisitLog(bad_magic, &replay).code(),
+            StatusCode::kInvalidArgument);
+
+  std::string skewed = log;
+  skewed[sizeof(kVisitLogMagic)] = static_cast<char>(kVisitLogVersion + 1);
+  EXPECT_EQ(DecodeVisitLog(skewed, &replay).code(),
+            StatusCode::kInvalidArgument);
+
+  EXPECT_EQ(DecodeVisitLog("C2MN", &replay).code(),
+            StatusCode::kInvalidArgument);
+}
+
+// -------------------------------------------------------------- snapshot
+
+/// A syntactically valid payload with `sections` shard sections (bodies
+/// all empty) claiming `num_shards` shards; index of section i is
+/// `indices[i]`.  Lets the refusal tests hit paths a well-formed encoder
+/// never produces.
+std::string CraftSnapshot(uint32_t num_shards,
+                          const std::vector<uint32_t>& indices,
+                          uint8_t end_tag = kEndTag) {
+  std::string payload;
+  Writer w(&payload);
+  w.PutU64(0);  // wal_epoch_covered
+  w.PutU32(num_shards);
+  for (int i = 0; i < 6; ++i) w.PutF64(1.5);  // config
+  for (int i = 0; i < 4; ++i) w.PutU64(0);    // counters
+  for (const uint32_t index : indices) {
+    w.PutU8(kShardSectionTag);
+    w.PutU32(index);
+    w.PutU64(0);   // mutation_seq
+    w.PutF64(0.0); // watermark
+    w.PutI64(0);   // max_bucket
+    for (int i = 0; i < 7; ++i) w.PutU64(0);  // empty element sections
+  }
+  w.PutU8(end_tag);
+
+  std::string file(kSnapshotMagic, sizeof(kSnapshotMagic));
+  Writer framer(&file);
+  framer.PutU32(kSnapshotVersion);
+  framer.PutU64(payload.size());
+  framer.PutU32(Crc32(payload));
+  framer.PutBytes(payload);
+  return file;
+}
+
+TEST(SnapshotCodecTest, CraftedMinimalSnapshotDecodes) {
+  SnapshotData data;
+  ASSERT_TRUE(DecodeSnapshot(CraftSnapshot(2, {0, 1}), &data).ok());
+  EXPECT_EQ(data.engine.num_shards, 2);
+  EXPECT_EQ(data.engine.shards.size(), 2u);
+  EXPECT_EQ(data.engine.bucket_seconds, 1.5);
+}
+
+TEST(SnapshotCodecTest, EncodeDecodeEncodeIsByteIdentical) {
+  SnapshotData data;
+  data.wal_epoch_covered = 9;
+  data.engine.num_shards = 1;
+  data.engine.bucket_seconds = 60.0;
+  data.engine.horizon_seconds = 86400.0;
+  data.engine.min_visit_seconds = 30.0;
+  data.engine.dwell_min_seconds = 1.0;
+  data.engine.dwell_max_seconds = 1e5;
+  data.engine.dwell_growth = 1.3;
+  data.engine.semantics_ingested = 17;
+  data.engine.shards.resize(1);
+  AnalyticsShardState& shard = data.engine.shards[0];
+  shard.mutation_seq = 17;
+  shard.watermark_seconds = 120.0;
+  shard.max_bucket = 2;
+  AnalyticsShardState::Region region;
+  region.region = 5;
+  region.visits = 3;
+  region.stays = 3;
+  region.passes = 1;
+  region.total_dwell_seconds = 99.5;
+  region.occupancy = 1;
+  StreamingHistogram h(1.0, 1e5, 1.3);
+  h.Add(33.0);
+  h.Add(0.5);
+  h.Add(std::numeric_limits<double>::infinity());
+  region.dwell = h.SaveState();
+  shard.regions.push_back(region);
+  shard.flows.push_back({5, 6, 2});
+  shard.objects.push_back({42, 5, true, 5});
+  shard.visits.push_back({42, 5, 10.0, 43.0});
+  shard.preagg.region_counts.push_back({5, 3});
+  shard.preagg.pair_counts.push_back({RegionPair{5, 6}, 2});
+  shard.preagg.object_region_refs.push_back({42, 5, 3});
+
+  std::string first;
+  EncodeSnapshot(data, &first);
+  SnapshotData decoded;
+  ASSERT_TRUE(DecodeSnapshot(first, &decoded).ok());
+  std::string second;
+  EncodeSnapshot(decoded, &second);
+  EXPECT_EQ(first, second);
+  EXPECT_EQ(decoded.wal_epoch_covered, 9u);
+  ASSERT_EQ(decoded.engine.shards.size(), 1u);
+  EXPECT_EQ(decoded.engine.shards[0].preagg, shard.preagg);
+}
+
+TEST(SnapshotCodecTest, RefusesBadMagicVersionSkewAndTruncation) {
+  std::string good = CraftSnapshot(1, {0});
+  SnapshotData data;
+
+  std::string bad_magic = good;
+  bad_magic[3] = '!';
+  EXPECT_EQ(DecodeSnapshot(bad_magic, &data).code(),
+            StatusCode::kInvalidArgument);
+
+  std::string skewed = good;
+  skewed[sizeof(kSnapshotMagic)] = static_cast<char>(kSnapshotVersion + 1);
+  const Status skew_status = DecodeSnapshot(skewed, &data);
+  EXPECT_EQ(skew_status.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(skew_status.message().find("version"), std::string::npos);
+
+  // Unlike the log, a snapshot is all-or-nothing: any truncation point
+  // refuses the whole file.
+  for (size_t cut : {good.size() - 1, good.size() / 2, size_t{10}}) {
+    EXPECT_EQ(
+        DecodeSnapshot(std::string_view(good).substr(0, cut), &data).code(),
+        StatusCode::kInvalidArgument)
+        << "cut at " << cut;
+  }
+  EXPECT_EQ(DecodeSnapshot(good + "x", &data).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(SnapshotCodecTest, RefusesPayloadCorruptionAnywhere) {
+  const std::string good = CraftSnapshot(1, {0});
+  SnapshotData data;
+  ASSERT_TRUE(DecodeSnapshot(good, &data).ok());
+  // Flip one bit at a time through the payload: the CRC must catch every
+  // single one (the file is small enough to sweep exhaustively).
+  const size_t payload_start = sizeof(kSnapshotMagic) + 4 + 8 + 4;
+  for (size_t i = payload_start; i < good.size(); ++i) {
+    std::string corrupt = good;
+    corrupt[i] ^= 0x10;
+    EXPECT_FALSE(DecodeSnapshot(corrupt, &data).ok()) << "byte " << i;
+  }
+}
+
+TEST(SnapshotCodecTest, RefusesDuplicateMissingAndOutOfRangeShards) {
+  SnapshotData data;
+  const Status dup = DecodeSnapshot(CraftSnapshot(2, {0, 0}), &data);
+  EXPECT_EQ(dup.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(dup.message().find("duplicate"), std::string::npos);
+
+  const Status missing = DecodeSnapshot(CraftSnapshot(2, {0}), &data);
+  EXPECT_EQ(missing.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(missing.message().find("missing"), std::string::npos);
+
+  EXPECT_EQ(DecodeSnapshot(CraftSnapshot(1, {1}), &data).code(),
+            StatusCode::kInvalidArgument);
+
+  EXPECT_EQ(DecodeSnapshot(CraftSnapshot(1, {0}, /*end_tag=*/7), &data).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(SnapshotCodecTest, RefusesHostileElementCounts) {
+  // A shard section claiming 2^61 regions must fail fast on the count
+  // bound, not attempt the allocation.
+  std::string payload;
+  Writer w(&payload);
+  w.PutU64(0);
+  w.PutU32(1);
+  for (int i = 0; i < 6; ++i) w.PutF64(1.5);
+  for (int i = 0; i < 4; ++i) w.PutU64(0);
+  w.PutU8(kShardSectionTag);
+  w.PutU32(0);
+  w.PutU64(0);
+  w.PutF64(0.0);
+  w.PutI64(0);
+  w.PutU64(uint64_t{1} << 61);  // regions count
+  w.PutU8(kEndTag);
+  std::string file(kSnapshotMagic, sizeof(kSnapshotMagic));
+  Writer framer(&file);
+  framer.PutU32(kSnapshotVersion);
+  framer.PutU64(payload.size());
+  framer.PutU32(Crc32(payload));
+  framer.PutBytes(payload);
+  SnapshotData data;
+  EXPECT_EQ(DecodeSnapshot(file, &data).code(), StatusCode::kInvalidArgument);
+}
+
+// --------------------------------------------------------- binary format
+
+TEST(BinaryFormatTest, Crc32MatchesKnownVectors) {
+  // The classic zlib check value.
+  EXPECT_EQ(Crc32("123456789"), 0xCBF43926u);
+  EXPECT_EQ(Crc32(""), 0x00000000u);
+}
+
+TEST(BinaryFormatTest, ReaderRefusesOverruns) {
+  std::string bytes;
+  Writer w(&bytes);
+  w.PutU32(7);
+  Reader r(bytes);
+  uint64_t wide = 0;
+  EXPECT_FALSE(r.GetU64(&wide));
+  uint32_t narrow = 0;
+  EXPECT_TRUE(r.GetU32(&narrow));
+  EXPECT_EQ(narrow, 7u);
+  EXPECT_EQ(r.remaining(), 0u);
+  uint8_t byte = 0;
+  EXPECT_FALSE(r.GetU8(&byte));
+}
+
+}  // namespace
+}  // namespace storage
+}  // namespace c2mn

@@ -1,0 +1,169 @@
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "analytics/analytics_engine.h"
+#include "storage/snapshot_codec.h"
+
+namespace c2mn {
+namespace {
+
+MSemantics Stay(RegionId region, double t_start, double t_end) {
+  MSemantics ms;
+  ms.region = region;
+  ms.t_start = t_start;
+  ms.t_end = t_end;
+  ms.event = MobilityEvent::kStay;
+  ms.support = 1;
+  return ms;
+}
+
+MSemantics Pass(RegionId region, double t_start, double t_end) {
+  MSemantics ms = Stay(region, t_start, t_end);
+  ms.event = MobilityEvent::kPass;
+  return ms;
+}
+
+AnalyticsEngine::Options TwoShardOptions() {
+  AnalyticsEngine::Options options;
+  options.num_shards = 2;
+  options.min_visit_seconds = 10.0;
+  return options;
+}
+
+/// Two engine states are equal iff their snapshot encodings are byte
+/// identical — the same equivalence the durable path relies on.
+std::string Encoded(const AnalyticsEngine& engine) {
+  storage::SnapshotData data;
+  data.engine = engine.SaveState();
+  std::string bytes;
+  storage::EncodeSnapshot(data, &bytes);
+  return bytes;
+}
+
+/// A small mixed workload across both shards: stays (some below the
+/// visit threshold), passes, an aged-out bucket, and one closed session.
+void FeedWorkload(AnalyticsEngine* engine) {
+  engine->Ingest(0, 1, Stay(3, 0.0, 60.0));
+  engine->Ingest(0, 1, Pass(4, 60.0, 62.0));
+  engine->Ingest(0, 1, Stay(5, 62.0, 300.0));
+  engine->Ingest(0, 3, Stay(3, 10.0, 15.0));  // Below min_visit.
+  engine->Ingest(1, 2, Stay(3, 5.0, 90.0));
+  engine->Ingest(1, 2, Stay(5, 90.0, 1000.0));
+  engine->Ingest(1, 4, Pass(6, 0.0, 3.0));
+  engine->NoteSessionClosed(0, 1);
+}
+
+TEST(EngineStateTest, SaveStateIsStableAcrossCalls) {
+  AnalyticsEngine engine(TwoShardOptions());
+  FeedWorkload(&engine);
+  EXPECT_EQ(Encoded(engine), Encoded(engine));
+}
+
+TEST(EngineStateTest, RestoreReproducesStateBitIdentically) {
+  AnalyticsEngine original(TwoShardOptions());
+  FeedWorkload(&original);
+  const AnalyticsEngineState state = original.SaveState();
+
+  AnalyticsEngine restored(TwoShardOptions());
+  ASSERT_TRUE(restored.RestoreState(state).ok());
+  EXPECT_EQ(Encoded(original), Encoded(restored));
+
+  // The restored engine answers polls identically...
+  const std::vector<RegionId> regions = {3, 4, 5, 6};
+  const TimeWindow window{0.0, 2000.0};
+  EXPECT_EQ(original.TopKPopularRegions(regions, window, 3, 10.0),
+            restored.TopKPopularRegions(regions, window, 3, 10.0));
+  EXPECT_EQ(original.TopKFrequentRegionPairs(regions, window, 3, 10.0),
+            restored.TopKFrequentRegionPairs(regions, window, 3, 10.0));
+
+  // ...and keeps accumulating identically after the restore.
+  AnalyticsEngine reference(TwoShardOptions());
+  FeedWorkload(&reference);
+  for (AnalyticsEngine* e : {&reference, &restored}) {
+    e->Ingest(0, 5, Stay(4, 400.0, 500.0));
+    e->NoteSessionClosed(1, 2);
+  }
+  EXPECT_EQ(Encoded(reference), Encoded(restored));
+}
+
+TEST(EngineStateTest, MutationSequencesResumeAfterRestore) {
+  AnalyticsEngine original(TwoShardOptions());
+  uint64_t seq = 0;
+  original.Ingest(0, 1, Stay(3, 0.0, 60.0), &seq);
+  EXPECT_EQ(seq, 1u);
+  original.Ingest(0, 1, Stay(4, 60.0, 120.0), &seq);
+  EXPECT_EQ(seq, 2u);
+  // A dropped mutation still consumes a sequence: the log record exists
+  // whether or not the engine kept the visit.
+  original.Ingest(0, 1, Stay(3, -1e300, 1e300), &seq);
+  EXPECT_EQ(seq, 3u);
+  original.NoteSessionClosed(0, 1, &seq);
+  EXPECT_EQ(seq, 4u);
+
+  AnalyticsEngine restored(TwoShardOptions());
+  ASSERT_TRUE(restored.RestoreState(original.SaveState()).ok());
+  restored.Ingest(0, 2, Stay(5, 0.0, 60.0), &seq);
+  EXPECT_EQ(seq, 5u);
+  restored.Ingest(1, 3, Stay(5, 0.0, 60.0), &seq);
+  EXPECT_EQ(seq, 1u) << "shard sequences are independent";
+}
+
+TEST(EngineStateTest, RestoreRefusesConfigMismatch) {
+  AnalyticsEngine original(TwoShardOptions());
+  FeedWorkload(&original);
+  const AnalyticsEngineState state = original.SaveState();
+
+  AnalyticsEngine::Options other = TwoShardOptions();
+  other.num_shards = 4;
+  AnalyticsEngine wrong_shards(other);
+  EXPECT_EQ(wrong_shards.RestoreState(state).code(),
+            StatusCode::kInvalidArgument);
+
+  other = TwoShardOptions();
+  other.min_visit_seconds = 0.0;
+  AnalyticsEngine wrong_threshold(other);
+  EXPECT_EQ(wrong_threshold.RestoreState(state).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(EngineStateTest, RestoreRefusesNonFreshEngine) {
+  AnalyticsEngine original(TwoShardOptions());
+  FeedWorkload(&original);
+  const AnalyticsEngineState state = original.SaveState();
+
+  AnalyticsEngine dirty(TwoShardOptions());
+  dirty.Ingest(0, 9, Stay(3, 0.0, 60.0));
+  EXPECT_EQ(dirty.RestoreState(state).code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(EngineStateTest, RestoreRefusesTamperedState) {
+  AnalyticsEngine original(TwoShardOptions());
+  FeedWorkload(&original);
+
+  // An inflated occupancy contradicts the object table.
+  AnalyticsEngineState tampered = original.SaveState();
+  ASSERT_FALSE(tampered.shards[0].regions.empty());
+  tampered.shards[0].regions[0].occupancy += 5;
+  AnalyticsEngine target1(TwoShardOptions());
+  EXPECT_EQ(target1.RestoreState(tampered).code(), StatusCode::kInternal);
+
+  // A tampered pre-aggregation sketch contradicts the visit rebuild.
+  tampered = original.SaveState();
+  ASSERT_FALSE(tampered.shards[1].preagg.region_counts.empty());
+  tampered.shards[1].preagg.region_counts[0].second += 1;
+  AnalyticsEngine target2(TwoShardOptions());
+  EXPECT_EQ(target2.RestoreState(tampered).code(), StatusCode::kInternal);
+
+  // Duplicate region rows are structurally invalid.
+  tampered = original.SaveState();
+  tampered.shards[0].regions.push_back(tampered.shards[0].regions[0]);
+  AnalyticsEngine target3(TwoShardOptions());
+  EXPECT_EQ(target3.RestoreState(tampered).code(),
+            StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace c2mn

@@ -1,0 +1,297 @@
+#include <dirent.h>
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "analytics/analytics_engine.h"
+#include "core/options.h"
+#include "service/annotation_service.h"
+#include "storage/snapshot_codec.h"
+#include "tests/test_util.h"
+
+namespace c2mn {
+namespace {
+
+/// Kill-and-restart equivalence: a service whose analytics state is
+/// killed mid-stream and recovered from disk must answer every poll
+/// bit-identically to a service that ran uninterrupted — across shard
+/// counts, with a checkpoint mid-stream, a sync-only shutdown (log tail
+/// replay), and a torn byte tail injected between the runs.
+class RecoveryEquivalenceTest : public ::testing::Test {
+ protected:
+  RecoveryEquivalenceTest() : scenario_(testing_util::SmallMallScenario()) {
+    // Annotation quality is irrelevant here — fixed weights skip the
+    // training pass while still emitting a rich deterministic stream.
+    weights_.assign(static_cast<size_t>(kNumWeights), 0.5);
+    for (const LabeledSequence& ls : scenario_.dataset.sequences) {
+      std::vector<PositioningRecord> records = ls.sequence.records;
+      if (records.size() > 100) records.resize(100);
+      sources_.push_back(std::move(records));
+      if (sources_.size() == 12) break;
+    }
+    for (const SemanticRegion& region : scenario_.world->plan().regions()) {
+      query_regions_.push_back(region.id);
+    }
+  }
+
+  AnnotationService::Options BaseOptions(int shards) const {
+    AnnotationService::Options options;
+    options.num_shards = shards;
+    options.analytics.enabled = true;
+    options.analytics.engine.min_visit_seconds = 30.0;
+    return options;
+  }
+
+  std::unique_ptr<AnnotationService> MakeService(
+      const AnnotationService::Options& options) {
+    return std::make_unique<AnnotationService>(*scenario_.world,
+                                               FeatureOptions{},
+                                               C2mnStructure{}, weights_,
+                                               options);
+  }
+
+  /// Streams objects [first, last) through the service, one full session
+  /// each, and closes them.
+  void Feed(AnnotationService* service, int64_t first, int64_t last) {
+    for (int64_t id = first; id < last; ++id) {
+      ASSERT_TRUE(
+          service->OpenSession(id, [](int64_t, const MSemantics&) {}).ok());
+      const auto& records =
+          sources_[static_cast<size_t>(id) % sources_.size()];
+      for (const PositioningRecord& rec : records) {
+        ASSERT_TRUE(service->Submit(id, rec).ok());
+      }
+      ASSERT_TRUE(service->CloseSession(id).ok());
+    }
+  }
+
+  /// The byte-level fingerprint the equivalence is judged on.
+  static std::string Fingerprint(const AnnotationService& service) {
+    storage::SnapshotData data;
+    data.engine = service.analytics()->SaveState();
+    std::string bytes;
+    storage::EncodeSnapshot(data, &bytes);
+    return bytes;
+  }
+
+  std::vector<std::string> ListWalSegments(const std::string& dir) {
+    std::vector<std::string> segments;
+    DIR* d = opendir(dir.c_str());
+    if (d == nullptr) return segments;
+    while (dirent* entry = readdir(d)) {
+      const std::string name = entry->d_name;
+      if (name.rfind("wal-", 0) == 0) segments.push_back(dir + "/" + name);
+    }
+    closedir(d);
+    std::sort(segments.begin(), segments.end());
+    return segments;
+  }
+
+  void RemoveStateDir(const std::string& dir) {
+    DIR* d = opendir(dir.c_str());
+    if (d == nullptr) return;
+    while (dirent* entry = readdir(d)) {
+      const std::string name = entry->d_name;
+      if (name != "." && name != "..") {
+        std::remove((dir + "/" + name).c_str());
+      }
+    }
+    closedir(d);
+    rmdir(dir.c_str());
+  }
+
+  void RunEquivalence(int shards) {
+    SCOPED_TRACE("shards=" + std::to_string(shards));
+    const int64_t n = 12;
+    const std::string state_dir = ::testing::TempDir() + "/c2mn_recovery_" +
+                                  std::to_string(shards) + "_" +
+                                  std::to_string(getpid());
+    RemoveStateDir(state_dir);
+
+    // Reference: both halves through one uninterrupted service.
+    auto uninterrupted = MakeService(BaseOptions(shards));
+    Feed(uninterrupted.get(), 0, 2 * n);
+    uninterrupted->Drain();
+
+    // Run A: first half with durable state — a checkpoint mid-stream,
+    // then a sync-only shutdown so the second quarter lives only in the
+    // write-ahead log.
+    AnnotationService::Options options_a = BaseOptions(shards);
+    options_a.storage.state_dir = state_dir;
+    options_a.storage.fsync = false;  // Durability test, not a power test.
+    options_a.storage.checkpoint_on_stop = false;
+    {
+      auto service_a = MakeService(options_a);
+      ASSERT_TRUE(service_a->storage_status().ok())
+          << service_a->storage_status().ToString();
+      Feed(service_a.get(), 0, n / 2);
+      service_a->Drain();
+      ASSERT_TRUE(service_a->CheckpointStorage().ok());
+      Feed(service_a.get(), n / 2, n);
+      service_a->Drain();
+      service_a->Stop();
+    }
+
+    // A crash mid-append leaves a torn frame at the tail of the last
+    // segment; recovery must truncate it, not refuse or misparse.
+    const std::vector<std::string> segments = ListWalSegments(state_dir);
+    ASSERT_FALSE(segments.empty());
+    {
+      std::ofstream tail(segments.back(),
+                         std::ios::binary | std::ios::app);
+      tail.write("\x28\x00\x00\x00garbage", 11);
+    }
+
+    // Run B: recover and stream the second half.
+    auto service_b = MakeService(options_a);
+    ASSERT_TRUE(service_b->storage_status().ok())
+        << service_b->storage_status().ToString();
+    const storage::RecoveryStats& rs = service_b->recovery_stats();
+    EXPECT_TRUE(rs.snapshot_loaded);
+    EXPECT_GT(rs.replayed_records, 0u) << "the post-checkpoint quarter "
+                                          "should replay from the log";
+    EXPECT_TRUE(rs.truncated_torn_tail);
+    EXPECT_EQ(rs.truncated_bytes, 11u);
+
+    // A standing query subscribed after the restore seeds from the
+    // recovered state; its deltas must arrive gap-free from 1.
+    std::mutex follow_mu;
+    std::vector<uint64_t> delta_sequences;
+    std::vector<RegionId> followed;
+    StandingQuery standing;
+    standing.spec.all_regions = true;
+    standing.spec.min_visit_seconds = 30.0;
+    standing.k = 5;
+    ASSERT_TRUE(service_b
+                    ->SubscribeAnalytics(
+                        standing,
+                        [&](const StandingQueryDelta& delta) {
+                          std::lock_guard<std::mutex> lock(follow_mu);
+                          delta_sequences.push_back(delta.sequence);
+                          followed = delta.regions;
+                        })
+                    .ok());
+
+    Feed(service_b.get(), n, 2 * n);
+    service_b->Drain();
+
+    EXPECT_EQ(Fingerprint(*uninterrupted), Fingerprint(*service_b))
+        << "restored + resumed analytics state must be bit-identical to "
+           "an uninterrupted run";
+
+    const TimeWindow window{0.0, 1e15};
+    EXPECT_EQ(
+        uninterrupted->analytics()->TopKPopularRegions(query_regions_,
+                                                       window, 5, 30.0),
+        service_b->analytics()->TopKPopularRegions(query_regions_, window, 5,
+                                                   30.0));
+    EXPECT_EQ(uninterrupted->analytics()->TopKFrequentRegionPairs(
+                  query_regions_, window, 5, 30.0),
+              service_b->analytics()->TopKFrequentRegionPairs(
+                  query_regions_, window, 5, 30.0));
+
+    {
+      std::lock_guard<std::mutex> lock(follow_mu);
+      for (size_t i = 0; i < delta_sequences.size(); ++i) {
+        EXPECT_EQ(delta_sequences[i], i + 1)
+            << "standing-query deltas must be contiguous after a restore "
+               "(no duplicates, no losses)";
+      }
+      if (!delta_sequences.empty()) {
+        EXPECT_EQ(followed,
+                  service_b->analytics()->TopKPopularRegions(
+                      query_regions_, window, 5, 30.0));
+      }
+    }
+
+    service_b->Stop();
+    service_b.reset();
+    uninterrupted.reset();
+    RemoveStateDir(state_dir);
+  }
+
+  const Scenario& scenario_;
+  std::vector<double> weights_;
+  std::vector<std::vector<PositioningRecord>> sources_;
+  std::vector<RegionId> query_regions_;
+};
+
+TEST_F(RecoveryEquivalenceTest, OneShard) { RunEquivalence(1); }
+TEST_F(RecoveryEquivalenceTest, TwoShards) { RunEquivalence(2); }
+TEST_F(RecoveryEquivalenceTest, FourShards) { RunEquivalence(4); }
+
+TEST_F(RecoveryEquivalenceTest, CheckpointOnStopCompactsTheLog) {
+  const std::string state_dir = ::testing::TempDir() +
+                                "/c2mn_recovery_stopck_" +
+                                std::to_string(getpid());
+  RemoveStateDir(state_dir);
+  AnnotationService::Options options = BaseOptions(2);
+  options.storage.state_dir = state_dir;
+  options.storage.fsync = false;
+  {
+    auto service = MakeService(options);
+    ASSERT_TRUE(service->storage_status().ok());
+    Feed(service.get(), 0, 6);
+    service->Drain();
+    service->Stop();  // checkpoint_on_stop defaults to true.
+  }
+  // Everything lives in the snapshot now; the surviving log is empty, so
+  // recovery replays nothing.
+  auto restarted = MakeService(options);
+  ASSERT_TRUE(restarted->storage_status().ok());
+  EXPECT_TRUE(restarted->recovery_stats().snapshot_loaded);
+  EXPECT_EQ(restarted->recovery_stats().replayed_records, 0u);
+  EXPECT_GT(restarted->AnalyticsStats().semantics_ingested, 0u);
+  restarted->Stop();
+  restarted.reset();
+  RemoveStateDir(state_dir);
+}
+
+TEST_F(RecoveryEquivalenceTest, RefusesForeignSnapshotVersion) {
+  const std::string state_dir = ::testing::TempDir() +
+                                "/c2mn_recovery_skew_" +
+                                std::to_string(getpid());
+  RemoveStateDir(state_dir);
+  AnnotationService::Options options = BaseOptions(2);
+  options.storage.state_dir = state_dir;
+  options.storage.fsync = false;
+  {
+    auto service = MakeService(options);
+    ASSERT_TRUE(service->storage_status().ok());
+    Feed(service.get(), 0, 2);
+    service->Drain();
+    service->Stop();
+  }
+  // Bump the snapshot's version byte: a future-format file must be
+  // refused (the service degrades to non-durable), never reinterpreted.
+  const std::string snapshot_path = state_dir + "/snapshot.c2mn";
+  {
+    std::fstream f(snapshot_path,
+                   std::ios::binary | std::ios::in | std::ios::out);
+    ASSERT_TRUE(f.good());
+    f.seekp(sizeof(storage::kSnapshotMagic));
+    const char bumped = static_cast<char>(storage::kSnapshotVersion + 1);
+    f.write(&bumped, 1);
+  }
+  auto service = MakeService(options);
+  EXPECT_FALSE(service->storage_status().ok());
+  EXPECT_EQ(service->storage_status().code(), StatusCode::kInvalidArgument);
+  // The service still runs, just without durability.
+  Feed(service.get(), 0, 2);
+  service->Drain();
+  EXPECT_GT(service->AnalyticsStats().semantics_ingested, 0u);
+  EXPECT_FALSE(service->CheckpointStorage().ok());
+  service->Stop();
+  service.reset();
+  RemoveStateDir(state_dir);
+}
+
+}  // namespace
+}  // namespace c2mn

@@ -12,7 +12,23 @@
 //       Draw a floor with the first sequence's trajectory.
 //   serve-sim [--objects N] [--shards K] [--producers P] [--iters N]
 //       Replay simulator traffic through the concurrent AnnotationService
-//       and report throughput / latency statistics.
+//       and report throughput / latency statistics.  With --state-dir the
+//       service keeps durable analytics state there (write-ahead visit
+//       log + periodic snapshots when --checkpoint-interval > 0),
+//       recovering whatever the directory already holds before the
+//       replay; --loop N replays the scenario N times (0 = forever) so a
+//       crash-recovery test can kill the process mid-stream; and
+//       --fixed-weights skips training for runs that only exercise the
+//       service machinery.
+//   snapshot --state-dir DIR
+//       Offline compaction: recover the analytics state from DIR, then
+//       checkpoint it — publish a fresh snapshot and delete the covered
+//       log segments.
+//   restore --state-dir DIR
+//       Recover the analytics state from DIR and report what recovery
+//       found (snapshot, replayed / skipped records, torn tail).  Exits
+//       non-zero when the directory cannot be recovered, so scripts and
+//       tests can use it as an integrity check.
 //   analytics [--objects N] [--shards K] [--k K] [--min-visit S] [--follow]
 //       Replay simulator traffic with the live analytics engine enabled,
 //       print top-k popular regions / frequent pairs plus dwell, flow,
@@ -37,7 +53,9 @@
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <iterator>
 #include <map>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <thread>
@@ -54,6 +72,8 @@
 #include "data/svg_export.h"
 #include "service/annotation_service.h"
 #include "sim/scenarios.h"
+#include "storage/snapshot_codec.h"
+#include "storage/storage_manager.h"
 
 using namespace c2mn;
 
@@ -81,7 +101,8 @@ struct Args {
 int Usage() {
   std::fprintf(stderr,
                "usage: c2mn_cli "
-               "<generate|train|annotate|render|serve-sim|analytics|metrics> "
+               "<generate|train|annotate|render|serve-sim|analytics|metrics"
+               "|snapshot|restore> "
                "[--key value]...\n"
                "  generate --out-records R.csv --out-labels L.csv "
                "[--objects N] [--seed S]\n"
@@ -93,11 +114,15 @@ int Usage() {
                "[--seed S]\n"
                "  serve-sim [--objects N] [--shards K] [--producers P] "
                "[--iters N] [--threads T] [--weights W.txt] [--seed S]\n"
+               "           [--state-dir DIR] [--checkpoint-interval S] "
+               "[--loop N] [--fixed-weights]\n"
                "  analytics [--objects N] [--shards K] [--k K] "
                "[--min-visit S] [--iters N] [--threads T] "
                "[--weights W.txt] [--seed S] [--follow]\n"
                "  metrics  [--objects N] [--shards K] [--format prom|json] "
                "[--out FILE] [--watch] [--interval S] [--slow-ms T]\n"
+               "  snapshot --state-dir DIR\n"
+               "  restore  --state-dir DIR\n"
                "  --threads T: trainer worker threads (0 = all cores); the\n"
                "  learned weights are bit-identical for every T.\n"
                "  --follow: subscribe standing top-k queries and print each\n"
@@ -273,44 +298,80 @@ int ServeSim(const Args& args) {
   const Scenario scenario = MakeMallScenario(sopts);
 
   std::vector<double> weights;
-  if (!LoadOrTrainWeights(args, scenario, &weights)) return 1;
+  if (args.GetFlag("fixed-weights")) {
+    // Service-machinery runs (crash-recovery tests, durability smoke
+    // tests) don't care about annotation quality — skip the training
+    // pass so the process reaches the replay quickly.
+    weights.assign(static_cast<size_t>(kNumWeights), 0.5);
+  } else if (!LoadOrTrainWeights(args, scenario, &weights)) {
+    return 1;
+  }
 
   AnnotationService::Options options;
   options.num_shards = args.GetInt("shards", 4);
   const int producers = args.GetInt("producers", 4);
+  const char* state_dir = args.Get("state-dir");
+  if (state_dir != nullptr) {
+    // Durable state logs the analytics mutation stream, so it requires
+    // the analytics engine.
+    options.analytics.enabled = true;
+    options.storage.state_dir = state_dir;
+    options.storage.checkpoint_interval_seconds =
+        args.GetDouble("checkpoint-interval", 0.0);
+  }
   AnnotationService service(*scenario.world, FeatureOptions{}, C2mnStructure{},
                             weights, options);
-
-  const size_t num_streams = scenario.dataset.sequences.size();
-  std::vector<size_t> emitted(num_streams, 0);
-  for (size_t i = 0; i < num_streams; ++i) {
-    service.OpenSession(static_cast<int64_t>(i),
-                        [&emitted](int64_t id, const MSemantics&) {
-                          ++emitted[static_cast<size_t>(id)];
-                        });
+  if (state_dir != nullptr) {
+    if (!service.storage_status().ok()) {
+      std::fprintf(stderr, "durable state unavailable: %s\n",
+                   service.storage_status().ToString().c_str());
+      return 1;
+    }
+    const storage::RecoveryStats& rs = service.recovery_stats();
+    std::printf("durable state: %s, snapshot %s, replayed %" PRIu64
+                " records (%" PRIu64 " skipped)%s\n",
+                state_dir, rs.snapshot_loaded ? "loaded" : "absent",
+                rs.replayed_records, rs.skipped_records,
+                rs.truncated_torn_tail ? ", truncated torn tail" : "");
   }
 
+  const size_t num_streams = scenario.dataset.sequences.size();
+  // --loop N replays the scenario N times (0 = forever, until killed);
+  // iteration L uses object ids L*num_streams .. so closes stay honest.
+  const int loops = args.GetInt("loop", 1);
+  std::vector<size_t> emitted(num_streams, 0);
   std::printf("replaying %zu streams through %d shards from %d producers...\n",
               num_streams, service.num_shards(), producers);
   Stopwatch replay;
-  std::vector<std::thread> threads;
-  for (int p = 0; p < producers; ++p) {
-    threads.emplace_back([&, p] {
-      for (size_t i = static_cast<size_t>(p); i < num_streams;
-           i += static_cast<size_t>(producers)) {
-        const PSequence& seq = scenario.dataset.sequences[i].sequence;
-        for (const PositioningRecord& rec : seq.records) {
-          service.Submit(static_cast<int64_t>(i), rec);
+  for (int pass = 0; loops == 0 || pass < loops; ++pass) {
+    const int64_t base = static_cast<int64_t>(pass) *
+                         static_cast<int64_t>(num_streams);
+    for (size_t i = 0; i < num_streams; ++i) {
+      service.OpenSession(base + static_cast<int64_t>(i),
+                          [&emitted, base](int64_t id, const MSemantics&) {
+                            ++emitted[static_cast<size_t>(id - base)];
+                          });
+    }
+    std::vector<std::thread> threads;
+    for (int p = 0; p < producers; ++p) {
+      threads.emplace_back([&, p, base] {
+        for (size_t i = static_cast<size_t>(p); i < num_streams;
+             i += static_cast<size_t>(producers)) {
+          const PSequence& seq = scenario.dataset.sequences[i].sequence;
+          for (const PositioningRecord& rec : seq.records) {
+            service.Submit(base + static_cast<int64_t>(i), rec);
+          }
         }
-      }
-    });
-  }
-  for (std::thread& t : threads) t.join();
-  for (size_t i = 0; i < num_streams; ++i) {
-    service.CloseSession(static_cast<int64_t>(i));
+      });
+    }
+    for (std::thread& t : threads) t.join();
+    for (size_t i = 0; i < num_streams; ++i) {
+      service.CloseSession(base + static_cast<int64_t>(i));
+    }
   }
   service.Drain();
   const double replay_seconds = replay.ElapsedSeconds();
+  service.Stop();
 
   const ServiceStats stats = service.Stats();
   size_t total_semantics = 0;
@@ -633,6 +694,109 @@ int Metrics(const Args& args) {
   return ok ? 0 : 1;
 }
 
+/// Builds engine options for the offline snapshot / restore commands.
+/// When the directory already holds a snapshot its recorded config wins
+/// (restore must match it exactly); a log-only directory falls back to
+/// serve-sim's defaults, overridable with --shards / --min-visit.
+AnalyticsEngine::Options OfflineEngineOptions(const Args& args,
+                                              const std::string& state_dir) {
+  AnalyticsEngine::Options eopts;
+  eopts.num_shards = args.GetInt("shards", 4);
+  eopts.min_visit_seconds = args.GetDouble("min-visit", 0.0);
+  std::ifstream in(state_dir + "/snapshot.c2mn",
+                   std::ios::in | std::ios::binary);
+  if (in) {
+    std::string bytes((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+    storage::SnapshotData snap;
+    if (storage::DecodeSnapshot(bytes, &snap).ok()) {
+      eopts.num_shards = snap.engine.num_shards;
+      eopts.bucket_seconds = snap.engine.bucket_seconds;
+      eopts.horizon_seconds = snap.engine.horizon_seconds;
+      eopts.min_visit_seconds = snap.engine.min_visit_seconds;
+      eopts.dwell_min_seconds = snap.engine.dwell_min_seconds;
+      eopts.dwell_max_seconds = snap.engine.dwell_max_seconds;
+      eopts.dwell_growth = snap.engine.dwell_growth;
+    }
+    // A snapshot that fails to decode is reported by Recover below with
+    // a real error message; don't pre-empt it here.
+  }
+  return eopts;
+}
+
+/// Shared recover step for the snapshot / restore subcommands.  Returns
+/// false (after printing the error) when the directory cannot be
+/// recovered.
+bool RecoverOffline(const Args& args, const char* state_dir,
+                    std::unique_ptr<AnalyticsEngine>* engine,
+                    std::unique_ptr<storage::StorageManager>* manager,
+                    storage::RecoveryStats* stats) {
+  const AnalyticsEngine::Options eopts = OfflineEngineOptions(args, state_dir);
+  engine->reset(new AnalyticsEngine(eopts));
+  storage::StorageManager::Options mopts;
+  mopts.state_dir = state_dir;
+  manager->reset(new storage::StorageManager(mopts, eopts.num_shards));
+  const Status status = (*manager)->Recover(engine->get(), stats);
+  if (!status.ok()) {
+    std::fprintf(stderr, "recovery failed: %s\n", status.ToString().c_str());
+    return false;
+  }
+  return true;
+}
+
+void PrintRecoveryReport(const storage::RecoveryStats& stats,
+                         const AnalyticsEngine& engine) {
+  const AnalyticsSnapshot snap = engine.Snapshot();
+  std::printf("snapshot          %s\n",
+              stats.snapshot_loaded ? "loaded" : "absent");
+  std::printf("log replay        %" PRIu64 " records applied (%" PRIu64
+              " visits), %" PRIu64 " skipped\n",
+              stats.replayed_records, stats.replayed_visits,
+              stats.skipped_records);
+  if (stats.truncated_torn_tail) {
+    std::printf("torn tail         truncated %" PRIu64 " bytes\n",
+                stats.truncated_bytes);
+  }
+  std::printf("recovered state   %" PRIu64 " m-semantics ingested, %" PRIu64
+              " visits retained, %d shards\n",
+              snap.semantics_ingested, snap.retained_visits,
+              engine.num_shards());
+}
+
+// Offline compaction: recover, then run one checkpoint cycle so the
+// directory collapses to a fresh snapshot plus an empty log segment.
+int SnapshotCmd(const Args& args) {
+  const char* state_dir = args.Get("state-dir");
+  if (state_dir == nullptr) return Usage();
+  std::unique_ptr<AnalyticsEngine> engine;
+  std::unique_ptr<storage::StorageManager> manager;
+  storage::RecoveryStats stats;
+  if (!RecoverOffline(args, state_dir, &engine, &manager, &stats)) return 1;
+  const Status status = manager->Checkpoint(*engine);
+  if (!status.ok()) {
+    std::fprintf(stderr, "checkpoint failed: %s\n", status.ToString().c_str());
+    return 1;
+  }
+  PrintRecoveryReport(stats, *engine);
+  std::printf("published snapshot (format v%u) to %s; log compacted to "
+              "%" PRIu64 " bytes\n",
+              storage::kSnapshotVersion, state_dir, manager->log_bytes());
+  return 0;
+}
+
+// Recover and report — the scriptable integrity check over a state
+// directory (exit 0 iff the directory is recoverable).
+int RestoreCmd(const Args& args) {
+  const char* state_dir = args.Get("state-dir");
+  if (state_dir == nullptr) return Usage();
+  std::unique_ptr<AnalyticsEngine> engine;
+  std::unique_ptr<storage::StorageManager> manager;
+  storage::RecoveryStats stats;
+  if (!RecoverOffline(args, state_dir, &engine, &manager, &stats)) return 1;
+  PrintRecoveryReport(stats, *engine);
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -658,5 +822,7 @@ int main(int argc, char** argv) {
   if (args.command == "serve-sim") return ServeSim(args);
   if (args.command == "analytics") return Analytics(args);
   if (args.command == "metrics") return Metrics(args);
+  if (args.command == "snapshot") return SnapshotCmd(args);
+  if (args.command == "restore") return RestoreCmd(args);
   return Usage();
 }
