@@ -7,12 +7,18 @@
 // set.  BM_IngestEvicting drives a deliberately tiny retention horizon
 // so every few ingests recycle a ring bucket.  The read side runs both
 // top-k paths against the same pre-loaded engine:
-// BM_TopK*PreAgg folds the incrementally maintained per-shard sketches
-// (cost tracks distinct regions), BM_TopK*Scan forces the fallback that
-// re-evaluates the predicate over every retained visit — their ratio is
-// the pre-aggregation win.  BM_StandingQueryPush measures the ingest
-// path with a standing continuous query subscribed, reporting how long
-// a delta push takes end to end.
+// BM_TopK*PreAgg answers from the incrementally maintained per-shard
+// sketches via the bounded threshold merge over their cached sorted
+// views (the warm path a poll loop sees), BM_TopKFrequentRegionPairsMerge
+// ingests one visit per iteration so every poll pays the sorted-view
+// rebuild too (the cold path under live ingest), and BM_TopK*Scan forces
+// the fallback that re-evaluates the predicate over every retained
+// visit — preagg vs. scan is the pre-aggregation win.
+// BM_StandingQueryPush measures the ingest path with a standing
+// continuous query subscribed, reporting how long a delta push takes end
+// to end; BM_SlidingWindowAdvance does the same with a trailing-window
+// standing query, so each ingest pays watermark rotation + window expiry
+// on top of the sketch update.
 //
 // Results are emitted as machine-readable JSON (default
 // BENCH_analytics.json in the working directory; override with
@@ -129,19 +135,25 @@ void BM_IngestEvicting(benchmark::State& state) {
 }
 BENCHMARK(BM_IngestEvicting);
 
-/// An engine pre-loaded with C2MN_BENCH_ANALYTICS_VISITS retained stays,
-/// shared by the read-side benchmarks.
+/// A fresh 4-shard engine pre-loaded with C2MN_BENCH_ANALYTICS_VISITS
+/// retained stays; `stream` (when non-null) receives the stream it was
+/// loaded from so callers can keep replaying it.
+AnalyticsEngine* MakeLoadedEngine(const SyntheticStream** stream) {
+  const size_t n =
+      static_cast<size_t>(EnvInt("C2MN_BENCH_ANALYTICS_VISITS", 100000));
+  static const SyntheticStream& load = *new SyntheticStream(n);
+  auto* e = new AnalyticsEngine(EngineOptions(4));
+  for (size_t i = 0; i < load.semantics.size(); ++i) {
+    e->Ingest(load.object_ids[i], load.semantics[i]);
+  }
+  if (stream != nullptr) *stream = &load;
+  return e;
+}
+
+/// The shared read-only pre-loaded engine (the mutating merge benchmark
+/// loads its own copy so this one's retained set stays fixed).
 AnalyticsEngine& LoadedEngine() {
-  static AnalyticsEngine* engine = [] {
-    const size_t n = static_cast<size_t>(
-        EnvInt("C2MN_BENCH_ANALYTICS_VISITS", 100000));
-    auto* e = new AnalyticsEngine(EngineOptions(4));
-    const SyntheticStream stream(n);
-    for (size_t i = 0; i < stream.semantics.size(); ++i) {
-      e->Ingest(stream.object_ids[i], stream.semantics[i]);
-    }
-    return e;
-  }();
+  static AnalyticsEngine* engine = MakeLoadedEngine(nullptr);
   return *engine;
 }
 
@@ -159,15 +171,19 @@ void BM_TopKPopularRegionsPreAgg(benchmark::State& state) {
   AnalyticsEngine& engine = LoadedEngine();
   const std::vector<RegionId> regions = AllRegions();
   const TimeWindow window{0.0, 1e18};
-  const uint64_t preagg_before = engine.Snapshot().preagg_queries;
+  const AnalyticsSnapshot before = engine.Snapshot();
   for (auto _ : state) {
     auto top = engine.TopKPopularRegions(regions, window, 10, 10.0);
     benchmark::DoNotOptimize(top);
   }
-  if (engine.Snapshot().preagg_queries == preagg_before) {
+  const AnalyticsSnapshot after = engine.Snapshot();
+  // Per-kind guard: the *region* polls specifically must have taken the
+  // merge path, and none may have leaked to the scan.
+  if (after.preagg_region_queries == before.preagg_region_queries ||
+      after.scan_region_queries != before.scan_region_queries) {
     std::fprintf(stderr,
                  "BM_TopKPopularRegionsPreAgg did not hit the "
-                 "pre-aggregated path\n");
+                 "pre-aggregated region path\n");
     std::abort();
   }
   state.counters["retained_visits"] = static_cast<double>(
@@ -196,19 +212,65 @@ void BM_TopKFrequentRegionPairsPreAgg(benchmark::State& state) {
   AnalyticsEngine& engine = LoadedEngine();
   const std::vector<RegionId> regions = AllRegions();
   const TimeWindow window{0.0, 1e18};
-  const uint64_t preagg_before = engine.Snapshot().preagg_queries;
+  const AnalyticsSnapshot before = engine.Snapshot();
   for (auto _ : state) {
     auto top = engine.TopKFrequentRegionPairs(regions, window, 10, 10.0);
     benchmark::DoNotOptimize(top);
   }
-  if (engine.Snapshot().preagg_queries == preagg_before) {
+  const AnalyticsSnapshot after = engine.Snapshot();
+  // Per-kind guard: the *pair* polls specifically must have taken the
+  // merge path — the old combined counter could not tell a fast pair
+  // poll from a fast region poll.
+  if (after.preagg_pair_queries == before.preagg_pair_queries ||
+      after.scan_pair_queries != before.scan_pair_queries) {
     std::fprintf(stderr,
                  "BM_TopKFrequentRegionPairsPreAgg did not hit the "
-                 "pre-aggregated path\n");
+                 "pre-aggregated pair path\n");
     std::abort();
   }
+  state.counters["retained_visits"] = static_cast<double>(
+      engine.Snapshot().retained_visits);
 }
 BENCHMARK(BM_TopKFrequentRegionPairsPreAgg);
+
+/// The pair merge under live ingest: one visit lands between polls, so
+/// every poll pays the per-shard sorted-view rebuild before the bounded
+/// threshold merge (the PreAgg benchmark above amortizes the rebuild
+/// away via the sketch's cache).
+void BM_TopKFrequentRegionPairsMerge(benchmark::State& state) {
+  static const SyntheticStream* stream = nullptr;
+  static AnalyticsEngine* engine = MakeLoadedEngine(&stream);
+  const std::vector<RegionId> regions = AllRegions();
+  const TimeWindow window{0.0, 1e18};
+  const AnalyticsSnapshot before = engine->Snapshot();
+  size_t i = 0;
+  double offset = stream->span_seconds;
+  for (auto _ : state) {
+    state.PauseTiming();
+    MSemantics ms = stream->semantics[i];
+    ms.t_start += offset;
+    ms.t_end += offset;
+    engine->Ingest(stream->object_ids[i], ms);
+    if (++i == stream->semantics.size()) {
+      i = 0;
+      offset += stream->span_seconds;
+    }
+    state.ResumeTiming();
+    auto top = engine->TopKFrequentRegionPairs(regions, window, 10, 10.0);
+    benchmark::DoNotOptimize(top);
+  }
+  const AnalyticsSnapshot after = engine->Snapshot();
+  if (after.preagg_pair_queries == before.preagg_pair_queries ||
+      after.scan_pair_queries != before.scan_pair_queries) {
+    std::fprintf(stderr,
+                 "BM_TopKFrequentRegionPairsMerge did not hit the "
+                 "pre-aggregated pair path\n");
+    std::abort();
+  }
+  state.counters["retained_visits"] =
+      static_cast<double>(after.retained_visits);
+}
+BENCHMARK(BM_TopKFrequentRegionPairsMerge);
 
 void BM_TopKFrequentRegionPairsScan(benchmark::State& state) {
   AnalyticsEngine& engine = LoadedEngine();
@@ -262,6 +324,52 @@ void BM_StandingQueryPush(benchmark::State& state) {
   state.counters["push_p99_us"] = push_latency.Quantile(0.99) * 1e6;
 }
 BENCHMARK(BM_StandingQueryPush);
+
+/// Ingest with a sliding-window standing top-10 subscribed (trailing
+/// 600 s over 60 s buckets): each retained stay rotates the trailing
+/// window on watermark advance, expires visits that slid out, and
+/// pushes a delta when the in-window answer changed.  The rotation /
+/// expiry counters verify the window actually slid during the run.
+void BM_SlidingWindowAdvance(benchmark::State& state) {
+  static const SyntheticStream& stream = *new SyntheticStream(1 << 16);
+  AnalyticsEngine engine(EngineOptions(1));
+  StandingQuery standing;
+  standing.spec.all_regions = true;
+  standing.spec.min_visit_seconds = 10.0;
+  standing.k = 10;
+  standing.trailing_seconds = 600.0;
+  uint64_t deltas = 0;
+  engine.Subscribe(standing,
+                   [&deltas](const StandingQueryDelta&) { ++deltas; });
+  size_t i = 0;
+  double offset = 0.0;
+  const size_t n = stream.semantics.size();
+  for (auto _ : state) {
+    MSemantics ms = stream.semantics[i];
+    ms.t_start += offset;
+    ms.t_end += offset;
+    engine.Ingest(stream.object_ids[i], ms);
+    if (++i == n) {
+      i = 0;
+      offset += stream.span_seconds;
+    }
+  }
+  state.SetItemsProcessed(state.iterations());
+  const AnalyticsSnapshot snap = engine.Snapshot();
+  // Calibration passes run a handful of iterations — too few to cross a
+  // 60 s bucket boundary.  Only enforce rotation on real runs.
+  if (state.iterations() >= 10000 && snap.window_rotations == 0) {
+    std::fprintf(stderr,
+                 "BM_SlidingWindowAdvance: the trailing window never "
+                 "rotated\n");
+    std::abort();
+  }
+  state.counters["deltas"] = static_cast<double>(deltas);
+  state.counters["rotations"] = static_cast<double>(snap.window_rotations);
+  state.counters["expired"] =
+      static_cast<double>(snap.window_expired_visits);
+}
+BENCHMARK(BM_SlidingWindowAdvance);
 
 void BM_Snapshot(benchmark::State& state) {
   AnalyticsEngine& engine = LoadedEngine();

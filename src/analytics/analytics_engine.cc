@@ -12,6 +12,7 @@
 #include "common/stopwatch.h"
 #include "common/streaming_histogram.h"
 #include "common/sync.h"
+#include "query/sliding_window.h"
 
 namespace c2mn {
 
@@ -99,11 +100,20 @@ struct AnalyticsEngine::Shard {
 /// last pushed answer, all behind `mu` so deltas carry consistent
 /// sequence numbers no matter which worker fires them.
 struct AnalyticsEngine::Subscription {
-  Subscription(StandingQuery q, StandingQueryCallback cb)
+  /// `window_options` non-null makes this a sliding-window subscription
+  /// (the caller has already derived window_buckets from
+  /// trailing_seconds and clamped it to the retention ring).
+  Subscription(StandingQuery q, StandingQueryCallback cb,
+               const query::SlidingWindowSketch::Options* window_options)
       : query(std::move(q)),
         spec(query.spec),
         sketch(&spec),
-        callback(std::move(cb)) {}
+        callback(std::move(cb)) {
+    if (window_options != nullptr) {
+      window = std::make_unique<query::SlidingWindowSketch>(&spec,
+                                                            *window_options);
+    }
+  }
 
   /// Written once (under subs_mu_ + mu) before the subscription is
   /// published; immutable afterwards, so readers need no lock.
@@ -114,6 +124,10 @@ struct AnalyticsEngine::Subscription {
   Mutex mu{LockRank::kAnalyticsSubscription,
            "AnalyticsEngine::Subscription::mu"};
   query::TopKSketch sketch C2MN_GUARDED_BY(mu);
+  /// Non-null iff query.trailing_seconds > 0: the trailing-window
+  /// counters the answer ranks over instead of `sketch` (which stays
+  /// unused for sliding subscriptions).
+  std::unique_ptr<query::SlidingWindowSketch> window C2MN_GUARDED_BY(mu);
   StandingQueryCallback callback C2MN_GUARDED_BY(mu);
   std::vector<RegionId> last_regions C2MN_GUARDED_BY(mu);
   std::vector<RegionPair> last_pairs C2MN_GUARDED_BY(mu);
@@ -127,14 +141,18 @@ struct AnalyticsEngine::Subscription {
     StandingQueryDelta delta;
     delta.subscription_id = id;
     if (query.kind == StandingQuery::Kind::kPopularRegions) {
-      std::vector<RegionId> answer = sketch.TopKRegions(query.k);
+      std::vector<RegionId> answer = window != nullptr
+                                         ? window->TopKRegions(query.k)
+                                         : sketch.TopKRegions(query.k);
       if (answer == last_regions && sequence > 0) return false;
       delta.regions_entered = SetDifference(answer, last_regions);
       delta.regions_exited = SetDifference(last_regions, answer);
       delta.regions = answer;
       last_regions = std::move(answer);
     } else {
-      std::vector<RegionPair> answer = sketch.TopKPairs(query.k);
+      std::vector<RegionPair> answer = window != nullptr
+                                           ? window->TopKPairs(query.k)
+                                           : sketch.TopKPairs(query.k);
       if (answer == last_pairs && sequence > 0) return false;
       delta.pairs_entered = SetDifference(answer, last_pairs);
       delta.pairs_exited = SetDifference(last_pairs, answer);
@@ -191,15 +209,34 @@ AnalyticsEngine::AnalyticsEngine(Options options)
   deltas_pushed_total_ = registry_->GetCounter(
       "c2mn_analytics_deltas_pushed_total",
       "Standing-query deltas delivered to subscriber callbacks");
-  preagg_queries_total_ = registry_->GetCounter(
-      "c2mn_query_topk_total", "Top-k polls by the path that served them",
-      {{"path", "preagg"}});
-  scan_queries_total_ = registry_->GetCounter(
-      "c2mn_query_topk_total", "Top-k polls by the path that served them",
-      {{"path", "scan"}});
+  preagg_region_queries_total_ = registry_->GetCounter(
+      "c2mn_query_topk_total",
+      "Top-k polls by serving path and query kind",
+      {{"kind", "regions"}, {"path", "preagg"}});
+  preagg_pair_queries_total_ = registry_->GetCounter(
+      "c2mn_query_topk_total",
+      "Top-k polls by serving path and query kind",
+      {{"kind", "pairs"}, {"path", "preagg"}});
+  scan_region_queries_total_ = registry_->GetCounter(
+      "c2mn_query_topk_total",
+      "Top-k polls by serving path and query kind",
+      {{"kind", "regions"}, {"path", "scan"}});
+  scan_pair_queries_total_ = registry_->GetCounter(
+      "c2mn_query_topk_total",
+      "Top-k polls by serving path and query kind",
+      {{"kind", "pairs"}, {"path", "scan"}});
+  window_rotations_total_ = registry_->GetCounter(
+      "c2mn_analytics_window_rotations_total",
+      "Watermark bucket rotations absorbed by sliding standing queries");
+  window_expired_total_ = registry_->GetCounter(
+      "c2mn_analytics_window_expired_total",
+      "Visits retracted because a trailing window slid past them");
   standing_queries_gauge_ = registry_->GetGauge(
       "c2mn_analytics_standing_queries",
       "Standing continuous queries currently subscribed");
+  sliding_queries_gauge_ = registry_->GetGauge(
+      "c2mn_analytics_sliding_queries",
+      "Standing queries with a trailing window currently subscribed");
   const obs::Histogram::Config fold_cfg{1e-8, 1e2, 2.0};
   preagg_fold_seconds_ = registry_->GetHistogram(
       "c2mn_query_fold_seconds", "Time to answer one top-k poll, by path",
@@ -383,6 +420,8 @@ int AnalyticsEngine::NotifySubscriptions(int shard_index,
                                          const StayVisit* added,
                                          const std::vector<StayVisit>& evicted) {
   int fired = 0;
+  uint64_t rotations = 0;
+  uint64_t expired = 0;
   ReaderMutexLock lock(&subs_mu_);
   for (const auto& sub : subs_) {
     MutexLock sub_lock(&sub->mu);
@@ -391,16 +430,38 @@ int AnalyticsEngine::NotifySubscriptions(int shard_index,
       continue;
     }
     bool changed = false;
-    if (added != nullptr) {
-      changed |= sub->sketch.AddVisit(added->object_id, added->region,
-                                      added->t_start, added->t_end);
-    }
-    for (const StayVisit& visit : evicted) {
-      changed |= sub->sketch.RemoveVisit(visit.object_id, visit.region,
-                                         visit.t_start, visit.t_end);
+    if (sub->window != nullptr) {
+      // Every retained stay rotates the window (watermark advance can
+      // change the answer even when the visit itself matches nothing);
+      // retention evictions are retracted no-op-safely — with the
+      // window clamped to the retention ring they have already expired
+      // out of it.
+      const uint64_t rotations_before = sub->window->rotations();
+      const uint64_t expired_before = sub->window->expired_visits();
+      if (added != nullptr) {
+        changed |= sub->window->AddVisit(added->object_id, added->region,
+                                         added->t_start, added->t_end);
+      }
+      for (const StayVisit& visit : evicted) {
+        changed |= sub->window->RemoveVisit(visit.object_id, visit.region,
+                                            visit.t_start, visit.t_end);
+      }
+      rotations += sub->window->rotations() - rotations_before;
+      expired += sub->window->expired_visits() - expired_before;
+    } else {
+      if (added != nullptr) {
+        changed |= sub->sketch.AddVisit(added->object_id, added->region,
+                                        added->t_start, added->t_end);
+      }
+      for (const StayVisit& visit : evicted) {
+        changed |= sub->sketch.RemoveVisit(visit.object_id, visit.region,
+                                           visit.t_start, visit.t_end);
+      }
     }
     if (changed && sub->EmitIfChanged()) ++fired;
   }
+  if (rotations > 0) window_rotations_total_->Increment(rotations);
+  if (expired > 0) window_expired_total_->Increment(expired);
   if (fired > 0) {
     deltas_pushed_total_->Increment(static_cast<uint64_t>(fired));
   }
@@ -409,8 +470,26 @@ int AnalyticsEngine::NotifySubscriptions(int shard_index,
 
 int AnalyticsEngine::Subscribe(StandingQuery query,
                                StandingQueryCallback callback) {
-  auto sub = std::make_shared<Subscription>(std::move(query),
-                                            std::move(callback));
+  // A usable trailing window is finite and positive; anything else
+  // (including the default 0) means the legacy whole-horizon behavior.
+  // The width is quantized to retention buckets and clamped to the
+  // ring: a window wider than retention cannot see more than retention
+  // holds anyway.
+  query::SlidingWindowSketch::Options window_options;
+  bool sliding = false;
+  if (std::isfinite(query.trailing_seconds) && query.trailing_seconds > 0.0) {
+    sliding = true;
+    window_options.bucket_seconds = options_.bucket_seconds;
+    const double buckets_d =
+        std::ceil(query.trailing_seconds / options_.bucket_seconds);
+    window_options.window_buckets =
+        buckets_d >= static_cast<double>(ring_buckets_)
+            ? ring_buckets_
+            : std::max<int64_t>(static_cast<int64_t>(buckets_d), 1);
+  }
+  auto sub = std::make_shared<Subscription>(
+      std::move(query), std::move(callback),
+      sliding ? &window_options : nullptr);
   // Lock order everywhere: subs_mu_ -> sub->mu -> a shard mutex.  The
   // subscription's own mutex stays held across seeding + publication +
   // the initial emit, so any worker that sees the subscription right
@@ -426,6 +505,11 @@ int AnalyticsEngine::Subscribe(StandingQuery query,
     standing_count_.fetch_add(1, std::memory_order_relaxed);
     standing_queries_gauge_->Set(
         static_cast<double>(standing_count_.load(std::memory_order_relaxed)));
+    if (sliding) {
+      sliding_count_.fetch_add(1, std::memory_order_relaxed);
+      sliding_queries_gauge_->Set(
+          static_cast<double>(sliding_count_.load(std::memory_order_relaxed)));
+    }
     sub->id = next_subscription_id_++;
     sub->seeded_seq.assign(shards_.size(), 0);
     for (size_t i = 0; i < shards_.size(); ++i) {
@@ -434,8 +518,17 @@ int AnalyticsEngine::Subscribe(StandingQuery query,
       for (const auto& [index, bucket] : s.buckets) {
         (void)index;
         for (const StayVisit& visit : bucket.visits) {
-          sub->sketch.AddVisit(visit.object_id, visit.region, visit.t_start,
-                               visit.t_end);
+          // The sliding seed converges regardless of the cross-shard
+          // interleaving: window membership depends only on the final
+          // watermark, and visits a low-watermark shard admitted expire
+          // as soon as a later shard advances it.
+          if (sub->window != nullptr) {
+            sub->window->AddVisit(visit.object_id, visit.region,
+                                  visit.t_start, visit.t_end);
+          } else {
+            sub->sketch.AddVisit(visit.object_id, visit.region, visit.t_start,
+                                 visit.t_end);
+          }
         }
       }
       sub->seeded_seq[i] = s.mutation_seq;
@@ -454,10 +547,17 @@ bool AnalyticsEngine::Unsubscribe(int subscription_id) {
   WriterMutexLock lock(&subs_mu_);
   for (auto it = subs_.begin(); it != subs_.end(); ++it) {
     if ((*it)->id == subscription_id) {
+      const bool sliding = std::isfinite((*it)->query.trailing_seconds) &&
+                           (*it)->query.trailing_seconds > 0.0;
       subs_.erase(it);
       standing_count_.fetch_sub(1, std::memory_order_relaxed);
       standing_queries_gauge_->Set(
           static_cast<double>(standing_count_.load(std::memory_order_relaxed)));
+      if (sliding) {
+        sliding_count_.fetch_sub(1, std::memory_order_relaxed);
+        sliding_queries_gauge_->Set(static_cast<double>(
+            sliding_count_.load(std::memory_order_relaxed)));
+      }
       return true;
     }
   }
@@ -486,19 +586,24 @@ void AnalyticsEngine::ForEachRetainedVisit(const TimeWindow& window,
   }
 }
 
-template <typename CountMap>
-bool AnalyticsEngine::FoldPreAgg(const TimeWindow& window,
-                                 CountMap* counts) const {
+template <typename Key>
+bool AnalyticsEngine::CollectPreAggSorted(
+    const TimeWindow& window,
+    std::vector<std::shared_ptr<const query::SortedCounts<Key>>>* views)
+    const {
   // The sketches count every retained visit (their window is unbounded),
-  // so their fold answers exactly when the query window covers all of
+  // so their counters answer exactly when the query window covers all of
   // them: it must reach past the latest visit start and before the
-  // earliest visit end.  Counts and the bounds that validate them are
-  // read under one lock acquisition per shard, so a racing ingest can
-  // only fail the coverage check (routing the query to the scan), never
-  // slip an out-of-window visit into an accepted fold.  Bounds come
-  // from the per-bucket aggregates: O(live buckets), not O(visits).
+  // earliest visit end.  Each shard's sorted view and the bounds that
+  // validate it are read under one lock acquisition, so a racing ingest
+  // can only fail the coverage check (routing the query to the scan),
+  // never slip an out-of-window visit into an accepted merge.  Bounds
+  // come from the per-bucket aggregates: O(live buckets), not
+  // O(visits); the sorted views are cached inside the sketches, so an
+  // unchanged shard costs a shared_ptr copy here.
   double max_t_start = -std::numeric_limits<double>::infinity();
   double min_t_end = std::numeric_limits<double>::infinity();
+  views->reserve(shards_.size());
   for (const auto& shard : shards_) {
     MutexLock lock(&shard->mu);
     for (const auto& [index, bucket] : shard->buckets) {
@@ -506,13 +611,18 @@ bool AnalyticsEngine::FoldPreAgg(const TimeWindow& window,
       max_t_start = std::max(max_t_start, bucket.max_t_start);
       min_t_end = std::min(min_t_end, bucket.min_t_end);
     }
-    if constexpr (std::is_same_v<typename CountMap::key_type, RegionId>) {
-      shard->preagg.AccumulateRegionCounts(counts);
+    // Coverage only shrinks as bounds widen, so a failure here is
+    // final: skip building the remaining views.
+    if (!(window.t_start <= min_t_end && window.t_end >= max_t_start)) {
+      return false;
+    }
+    if constexpr (std::is_same_v<Key, RegionId>) {
+      views->push_back(shard->preagg.SortedRegions());
     } else {
-      shard->preagg.AccumulatePairCounts(counts);
+      views->push_back(shard->preagg.SortedPairs());
     }
   }
-  return window.t_start <= min_t_end && window.t_end >= max_t_start;
+  return true;
 }
 
 std::vector<RegionId> AnalyticsEngine::TopKPopularRegions(
@@ -520,22 +630,21 @@ std::vector<RegionId> AnalyticsEngine::TopKPopularRegions(
     size_t k, double min_visit_seconds) const {
   const Stopwatch fold_watch;
   if (min_visit_seconds == options_.min_visit_seconds) {
-    std::map<RegionId, int64_t> counts;
-    if (FoldPreAgg(window, &counts)) {
-      preagg_queries_total_->Increment();
+    std::vector<std::shared_ptr<const query::SortedCounts<RegionId>>> views;
+    if (CollectPreAggSorted(window, &views)) {
+      preagg_region_queries_total_->Increment();
       const std::unordered_set<RegionId> query_set(query_regions.begin(),
                                                    query_regions.end());
-      std::vector<std::pair<RegionId, int64_t>> filtered;
-      filtered.reserve(counts.size());
-      for (const auto& [region, count] : counts) {
-        if (query_set.count(region) > 0) filtered.emplace_back(region, count);
-      }
-      auto answer = query::RankTopK(std::move(filtered), k);
+      auto answer = query::ThresholdMergeTopK(
+          views, k,
+          [&query_set](const RegionId& region) {
+            return query_set.count(region) > 0;
+          });
       preagg_fold_seconds_->Observe(fold_watch.ElapsedSeconds());
       return answer;
     }
   }
-  scan_queries_total_->Increment();
+  scan_region_queries_total_->Increment();
   // Scan fallback: the same shared predicate and accumulation, applied
   // to each retained visit the window can reach.
   const query::CompiledSpec spec(
@@ -556,28 +665,25 @@ AnalyticsEngine::TopKFrequentRegionPairs(
     size_t k, double min_visit_seconds) const {
   const Stopwatch fold_watch;
   if (min_visit_seconds == options_.min_visit_seconds) {
-    std::map<RegionPair, int64_t> counts;
-    if (FoldPreAgg(window, &counts)) {
-      preagg_queries_total_->Increment();
+    std::vector<std::shared_ptr<const query::SortedCounts<RegionPair>>> views;
+    if (CollectPreAggSorted(window, &views)) {
+      preagg_pair_queries_total_->Increment();
       // A pair qualifies iff both endpoints are queried; its co-visit
       // count never depends on other regions, so endpoint filtering is
       // exact.
       const std::unordered_set<RegionId> query_set(query_regions.begin(),
                                                    query_regions.end());
-      std::vector<std::pair<RegionPair, int64_t>> filtered;
-      filtered.reserve(counts.size());
-      for (const auto& [pair, count] : counts) {
-        if (query_set.count(pair.first) > 0 &&
-            query_set.count(pair.second) > 0) {
-          filtered.emplace_back(pair, count);
-        }
-      }
-      auto answer = query::RankTopK(std::move(filtered), k);
+      auto answer = query::ThresholdMergeTopK(
+          views, k,
+          [&query_set](const RegionPair& pair) {
+            return query_set.count(pair.first) > 0 &&
+                   query_set.count(pair.second) > 0;
+          });
       preagg_fold_seconds_->Observe(fold_watch.ElapsedSeconds());
       return answer;
     }
   }
-  scan_queries_total_->Increment();
+  scan_pair_queries_total_->Increment();
   const query::CompiledSpec spec(
       query::VisitSpec{query_regions, false, window, min_visit_seconds});
   query::TopKSketch sketch(&spec);
@@ -640,11 +746,21 @@ AnalyticsSnapshot AnalyticsEngine::Snapshot() const {
     }
     for (const auto& [key, count] : shard->flows) flows[key] += count;
   }
-  snapshot.preagg_queries = preagg_queries_total_->Value();
-  snapshot.scan_queries = scan_queries_total_->Value();
-  // The atomic mirror, not subs_mu_: a standing-query delta callback may
-  // call Snapshot() without self-deadlocking on the notify walk's lock.
+  snapshot.preagg_region_queries = preagg_region_queries_total_->Value();
+  snapshot.preagg_pair_queries = preagg_pair_queries_total_->Value();
+  snapshot.scan_region_queries = scan_region_queries_total_->Value();
+  snapshot.scan_pair_queries = scan_pair_queries_total_->Value();
+  snapshot.preagg_queries =
+      snapshot.preagg_region_queries + snapshot.preagg_pair_queries;
+  snapshot.scan_queries =
+      snapshot.scan_region_queries + snapshot.scan_pair_queries;
+  snapshot.window_rotations = window_rotations_total_->Value();
+  snapshot.window_expired_visits = window_expired_total_->Value();
+  // The atomic mirrors, not subs_mu_: a standing-query delta callback
+  // may call Snapshot() without self-deadlocking on the notify walk's
+  // lock.
   snapshot.standing_queries = standing_count_.load(std::memory_order_relaxed);
+  snapshot.sliding_queries = sliding_count_.load(std::memory_order_relaxed);
   snapshot.deltas_pushed = deltas_pushed_total_->Value();
   snapshot.regions.reserve(regions.size());
   for (const auto& [region, merged] : regions) {

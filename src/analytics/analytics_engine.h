@@ -68,9 +68,25 @@ struct AnalyticsSnapshot {
   double watermark_seconds = 0.0;
   /// Top-k polls answered from the pre-aggregated sketches vs. by
   /// scanning retained visits (a query falls back to the scan when its
-  /// window or threshold does not match the maintained spec).
+  /// window or threshold does not match the maintained spec).  The
+  /// totals are the sums of the per-kind splits below.
   uint64_t preagg_queries = 0;
   uint64_t scan_queries = 0;
+  /// The same counts split by query kind (region vs pair polls), so the
+  /// pair fast path is assertable on its own — the bench guard needs to
+  /// know the *pair* poll took the merge path, not just that some poll
+  /// did.
+  uint64_t preagg_region_queries = 0;
+  uint64_t preagg_pair_queries = 0;
+  uint64_t scan_region_queries = 0;
+  uint64_t scan_pair_queries = 0;
+  /// Sliding-window standing queries (StandingQuery::trailing_seconds >
+  /// 0) currently subscribed, the watermark bucket rotations their
+  /// windows have absorbed, and the visits retracted because a window
+  /// slid past them.
+  size_t sliding_queries = 0;
+  uint64_t window_rotations = 0;
+  uint64_t window_expired_visits = 0;
   /// Standing continuous queries currently subscribed, and the total
   /// deltas pushed to their callbacks so far.
   size_t standing_queries = 0;
@@ -286,8 +302,11 @@ class AnalyticsEngine {
   /// seeded from the currently retained visits and `callback` is invoked
   /// immediately (on this thread) with the initial answer as delta
   /// sequence 1; afterwards deltas fire on the worker whose ingest (or
-  /// retention-aging) changed the answer set.  Returns the subscription
-  /// id.
+  /// retention-aging) changed the answer set.  A query with
+  /// trailing_seconds > 0 ranks only the trailing window behind the
+  /// watermark (see StandingQuery), re-evaluated on every watermark
+  /// advance; its window width is clamped to the retention ring.
+  /// Returns the subscription id.
   int Subscribe(StandingQuery query, StandingQueryCallback callback);
 
   /// Removes a subscription; no callbacks fire after this returns.
@@ -337,15 +356,18 @@ class AnalyticsEngine {
   /// time, so buckets entirely before the window's start are skipped.
   template <typename Fn>
   void ForEachRetainedVisit(const TimeWindow& window, Fn&& fn) const;
-  /// Folds every shard's pre-aggregated counters (region or pair) and
-  /// retained-visit time bounds in one pass — counts and the bounds
-  /// validating them are read under the same lock acquisition, so a
-  /// race with ingest can only route the query to the scan fallback,
-  /// never count a visit outside the window.  Returns true when
-  /// `window` covers every retained visit (the folded counts answer the
-  /// query exactly).
-  template <typename CountMap>
-  bool FoldPreAgg(const TimeWindow& window, CountMap* counts) const;
+  /// Collects each shard's count-descending counter snapshot (region or
+  /// pair, by Key) for the bounded threshold merge, validating window
+  /// coverage from the retained-visit time bounds in the same per-shard
+  /// lock acquisition — a race with ingest can only route the query to
+  /// the scan fallback, never slip an out-of-window visit into an
+  /// accepted merge.  Returns true when `window` covers every retained
+  /// visit (the merged counters answer the query exactly).
+  template <typename Key>
+  bool CollectPreAggSorted(
+      const TimeWindow& window,
+      std::vector<std::shared_ptr<const query::SortedCounts<Key>>>* views)
+      const;
   /// Applies one ingest's visit delta (an added visit and/or evicted
   /// visits) to every subscription; returns the number of deltas pushed.
   int NotifySubscriptions(int shard_index, uint64_t mutation_seq,
@@ -365,9 +387,19 @@ class AnalyticsEngine {
   obs::Counter* invalid_dropped_total_ = nullptr;
   obs::Counter* buckets_evicted_total_ = nullptr;
   obs::Counter* deltas_pushed_total_ = nullptr;
-  obs::Counter* preagg_queries_total_ = nullptr;
-  obs::Counter* scan_queries_total_ = nullptr;
+  /// Top-k poll counters split by serving path *and* query kind, so
+  /// dashboards (and the bench fast-path guard) can watch the pair
+  /// merge path specifically.
+  obs::Counter* preagg_region_queries_total_ = nullptr;
+  obs::Counter* preagg_pair_queries_total_ = nullptr;
+  obs::Counter* scan_region_queries_total_ = nullptr;
+  obs::Counter* scan_pair_queries_total_ = nullptr;
+  /// Sliding-window standing queries: bucket rotations absorbed and
+  /// visits expired out of trailing windows, across all subscriptions.
+  obs::Counter* window_rotations_total_ = nullptr;
+  obs::Counter* window_expired_total_ = nullptr;
   obs::Gauge* standing_queries_gauge_ = nullptr;
+  obs::Gauge* sliding_queries_gauge_ = nullptr;
   /// Fold time of one top-k poll, labeled by the path that served it.
   obs::Histogram* preagg_fold_seconds_ = nullptr;
   obs::Histogram* scan_fold_seconds_ = nullptr;
@@ -399,6 +431,9 @@ class AnalyticsEngine {
   /// the shards, so any mutation a seed misses sees a non-zero count
   /// (the shard mutex orders the two).
   std::atomic<size_t> standing_count_{0};
+  /// Subset of standing_count_ with a trailing window, mirrored for the
+  /// same Snapshot()-without-subs_mu_ reason.
+  std::atomic<size_t> sliding_count_{0};
 };
 
 }  // namespace c2mn

@@ -6,6 +6,8 @@ namespace query {
 bool TopKSketch::AddVisit(int64_t object_id, RegionId region, double t_start,
                           double t_end) {
   if (!spec_->MatchesStay(region, t_start, t_end)) return false;
+  sorted_regions_.reset();
+  sorted_pairs_.reset();
   ++region_counts_[region];
   auto& refs = object_region_refs_[object_id];
   if (++refs[region] == 1) {
@@ -22,6 +24,8 @@ bool TopKSketch::AddVisit(int64_t object_id, RegionId region, double t_start,
 bool TopKSketch::RemoveVisit(int64_t object_id, RegionId region,
                              double t_start, double t_end) {
   if (!spec_->MatchesStay(region, t_start, t_end)) return false;
+  sorted_regions_.reset();
+  sorted_pairs_.reset();
   auto region_it = region_counts_.find(region);
   if (region_it != region_counts_.end() && --region_it->second == 0) {
     region_counts_.erase(region_it);
@@ -77,7 +81,25 @@ TopKSketch::State TopKSketch::SaveState() const {
   return state;
 }
 
+std::shared_ptr<const SortedCounts<RegionId>> TopKSketch::SortedRegions()
+    const {
+  if (sorted_regions_ == nullptr) {
+    sorted_regions_ = SortedCounts<RegionId>::FromCounts(region_counts_);
+  }
+  return sorted_regions_;
+}
+
+std::shared_ptr<const SortedCounts<RegionPair>> TopKSketch::SortedPairs()
+    const {
+  if (sorted_pairs_ == nullptr) {
+    sorted_pairs_ = SortedCounts<RegionPair>::FromCounts(pair_counts_);
+  }
+  return sorted_pairs_;
+}
+
 void TopKSketch::RestoreState(const State& state) {
+  sorted_regions_.reset();
+  sorted_pairs_.reset();
   region_counts_.clear();
   pair_counts_.clear();
   object_region_refs_.clear();

@@ -6,6 +6,7 @@
 #include <functional>
 #include <limits>
 #include <map>
+#include <memory>
 #include <unordered_map>
 #include <unordered_set>
 #include <utility>
@@ -139,6 +140,229 @@ std::vector<Key> RankTopK(std::vector<std::pair<Key, int64_t>> counted,
   return out;
 }
 
+/// \brief One shard's counters frozen in the two orders the bounded
+/// threshold merge needs: `by_count` for sorted access (the canonical
+/// count-descending, key-ascending order, so cursor heads upper-bound
+/// everything below them) and `by_key` for O(log n) random-access
+/// probes.  Immutable once built — a merge holds snapshots from many
+/// shards without holding any shard lock.
+template <typename Key>
+struct SortedCounts {
+  /// Count descending, key ascending on ties (the RankTopK order).
+  std::vector<std::pair<Key, int64_t>> by_count;
+  /// Key ascending; each key appears at most once.
+  std::vector<std::pair<Key, int64_t>> by_key;
+
+  /// This shard's count for `key`, or 0 when absent.
+  int64_t Probe(const Key& key) const {
+    const auto it = std::lower_bound(
+        by_key.begin(), by_key.end(), key,
+        [](const std::pair<Key, int64_t>& entry, const Key& probe) {
+          return entry.first < probe;
+        });
+    return it != by_key.end() && it->first == key ? it->second : 0;
+  }
+
+  /// Freezes any key->count map (each key unique) into both orders.
+  template <typename Map>
+  static std::shared_ptr<const SortedCounts> FromCounts(const Map& counts) {
+    auto out = std::make_shared<SortedCounts>();
+    out->by_key.assign(counts.begin(), counts.end());
+    std::sort(out->by_key.begin(), out->by_key.end(),
+              [](const std::pair<Key, int64_t>& a,
+                 const std::pair<Key, int64_t>& b) {
+                return a.first < b.first;
+              });
+    out->by_count = out->by_key;
+    std::sort(out->by_count.begin(), out->by_count.end(),
+              [](const std::pair<Key, int64_t>& a,
+                 const std::pair<Key, int64_t>& b) {
+                if (a.second != b.second) return a.second > b.second;
+                return a.first < b.first;
+              });
+    return out;
+  }
+};
+
+/// How one ThresholdMergeTopK call resolved, for tests and tuning.
+struct MergeStats {
+  /// Keys popped from a by_count stream for resolution.
+  size_t sorted_accesses = 0;
+  /// Random-access Probe calls (n shards per resolved key).
+  size_t probes = 0;
+  /// Distinct keys whose global count was computed.
+  size_t keys_resolved = 0;
+  /// The threshold stop fired before any stream was exhausted.
+  bool early_exit = false;
+  /// The sorted-access budget ran out and the exact k-way key-merge
+  /// fallback recomputed the answer from scratch.
+  bool fell_back = false;
+};
+
+/// \brief Bounded top-k merge of per-shard sorted counters — Fagin-style
+/// threshold algorithm.  Walks the N count-descending streams, always
+/// popping the largest head (ties: lowest shard index); each popped key
+/// is resolved to its global count by probing every shard.  The running
+/// threshold T = sum of current heads upper-bounds any unresolved key's
+/// global count, so the walk stops as soon as the running k-th best
+/// count strictly beats T — strict, because an unseen key whose total
+/// *equals* the k-th count but whose key id is smaller would still
+/// displace it under the canonical tie-break.
+///
+/// The result is exactly RankTopK over the summed counts of every key
+/// passing `filter` (a predicate on Key; filtered keys are skipped
+/// without resolution and excluded from T).  Flat count distributions
+/// defeat the early exit, so after 64 + 16*k sorted accesses the walk
+/// abandons TA and recomputes exactly via a pairwise merge of the
+/// by_key arrays — O(total keys * log shards), no hashing, still far
+/// cheaper than folding counters into an ordered map.  This is the
+/// shared primitive
+/// for the pre-aggregated poll paths here and the future cross-venue
+/// federation merge.
+template <typename Key, typename Filter>
+std::vector<Key> ThresholdMergeTopK(
+    const std::vector<std::shared_ptr<const SortedCounts<Key>>>& shards,
+    size_t k, Filter&& filter, MergeStats* stats = nullptr) {
+  MergeStats local_stats;
+  MergeStats& st = stats != nullptr ? *stats : local_stats;
+  st = MergeStats{};
+  if (k == 0 || shards.empty()) return {};
+
+  const auto canonical_before = [](const std::pair<Key, int64_t>& a,
+                                   const std::pair<Key, int64_t>& b) {
+    if (a.second != b.second) return a.second > b.second;
+    return a.first < b.first;
+  };
+  // The running top-k, kept in canonical order and capped at k.
+  std::vector<std::pair<Key, int64_t>> best;
+  const auto offer = [&](const Key& key, int64_t count) {
+    const std::pair<Key, int64_t> entry{key, count};
+    const auto pos =
+        std::lower_bound(best.begin(), best.end(), entry, canonical_before);
+    if (best.size() >= k && pos == best.end()) return;
+    best.insert(pos, entry);
+    if (best.size() > k) best.pop_back();
+  };
+
+  std::vector<Key> resolved;  // Sorted; keys already globally counted.
+  const auto is_resolved = [&](const Key& key) {
+    return std::binary_search(resolved.begin(), resolved.end(), key);
+  };
+
+  std::vector<size_t> cursor(shards.size(), 0);
+  const size_t budget = 64 + 16 * k;
+  bool exhausted = false;
+  while (true) {
+    // Advance each cursor past heads that cannot matter (filtered out or
+    // already resolved), then pick the largest remaining head; T sums
+    // the heads, so every unresolved admissible key is bounded by it.
+    int64_t threshold = 0;
+    size_t pick = shards.size();
+    int64_t pick_count = 0;
+    for (size_t s = 0; s < shards.size(); ++s) {
+      const auto& stream = shards[s]->by_count;
+      size_t& c = cursor[s];
+      while (c < stream.size() &&
+             (!filter(stream[c].first) || is_resolved(stream[c].first))) {
+        ++c;
+      }
+      if (c >= stream.size()) continue;
+      const int64_t head = stream[c].second;
+      threshold += head;
+      if (pick == shards.size() || head > pick_count) {
+        pick = s;
+        pick_count = head;
+      }
+    }
+    if (pick == shards.size()) {
+      exhausted = true;  // Every admissible key resolved: best is exact.
+      break;
+    }
+    if (best.size() == k && best.back().second > threshold) {
+      st.early_exit = true;
+      break;
+    }
+    if (st.sorted_accesses >= budget) {
+      st.fell_back = true;
+      break;
+    }
+    const Key key = shards[pick]->by_count[cursor[pick]].first;
+    ++cursor[pick];
+    ++st.sorted_accesses;
+    int64_t total = 0;
+    for (const auto& shard : shards) {
+      total += shard->Probe(key);
+      ++st.probes;
+    }
+    ++st.keys_resolved;
+    resolved.insert(
+        std::lower_bound(resolved.begin(), resolved.end(), key), key);
+    offer(key, total);
+  }
+  (void)exhausted;
+
+  if (st.fell_back) {
+    // Exact fallback: pairwise (divide-and-conquer) merge of the
+    // key-sorted arrays — each entry is touched O(log shards) times
+    // with one comparison, no hash maps, no re-sorting.  The final
+    // selection pass quick-rejects entries that cannot displace the
+    // running k-th count before paying the filter.
+    best.clear();
+    using Entry = std::pair<Key, int64_t>;
+    const auto merge_two = [](const std::vector<Entry>& a,
+                              const std::vector<Entry>& b) {
+      std::vector<Entry> out;
+      out.reserve(a.size() + b.size());
+      size_t i = 0, j = 0;
+      while (i < a.size() && j < b.size()) {
+        if (a[i].first < b[j].first) {
+          out.push_back(a[i++]);
+        } else if (b[j].first < a[i].first) {
+          out.push_back(b[j++]);
+        } else {
+          out.emplace_back(a[i].first, a[i].second + b[j].second);
+          ++i;
+          ++j;
+        }
+      }
+      out.insert(out.end(), a.begin() + static_cast<ptrdiff_t>(i), a.end());
+      out.insert(out.end(), b.begin() + static_cast<ptrdiff_t>(j), b.end());
+      return out;
+    };
+    std::vector<std::vector<Entry>> round;
+    round.reserve((shards.size() + 1) / 2);
+    for (size_t s = 0; s + 1 < shards.size(); s += 2) {
+      round.push_back(merge_two(shards[s]->by_key, shards[s + 1]->by_key));
+    }
+    if (shards.size() % 2 == 1) round.push_back(shards.back()->by_key);
+    while (round.size() > 1) {
+      std::vector<std::vector<Entry>> next;
+      next.reserve((round.size() + 1) / 2);
+      for (size_t s = 0; s + 1 < round.size(); s += 2) {
+        next.push_back(merge_two(round[s], round[s + 1]));
+      }
+      if (round.size() % 2 == 1) next.push_back(std::move(round.back()));
+      round = std::move(next);
+    }
+    if (!round.empty()) {
+      for (const Entry& entry : round.front()) {
+        // A count strictly below the full running k-th cannot enter (an
+        // equal count still can, on the key tie-break).
+        if (best.size() == k && entry.second < best.back().second) continue;
+        if (filter(entry.first)) offer(entry.first, entry.second);
+      }
+    }
+  }
+
+  std::vector<Key> out;
+  out.reserve(best.size());
+  for (const auto& [key, count] : best) {
+    (void)count;
+    out.push_back(key);
+  }
+  return out;
+}
+
 /// \brief Incrementally maintained counters for one VisitSpec: per-region
 /// visit counts plus per-object co-visit pair counts, updated on ingest
 /// (AddVisit) and retention-aging (RemoveVisit).  Reading the top-k costs
@@ -169,6 +393,16 @@ class TopKSketch {
   /// Current answers, ranked by the canonical tie-break.
   std::vector<RegionId> TopKRegions(size_t k) const;
   std::vector<RegionPair> TopKPairs(size_t k) const;
+
+  /// \brief Immutable count-descending snapshots of the current
+  /// counters, the sorted-access streams ThresholdMergeTopK walks.
+  /// Built lazily and cached until the next mutation, so repeated polls
+  /// over an unchanged shard reuse one snapshot; the returned view stays
+  /// valid (and frozen) after the sketch mutates again.  Requires the
+  /// same external synchronization as the mutators — the cache write is
+  /// not atomic.
+  std::shared_ptr<const SortedCounts<RegionId>> SortedRegions() const;
+  std::shared_ptr<const SortedCounts<RegionPair>> SortedPairs() const;
 
   /// \brief The sketch's complete counter state in canonical (sorted)
   /// order, for serialization: RestoreState(s.SaveState()) on a sketch
@@ -225,6 +459,10 @@ class TopKSketch {
   /// and leaves at 1->0.
   std::unordered_map<int64_t, std::unordered_map<RegionId, int64_t>>
       object_region_refs_;
+  /// Lazily built SortedRegions / SortedPairs snapshots, dropped by any
+  /// mutation that changed the counters.
+  mutable std::shared_ptr<const SortedCounts<RegionId>> sorted_regions_;
+  mutable std::shared_ptr<const SortedCounts<RegionPair>> sorted_pairs_;
 };
 
 /// \brief Batch reference implementations over a materialized corpus —
@@ -258,6 +496,19 @@ struct StandingQuery {
   /// engine's horizon_seconds.
   query::VisitSpec spec;
   size_t k = 10;
+  /// When > 0, the answer ranks only visits inside the trailing window
+  /// of this many seconds behind the engine's watermark, quantized to
+  /// the engine's retention buckets: with window_buckets =
+  /// ceil(trailing_seconds / bucket_seconds) clamped to [1, retention
+  /// ring], a visit is in-window iff floor(t_end / bucket_seconds) >
+  /// watermark_bucket - window_buckets.  The answer is re-evaluated on
+  /// every watermark advance (bucket rotation), not only on retention
+  /// eviction — visits leave the window the moment the watermark moves
+  /// past them, and each change still arrives as one exactly-once
+  /// entered/exited delta.  0 (the default) keeps the legacy behavior:
+  /// rank everything inside the retention horizon.  Non-finite values
+  /// are treated as 0.
+  double trailing_seconds = 0.0;
 };
 
 /// One pushed change of a standing query's answer.  `sequence` is

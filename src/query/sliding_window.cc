@@ -1,0 +1,201 @@
+#include "query/sliding_window.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <utility>
+
+namespace c2mn {
+namespace query {
+
+namespace {
+
+/// floor(log2(width)) for width >= 1: the coarsening width class.
+int WidthClass(int64_t width) {
+  int c = 0;
+  while (width > 1) {
+    width >>= 1;
+    ++c;
+  }
+  return c;
+}
+
+}  // namespace
+
+SlidingWindowSketch::SlidingWindowSketch(const CompiledSpec* spec,
+                                         Options options)
+    : spec_(spec),
+      options_(options),
+      agg_(spec),
+      watermark_bucket_(std::numeric_limits<int64_t>::min()) {
+  if (!(options_.bucket_seconds > 0.0) ||
+      !std::isfinite(options_.bucket_seconds)) {
+    options_.bucket_seconds = 60.0;
+  }
+  options_.window_buckets = std::max<int64_t>(options_.window_buckets, 1);
+  options_.max_nodes_per_class = std::max(options_.max_nodes_per_class, 1);
+}
+
+int64_t SlidingWindowSketch::EdgeBucket() const {
+  // Saturate instead of underflowing when the watermark sits near the
+  // bottom of the bucket range.
+  const int64_t min_bucket = std::numeric_limits<int64_t>::min();
+  if (watermark_bucket_ < min_bucket + options_.window_buckets) {
+    return min_bucket;
+  }
+  return watermark_bucket_ - options_.window_buckets;
+}
+
+bool SlidingWindowSketch::AddVisit(int64_t object_id, RegionId region,
+                                   double t_start, double t_end) {
+  // Same bucketability guard as the engine's ingest: casting an
+  // out-of-range double to int64_t is undefined behavior.
+  const double bucket_d = std::floor(t_end / options_.bucket_seconds);
+  if (!std::isfinite(t_start) || !std::isfinite(t_end) ||
+      !(bucket_d >= -9.0e18 && bucket_d <= 9.0e18)) {
+    return false;
+  }
+  const int64_t bucket = static_cast<int64_t>(bucket_d);
+  bool changed = false;
+  if (watermark_bucket_ == std::numeric_limits<int64_t>::min()) {
+    watermark_bucket_ = bucket;  // First visit defines the window end.
+  } else if (bucket > watermark_bucket_) {
+    // Modular subtraction: the bucket span can exceed int64_t range
+    // even though both endpoints are valid buckets.
+    rotations_ += static_cast<uint64_t>(bucket) -
+                  static_cast<uint64_t>(watermark_bucket_);
+    watermark_bucket_ = bucket;
+    changed |= Expire();
+  }
+  if (bucket <= EdgeBucket()) return changed;  // Behind the window.
+  if (!spec_->MatchesStay(region, t_start, t_end)) return changed;
+  agg_.AddVisit(object_id, region, t_start, t_end);
+  ++window_visits_;
+  const Visit visit{object_id, region, t_start, t_end, bucket};
+  // The first span at or before `bucket` holds it iff its end reaches
+  // the bucket; otherwise open a fresh single-bucket span.
+  auto it = nodes_.upper_bound(bucket);
+  if (it != nodes_.begin()) {
+    auto prev = std::prev(it);
+    if (prev->second.end >= bucket) {
+      prev->second.visits.push_back(visit);
+      return true;
+    }
+  }
+  Node node;
+  node.end = bucket;
+  node.visits.push_back(visit);
+  nodes_.emplace(bucket, std::move(node));
+  Coarsen();
+  return true;
+}
+
+bool SlidingWindowSketch::RemoveVisit(int64_t object_id, RegionId region,
+                                      double t_start, double t_end) {
+  if (nodes_.empty()) return false;
+  const double bucket_d = std::floor(t_end / options_.bucket_seconds);
+  if (!std::isfinite(t_start) || !std::isfinite(t_end) ||
+      !(bucket_d >= -9.0e18 && bucket_d <= 9.0e18)) {
+    return false;
+  }
+  const int64_t bucket = static_cast<int64_t>(bucket_d);
+  const auto it = nodes_.upper_bound(bucket);
+  if (it == nodes_.begin()) return false;
+  const auto node_it = std::prev(it);
+  if (node_it->second.end < bucket) return false;
+  std::vector<Visit>& visits = node_it->second.visits;
+  for (auto v = visits.begin(); v != visits.end(); ++v) {
+    if (v->object_id == object_id && v->region == region &&
+        v->t_start == t_start && v->t_end == t_end) {
+      visits.erase(v);
+      --window_visits_;
+      agg_.RemoveVisit(object_id, region, t_start, t_end);
+      if (visits.empty()) nodes_.erase(node_it);
+      return true;
+    }
+  }
+  return false;
+}
+
+bool SlidingWindowSketch::Expire() {
+  const int64_t edge = EdgeBucket();
+  bool changed = false;
+  while (!nodes_.empty()) {
+    const auto it = nodes_.begin();
+    if (it->second.end <= edge) {
+      // The whole span slid out.
+      for (const Visit& v : it->second.visits) {
+        agg_.RemoveVisit(v.object_id, v.region, v.t_start, v.t_end);
+        ++expired_visits_;
+        --window_visits_;
+        changed = true;
+      }
+      nodes_.erase(it);
+      continue;
+    }
+    if (it->first <= edge) {
+      // Straddling span: retract exactly the visits whose own bucket
+      // expired, re-key the survivors to the new window edge.
+      Node kept;
+      kept.end = it->second.end;
+      for (Visit& v : it->second.visits) {
+        if (v.bucket <= edge) {
+          agg_.RemoveVisit(v.object_id, v.region, v.t_start, v.t_end);
+          ++expired_visits_;
+          --window_visits_;
+          changed = true;
+        } else {
+          kept.visits.push_back(std::move(v));
+        }
+      }
+      nodes_.erase(it);
+      if (!kept.visits.empty()) nodes_.emplace(edge + 1, std::move(kept));
+    }
+    break;  // Spans are ordered: everything later is still in-window.
+  }
+  return changed;
+}
+
+void SlidingWindowSketch::Coarsen() {
+  while (true) {
+    // One pass in age order: per width class, the population and the
+    // oldest member.
+    std::map<int, std::pair<int, std::map<int64_t, Node>::iterator>> classes;
+    for (auto it = nodes_.begin(); it != nodes_.end(); ++it) {
+      const int c = WidthClass(it->second.end - it->first + 1);
+      const auto entry = classes.find(c);
+      if (entry == classes.end()) {
+        classes.emplace(c, std::make_pair(1, it));
+      } else {
+        ++entry->second.first;
+      }
+    }
+    auto over_full = classes.end();
+    for (auto c = classes.begin(); c != classes.end(); ++c) {
+      if (c->second.first > options_.max_nodes_per_class) {
+        over_full = c;
+        break;
+      }
+    }
+    if (over_full == classes.end()) return;
+    // Merge the over-full class's oldest node into its map successor
+    // (adjacent spans, so the merged span overlaps nothing; any gap
+    // between them is empty buckets and harmless to cover).
+    const auto oldest = over_full->second.second;
+    const auto next = std::next(oldest);
+    if (next == nodes_.end()) return;  // Nothing newer to merge into.
+    Node merged;
+    merged.end = next->second.end;
+    merged.visits = std::move(oldest->second.visits);
+    merged.visits.insert(merged.visits.end(),
+                         std::make_move_iterator(next->second.visits.begin()),
+                         std::make_move_iterator(next->second.visits.end()));
+    const int64_t start = oldest->first;
+    nodes_.erase(next);
+    nodes_.erase(oldest);
+    nodes_.emplace(start, std::move(merged));
+  }
+}
+
+}  // namespace query
+}  // namespace c2mn

@@ -1,0 +1,139 @@
+#ifndef C2MN_QUERY_SLIDING_WINDOW_H_
+#define C2MN_QUERY_SLIDING_WINDOW_H_
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "query/query_core.h"
+
+/// \file A true trailing-window counter set over stay visits: the state
+/// behind StandingQuery::trailing_seconds.  The window slides with the
+/// data watermark (the highest visit bucket seen), not with eviction —
+/// a visit leaves the answer the moment the watermark moves past it,
+/// which is what "top-k over the trailing hour" actually means.
+
+namespace c2mn {
+namespace query {
+
+/// \brief Exact sliding-window top-k state: a TopKSketch over only the
+/// visits inside the trailing window, plus the visit ring needed to
+/// retract them when the watermark advances.
+///
+/// Window semantics are bucket-quantized, matching the engine's
+/// retention ring: a visit with bucket b = floor(t_end / bucket_seconds)
+/// is in-window iff b > watermark_bucket - window_buckets, where the
+/// watermark bucket is the maximum bucket over every visit fed in.
+/// Membership depends only on t_end (stays satisfy t_start <= t_end <=
+/// watermark), so visits expire in bucket order and the answer is
+/// independent of arrival interleaving — the property the 1/2/4-shard
+/// equivalence tests pin down.
+///
+/// Retraction needs the individual visits, not per-bucket count deltas:
+/// pair counts are per-object co-visit refcounts and do not decompose
+/// across buckets.  To keep node metadata sublinear in the window, the
+/// visit ring uses hierarchical (exponential-histogram style) bucket
+/// coarsening: spans of buckets merge as they age so at most
+/// Options::max_nodes_per_class nodes exist per power-of-two span-width
+/// class — O(log window_buckets) nodes total — while expiry stays exact
+/// because each stored visit remembers its own bucket (a straddling
+/// span partitions instead of forgetting).
+///
+/// Not thread-safe: the owner synchronizes, exactly like TopKSketch
+/// (the engine drives it under the subscription mutex).
+class SlidingWindowSketch {
+ public:
+  struct Options {
+    /// Bucket width in seconds; must match the engine's retention
+    /// bucketing for the quantization to line up.
+    double bucket_seconds = 60.0;
+    /// Window width in buckets (>= 1).
+    int64_t window_buckets = 1;
+    /// Coarsening bound: at most this many span nodes per power-of-two
+    /// width class before the two oldest merge.
+    int max_nodes_per_class = 4;
+  };
+
+  /// `spec` must outlive the sketch (it is also handed to the inner
+  /// TopKSketch).
+  SlidingWindowSketch(const CompiledSpec* spec, Options options);
+
+  /// Feeds one stay visit.  First advances the watermark when the
+  /// visit's bucket is past it, expiring everything that fell out of
+  /// the window; then admits the visit if it is in-window and matches
+  /// the spec.  A visit that is itself rejected (out-of-window, spec
+  /// mismatch, unbucketable timestamps) still rotates the window.
+  /// Returns true iff the counter state (and so possibly the answer)
+  /// changed.
+  bool AddVisit(int64_t object_id, RegionId region, double t_start,
+                double t_end);
+
+  /// Retracts one previously added visit (the engine routes retention
+  /// evictions here).  Safe no-op when the visit was never admitted or
+  /// already expired; returns true iff the counter state changed.
+  bool RemoveVisit(int64_t object_id, RegionId region, double t_start,
+                   double t_end);
+
+  /// Current answers over the in-window visits only, ranked by the
+  /// canonical tie-break.
+  std::vector<RegionId> TopKRegions(size_t k) const {
+    return agg_.TopKRegions(k);
+  }
+  std::vector<RegionPair> TopKPairs(size_t k) const {
+    return agg_.TopKPairs(k);
+  }
+
+  const Options& options() const { return options_; }
+  /// Highest visit bucket seen; INT64_MIN before any visit.
+  int64_t watermark_bucket() const { return watermark_bucket_; }
+  /// Total buckets the watermark has advanced past (window rotations).
+  uint64_t rotations() const { return rotations_; }
+  /// Visits retracted because the window slid past them.
+  uint64_t expired_visits() const { return expired_visits_; }
+  /// Visits currently inside the window.
+  size_t window_visits() const { return window_visits_; }
+  /// Live span nodes (bounded by the coarsening invariant).
+  size_t span_nodes() const { return nodes_.size(); }
+
+ private:
+  struct Visit {
+    int64_t object_id = 0;
+    RegionId region = kInvalidId;
+    double t_start = 0.0;
+    double t_end = 0.0;
+    /// floor(t_end / bucket_seconds), kept so expiry out of a coarse
+    /// span node stays exact per visit.
+    int64_t bucket = 0;
+  };
+  /// One span of buckets [map key, end], holding the admitted visits
+  /// whose bucket falls inside.  Spans never overlap; gaps (empty
+  /// buckets) are fine and may be swallowed by coarsening merges.
+  struct Node {
+    int64_t end = 0;
+    std::vector<Visit> visits;
+  };
+
+  /// Oldest in-window bucket minus one: buckets <= this are expired.
+  int64_t EdgeBucket() const;
+  /// Retracts every visit whose bucket slid out of the window; returns
+  /// true iff any left the counters.
+  bool Expire();
+  /// Restores the nodes-per-width-class invariant by merging the
+  /// oldest over-full class's oldest node into its successor.
+  void Coarsen();
+
+  const CompiledSpec* spec_;
+  Options options_;
+  TopKSketch agg_;
+  /// Span nodes keyed by start bucket, ascending (oldest first).
+  std::map<int64_t, Node> nodes_;
+  int64_t watermark_bucket_;
+  uint64_t rotations_ = 0;
+  uint64_t expired_visits_ = 0;
+  size_t window_visits_ = 0;
+};
+
+}  // namespace query
+}  // namespace c2mn
+
+#endif  // C2MN_QUERY_SLIDING_WINDOW_H_

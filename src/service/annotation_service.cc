@@ -1,6 +1,7 @@
 #include "service/annotation_service.h"
 
 #include <chrono>
+#include <cmath>
 #include <fstream>
 #include <functional>
 #include <string>
@@ -604,6 +605,16 @@ Result<int> AnnotationService::SubscribeAnalytics(
     return Status::FailedPrecondition(
         "analytics are disabled (Options::analytics.enabled)");
   }
+  // The engine treats a non-finite trailing window as "no window"; at
+  // the service edge that is almost certainly a caller bug, so reject
+  // it loudly instead.  A negative value just means the legacy
+  // whole-horizon behavior.
+  if (std::isnan(query.trailing_seconds) ||
+      std::isinf(query.trailing_seconds)) {
+    return Status::InvalidArgument(
+        "standing query: trailing_seconds must be finite");
+  }
+  if (query.trailing_seconds < 0.0) query.trailing_seconds = 0.0;
   return analytics_->Subscribe(std::move(query), std::move(callback));
 }
 

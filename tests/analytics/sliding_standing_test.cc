@@ -1,0 +1,385 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <mutex>
+#include <random>
+#include <vector>
+
+#include "analytics/analytics_engine.h"
+#include "query/query_core.h"
+#include "query/sliding_window.h"
+#include "service/annotation_service.h"
+#include "tests/test_util.h"
+
+namespace c2mn {
+namespace {
+
+MSemantics Stay(RegionId region, double t_start, double t_end) {
+  MSemantics ms;
+  ms.region = region;
+  ms.t_start = t_start;
+  ms.t_end = t_end;
+  ms.event = MobilityEvent::kStay;
+  ms.support = 1;
+  return ms;
+}
+
+/// Collects every delta and validates the exactly-once contract: deltas
+/// arrive in sequence order and replaying entered/exited reconstructs
+/// each delta's own full answer.
+struct DeltaLog {
+  std::mutex mu;
+  std::vector<StandingQueryDelta> deltas;
+
+  StandingQueryCallback Callback() {
+    return [this](const StandingQueryDelta& delta) {
+      std::lock_guard<std::mutex> lock(mu);
+      deltas.push_back(delta);
+    };
+  }
+  size_t size() {
+    std::lock_guard<std::mutex> lock(mu);
+    return deltas.size();
+  }
+  StandingQueryDelta last() {
+    std::lock_guard<std::mutex> lock(mu);
+    return deltas.back();
+  }
+  std::vector<RegionId> ReconstructRegions() {
+    std::lock_guard<std::mutex> lock(mu);
+    std::vector<RegionId> state;
+    uint64_t expected_sequence = 1;
+    for (const StandingQueryDelta& delta : deltas) {
+      EXPECT_EQ(delta.sequence, expected_sequence++);
+      for (RegionId r : delta.regions_exited) {
+        state.erase(std::remove(state.begin(), state.end(), r), state.end());
+      }
+      for (RegionId r : delta.regions_entered) state.push_back(r);
+      std::vector<RegionId> sorted_state = state;
+      std::vector<RegionId> sorted_answer = delta.regions;
+      std::sort(sorted_state.begin(), sorted_state.end());
+      std::sort(sorted_answer.begin(), sorted_answer.end());
+      EXPECT_EQ(sorted_state, sorted_answer)
+          << "delta sequence " << delta.sequence;
+      state = delta.regions;
+    }
+    return state;
+  }
+  std::vector<RegionPair> ReconstructPairs() {
+    std::lock_guard<std::mutex> lock(mu);
+    std::vector<RegionPair> state;
+    uint64_t expected_sequence = 1;
+    for (const StandingQueryDelta& delta : deltas) {
+      EXPECT_EQ(delta.sequence, expected_sequence++);
+      for (const RegionPair& p : delta.pairs_exited) {
+        state.erase(std::remove(state.begin(), state.end(), p), state.end());
+      }
+      for (const RegionPair& p : delta.pairs_entered) state.push_back(p);
+      std::vector<RegionPair> sorted_state = state;
+      std::vector<RegionPair> sorted_answer = delta.pairs;
+      std::sort(sorted_state.begin(), sorted_state.end());
+      std::sort(sorted_answer.begin(), sorted_answer.end());
+      EXPECT_EQ(sorted_state, sorted_answer)
+          << "delta sequence " << delta.sequence;
+      state = delta.pairs;
+    }
+    return state;
+  }
+};
+
+/// Brute-force trailing scan over the ingested stays, using the same
+/// bucket quantization the engine advertises for trailing_seconds.
+struct TrailingReference {
+  double bucket_seconds;
+  double horizon_seconds;
+  double trailing_seconds;
+
+  int64_t WindowBuckets() const {
+    const int64_t ring = static_cast<int64_t>(
+                             std::ceil(horizon_seconds / bucket_seconds)) +
+                         1;
+    const double buckets_d = std::ceil(trailing_seconds / bucket_seconds);
+    const int64_t wanted =
+        buckets_d >= static_cast<double>(ring)
+            ? ring
+            : std::max<int64_t>(static_cast<int64_t>(buckets_d), 1);
+    return wanted;
+  }
+
+  query::TopKSketch Scan(
+      const std::vector<std::pair<int64_t, MSemantics>>& stays,
+      const query::CompiledSpec& spec) const {
+    int64_t watermark = INT64_MIN;
+    for (const auto& [object_id, ms] : stays) {
+      (void)object_id;
+      watermark = std::max(watermark, static_cast<int64_t>(std::floor(
+                                          ms.t_end / bucket_seconds)));
+    }
+    const int64_t edge = watermark - WindowBuckets();
+    query::TopKSketch sketch(&spec);
+    for (const auto& [object_id, ms] : stays) {
+      const int64_t b =
+          static_cast<int64_t>(std::floor(ms.t_end / bucket_seconds));
+      if (b > edge) sketch.AddVisit(object_id, ms.region, ms.t_start, ms.t_end);
+    }
+    return sketch;
+  }
+};
+
+TEST(SlidingStandingTest, WatermarkAdvanceRetractsWithoutEviction) {
+  AnalyticsEngine::Options options;
+  options.bucket_seconds = 10.0;
+  options.horizon_seconds = 1e6;  // Retention never evicts here.
+  AnalyticsEngine engine(options);
+
+  StandingQuery standing;
+  standing.spec.all_regions = true;
+  standing.k = 5;
+  standing.trailing_seconds = 20.0;  // Two 10 s buckets.
+  DeltaLog log;
+  engine.Subscribe(standing, log.Callback());
+  ASSERT_EQ(log.size(), 1u);
+
+  engine.Ingest(1, Stay(1, 0.0, 5.0));    // Bucket 0.
+  engine.Ingest(2, Stay(2, 12.0, 15.0));  // Bucket 1.
+  EXPECT_EQ(log.last().regions, (std::vector<RegionId>{1, 2}));
+
+  // Bucket 2: region 1 (bucket 0) slides out in the same delta that
+  // admits region 3 — retention evicted nothing (horizon is huge).
+  engine.Ingest(3, Stay(3, 25.0, 28.0));
+  const StandingQueryDelta delta = log.last();
+  EXPECT_EQ(delta.regions, (std::vector<RegionId>{2, 3}));
+  EXPECT_EQ(delta.regions_exited, (std::vector<RegionId>{1}));
+  EXPECT_EQ(delta.regions_entered, (std::vector<RegionId>{3}));
+
+  const AnalyticsSnapshot snap = engine.Snapshot();
+  EXPECT_EQ(snap.buckets_evicted, 0u);
+  EXPECT_EQ(snap.sliding_queries, 1u);
+  EXPECT_EQ(snap.standing_queries, 1u);
+  EXPECT_GE(snap.window_rotations, 2u);
+  EXPECT_GE(snap.window_expired_visits, 1u);
+
+  // The non-trailing poll still sees everything retained.
+  EXPECT_EQ(engine.TopKPopularRegions({1, 2, 3}, TimeWindow::All(), 5),
+            (std::vector<RegionId>{1, 2, 3}));
+  log.ReconstructRegions();
+}
+
+/// Tie-heavy fixture replayed at 1/2/4 shards: the trailing answer must
+/// be bit-identical to the brute-force trailing scan and shard-count
+/// invariant, and the delta stream must reconstruct it exactly-once.
+TEST(SlidingStandingTest, ShardCountInvariantAndBruteForceIdentical) {
+  // A deterministic tie-heavy stream: 6 regions, many equal counts,
+  // objects hopping regions so pairs form, spread over ~40 buckets.
+  std::vector<std::pair<int64_t, MSemantics>> stays;
+  std::mt19937 rng(4242);
+  double clock = 0.0;
+  for (int step = 0; step < 300; ++step) {
+    clock += static_cast<double>(rng() % 6);
+    const int64_t object = static_cast<int64_t>(rng() % 8);
+    const RegionId region = static_cast<RegionId>(rng() % 6);
+    stays.emplace_back(object, Stay(region, clock, clock + 3.0));
+  }
+
+  AnalyticsEngine::Options base;
+  base.bucket_seconds = 10.0;
+  base.horizon_seconds = 1e6;
+  TrailingReference ref{base.bucket_seconds, base.horizon_seconds, 50.0};
+
+  query::VisitSpec vs;
+  vs.all_regions = true;
+  const query::CompiledSpec spec(vs);
+  query::TopKSketch expected = ref.Scan(stays, spec);
+  const auto expected_regions = expected.TopKRegions(4);
+  const auto expected_pairs = expected.TopKPairs(4);
+  ASSERT_FALSE(expected_regions.empty());
+  ASSERT_FALSE(expected_pairs.empty());
+
+  for (int shards : {1, 2, 4}) {
+    AnalyticsEngine::Options options = base;
+    options.num_shards = shards;
+    AnalyticsEngine engine(options);
+
+    StandingQuery regions_q;
+    regions_q.spec.all_regions = true;
+    regions_q.k = 4;
+    regions_q.trailing_seconds = 50.0;
+    DeltaLog region_log;
+    engine.Subscribe(regions_q, region_log.Callback());
+
+    StandingQuery pairs_q;
+    pairs_q.kind = StandingQuery::Kind::kFrequentPairs;
+    pairs_q.spec.all_regions = true;
+    pairs_q.k = 4;
+    pairs_q.trailing_seconds = 50.0;
+    DeltaLog pair_log;
+    engine.Subscribe(pairs_q, pair_log.Callback());
+
+    for (const auto& [object, ms] : stays) engine.Ingest(object, ms);
+
+    EXPECT_EQ(region_log.ReconstructRegions(), expected_regions)
+        << shards << " shards";
+    EXPECT_EQ(region_log.last().regions, expected_regions)
+        << shards << " shards";
+    EXPECT_EQ(pair_log.ReconstructPairs(), expected_pairs)
+        << shards << " shards";
+    EXPECT_EQ(pair_log.last().pairs, expected_pairs) << shards << " shards";
+  }
+}
+
+TEST(SlidingStandingTest, MidStreamSubscribeSeedsTrailingWindow) {
+  AnalyticsEngine::Options options;
+  options.bucket_seconds = 10.0;
+  options.horizon_seconds = 1e6;
+  AnalyticsEngine engine(options);
+
+  std::vector<std::pair<int64_t, MSemantics>> stays = {
+      {1, Stay(1, 0.0, 5.0)},     // Bucket 0: out of the trailing window.
+      {1, Stay(2, 100.0, 104.0)},  // Bucket 10.
+      {2, Stay(3, 112.0, 115.0)},  // Bucket 11.
+      {2, Stay(2, 123.0, 126.0)},  // Bucket 12 (watermark).
+  };
+  for (const auto& [object, ms] : stays) engine.Ingest(object, ms);
+
+  StandingQuery standing;
+  standing.spec.all_regions = true;
+  standing.k = 5;
+  standing.trailing_seconds = 30.0;  // Buckets 10..12.
+  DeltaLog log;
+  engine.Subscribe(standing, log.Callback());
+  ASSERT_EQ(log.size(), 1u);
+
+  TrailingReference ref{options.bucket_seconds, options.horizon_seconds,
+                        standing.trailing_seconds};
+  query::VisitSpec vs;
+  vs.all_regions = true;
+  const query::CompiledSpec spec(vs);
+  query::TopKSketch expected = ref.Scan(stays, spec);
+  EXPECT_EQ(log.last().regions, expected.TopKRegions(5));
+  // Region 1's bucket-0 visit is behind the window; region 2 leads with
+  // its two in-window visits.
+  EXPECT_EQ(log.last().regions, (std::vector<RegionId>{2, 3}));
+}
+
+/// Retention eviction and window expiry interleave: a visit can expire
+/// from the trailing window first and evict from retention later — the
+/// second retraction must be a no-op, not a double-exit.
+TEST(SlidingStandingTest, RetentionEvictionAfterWindowExpiryIsExactlyOnce) {
+  AnalyticsEngine::Options options;
+  options.bucket_seconds = 10.0;
+  options.horizon_seconds = 50.0;  // Retention: 5 buckets + slack.
+  AnalyticsEngine engine(options);
+
+  StandingQuery standing;
+  standing.spec.all_regions = true;
+  standing.k = 5;
+  standing.trailing_seconds = 10.0;  // One bucket: tighter than retention.
+  DeltaLog log;
+  engine.Subscribe(standing, log.Callback());
+
+  engine.Ingest(1, Stay(1, 0.0, 5.0));
+  EXPECT_EQ(log.last().regions, (std::vector<RegionId>{1}));
+  // Bucket 2: region 1 leaves the window (but stays retained).
+  engine.Ingest(2, Stay(2, 25.0, 28.0));
+  EXPECT_EQ(log.last().regions, (std::vector<RegionId>{2}));
+  EXPECT_EQ(log.last().regions_exited, (std::vector<RegionId>{1}));
+  const size_t after_window_exit = log.size();
+
+  // Far future: retention now evicts the bucket-0 visit too.  The
+  // standing answer must not push a second exit for region 1.
+  engine.Ingest(3, Stay(3, 500.0, 505.0));
+  EXPECT_EQ(log.last().regions, (std::vector<RegionId>{3}));
+  EXPECT_EQ(log.last().regions_exited, (std::vector<RegionId>{2}));
+  EXPECT_GT(engine.Snapshot().buckets_evicted, 0u);
+  EXPECT_GE(log.size(), after_window_exit + 1);
+  // Sequence + entered/exited bookkeeping stayed consistent throughout.
+  log.ReconstructRegions();
+}
+
+TEST(SlidingStandingTest, UnsubscribeDropsSlidingGauge) {
+  AnalyticsEngine engine(AnalyticsEngine::Options{});
+  StandingQuery standing;
+  standing.spec.all_regions = true;
+  standing.trailing_seconds = 120.0;
+  const int id = engine.Subscribe(standing,
+                                  [](const StandingQueryDelta&) {});
+  EXPECT_EQ(engine.Snapshot().sliding_queries, 1u);
+  EXPECT_EQ(engine.Snapshot().standing_queries, 1u);
+  EXPECT_TRUE(engine.Unsubscribe(id));
+  EXPECT_EQ(engine.Snapshot().sliding_queries, 0u);
+  EXPECT_EQ(engine.Snapshot().standing_queries, 0u);
+}
+
+/// Service-level: trailing_seconds must be finite (NaN / Inf rejected,
+/// negatives clamped to plain standing), and a trailing subscription
+/// through the full service pushes a consistent delta stream.
+TEST(SlidingStandingServiceTest, ValidatesAndPushesThroughService) {
+  const Scenario& scenario = testing_util::SmallMallScenario();
+  std::vector<double> weights(static_cast<size_t>(kNumWeights), 0.5);
+
+  AnnotationService::Options options;
+  options.num_shards = 2;
+  options.annotator.window_records = 24;
+  options.annotator.finalize_lag = 6;
+  options.annotator.decode_stride = 4;
+  options.analytics.enabled = true;
+  options.analytics.engine.horizon_seconds = 1e9;
+  DeltaLog log;
+  AnnotationService service(*scenario.world, FeatureOptions{},
+                            C2mnStructure{}, weights, options);
+
+  StandingQuery bad;
+  bad.spec.all_regions = true;
+  bad.trailing_seconds = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_FALSE(
+      service.SubscribeAnalytics(bad, [](const StandingQueryDelta&) {}).ok());
+  bad.trailing_seconds = std::numeric_limits<double>::infinity();
+  EXPECT_FALSE(
+      service.SubscribeAnalytics(bad, [](const StandingQueryDelta&) {}).ok());
+  // Negative clamps to 0: a plain (whole-horizon) standing query.
+  StandingQuery clamped;
+  clamped.spec.all_regions = true;
+  clamped.trailing_seconds = -5.0;
+  auto clamped_sub = service.SubscribeAnalytics(
+      clamped, [](const StandingQueryDelta&) {});
+  ASSERT_TRUE(clamped_sub.ok());
+  EXPECT_EQ(service.AnalyticsStats().sliding_queries, 0u);
+  ASSERT_TRUE(service.UnsubscribeAnalytics(*clamped_sub).ok());
+
+  StandingQuery standing;
+  standing.spec.all_regions = true;
+  standing.k = 5;
+  standing.trailing_seconds = 600.0;
+  auto subscribed = service.SubscribeAnalytics(standing, log.Callback());
+  ASSERT_TRUE(subscribed.ok()) << subscribed.status().ToString();
+  EXPECT_EQ(service.AnalyticsStats().sliding_queries, 1u);
+
+  for (size_t i = 0; i < scenario.dataset.sequences.size() && i < 6; ++i) {
+    std::vector<PositioningRecord> records =
+        scenario.dataset.sequences[i].sequence.records;
+    if (records.size() > 120) records.resize(120);
+    const int64_t object = static_cast<int64_t>(i);
+    ASSERT_TRUE(service.OpenSession(object, nullptr).ok());
+    for (const PositioningRecord& rec : records) {
+      ASSERT_TRUE(service.Submit(object, rec).ok());
+    }
+    ASSERT_TRUE(service.CloseSession(object).ok());
+  }
+  service.Drain();
+
+  // The delta stream is internally consistent (sequence + exactly-once
+  // entered/exited), and the engine reports its sliding telemetry.
+  log.ReconstructRegions();
+  EXPECT_GE(log.size(), 1u);
+  const AnalyticsSnapshot snap = service.AnalyticsStats();
+  EXPECT_EQ(snap.sliding_queries, 1u);
+  EXPECT_EQ(snap.standing_queries, 1u);
+  ASSERT_TRUE(service.UnsubscribeAnalytics(*subscribed).ok());
+  EXPECT_EQ(service.AnalyticsStats().sliding_queries, 0u);
+}
+
+}  // namespace
+}  // namespace c2mn

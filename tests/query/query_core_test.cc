@@ -177,6 +177,11 @@ TEST_F(TieBreakDeterminismTest, EqualCountsRankByIdAcrossAllPaths) {
     const AnalyticsSnapshot snap = engine.Snapshot();
     EXPECT_EQ(snap.preagg_queries, 2u) << shards << " shards";
     EXPECT_EQ(snap.scan_queries, 2u) << shards << " shards";
+    // ... and the per-kind split attributes one poll to each kind.
+    EXPECT_EQ(snap.preagg_region_queries, 1u) << shards << " shards";
+    EXPECT_EQ(snap.preagg_pair_queries, 1u) << shards << " shards";
+    EXPECT_EQ(snap.scan_region_queries, 1u) << shards << " shards";
+    EXPECT_EQ(snap.scan_pair_queries, 1u) << shards << " shards";
   }
 }
 

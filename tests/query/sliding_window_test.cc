@@ -1,0 +1,272 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <random>
+#include <vector>
+
+#include "query/sliding_window.h"
+
+namespace c2mn {
+namespace query {
+namespace {
+
+VisitSpec AllRegions(double min_visit_seconds = 0.0) {
+  VisitSpec vs;
+  vs.all_regions = true;
+  vs.min_visit_seconds = min_visit_seconds;
+  return vs;
+}
+
+struct RawVisit {
+  int64_t object_id = 0;
+  RegionId region = kInvalidId;
+  double t_start = 0.0;
+  double t_end = 0.0;
+};
+
+/// Brute-force reference: replay every visit that should still be in
+/// the window (bucket > watermark - window_buckets) into a fresh
+/// TopKSketch and rank.  The watermark is monotone, exactly like the
+/// sketch's — removing the newest visit must not pull it back.
+struct Reference {
+  const CompiledSpec* spec;
+  SlidingWindowSketch::Options options;
+  std::vector<RawVisit> visits;
+  int64_t watermark = INT64_MIN;
+
+  int64_t Bucket(const RawVisit& v) const {
+    return static_cast<int64_t>(std::floor(v.t_end / options.bucket_seconds));
+  }
+  /// Every bucketable visit advances the watermark, admitted or not.
+  void NoteWatermark(const RawVisit& v) {
+    watermark = std::max(watermark, Bucket(v));
+  }
+  void Add(const RawVisit& v) { visits.push_back(v); }
+  void Remove(const RawVisit& v) {
+    const auto it = std::find_if(
+        visits.begin(), visits.end(), [&](const RawVisit& w) {
+          return w.object_id == v.object_id && w.region == v.region &&
+                 w.t_start == v.t_start && w.t_end == v.t_end;
+        });
+    if (it != visits.end()) visits.erase(it);
+  }
+  TopKSketch InWindowSketch() const {
+    const int64_t edge = watermark - options.window_buckets;
+    TopKSketch sketch(spec);
+    for (const RawVisit& v : visits) {
+      if (Bucket(v) > edge) {
+        sketch.AddVisit(v.object_id, v.region, v.t_start, v.t_end);
+      }
+    }
+    return sketch;
+  }
+};
+
+TEST(SlidingWindowTest, BucketBoundaryExpiry) {
+  const CompiledSpec spec(AllRegions());
+  SlidingWindowSketch::Options options;
+  options.bucket_seconds = 60.0;
+  options.window_buckets = 2;  // Buckets {wm, wm-1} are in-window.
+  SlidingWindowSketch window(&spec, options);
+
+  // Bucket 0 and bucket 1: both in-window while watermark is 1.
+  EXPECT_TRUE(window.AddVisit(1, 10, 0.0, 30.0));    // Bucket 0.
+  EXPECT_TRUE(window.AddVisit(2, 20, 70.0, 119.0));  // Bucket 1.
+  EXPECT_EQ(window.watermark_bucket(), 1);
+  EXPECT_EQ(window.rotations(), 1u);
+  EXPECT_EQ(window.TopKRegions(5), (std::vector<RegionId>{10, 20}));
+
+  // t_end = 120 is exactly the bucket-2 boundary: watermark moves to 2
+  // and bucket 0 (region 10) slides out.
+  EXPECT_TRUE(window.AddVisit(3, 30, 100.0, 120.0));
+  EXPECT_EQ(window.watermark_bucket(), 2);
+  EXPECT_EQ(window.expired_visits(), 1u);
+  EXPECT_EQ(window.TopKRegions(5), (std::vector<RegionId>{20, 30}));
+  EXPECT_EQ(window.window_visits(), 2u);
+}
+
+TEST(SlidingWindowTest, EmptyBucketsStillRotate) {
+  const CompiledSpec spec(AllRegions());
+  SlidingWindowSketch::Options options;
+  options.bucket_seconds = 10.0;
+  options.window_buckets = 3;
+  SlidingWindowSketch window(&spec, options);
+
+  window.AddVisit(1, 5, 0.0, 5.0);  // Bucket 0.
+  // Jump straight to bucket 50: 50 rotations even though buckets 1..49
+  // never held a visit, and the bucket-0 visit is long gone.
+  window.AddVisit(2, 7, 500.0, 505.0);
+  EXPECT_EQ(window.rotations(), 50u);
+  EXPECT_EQ(window.expired_visits(), 1u);
+  EXPECT_EQ(window.TopKRegions(5), (std::vector<RegionId>{7}));
+
+  // A spec-rejected visit still rotates the window; it reports a
+  // counter change exactly when the rotation expired something.
+  const CompiledSpec strict(AllRegions(60.0));
+  SlidingWindowSketch gated(&strict, options);
+  EXPECT_TRUE(gated.AddVisit(1, 5, 0.0, 100.0));  // 100 s >= 60 s; bucket 10.
+  // 5 s < 60 s: not admitted, but the jump to bucket 50 rotates the
+  // window and expires the bucket-10 visit — a counter change.
+  EXPECT_TRUE(gated.AddVisit(2, 7, 500.0, 505.0));
+  EXPECT_EQ(gated.rotations(), 40u);
+  EXPECT_EQ(gated.expired_visits(), 1u);
+  EXPECT_TRUE(gated.TopKRegions(5).empty());
+  // With nothing left to expire, a rejected visit changes nothing.
+  EXPECT_FALSE(gated.AddVisit(3, 9, 700.0, 703.0));
+}
+
+TEST(SlidingWindowTest, OutOfWindowAndUnbucketableVisitsRejected) {
+  const CompiledSpec spec(AllRegions());
+  SlidingWindowSketch::Options options;
+  options.bucket_seconds = 60.0;
+  options.window_buckets = 1;
+  SlidingWindowSketch window(&spec, options);
+
+  EXPECT_TRUE(window.AddVisit(1, 10, 600.0, 630.0));  // Bucket 10.
+  // A straggler from bucket 9: behind the 1-bucket window, rejected.
+  EXPECT_FALSE(window.AddVisit(2, 20, 540.0, 599.0));
+  EXPECT_EQ(window.TopKRegions(5), (std::vector<RegionId>{10}));
+  EXPECT_EQ(window.window_visits(), 1u);
+  // Unbucketable timestamps never rotate nor admit.
+  EXPECT_FALSE(window.AddVisit(3, 30, 0.0,
+                               std::numeric_limits<double>::infinity()));
+  EXPECT_FALSE(window.AddVisit(3, 30, 0.0, 1e300));
+  EXPECT_EQ(window.watermark_bucket(), 10);
+}
+
+TEST(SlidingWindowTest, RemoveVisitIsNoOpSafe) {
+  const CompiledSpec spec(AllRegions());
+  SlidingWindowSketch::Options options;
+  options.bucket_seconds = 60.0;
+  options.window_buckets = 4;
+  SlidingWindowSketch window(&spec, options);
+
+  window.AddVisit(1, 10, 0.0, 30.0);
+  window.AddVisit(1, 20, 40.0, 80.0);
+  EXPECT_EQ(window.TopKPairs(5), (std::vector<RegionPair>{{10, 20}}));
+
+  // Removing a visit that was never admitted: no-op.
+  EXPECT_FALSE(window.RemoveVisit(9, 10, 0.0, 30.0));
+  EXPECT_FALSE(window.RemoveVisit(1, 10, 0.0, 31.0));  // Wrong t_end.
+  EXPECT_EQ(window.window_visits(), 2u);
+
+  // Removing an admitted visit dissolves the pair.
+  EXPECT_TRUE(window.RemoveVisit(1, 20, 40.0, 80.0));
+  EXPECT_TRUE(window.TopKPairs(5).empty());
+  EXPECT_EQ(window.TopKRegions(5), (std::vector<RegionId>{10}));
+  // Removing it again: no-op.
+  EXPECT_FALSE(window.RemoveVisit(1, 20, 40.0, 80.0));
+  EXPECT_EQ(window.window_visits(), 1u);
+
+  // A visit that expired out of the window removes as a no-op too.
+  window.AddVisit(2, 30, 600.0, 630.0);  // Bucket 10: bucket 0 expired.
+  EXPECT_GT(window.expired_visits(), 0u);
+  EXPECT_FALSE(window.RemoveVisit(1, 10, 0.0, 30.0));
+}
+
+TEST(SlidingWindowTest, FullHorizonRotationExpiresEverything) {
+  const CompiledSpec spec(AllRegions());
+  SlidingWindowSketch::Options options;
+  options.bucket_seconds = 10.0;
+  options.window_buckets = 8;
+  SlidingWindowSketch window(&spec, options);
+
+  for (int i = 0; i < 8; ++i) {
+    const double t = 10.0 * i;
+    ASSERT_TRUE(window.AddVisit(i, static_cast<RegionId>(i), t, t + 5.0));
+  }
+  EXPECT_EQ(window.window_visits(), 8u);
+  // One giant leap: every bucket rotates out at once.
+  window.AddVisit(100, 50, 1e6, 1e6 + 5.0);
+  EXPECT_EQ(window.expired_visits(), 8u);
+  EXPECT_EQ(window.window_visits(), 1u);
+  EXPECT_EQ(window.TopKRegions(10), (std::vector<RegionId>{50}));
+  EXPECT_LE(window.span_nodes(), 1u);
+}
+
+TEST(SlidingWindowTest, CoarseningBoundsSpanNodes) {
+  const CompiledSpec spec(AllRegions());
+  SlidingWindowSketch::Options options;
+  options.bucket_seconds = 1.0;
+  options.window_buckets = 4096;
+  options.max_nodes_per_class = 4;
+  SlidingWindowSketch window(&spec, options);
+
+  // One visit per bucket across the whole window: without coarsening
+  // this is 4096 nodes; the exponential-histogram invariant caps each
+  // power-of-two width class at max_nodes_per_class (+1 transient), so
+  // the total stays O(max_nodes_per_class * log window).
+  for (int i = 0; i < 4096; ++i) {
+    const double t = static_cast<double>(i);
+    ASSERT_TRUE(
+        window.AddVisit(i, static_cast<RegionId>(i % 64), t, t + 0.5));
+  }
+  EXPECT_EQ(window.window_visits(), 4096u);
+  // 13 width classes: log2(4096) + 1.
+  const size_t bound =
+      static_cast<size_t>(options.max_nodes_per_class + 1) * 13u;
+  EXPECT_LE(window.span_nodes(), bound);
+
+  // Expiry out of coarse spans stays exact: slide by one bucket and
+  // exactly one visit (bucket 0) must leave.
+  window.AddVisit(5000, 1, 4096.0, 4096.5);
+  EXPECT_EQ(window.expired_visits(), 1u);
+  EXPECT_EQ(window.window_visits(), 4096u);
+}
+
+/// Randomized replay against the brute-force reference, with adds in
+/// loosely shuffled time order, occasional removals, and tie-heavy
+/// counts (few regions, equal-ish visit counts) so the canonical
+/// tie-break carries the comparison.
+TEST(SlidingWindowTest, RandomizedBruteForceEquivalence) {
+  std::mt19937 rng(99);
+  for (int trial = 0; trial < 20; ++trial) {
+    const CompiledSpec spec(AllRegions(trial % 2 == 0 ? 0.0 : 4.0));
+    SlidingWindowSketch::Options options;
+    options.bucket_seconds = 10.0;
+    options.window_buckets = 1 + static_cast<int64_t>(rng() % 12);
+    SlidingWindowSketch window(&spec, options);
+    Reference ref{&spec, options, {}};
+
+    std::vector<RawVisit> admitted;
+    double clock = 0.0;
+    for (int step = 0; step < 400; ++step) {
+      clock += static_cast<double>(rng() % 8);
+      RawVisit v;
+      v.object_id = static_cast<int64_t>(rng() % 6);
+      v.region = static_cast<RegionId>(rng() % 5);  // Tie-heavy.
+      v.t_start = clock;
+      v.t_end = clock + static_cast<double>(rng() % 12);
+      ref.NoteWatermark(v);
+      // The reference models the sketch's contract: only visits that
+      // are in-window *at arrival* are admitted.
+      window.AddVisit(v.object_id, v.region, v.t_start, v.t_end);
+      if (ref.Bucket(v) > ref.watermark - options.window_buckets &&
+          spec.MatchesStay(v.region, v.t_start, v.t_end)) {
+        ref.Add(v);
+        admitted.push_back(v);
+      }
+      if (!admitted.empty() && rng() % 7 == 0) {
+        const size_t pick = rng() % admitted.size();
+        const RawVisit r = admitted[pick];
+        admitted.erase(admitted.begin() +
+                       static_cast<ptrdiff_t>(pick));
+        window.RemoveVisit(r.object_id, r.region, r.t_start, r.t_end);
+        ref.Remove(r);
+      }
+      if (step % 23 == 0) {
+        TopKSketch expected = ref.InWindowSketch();
+        EXPECT_EQ(window.TopKRegions(4), expected.TopKRegions(4))
+            << "trial " << trial << " step " << step;
+        EXPECT_EQ(window.TopKPairs(4), expected.TopKPairs(4))
+            << "trial " << trial << " step " << step;
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace query
+}  // namespace c2mn

@@ -1,0 +1,224 @@
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+#include <random>
+#include <vector>
+
+#include "query/query_core.h"
+
+namespace c2mn {
+namespace query {
+namespace {
+
+using RegionCounts = std::map<RegionId, int64_t>;
+using SortedRegionCounts = std::shared_ptr<const SortedCounts<RegionId>>;
+
+const auto kAcceptAll = [](const auto&) { return true; };
+
+/// The reference answer: sum the shard maps and rank canonically.
+template <typename Key>
+std::vector<Key> ReferenceTopK(
+    const std::vector<std::map<Key, int64_t>>& shards, size_t k) {
+  std::map<Key, int64_t> totals;
+  for (const auto& shard : shards) {
+    for (const auto& [key, count] : shard) totals[key] += count;
+  }
+  std::vector<std::pair<Key, int64_t>> counted(totals.begin(), totals.end());
+  return RankTopK(std::move(counted), k);
+}
+
+template <typename Key>
+std::vector<std::shared_ptr<const SortedCounts<Key>>> Freeze(
+    const std::vector<std::map<Key, int64_t>>& shards) {
+  std::vector<std::shared_ptr<const SortedCounts<Key>>> views;
+  for (const auto& shard : shards) {
+    views.push_back(SortedCounts<Key>::FromCounts(shard));
+  }
+  return views;
+}
+
+TEST(SortedCountsTest, FreezesBothOrdersAndProbes) {
+  RegionCounts counts{{5, 3}, {1, 7}, {9, 3}, {2, 1}};
+  const SortedRegionCounts view = SortedCounts<RegionId>::FromCounts(counts);
+  // by_count: count desc, key asc on ties.
+  ASSERT_EQ(view->by_count.size(), 4u);
+  EXPECT_EQ(view->by_count[0], (std::pair<RegionId, int64_t>{1, 7}));
+  EXPECT_EQ(view->by_count[1], (std::pair<RegionId, int64_t>{5, 3}));
+  EXPECT_EQ(view->by_count[2], (std::pair<RegionId, int64_t>{9, 3}));
+  EXPECT_EQ(view->by_count[3], (std::pair<RegionId, int64_t>{2, 1}));
+  // by_key: key asc.
+  EXPECT_EQ(view->by_key[0].first, 1);
+  EXPECT_EQ(view->by_key[3].first, 9);
+  EXPECT_EQ(view->Probe(5), 3);
+  EXPECT_EQ(view->Probe(4), 0);  // Absent.
+  EXPECT_EQ(view->Probe(10), 0);
+}
+
+TEST(ThresholdMergeTest, EmptyInputsAndZeroK) {
+  MergeStats stats;
+  EXPECT_TRUE(ThresholdMergeTopK<RegionId>({}, 5, kAcceptAll, &stats).empty());
+  EXPECT_FALSE(stats.early_exit);
+
+  std::vector<RegionCounts> shards{{{1, 2}}, {{2, 3}}};
+  EXPECT_TRUE(
+      ThresholdMergeTopK(Freeze(shards), 0, kAcceptAll, &stats).empty());
+  // Empty shards (maps exist but hold nothing).
+  std::vector<RegionCounts> empty_shards{{}, {}};
+  EXPECT_TRUE(
+      ThresholdMergeTopK(Freeze(empty_shards), 5, kAcceptAll, &stats).empty());
+}
+
+/// A single dominant shard holds keys so skewed the threshold collapses
+/// after k resolutions: the walk must early-exit, far under budget.
+TEST(ThresholdMergeTest, DominantShardEarlyExits) {
+  std::vector<RegionCounts> shards(4);
+  // Shard 0: exponentially separated heavy hitters.
+  for (RegionId r = 0; r < 10; ++r) shards[0][r] = 1 << (20 - r);
+  // Other shards: a sea of count-1 keys that can never catch up.
+  for (int s = 1; s < 4; ++s) {
+    for (RegionId r = 100; r < 400; ++r) shards[static_cast<size_t>(s)][r] = 1;
+  }
+  MergeStats stats;
+  const auto got = ThresholdMergeTopK(Freeze(shards), 5, kAcceptAll, &stats);
+  EXPECT_EQ(got, ReferenceTopK(shards, 5));
+  EXPECT_TRUE(stats.early_exit);
+  EXPECT_FALSE(stats.fell_back);
+  EXPECT_LT(stats.sorted_accesses, 64u + 16u * 5u);
+  EXPECT_GT(stats.keys_resolved, 0u);
+  EXPECT_EQ(stats.probes, stats.keys_resolved * shards.size());
+}
+
+/// All-equal counts defeat the threshold entirely: the walk must fall
+/// back to the exact merge and still match the canonical ranking (pure
+/// key-ascending tie-break) bit-for-bit.
+TEST(ThresholdMergeTest, AllEqualCountsFallBackExactly) {
+  std::vector<RegionCounts> shards(4);
+  for (int s = 0; s < 4; ++s) {
+    for (RegionId r = 0; r < 500; ++r) shards[static_cast<size_t>(s)][r] = 1;
+  }
+  MergeStats stats;
+  const auto got = ThresholdMergeTopK(Freeze(shards), 10, kAcceptAll, &stats);
+  const auto want = ReferenceTopK(shards, 10);
+  EXPECT_EQ(got, want);
+  // Ties everywhere: top-10 is regions 0..9.
+  EXPECT_EQ(want, (std::vector<RegionId>{0, 1, 2, 3, 4, 5, 6, 7, 8, 9}));
+  EXPECT_TRUE(stats.fell_back);
+  EXPECT_FALSE(stats.early_exit);
+  EXPECT_EQ(stats.sorted_accesses, 64u + 16u * 10u);
+}
+
+/// The filter must behave exactly like restricting the reference's key
+/// universe — filtered keys neither surface nor prop up the threshold.
+TEST(ThresholdMergeTest, FilterMatchesRestrictedReference) {
+  std::vector<RegionCounts> shards(2);
+  for (RegionId r = 0; r < 100; ++r) {
+    shards[0][r] = 100 - r;
+    shards[1][r] = (r % 7 == 0) ? 50 : 1;
+  }
+  const auto even = [](RegionId r) { return r % 2 == 0; };
+  std::vector<RegionCounts> restricted(shards.size());
+  for (size_t s = 0; s < shards.size(); ++s) {
+    for (const auto& [key, count] : shards[s]) {
+      if (even(key)) restricted[s][key] = count;
+    }
+  }
+  MergeStats stats;
+  EXPECT_EQ(ThresholdMergeTopK(Freeze(shards), 7, even, &stats),
+            ReferenceTopK(restricted, 7));
+  // A filter rejecting everything yields an empty answer.
+  const auto none = [](RegionId) { return false; };
+  EXPECT_TRUE(ThresholdMergeTopK(Freeze(shards), 7, none, &stats).empty());
+  EXPECT_EQ(stats.keys_resolved, 0u);
+}
+
+/// The strict-stop regression: an unseen key whose total *equals* the
+/// running k-th count but whose id is smaller must still win the
+/// tie-break, so the walk may not stop at kth == threshold.
+TEST(ThresholdMergeTest, TieAtThresholdStillHonorsKeyOrder) {
+  // Shard 0 serves key 9 (count 5) first; key 1 has total 5 as well but
+  // sits below it in shard 0's stream and leads nowhere else.
+  std::vector<RegionCounts> shards(2);
+  shards[0] = {{9, 5}, {1, 3}};
+  shards[1] = {{1, 2}, {30, 1}};
+  const auto got = ThresholdMergeTopK(Freeze(shards), 1, kAcceptAll);
+  // Totals: key 1 -> 5, key 9 -> 5; canonical order puts key 1 first.
+  EXPECT_EQ(got, (std::vector<RegionId>{1}));
+  EXPECT_EQ(got, ReferenceTopK(shards, 1));
+}
+
+TEST(ThresholdMergeTest, PairKeysMergeIdentically) {
+  std::vector<std::map<RegionPair, int64_t>> shards(3);
+  std::mt19937 rng(7);
+  for (auto& shard : shards) {
+    for (int i = 0; i < 200; ++i) {
+      const RegionId a = static_cast<RegionId>(rng() % 40);
+      const RegionId b = static_cast<RegionId>(rng() % 40);
+      if (a == b) continue;
+      shard[MakeRegionPair(a, b)] += static_cast<int64_t>(rng() % 5 + 1);
+    }
+  }
+  MergeStats stats;
+  EXPECT_EQ(ThresholdMergeTopK(Freeze(shards), 10, kAcceptAll, &stats),
+            ReferenceTopK(shards, 10));
+}
+
+/// Randomized cross-check over shard counts, skews, and k — the merge
+/// must equal RankTopK over the summed counts in every configuration.
+TEST(ThresholdMergeTest, RandomizedCrossCheck) {
+  std::mt19937 rng(20260808);
+  for (int trial = 0; trial < 60; ++trial) {
+    const size_t num_shards = 1u + rng() % 4u;
+    const bool flat = (trial % 3 == 0);  // Flat trials exercise fallback.
+    std::vector<RegionCounts> shards(num_shards);
+    for (auto& shard : shards) {
+      const size_t keys = 1u + rng() % 300u;
+      for (size_t i = 0; i < keys; ++i) {
+        const RegionId r = static_cast<RegionId>(rng() % 500u);
+        shard[r] += flat ? 1 : static_cast<int64_t>(rng() % 1000u + 1u);
+      }
+    }
+    const size_t k = 1u + rng() % 20u;
+    MergeStats stats;
+    EXPECT_EQ(ThresholdMergeTopK(Freeze(shards), k, kAcceptAll, &stats),
+              ReferenceTopK(shards, k))
+        << "trial " << trial << " shards " << num_shards << " k " << k;
+  }
+}
+
+/// TopKSketch's sorted views: cached until a mutation, frozen after.
+TEST(ThresholdMergeTest, SketchSortedViewsInvalidateOnMutation) {
+  CompiledSpec spec{[] {
+    VisitSpec vs;
+    vs.all_regions = true;
+    vs.min_visit_seconds = 10.0;
+    return vs;
+  }()};
+  TopKSketch sketch(&spec);
+  sketch.AddVisit(1, 10, 0.0, 30.0);
+  sketch.AddVisit(1, 20, 40.0, 70.0);
+  const auto view1 = sketch.SortedRegions();
+  EXPECT_EQ(view1->Probe(10), 1);
+  // Unchanged sketch: the cached snapshot is reused.
+  EXPECT_EQ(sketch.SortedRegions().get(), view1.get());
+  // A mutation drops the cache; the old view stays frozen.
+  sketch.AddVisit(2, 10, 0.0, 30.0);
+  const auto view2 = sketch.SortedRegions();
+  EXPECT_NE(view2.get(), view1.get());
+  EXPECT_EQ(view1->Probe(10), 1);
+  EXPECT_EQ(view2->Probe(10), 2);
+  // Pairs views behave the same (object 1 co-visited {10, 20}).
+  const auto pairs1 = sketch.SortedPairs();
+  EXPECT_EQ(pairs1->Probe(MakeRegionPair(10, 20)), 1);
+  sketch.RemoveVisit(1, 20, 40.0, 70.0);
+  EXPECT_EQ(sketch.SortedPairs()->Probe(MakeRegionPair(10, 20)), 0);
+  EXPECT_EQ(pairs1->Probe(MakeRegionPair(10, 20)), 1);
+  // A spec-rejected RemoveVisit must not drop the cache.
+  const auto view3 = sketch.SortedRegions();
+  sketch.RemoveVisit(99, 10, 0.0, 5.0);  // Below min_visit_seconds.
+  EXPECT_EQ(sketch.SortedRegions().get(), view3.get());
+}
+
+}  // namespace
+}  // namespace query
+}  // namespace c2mn

@@ -3,7 +3,7 @@
 
 Usage:
     bench_compare.py BASELINE.json CANDIDATE.json [--max-regress 0.20]
-                     [--min-ms 0.05]
+                     [--min-ms 0.05] [--ceiling NAME=MS ...]
 
 Both files are the machine-readable output of the bench_micro_* binaries
 (a top-level "results" array of {"name": ..., "real_ms": ...} objects).
@@ -11,6 +11,12 @@ Benchmarks are matched by name; a candidate more than --max-regress
 slower than the baseline fails the run (exit 1).  Entries below --min-ms
 in the baseline are reported but never gated: at microsecond scale the
 smoke runs' timing jitter swamps any real signal.
+
+--ceiling NAME=MS (repeatable) additionally gates the named benchmark
+against an absolute wall-clock bound in milliseconds, applied even when
+the baseline sits below --min-ms — the gate for fast paths whose whole
+point is staying at microsecond scale, where a 10x blowup would still
+pass the relative check's jitter exemption.
 
 Benchmarks present on only one side are listed but do not fail the
 comparison, so adding or retiring a benchmark does not require touching
@@ -52,7 +58,28 @@ def main(argv):
         default=0.05,
         help="skip gating benchmarks whose baseline is below this many ms",
     )
+    parser.add_argument(
+        "--ceiling",
+        action="append",
+        default=[],
+        metavar="NAME=MS",
+        help="absolute wall-clock bound for one benchmark, in ms; applied "
+        "even below --min-ms (repeatable)",
+    )
     args = parser.parse_args(argv)
+
+    ceilings = {}
+    for spec in args.ceiling:
+        name, sep, value = spec.partition("=")
+        try:
+            bound = float(value) if sep and name else None
+        except ValueError:
+            bound = None
+        if bound is None:
+            print(f"error: bad --ceiling '{spec}' (expected NAME=MS)",
+                  file=sys.stderr)
+            return 2
+        ceilings[name] = bound
 
     baseline = load_results(args.baseline)
     candidate = load_results(args.candidate)
@@ -69,22 +96,43 @@ def main(argv):
     for name in sorted(set(baseline) | set(candidate)):
         base = baseline.get(name)
         cand = candidate.get(name)
+        ceiling = ceilings.pop(name, None)
+        if base is None and cand is None:
+            continue
         if base is None:
             print(f"  {name:<{width}}  (new benchmark; not gated)")
-            continue
-        if cand is None:
+        elif cand is None:
             print(f"  {name:<{width}}  (missing from candidate; not gated)")
-            continue
-        ratio = cand / base if base > 0 else float("inf")
-        line = (f"  {name:<{width}}  {base:9.4f} ms -> {cand:9.4f} ms  "
-                f"({ratio:5.2f}x)")
-        if base < args.min_ms:
-            print(line + "  [below --min-ms; not gated]")
-        elif ratio > 1.0 + args.max_regress:
-            failures.append(name)
-            print(line + "  REGRESSION")
         else:
-            print(line)
+            ratio = cand / base if base > 0 else float("inf")
+            line = (f"  {name:<{width}}  {base:9.4f} ms -> {cand:9.4f} ms  "
+                    f"({ratio:5.2f}x)")
+            if base < args.min_ms:
+                print(line + "  [below --min-ms; relative check not gated]")
+            elif ratio > 1.0 + args.max_regress:
+                failures.append(name)
+                print(line + "  REGRESSION")
+            else:
+                print(line)
+        # The absolute ceiling applies whenever the candidate ran the
+        # benchmark, independent of the relative gate and --min-ms.
+        if ceiling is not None:
+            if cand is None:
+                failures.append(name)
+                print(f"  {name:<{width}}  CEILING {ceiling:.4f} ms but "
+                      "benchmark missing from candidate")
+            elif cand > ceiling:
+                failures.append(name)
+                print(f"  {name:<{width}}  {cand:9.4f} ms exceeds ceiling "
+                      f"{ceiling:.4f} ms  CEILING EXCEEDED")
+            else:
+                print(f"  {name:<{width}}  {cand:9.4f} ms within ceiling "
+                      f"{ceiling:.4f} ms")
+
+    for name, ceiling in sorted(ceilings.items()):
+        failures.append(name)
+        print(f"  {name:<{width}}  CEILING {ceiling:.4f} ms but benchmark "
+              "unknown to both files")
 
     if failures:
         print(

@@ -30,12 +30,17 @@
 //       non-zero when the directory cannot be recovered, so scripts and
 //       tests can use it as an integrity check.
 //   analytics [--objects N] [--shards K] [--k K] [--min-visit S] [--follow]
+//       [--trailing S]
 //       Replay simulator traffic with the live analytics engine enabled,
 //       print top-k popular regions / frequent pairs plus dwell, flow,
 //       and occupancy gauges, and cross-check the answers against the
 //       batch eval/queries implementation.  With --follow, standing
 //       continuous queries are subscribed before the replay and every
-//       pushed delta (answer-set change) is printed as it fires.
+//       pushed delta (answer-set change) is printed as it fires.  With
+//       --trailing S, sliding-window standing queries (top-k over the
+//       trailing S seconds behind the watermark) are subscribed too and
+//       their final answers cross-checked against a brute-force
+//       trailing-window scan of the collected corpus.
 //   metrics [--objects N] [--shards K] [--format prom|json] [--out FILE]
 //       [--watch] [--interval S] [--slow-ms T]
 //       Replay simulator traffic through the service with analytics and
@@ -47,13 +52,16 @@
 // All subcommands accept --seed (default 7) which controls the generated
 // venue, so weights and data stay consistent across invocations.
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cinttypes>
+#include <cmath>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <iterator>
+#include <limits>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -118,7 +126,7 @@ int Usage() {
                "[--loop N] [--fixed-weights]\n"
                "  analytics [--objects N] [--shards K] [--k K] "
                "[--min-visit S] [--iters N] [--threads T] "
-               "[--weights W.txt] [--seed S] [--follow]\n"
+               "[--weights W.txt] [--seed S] [--follow] [--trailing S]\n"
                "  metrics  [--objects N] [--shards K] [--format prom|json] "
                "[--out FILE] [--watch] [--interval S] [--slow-ms T]\n"
                "  snapshot --state-dir DIR\n"
@@ -126,7 +134,10 @@ int Usage() {
                "  --threads T: trainer worker threads (0 = all cores); the\n"
                "  learned weights are bit-identical for every T.\n"
                "  --follow: subscribe standing top-k queries and print each\n"
-               "  pushed delta while the replay streams.\n");
+               "  pushed delta while the replay streams.\n"
+               "  --trailing S: also subscribe sliding-window standing\n"
+               "  queries over the trailing S seconds and cross-check them\n"
+               "  against a brute-force trailing-window scan.\n");
   return 2;
 }
 
@@ -411,6 +422,7 @@ int Analytics(const Args& args) {
   const size_t k = static_cast<size_t>(args.GetInt("k", 5));
   const double min_visit = args.GetDouble("min-visit", 30.0);
   const bool follow = args.GetFlag("follow");
+  const double trailing = args.GetDouble("trailing", 0.0);
 
   AnnotationService::Options options;
   options.num_shards = args.GetInt("shards", 4);
@@ -425,6 +437,9 @@ int Analytics(const Args& args) {
   std::mutex follow_mu;
   std::vector<RegionId> followed_regions;
   std::vector<std::pair<RegionId, RegionId>> followed_pairs;
+  std::vector<RegionId> trailing_regions;
+  std::vector<std::pair<RegionId, RegionId>> trailing_pairs;
+  uint64_t trailing_deltas = 0;
   const auto& plan = scenario.world->plan();
 
   AnnotationService service(*scenario.world, FeatureOptions{}, C2mnStructure{},
@@ -473,6 +488,37 @@ int Analytics(const Args& args) {
                         plan.region(p.second).name.c_str());
           }
           std::printf("\n");
+        });
+  }
+  if (trailing > 0.0) {
+    // Sliding-window standing queries: same specs as --follow's, but
+    // ranking only the trailing window behind the watermark.  Their
+    // final answers are cross-checked against a brute-force
+    // trailing-window scan after the drain.
+    StandingQuery tw_regions;
+    tw_regions.spec.all_regions = true;
+    tw_regions.spec.min_visit_seconds = min_visit;
+    tw_regions.k = k;
+    tw_regions.trailing_seconds = trailing;
+    service.SubscribeAnalytics(
+        tw_regions, [&follow_mu, &trailing_regions, &trailing_deltas](
+                        const StandingQueryDelta& delta) {
+          std::lock_guard<std::mutex> lock(follow_mu);
+          trailing_regions = delta.regions;
+          ++trailing_deltas;
+        });
+    StandingQuery tw_pairs;
+    tw_pairs.kind = StandingQuery::Kind::kFrequentPairs;
+    tw_pairs.spec.all_regions = true;
+    tw_pairs.spec.min_visit_seconds = min_visit;
+    tw_pairs.k = k;
+    tw_pairs.trailing_seconds = trailing;
+    service.SubscribeAnalytics(
+        tw_pairs, [&follow_mu, &trailing_pairs, &trailing_deltas](
+                      const StandingQueryDelta& delta) {
+          std::lock_guard<std::mutex> lock(follow_mu);
+          trailing_pairs = delta.pairs;
+          ++trailing_deltas;
         });
   }
 
@@ -531,8 +577,12 @@ int Analytics(const Args& args) {
               " visits retained, %" PRIu64 " late-dropped)\n",
               snap.semantics_ingested, snap.retained_visits,
               snap.late_dropped);
-  std::printf("queries: %" PRIu64 " pre-aggregated, %" PRIu64 " scanned\n",
-              snap.preagg_queries, snap.scan_queries);
+  std::printf("queries: %" PRIu64 " pre-aggregated (regions %" PRIu64
+              ", pairs %" PRIu64 "), %" PRIu64 " scanned (regions %" PRIu64
+              ", pairs %" PRIu64 ")\n",
+              snap.preagg_queries, snap.preagg_region_queries,
+              snap.preagg_pair_queries, snap.scan_queries,
+              snap.scan_region_queries, snap.scan_pair_queries);
   if (follow) {
     std::printf("standing queries: %zu subscribed, %" PRIu64
                 " deltas pushed, push latency p50 %.3f ms p99 %.3f ms\n",
@@ -591,6 +641,59 @@ int Analytics(const Args& args) {
     std::printf("standing-query cross-check:     %s\n",
                 follow_identical ? "identical" : "MISMATCH");
     identical = identical && follow_identical;
+  }
+  if (trailing > 0.0) {
+    // Brute-force trailing-window reference over the collected corpus:
+    // reproduce the engine's bucket quantization (see
+    // StandingQuery::trailing_seconds) and rank only the stays whose
+    // bucket is inside the window behind the global watermark.
+    const double bucket_seconds = engine.options().bucket_seconds;
+    const int64_t ring_buckets =
+        static_cast<int64_t>(std::ceil(engine.options().horizon_seconds /
+                                       bucket_seconds)) +
+        1;
+    int64_t watermark_bucket = std::numeric_limits<int64_t>::min();
+    for (const MSemanticsSequence& ms_seq : corpus.semantics) {
+      for (const MSemantics& ms : ms_seq) {
+        if (ms.event != MobilityEvent::kStay) continue;
+        const int64_t bucket =
+            static_cast<int64_t>(std::floor(ms.t_end / bucket_seconds));
+        watermark_bucket = std::max(watermark_bucket, bucket);
+      }
+    }
+    const int64_t window_buckets = std::min<int64_t>(
+        ring_buckets,
+        std::max<int64_t>(
+            1, static_cast<int64_t>(std::ceil(trailing / bucket_seconds))));
+    const int64_t edge = watermark_bucket - window_buckets;
+    query::VisitSpec trailing_spec;
+    trailing_spec.all_regions = true;
+    trailing_spec.min_visit_seconds = min_visit;
+    const query::CompiledSpec compiled(trailing_spec);
+    query::TopKSketch reference(&compiled);
+    for (size_t s = 0; s < corpus.semantics.size(); ++s) {
+      for (const MSemantics& ms : corpus.semantics[s]) {
+        if (ms.event != MobilityEvent::kStay) continue;
+        const int64_t bucket =
+            static_cast<int64_t>(std::floor(ms.t_end / bucket_seconds));
+        if (bucket <= edge) continue;
+        reference.AddVisit(static_cast<int64_t>(s), ms.region, ms.t_start,
+                           ms.t_end);
+      }
+    }
+    const auto expected_regions = reference.TopKRegions(k);
+    const auto expected_pairs = reference.TopKPairs(k);
+    std::lock_guard<std::mutex> lock(follow_mu);
+    const bool trailing_identical = trailing_regions == expected_regions &&
+                                    trailing_pairs == expected_pairs;
+    std::printf("sliding windows: %zu subscribed, %" PRIu64
+                " rotations, %" PRIu64 " visits expired, %" PRIu64
+                " deltas\n",
+                snap.sliding_queries, snap.window_rotations,
+                snap.window_expired_visits, trailing_deltas);
+    std::printf("trailing-window cross-check:    %s (window %.0f s)\n",
+                trailing_identical ? "identical" : "MISMATCH", trailing);
+    identical = identical && trailing_identical;
   }
   return identical ? 0 : 1;
 }
